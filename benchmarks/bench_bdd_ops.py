@@ -1,0 +1,116 @@
+"""BDD substrate micro-benchmarks.
+
+Not a paper table — these quantify the substrate cost drivers
+(apply, relational product, composition, parameterization, sifting) so
+the engine-level numbers in the other benches can be interpreted.
+These use pytest-benchmark's statistical timing (multiple rounds).
+"""
+
+import random
+
+import pytest
+
+from repro.bdd import BDD
+from repro.bfv import from_characteristic
+
+from .conftest import chi_points
+
+NVARS = 18
+
+
+def _random_function(bdd, rng, nvars=NVARS, terms=12, width=6):
+    """Random DNF over the manager's variables."""
+    result = bdd.false
+    for _ in range(terms):
+        cube = {
+            v: rng.random() < 0.5
+            for v in rng.sample(range(nvars), width)
+        }
+        result = bdd.or_(result, bdd.cube(cube))
+    return result
+
+
+@pytest.fixture
+def setup():
+    bdd = BDD(["x%d" % i for i in range(NVARS)])
+    rng = random.Random(0)
+    f = _random_function(bdd, rng)
+    g = _random_function(bdd, rng)
+    bdd.incref(f)
+    bdd.incref(g)
+    return bdd, f, g
+
+
+def test_apply_and(benchmark, setup):
+    bdd, f, g = setup
+
+    def run():
+        bdd.clear_cache()
+        return bdd.and_(f, g)
+
+    benchmark(run)
+
+
+def test_exists(benchmark, setup):
+    bdd, f, _ = setup
+    variables = list(range(0, NVARS, 2))
+
+    def run():
+        bdd.clear_cache()
+        return bdd.exists(variables, f)
+
+    benchmark(run)
+
+
+def test_and_exists_fused_vs_separate(benchmark, setup):
+    bdd, f, g = setup
+    variables = list(range(0, NVARS, 2))
+
+    def run():
+        bdd.clear_cache()
+        return bdd.and_exists(f, g, variables)
+
+    fused = benchmark(run)
+    bdd.clear_cache()
+    assert fused == bdd.exists(variables, bdd.and_(f, g))
+
+
+def test_vector_compose(benchmark, setup):
+    bdd, f, g = setup
+    mapping = {0: g, 3: bdd.not_(g), 7: bdd.var(1)}
+
+    def run():
+        bdd.clear_cache()
+        return bdd.vector_compose(f, mapping)
+
+    benchmark(run)
+
+
+def test_parameterization(benchmark):
+    rng = random.Random(5)
+    width = 12
+    bdd = BDD(["v%d" % i for i in range(width)])
+    variables = tuple(range(width))
+    points = {
+        tuple(rng.random() < 0.5 for _ in range(width)) for _ in range(200)
+    }
+    chi = chi_points(bdd, variables, points)
+    bdd.incref(chi)
+
+    def run():
+        bdd.clear_cache()
+        return from_characteristic(bdd, variables, chi)
+
+    vec = benchmark(run)
+    assert vec.count() == len(points)
+
+
+def test_sifting(benchmark):
+    def run():
+        bdd = BDD(["x%d" % i for i in range(12)])
+        rng = random.Random(7)
+        f = _random_function(bdd, rng, nvars=12, terms=10, width=5)
+        bdd.incref(f)
+        return bdd.sift(max_growth=1.2)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,103 @@
+"""Section 2.7: Boolean functional vectors vs conjunctive decomposition.
+
+The paper observes the two representations are in bijection, that their
+set algorithms "are in essence performing the same operations", and
+that with aligned orders the conjunctive-decomposition variant needs
+fewer BDD operations.  This bench measures both claims:
+
+* union op-counts and times on batches of random canonical sets, for
+  both representations;
+* full reachability with the BFV engine vs the conjunctive engine.
+"""
+
+import random
+
+import pytest
+
+from repro.bdd import BDD
+from repro.bfv import from_characteristic
+from repro.bfv.conjunctive import ConjunctiveDecomposition
+from repro.circuits import surrogates
+from repro.order import order_for
+from repro.reach import ReachLimits, bfv_reachability, conj_reachability
+
+from .conftest import chi_points, run_once
+
+_ROWS = {}
+
+
+def _random_sets(width, count, seed):
+    rng = random.Random(seed)
+    bdd = BDD(["v%d" % i for i in range(width)])
+    variables = tuple(range(width))
+    sets = []
+    for _ in range(count):
+        points = {
+            tuple(rng.random() < 0.5 for _ in range(width))
+            for _ in range(rng.randint(1, 2 ** (width - 1)))
+        }
+        sets.append(
+            from_characteristic(
+                bdd, variables, chi_points(bdd, variables, points)
+            )
+        )
+    return bdd, sets
+
+
+def _render(rows):
+    lines = ["measurement                 bfv          conjunctive"]
+    for key in sorted(rows):
+        row = rows[key]
+        lines.append(
+            "%-26s %-12s %-12s" % (key, row.get("bfv"), row.get("conj"))
+        )
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("representation", ["bfv", "conj"])
+def test_union_batch(benchmark, registry, representation):
+    bdd, sets = _random_sets(width=10, count=40, seed=3)
+    if representation == "conj":
+        sets = [ConjunctiveDecomposition.from_bfv(s) for s in sets]
+
+    def run():
+        bdd.op_count = 0
+        accumulator = sets[0]
+        for item in sets[1:]:
+            accumulator = accumulator.union(item)
+        return bdd.op_count
+
+    ops = run_once(benchmark, run)
+    _ROWS.setdefault("union batch: bdd ops", {})[representation] = ops
+    benchmark.extra_info["bdd_ops"] = ops
+    registry.add_block(
+        "Sec 2.7: BFV vs conjunctive decomposition", _render(_ROWS)
+    )
+
+
+@pytest.mark.parametrize("representation", ["bfv", "conj"])
+def test_reachability_backend(benchmark, registry, representation):
+    circuit = surrogates.s4863s()
+    slots = order_for(circuit, "S1")
+    engine = bfv_reachability if representation == "bfv" else conj_reachability
+
+    def run():
+        return engine(
+            circuit,
+            slots=slots,
+            limits=ReachLimits(max_seconds=40.0, max_live_nodes=100_000),
+            order_name="S1",
+            count_states=False,
+        )
+
+    result = run_once(benchmark, run)
+    assert result.completed
+    _ROWS.setdefault("s4863s reach: seconds", {})[representation] = (
+        "%.2f" % result.seconds
+    )
+    _ROWS.setdefault("s4863s reach: peak nodes", {})[representation] = (
+        result.peak_live_nodes
+    )
+    registry.add_block(
+        "Sec 2.7: BFV vs conjunctive decomposition", _render(_ROWS)
+    )

@@ -1,0 +1,73 @@
+"""Figure 1 vs Figure 2: what the direct BFV set algorithms buy.
+
+The paper's motivation (Sec 1): the Coudert-Berthet-Madre flow
+(Figure 1) computes images with Boolean functional vectors but converts
+to characteristic functions for every set operation — "the conversion
+between the two representations is costly and since it creates the
+characteristic function anyway, there are no benefits to using Boolean
+functional vectors".  Figure 2 (this paper) removes the conversions.
+
+This bench runs both flows on the suite circuits that both complete,
+and reports total time plus the fraction the CBM flow spends purely in
+BFV <-> chi conversions.
+"""
+
+import pytest
+
+from repro.circuits import surrogates
+from repro.order import order_for
+from repro.reach import ReachLimits, bfv_reachability, cbm_reachability
+
+from .conftest import run_once
+
+_LIMITS = ReachLimits(max_seconds=30.0, max_live_nodes=100_000)
+_CIRCUITS = ["s1269s", "s3271s", "s4863s"]
+_ROWS = {}
+
+
+def _render(rows):
+    lines = ["circuit    fig2-BFV(s)  fig1-CBM(s)  conversion(s)  conv-share"]
+    for name in sorted(rows):
+        row = rows[name]
+        share = (
+            row["conversion"] / row["cbm"] if row["cbm"] else 0.0
+        )
+        lines.append(
+            "%-10s %11.2f %12.2f %14.2f %10.0f%%"
+            % (name, row["bfv"], row["cbm"], row["conversion"], 100 * share)
+        )
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("circuit_name", _CIRCUITS)
+@pytest.mark.parametrize("flow", ["fig2_bfv", "fig1_cbm"])
+def test_conversion_cost(benchmark, registry, circuit_name, flow):
+    circuit = surrogates.SUITE[circuit_name]()
+    slots = order_for(circuit, "S1")
+    engine = bfv_reachability if flow == "fig2_bfv" else cbm_reachability
+
+    def run():
+        return engine(
+            circuit,
+            slots=slots,
+            limits=_LIMITS,
+            order_name="S1",
+            count_states=False,
+        )
+
+    result = run_once(benchmark, run)
+    assert result.completed, (circuit_name, flow)
+    row = _ROWS.setdefault(
+        circuit_name, {"bfv": 0.0, "cbm": 0.0, "conversion": 0.0}
+    )
+    if flow == "fig2_bfv":
+        row["bfv"] = result.seconds
+    else:
+        row["cbm"] = result.seconds
+        row["conversion"] = result.conversion_seconds
+    benchmark.extra_info["seconds"] = result.seconds
+    benchmark.extra_info["conversion_seconds"] = result.conversion_seconds
+    registry.add_block(
+        "Fig 1 vs Fig 2: conversion overhead of the CBM flow",
+        _render(_ROWS),
+    )

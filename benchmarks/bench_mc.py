@@ -1,0 +1,102 @@
+"""Extension benchmark: three routes to the same safety verdict.
+
+Not a paper table — an ablation over the model-checking layers built on
+the paper's machinery.  For properties with known violations, compares:
+
+* ``forward``  — unbounded BFV reachability with onion rings
+  (:func:`repro.mc.check_invariant`), shortest trace included;
+* ``bmc``      — bounded unrolling to the violation depth
+  (:func:`repro.mc.bounded_check`);
+* ``backward`` — pre-image iteration from the bad states
+  (:func:`repro.reach.backward_reachability`).
+
+All three must agree on the verdict and (where applicable) the shortest
+counterexample depth; the interesting output is the cost profile.
+"""
+
+import pytest
+
+from repro.circuits import generators as gen
+from repro.mc import bounded_check, check_invariant, never_all
+from repro.reach.backward import backward_reachability
+
+from .conftest import run_once
+
+_ROWS = {}
+
+_CASES = {
+    "counter6_max": (
+        lambda: gen.counter(6),
+        lambda c: never_all(c.state_nets),
+        63,
+    ),
+    "shift8_ones": (
+        lambda: gen.shift_register(8),
+        lambda c: never_all(c.state_nets),
+        8,
+    ),
+}
+
+
+def _bad_states(circuit):
+    """All-ones state (the violation of never_all) in declaration order."""
+    return [tuple([True] * circuit.num_latches)]
+
+
+def _render(rows):
+    lines = ["case           method    time(s)  depth"]
+    for (case, method), row in sorted(rows.items()):
+        lines.append(
+            "%-14s %-9s %7.2f  %s"
+            % (case, method, row["s"], row.get("depth", "-"))
+        )
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("method", ["forward", "bmc", "backward"])
+@pytest.mark.parametrize("case", list(_CASES))
+def test_mc_route(benchmark, registry, case, method):
+    factory, prop_builder, depth = _CASES[case]
+    circuit = factory()
+    prop = prop_builder(circuit)
+
+    if method == "forward":
+        def run():
+            return check_invariant(circuit, prop)
+
+        result = run_once(benchmark, run)
+        assert not result.holds
+        assert len(result.counterexample) == depth
+        _ROWS[(case, method)] = {
+            "s": result.seconds,
+            "depth": len(result.counterexample),
+        }
+    elif method == "bmc":
+        def run():
+            return bounded_check(circuit, prop, depth)
+
+        result = run_once(benchmark, run)
+        assert not result.holds_up_to_depth
+        assert result.violation_depth == depth
+        _ROWS[(case, method)] = {
+            "s": benchmark.stats.stats.mean,
+            "depth": result.violation_depth,
+        }
+    else:
+        def run():
+            return backward_reachability(
+                circuit, _bad_states(circuit), count_states=False
+            )
+
+        result = run_once(benchmark, run)
+        assert result.completed
+        # the initial state is backward-reachable from the violation
+        space = result.extra["space"]
+        chi = result.extra["backward_chi"]
+        assignment = dict(zip(space.s_vars, space.initial_point))
+        assert space.bdd.evaluate(chi, assignment)
+        _ROWS[(case, method)] = {"s": result.seconds, "depth": result.iterations}
+    registry.add_block(
+        "Extension: forward vs BMC vs backward safety checking",
+        _render(_ROWS),
+    )

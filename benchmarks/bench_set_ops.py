@@ -1,0 +1,123 @@
+"""Scaling micro-benchmarks for the paper's core set algorithms.
+
+Measures union (Sec 2.3), intersection (Sec 2.4) and parameter
+elimination (Sec 2.6) as the vector width grows, on structured sets
+where the representations stay polynomial.  The intersection is the
+paper's quadratic-BDD-operation algorithm; union and elimination are
+linear passes — the op-count columns make that visible.
+"""
+
+import random
+
+import pytest
+
+from repro.bdd import BDD
+from repro.bfv import from_characteristic, intersect, union
+from repro.bfv.reparam import eliminate_params
+
+from .conftest import chi_points
+
+_WIDTHS = [8, 16, 24]
+_OPS_ROWS = {}
+
+
+def _pair(width, seed):
+    rng = random.Random(seed)
+    bdd = BDD(["v%d" % i for i in range(width)])
+    variables = tuple(range(width))
+    make = lambda: {
+        tuple(rng.random() < 0.5 for _ in range(width))
+        for _ in range(48)
+    }
+    left = from_characteristic(
+        bdd, variables, chi_points(bdd, variables, make())
+    )
+    right = from_characteristic(
+        bdd, variables, chi_points(bdd, variables, make())
+    )
+    return bdd, left, right
+
+
+@pytest.mark.parametrize("width", _WIDTHS)
+def test_union_scaling(benchmark, registry, width):
+    bdd, left, right = _pair(width, seed=width)
+
+    def run():
+        bdd.op_count = 0
+        result = union(left, right)
+        return bdd.op_count, result
+
+    ops, result = benchmark(run)
+    assert result.count() >= max(left.count(), right.count())
+    _OPS_ROWS[("union", width)] = ops
+    benchmark.extra_info["bdd_ops"] = ops
+    registry.add_block(
+        "Set-operation BDD-op scaling",
+        "\n".join(
+            "%-13s width=%-3d ops=%d" % (op, w, count)
+            for (op, w), count in sorted(_OPS_ROWS.items())
+        ),
+    )
+
+
+@pytest.mark.parametrize("width", _WIDTHS)
+def test_intersection_scaling(benchmark, registry, width):
+    bdd, left, right = _pair(width, seed=100 + width)
+    both = union(left, right)
+
+    def run():
+        bdd.op_count = 0
+        result = intersect(both, left)
+        return bdd.op_count, result
+
+    ops, result = benchmark(run)
+    assert result == left  # left is a subset of the union
+    _OPS_ROWS[("intersection", width)] = ops
+    benchmark.extra_info["bdd_ops"] = ops
+    registry.add_block(
+        "Set-operation BDD-op scaling",
+        "\n".join(
+            "%-13s width=%-3d ops=%d" % (op, w, count)
+            for (op, w), count in sorted(_OPS_ROWS.items())
+        ),
+    )
+
+
+@pytest.mark.parametrize("width", [6, 10, 14])
+def test_elimination_scaling(benchmark, registry, width):
+    rng = random.Random(width)
+    params = 6
+    names = ["v%d" % i for i in range(width)] + [
+        "w%d" % i for i in range(params)
+    ]
+    bdd = BDD(names)
+    choice_vars = tuple(range(width))
+    param_vars = list(range(width, width + params))
+    raw = []
+    for _ in range(width):
+        f = bdd.false
+        for _ in range(3):
+            cube = {
+                v: rng.random() < 0.5
+                for v in rng.sample(param_vars, 3)
+            }
+            f = bdd.or_(f, bdd.cube(cube))
+        raw.append(f)
+        bdd.incref(f)
+
+    def run():
+        bdd.op_count = 0
+        comps = eliminate_params(bdd, choice_vars, raw, param_vars)
+        return bdd.op_count, comps
+
+    ops, comps = benchmark(run)
+    assert len(comps) == width
+    _OPS_ROWS[("eliminate", width)] = ops
+    benchmark.extra_info["bdd_ops"] = ops
+    registry.add_block(
+        "Set-operation BDD-op scaling",
+        "\n".join(
+            "%-13s width=%-3d ops=%d" % (op, w, count)
+            for (op, w), count in sorted(_OPS_ROWS.items())
+        ),
+    )

@@ -1,0 +1,60 @@
+"""Table 2 reproduction: reachability, VIS-IWLS95 baseline vs BFV.
+
+The paper's Table 2 runs both tools on five ISCAS'89 circuits under
+fixed variable orders from five sources (S1/S2/D/P/O), reporting
+runtime and peak live BDD nodes, with T.O./M.O. entries where a tool
+could not complete.  This grid does the same over the surrogate suite
+(see DESIGN.md Section 5 for the substitution): one benchmark per
+(circuit, order, engine) cell; the composed table is printed at the end
+of the session and appended to ``benchmarks/results.txt``.
+
+Expected shape (the paper's claims):
+
+* the BFV engine completes the correlated-datapath circuits (s3271s,
+  s4863s) under *every* order with tiny representations, while the
+  characteristic-function engine degrades or dies under orders that
+  separate related bits;
+* the characteristic-function engine wins the control-dominated
+  circuits (s1512s, s3330s), where BFV runs against its per-parameter
+  union cost and may time out;
+* peak-node columns favour BFV wherever the reached set has functional
+  dependencies.
+"""
+
+import pytest
+
+from repro.circuits import surrogates
+from repro.order import order_for
+from repro.reach import ENGINES
+
+from .conftest import ORDER_FAMILIES, TABLE2_LIMITS, run_once
+
+_CIRCUITS = {name: factory() for name, factory in surrogates.SUITE.items()}
+_ORDERS = {
+    (name, family): order_for(circuit, family)
+    for name, circuit in _CIRCUITS.items()
+    for family in ORDER_FAMILIES
+}
+
+
+@pytest.mark.parametrize("engine", ["tr", "bfv"])
+@pytest.mark.parametrize("family", ORDER_FAMILIES)
+@pytest.mark.parametrize("circuit_name", list(surrogates.SUITE))
+def test_table2_cell(benchmark, registry, circuit_name, family, engine):
+    circuit = _CIRCUITS[circuit_name]
+    slots = _ORDERS[(circuit_name, family)]
+
+    def run():
+        return ENGINES[engine](
+            circuit,
+            slots=slots,
+            limits=TABLE2_LIMITS,
+            order_name=family,
+            count_states=False,
+        )
+
+    result = run_once(benchmark, run)
+    registry.add_result(result)
+    benchmark.extra_info["status"] = result.status
+    benchmark.extra_info["peak_live_nodes"] = result.peak_live_nodes
+    benchmark.extra_info["iterations"] = result.iterations

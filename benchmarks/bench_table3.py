@@ -1,0 +1,52 @@
+"""Table 3 reproduction: reached-set size, characteristic function vs BFV.
+
+The paper's Table 3 converts the reached set of s4863 (computed by the
+BFV flow) to a characteristic function and compares the BDD size with
+the *shared* size of the BFV components, under four order families —
+showing the BFV representation is dramatically smaller and far less
+order-sensitive.  Same measurement here on the s4863s surrogate.
+"""
+
+import pytest
+
+from repro.bfv import to_characteristic
+from repro.circuits import surrogates
+from repro.order import order_for
+from repro.reach import bfv_reachability, format_table3
+
+from .conftest import ORDER_FAMILIES, TABLE2_LIMITS, run_once
+
+_CIRCUIT = surrogates.s4863s()
+_SIZES = {}
+
+
+@pytest.mark.parametrize("family", ORDER_FAMILIES)
+def test_table3_sizes(benchmark, registry, family):
+    slots = order_for(_CIRCUIT, family)
+
+    def run():
+        result = bfv_reachability(
+            _CIRCUIT,
+            slots=slots,
+            limits=TABLE2_LIMITS,
+            order_name=family,
+            count_states=False,
+        )
+        assert result.completed
+        reached = result.extra["reached"]
+        space = result.extra["space"]
+        chi = to_characteristic(reached)
+        return {
+            "bfv": reached.shared_size(),
+            "chi": space.bdd.dag_size(chi),
+        }
+
+    sizes = run_once(benchmark, run)
+    _SIZES[family] = sizes
+    benchmark.extra_info.update(sizes)
+    registry.add_block(
+        "Table 3: reached-set sizes for s4863s (chi vs shared BFV)",
+        format_table3(_SIZES),
+    )
+    # The paper's headline: BFV is much more compact on this circuit.
+    assert sizes["bfv"] * 5 < sizes["chi"]

@@ -1,0 +1,77 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark module reproduces one table, figure or claim of the
+paper (see DESIGN.md Section 4 for the experiment index).  Reachability
+cells run once (``benchmark.pedantic(rounds=1)``) under the budgets in
+:data:`TABLE2_LIMITS`; per-cell engine statistics are collected in a
+session-wide registry and the paper-shaped tables are printed at the
+end of the run (and appended to ``benchmarks/results.txt``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+import pytest
+
+from repro.reach import ReachLimits, format_table2
+
+#: The paper ran under 10 h / 1 GB on an UltraSPARC-II; the surrogate
+#: suite runs under 25 s / 60k live nodes per cell, which produces the
+#: same completes/T.O./M.O. pattern at reproduction scale.
+TABLE2_LIMITS = ReachLimits(max_seconds=25.0, max_live_nodes=60_000)
+
+#: Order families included in the grids, in the paper's spelling.
+ORDER_FAMILIES = ("S1", "S2", "D", "P", "O")
+
+_RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+class ResultRegistry:
+    """Collects ReachResults and free-form report blocks for the session."""
+
+    def __init__(self) -> None:
+        self.table2_results: List = []
+        self.blocks: Dict[str, str] = {}
+
+    def add_result(self, result) -> None:
+        self.table2_results.append(result)
+
+    def add_block(self, title: str, text: str) -> None:
+        self.blocks[title] = text
+
+    def render(self) -> str:
+        sections = []
+        if self.table2_results:
+            sections.append(
+                "== Table 2: reachability, VIS-IWLS95 (tr) vs BFV ==\n"
+                + format_table2(self.table2_results)
+            )
+        for title in sorted(self.blocks):
+            sections.append("== %s ==\n%s" % (title, self.blocks[title]))
+        return "\n\n".join(sections)
+
+
+@pytest.fixture(scope="session")
+def registry():
+    store = ResultRegistry()
+    yield store
+    text = store.render()
+    if text:
+        print("\n\n" + text + "\n")
+        with open(_RESULTS_PATH, "a") as handle:
+            handle.write(text + "\n\n")
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run a callable exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def chi_points(bdd, choice_vars, points):
+    """Characteristic function of a set of concrete points."""
+    chi = bdd.false
+    for point in points:
+        chi = bdd.or_(chi, bdd.cube(dict(zip(choice_vars, point))))
+    return chi

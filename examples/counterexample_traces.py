@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Symbolic model checking with counterexample traces.
+
+Exercises ``repro.mc`` — the "symbolic simulation based model checker"
+the paper names as future work — on three scenarios:
+
+1. the FIFO controller can fill up (an output property violation,
+   with the shortest push sequence as the trace);
+2. a combination lock opens exactly on its secret code (the extracted
+   trace *is* the code);
+3. the token ring's mutual exclusion holds (a proof, no trace).
+
+Every counterexample is replayed on the gate-level simulator before
+being returned, so what is printed is a genuine input sequence.
+
+Run:  python examples/counterexample_traces.py
+"""
+
+from repro.circuits import generators
+from repro.mc import check_invariant, exactly_one, output_never_high
+
+
+def print_trace(trace, input_nets):
+    print("    cycle  " + "  ".join("%-5s" % n for n in input_nets))
+    for cycle, step in enumerate(trace.inputs):
+        values = "  ".join(
+            "%-5d" % int(step[n]) for n in input_nets
+        )
+        print("    %5d  %s" % (cycle, values))
+
+
+def main():
+    print("-- 1. 'the FIFO never fills up' (false) --")
+    fifo = generators.fifo_controller(2)
+    result = check_invariant(fifo, output_never_high("full"))
+    print("holds:", result.holds)
+    trace = result.counterexample
+    print("  shortest violating run: %d cycles" % len(trace))
+    print_trace(trace, fifo.inputs)
+    pushes = sum(step["push"] and not step["pop"] for step in trace.inputs)
+    print("  (needs %d net pushes to fill depth-4 FIFO)" % pushes)
+    print()
+
+    print("-- 2. 'the lock never opens' (false: the code opens it) --")
+    code = [True, False, True, True, False]
+    lock = generators.combination_lock(code)
+    result = check_invariant(lock, output_never_high("at_end"))
+    print("holds:", result.holds)
+    extracted = [step["key"] for step in result.counterexample.inputs]
+    print("  secret code extracted from the counterexample:", extracted)
+    assert extracted == code
+    print()
+
+    print("-- 3. token ring mutual exclusion (true) --")
+    ring = generators.token_ring(7)
+    result = check_invariant(
+        ring, exactly_one(ring.state_nets), count_states=True
+    )
+    print(
+        "holds:", result.holds,
+        "| reachable states:", result.num_states,
+        "| fix point after", result.iterations, "images",
+    )
+
+
+if __name__ == "__main__":
+    main()

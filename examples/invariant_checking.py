@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Safety (invariant) checking via BFV reachability.
+
+The paper closes with "we would also like to develop a symbolic
+simulation based model checker"; invariant checking is its simplest
+form, and it needs exactly the machinery the paper contributes: compute
+the reached set as a canonical BFV, then check that every reached state
+satisfies the property — an intersection / containment query performed
+directly on vectors, no characteristic function required.
+
+Three properties are checked:
+
+1. token ring: *mutual exclusion* — exactly one station holds the token;
+2. FIFO controller: the *occupancy law* — tail - head == count (mod depth);
+3. a deliberately broken property, to show counterexample extraction.
+
+Run:  python examples/invariant_checking.py
+"""
+
+from repro.bdd import BDD
+from repro.bfv import BFV, from_characteristic, intersect
+from repro.circuits import generators
+from repro.reach import bfv_reachability
+
+
+def check_invariant(circuit, name, chi_builder):
+    """Reach with the BFV engine, then check containment in the property.
+
+    ``chi_builder(bdd, var_of)`` returns the property's characteristic
+    function over the state variables; it is converted to a canonical
+    BFV once, and the check is ``reached == reached INTERSECT property``
+    — pure vector manipulation.
+    """
+    result = bfv_reachability(circuit, count_states=True)
+    assert result.completed
+    space = result.extra["space"]
+    reached = result.extra["reached"]
+    var_of = {net: space.state_var[net] for net in space.state_order}
+    chi = chi_builder(space.bdd, var_of)
+    prop = from_characteristic(space.bdd, space.s_vars, chi)
+    holds = reached.is_subset(prop)
+    print(
+        "%-34s reached states: %-6d  invariant %s"
+        % (name, result.num_states, "HOLDS" if holds else "VIOLATED")
+    )
+    if not holds:
+        # Counterexample: a reached state outside the property.  The
+        # BFV has no negation, so diff via the characteristic function
+        # of the property only (the reached set stays a vector).
+        bad = space.bdd.diff(reached.to_characteristic(), chi)
+        model = space.bdd.pick_model(bad, care_vars=space.s_vars)
+        witness = {
+            net: model["s_" + net] for net in space.state_order
+        }
+        print("    counterexample state:", witness)
+    return holds
+
+
+def one_hot(bdd, variables):
+    """Characteristic function of 'exactly one variable is true'."""
+    total = bdd.false
+    for v in variables:
+        term = bdd.true
+        for w in variables:
+            literal = bdd.var(w) if w == v else bdd.not_(bdd.var(w))
+            term = bdd.and_(term, literal)
+        total = bdd.or_(total, term)
+    return total
+
+
+def main():
+    # 1. Token ring: one-hot invariant (mutual exclusion).
+    ring = generators.token_ring(6)
+    check_invariant(
+        ring,
+        "token ring: exactly one token",
+        lambda bdd, var_of: one_hot(bdd, list(var_of.values())),
+    )
+
+    # 2. FIFO: occupancy law tail - head == count (mod depth).
+    bits = 2
+    fifo = generators.fifo_controller(bits)
+
+    def occupancy_law(bdd, var_of):
+        depth = 1 << bits
+        chi = bdd.false
+        for head in range(depth):
+            for count in range(depth + 1):
+                tail = (head + count) % depth
+                assignment = {}
+                for i in range(bits):
+                    assignment[var_of["h%d" % i]] = bool(head >> i & 1)
+                    assignment[var_of["t%d" % i]] = bool(tail >> i & 1)
+                for i in range(bits + 1):
+                    assignment[var_of["c%d" % i]] = bool(count >> i & 1)
+                chi = bdd.or_(chi, bdd.cube(assignment))
+        return chi
+
+    check_invariant(fifo, "FIFO: tail - head == count", occupancy_law)
+
+    # 3. A property that is genuinely false: "the counter never reaches
+    # its maximum value" -- reachability finds the violation.
+    counter = generators.counter(4)
+
+    def never_max(bdd, var_of):
+        all_ones = bdd.conjoin([bdd.var(v) for v in var_of.values()])
+        return bdd.not_(all_ones)
+
+    ok = check_invariant(counter, "counter: never reaches 1111 (false!)", never_max)
+    assert not ok
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Variable-ordering robustness study (paper Section 3).
+
+The paper argues that BFV "variable ordering requirements are less
+restrictive" because functional dependencies between state bits are
+factored out by the representation: for
+``chi = (v1<->v2)(v3<->v4)(v5<->v6)`` a characteristic function needs
+each pair adjacent in the order, "with the Boolean functional vector,
+all orderings are good in this case".
+
+This script makes that concrete twice over:
+
+* statically — representing the pairs-equal set under progressively
+  worse orders and printing both sizes;
+* dynamically — running full reachability on the coupled-pairs circuit
+  (the s3271s surrogate's core) under a good and a bad order with both
+  engines, showing the chi engine degrade while BFV does not.
+
+Run:  python examples/ordering_study.py
+"""
+
+import random
+
+from repro.bdd import BDD
+from repro.bfv import from_characteristic
+from repro.circuits import generators
+from repro.order import order_for
+from repro.reach import ReachLimits, bfv_reachability, tr_reachability
+
+
+def static_study(pairs=8):
+    print("-- static: the pairs-equal set under different orders --")
+    layouts = {
+        "pairs adjacent": [
+            name for j in range(pairs) for name in ("a%d" % j, "b%d" % j)
+        ],
+        "pairs separated": ["a%d" % j for j in range(pairs)]
+        + ["b%d" % j for j in range(pairs)],
+    }
+    shuffled = list(layouts["pairs adjacent"])
+    random.Random(7).shuffle(shuffled)
+    layouts["random shuffle"] = shuffled
+    print("%-18s %12s %18s" % ("order", "chi size", "BFV shared size"))
+    for title, order in layouts.items():
+        bdd = BDD(order)
+        chi = bdd.true
+        for j in range(pairs):
+            chi = bdd.and_(
+                chi, bdd.equiv(bdd.var("a%d" % j), bdd.var("b%d" % j))
+            )
+        vec = from_characteristic(
+            bdd, [bdd.var_index(n) for n in order], chi
+        )
+        print(
+            "%-18s %12d %18d"
+            % (title, bdd.dag_size(chi), vec.shared_size())
+        )
+    print()
+
+
+def dynamic_study(pairs=10):
+    print("-- dynamic: reachability on coupled pairs (%d pairs) --" % pairs)
+    circuit = generators.coupled_pairs(pairs)
+    limits = ReachLimits(max_seconds=30.0, max_live_nodes=60_000)
+    orders = {
+        "S1 (good: pairs adjacent)": order_for(circuit, "S1"),
+        "O  (bad: random shuffle)": order_for(circuit, "O"),
+    }
+    print(
+        "%-28s %16s %16s" % ("order", "tr (chi) engine", "bfv engine")
+    )
+    for title, slots in orders.items():
+        cells = []
+        for engine in (tr_reachability, bfv_reachability):
+            result = engine(
+                circuit,
+                slots=slots,
+                limits=limits,
+                count_states=False,
+            )
+            cells.append(
+                "%s / %dK nodes"
+                % (result.status, result.peak_live_nodes // 1000)
+                if result.peak_live_nodes >= 1000
+                else "%s / %d nodes" % (result.status, result.peak_live_nodes)
+            )
+        print("%-28s %16s %16s" % (title, cells[0], cells[1]))
+    print()
+    print(
+        "The characteristic-function engine's peak explodes under the bad\n"
+        "order; the BFV engine is essentially order-blind on this family."
+    )
+
+
+def main():
+    static_study()
+    dynamic_study()
+
+
+if __name__ == "__main__":
+    main()

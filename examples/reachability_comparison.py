@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Compare the paper's reachability flows on a benchmark circuit.
+
+Runs all four engines — the BFV flow (paper Fig 2), the VIS/IWLS95
+characteristic-function baseline, the Coudert-Berthet-Madre flow
+(Fig 1) and the conjunctive-decomposition backend (Sec 2.7) — on one
+circuit and prints a Table-2-style comparison.
+
+Run:  python examples/reachability_comparison.py [circuit] [order]
+
+  circuit: s1269s | s1512s | s3271s | s3330s | s4863s | s27
+           | counter | lfsr | fifo   (default: s4863s)
+  order:   S1 | S2 | D | P | O       (default: S1)
+"""
+
+import sys
+
+from repro.circuits import generators, surrogates
+from repro.circuits.iscas import s27
+from repro.order import order_for
+from repro.reach import ENGINES, ReachLimits, format_table2
+
+CIRCUITS = dict(surrogates.SUITE)
+CIRCUITS.update(
+    {
+        "s27": s27,
+        "counter": lambda: generators.counter(8),
+        "lfsr": lambda: generators.lfsr(8),
+        "fifo": lambda: generators.fifo_controller(3),
+    }
+)
+
+
+def main(argv):
+    name = argv[1] if len(argv) > 1 else "s4863s"
+    family = argv[2] if len(argv) > 2 else "S1"
+    if name not in CIRCUITS:
+        print("unknown circuit %r; one of %s" % (name, sorted(CIRCUITS)))
+        return 1
+    circuit = CIRCUITS[name]()
+    print("circuit:", circuit, "| order family:", family)
+    slots = order_for(circuit, family)
+    limits = ReachLimits(max_seconds=60.0, max_live_nodes=200_000)
+
+    results = []
+    for engine_name, engine in ENGINES.items():
+        result = engine(
+            circuit,
+            slots=slots,
+            limits=limits,
+            order_name=family,
+            count_states=True,
+        )
+        results.append(result)
+        detail = (
+            "states=%s, representation size=%s nodes"
+            % (result.num_states, result.reached_size)
+            if result.completed
+            else "did not complete (%s)" % result.status
+        )
+        extra = ""
+        if engine_name == "cbm" and result.completed:
+            extra = "  [%.2fs spent converting BFV <-> chi]" % (
+                result.conversion_seconds
+            )
+        print("  %-5s %s%s" % (engine_name, detail, extra))
+
+    counts = {r.num_states for r in results if r.completed}
+    if len(counts) == 1:
+        print("all completed engines agree on the reached set size:", counts.pop())
+    print()
+    print(format_table2(results, engines=tuple(ENGINES)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

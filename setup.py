@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no ``wheel`` package and no network, so PEP
+517 editable installs (which build a wheel) fail; ``python setup.py
+develop`` installs the package in editable mode without one.  All real
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

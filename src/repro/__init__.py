@@ -1,0 +1,21 @@
+"""Reproduction of Goel & Bryant, "Set Manipulation with Boolean
+Functional Vectors for Symbolic Reachability Analysis" (DATE 2003).
+
+Layers (bottom up):
+
+* :mod:`repro.bdd` — pure-Python ROBDD engine (the substrate).
+* :mod:`repro.bfv` — the paper's contribution: canonical Boolean
+  functional vectors with direct set union / intersection /
+  quantification, re-parameterization, and McMillan's conjunctive
+  decomposition.
+* :mod:`repro.circuits` — sequential netlists, ISCAS'89 ``.bench`` I/O,
+  generators and benchmark surrogates.
+* :mod:`repro.sim` — symbolic and concrete simulation.
+* :mod:`repro.order` — variable-order families (the paper's S1/S2/D/P/O).
+* :mod:`repro.reach` — the reachability engines compared in the paper.
+"""
+
+from ._version import __version__
+from .bdd import BDD, Function
+
+__all__ = ["BDD", "Function", "__version__"]

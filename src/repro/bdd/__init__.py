@@ -1,0 +1,24 @@
+"""Pure-Python ROBDD engine.
+
+This subpackage is the decision-diagram substrate for the reproduction of
+Goel & Bryant's DATE 2003 Boolean-functional-vector paper.  The paper's
+experiments were run on a C BDD package (CUDD inside VIS); no BDD library
+is available in this environment, so the substrate is implemented from
+scratch: unique/computed tables, reference counting with mark-and-sweep
+GC, the classic apply/ITE operations, quantification with a fused
+relational product, functional composition, the ``constrain`` /
+``restrict`` generalized cofactors, dynamic reordering (in-place swaps +
+sifting), SAT counting and model enumeration, and DOT export.
+
+Public entry points:
+
+* :class:`BDD` — the manager; all operations as methods on raw ``int``
+  node handles (fast path, explicit ``incref``/``decref``).
+* :class:`Function` — operator-overloaded wrapper that pins its node.
+"""
+
+from .expr import parse, to_expr
+from .function import Function
+from .manager import BDD
+
+__all__ = ["BDD", "Function", "parse", "to_expr"]

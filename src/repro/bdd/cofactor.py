@@ -1,0 +1,176 @@
+"""Cofactoring operators: Shannon cofactors, ``constrain`` and ``restrict``.
+
+* :func:`cofactor` / :func:`cofactor_cube` — plain Shannon cofactors
+  (fix variables to constants).  These implement the paper's Section 2.5
+  component-wise cofactoring of Boolean functional vectors.
+* :func:`constrain` — the generalized cofactor of Coudert, Berthet and
+  Madre: ``constrain(f, c)`` agrees with ``f`` on ``c`` and maps each
+  off-``c`` point to ``f``'s value at the *nearest* point of ``c`` under
+  the variable-order distance metric — the same metric that canonicalizes
+  Boolean functional vectors.  It is the primitive behind McMillan's
+  conjunctive-decomposition operations (paper Sec 2.7).
+* :func:`restrict` — the Coudert-Madre size-minimizing variant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import BDDError
+from . import operations as _operations
+
+
+def cofactor(m, f: int, var: int, value: bool) -> int:
+    """Shannon cofactor ``f|var=value``."""
+    if f < 2:
+        return f
+    cache = m._cache
+    key = ("c1", f, var, value)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
+    v = var_[f]
+    if lvl[v] > lvl[var]:
+        result = f
+    elif v == var:
+        result = hi_[f] if value else lo_[f]
+    else:
+        result = m._mk(
+            v,
+            cofactor(m, lo_[f], var, value),
+            cofactor(m, hi_[f], var, value),
+        )
+    cache[key] = result
+    return result
+
+
+def cofactor_cube(m, f: int, assignment: Dict[int, bool]) -> int:
+    """Cofactor ``f`` by a conjunction of literals ``{var: value}``."""
+    if f < 2 or not assignment:
+        return f
+    items = tuple(
+        sorted(assignment.items(), key=lambda item: m._var2level[item[0]])
+    )
+    return _cofactor_cube(m, f, items)
+
+
+def _cofactor_cube(m, f: int, items) -> int:
+    if f < 2 or not items:
+        return f
+    cache = m._cache
+    key = ("cc", f, items)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
+    v = var_[f]
+    lf = lvl[v]
+    while items and lvl[items[0][0]] < lf:
+        items = items[1:]
+    if not items:
+        result = f
+    elif v == items[0][0]:
+        child = hi_[f] if items[0][1] else lo_[f]
+        result = _cofactor_cube(m, child, items[1:])
+    else:
+        result = m._mk(
+            v,
+            _cofactor_cube(m, lo_[f], items),
+            _cofactor_cube(m, hi_[f], items),
+        )
+    cache[key] = result
+    return result
+
+
+def constrain(m, f: int, c: int) -> int:
+    """Generalized cofactor ``f ↓ c`` (Coudert-Berthet-Madre).
+
+    Requires ``c != FALSE``.  Satisfies ``constrain(f, c) AND c == f AND c``
+    and, for characteristic functions, ``image(constrain(F, c)) ==
+    image of F restricted to c`` — the property used for range computation
+    in the paper's Figure 1 flow.
+    """
+    if c == 0:
+        raise BDDError("constrain by the empty care set is undefined")
+    return _constrain(m, f, c)
+
+
+def _constrain(m, f: int, c: int) -> int:
+    if c == 1 or f < 2:
+        return f
+    if f == c:
+        return 1
+    cache = m._cache
+    key = ("gc", f, c)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
+    lf = lvl[var_[f]]
+    lc = lvl[var_[c]]
+    level = lf if lf <= lc else lc
+    v = m._level2var[level]
+    if var_[f] == v:
+        f0, f1 = lo_[f], hi_[f]
+    else:
+        f0 = f1 = f
+    if var_[c] == v:
+        c0, c1 = lo_[c], hi_[c]
+    else:
+        c0 = c1 = c
+    if c0 == 0:
+        result = _constrain(m, f1, c1)
+    elif c1 == 0:
+        result = _constrain(m, f0, c0)
+    else:
+        result = m._mk(v, _constrain(m, f0, c0), _constrain(m, f1, c1))
+    cache[key] = result
+    return result
+
+
+def restrict(m, f: int, c: int) -> int:
+    """Coudert-Madre ``restrict``: a don't-care minimization of ``f``.
+
+    Agrees with ``f`` wherever ``c`` holds and is chosen to (heuristically)
+    shrink the BDD.  Unlike :func:`constrain` it existentially quantifies
+    care-set variables that ``f`` does not depend on, avoiding spurious
+    support growth.
+    """
+    if c == 0:
+        raise BDDError("restrict by the empty care set is undefined")
+    return _restrict(m, f, c)
+
+
+def _restrict(m, f: int, c: int) -> int:
+    if c == 1 or f < 2:
+        return f
+    if f == c:
+        return 1
+    cache = m._cache
+    key = ("rs", f, c)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
+    lf = lvl[var_[f]]
+    lc = lvl[var_[c]]
+    if lc < lf:
+        # c's top variable does not occur in f: drop it from the care set.
+        v = var_[c]
+        result = _restrict(m, f, _operations.or_(m, lo_[c], hi_[c]))
+    else:
+        v = var_[f]
+        f0, f1 = lo_[f], hi_[f]
+        if var_[c] == v:
+            c0, c1 = lo_[c], hi_[c]
+        else:
+            c0 = c1 = c
+        if c0 == 0:
+            result = _restrict(m, f1, c1)
+        elif c1 == 0:
+            result = _restrict(m, f0, c0)
+        else:
+            result = m._mk(v, _restrict(m, f0, c0), _restrict(m, f1, c1))
+    cache[key] = result
+    return result

@@ -1,0 +1,58 @@
+"""Graphviz DOT export for debugging and documentation figures."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+
+def to_dot(m, f: int, name: str = "bdd") -> str:
+    """Render the BDD rooted at ``f`` as a Graphviz digraph.
+
+    Solid edges are ``hi`` (variable true), dashed edges are ``lo``.
+    Nodes at the same level share a rank so the drawing reflects the
+    variable order.
+    """
+    return to_dot_shared(m, [f], name=name)
+
+
+def to_dot_shared(m, roots: Iterable[int], name: str = "bdd") -> str:
+    """Render several roots into one shared-DAG drawing.
+
+    Useful for visualizing Boolean functional vectors, whose components
+    share structure (paper Table 3 measures exactly this shared size).
+    """
+    lines: List[str] = ["digraph %s {" % name, "  ordering=out;"]
+    seen = set()
+    by_level = {}
+    stack = list(roots)
+    edges: List[str] = []
+    terminals = set()
+    while stack:
+        n = stack.pop()
+        if n < 2:
+            terminals.add(n)
+            continue
+        if n in seen:
+            continue
+        seen.add(n)
+        var = m._var[n]
+        by_level.setdefault(m._var2level[var], []).append(n)
+        lo, hi = m._lo[n], m._hi[n]
+        edges.append('  n%d -> n%d [style=dashed];' % (n, lo))
+        edges.append('  n%d -> n%d;' % (n, hi))
+        stack.append(lo)
+        stack.append(hi)
+    for level in sorted(by_level):
+        nodes = by_level[level]
+        labels = "; ".join(
+            'n%d [label="%s"]' % (n, m._names[m._var[n]]) for n in nodes
+        )
+        lines.append("  { rank=same; %s; }" % labels)
+    for t in sorted(terminals):
+        lines.append('  n%d [shape=box, label="%d"];' % (t, t))
+    for i, root in enumerate(roots):
+        lines.append('  r%d [shape=plaintext, label="f%d"];' % (i, i))
+        lines.append("  r%d -> n%d [style=dotted];" % (i, root))
+    lines.extend(edges)
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,194 @@
+"""A small Boolean expression language over BDD variables.
+
+Ergonomics for tests, examples and interactive use: build BDDs from
+strings instead of nested method calls.
+
+Grammar (standard precedence, loosest first)::
+
+    expr     := iff
+    iff      := implies ( ('<->' | '==') implies )*
+    implies  := or_ ( '->' or_ )*          (right associative)
+    or_      := xor ( '|' xor )*
+    xor      := and_ ( '^' and_ )*
+    and_     := unary ( '&' unary )*
+    unary    := '!' unary | '~' unary | atom
+    atom     := '0' | '1' | 'true' | 'false' | NAME | '(' expr ')'
+
+Names match ``[A-Za-z_][A-Za-z0-9_.\\[\\]]*`` so netlist-style names
+(``s0``, ``u1_ct3``, ``reg[4]``) work directly.  Unknown names raise
+:class:`repro.errors.VariableError` unless ``auto_declare`` is set.
+
+>>> from repro.bdd import BDD
+>>> bdd = BDD(["a", "b", "c"])
+>>> f = parse(bdd, "a & !(b | c) -> a ^ b")
+>>> bdd.evaluate(f, {"a": False, "b": True, "c": False})
+True
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..errors import BDDError
+
+_TOKEN_RE = re.compile(
+    r"\s*(<->|->|==|[()&|^!~]|true|false|[01]|[A-Za-z_][A-Za-z0-9_.\[\]]*)"
+)
+
+
+class _Parser:
+    def __init__(self, bdd, text: str, auto_declare: bool) -> None:
+        self.bdd = bdd
+        self.text = text
+        self.auto_declare = auto_declare
+        self.tokens = self._tokenize(text)
+        self.position = 0
+
+    @staticmethod
+    def _tokenize(text: str) -> List[str]:
+        tokens = []
+        index = 0
+        while index < len(text):
+            match = _TOKEN_RE.match(text, index)
+            if match is None:
+                if text[index:].strip():
+                    raise BDDError(
+                        "cannot tokenize %r at position %d" % (text, index)
+                    )
+                break
+            tokens.append(match.group(1))
+            index = match.end()
+        return tokens
+
+    def peek(self) -> Optional[str]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise BDDError("unexpected end of expression %r" % self.text)
+        self.position += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.take()
+        if got != token:
+            raise BDDError(
+                "expected %r but found %r in %r" % (token, got, self.text)
+            )
+
+    # precedence-climbing levels -----------------------------------
+
+    def parse(self) -> int:
+        node = self.iff()
+        if self.peek() is not None:
+            raise BDDError(
+                "trailing input %r in %r" % (self.peek(), self.text)
+            )
+        return node
+
+    def iff(self) -> int:
+        node = self.implies()
+        while self.peek() in ("<->", "=="):
+            self.take()
+            node = self.bdd.equiv(node, self.implies())
+        return node
+
+    def implies(self) -> int:
+        node = self.or_()
+        if self.peek() == "->":
+            self.take()
+            # right associative: a -> b -> c == a -> (b -> c)
+            node = self.bdd.implies(node, self.implies())
+        return node
+
+    def or_(self) -> int:
+        node = self.xor()
+        while self.peek() == "|":
+            self.take()
+            node = self.bdd.or_(node, self.xor())
+        return node
+
+    def xor(self) -> int:
+        node = self.and_()
+        while self.peek() == "^":
+            self.take()
+            node = self.bdd.xor(node, self.and_())
+        return node
+
+    def and_(self) -> int:
+        node = self.unary()
+        while self.peek() == "&":
+            self.take()
+            node = self.bdd.and_(node, self.unary())
+        return node
+
+    def unary(self) -> int:
+        if self.peek() in ("!", "~"):
+            self.take()
+            return self.bdd.not_(self.unary())
+        return self.atom()
+
+    def atom(self) -> int:
+        token = self.take()
+        if token == "(":
+            node = self.iff()
+            self.expect(")")
+            return node
+        if token in ("1", "true"):
+            return self.bdd.true
+        if token in ("0", "false"):
+            return self.bdd.false
+        if token in ("&", "|", "^", ")", "->", "<->", "=="):
+            raise BDDError(
+                "unexpected operator %r in %r" % (token, self.text)
+            )
+        try:
+            return self.bdd.var(token)
+        except Exception:
+            if self.auto_declare:
+                return self.bdd.var(self.bdd.add_var(token))
+            raise
+
+
+def parse(bdd, text: str, auto_declare: bool = False) -> int:
+    """Parse ``text`` into a BDD node over ``bdd``'s variables.
+
+    With ``auto_declare``, unknown names are declared (at the bottom of
+    the current order) instead of raising.
+    """
+    return _Parser(bdd, text, auto_declare).parse()
+
+
+def to_expr(bdd, node: int, limit: int = 10_000) -> str:
+    """Render a BDD as a (sum-of-cubes) expression string.
+
+    Intended for debugging and documentation; raises
+    :class:`BDDError` when the cover would exceed ``limit`` cubes.
+    The output round-trips through :func:`parse`.
+    """
+    if node == bdd.false:
+        return "false"
+    if node == bdd.true:
+        return "true"
+    cubes: List[str] = []
+    # Enumerate prime-ish cubes via the satisfying paths of the BDD.
+    stack: List[Tuple[int, List[str]]] = [(node, [])]
+    while stack:
+        current, literals = stack.pop()
+        if current == bdd.false:
+            continue
+        if current == bdd.true:
+            cubes.append(" & ".join(literals) if literals else "true")
+            if len(cubes) > limit:
+                raise BDDError("expression would exceed %d cubes" % limit)
+            continue
+        var = bdd.node_var(current)
+        name = bdd.var_name(var)
+        lo, hi = bdd.node_children(current)
+        stack.append((lo, literals + ["!" + name]))
+        stack.append((hi, literals + [name]))
+    return " | ".join("(%s)" % cube for cube in cubes)

@@ -1,0 +1,194 @@
+"""Ergonomic, reference-managed wrapper around raw BDD node handles.
+
+The algorithm layers of this package work on raw integer handles for speed
+and manage garbage-collection roots explicitly.  :class:`Function` is the
+public-facing convenience layer: it pins its node with an external
+reference for its lifetime and overloads the Boolean operators.
+
+>>> from repro.bdd import BDD, Function
+>>> bdd = BDD(["a", "b"])
+>>> a, b = Function.var(bdd, "a"), Function.var(bdd, "b")
+>>> f = a & ~b
+>>> f.evaluate(a=True, b=False)
+True
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+class Function:
+    """A Boolean function: a BDD manager plus a pinned node handle."""
+
+    __slots__ = ("bdd", "node")
+
+    def __init__(self, bdd, node: int) -> None:
+        self.bdd = bdd
+        self.node = node
+        bdd.incref(node)
+
+    def __del__(self) -> None:
+        try:
+            self.bdd.decref(self.node)
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def var(cls, bdd, name) -> "Function":
+        """The positive literal of variable ``name``."""
+        return cls(bdd, bdd.var(name))
+
+    @classmethod
+    def true(cls, bdd) -> "Function":
+        """The constant TRUE function."""
+        return cls(bdd, bdd.true)
+
+    @classmethod
+    def false(cls, bdd) -> "Function":
+        """The constant FALSE function."""
+        return cls(bdd, bdd.false)
+
+    def _wrap(self, node: int) -> "Function":
+        return Function(self.bdd, node)
+
+    def _node_of(self, other) -> int:
+        if isinstance(other, Function):
+            if other.bdd is not self.bdd:
+                raise ValueError("mixing functions from different managers")
+            return other.node
+        if other is True:
+            return self.bdd.true
+        if other is False:
+            return self.bdd.false
+        raise TypeError("expected Function or bool, got %r" % (other,))
+
+    # -- operators --------------------------------------------------------
+
+    def __invert__(self) -> "Function":
+        return self._wrap(self.bdd.not_(self.node))
+
+    def __and__(self, other) -> "Function":
+        return self._wrap(self.bdd.and_(self.node, self._node_of(other)))
+
+    __rand__ = __and__
+
+    def __or__(self, other) -> "Function":
+        return self._wrap(self.bdd.or_(self.node, self._node_of(other)))
+
+    __ror__ = __or__
+
+    def __xor__(self, other) -> "Function":
+        return self._wrap(self.bdd.xor(self.node, self._node_of(other)))
+
+    __rxor__ = __xor__
+
+    def implies(self, other) -> "Function":
+        """Implication ``self -> other``."""
+        return self._wrap(self.bdd.implies(self.node, self._node_of(other)))
+
+    def equiv(self, other) -> "Function":
+        """Equivalence ``self <-> other``."""
+        return self._wrap(self.bdd.equiv(self.node, self._node_of(other)))
+
+    def ite(self, then, otherwise) -> "Function":
+        """If-then-else with ``self`` as the condition."""
+        return self._wrap(
+            self.bdd.ite(
+                self.node, self._node_of(then), self._node_of(otherwise)
+            )
+        )
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Function):
+            return self.bdd is other.bdd and self.node == other.node
+        if isinstance(other, bool):
+            return self.node == (self.bdd.true if other else self.bdd.false)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((id(self.bdd), self.node))
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "Function truth value is ambiguous; use .is_true()/.is_false()"
+        )
+
+    # -- queries ----------------------------------------------------------
+
+    def is_true(self) -> bool:
+        """True iff this is the constant TRUE function."""
+        return self.node == self.bdd.true
+
+    def is_false(self) -> bool:
+        """True iff this is the constant FALSE function."""
+        return self.node == self.bdd.false
+
+    def evaluate(self, **assignment: bool) -> bool:
+        """Evaluate under a keyword assignment of variable names."""
+        return self.bdd.evaluate(self.node, assignment)
+
+    def support(self) -> List[str]:
+        """Names of the variables this function depends on."""
+        return self.bdd.support_names(self.node)
+
+    def dag_size(self) -> int:
+        """Node count of this function's BDD."""
+        return self.bdd.dag_size(self.node)
+
+    def sat_count(self, over: Optional[Iterable] = None) -> int:
+        """Number of satisfying assignments (see ``BDD.sat_count``)."""
+        return self.bdd.sat_count(self.node, over)
+
+    def pick_model(self) -> Optional[Dict[str, bool]]:
+        """One satisfying assignment, or ``None``."""
+        return self.bdd.pick_model(self.node)
+
+    def iter_models(self) -> Iterator[Dict[str, bool]]:
+        """All satisfying assignments over the support."""
+        return self.bdd.iter_models(self.node)
+
+    # -- transformations ---------------------------------------------------
+
+    def exists(self, *variables) -> "Function":
+        """Existentially quantify the named variables."""
+        return self._wrap(self.bdd.exists(variables, self.node))
+
+    def forall(self, *variables) -> "Function":
+        """Universally quantify the named variables."""
+        return self._wrap(self.bdd.forall(variables, self.node))
+
+    def cofactor(self, **assignment: bool) -> "Function":
+        """Shannon cofactor by the keyword literal assignment."""
+        return self._wrap(self.bdd.cofactor_cube(self.node, assignment))
+
+    def compose(self, var, other) -> "Function":
+        """Substitute ``other`` for variable ``var``."""
+        return self._wrap(
+            self.bdd.compose(self.node, var, self._node_of(other))
+        )
+
+    def rename(self, var_map: Dict) -> "Function":
+        """Rename variables according to ``var_map``."""
+        return self._wrap(self.bdd.rename(self.node, var_map))
+
+    def constrain(self, care) -> "Function":
+        """Generalized cofactor w.r.t. the care set."""
+        return self._wrap(self.bdd.constrain(self.node, self._node_of(care)))
+
+    def restrict(self, care) -> "Function":
+        """Coudert-Madre restrict w.r.t. the care set."""
+        return self._wrap(self.bdd.restrict(self.node, self._node_of(care)))
+
+    def to_dot(self, name: str = "bdd") -> str:
+        """Graphviz DOT rendering."""
+        return self.bdd.to_dot(self.node, name)
+
+    def __repr__(self) -> str:
+        if self.node == 0:
+            return "Function(FALSE)"
+        if self.node == 1:
+            return "Function(TRUE)"
+        return "Function(node=%d, vars=%s)" % (self.node, self.support())

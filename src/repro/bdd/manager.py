@@ -1,0 +1,560 @@
+"""Reduced Ordered Binary Decision Diagram (ROBDD) manager.
+
+This module provides the node store and bookkeeping for the BDD substrate
+used throughout the reproduction: a unique table per variable (guaranteeing
+canonicity), a computed-table cache shared by all operations, external
+reference counting with mark-and-sweep garbage collection, and the live /
+allocated node accounting that backs the "peak live BDD nodes" statistics
+reported in the paper's Table 2.
+
+Nodes are plain integers indexing parallel arrays; ``0`` is the constant
+FALSE and ``1`` the constant TRUE.  The manager stores, for every node, its
+*variable index* (not its level); a separate ``var -> level`` permutation
+supports dynamic reordering (see :mod:`repro.bdd.ordering`), which rewrites
+nodes **in place** so that user-held node handles survive reorders.
+
+The actual algorithms (apply, quantification, composition, cofactoring,
+traversal, reordering) live in sibling modules and are re-exported here as
+methods for ergonomic use:
+
+>>> bdd = BDD(["a", "b"])
+>>> a, b = bdd.var("a"), bdd.var("b")
+>>> f = bdd.and_(a, bdd.not_(b))
+>>> bdd.evaluate(f, {"a": True, "b": False})
+True
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..errors import BDDError, VariableError
+from . import cofactor as _cofactor
+from . import operations as _operations
+from . import ordering as _ordering
+from . import quantify as _quantify
+from . import substitute as _substitute
+from . import traversal as _traversal
+
+#: Level assigned (via the ``var2level`` sentinel trick) to terminal nodes so
+#: that they always compare below every proper variable.
+TERMINAL_LEVEL = 1 << 60
+
+#: Variable index stored for the two terminal nodes.  ``-1`` indexes the
+#: sentinel entry kept at the *end* of the ``var -> level`` array, so
+#: ``self._var2level[self._var[node]]`` is valid for terminals too.
+TERMINAL_VAR = -1
+
+#: Variable index marking a node slot that is currently on the free list.
+FREED_VAR = -2
+
+VarLike = Union[int, str]
+
+
+class BDD:
+    """A reduced ordered BDD manager.
+
+    Parameters
+    ----------
+    var_names:
+        Optional iterable of variable names declared up front, in order
+        (first name gets the topmost level).  More variables can be added
+        later with :meth:`add_var`.
+    """
+
+    #: Node handle of the constant FALSE function.
+    false = 0
+    #: Node handle of the constant TRUE function.
+    true = 1
+
+    def __init__(self, var_names: Iterable[str] = ()) -> None:
+        # Parallel per-node arrays.  Slots 0/1 are the terminals.
+        self._var: List[int] = [TERMINAL_VAR, TERMINAL_VAR]
+        self._lo: List[int] = [0, 1]
+        self._hi: List[int] = [0, 1]
+        # Unique table: one dict per variable mapping (lo, hi) -> node.
+        self._unique: List[Dict[Tuple[int, int], int]] = []
+        # Variable naming and ordering.
+        self._names: List[str] = []
+        self._name2var: Dict[str, int] = {}
+        self._level2var: List[int] = []
+        # Note the trailing sentinel: ``self._var2level[-1]`` must always be
+        # TERMINAL_LEVEL so terminal nodes (var == -1) sort below all vars.
+        self._var2level: List[int] = [TERMINAL_LEVEL]
+        # Free slots available for reuse after garbage collection.
+        self._free: List[int] = []
+        # External references (node -> count); the GC roots.
+        self._extref: Dict[int, int] = {}
+        # Computed table shared by all operations; cleared at GC time.
+        self._cache: Dict[tuple, int] = {}
+        # Statistics.
+        self.peak_nodes = 2
+        self.peak_live = 2
+        self.op_count = 0
+        self.gc_count = 0
+        self.gc_threshold = 200_000
+        self._nodes_at_last_gc = 2
+        #: Optional hard ceiling on allocated nodes; exceeding it raises
+        #: ResourceLimitError("memory") from inside node creation, so
+        #: run-away operations abort promptly (the paper's M.O.).
+        self.node_limit: Optional[int] = None
+        for name in var_names:
+            self.add_var(name)
+
+    # ------------------------------------------------------------------
+    # Variables and ordering
+    # ------------------------------------------------------------------
+
+    def add_var(self, name: Optional[str] = None) -> int:
+        """Declare a new variable at the bottom of the current order.
+
+        Returns the variable index.  ``name`` defaults to ``x<index>``.
+        """
+        var = len(self._names)
+        if name is None:
+            name = "x%d" % var
+        if name in self._name2var:
+            raise VariableError("variable %r already declared" % name)
+        self._names.append(name)
+        self._name2var[name] = var
+        self._unique.append({})
+        level = len(self._level2var)
+        self._level2var.append(var)
+        # Insert before the trailing sentinel.
+        self._var2level.insert(var, level)
+        return var
+
+    def add_vars(self, names: Iterable[str]) -> List[int]:
+        """Declare several variables at once; returns their indices."""
+        return [self.add_var(name) for name in names]
+
+    @property
+    def num_vars(self) -> int:
+        """Number of declared variables."""
+        return len(self._names)
+
+    def var_index(self, var: VarLike) -> int:
+        """Resolve a variable name or index to its index."""
+        if isinstance(var, str):
+            try:
+                return self._name2var[var]
+            except KeyError:
+                raise VariableError("unknown variable %r" % var) from None
+        if not 0 <= var < len(self._names):
+            raise VariableError("unknown variable index %d" % var)
+        return var
+
+    def var_name(self, var: int) -> str:
+        """Name of variable ``var``."""
+        return self._names[self.var_index(var)]
+
+    def var(self, var: VarLike) -> int:
+        """Return the node for the positive literal of ``var``."""
+        return self._mk(self.var_index(var), 0, 1)
+
+    def nvar(self, var: VarLike) -> int:
+        """Return the node for the negative literal of ``var``."""
+        return self._mk(self.var_index(var), 1, 0)
+
+    def level_of(self, var: VarLike) -> int:
+        """Current level (position in the order) of ``var``."""
+        return self._var2level[self.var_index(var)]
+
+    def var_at_level(self, level: int) -> int:
+        """Variable currently placed at ``level``."""
+        return self._level2var[level]
+
+    @property
+    def order(self) -> List[int]:
+        """Current variable order, top level first."""
+        return list(self._level2var)
+
+    @property
+    def order_names(self) -> List[str]:
+        """Current variable order as names, top level first."""
+        return [self._names[v] for v in self._level2var]
+
+    def node_var(self, node: int) -> int:
+        """Variable index labelling ``node`` (terminals raise)."""
+        if node < 2:
+            raise BDDError("terminal nodes have no variable")
+        return self._var[node]
+
+    def node_children(self, node: int) -> Tuple[int, int]:
+        """``(lo, hi)`` children of ``node`` (terminals raise)."""
+        if node < 2:
+            raise BDDError("terminal nodes have no children")
+        return self._lo[node], self._hi[node]
+
+    def is_terminal(self, node: int) -> bool:
+        """True iff ``node`` is one of the constants."""
+        return node < 2
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+
+    def _mk(self, var: int, lo: int, hi: int) -> int:
+        """Find-or-create the node ``(var, lo, hi)`` (the unique-table hook).
+
+        Callers must guarantee that ``var`` lies strictly above the top
+        variables of ``lo`` and ``hi`` in the current order.
+        """
+        if lo == hi:
+            return lo
+        tab = self._unique[var]
+        key = (lo, hi)
+        node = tab.get(key)
+        if node is not None:
+            return node
+        free = self._free
+        if free:
+            node = free.pop()
+            self._var[node] = var
+            self._lo[node] = lo
+            self._hi[node] = hi
+        else:
+            node = len(self._var)
+            self._var.append(var)
+            self._lo.append(lo)
+            self._hi.append(hi)
+        tab[key] = node
+        size = len(self._var) - len(free)
+        if size > self.peak_nodes:
+            self.peak_nodes = size
+        if self.node_limit is not None and size > self.node_limit:
+            from ..errors import ResourceLimitError
+
+            raise ResourceLimitError(
+                "memory", "allocated nodes %d exceed limit" % size
+            )
+        return node
+
+    def cube(self, assignment: Dict[VarLike, bool]) -> int:
+        """Node for the conjunction of literals given by ``assignment``."""
+        items = sorted(
+            ((self.var_index(v), bool(val)) for v, val in assignment.items()),
+            key=lambda item: self._var2level[item[0]],
+            reverse=True,
+        )
+        node = 1
+        for var, val in items:
+            node = self._mk(var, 0, node) if val else self._mk(var, node, 0)
+        return node
+
+    # ------------------------------------------------------------------
+    # Reference counting and garbage collection
+    # ------------------------------------------------------------------
+
+    def incref(self, node: int) -> int:
+        """Protect ``node`` (and its descendants) from garbage collection."""
+        if node > 1:
+            self._extref[node] = self._extref.get(node, 0) + 1
+        return node
+
+    def decref(self, node: int) -> None:
+        """Drop one external reference previously taken with :meth:`incref`."""
+        if node <= 1:
+            return
+        count = self._extref.get(node, 0)
+        if count <= 1:
+            self._extref.pop(node, None)
+        else:
+            self._extref[node] = count - 1
+
+    def _mark(self, extra_roots: Sequence[int]) -> bytearray:
+        """Mark every node reachable from the external refs + extras."""
+        marked = bytearray(len(self._var))
+        marked[0] = marked[1] = 1
+        stack = [n for n in self._extref]
+        stack.extend(extra_roots)
+        lo, hi = self._lo, self._hi
+        while stack:
+            n = stack.pop()
+            if n < 2 or marked[n]:
+                continue
+            marked[n] = 1
+            stack.append(lo[n])
+            stack.append(hi[n])
+        return marked
+
+    def collect_garbage(self, roots: Sequence[int] = ()) -> int:
+        """Reclaim all nodes unreachable from external refs and ``roots``.
+
+        Returns the number of nodes freed.  The computed table is cleared
+        (it may reference dead nodes).  Node handles of live nodes are
+        unaffected.
+        """
+        self._cache.clear()
+        marked = self._mark(roots)
+        var_, lo_, hi_ = self._var, self._lo, self._hi
+        unique, free = self._unique, self._free
+        freed = 0
+        for n in range(2, len(var_)):
+            v = var_[n]
+            if v == FREED_VAR or marked[n]:
+                continue
+            del unique[v][(lo_[n], hi_[n])]
+            var_[n] = FREED_VAR
+            free.append(n)
+            freed += 1
+        self.gc_count += 1
+        self._nodes_at_last_gc = len(var_) - len(free)
+        return freed
+
+    def maybe_collect(self, roots: Sequence[int] = ()) -> int:
+        """Run GC if allocation grew past the threshold since the last GC."""
+        size = len(self._var) - len(self._free)
+        if size - self._nodes_at_last_gc >= self.gc_threshold:
+            return self.collect_garbage(roots)
+        return 0
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of allocated (possibly dead-but-uncollected) nodes."""
+        return len(self._var) - len(self._free)
+
+    def count_live(self, roots: Sequence[int] = ()) -> int:
+        """Count nodes reachable from external refs and ``roots``.
+
+        Also updates :attr:`peak_live`, the statistic reported as the
+        paper's "peak live BDD node count" analogue.
+        """
+        live = sum(self._mark(roots))
+        if live > self.peak_live:
+            self.peak_live = live
+        return live
+
+    def reset_peak(self) -> None:
+        """Reset peak statistics (e.g. between benchmark runs)."""
+        self.peak_live = self.count_live()
+        self.peak_nodes = self.num_nodes
+
+    def clear_cache(self) -> None:
+        """Drop the computed table (automatic at GC and reorder time)."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Boolean operations (delegated to the algorithm modules)
+    # ------------------------------------------------------------------
+
+    def not_(self, f: int) -> int:
+        """Negation ``NOT f``."""
+        self.op_count += 1
+        return _operations.not_(self, f)
+
+    def and_(self, f: int, g: int) -> int:
+        """Conjunction ``f AND g``."""
+        self.op_count += 1
+        return _operations.and_(self, f, g)
+
+    def or_(self, f: int, g: int) -> int:
+        """Disjunction ``f OR g``."""
+        self.op_count += 1
+        return _operations.or_(self, f, g)
+
+    def xor(self, f: int, g: int) -> int:
+        """Exclusive or ``f XOR g``."""
+        self.op_count += 1
+        return _operations.xor(self, f, g)
+
+    def equiv(self, f: int, g: int) -> int:
+        """Equivalence ``f XNOR g``."""
+        self.op_count += 1
+        return _operations.not_(self, _operations.xor(self, f, g))
+
+    def implies(self, f: int, g: int) -> int:
+        """Implication ``f -> g``."""
+        self.op_count += 1
+        return _operations.or_(self, _operations.not_(self, f), g)
+
+    def diff(self, f: int, g: int) -> int:
+        """Difference ``f AND NOT g``."""
+        self.op_count += 1
+        return _operations.and_(self, f, _operations.not_(self, g))
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else ``(f AND g) OR (NOT f AND h)``."""
+        self.op_count += 1
+        return _operations.ite(self, f, g, h)
+
+    def conjoin(self, nodes: Iterable[int]) -> int:
+        """Conjunction of all ``nodes`` (TRUE for an empty iterable)."""
+        result = 1
+        for node in nodes:
+            result = _operations.and_(self, result, node)
+            if result == 0:
+                break
+        return result
+
+    def disjoin(self, nodes: Iterable[int]) -> int:
+        """Disjunction of all ``nodes`` (FALSE for an empty iterable)."""
+        result = 0
+        for node in nodes:
+            result = _operations.or_(self, result, node)
+            if result == 1:
+                break
+        return result
+
+    # -- quantification -------------------------------------------------
+
+    def exists(self, variables: Iterable[VarLike], f: int) -> int:
+        """Existential quantification of ``variables`` from ``f``."""
+        self.op_count += 1
+        return _quantify.exists(self, f, self._resolve_vars(variables))
+
+    def forall(self, variables: Iterable[VarLike], f: int) -> int:
+        """Universal quantification of ``variables`` from ``f``."""
+        self.op_count += 1
+        return _quantify.forall(self, f, self._resolve_vars(variables))
+
+    def and_exists(self, f: int, g: int, variables: Iterable[VarLike]) -> int:
+        """Relational product ``EXISTS variables . f AND g`` (fused)."""
+        self.op_count += 1
+        return _quantify.and_exists(self, f, g, self._resolve_vars(variables))
+
+    def _resolve_vars(self, variables: Iterable[VarLike]) -> List[int]:
+        return [self.var_index(v) for v in variables]
+
+    # -- substitution ---------------------------------------------------
+
+    def compose(self, f: int, var: VarLike, g: int) -> int:
+        """Substitute function ``g`` for variable ``var`` in ``f``."""
+        self.op_count += 1
+        return _substitute.compose(self, f, self.var_index(var), g)
+
+    def vector_compose(self, f: int, mapping: Dict[VarLike, int]) -> int:
+        """Simultaneously substitute ``mapping[var]`` for each ``var``."""
+        resolved = {self.var_index(v): g for v, g in mapping.items()}
+        self.op_count += 1
+        return _substitute.vector_compose(self, f, resolved)
+
+    def rename(self, f: int, var_map: Dict[VarLike, VarLike]) -> int:
+        """Rename variables of ``f`` according to ``var_map``."""
+        resolved = {
+            self.var_index(old): self.var_index(new)
+            for old, new in var_map.items()
+        }
+        return _substitute.rename(self, f, resolved)
+
+    # -- cofactoring ----------------------------------------------------
+
+    def cofactor(self, f: int, var: VarLike, value: bool) -> int:
+        """Shannon cofactor of ``f`` with respect to ``var = value``."""
+        self.op_count += 1
+        return _cofactor.cofactor(self, f, self.var_index(var), bool(value))
+
+    def cofactor_cube(self, f: int, assignment: Dict[VarLike, bool]) -> int:
+        """Cofactor of ``f`` by a conjunction of literals."""
+        resolved = {
+            self.var_index(v): bool(val) for v, val in assignment.items()
+        }
+        self.op_count += 1
+        return _cofactor.cofactor_cube(self, f, resolved)
+
+    def constrain(self, f: int, c: int) -> int:
+        """Generalized cofactor (the BDD ``constrain`` operator)."""
+        self.op_count += 1
+        return _cofactor.constrain(self, f, c)
+
+    def restrict(self, f: int, c: int) -> int:
+        """Coudert-Madre ``restrict``: minimize ``f`` w.r.t. care set ``c``."""
+        self.op_count += 1
+        return _cofactor.restrict(self, f, c)
+
+    # -- traversal / inspection ------------------------------------------
+
+    def support(self, f: int) -> List[int]:
+        """Variables ``f`` depends on, sorted by current level."""
+        return _traversal.support(self, f)
+
+    def support_names(self, f: int) -> List[str]:
+        """Like :meth:`support` but returning names."""
+        return [self._names[v] for v in _traversal.support(self, f)]
+
+    def dag_size(self, f: int) -> int:
+        """Number of nodes in the BDD rooted at ``f`` (incl. terminals)."""
+        return _traversal.dag_size(self, f)
+
+    def shared_size(self, nodes: Iterable[int]) -> int:
+        """Number of nodes in the shared DAG of all ``nodes``.
+
+        This is the paper's "shared size of all the components" metric
+        used in Table 3 for Boolean functional vectors.
+        """
+        return _traversal.shared_size(self, nodes)
+
+    def evaluate(self, f: int, assignment: Dict[VarLike, bool]) -> bool:
+        """Evaluate ``f`` under a (complete-enough) variable assignment."""
+        resolved = {
+            self.var_index(v): bool(val) for v, val in assignment.items()
+        }
+        return _traversal.evaluate(self, f, resolved)
+
+    def sat_count(self, f: int, over: Optional[Iterable[VarLike]] = None) -> int:
+        """Number of satisfying assignments over a variable set.
+
+        ``over`` defaults to all declared variables and must cover the
+        support of ``f``.
+        """
+        resolved = None if over is None else [self.var_index(v) for v in over]
+        return _traversal.sat_count(self, f, resolved)
+
+    def pick_model(self, f: int, care_vars: Iterable[VarLike] = ()) -> Optional[Dict[str, bool]]:
+        """One satisfying assignment of ``f`` (None if unsatisfiable)."""
+        care = [self.var_index(v) for v in care_vars]
+        return _traversal.pick_model(self, f, care)
+
+    def iter_models(self, f: int, care_vars: Iterable[VarLike] = ()) -> Iterator[Dict[str, bool]]:
+        """Iterate over all satisfying assignments (complete over care set)."""
+        care = [self.var_index(v) for v in care_vars]
+        return _traversal.iter_models(self, f, care)
+
+    # -- dynamic reordering ----------------------------------------------
+
+    def swap_levels(self, level: int) -> None:
+        """Swap the variables at ``level`` and ``level + 1`` in place."""
+        _ordering.swap_adjacent(self, level)
+
+    def reorder_to(self, order: Sequence[VarLike]) -> None:
+        """Reorder variables to match ``order`` (top level first)."""
+        _ordering.reorder_to(self, [self.var_index(v) for v in order])
+
+    def sift(self, max_growth: float = 1.2, max_vars: Optional[int] = None) -> int:
+        """Run Rudell-style sifting; returns the resulting live node count."""
+        return _ordering.sift(self, max_growth=max_growth, max_vars=max_vars)
+
+    # -- misc -------------------------------------------------------------
+
+    def to_dot(self, f: int, name: str = "bdd") -> str:
+        """Graphviz DOT rendering of the BDD rooted at ``f``."""
+        from . import dot as _dot
+
+        return _dot.to_dot(self, f, name)
+
+    def check_invariants(self) -> None:
+        """Validate internal structure (tests / debugging aid)."""
+        var2level = self._var2level
+        if var2level[-1] != TERMINAL_LEVEL:
+            raise BDDError("var2level sentinel lost")
+        for level, var in enumerate(self._level2var):
+            if var2level[var] != level:
+                raise BDDError("level permutation inconsistent")
+        for var, tab in enumerate(self._unique):
+            for (lo, hi), n in tab.items():
+                if lo == hi:
+                    raise BDDError("redundant node %d in unique table" % n)
+                if self._var[n] != var or self._lo[n] != lo or self._hi[n] != hi:
+                    raise BDDError("unique table out of sync at node %d" % n)
+                for child in (lo, hi):
+                    if child > 1 and (
+                        var2level[self._var[child]] <= var2level[var]
+                    ):
+                        raise BDDError("ordering violated at node %d" % n)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<BDD vars=%d nodes=%d live_refs=%d>" % (
+            self.num_vars,
+            self.num_nodes,
+            len(self._extref),
+        )

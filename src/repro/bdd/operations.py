@@ -1,0 +1,181 @@
+"""Core Boolean operations on BDD nodes: NOT, AND, OR, XOR and ITE.
+
+These are the classic Bryant ``apply`` recursions with a shared computed
+table (``manager._cache``).  The binary operations normalize commutative
+operand order to improve cache hit rates, and the hot paths read the
+manager's parallel arrays into locals.
+
+All functions take the manager as the first argument and raw integer node
+handles; they are re-exported as methods on :class:`repro.bdd.manager.BDD`.
+"""
+
+from __future__ import annotations
+
+
+def not_(m, f: int) -> int:
+    """Negation of ``f``."""
+    if f < 2:
+        return f ^ 1
+    cache = m._cache
+    key = ("!", f)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    result = m._mk(m._var[f], not_(m, m._lo[f]), not_(m, m._hi[f]))
+    cache[key] = result
+    # Negation is an involution; seed the reverse entry for free.
+    cache[("!", result)] = f
+    return result
+
+
+def and_(m, f: int, g: int) -> int:
+    """Conjunction of ``f`` and ``g``."""
+    if f == g:
+        return f
+    if f > g:
+        f, g = g, f
+    if f == 0:
+        return 0
+    if f == 1:
+        return g
+    cache = m._cache
+    key = ("&", f, g)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
+    lf = lvl[var_[f]]
+    lg = lvl[var_[g]]
+    if lf <= lg:
+        v = var_[f]
+        f0, f1 = lo_[f], hi_[f]
+    else:
+        v = var_[g]
+        f0 = f1 = f
+    if lg <= lf:
+        g0, g1 = lo_[g], hi_[g]
+    else:
+        g0 = g1 = g
+    result = m._mk(v, and_(m, f0, g0), and_(m, f1, g1))
+    cache[key] = result
+    return result
+
+
+def or_(m, f: int, g: int) -> int:
+    """Disjunction of ``f`` and ``g``."""
+    if f == g:
+        return f
+    if f > g:
+        f, g = g, f
+    if f == 1:
+        return 1
+    if f == 0:
+        return g
+    cache = m._cache
+    key = ("|", f, g)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
+    lf = lvl[var_[f]]
+    lg = lvl[var_[g]]
+    if lf <= lg:
+        v = var_[f]
+        f0, f1 = lo_[f], hi_[f]
+    else:
+        v = var_[g]
+        f0 = f1 = f
+    if lg <= lf:
+        g0, g1 = lo_[g], hi_[g]
+    else:
+        g0 = g1 = g
+    result = m._mk(v, or_(m, f0, g0), or_(m, f1, g1))
+    cache[key] = result
+    return result
+
+
+def xor(m, f: int, g: int) -> int:
+    """Exclusive-or of ``f`` and ``g``."""
+    if f == g:
+        return 0
+    if f > g:
+        f, g = g, f
+    if f == 0:
+        return g
+    if f == 1:
+        return not_(m, g)
+    cache = m._cache
+    key = ("^", f, g)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
+    lf = lvl[var_[f]]
+    lg = lvl[var_[g]]
+    if lf <= lg:
+        v = var_[f]
+        f0, f1 = lo_[f], hi_[f]
+    else:
+        v = var_[g]
+        f0 = f1 = f
+    if lg <= lf:
+        g0, g1 = lo_[g], hi_[g]
+    else:
+        g0 = g1 = g
+    result = m._mk(v, xor(m, f0, g0), xor(m, f1, g1))
+    cache[key] = result
+    return result
+
+
+def ite(m, f: int, g: int, h: int) -> int:
+    """If-then-else: ``(f AND g) OR (NOT f AND h)``.
+
+    Applies the standard terminal simplifications before recursing, and
+    falls back to the two-operand operations where possible so their
+    (better-shared) cache entries are reused.
+    """
+    if f == 1:
+        return g
+    if f == 0:
+        return h
+    if g == h:
+        return g
+    if g == 1 and h == 0:
+        return f
+    if g == 0 and h == 1:
+        return not_(m, f)
+    if g == 1:
+        return or_(m, f, h)
+    if h == 0:
+        return and_(m, f, g)
+    if g == 0:
+        return and_(m, not_(m, f), h)
+    if h == 1:
+        return or_(m, not_(m, f), g)
+    if f == g:
+        return or_(m, f, h)
+    if f == h:
+        return and_(m, f, g)
+    cache = m._cache
+    key = ("?", f, g, h)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
+    level = min(lvl[var_[f]], lvl[var_[g]], lvl[var_[h]])
+    v = m._level2var[level]
+    if var_[f] == v:
+        f0, f1 = lo_[f], hi_[f]
+    else:
+        f0 = f1 = f
+    if g > 1 and var_[g] == v:
+        g0, g1 = lo_[g], hi_[g]
+    else:
+        g0 = g1 = g
+    if h > 1 and var_[h] == v:
+        h0, h1 = lo_[h], hi_[h]
+    else:
+        h0 = h1 = h
+    result = m._mk(v, ite(m, f0, g0, h0), ite(m, f1, g1, h1))
+    cache[key] = result
+    return result

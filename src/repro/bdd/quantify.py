@@ -1,0 +1,156 @@
+"""Quantification over BDDs: EXISTS, FORALL and the fused relational product.
+
+``and_exists`` implements ``EXISTS V . f AND g`` in a single recursion with
+early termination — the workhorse of image computation in the
+characteristic-function (VIS/IWLS95-style) reachability baseline.
+
+Quantified variable sets are normalized to tuples sorted by *current level*
+so that the recursion can drop variables that can no longer occur, and so
+cache keys are canonical.  The computed results are plain functions and thus
+remain valid across reorders; the caches are nevertheless cleared on reorder
+and GC by the manager.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from . import operations as _operations
+
+
+def _sorted_cube(m, variables: Sequence[int]) -> Tuple[int, ...]:
+    """Deduplicate and sort variables by their current level."""
+    lvl = m._var2level
+    return tuple(sorted(set(variables), key=lvl.__getitem__))
+
+
+def exists(m, f: int, variables: Sequence[int]) -> int:
+    """Existentially quantify ``variables`` out of ``f``."""
+    cube = _sorted_cube(m, variables)
+    if not cube or f < 2:
+        return f
+    return _exists(m, f, cube)
+
+
+def _exists(m, f: int, cube: Tuple[int, ...]) -> int:
+    if f < 2:
+        return f
+    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
+    lf = lvl[var_[f]]
+    # Drop quantified variables that lie above f's top variable: they no
+    # longer occur in f.
+    while cube and lvl[cube[0]] < lf:
+        cube = cube[1:]
+    if not cube:
+        return f
+    cache = m._cache
+    key = ("E", f, cube)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    v = var_[f]
+    if v == cube[0]:
+        rest = cube[1:]
+        r0 = _exists(m, lo_[f], rest)
+        if r0 == 1:
+            result = 1
+        else:
+            result = _operations.or_(m, r0, _exists(m, hi_[f], rest))
+    else:
+        result = m._mk(v, _exists(m, lo_[f], cube), _exists(m, hi_[f], cube))
+    cache[key] = result
+    return result
+
+
+def forall(m, f: int, variables: Sequence[int]) -> int:
+    """Universally quantify ``variables`` out of ``f``."""
+    cube = _sorted_cube(m, variables)
+    if not cube or f < 2:
+        return f
+    return _forall(m, f, cube)
+
+
+def _forall(m, f: int, cube: Tuple[int, ...]) -> int:
+    if f < 2:
+        return f
+    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
+    lf = lvl[var_[f]]
+    while cube and lvl[cube[0]] < lf:
+        cube = cube[1:]
+    if not cube:
+        return f
+    cache = m._cache
+    key = ("A", f, cube)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    v = var_[f]
+    if v == cube[0]:
+        rest = cube[1:]
+        r0 = _forall(m, lo_[f], rest)
+        if r0 == 0:
+            result = 0
+        else:
+            result = _operations.and_(m, r0, _forall(m, hi_[f], rest))
+    else:
+        result = m._mk(v, _forall(m, lo_[f], cube), _forall(m, hi_[f], cube))
+    cache[key] = result
+    return result
+
+
+def and_exists(m, f: int, g: int, variables: Sequence[int]) -> int:
+    """Relational product: ``EXISTS variables . f AND g`` in one pass."""
+    cube = _sorted_cube(m, variables)
+    if not cube:
+        return _operations.and_(m, f, g)
+    return _and_exists(m, f, g, cube)
+
+
+def _and_exists(m, f: int, g: int, cube: Tuple[int, ...]) -> int:
+    if f == 0 or g == 0:
+        return 0
+    if f == 1 and g == 1:
+        return 1
+    if f == 1:
+        return _exists(m, g, cube)
+    if g == 1:
+        return _exists(m, f, cube)
+    if f == g:
+        return _exists(m, f, cube)
+    if f > g:
+        f, g = g, f
+    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
+    lf = lvl[var_[f]]
+    lg = lvl[var_[g]]
+    top = lf if lf <= lg else lg
+    while cube and lvl[cube[0]] < top:
+        cube = cube[1:]
+    if not cube:
+        return _operations.and_(m, f, g)
+    cache = m._cache
+    key = ("AE", f, g, cube)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    v = m._level2var[top]
+    if var_[f] == v:
+        f0, f1 = lo_[f], hi_[f]
+    else:
+        f0 = f1 = f
+    if var_[g] == v:
+        g0, g1 = lo_[g], hi_[g]
+    else:
+        g0 = g1 = g
+    if v == cube[0]:
+        rest = cube[1:]
+        r0 = _and_exists(m, f0, g0, rest)
+        if r0 == 1:
+            result = 1
+        else:
+            result = _operations.or_(m, r0, _and_exists(m, f1, g1, rest))
+    else:
+        result = m._mk(
+            v, _and_exists(m, f0, g0, cube), _and_exists(m, f1, g1, cube)
+        )
+    cache[key] = result
+    return result

@@ -1,0 +1,134 @@
+"""Functional composition and variable renaming on BDDs.
+
+``compose`` substitutes one function for one variable; ``vector_compose``
+performs a *simultaneous* substitution of several functions — the primitive
+behind the Boolean-functional-vector intersection's final normalization pass
+(paper Sec 2.4) and the characteristic-function parameterization.
+
+``rename`` maps variables to variables; it detects the common
+order-compatible case (every renamed variable keeps its relative level
+position and target variables do not collide with the support) and then uses
+a fast structural rebuild, falling back to general composition otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from . import operations as _operations
+from . import traversal as _traversal
+
+
+def compose(m, f: int, var: int, g: int) -> int:
+    """Substitute function ``g`` for variable ``var`` in ``f``."""
+    if f < 2:
+        return f
+    cache = m._cache
+    key = ("C", f, var, g)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
+    lf = lvl[var_[f]]
+    lv = lvl[var]
+    if lf > lv:
+        result = f
+    elif var_[f] == var:
+        result = _operations.ite(m, g, hi_[f], lo_[f])
+    else:
+        r0 = compose(m, lo_[f], var, g)
+        r1 = compose(m, hi_[f], var, g)
+        # Children may now contain variables above f's own variable (g can
+        # reference anything), so rebuild with ITE instead of _mk.
+        v_node = m._mk(var_[f], 0, 1)
+        result = _operations.ite(m, v_node, r1, r0)
+    cache[key] = result
+    return result
+
+
+def vector_compose(m, f: int, mapping: Dict[int, int]) -> int:
+    """Simultaneously substitute ``mapping[var]`` for each variable.
+
+    Variables absent from ``mapping`` are left untouched.  The substitution
+    is simultaneous: replacement functions are *not* themselves rewritten,
+    even if they mention variables that also appear as mapping keys.
+    """
+    if f < 2 or not mapping:
+        return f
+    lvl = m._var2level
+    max_level = max(lvl[v] for v in mapping)
+    # Per-call memo table: mapping dicts are not hashable and results
+    # depend on the whole mapping, so a shared cache key would be awkward.
+    memo: Dict[int, int] = {}
+    return _vector_compose(m, f, mapping, max_level, memo)
+
+
+def _vector_compose(
+    m, f: int, mapping: Dict[int, int], max_level: int, memo: Dict[int, int]
+) -> int:
+    if f < 2:
+        return f
+    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
+    v = var_[f]
+    if lvl[v] > max_level:
+        # No mapped variable can occur at or below this node.
+        return f
+    cached = memo.get(f)
+    if cached is not None:
+        return cached
+    r0 = _vector_compose(m, lo_[f], mapping, max_level, memo)
+    r1 = _vector_compose(m, hi_[f], mapping, max_level, memo)
+    g = mapping.get(v)
+    if g is None:
+        g = m._mk(v, 0, 1)
+    result = _operations.ite(m, g, r1, r0)
+    memo[f] = result
+    return result
+
+
+def rename(m, f: int, var_map: Dict[int, int]) -> int:
+    """Rename variables of ``f``: each key variable becomes its value.
+
+    Uses a fast monotone rebuild when the renaming preserves the relative
+    order of the support and introduces no collisions; otherwise falls back
+    to simultaneous composition with literal nodes.
+    """
+    if f < 2 or not var_map:
+        return f
+    support = set(_traversal.support(m, f))
+    effective = {v: w for v, w in var_map.items() if v in support and v != w}
+    if not effective:
+        return f
+    lvl = m._var2level
+    targets = set(effective.values())
+    untouched = support - set(effective)
+    collision = bool(targets & untouched)
+    if not collision:
+        pairs = [
+            (lvl[v], lvl[effective.get(v, v)]) for v in support
+        ]
+        pairs.sort()
+        monotone = all(
+            pairs[i][1] < pairs[i + 1][1] for i in range(len(pairs) - 1)
+        )
+        if monotone:
+            memo: Dict[int, int] = {}
+            return _rename_monotone(m, f, effective, memo)
+    literal_map = {v: m._mk(w, 0, 1) for v, w in effective.items()}
+    return vector_compose(m, f, literal_map)
+
+
+def _rename_monotone(m, f: int, var_map: Dict[int, int], memo: Dict[int, int]) -> int:
+    if f < 2:
+        return f
+    cached = memo.get(f)
+    if cached is not None:
+        return cached
+    v = m._var[f]
+    result = m._mk(
+        var_map.get(v, v),
+        _rename_monotone(m, m._lo[f], var_map, memo),
+        _rename_monotone(m, m._hi[f], var_map, memo),
+    )
+    memo[f] = result
+    return result

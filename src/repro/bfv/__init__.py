@@ -1,0 +1,39 @@
+"""Boolean functional vectors with direct set manipulation.
+
+The primary contribution of Goel & Bryant (DATE 2003): a canonical
+vector-of-BDDs set representation with union, intersection and
+quantification algorithms that never build the characteristic function,
+plus the re-parameterization procedure that canonicalizes symbolic
+simulation outputs, and McMillan's conjunctive decomposition as the
+related constraint-view representation (Sec 2.7).
+"""
+
+from .build import constraints, from_characteristic, to_characteristic
+from .conjunctive import ConjunctiveDecomposition
+from .ops import consensus, intersect, is_subset, project, smooth, union
+from .reorder import (
+    functional_dependencies,
+    greedy_component_order,
+    reorder_components,
+)
+from .reparam import eliminate_params, reparameterize
+from .vector import BFV
+
+__all__ = [
+    "BFV",
+    "ConjunctiveDecomposition",
+    "consensus",
+    "constraints",
+    "eliminate_params",
+    "from_characteristic",
+    "functional_dependencies",
+    "greedy_component_order",
+    "intersect",
+    "is_subset",
+    "project",
+    "reorder_components",
+    "reparameterize",
+    "smooth",
+    "to_characteristic",
+    "union",
+]

@@ -1,0 +1,96 @@
+"""Conversions between characteristic functions and canonical BFVs.
+
+``from_characteristic`` is the Coudert-Berthet-Madre parameterization
+(paper Sec 2.1 / [6]): components are built heaviest-bit-first; bit ``i``
+is *free* when, given the already-selected prefix, the set contains
+extensions with both bit values, *forced* otherwise.  Greedy prefix
+matching realizes the nearest-member map because the distance weights
+decrease geometrically (``2^(n-i)`` strictly dominates all later bits).
+
+``to_characteristic`` is the Sec 2.7 observation: the canonical vector
+``F`` and the constraint view agree via
+``chi = AND_i (v_i <-> f_i)`` — each member must be a fixed point of the
+selection process.  Note we deliberately identify choice variable ``v_i``
+with the ``i``-th set variable, as the paper does, making the conversion a
+pure conjunction without renaming.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import BFVError
+from .vector import BFV
+
+
+def from_characteristic(bdd, choice_vars: Sequence[int], chi: int) -> BFV:
+    """Canonical BFV of the set ``{X over choice_vars : chi(X)}``.
+
+    ``chi`` must depend only on ``choice_vars``.  Returns the flagged
+    empty BFV when ``chi`` is unsatisfiable.
+    """
+    choice_vars = tuple(choice_vars)
+    extra = set(bdd.support(chi)) - set(choice_vars)
+    if extra:
+        raise BFVError(
+            "characteristic function depends on non-set variables: %s"
+            % sorted(bdd.var_name(v) for v in extra)
+        )
+    if chi == bdd.false:
+        return BFV.empty(bdd, choice_vars)
+    n = len(choice_vars)
+    comps: List[int] = []
+    remaining = chi
+    for i in range(n):
+        v = choice_vars[i]
+        zero = bdd.cofactor(remaining, v, False)
+        one = bdd.cofactor(remaining, v, True)
+        rest = choice_vars[i + 1:]
+        can_zero = bdd.exists(rest, zero)
+        can_one = bdd.exists(rest, one)
+        forced_one = bdd.diff(can_one, can_zero)
+        free = bdd.and_(can_one, can_zero)
+        f_i = bdd.or_(forced_one, bdd.and_(free, bdd.var(v)))
+        comps.append(f_i)
+        # Substitute the selected bit for v_i: remaining becomes the set
+        # constraint as seen through the selection made so far.
+        remaining = bdd.ite(f_i, one, zero)
+    if remaining != bdd.true:
+        raise BFVError(
+            "parameterization failed to cover the set (internal error)"
+        )
+    return BFV(bdd, choice_vars, comps, validate=False)
+
+
+def to_characteristic(vector: BFV) -> int:
+    """Characteristic function of the set over the choice variables.
+
+    ``chi = AND_i (v_i <-> f_i)``: exactly the fixed points of the
+    canonical selection map (Sec 2.7's conjunctive decomposition, with
+    the conjunction carried out).  Returns FALSE for the empty set.
+    """
+    bdd = vector.bdd
+    if vector.is_empty:
+        return bdd.false
+    chi = bdd.true
+    # Conjoin lightest bits first: partial products then stay small for
+    # typical orders (the constraint on v_i only mentions v_1 .. v_i).
+    for v, f in zip(reversed(vector.choice_vars), reversed(vector.components)):
+        chi = bdd.and_(chi, bdd.equiv(bdd.var(v), f))
+        if chi == bdd.false:
+            raise BFVError("canonical vector has an empty fixed-point set")
+    return chi
+
+
+def constraints(vector: BFV) -> List[int]:
+    """The per-bit constraint view ``[v_i <-> f_i]`` of the vector.
+
+    This is McMillan's conjunctive decomposition of the characteristic
+    function (paper Sec 2.7): ``chi = AND_i constraints[i]`` and each
+    constraint only mentions ``v_1 .. v_i``.
+    """
+    bdd = vector.bdd
+    comps = vector._require_nonempty()
+    return [
+        bdd.equiv(bdd.var(v), f) for v, f in zip(vector.choice_vars, comps)
+    ]

@@ -1,0 +1,352 @@
+"""McMillan's canonical conjunctive decomposition (paper Sec 2.7).
+
+McMillan (CAV'96) represents a set by a *conjunctively decomposed*
+characteristic function ``chi = AND_i c_i`` where constraint ``c_i``
+depends only on ``v_1 .. v_i``.  The paper's Section 2.7 observation is
+that this is the constraint-view image of the canonical Boolean
+functional vector: with ``f_i = f_i^1 OR (f_i^c AND v_i)``,
+
+    ``c_i  =  (v_i <-> f_i)  =  f_i^1 v_i  OR  f_i^0 !v_i  OR  f_i^c``
+
+so the two representations are in exact bijection and their set
+algorithms "are in essence performing the same operations".
+
+This module provides:
+
+* :class:`ConjunctiveDecomposition` — the constraint-list representation
+  with union / intersection / containment, in bijection with
+  :class:`repro.bfv.vector.BFV`;
+* :func:`mcmillan_from_characteristic` — McMillan's original
+  construction ``c_i = constrain(EXISTS v_{i+1..n} chi, chi_{i-1})``,
+  which coincides with the bijection image of the canonical BFV when the
+  component order equals the BDD variable order (asserted in the tests).
+
+The set operations here run on the constraint components directly
+(extracting the forced-one / forced-zero conditions by two cofactors per
+component, exactly as the BFV algorithms do) — no characteristic function
+is ever conjoined.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import BFVError, EmptySetError
+from .vector import BFV
+
+
+class ConjunctiveDecomposition:
+    """A set represented as a canonical conjunction of per-bit constraints.
+
+    ``parts[i]`` constrains bit ``i`` given the earlier bits; the set's
+    characteristic function is the conjunction of all parts.  The empty
+    set is flagged (``parts is None``), mirroring :class:`BFV`.
+    """
+
+    __slots__ = ("bdd", "choice_vars", "parts")
+
+    def __init__(
+        self,
+        bdd,
+        choice_vars: Sequence[int],
+        parts: Optional[Sequence[int]],
+        validate: bool = True,
+    ) -> None:
+        self.bdd = bdd
+        self.choice_vars: Tuple[int, ...] = tuple(choice_vars)
+        if parts is None:
+            self.parts: Optional[Tuple[int, ...]] = None
+        else:
+            if len(parts) != len(self.choice_vars):
+                raise BFVError("part/choice-variable count mismatch")
+            self.parts = tuple(parts)
+            for node in self.parts:
+                bdd.incref(node)
+        if validate and self.parts is not None:
+            self.check_structure()
+
+    def __del__(self) -> None:
+        if getattr(self, "parts", None) is None:
+            return
+        try:
+            for node in self.parts:
+                self.bdd.decref(node)
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """True iff this is the flagged empty set."""
+        return self.parts is None
+
+    @property
+    def width(self) -> int:
+        """Number of bits of the represented vectors."""
+        return len(self.choice_vars)
+
+    def check_structure(self) -> None:
+        """Check triangular support and per-prefix satisfiability."""
+        bdd = self.bdd
+        allowed: set = set()
+        for i, (v, c) in enumerate(zip(self.choice_vars, self.parts)):
+            allowed.add(v)
+            extra = set(bdd.support(c)) - allowed
+            if extra:
+                raise BFVError(
+                    "constraint %d depends on non-prefix variables %s"
+                    % (i, sorted(bdd.var_name(x) for x in extra))
+                )
+            # Canonicity requires each constraint to be satisfiable for
+            # every prefix: EXISTS v_i . c_i == TRUE.
+            if bdd.exists([v], c) != bdd.true:
+                raise BFVError("constraint %d rules out some prefix" % i)
+
+    # ------------------------------------------------------------------
+    # Bijection with the Boolean functional vector (Sec 2.7)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_bfv(cls, vector: BFV) -> "ConjunctiveDecomposition":
+        """Constraint view of a canonical BFV: ``c_i = (v_i <-> f_i)``."""
+        if vector.is_empty:
+            return cls(vector.bdd, vector.choice_vars, None)
+        bdd = vector.bdd
+        parts = [
+            bdd.equiv(bdd.var(v), f)
+            for v, f in zip(vector.choice_vars, vector.components)
+        ]
+        return cls(bdd, vector.choice_vars, parts, validate=False)
+
+    def to_bfv(self) -> BFV:
+        """Evaluation view: ``f_i = NOT c_i|v=0  OR  (c_i|v=1 AND v_i)``."""
+        if self.parts is None:
+            return BFV.empty(self.bdd, self.choice_vars)
+        bdd = self.bdd
+        comps = []
+        for v, c in zip(self.choice_vars, self.parts):
+            c0 = bdd.cofactor(c, v, False)
+            c1 = bdd.cofactor(c, v, True)
+            comps.append(bdd.or_(bdd.not_(c0), bdd.and_(c1, bdd.var(v))))
+        return BFV(bdd, self.choice_vars, comps, validate=False)
+
+    # ------------------------------------------------------------------
+    # Conversions with characteristic functions
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_characteristic(
+        cls, bdd, choice_vars: Sequence[int], chi: int
+    ) -> "ConjunctiveDecomposition":
+        """Canonical decomposition of ``{X : chi(X)}`` (via parameterization)."""
+        from . import build as _build
+
+        return cls.from_bfv(
+            _build.from_characteristic(bdd, choice_vars, chi)
+        )
+
+    def to_characteristic(self) -> int:
+        """Conjoin the parts back into one characteristic function."""
+        if self.parts is None:
+            return self.bdd.false
+        return self.bdd.conjoin(reversed(self.parts))
+
+    # ------------------------------------------------------------------
+    # Set operations on the constraint components
+    # ------------------------------------------------------------------
+
+    def _conditions(self, index: int) -> Tuple[int, int]:
+        """Forced-one / forced-zero conditions from constraint ``index``.
+
+        ``c_i|v=0 = NOT f_i^1`` and ``c_i|v=1 = NOT f_i^0``.
+        """
+        if self.parts is None:
+            raise EmptySetError("operation undefined on the empty set")
+        bdd = self.bdd
+        v = self.choice_vars[index]
+        c = self.parts[index]
+        forced_one = bdd.not_(bdd.cofactor(c, v, False))
+        forced_zero = bdd.not_(bdd.cofactor(c, v, True))
+        return forced_one, forced_zero
+
+    def union(self, other: "ConjunctiveDecomposition") -> "ConjunctiveDecomposition":
+        """Set union, by the exclusion-condition recurrence of Sec 2.3.
+
+        Identical control structure to the BFV union — the paper's point
+        — but produces constraint parts ``h^1 v OR h^0 !v OR h^c``
+        directly from the forced conditions, without materializing the
+        evaluation-view components.
+        """
+        self._check_space(other)
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        bdd = self.bdd
+        and_, or_, not_ = bdd.and_, bdd.or_, bdd.not_
+        fx = gx = bdd.false
+        parts: List[int] = []
+        for i, v in enumerate(self.choice_vars):
+            f1, f0 = self._conditions(i)
+            g1, g0 = other._conditions(i)
+            h1 = or_(and_(f1, g1), or_(and_(f1, gx), and_(fx, g1)))
+            h0 = or_(and_(f0, g0), or_(and_(f0, gx), and_(fx, g0)))
+            v_node = bdd.var(v)
+            not_v = not_(v_node)
+            # c_i = h1 v OR h0 !v OR hc  ==  NOT (h1 !v OR h0 v)
+            parts.append(not_(or_(and_(h1, not_v), and_(h0, v_node))))
+            selected = or_(h1, and_(not_(or_(h1, h0)), v_node))
+            not_sel = not_(selected)
+            fx = or_(fx, or_(and_(f0, selected), and_(f1, not_sel)))
+            gx = or_(gx, or_(and_(g0, selected), and_(g1, not_sel)))
+        return ConjunctiveDecomposition(
+            bdd, self.choice_vars, parts, validate=False
+        )
+
+    def intersect(
+        self, other: "ConjunctiveDecomposition"
+    ) -> "ConjunctiveDecomposition":
+        """Set intersection via constraint conjunction + normalization.
+
+        This is where the conjunctive view shines (and why McMillan's
+        algorithms need fewer BDD operations when the component order
+        matches the BDD order): the raw intersection is just the pairwise
+        conjunction of the constraints; a backward ``forall`` sweep then
+        restores canonicity by ruling out prefixes with no suffix, using
+        the ``constrain`` operator to normalize each part.
+        """
+        self._check_space(other)
+        bdd = self.bdd
+        if self.is_empty or other.is_empty:
+            return ConjunctiveDecomposition(bdd, self.choice_vars, None)
+        raw = [
+            bdd.and_(a, b) for a, b in zip(self.parts, other.parts)
+        ]
+        parts = _normalize_parts(bdd, self.choice_vars, raw)
+        return ConjunctiveDecomposition(
+            bdd, self.choice_vars, parts, validate=False
+        )
+
+    def is_subset(self, other: "ConjunctiveDecomposition") -> bool:
+        """Containment via canonicity of the union."""
+        if self.is_empty:
+            return True
+        if other.is_empty:
+            return False
+        return self.union(other) == other
+
+    def contains(self, point: Sequence[bool]) -> bool:
+        """Membership: does ``point`` satisfy every constraint?"""
+        if self.parts is None:
+            return False
+        bdd = self.bdd
+        assignment = {
+            v: bool(b) for v, b in zip(self.choice_vars, point)
+        }
+        return all(bdd.evaluate(c, assignment) for c in self.parts)
+
+    def count(self) -> int:
+        """Number of members (exact)."""
+        if self.parts is None:
+            return 0
+        return self.bdd.sat_count(self.to_characteristic(), self.choice_vars)
+
+    def shared_size(self) -> int:
+        """Shared BDD node count of all constraint parts."""
+        if self.parts is None:
+            return 0
+        return self.bdd.shared_size(self.parts)
+
+    # ------------------------------------------------------------------
+
+    def _check_space(self, other: "ConjunctiveDecomposition") -> None:
+        if (
+            not isinstance(other, ConjunctiveDecomposition)
+            or other.bdd is not self.bdd
+            or other.choice_vars != self.choice_vars
+        ):
+            raise BFVError("operands live on different choice variables")
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ConjunctiveDecomposition):
+            return NotImplemented
+        return (
+            self.bdd is other.bdd
+            and self.choice_vars == other.choice_vars
+            and self.parts == other.parts
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.bdd), self.choice_vars, self.parts))
+
+    def __repr__(self) -> str:
+        if self.parts is None:
+            return "ConjunctiveDecomposition(empty, width=%d)" % self.width
+        return "ConjunctiveDecomposition(width=%d, shared_size=%d)" % (
+            self.width,
+            self.shared_size(),
+        )
+
+
+def mcmillan_from_characteristic(
+    bdd, choice_vars: Sequence[int], chi: int
+) -> ConjunctiveDecomposition:
+    """McMillan's original construction of the canonical decomposition.
+
+    ``c_i = constrain(EXISTS v_{i+1..n} chi, EXISTS v_{i..n} chi)``: the
+    projection of the set onto the first ``i`` bits, normalized to the
+    nearest satisfiable prefix by the generalized cofactor.  When the
+    component order equals the BDD variable order this coincides with the
+    constraint view of the canonical BFV (tested), illustrating the
+    Sec 2.7 correspondence.
+    """
+    choice_vars = tuple(choice_vars)
+    if chi == bdd.false:
+        return ConjunctiveDecomposition(bdd, choice_vars, None)
+    n = len(choice_vars)
+    parts: List[int] = []
+    previous = bdd.true
+    for i in range(n):
+        projection = bdd.exists(choice_vars[i + 1:], chi)
+        part = projection if i == 0 else bdd.constrain(projection, previous)
+        parts.append(part)
+        previous = projection
+    return ConjunctiveDecomposition(bdd, choice_vars, parts, validate=False)
+
+
+def _normalize_parts(
+    bdd, choice_vars: Sequence[int], raw: Sequence[int]
+) -> Optional[List[int]]:
+    """Canonicalize triangular constraint parts.
+
+    Backward sweep: ``feasible_i`` = prefixes (over ``v_1..v_i``) from
+    which some suffix satisfies all later constraints.  Each part is
+    strengthened by the feasibility of its own choice and then
+    ``constrain``-ed to the feasible prefix region, which (with component
+    order == BDD order) maps infeasible prefixes to their nearest
+    feasible neighbour — recovering exactly the canonical constraints.
+    Returns ``None`` when the whole set is empty.
+    """
+    n = len(choice_vars)
+    # Backward sweep — feasible[i] (over v_1..v_{i-1}): some suffix
+    # satisfies all constraints from bit i on.
+    feasible = [bdd.true] * (n + 1)
+    strengthened = list(raw)
+    for i in range(n - 1, -1, -1):
+        strengthened[i] = bdd.and_(raw[i], feasible[i + 1])
+        feasible[i] = bdd.exists([choice_vars[i]], strengthened[i])
+    if feasible[0] == bdd.false:
+        return None
+    # Forward sweep — valid prefixes must satisfy the *earlier*
+    # strengthened constraints too (raw conjunctions can be spuriously
+    # satisfiable on prefixes that an earlier part already rules out).
+    parts: List[int] = []
+    valid = bdd.true
+    for i in range(n):
+        part = strengthened[i]
+        if valid != bdd.true:
+            part = bdd.constrain(part, valid)
+        parts.append(part)
+        valid = bdd.and_(valid, strengthened[i])
+    return parts

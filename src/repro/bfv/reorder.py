@@ -1,0 +1,128 @@
+"""Component reordering for Boolean functional vectors.
+
+The paper's conclusion: "In future work, we would like to develop a
+component reordering technique for components of the functional
+vector."  The component order is the distance-metric weight order; a
+different order yields a different (still canonical) vector for the
+same set, and component sizes can differ drastically — a bit that is
+functionally determined by bits *after* it in the order costs real BDD
+nodes, while placing it after its supports makes its component trivial.
+
+This module provides the baseline machinery that future work would
+optimize:
+
+* :func:`reorder_components` — re-canonicalize a vector under a new
+  component order (exact; via a characteristic-function round trip,
+  which is the straightforward-but-costly route the paper implies a
+  direct technique should beat);
+* :func:`functional_dependencies` — the components with no free choice
+  anywhere, i.e. bits fully determined by earlier bits (the Hu-Dill
+  [9] dependencies the representation factors out);
+* :func:`greedy_component_order` — a first-fit ordering heuristic that
+  repeatedly picks the component whose function is cheapest given the
+  bits already placed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import BFVError
+from .vector import BFV
+
+
+def reorder_components(vector: BFV, new_positions: Sequence[int]) -> BFV:
+    """Canonical vector of the same set under a permuted component order.
+
+    ``new_positions`` lists current component indices in their new
+    order (``new_positions[0]`` becomes the heaviest bit).  Each bit
+    keeps its choice variable; only the selection priority changes.
+    """
+    from . import build as _build
+
+    order = list(new_positions)
+    if sorted(order) != list(range(vector.width)):
+        raise BFVError("new_positions must permute the component indices")
+    new_choice_vars = [vector.choice_vars[i] for i in order]
+    if vector.is_empty:
+        return BFV.empty(vector.bdd, new_choice_vars)
+    chi = _build.to_characteristic(vector)
+    return _build.from_characteristic(vector.bdd, new_choice_vars, chi)
+
+
+def functional_dependencies(vector: BFV) -> List[int]:
+    """Indices of components with no free choice anywhere.
+
+    These bits are functions of the earlier bits in every member of the
+    set — the functional dependencies [9] that make the BFV compact on
+    datapath circuits (paper Sec 3).
+    """
+    if vector.is_empty:
+        return []
+    bdd = vector.bdd
+    dependent = []
+    for index in range(vector.width):
+        _one, _zero, free = vector.component_conditions(index)
+        if free == bdd.false:
+            dependent.append(index)
+    return dependent
+
+
+def greedy_component_order(
+    vector: BFV, candidates_per_step: Optional[int] = None
+) -> List[int]:
+    """A greedy component order minimizing incremental component size.
+
+    Builds the order position by position: at each step, re-derive the
+    candidate components for every unplaced bit (given the prefix
+    chosen so far) and place the one with the smallest BDD.  This is
+    quadratic in the width with a characteristic-function conversion
+    per candidate — a baseline for the "component reordering technique"
+    the paper leaves as future work, not a production algorithm.
+
+    Returns the order as current component indices (see
+    :func:`reorder_components`).
+    """
+    from . import build as _build
+
+    if vector.is_empty:
+        return list(range(vector.width))
+    bdd = vector.bdd
+    chi = _build.to_characteristic(vector)
+    remaining = list(range(vector.width))
+    order: List[int] = []
+    # ``remaining_chi`` is chi with already-placed bits substituted by
+    # their canonical component functions, mirroring from_characteristic.
+    remaining_chi = chi
+    placed_vars: List[int] = []
+    while remaining:
+        if candidates_per_step is not None:
+            candidates = remaining[:candidates_per_step]
+        else:
+            candidates = list(remaining)
+        best = None
+        best_size = None
+        best_component = None
+        for index in candidates:
+            v = vector.choice_vars[index]
+            zero = bdd.cofactor(remaining_chi, v, False)
+            one = bdd.cofactor(remaining_chi, v, True)
+            rest = [
+                vector.choice_vars[i] for i in remaining if i != index
+            ]
+            can_zero = bdd.exists(rest, zero)
+            can_one = bdd.exists(rest, one)
+            forced_one = bdd.diff(can_one, can_zero)
+            free = bdd.and_(can_one, can_zero)
+            component = bdd.or_(forced_one, bdd.and_(free, bdd.var(v)))
+            size = bdd.dag_size(component)
+            if best_size is None or size < best_size:
+                best, best_size, best_component = index, size, component
+        order.append(best)
+        remaining.remove(best)
+        v = vector.choice_vars[best]
+        zero = bdd.cofactor(remaining_chi, v, False)
+        one = bdd.cofactor(remaining_chi, v, True)
+        remaining_chi = bdd.ite(best_component, one, zero)
+        placed_vars.append(v)
+    return order

@@ -1,0 +1,368 @@
+"""The canonical Boolean functional vector (BFV) set representation.
+
+A :class:`BFV` represents a non-empty set ``S`` of ``n``-bit vectors as a
+vector of BDDs ``F = (f_1, ..., f_n)`` over *choice variables*
+``v_1, ..., v_n`` (one per component, in *component order* — bit 1 carries
+the highest weight).  The represented set is the **range** of ``F``.  The
+canonical form (paper Sec 2.1) additionally satisfies:
+
+1. *triangular support*: ``f_i`` depends only on ``v_1 .. v_i``;
+2. *structure*: ``f_i = f_i^1 OR (f_i^c AND v_i)`` with the forced-to-one
+   condition ``f_i^1`` and free-choice condition ``f_i^c`` over
+   ``v_1 .. v_{i-1}`` (hence ``f_i`` is monotone in ``v_i``);
+3. *selection semantics*: members map to themselves, non-members map to
+   the member nearest under ``d(X, Y) = sum_i 2^(n-i) |x_i - y_i|``.
+
+The empty set has no such vector; it is represented by an explicit flag
+(``BFV.empty(...)``), and the set algorithms special-case it.
+
+This module holds the vector type, its invariants and point-level queries.
+The set algorithms live in :mod:`repro.bfv.ops` (union, intersection,
+quantification), :mod:`repro.bfv.build` (constructors and conversions) and
+:mod:`repro.bfv.reparam` (canonicalization of raw simulation outputs); they
+are exposed here as methods.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import BFVError, EmptySetError
+
+
+class BFV:
+    """A non-empty set of bit-vectors in canonical BFV form (or the
+    explicitly flagged empty set).
+
+    Instances are immutable and pin their component nodes with external
+    references for their lifetime.
+
+    Parameters
+    ----------
+    bdd:
+        The owning BDD manager.
+    choice_vars:
+        Variable indices ``(v_1, .., v_n)`` in component order (heaviest
+        bit first).
+    components:
+        Component nodes ``(f_1, .., f_n)``, or ``None`` for the empty set.
+    validate:
+        When true (default), check the structural canonicity invariants.
+    """
+
+    __slots__ = ("bdd", "choice_vars", "components", "_hash")
+
+    def __init__(
+        self,
+        bdd,
+        choice_vars: Sequence[int],
+        components: Optional[Sequence[int]],
+        validate: bool = True,
+    ) -> None:
+        self.bdd = bdd
+        self.choice_vars: Tuple[int, ...] = tuple(choice_vars)
+        if components is None:
+            self.components: Optional[Tuple[int, ...]] = None
+        else:
+            if len(components) != len(self.choice_vars):
+                raise BFVError(
+                    "component/choice-variable count mismatch: %d vs %d"
+                    % (len(components), len(self.choice_vars))
+                )
+            self.components = tuple(components)
+            for node in self.components:
+                bdd.incref(node)
+        self._hash: Optional[int] = None
+        if validate and self.components is not None:
+            self.check_structure()
+
+    def __del__(self) -> None:
+        if getattr(self, "components", None) is None:
+            return
+        try:
+            for node in self.components:
+                self.bdd.decref(node)
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """True iff this is the (flagged) empty set."""
+        return self.components is None
+
+    @property
+    def width(self) -> int:
+        """Number of bits in the represented vectors."""
+        return len(self.choice_vars)
+
+    def _require_nonempty(self) -> Tuple[int, ...]:
+        if self.components is None:
+            raise EmptySetError("operation undefined on the empty set")
+        return self.components
+
+    def check_structure(self) -> None:
+        """Check the canonical-form structural invariants (1) and (2).
+
+        Raises :class:`BFVError` on violation.  The semantic nearest-map
+        property (3) is established by construction and re-checked in the
+        test suite via characteristic-function round-trips.
+        """
+        bdd = self.bdd
+        comps = self._require_nonempty()
+        allowed: set = set()
+        for i, (v, f) in enumerate(zip(self.choice_vars, comps)):
+            allowed.add(v)
+            extra = set(bdd.support(f)) - allowed
+            if extra:
+                raise BFVError(
+                    "component %d depends on non-prefix variables %s"
+                    % (i, sorted(bdd.var_name(x) for x in extra))
+                )
+            f0 = bdd.cofactor(f, v, False)
+            f1 = bdd.cofactor(f, v, True)
+            if bdd.implies(f0, f1) != bdd.true:
+                raise BFVError("component %d is not monotone in v_%d" % (i, i))
+
+    # ------------------------------------------------------------------
+    # Selection semantics
+    # ------------------------------------------------------------------
+
+    def select(self, choices: Sequence[bool]) -> Tuple[bool, ...]:
+        """Apply the selection process to a concrete choice vector.
+
+        Returns ``F(choices)`` — the member of the set that the choice
+        vector selects.  For canonical vectors this is the ``d``-nearest
+        member of the set (paper Sec 2.1).
+        """
+        comps = self._require_nonempty()
+        if len(choices) != self.width:
+            raise BFVError("expected %d choice bits" % self.width)
+        bdd = self.bdd
+        assignment = {v: bool(c) for v, c in zip(self.choice_vars, choices)}
+        return tuple(bdd.evaluate(f, assignment) for f in comps)
+
+    def contains(self, point: Sequence[bool]) -> bool:
+        """Membership test: is ``point`` in the represented set?
+
+        Uses the canonical fixed-point property ``X in S iff F(X) == X``.
+        """
+        if self.components is None:
+            return False
+        return self.select(point) == tuple(bool(b) for b in point)
+
+    def enumerate(self) -> Iterator[Tuple[bool, ...]]:
+        """Iterate the members of the set (ascending by weighted value).
+
+        Walks the selection tree: at each component, branch on the
+        feasible values of the bit given the prefix chosen so far.
+        Enumeration cost is proportional to the number of members times
+        the width — no exponential blowup over the choice space.
+        """
+        if self.components is None:
+            return
+        bdd = self.bdd
+        comps = self.components
+        n = self.width
+
+        def recurse(index: int, assignment: Dict[int, bool]) -> Iterator[Tuple[bool, ...]]:
+            if index == n:
+                yield tuple(assignment[v] for v in self.choice_vars)
+                return
+            v = comps[index]
+            f_here = bdd.cofactor_cube(v, assignment)
+            var = self.choice_vars[index]
+            f0 = bdd.cofactor(f_here, var, False)
+            f1 = bdd.cofactor(f_here, var, True)
+            # Possible bit values given the prefix: forced-one iff f0 is
+            # TRUE, forced-zero iff f1 is FALSE, free otherwise.
+            values: List[bool] = []
+            if f0 != bdd.true or f1 == bdd.false:
+                values.append(False)
+            if f1 != bdd.false:
+                values.append(True)
+            for value in values:
+                assignment[var] = value
+                yield from recurse(index + 1, assignment)
+            del assignment[var]
+
+        yield from recurse(0, {})
+
+    def count(self) -> int:
+        """Number of members of the set (exact)."""
+        if self.components is None:
+            return 0
+        from . import build as _build
+
+        chi = _build.to_characteristic(self)
+        return self.bdd.sat_count(chi, self.choice_vars)
+
+    # ------------------------------------------------------------------
+    # Forced / free decomposition (paper Sec 2.2)
+    # ------------------------------------------------------------------
+
+    def component_conditions(self, index: int) -> Tuple[int, int, int]:
+        """``(forced_one, forced_zero, free_choice)`` for component ``index``.
+
+        These are the ``f_i^1`` / ``f_i^0`` / ``f_i^c`` conditions of the
+        paper's ordered-selection interpretation: mutually exclusive and
+        complete functions of ``v_1 .. v_{i-1}``.
+        """
+        comps = self._require_nonempty()
+        bdd = self.bdd
+        v = self.choice_vars[index]
+        f = comps[index]
+        f1 = bdd.cofactor(f, v, False)
+        high = bdd.cofactor(f, v, True)
+        f0 = bdd.not_(high)
+        fc = bdd.diff(high, f1)
+        return f1, f0, fc
+
+    # ------------------------------------------------------------------
+    # Equality / hashing (canonical form => structural equality)
+    # ------------------------------------------------------------------
+
+    def same_space(self, other: "BFV") -> bool:
+        """True iff ``other`` lives on the same manager and choice vars."""
+        return (
+            isinstance(other, BFV)
+            and self.bdd is other.bdd
+            and self.choice_vars == other.choice_vars
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, BFV):
+            return NotImplemented
+        if not self.same_space(other):
+            return False
+        return self.components == other.components
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(
+                (id(self.bdd), self.choice_vars, self.components)
+            )
+        return self._hash
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+
+    def shared_size(self) -> int:
+        """Shared BDD node count of all components (paper Table 3 metric)."""
+        if self.components is None:
+            return 0
+        return self.bdd.shared_size(self.components)
+
+    def component_sizes(self) -> List[int]:
+        """Individual DAG size of each component."""
+        if self.components is None:
+            return []
+        return [self.bdd.dag_size(f) for f in self.components]
+
+    # ------------------------------------------------------------------
+    # Set operations (implemented in sibling modules)
+    # ------------------------------------------------------------------
+
+    def union(self, other: "BFV") -> "BFV":
+        """Set union via the exclusion-condition algorithm (Sec 2.3)."""
+        from . import ops as _ops
+
+        return _ops.union(self, other)
+
+    def intersect(self, other: "BFV") -> "BFV":
+        """Set intersection via elimination conditions (Sec 2.4)."""
+        from . import ops as _ops
+
+        return _ops.intersect(self, other)
+
+    def cofactor(self, index: int, value: bool) -> "BFV":
+        """Shannon cofactor of the vector w.r.t. choice ``index`` (Sec 2.5)."""
+        from . import ops as _ops
+
+        return _ops.vector_cofactor(self, index, value)
+
+    def smooth(self, index: int) -> "BFV":
+        """Set-level existential quantification of bit ``index``."""
+        from . import ops as _ops
+
+        return _ops.smooth(self, index)
+
+    def consensus(self, index: int) -> "BFV":
+        """Set-level universal quantification of bit ``index``."""
+        from . import ops as _ops
+
+        return _ops.consensus(self, index)
+
+    def project(self, keep_indices) -> "BFV":
+        """Smooth away every bit not in ``keep_indices``."""
+        from . import ops as _ops
+
+        return _ops.project(self, keep_indices)
+
+    def is_subset(self, other: "BFV") -> bool:
+        """True iff this set is contained in ``other``."""
+        from . import ops as _ops
+
+        return _ops.is_subset(self, other)
+
+    def to_characteristic(self) -> int:
+        """Characteristic function over the choice variables (Sec 2.7)."""
+        from . import build as _build
+
+        return _build.to_characteristic(self)
+
+    # ------------------------------------------------------------------
+    # Convenience constructors (delegate to build module)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def empty(cls, bdd, choice_vars: Sequence[int]) -> "BFV":
+        """The empty set (special-cased; no vector exists for it)."""
+        return cls(bdd, choice_vars, None)
+
+    @classmethod
+    def universe(cls, bdd, choice_vars: Sequence[int]) -> "BFV":
+        """The full space: every component is a free choice."""
+        comps = [bdd.var(v) for v in choice_vars]
+        return cls(bdd, choice_vars, comps, validate=False)
+
+    @classmethod
+    def point(cls, bdd, choice_vars: Sequence[int], point: Sequence[bool]) -> "BFV":
+        """The singleton set ``{point}`` (every component forced)."""
+        if len(point) != len(choice_vars):
+            raise BFVError("point width mismatch")
+        comps = [bdd.true if bool(b) else bdd.false for b in point]
+        return cls(bdd, choice_vars, comps, validate=False)
+
+    @classmethod
+    def from_points(
+        cls, bdd, choice_vars: Sequence[int], points: Iterable[Sequence[bool]]
+    ) -> "BFV":
+        """The set of all given points (canonical union of singletons)."""
+        from . import ops as _ops
+
+        result = cls.empty(bdd, choice_vars)
+        for p in points:
+            result = _ops.union(result, cls.point(bdd, choice_vars, p))
+        return result
+
+    @classmethod
+    def from_characteristic(
+        cls, bdd, choice_vars: Sequence[int], chi: int
+    ) -> "BFV":
+        """Canonical vector of the set ``{X : chi(X)}`` (Sec 2.1)."""
+        from . import build as _build
+
+        return _build.from_characteristic(bdd, choice_vars, chi)
+
+    def __repr__(self) -> str:
+        if self.components is None:
+            return "BFV(empty, width=%d)" % self.width
+        return "BFV(width=%d, shared_size=%d)" % (
+            self.width,
+            self.shared_size(),
+        )

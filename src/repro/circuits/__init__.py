@@ -1,0 +1,24 @@
+"""Sequential circuit substrate: netlists, ``.bench`` I/O, generators.
+
+The paper evaluates on ISCAS'89 benchmarks; this package provides the
+netlist model, the ``.bench`` format, parameterized circuit families
+spanning the same structural regimes, and the scaled benchmark
+surrogates used by the reproduction (see DESIGN.md for the substitution
+rationale).
+"""
+
+from . import bench, blif, compose, generators, iscas, protocols, surrogates
+from .netlist import Circuit, Gate, Latch
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "Latch",
+    "bench",
+    "blif",
+    "compose",
+    "generators",
+    "iscas",
+    "protocols",
+    "surrogates",
+]

@@ -1,0 +1,115 @@
+"""ISCAS'89 ``.bench`` netlist reader and writer.
+
+The format used by the paper's benchmark suite::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G10 = DFF(G14)
+    G11 = NOT(G10)
+    G14 = NAND(G11, G0)
+
+Gate operators are case-insensitive; ``BUFF``/``BUF`` are synonyms.
+Flip-flops initialize to 0, the convention of the ISCAS'89 distribution
+(and of VIS when reading these files).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from ..errors import BenchFormatError
+from .netlist import Circuit
+
+_DECL_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^)\s]+)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(
+    r"^([^=\s]+)\s*=\s*([A-Za-z]+)\s*\(\s*([^)]*)\s*\)$"
+)
+
+_OP_ALIASES = {
+    "BUFF": "BUF",
+    "BUF": "BUF",
+    "NOT": "NOT",
+    "AND": "AND",
+    "OR": "OR",
+    "NAND": "NAND",
+    "NOR": "NOR",
+    "XOR": "XOR",
+    "XNOR": "XNOR",
+}
+
+
+def loads(text: str, name: str = "bench") -> Circuit:
+    """Parse ``.bench`` text into a validated :class:`Circuit`."""
+    circuit = Circuit(name)
+    outputs: List[str] = []
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        decl = _DECL_RE.match(line)
+        if decl:
+            kind, net = decl.group(1).upper(), decl.group(2)
+            if kind == "INPUT":
+                circuit.add_input(net)
+            else:
+                outputs.append(net)
+            continue
+        gate = _GATE_RE.match(line)
+        if gate is None:
+            raise BenchFormatError(
+                "line %d: cannot parse %r" % (lineno, raw_line)
+            )
+        output, op, operand_text = gate.groups()
+        operands = [
+            item.strip() for item in operand_text.split(",") if item.strip()
+        ]
+        op = op.upper()
+        if op == "DFF":
+            if len(operands) != 1:
+                raise BenchFormatError(
+                    "line %d: DFF must have one input" % lineno
+                )
+            circuit.add_latch(output, operands[0], init=False)
+            continue
+        resolved = _OP_ALIASES.get(op)
+        if resolved is None:
+            raise BenchFormatError(
+                "line %d: unknown operator %r" % (lineno, op)
+            )
+        circuit.add_gate(output, resolved, operands)
+    for net in outputs:
+        circuit.add_output(net)
+    circuit.validate()
+    return circuit
+
+
+def load(path: str, name: str = None) -> Circuit:
+    """Read a ``.bench`` file from disk."""
+    with open(path) as handle:
+        text = handle.read()
+    if name is None:
+        name = path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+    return loads(text, name)
+
+
+def dumps(circuit: Circuit) -> str:
+    """Serialize a circuit to ``.bench`` text (round-trips with loads)."""
+    lines: List[str] = ["# %s" % circuit.name]
+    for net in circuit.inputs:
+        lines.append("INPUT(%s)" % net)
+    for net in circuit.outputs:
+        lines.append("OUTPUT(%s)" % net)
+    for latch in circuit.latches.values():
+        lines.append("%s = DFF(%s)" % (latch.output, latch.data))
+    for gate in circuit.gates.values():
+        op = "BUFF" if gate.op == "BUF" else gate.op
+        lines.append("%s = %s(%s)" % (gate.output, op, ", ".join(gate.inputs)))
+    return "\n".join(lines) + "\n"
+
+
+def dump(circuit: Circuit, path: str) -> None:
+    """Write a circuit to a ``.bench`` file."""
+    with open(path, "w") as handle:
+        handle.write(dumps(circuit))

@@ -1,0 +1,271 @@
+"""Berkeley Logic Interchange Format (BLIF) reader and writer.
+
+BLIF is VIS/SIS's native netlist format and, unlike ``.bench``, can
+express latch initial values — which our generator families use (LFSRs
+and token rings reset to non-zero states).  The supported subset covers
+what sequential benchmarks need:
+
+* ``.model`` / ``.inputs`` / ``.outputs`` / ``.end``
+* ``.names`` logic nodes with single-output PLA covers (``-01`` rows)
+* ``.latch <input> <output> [<type> <control>] [<init>]``
+
+PLA covers are converted to gate trees on read (one AND per row, an OR
+across rows; ``0``/``-`` literals become inverters/don't-cares) and
+written back as covers computed from the gate structure, so
+``loads(dumps(c))`` preserves semantics exactly (validated in tests via
+explicit-state reachability).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import BenchFormatError
+from .netlist import Circuit, Gate
+
+
+def _logical_lines(text: str) -> List[Tuple[int, str]]:
+    """Strip comments, join continuation lines, keep line numbers."""
+    lines: List[Tuple[int, str]] = []
+    pending = ""
+    pending_line = 0
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip() and not pending:
+            continue
+        if pending:
+            line = pending + " " + line.strip()
+            pending = ""
+        if line.endswith("\\"):
+            pending = line[:-1].strip()
+            if not pending_line:
+                pending_line = number
+            continue
+        lines.append((pending_line or number, line.strip()))
+        pending_line = 0
+    if pending:
+        lines.append((pending_line, pending))
+    return lines
+
+
+def loads(text: str, name: Optional[str] = None) -> Circuit:
+    """Parse BLIF text into a validated :class:`Circuit`."""
+    model_name = name or "blif"
+    inputs: List[str] = []
+    outputs: List[str] = []
+    latches: List[Tuple[str, str, bool]] = []
+    covers: List[Tuple[int, List[str], str, List[str]]] = []
+
+    lines = _logical_lines(text)
+    index = 0
+    while index < len(lines):
+        number, line = lines[index]
+        index += 1
+        if not line.startswith("."):
+            raise BenchFormatError(
+                "line %d: expected a BLIF directive, got %r" % (number, line)
+            )
+        parts = line.split()
+        directive = parts[0]
+        if directive == ".model":
+            if len(parts) > 1 and name is None:
+                model_name = parts[1]
+        elif directive == ".inputs":
+            inputs.extend(parts[1:])
+        elif directive == ".outputs":
+            outputs.extend(parts[1:])
+        elif directive == ".latch":
+            operands = parts[1:]
+            if len(operands) < 2:
+                raise BenchFormatError(
+                    "line %d: .latch needs input and output" % number
+                )
+            data, out = operands[0], operands[1]
+            init = False
+            if operands[-1] in ("0", "1", "2", "3"):
+                # 2 = don't care, 3 = unknown: treat both as 0 like VIS
+                init = operands[-1] == "1"
+            latches.append((out, data, init))
+        elif directive == ".names":
+            operands = parts[1:]
+            if not operands:
+                raise BenchFormatError("line %d: .names needs a net" % number)
+            *fanins, output = operands
+            rows: List[str] = []
+            while index < len(lines) and not lines[index][1].startswith("."):
+                rows.append(lines[index][1])
+                index += 1
+            covers.append((number, fanins, output, rows))
+        elif directive == ".end":
+            break
+        elif directive in (".exdc", ".subckt", ".gate", ".mlatch"):
+            raise BenchFormatError(
+                "line %d: unsupported BLIF construct %s" % (number, directive)
+            )
+        else:
+            # Benign directives (.clock, .default_input_arrival, ...)
+            continue
+
+    circuit = Circuit(model_name)
+    for net in inputs:
+        circuit.add_input(net)
+    for out, data, init in latches:
+        circuit.add_latch(out, data, init)
+    for number, fanins, output, rows in covers:
+        _build_cover(circuit, number, fanins, output, rows)
+    for net in outputs:
+        circuit.add_output(net)
+    circuit.validate()
+    return circuit
+
+
+def _build_cover(
+    circuit: Circuit,
+    line: int,
+    fanins: List[str],
+    output: str,
+    rows: List[str],
+) -> None:
+    """Translate a single-output PLA cover into gates."""
+    if not fanins:
+        # Constant node: a '1' row means constant one.
+        value = any(row.strip() == "1" for row in rows)
+        _emit_constant(circuit, output, value)
+        return
+    terms: List[str] = []
+    for row_index, row in enumerate(rows):
+        parts = row.split()
+        if len(parts) != 2:
+            raise BenchFormatError(
+                "line %d: malformed cover row %r" % (line, row)
+            )
+        pattern, value = parts
+        if value != "1":
+            raise BenchFormatError(
+                "line %d: only on-set (output 1) covers are supported"
+                % line
+            )
+        if len(pattern) != len(fanins):
+            raise BenchFormatError(
+                "line %d: cover row %r arity mismatch" % (line, row)
+            )
+        literals: List[str] = []
+        for net, bit in zip(fanins, pattern):
+            if bit == "1":
+                literals.append(net)
+            elif bit == "0":
+                inverted = "%s_row_inv_%s" % (output, net)
+                if inverted not in circuit.gates:
+                    circuit.not_(inverted, net)
+                literals.append(inverted)
+            elif bit != "-":
+                raise BenchFormatError(
+                    "line %d: bad cover literal %r" % (line, bit)
+                )
+        if not literals:
+            # A row of all don't-cares: constant one.
+            _emit_constant(circuit, output, True)
+            return
+        if len(literals) == 1:
+            terms.append(literals[0])
+        else:
+            term = "%s_t%d" % (output, row_index)
+            circuit.add_gate(term, "AND", literals)
+            terms.append(term)
+    if not terms:
+        _emit_constant(circuit, output, False)
+    elif len(terms) == 1:
+        circuit.add_gate(output, "BUF", (terms[0],))
+    else:
+        circuit.add_gate(output, "OR", terms)
+
+
+def _emit_constant(circuit: Circuit, output: str, value: bool) -> None:
+    """Drive ``output`` with a constant built from any available net.
+
+    BLIF has constant nodes but our gate set does not; synthesize
+    ``x AND NOT x`` (or its negation) from an arbitrary existing net.
+    """
+    source = None
+    if circuit.inputs:
+        source = circuit.inputs[0]
+    elif circuit.latches:
+        source = next(iter(circuit.latches))
+    if source is None:
+        raise BenchFormatError(
+            "constant node %r in a circuit with no nets" % output
+        )
+    inverted = output + "_const_inv"
+    circuit.not_(inverted, source)
+    if value:
+        circuit.add_gate(output, "OR", (source, inverted))
+    else:
+        circuit.add_gate(output, "AND", (source, inverted))
+
+
+def load(path: str, name: Optional[str] = None) -> Circuit:
+    """Read a BLIF file from disk."""
+    with open(path) as handle:
+        text = handle.read()
+    if name is None:
+        name = path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+    return loads(text, name)
+
+
+def dumps(circuit: Circuit) -> str:
+    """Serialize a circuit to BLIF (gates become small PLA covers)."""
+    lines = [".model %s" % circuit.name]
+    if circuit.inputs:
+        lines.append(".inputs %s" % " ".join(circuit.inputs))
+    if circuit.outputs:
+        lines.append(".outputs %s" % " ".join(circuit.outputs))
+    for latch in circuit.latches.values():
+        lines.append(
+            ".latch %s %s re clk %d"
+            % (latch.data, latch.output, int(latch.init))
+        )
+    for gate in circuit.gates.values():
+        lines.extend(_gate_cover(gate))
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def _gate_cover(gate: Gate) -> List[str]:
+    """PLA cover lines for one gate."""
+    n = len(gate.inputs)
+    header = ".names %s %s" % (" ".join(gate.inputs), gate.output)
+    if gate.op == "BUF":
+        return [header, "1 1"]
+    if gate.op == "NOT":
+        return [header, "0 1"]
+    if gate.op == "AND":
+        return [header, "1" * n + " 1"]
+    if gate.op == "OR":
+        rows = []
+        for i in range(n):
+            rows.append("-" * i + "1" + "-" * (n - i - 1) + " 1")
+        return [header] + rows
+    if gate.op == "NAND":
+        rows = []
+        for i in range(n):
+            rows.append("-" * i + "0" + "-" * (n - i - 1) + " 1")
+        return [header] + rows
+    if gate.op == "NOR":
+        return [header, "0" * n + " 1"]
+    # XOR / XNOR: explicit minterm expansion (gates are narrow).
+    rows = []
+    want_odd = gate.op == "XOR"
+    for mask in range(1 << n):
+        ones = bin(mask).count("1")
+        if (ones % 2 == 1) == want_odd:
+            pattern = "".join(
+                "1" if mask >> i & 1 else "0" for i in range(n)
+            )
+            rows.append(pattern + " 1")
+    return [header] + rows
+
+
+def dump(circuit: Circuit, path: str) -> None:
+    """Write a circuit to a BLIF file."""
+    with open(path, "w") as handle:
+        handle.write(dumps(circuit))

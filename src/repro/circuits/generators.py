@@ -1,0 +1,498 @@
+"""Parameterized sequential circuit families.
+
+The original ISCAS'89 netlists the paper benchmarks (s1269, s1512, s3271,
+s3330, s4863) are not redistributable and, at 100+ flip-flops, beyond
+pure-Python BDD throughput; the reproduction instead generates circuits
+spanning the same *structural regimes* that drive the paper's results:
+
+* **datapath with functional dependencies** — shadow registers, coupled
+  pairs, FIFO occupancy counters: the reachable set relates state bits
+  functionally, which the BFV representation factors out (paper Sec 3)
+  while the characteristic function's size depends critically on the
+  variable order;
+* **control-dominated logic** — irregular random-logic FSMs,
+  combination locks, arbiters: compact characteristic functions but no
+  exploitable bit-level decomposition;
+* **closed-form families** — counters, LFSRs, Johnson/token rings —
+  whose reachable-state counts are known exactly and anchor the test
+  suite's ground truth.
+
+All generators return validated :class:`repro.circuits.netlist.Circuit`
+objects with deterministic structure (a seed controls the random-logic
+families).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import CircuitError
+from .netlist import Circuit
+
+#: Maximal-length Fibonacci LFSR tap positions (1-based, tap includes n).
+MAXIMAL_TAPS: Dict[int, Sequence[int]] = {
+    2: (2, 1),
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 11, 10, 4),
+    13: (13, 4, 3, 1),
+    14: (14, 5, 3, 1),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+}
+
+
+def _mux(circuit: Circuit, out: str, sel: str, if1: str, if0: str) -> str:
+    """2:1 multiplexer: ``out = sel ? if1 : if0``."""
+    circuit.not_(out + "_ns", sel)
+    circuit.and_(out + "_a", sel, if1)
+    circuit.and_(out + "_b", out + "_ns", if0)
+    return circuit.or_(out, out + "_a", out + "_b")
+
+
+def counter(n: int, with_enable: bool = True) -> Circuit:
+    """``n``-bit binary up-counter; all ``2^n`` states reachable.
+
+    With ``with_enable`` the counter increments only when the ``en``
+    input is high (otherwise it free-runs every cycle).
+    """
+    circuit = Circuit("counter%d" % n)
+    carry = circuit.add_input("en") if with_enable else None
+    for i in range(n):
+        circuit.add_latch("s%d" % i, "ns%d" % i, init=False)
+    for i in range(n):
+        bit = "s%d" % i
+        if carry is None:  # free-running LSB: toggles every cycle
+            circuit.not_("ns%d" % i, bit)
+            carry = bit
+        else:
+            circuit.xor("ns%d" % i, bit, carry)
+            if i < n - 1:
+                circuit.and_("cy%d" % i, carry, bit)
+                carry = "cy%d" % i
+    circuit.add_output("s%d" % (n - 1))
+    circuit.validate()
+    return circuit
+
+
+def mod_counter(n: int, modulus: int) -> Circuit:
+    """``n``-bit counter counting ``0 .. modulus-1``; ``modulus`` states."""
+    if not 1 < modulus <= (1 << n):
+        raise CircuitError("modulus %d does not fit %d bits" % (modulus, n))
+    circuit = Circuit("mod%d_counter%d" % (modulus, n))
+    for i in range(n):
+        circuit.add_latch("s%d" % i, "ns%d" % i, init=False)
+    top = modulus - 1
+    # wrap = (state == modulus - 1)
+    literals = []
+    for i in range(n):
+        if top >> i & 1:
+            literals.append("s%d" % i)
+        else:
+            circuit.not_("w%d" % i, "s%d" % i)
+            literals.append("w%d" % i)
+    circuit.add_gate("wrap", "AND", literals)
+    circuit.not_("nwrap", "wrap")
+    carry = None
+    for i in range(n):
+        bit = "s%d" % i
+        if i == 0:
+            circuit.not_("inc0", bit)
+            carry = bit
+        else:
+            circuit.xor("inc%d" % i, bit, carry)
+            if i < n - 1:
+                circuit.and_("cy%d" % i, carry, bit)
+                carry = "cy%d" % i
+        circuit.and_("ns%d" % i, "inc%d" % i, "nwrap")
+    circuit.add_output("wrap")
+    circuit.validate()
+    return circuit
+
+
+def lfsr(n: int, taps: Optional[Sequence[int]] = None) -> Circuit:
+    """Fibonacci LFSR seeded with ``100..0``; autonomous.
+
+    With maximal taps (the default for supported widths) the reachable
+    set is the full nonzero cycle: exactly ``2^n - 1`` states.
+    """
+    if taps is None:
+        taps = MAXIMAL_TAPS.get(n)
+        if taps is None:
+            raise CircuitError("no default maximal taps for width %d" % n)
+    circuit = Circuit("lfsr%d" % n)
+    for i in range(n):
+        circuit.add_latch("s%d" % i, "ns%d" % i, init=(i == 0))
+    tap_nets = ["s%d" % (t - 1) for t in taps]
+    if len(tap_nets) == 1:
+        circuit.add_gate("fb", "BUF", (tap_nets[0],))
+    else:
+        circuit.add_gate("fb", "XOR", tap_nets)
+    circuit.add_gate("ns0", "BUF", ("fb",))
+    for i in range(1, n):
+        circuit.add_gate("ns%d" % i, "BUF", ("s%d" % (i - 1),))
+    circuit.add_output("s%d" % (n - 1))
+    circuit.validate()
+    return circuit
+
+
+def johnson(n: int) -> Circuit:
+    """Johnson (twisted-ring) counter; ``2n`` reachable states."""
+    circuit = Circuit("johnson%d" % n)
+    for i in range(n):
+        circuit.add_latch("s%d" % i, "ns%d" % i, init=False)
+    circuit.not_("ns0", "s%d" % (n - 1))
+    for i in range(1, n):
+        circuit.add_gate("ns%d" % i, "BUF", ("s%d" % (i - 1),))
+    circuit.add_output("s%d" % (n - 1))
+    circuit.validate()
+    return circuit
+
+
+def token_ring(n: int) -> Circuit:
+    """One-hot token ring with a rotate enable; ``n`` reachable states.
+
+    The classic mutual-exclusion substrate: exactly one station holds
+    the token in every reachable state (the invariant-checking example).
+    """
+    circuit = Circuit("ring%d" % n)
+    circuit.add_input("en")
+    for i in range(n):
+        circuit.add_latch("s%d" % i, "ns%d" % i, init=(i == 0))
+    for i in range(n):
+        prev = "s%d" % ((i - 1) % n)
+        _mux(circuit, "ns%d" % i, "en", prev, "s%d" % i)
+    circuit.add_output("s%d" % (n - 1))
+    circuit.validate()
+    return circuit
+
+
+def shift_register(n: int) -> Circuit:
+    """Serial-in shift register; all ``2^n`` states reachable."""
+    circuit = Circuit("shift%d" % n)
+    circuit.add_input("d")
+    for i in range(n):
+        circuit.add_latch("s%d" % i, "ns%d" % i, init=False)
+    circuit.add_gate("ns0", "BUF", ("d",))
+    for i in range(1, n):
+        circuit.add_gate("ns%d" % i, "BUF", ("s%d" % (i - 1),))
+    circuit.add_output("s%d" % (n - 1))
+    circuit.validate()
+    return circuit
+
+
+def coupled_pairs(pairs: int) -> Circuit:
+    """Register pairs that always load the same data bit.
+
+    Both flip-flops of pair ``j`` capture input ``d<j>`` when ``en`` is
+    high, so the reachable set (from the all-zero state) is exactly
+    ``AND_j (a_j == b_j)`` — the paper's Section 3 example
+    ``chi = (v1<->v2)(v3<->v4)(v5<->v6)``: a characteristic function that
+    needs the pairs adjacent in the variable order, while the BFV
+    representation is small under *any* order.
+    """
+    circuit = Circuit("coupled%d" % pairs)
+    circuit.add_input("en")
+    for j in range(pairs):
+        circuit.add_input("d%d" % j)
+    for j in range(pairs):
+        circuit.add_latch("a%d" % j, "na%d" % j, init=False)
+        circuit.add_latch("b%d" % j, "nb%d" % j, init=False)
+    for j in range(pairs):
+        _mux(circuit, "na%d" % j, "en", "d%d" % j, "a%d" % j)
+        _mux(circuit, "nb%d" % j, "en", "d%d" % j, "b%d" % j)
+    circuit.add_output("a0")
+    circuit.validate()
+    return circuit
+
+
+def shadow_datapath(n: int, shadows: int = 2) -> Circuit:
+    """Shift-register datapath with derived shadow register banks.
+
+    Bank 0 is a serial shift register; shadow bank ``k`` registers load
+    a combinational mix (XOR of adjacent bits) of bank ``k-1``'s *next*
+    state, so every reachable state satisfies ``shadow = f(main)`` — the
+    functional dependencies [9] that the BFV representation factors out
+    automatically (paper Sec 3, the s4863 regime of Table 3).
+    """
+    circuit = Circuit("shadow%dx%d" % (n, shadows))
+    circuit.add_input("d")
+    for k in range(shadows + 1):
+        for i in range(n):
+            circuit.add_latch("r%d_%d" % (k, i), "nr%d_%d" % (k, i), init=False)
+    # Bank 0: shift register.
+    circuit.add_gate("nr0_0", "BUF", ("d",))
+    for i in range(1, n):
+        circuit.add_gate("nr0_%d" % i, "BUF", ("r0_%d" % (i - 1),))
+    # Shadow banks: load a mix of the previous bank's next state.
+    for k in range(1, shadows + 1):
+        for i in range(n):
+            a = "nr%d_%d" % (k - 1, i)
+            b = "nr%d_%d" % (k - 1, (i + 1) % n)
+            circuit.xor("nr%d_%d" % (k, i), a, b)
+    circuit.add_output("r%d_%d" % (shadows, n - 1))
+    circuit.validate()
+    return circuit
+
+
+def fifo_controller(ptr_bits: int) -> Circuit:
+    """FIFO head/tail pointer + occupancy counter controller.
+
+    ``push``/``pop`` inputs advance the tail/head pointers (mod
+    ``2^ptr_bits``) and the occupancy count, guarded against overflow
+    and underflow.  Reachable states satisfy
+    ``tail - head == count (mod 2^ptr_bits)`` with
+    ``0 <= count <= 2^ptr_bits`` — another functional-dependency regime,
+    with ``2^ptr_bits * (2^ptr_bits + 1)`` reachable states.
+    """
+    depth = 1 << ptr_bits
+    cnt_bits = ptr_bits + 1
+    circuit = Circuit("fifo%d" % ptr_bits)
+    push = circuit.add_input("push")
+    pop = circuit.add_input("pop")
+    for name, bits in (("h", ptr_bits), ("t", ptr_bits), ("c", cnt_bits)):
+        for i in range(bits):
+            circuit.add_latch("%s%d" % (name, i), "n%s%d" % (name, i), init=False)
+    # full = (count == depth); empty = (count == 0)
+    full_terms = []
+    for i in range(cnt_bits):
+        if depth >> i & 1:
+            full_terms.append("c%d" % i)
+        else:
+            circuit.not_("fT%d" % i, "c%d" % i)
+            full_terms.append("fT%d" % i)
+    circuit.add_gate("full", "AND", full_terms)
+    empty_terms = []
+    for i in range(cnt_bits):
+        circuit.not_("eT%d" % i, "c%d" % i)
+        empty_terms.append("eT%d" % i)
+    circuit.add_gate("empty", "AND", empty_terms)
+    circuit.not_("nfull", "full")
+    circuit.not_("nempty", "empty")
+    do_push = circuit.and_("do_push", push, "nfull")
+    do_pop = circuit.and_("do_pop", pop, "nempty")
+
+    def increment(prefix: str, bits: int, enable: str) -> None:
+        carry = enable
+        for i in range(bits):
+            bit = "%s%d" % (prefix, i)
+            circuit.xor("n%s%d" % (prefix, i), bit, carry)
+            if i < bits - 1:
+                circuit.and_("%scy%d" % (prefix, i), carry, bit)
+                carry = "%scy%d" % (prefix, i)
+
+    increment("t", ptr_bits, do_push)
+    increment("h", ptr_bits, do_pop)
+    # count' = count + do_push - do_pop; when both or neither, unchanged.
+    circuit.xor("delta", do_push, do_pop)
+    carry = "delta"
+    for i in range(cnt_bits):
+        bit = "c%d" % i
+        # Adding +1 (push) or -1 (pop == adding all-ones) share the same
+        # sum bits; the carry chain differs: for -1, carry propagates on
+        # bit == 0.
+        circuit.xor("nc%d" % i, bit, carry)
+        if i < cnt_bits - 1:
+            circuit.not_("cnb%d" % i, bit)
+            _mux(circuit, "ccy%d" % i, do_pop, "cnb%d" % i, bit)
+            circuit.and_("ccy_g%d" % i, "ccy%d" % i, carry)
+            carry = "ccy_g%d" % i
+    circuit.add_output("full")
+    circuit.add_output("empty")
+    circuit.validate()
+    return circuit
+
+
+def round_robin_arbiter(n: int) -> Circuit:
+    """Round-robin arbiter pointer; one-hot, rotates past the grantee.
+
+    Requests ``r0..r{n-1}`` are inputs; the one-hot priority pointer
+    advances to just past the granted station.  ``n`` reachable states,
+    control-dominated logic (priority chains), the s1512/s3330 regime.
+    """
+    circuit = Circuit("arbiter%d" % n)
+    for i in range(n):
+        circuit.add_input("r%d" % i)
+    for i in range(n):
+        circuit.add_latch("p%d" % i, "np%d" % i, init=(i == 0))
+    # grant_i = exists j: pointer at j and i is the first requester in
+    # the cyclic order j, j+1, ..., i.
+    for j in range(n):
+        for k in range(n):
+            i = (j + k) % n
+            terms = ["p%d" % j, "r%d" % i]
+            for m in range(k):
+                circuit_net = "nr%d" % ((j + m) % n)
+                if circuit_net not in circuit.gates:
+                    circuit.not_(circuit_net, "r%d" % ((j + m) % n))
+                terms.append(circuit_net)
+            circuit.add_gate("g_%d_%d" % (j, i), "AND", terms)
+    for i in range(n):
+        circuit.add_gate(
+            "grant%d" % i, "OR", ["g_%d_%d" % (j, i) for j in range(n)]
+        )
+    circuit.add_gate("any_grant", "OR", ["grant%d" % i for i in range(n)])
+    circuit.not_("no_grant", "any_grant")
+    for i in range(n):
+        prev_grant = "grant%d" % ((i - 1) % n)
+        circuit.and_("hold%d" % i, "no_grant", "p%d" % i)
+        circuit.or_("np%d" % i, "hold%d" % i, prev_grant)
+    circuit.add_output("grant0")
+    circuit.validate()
+    return circuit
+
+
+def combination_lock(sequence: Sequence[bool]) -> Circuit:
+    """FSM that advances through ``sequence`` on matching input bits.
+
+    Binary-encoded step counter; a wrong bit resets to the start.
+    Sparse, control-style transition structure; ``len(sequence) + 1``
+    reachable states.
+    """
+    steps = len(sequence)
+    bits = max(1, (steps + 1 - 1).bit_length())
+    circuit = Circuit("lock%d" % steps)
+    circuit.add_input("key")
+    for i in range(bits):
+        circuit.add_latch("s%d" % i, "ns%d" % i, init=False)
+    circuit.not_("nkey", "key")
+    # match = key equals the expected bit at the current step.
+    match_terms = []
+    for step, expected in enumerate(sequence):
+        eq_terms = []
+        for i in range(bits):
+            if step >> i & 1:
+                eq_terms.append("s%d" % i)
+            else:
+                net = "sn%d" % i
+                if net not in circuit.gates:
+                    circuit.not_(net, "s%d" % i)
+                eq_terms.append(net)
+        at = circuit.add_gate("at%d" % step, "AND", eq_terms)
+        want = "key" if expected else "nkey"
+        match_terms.append(circuit.and_("m%d" % step, at, want))
+    circuit.add_gate("advance", "OR", match_terms)
+    # next = advance ? step + 1 : (at_end ? hold : 0)
+    eq_terms = []
+    for i in range(bits):
+        if steps >> i & 1:
+            eq_terms.append("s%d" % i)
+        else:
+            net = "sn%d" % i
+            if net not in circuit.gates:
+                circuit.not_(net, "s%d" % i)
+            eq_terms.append(net)
+    at_end = circuit.add_gate("at_end", "AND", eq_terms)
+    carry = "advance"
+    for i in range(bits):
+        bit = "s%d" % i
+        circuit.xor("inc%d" % i, bit, carry)
+        if i < bits - 1:
+            circuit.and_("icy%d" % i, carry, bit)
+            carry = "icy%d" % i
+    circuit.or_("keep", "advance", "at_end")
+    for i in range(bits):
+        circuit.and_("ns%d" % i, "inc%d" % i, "keep")
+    circuit.add_output("at_end")
+    circuit.validate()
+    return circuit
+
+
+def random_control(
+    n: int, n_inputs: int = 2, seed: int = 0, avg_fanin: int = 3
+) -> Circuit:
+    """Deterministic pseudo-random control FSM.
+
+    Each next-state function is a two-level network over a random subset
+    of state bits and inputs — irregular logic with no exploitable
+    bit-level structure.  The regime where the monolithic characteristic
+    function is compact and the BFV decomposition has nothing to factor
+    (the paper's s1512 / s3330 rows, where VIS wins).
+    """
+    rng = random.Random(seed)
+    circuit = Circuit("rctl%d_%d" % (n, seed))
+    for i in range(n_inputs):
+        circuit.add_input("x%d" % i)
+    for i in range(n):
+        circuit.add_latch("s%d" % i, "ns%d" % i, init=False)
+    nets = ["s%d" % i for i in range(n)] + ["x%d" % i for i in range(n_inputs)]
+    inverted: Dict[str, str] = {}
+
+    def literal(net: str) -> str:
+        if rng.random() < 0.5:
+            return net
+        if net not in inverted:
+            inv = "inv_%s" % net
+            circuit.not_(inv, net)
+            inverted[net] = inv
+        return inverted[net]
+
+    for i in range(n):
+        terms: List[str] = []
+        for t in range(rng.randint(2, 3)):
+            fanin = rng.randint(2, avg_fanin + 1)
+            chosen = rng.sample(nets, min(fanin, len(nets)))
+            term = circuit.add_gate(
+                "t%d_%d" % (i, t), "AND", [literal(c) for c in chosen]
+            )
+            terms.append(term)
+        circuit.add_gate("ns%d" % i, "XOR" if rng.random() < 0.4 else "OR", terms)
+    circuit.add_output("s0")
+    circuit.validate()
+    return circuit
+
+
+def traffic_light() -> Circuit:
+    """A small traffic-light controller FSM (documentation example).
+
+    Two one-hot-ish phase bits plus a 2-bit timer; the ``car`` sensor
+    input requests the side road.
+    """
+    circuit = Circuit("traffic")
+    circuit.add_input("car")
+    # phase: 0 = main green, 1 = main yellow, 2 = side green, 3 = side yellow
+    circuit.add_latch("p0", "np0", init=False)
+    circuit.add_latch("p1", "np1", init=False)
+    circuit.add_latch("t0", "nt0", init=False)
+    circuit.add_latch("t1", "nt1", init=False)
+    # timer saturating increment, reset on phase change
+    circuit.and_("t_max", "t0", "t1")
+    circuit.not_("nt_max", "t_max")
+    circuit.not_("np0_b", "p0")
+    circuit.not_("np1_b", "p1")
+    # advance conditions per phase
+    circuit.and_("main_green", "np0_b", "np1_b")
+    circuit.and_("main_yellow", "p0", "np1_b")
+    circuit.and_("side_green", "np0_b", "p1")
+    circuit.and_("side_yellow", "p0", "p1")
+    circuit.and_("adv_mg", "main_green", "t_maxcar")
+    circuit.and_("t_maxcar", "t_max", "car")
+    circuit.and_("adv_my", "main_yellow", "t_max")
+    circuit.and_("adv_sg", "side_green", "t_max")
+    circuit.and_("adv_sy", "side_yellow", "t_max")
+    circuit.or_("advance", "adv_mg", "adv_my")
+    circuit.or_("advance2", "adv_sg", "adv_sy")
+    circuit.or_("adv", "advance", "advance2")
+    # phase encoding increments mod 4 on advance
+    circuit.xor("np0", "p0", "adv")
+    circuit.and_("p_carry", "adv", "p0")
+    circuit.xor("np1", "p1", "p_carry")
+    # timer: reset on advance else saturating increment
+    circuit.not_("nadv", "adv")
+    circuit.xor("t_inc0", "t0", "nt_max")
+    circuit.and_("t_cy", "nt_max", "t0")
+    circuit.xor("t_inc1", "t1", "t_cy")
+    circuit.and_("nt0", "t_inc0", "nadv")
+    circuit.and_("nt1", "t_inc1", "nadv")
+    circuit.add_output("main_green")
+    circuit.add_output("side_green")
+    circuit.validate()
+    return circuit

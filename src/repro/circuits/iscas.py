@@ -1,0 +1,42 @@
+"""Embedded ISCAS'89 netlists.
+
+Only the tiny, universally reproduced s27 benchmark is embedded (its
+netlist appears in countless papers and course notes); the larger
+ISCAS'89 circuits the paper benchmarks are not redistributable and are
+replaced by the surrogates in :mod:`repro.circuits.surrogates`.
+
+The embedded netlist is validated in the test suite against the
+well-known ground truth: 6 reachable states from the all-zero start.
+"""
+
+from __future__ import annotations
+
+from . import bench
+from .netlist import Circuit
+
+S27_BENCH = """\
+# s27 (ISCAS'89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G13 = NAND(G2, G12)
+G9 = NOR(G16, G15)
+G10 = NOR(G14, G11)
+G11 = OR(G5, G9)
+G12 = OR(G1, G7)
+"""
+
+
+def s27() -> Circuit:
+    """The s27 benchmark circuit (3 flip-flops, 4 inputs, 10 gates)."""
+    return bench.loads(S27_BENCH, "s27")

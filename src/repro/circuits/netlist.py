@@ -1,0 +1,271 @@
+"""Gate-level sequential netlist model.
+
+A :class:`Circuit` is a synchronous sequential network in the ISCAS'89
+style: primary inputs, primary outputs, multi-input logic gates and
+D flip-flops (latches) with an initial value.  Nets are referred to by
+name; each net has exactly one driver (a primary input, a gate, or a
+latch output).
+
+The model is deliberately simple — it is the substrate the paper's
+reachability experiments run on — but fully validated: structural checks
+catch undriven nets, multiple drivers, and combinational cycles, and a
+topological order over the combinational core is computed once and
+cached for the simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import CircuitError
+
+#: Supported gate operators (arbitrary fan-in except NOT/BUF).
+GATE_OPS = ("AND", "OR", "NAND", "NOR", "XOR", "XNOR", "NOT", "BUF")
+
+_UNARY = ("NOT", "BUF")
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A combinational gate driving net ``output``."""
+
+    output: str
+    op: str
+    inputs: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.op not in GATE_OPS:
+            raise CircuitError("unknown gate op %r" % self.op)
+        if self.op in _UNARY and len(self.inputs) != 1:
+            raise CircuitError("%s gate must have one input" % self.op)
+        if not self.inputs:
+            raise CircuitError("gate %r has no inputs" % self.output)
+
+    def evaluate(self, values: Sequence[bool]) -> bool:
+        """Evaluate the gate on concrete input values."""
+        if self.op == "AND":
+            return all(values)
+        if self.op == "OR":
+            return any(values)
+        if self.op == "NAND":
+            return not all(values)
+        if self.op == "NOR":
+            return not any(values)
+        if self.op == "XOR":
+            return sum(values) % 2 == 1
+        if self.op == "XNOR":
+            return sum(values) % 2 == 0
+        if self.op == "NOT":
+            return not values[0]
+        return bool(values[0])  # BUF
+
+
+@dataclass(frozen=True)
+class Latch:
+    """A D flip-flop: ``output`` holds the state, ``data`` is next-state."""
+
+    output: str
+    data: str
+    init: bool = False
+
+
+class Circuit:
+    """A synchronous sequential circuit.
+
+    Build incrementally with :meth:`add_input`, :meth:`add_gate`,
+    :meth:`add_latch` and :meth:`add_output`, then :meth:`validate`.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.inputs: List[str] = []
+        self.outputs: List[str] = []
+        self.gates: Dict[str, Gate] = {}
+        self.latches: Dict[str, Latch] = {}
+        self._topo: Optional[List[Gate]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _check_new_driver(self, net: str) -> None:
+        if net in self.gates or net in self.latches or net in self.inputs:
+            raise CircuitError("net %r already driven" % net)
+
+    def add_input(self, net: str) -> str:
+        """Declare a primary input."""
+        self._check_new_driver(net)
+        self.inputs.append(net)
+        self._topo = None
+        return net
+
+    def add_gate(self, output: str, op: str, inputs: Iterable[str]) -> str:
+        """Add a gate driving ``output``."""
+        self._check_new_driver(output)
+        self.gates[output] = Gate(output, op, tuple(inputs))
+        self._topo = None
+        return output
+
+    def add_latch(self, output: str, data: str, init: bool = False) -> str:
+        """Add a D flip-flop whose state appears on ``output``."""
+        self._check_new_driver(output)
+        self.latches[output] = Latch(output, data, bool(init))
+        self._topo = None
+        return output
+
+    def add_output(self, net: str) -> str:
+        """Declare a primary output."""
+        self.outputs.append(net)
+        return net
+
+    # Convenience single-use gate builders ------------------------------
+
+    def and_(self, output: str, *inputs: str) -> str:
+        """Add an AND gate."""
+        return self.add_gate(output, "AND", inputs)
+
+    def or_(self, output: str, *inputs: str) -> str:
+        """Add an OR gate."""
+        return self.add_gate(output, "OR", inputs)
+
+    def xor(self, output: str, *inputs: str) -> str:
+        """Add an XOR gate."""
+        return self.add_gate(output, "XOR", inputs)
+
+    def not_(self, output: str, input_: str) -> str:
+        """Add a NOT gate."""
+        return self.add_gate(output, "NOT", (input_,))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def state_nets(self) -> List[str]:
+        """Latch output nets, in declaration order."""
+        return list(self.latches)
+
+    @property
+    def num_latches(self) -> int:
+        """Number of flip-flops."""
+        return len(self.latches)
+
+    @property
+    def num_gates(self) -> int:
+        """Number of combinational gates."""
+        return len(self.gates)
+
+    @property
+    def initial_state(self) -> Tuple[bool, ...]:
+        """Initial latch values, in declaration order."""
+        return tuple(latch.init for latch in self.latches.values())
+
+    def nets(self) -> Set[str]:
+        """All driven nets."""
+        driven = set(self.inputs)
+        driven.update(self.gates)
+        driven.update(self.latches)
+        return driven
+
+    def driver_of(self, net: str) -> str:
+        """Classify the driver of ``net``: 'input', 'gate' or 'latch'."""
+        if net in self.inputs:
+            return "input"
+        if net in self.gates:
+            return "gate"
+        if net in self.latches:
+            return "latch"
+        raise CircuitError("net %r is not driven" % net)
+
+    # ------------------------------------------------------------------
+    # Validation and topological order
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural sanity; raises :class:`CircuitError`.
+
+        Verifies that every referenced net is driven and that the
+        combinational core is acyclic (latch boundaries break cycles).
+        """
+        driven = self.nets()
+        for gate in self.gates.values():
+            for net in gate.inputs:
+                if net not in driven:
+                    raise CircuitError(
+                        "gate %r reads undriven net %r" % (gate.output, net)
+                    )
+        for latch in self.latches.values():
+            if latch.data not in driven:
+                raise CircuitError(
+                    "latch %r reads undriven net %r"
+                    % (latch.output, latch.data)
+                )
+        for net in self.outputs:
+            if net not in driven:
+                raise CircuitError("output net %r is not driven" % net)
+        self.topological_gates()  # raises on combinational cycles
+
+    def topological_gates(self) -> List[Gate]:
+        """Gates in evaluation order (inputs/latch outputs are sources)."""
+        if self._topo is not None:
+            return self._topo
+        order: List[Gate] = []
+        VISITING, DONE = 0, 1
+        state: Dict[str, int] = {}
+        sources = set(self.inputs) | set(self.latches)
+
+        roots = [latch.data for latch in self.latches.values()]
+        roots.extend(self.outputs)
+        roots.extend(self.gates)  # include dead logic for completeness
+        for root in roots:
+            if root in sources or state.get(root) == DONE:
+                continue
+            if root not in self.gates:
+                raise CircuitError("net %r is not driven" % root)
+            # Iterative DFS to avoid recursion limits on deep circuits:
+            # (net, next-input-index) frames.
+            stack: List[Tuple[str, int]] = [(root, 0)]
+            state[root] = VISITING
+            while stack:
+                current, index = stack.pop()
+                gate = self.gates[current]
+                advanced = False
+                for i in range(index, len(gate.inputs)):
+                    child = gate.inputs[i]
+                    if child in sources or state.get(child) == DONE:
+                        continue
+                    if state.get(child) == VISITING:
+                        raise CircuitError(
+                            "combinational cycle through %r" % child
+                        )
+                    if child not in self.gates:
+                        raise CircuitError("net %r is not driven" % child)
+                    stack.append((current, i + 1))
+                    stack.append((child, 0))
+                    state[child] = VISITING
+                    advanced = True
+                    break
+                if not advanced:
+                    state[current] = DONE
+                    order.append(gate)
+        self._topo = order
+        return order
+
+    def stats(self) -> Dict[str, int]:
+        """Summary statistics (inputs, outputs, latches, gates)."""
+        return {
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+            "latches": self.num_latches,
+            "gates": self.num_gates,
+        }
+
+    def __repr__(self) -> str:
+        return "Circuit(%r, in=%d, out=%d, ff=%d, gates=%d)" % (
+            self.name,
+            len(self.inputs),
+            len(self.outputs),
+            self.num_latches,
+            self.num_gates,
+        )

@@ -1,0 +1,148 @@
+"""Protocol-style circuit models: cache coherence and handshakes.
+
+Classic model-checking workloads built as synchronous netlists, giving
+the reachability engines (and the invariant checker) realistic
+control-dominated state spaces with meaningful safety properties:
+
+* :func:`msi_coherence` — an MSI cache-coherence protocol over a shared
+  bus: per-cache 2-bit state (Invalid/Shared/Modified), requests as
+  primary inputs, a fixed-priority bus grant, invalidation on bus
+  writes.  Safety: at most one cache Modified, and never Modified
+  alongside Shared.
+* :func:`handshake` — a two-phase request/acknowledge handshake pair
+  with a data-valid flag.  Safety: ack implies outstanding request.
+
+Both models' reachable sets and invariants are validated against
+explicit-state search in the tests.
+"""
+
+from __future__ import annotations
+
+from .netlist import Circuit
+
+#: MSI state encoding: (bit1, bit0) — I=00, S=01, M=10.
+MSI_INVALID = (False, False)
+MSI_SHARED = (False, True)
+MSI_MODIFIED = (True, False)
+
+
+def msi_coherence(caches: int) -> Circuit:
+    """MSI protocol with ``caches`` agents on a fixed-priority bus.
+
+    Inputs per cache ``i``: ``rd<i>`` (wants to read), ``wr<i>`` (wants
+    to write).  One bus transaction per cycle: the lowest-indexed
+    requester wins (writes beat reads at the same agent).  A granted
+    write moves the winner to Modified and every other cache to
+    Invalid; a granted read moves the winner to Shared and demotes a
+    Modified third party to Shared (write-back).  Non-winners keep
+    their state.
+
+    State per cache: ``m<i>`` (modified bit) and ``s<i>`` (shared bit);
+    ``m`` and ``s`` are never both set in reachable states.
+    """
+    circuit = Circuit("msi%d" % caches)
+    for i in range(caches):
+        circuit.add_input("rd%d" % i)
+        circuit.add_input("wr%d" % i)
+    for i in range(caches):
+        circuit.add_latch("m%d" % i, "nm%d" % i, init=False)
+        circuit.add_latch("s%d" % i, "ns%d" % i, init=False)
+    # Request arbitration: fixed priority by index, writes > reads.
+    # some_req_above_<i> = OR of requests from agents < i.
+    prev_any = None
+    for i in range(caches):
+        req = circuit.or_("req%d" % i, "rd%d" % i, "wr%d" % i)
+        if prev_any is None:
+            circuit.add_gate("win%d" % i, "BUF", (req,))
+            prev_any = req
+        else:
+            circuit.not_("nabove%d" % i, prev_any)
+            circuit.and_("win%d" % i, req, "nabove%d" % i)
+            prev_any = circuit.or_("any%d" % i, prev_any, req)
+    # Winner action: write wins over read at the winning agent.
+    for i in range(caches):
+        circuit.and_("gwr%d" % i, "win%d" % i, "wr%d" % i)
+        circuit.not_("nwr%d" % i, "wr%d" % i)
+        circuit.and_("grd_t%d" % i, "win%d" % i, "rd%d" % i)
+        circuit.and_("grd%d" % i, "grd_t%d" % i, "nwr%d" % i)
+    bus_write = circuit.add_gate(
+        "bus_write", "OR", ["gwr%d" % i for i in range(caches)]
+    )
+    bus_read = circuit.add_gate(
+        "bus_read", "OR", ["grd%d" % i for i in range(caches)]
+    )
+    circuit.not_("nbus_write", "bus_write")
+    circuit.not_("nbus_read", "bus_read")
+    for i in range(caches):
+        # next modified: granted write, or stay modified while no other
+        # transaction disturbs us (a foreign write invalidates, a
+        # foreign read demotes to shared).
+        circuit.not_("nwin%d" % i, "win%d" % i)
+        circuit.and_("foreign_wr%d" % i, "bus_write", "nwin%d" % i)
+        circuit.and_("foreign_rd%d" % i, "bus_read", "nwin%d" % i)
+        circuit.not_("nforeign_wr%d" % i, "foreign_wr%d" % i)
+        circuit.not_("nforeign_rd%d" % i, "foreign_rd%d" % i)
+        circuit.and_(
+            "keep_m%d" % i,
+            "m%d" % i,
+            "nforeign_wr%d" % i,
+            "nforeign_rd%d" % i,
+        )
+        # a granted read keeps/holds shared only while nobody writes
+        circuit.and_("hold_keep%d" % i, "s%d" % i, "nforeign_wr%d" % i)
+        circuit.and_("demoted%d" % i, "m%d" % i, "foreign_rd%d" % i)
+        # the winner of a read that was modified stays... winner keeps
+        # line: granted read -> shared.
+        circuit.and_("nwin_keep%d" % i, "hold_keep%d" % i, "nwin%d" % i)
+        circuit.or_(
+            "nm%d" % i,
+            "gwr%d" % i,
+            "keep_m%d" % i,
+        )
+        # A granted read by a cache already in Modified is a read hit:
+        # it keeps M and must not also gain S.
+        circuit.not_("nm_cur%d" % i, "m%d" % i)
+        circuit.and_("grd_miss%d" % i, "grd%d" % i, "nm_cur%d" % i)
+        circuit.or_(
+            "ns%d" % i,
+            "grd_miss%d" % i,
+            "nwin_keep%d" % i,
+            "demoted%d" % i,
+        )
+    circuit.add_output("bus_write")
+    circuit.add_output("bus_read")
+    circuit.validate()
+    return circuit
+
+
+def handshake(stages: int = 1) -> Circuit:
+    """Chained request/acknowledge handshakes with data-valid flags.
+
+    Stage ``k`` raises ``ack`` one cycle after seeing ``req`` and holds
+    it while the request persists; a ``valid`` bit tracks an accepted
+    transfer.  Input: ``req0`` (and a ``drop`` that clears everything).
+    Safety: ``ack<k>`` implies ``req<k>`` was high the cycle before —
+    checked in tests via the reachable state space.
+    """
+    circuit = Circuit("handshake%d" % stages)
+    circuit.add_input("req0")
+    circuit.add_input("drop")
+    circuit.not_("ndrop", "drop")
+    previous_req = "req0"
+    for k in range(stages):
+        ack = "ack%d" % k
+        valid = "valid%d" % k
+        circuit.add_latch(ack, "n%s" % ack, init=False)
+        circuit.add_latch(valid, "n%s" % valid, init=False)
+        # ack tracks the request, one cycle delayed, unless dropped.
+        circuit.and_("n%s" % ack, previous_req, "ndrop")
+        # valid set when req & ack meet; cleared on drop.
+        circuit.and_("meet%d" % k, previous_req, ack)
+        circuit.or_("vset%d" % k, "meet%d" % k, valid)
+        circuit.and_("n%s" % valid, "vset%d" % k, "ndrop")
+        # next stage's request is this stage's valid flag
+        previous_req = valid
+    circuit.add_output("ack%d" % (stages - 1))
+    circuit.add_output("valid%d" % (stages - 1))
+    circuit.validate()
+    return circuit

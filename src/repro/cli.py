@@ -1,0 +1,276 @@
+"""Command-line interface: reachability analysis from the shell.
+
+``python -m repro reach <circuit> [options]`` runs one of the four
+engines on a built-in circuit (surrogate suite, generator families,
+s27) or on an ISCAS'89 ``.bench`` file, and prints the Table-2-style
+statistics.  ``python -m repro list`` shows the built-in circuits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Callable, Dict
+
+from .circuits import bench, generators, protocols, surrogates
+from .circuits.iscas import s27
+from .circuits.netlist import Circuit
+from .order import FAMILIES, order_for
+from .reach import ENGINES, ReachLimits, format_table2
+
+
+def builtin_circuits() -> Dict[str, Callable[[], Circuit]]:
+    """Name -> factory map of all circuits available by name."""
+    catalog: Dict[str, Callable[[], Circuit]] = dict(surrogates.SUITE)
+    catalog["s27"] = s27
+    catalog.update(
+        {
+            "counter8": lambda: generators.counter(8),
+            "lfsr8": lambda: generators.lfsr(8),
+            "johnson8": lambda: generators.johnson(8),
+            "ring8": lambda: generators.token_ring(8),
+            "fifo3": lambda: generators.fifo_controller(3),
+            "coupled8": lambda: generators.coupled_pairs(8),
+            "arbiter5": lambda: generators.round_robin_arbiter(5),
+            "traffic": generators.traffic_light,
+            "msi3": lambda: protocols.msi_coherence(3),
+            "handshake3": lambda: protocols.handshake(3),
+        }
+    )
+    return catalog
+
+
+def resolve_circuit(name: str) -> Circuit:
+    """Find a circuit by built-in name or ``.bench`` file path."""
+    catalog = builtin_circuits()
+    if name in catalog:
+        return catalog[name]()
+    if os.path.exists(name):
+        return bench.load(name)
+    raise SystemExit(
+        "unknown circuit %r (not a built-in name or .bench path); "
+        "try `python -m repro list`" % name
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Boolean-functional-vector symbolic reachability "
+            "(Goel & Bryant, DATE 2003 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    reach = sub.add_parser("reach", help="run reachability analysis")
+    reach.add_argument("circuit", help="built-in name or .bench file")
+    reach.add_argument(
+        "--engine",
+        choices=list(ENGINES) + ["all"],
+        default="bfv",
+        help="reachability engine (default: bfv, the paper's Figure 2)",
+    )
+    reach.add_argument(
+        "--order",
+        choices=list(FAMILIES),
+        default="S1",
+        help="variable-order family (default: S1)",
+    )
+    reach.add_argument(
+        "--max-seconds", type=float, default=300.0, help="time budget"
+    )
+    reach.add_argument(
+        "--max-nodes", type=int, default=1_000_000, help="live-node budget"
+    )
+    reach.add_argument(
+        "--no-count",
+        action="store_true",
+        help="skip the exact state count (avoids building chi)",
+    )
+
+    info = sub.add_parser("info", help="print circuit statistics")
+    info.add_argument("circuit", help="built-in name or .bench file")
+
+    check = sub.add_parser(
+        "check", help="check that an output can never be raised (AG !out)"
+    )
+    check.add_argument("circuit", help="built-in name or .bench file")
+    check.add_argument("output", help="primary output net to check")
+    check.add_argument(
+        "--max-seconds", type=float, default=300.0, help="time budget"
+    )
+    check.add_argument(
+        "--max-nodes", type=int, default=1_000_000, help="live-node budget"
+    )
+    check.add_argument(
+        "--vcd", metavar="FILE", help="write the counterexample as a VCD waveform"
+    )
+
+    equiv = sub.add_parser(
+        "equiv", help="check sequential equivalence of two circuits"
+    )
+    equiv.add_argument("left", help="built-in name or .bench file")
+    equiv.add_argument("right", help="built-in name or .bench file")
+    equiv.add_argument(
+        "--max-seconds", type=float, default=300.0, help="time budget"
+    )
+    equiv.add_argument(
+        "--max-nodes", type=int, default=1_000_000, help="live-node budget"
+    )
+
+    sub.add_parser("list", help="list built-in circuits")
+    return parser
+
+
+def cmd_reach(args: argparse.Namespace) -> int:
+    circuit = resolve_circuit(args.circuit)
+    slots = order_for(circuit, args.order)
+    limits = ReachLimits(
+        max_seconds=args.max_seconds, max_live_nodes=args.max_nodes
+    )
+    engines = list(ENGINES) if args.engine == "all" else [args.engine]
+    results = []
+    for engine_name in engines:
+        result = ENGINES[engine_name](
+            circuit,
+            slots=slots,
+            limits=limits,
+            order_name=args.order,
+            count_states=not args.no_count,
+        )
+        results.append(result)
+        if result.completed:
+            line = (
+                "%-5s completed in %.2fs: %d iterations, "
+                "peak %d live nodes, representation %d nodes"
+                % (
+                    engine_name,
+                    result.seconds,
+                    result.iterations,
+                    result.peak_live_nodes,
+                    result.reached_size,
+                )
+            )
+            if result.num_states is not None:
+                line += ", %d reachable states" % result.num_states
+        else:
+            line = "%-5s did not complete: %s after %.2fs" % (
+                engine_name,
+                result.status,
+                result.seconds,
+            )
+        print(line)
+    print()
+    print(format_table2(results, engines=tuple(engines)))
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    circuit = resolve_circuit(args.circuit)
+    stats = circuit.stats()
+    print("circuit:", circuit.name)
+    for key in ("inputs", "outputs", "latches", "gates"):
+        print("  %-8s %d" % (key, stats[key]))
+    print("  state nets:", ", ".join(circuit.state_nets[:12]) + (
+        " ..." if circuit.num_latches > 12 else ""))
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from .mc import check_invariant, output_never_high
+
+    circuit = resolve_circuit(args.circuit)
+    limits = ReachLimits(
+        max_seconds=args.max_seconds, max_live_nodes=args.max_nodes
+    )
+    result = check_invariant(
+        circuit, output_never_high(args.output), limits=limits
+    )
+    if not result.completed:
+        print("inconclusive: budget exhausted (%s)" % result.failure)
+        return 2
+    if result.holds:
+        print(
+            "HOLDS: output %r can never be raised (proved over %d images)"
+            % (args.output, result.iterations)
+        )
+        return 0
+    trace = result.counterexample
+    print(
+        "VIOLATED: output %r is reachable after %d cycles"
+        % (args.output, len(trace))
+    )
+    for cycle, step in enumerate(trace.inputs):
+        values = ", ".join(
+            "%s=%d" % (net, int(value)) for net, value in sorted(step.items())
+        )
+        print("  cycle %d: %s" % (cycle, values))
+    if args.vcd:
+        from .vcd import save_trace
+
+        save_trace(circuit, trace, args.vcd)
+        print("waveform written to", args.vcd)
+    return 1
+
+
+def cmd_equiv(args: argparse.Namespace) -> int:
+    from .mc import check_equivalence
+
+    left = resolve_circuit(args.left)
+    right = resolve_circuit(args.right)
+    limits = ReachLimits(
+        max_seconds=args.max_seconds, max_live_nodes=args.max_nodes
+    )
+    result = check_equivalence(left, right, limits=limits)
+    if not result.completed:
+        print("inconclusive: budget exhausted (%s)" % result.failure)
+        return 2
+    if result.holds:
+        print(
+            "EQUIVALENT: %s and %s agree on every input sequence"
+            % (left.name, right.name)
+        )
+        return 0
+    print("NOT EQUIVALENT; distinguishing input sequence:")
+    trace = result.counterexample
+    for cycle, step in enumerate(trace.inputs):
+        values = ", ".join(
+            "%s=%d" % (net, int(value)) for net, value in sorted(step.items())
+        )
+        print("  cycle %d: %s" % (cycle, values))
+    print(
+        "  (after %d cycles, some output differs for a suitable input)"
+        % len(trace)
+    )
+    return 1
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("built-in circuits:")
+    for name, factory in sorted(builtin_circuits().items()):
+        circuit = factory()
+        stats = circuit.stats()
+        print(
+            "  %-10s %3d FFs, %3d inputs, %4d gates"
+            % (name, stats["latches"], stats["inputs"], stats["gates"])
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "reach": cmd_reach,
+        "info": cmd_info,
+        "check": cmd_check,
+        "equiv": cmd_equiv,
+        "list": cmd_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

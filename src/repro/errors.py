@@ -1,0 +1,55 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while still being able to distinguish resource exhaustion
+(used to model the paper's T.O./M.O. table entries) from genuine misuse.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class BDDError(ReproError):
+    """Misuse of the BDD layer (foreign nodes, unknown variables, ...)."""
+
+
+class VariableError(BDDError):
+    """An operation referenced a variable the manager does not know."""
+
+
+class BFVError(ReproError):
+    """Misuse of the Boolean functional vector layer."""
+
+
+class EmptySetError(BFVError):
+    """An operation that requires a non-empty set was given the empty set.
+
+    The canonical Boolean functional vector form does not exist for the
+    empty set (paper Section 2.1); it is handled as an explicit special
+    case, and operations that need an actual vector raise this error.
+    """
+
+
+class CircuitError(ReproError):
+    """Structural problem in a netlist (undriven nets, cycles, ...)."""
+
+
+class BenchFormatError(CircuitError):
+    """Malformed ISCAS'89 ``.bench`` input."""
+
+
+class ResourceLimitError(ReproError):
+    """A configured resource budget was exhausted.
+
+    Mirrors the paper's time-out / memory-out entries in Table 2: engines
+    run under a step and live-node budget, and raise this error (carrying
+    ``kind`` = ``"time"`` or ``"memory"``) when the budget is exceeded.
+    """
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(message)
+        self.kind = kind

@@ -1,0 +1,30 @@
+"""Safety model checking on Boolean functional vectors.
+
+The paper's conclusion lists "a symbolic simulation based model
+checker" as future work; this package implements its simplest useful
+form — invariant (AG) checking — on top of the BFV reachability engine:
+the reached set stays a canonical vector throughout, the property check
+is a containment query on vectors, and counterexamples are produced as
+concrete input traces by walking the onion rings of the traversal
+backwards (each step is re-validated against the gate-level simulator).
+"""
+
+from .bmc import BMCResult, bounded_check
+from .checker import CheckResult, Trace, check_invariant, output_never_high
+from .equivalence import check_equivalence, distinguishing_inputs
+from .properties import exactly_one, implication, never_all, state_predicate
+
+__all__ = [
+    "BMCResult",
+    "CheckResult",
+    "bounded_check",
+    "Trace",
+    "check_equivalence",
+    "check_invariant",
+    "distinguishing_inputs",
+    "exactly_one",
+    "implication",
+    "never_all",
+    "output_never_high",
+    "state_predicate",
+]

@@ -1,0 +1,78 @@
+"""Property constructors for the invariant checker.
+
+A *property* is a callable ``(bdd, state_var_of) -> node`` producing the
+characteristic function of the good states over the current-state
+variables; ``state_var_of`` maps state net names to variable indices.
+These helpers build the common shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable
+
+Property = Callable[[object, Dict[str, int]], int]
+
+
+def state_predicate(predicate: Callable[[Dict[str, bool]], bool]) -> Property:
+    """Lift a Python predicate over state-bit dictionaries to a property.
+
+    The predicate is evaluated on every minterm — exact but exponential
+    in the number of state bits; intended for small circuits and tests.
+    """
+
+    def build(bdd, state_var_of: Dict[str, int]) -> int:
+        import itertools
+
+        nets = list(state_var_of)
+        chi = bdd.false
+        for values in itertools.product([False, True], repeat=len(nets)):
+            assignment = dict(zip(nets, values))
+            if predicate(assignment):
+                cube = {state_var_of[n]: v for n, v in assignment.items()}
+                chi = bdd.or_(chi, bdd.cube(cube))
+        return chi
+
+    return build
+
+
+def exactly_one(nets: Iterable[str]) -> Property:
+    """Mutual exclusion: exactly one of ``nets`` is high (one-hot)."""
+    nets = list(nets)
+
+    def build(bdd, state_var_of: Dict[str, int]) -> int:
+        total = bdd.false
+        for hot in nets:
+            term = bdd.true
+            for net in nets:
+                literal = bdd.var(state_var_of[net])
+                if net != hot:
+                    literal = bdd.not_(literal)
+                term = bdd.and_(term, literal)
+            total = bdd.or_(total, term)
+        return total
+
+    return build
+
+
+def never_all(nets: Iterable[str]) -> Property:
+    """The listed nets are never simultaneously high."""
+    nets = list(nets)
+
+    def build(bdd, state_var_of: Dict[str, int]) -> int:
+        all_high = bdd.conjoin(
+            [bdd.var(state_var_of[net]) for net in nets]
+        )
+        return bdd.not_(all_high)
+
+    return build
+
+
+def implication(if_net: str, then_net: str) -> Property:
+    """Whenever ``if_net`` is high, ``then_net`` is high too."""
+
+    def build(bdd, state_var_of: Dict[str, int]) -> int:
+        return bdd.implies(
+            bdd.var(state_var_of[if_net]), bdd.var(state_var_of[then_net])
+        )
+
+    return build

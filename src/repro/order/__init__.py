@@ -1,0 +1,14 @@
+"""Variable-order construction: static heuristics and Table 2 families."""
+
+from .families import FAMILIES, order_for, random_order, reversed_order, sifted_order
+from .static import bfs_interleave_order, fanin_dfs_order
+
+__all__ = [
+    "FAMILIES",
+    "bfs_interleave_order",
+    "fanin_dfs_order",
+    "order_for",
+    "random_order",
+    "reversed_order",
+    "sifted_order",
+]

@@ -1,0 +1,85 @@
+"""The five variable-order families of the paper's Table 2.
+
+The paper evaluates both engines under *fixed* orders drawn from five
+sources: VIS's static order (S1), their own tool's static order (S2), an
+order produced by an earlier dynamic-reordering run (D), orders shipped
+with pdtexp (P), and other externally supplied orders (O).  The original
+order files are unavailable; the reproduction derives deterministic
+analogues from the netlist itself:
+
+========  ==========================================================
+family     construction
+========  ==========================================================
+``S1``     fan-in DFS static order (VIS-like)
+``S2``     BFS-interleaved static order (our-tool-like)
+``D``      order extracted from a sifting run over the circuit's
+           transition functions, seeded from S1
+``P``      S1 reversed — a plausible-but-untuned order standing in
+           for the externally produced pdtexp orders
+``O``      seeded random permutation — an order tuned for neither
+           representation
+========  ==========================================================
+
+Each family maps a circuit to a *slot list* (see
+:mod:`repro.order.static`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List
+
+from ..circuits.netlist import Circuit
+from .static import bfs_interleave_order, fanin_dfs_order
+
+
+def sifted_order(circuit: Circuit, seed_family: str = "S1") -> List[str]:
+    """Order from a dynamic-reordering (sifting) run (the "D" family).
+
+    Builds the circuit's next-state functions over the ``seed_family``
+    static order, sifts, and reads back the resulting relative order of
+    the input and current-state variables.
+    """
+    from ..bdd import BDD
+    from ..sim.symbolic import SymbolicSimulator
+
+    slots = FAMILIES[seed_family](circuit)
+    bdd = BDD()
+    var_of: Dict[str, int] = {}
+    for net in slots:
+        var_of[net] = bdd.add_var(net)
+    sim = SymbolicSimulator(bdd, circuit)
+    drivers = {net: bdd.var(v) for net, v in var_of.items()}
+    deltas = sim.next_state(drivers)
+    for f in deltas:
+        bdd.incref(f)
+    bdd.sift(max_growth=1.15)
+    by_level = sorted(var_of, key=lambda net: bdd.level_of(var_of[net]))
+    return by_level
+
+
+def reversed_order(circuit: Circuit) -> List[str]:
+    """S1 reversed (the "P" stand-in)."""
+    return list(reversed(fanin_dfs_order(circuit)))
+
+
+def random_order(circuit: Circuit, seed: int = 0) -> List[str]:
+    """Seeded random slot permutation (the "O" family)."""
+    slots = fanin_dfs_order(circuit)
+    rng = random.Random(seed)
+    rng.shuffle(slots)
+    return slots
+
+
+FAMILIES: Dict[str, Callable[[Circuit], List[str]]] = {
+    "S1": fanin_dfs_order,
+    "S2": bfs_interleave_order,
+    "D": sifted_order,
+    "P": reversed_order,
+    "O": random_order,
+}
+
+
+def order_for(circuit: Circuit, family: str) -> List[str]:
+    """Slot list for ``circuit`` under order ``family``."""
+    return FAMILIES[family](circuit)

@@ -1,0 +1,187 @@
+"""Persistence: save and load BDD functions and Boolean functional vectors.
+
+Reachability results are expensive; this module lets a tool cache them
+(e.g. the reached-set BFV of a design) and reload them in a later
+session, into a fresh manager or an existing one.
+
+The format is a line-oriented text file::
+
+    repro-bdd 1
+    vars <name> <name> ...
+    node <id> <var-name> <lo-id> <hi-id>
+    ...
+    func <name> <root-id>
+    bfv <name> <choice-var-names...> | <root-ids...>   (optional)
+
+Node ids ``0``/``1`` are the constants.  Nodes are written children
+first, so loading is a single pass.  Loading into an existing manager
+re-declares missing variables and rebuilds nodes with ``ite`` (correct
+under any variable order); loading into a fresh manager recreates the
+stored order exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, TextIO, Tuple
+
+from .bdd import BDD
+from .bfv import BFV
+from .errors import ReproError
+
+_MAGIC = "repro-bdd 1"
+
+
+def _collect_nodes(bdd, roots: Iterable[int]) -> List[int]:
+    """Shared-DAG nodes reachable from the roots, children first."""
+    order: List[int] = []
+    seen = {0, 1}
+    stack = [(root, False) for root in roots]
+    while stack:
+        node, expanded = stack.pop()
+        if node in seen:
+            continue
+        if expanded:
+            seen.add(node)
+            order.append(node)
+            continue
+        lo, hi = bdd.node_children(node)
+        stack.append((node, True))
+        stack.append((hi, False))
+        stack.append((lo, False))
+    return order
+
+
+def dump_functions(
+    bdd,
+    functions: Dict[str, int],
+    handle: TextIO,
+    vectors: Optional[Dict[str, BFV]] = None,
+) -> None:
+    """Write named functions (and optionally named BFVs) to ``handle``."""
+    vectors = vectors or {}
+    roots = list(functions.values())
+    for vector in vectors.values():
+        if not vector.is_empty:
+            roots.extend(vector.components)
+    handle.write(_MAGIC + "\n")
+    handle.write("vars %s\n" % " ".join(bdd.order_names))
+    for node in _collect_nodes(bdd, roots):
+        lo, hi = bdd.node_children(node)
+        handle.write(
+            "node %d %s %d %d\n"
+            % (node, bdd.var_name(bdd.node_var(node)), lo, hi)
+        )
+    for name, root in functions.items():
+        _check_name(name)
+        handle.write("func %s %d\n" % (name, root))
+    for name, vector in vectors.items():
+        _check_name(name)
+        choice_names = " ".join(
+            bdd.var_name(v) for v in vector.choice_vars
+        )
+        if vector.is_empty:
+            handle.write("bfv %s %s | empty\n" % (name, choice_names))
+        else:
+            components = " ".join(str(c) for c in vector.components)
+            handle.write(
+                "bfv %s %s | %s\n" % (name, choice_names, components)
+            )
+
+
+def _check_name(name: str) -> None:
+    if not name or any(ch.isspace() for ch in name):
+        raise ReproError("names must be non-empty and whitespace-free: %r" % name)
+
+
+def load_functions(
+    handle: TextIO, bdd: Optional[BDD] = None
+) -> Tuple[BDD, Dict[str, int], Dict[str, BFV]]:
+    """Read functions/vectors; returns ``(bdd, functions, vectors)``.
+
+    With ``bdd=None`` a fresh manager is created with the stored
+    variable order; otherwise missing variables are appended to the
+    given manager and nodes are rebuilt order-independently.
+    """
+    line = handle.readline().rstrip("\n")
+    if line != _MAGIC:
+        raise ReproError("not a repro-bdd file (bad magic %r)" % line)
+    vars_line = handle.readline().split()
+    if not vars_line or vars_line[0] != "vars":
+        raise ReproError("missing vars line")
+    names = vars_line[1:]
+    fresh = bdd is None
+    if fresh:
+        bdd = BDD(names)
+    else:
+        known = set(bdd.order_names)
+        for name in names:
+            if name not in known:
+                bdd.add_var(name)
+    id_map: Dict[int, int] = {0: bdd.false, 1: bdd.true}
+    functions: Dict[str, int] = {}
+    vectors: Dict[str, BFV] = {}
+    for raw in handle:
+        parts = raw.split()
+        if not parts:
+            continue
+        kind = parts[0]
+        if kind == "node":
+            if len(parts) != 5:
+                raise ReproError("malformed node line %r" % raw)
+            node_id, var_name = int(parts[1]), parts[2]
+            lo, hi = int(parts[3]), int(parts[4])
+            try:
+                lo_node, hi_node = id_map[lo], id_map[hi]
+            except KeyError:
+                raise ReproError(
+                    "node %d references unknown child" % node_id
+                ) from None
+            variable = bdd.var(var_name)
+            rebuilt = bdd.ite(variable, hi_node, lo_node)
+            id_map[node_id] = bdd.incref(rebuilt)
+        elif kind == "func":
+            if len(parts) != 3:
+                raise ReproError("malformed func line %r" % raw)
+            functions[parts[1]] = _lookup(id_map, int(parts[2]))
+        elif kind == "bfv":
+            try:
+                separator = parts.index("|")
+            except ValueError:
+                raise ReproError("malformed bfv line %r" % raw) from None
+            name = parts[1]
+            choice_vars = [bdd.var_index(n) for n in parts[2:separator]]
+            payload = parts[separator + 1:]
+            if payload == ["empty"]:
+                vectors[name] = BFV.empty(bdd, choice_vars)
+            else:
+                components = [
+                    _lookup(id_map, int(item)) for item in payload
+                ]
+                vectors[name] = BFV(bdd, choice_vars, components)
+        else:
+            raise ReproError("unknown record %r" % kind)
+    # Release the temporary pins; callers own functions/vectors now.
+    for name, root in functions.items():
+        bdd.incref(root)
+    for node in id_map.values():
+        bdd.decref(node)
+    return bdd, functions, vectors
+
+
+def _lookup(id_map: Dict[int, int], node_id: int) -> int:
+    try:
+        return id_map[node_id]
+    except KeyError:
+        raise ReproError("reference to unknown node %d" % node_id) from None
+
+
+def save(path: str, bdd, functions=None, vectors=None) -> None:
+    """Convenience wrapper: write to a file path."""
+    with open(path, "w") as handle:
+        dump_functions(bdd, functions or {}, handle, vectors)
+
+
+def load(path: str, bdd: Optional[BDD] = None):
+    """Convenience wrapper: read from a file path."""
+    with open(path) as handle:
+        return load_functions(handle, bdd)

@@ -1,0 +1,50 @@
+"""Symbolic reachability engines compared in the paper.
+
+* :func:`bfv_reachability` — the paper's contribution (Figure 2): BFV
+  sets, symbolic simulation, re-parameterization, direct union.
+* :func:`tr_reachability` — the VIS/IWLS95 baseline: characteristic
+  functions and a partitioned transition relation with early
+  quantification.
+* :func:`cbm_reachability` — the Coudert-Berthet-Madre flow (Figure 1):
+  BFV image computation but characteristic-function set manipulation,
+  paying per-iteration conversions.
+* :func:`conj_reachability` — Figure 2 with McMillan's conjunctive
+  decomposition as the set representation (Sec 2.7).
+
+All engines share a variable layout (:class:`ReachSpace`), resource
+budgets (:class:`ReachLimits`, reported as the paper's T.O./M.O.) and
+statistics (:class:`ReachResult`).
+"""
+
+from .backward import backward_reachability, can_reach
+from .bfv_engine import bfv_reachability
+from .cbm_engine import cbm_reachability
+from .common import ReachLimits, ReachResult, ReachSpace, RunMonitor
+from .conj_engine import conj_reachability
+from .iwls95 import PartitionedRelation
+from .report import format_table2, format_table3
+from .tr_engine import tr_reachability
+
+ENGINES = {
+    "bfv": bfv_reachability,
+    "tr": tr_reachability,
+    "cbm": cbm_reachability,
+    "conj": conj_reachability,
+}
+
+__all__ = [
+    "ENGINES",
+    "backward_reachability",
+    "can_reach",
+    "PartitionedRelation",
+    "ReachLimits",
+    "ReachResult",
+    "ReachSpace",
+    "RunMonitor",
+    "bfv_reachability",
+    "cbm_reachability",
+    "conj_reachability",
+    "format_table2",
+    "format_table3",
+    "tr_reachability",
+]

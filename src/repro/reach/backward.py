@@ -1,0 +1,134 @@
+"""Backward reachability: which states can reach a target set?
+
+The dual of the forward engines: iterate the *pre-image* of a target
+set until a fix point.  Useful on its own (error-state diagnosis,
+"can this assertion ever fire?") and as a powerful cross-check — a
+target intersects the forward reachable set iff the initial state lies
+in the backward reachable set of the target (exploited in the tests).
+
+Characteristic-function based (pre-image needs complements and the BFV
+form has no negation operator, as the paper notes).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..errors import ResourceLimitError
+from ..sim.symbolic import SymbolicSimulator
+from .common import ReachLimits, ReachResult, ReachSpace, RunMonitor
+from .iwls95 import PartitionedRelation
+
+
+def backward_reachability(
+    circuit,
+    target_states: Iterable[Sequence[bool]],
+    slots: Optional[Sequence[str]] = None,
+    limits: Optional[ReachLimits] = None,
+    cluster_threshold: int = 800,
+    count_states: bool = True,
+    order_name: str = "?",
+    space: Optional[ReachSpace] = None,
+) -> ReachResult:
+    """States that can reach any of ``target_states`` (in any #steps).
+
+    ``target_states`` are given in latch declaration order.  Returns a
+    :class:`ReachResult` whose ``extra['backward_chi']`` holds the
+    characteristic function (over current-state variables) of the
+    backward-reachable set, including the targets themselves.
+    """
+    if space is None:
+        space = ReachSpace(circuit, slots)
+    bdd = space.bdd
+    simulator = SymbolicSimulator(bdd, circuit)
+    monitor = RunMonitor(bdd, limits)
+
+    deltas_by_latch = simulator.transition_functions(
+        dict(space.input_var), dict(space.state_var)
+    )
+    by_net = dict(zip(circuit.latches, deltas_by_latch))
+    parts = [
+        bdd.equiv(bdd.var(space.next_var[net]), by_net[net])
+        for net in space.state_order
+    ]
+    quantify = list(space.s_vars) + list(space.x_vars)
+    relation = PartitionedRelation(
+        bdd, parts, quantify, cluster_threshold=cluster_threshold
+    )
+
+    declaration = list(circuit.latches)
+    index = {net: i for i, net in enumerate(declaration)}
+    target = bdd.false
+    for point in target_states:
+        cube = {
+            space.state_var[net]: bool(point[index[net]])
+            for net in space.state_order
+        }
+        target = bdd.or_(target, bdd.cube(cube))
+    bdd.incref(target)
+
+    reached = bdd.incref(target)
+    frontier = bdd.incref(target)
+    iterations = 0
+    result = ReachResult(
+        engine="backward",
+        circuit=circuit.name,
+        order=order_name,
+        completed=False,
+    )
+    try:
+        while True:
+            iterations += 1
+            # Lift the frontier to next-state variables and step back.
+            frontier_t = bdd.rename(
+                frontier, dict(zip(space.s_vars, space.t_vars))
+            )
+            predecessors = relation.pre_image(
+                frontier_t, space.t_vars, space.x_vars
+            )
+            new = bdd.diff(predecessors, reached)
+            if new == bdd.false:
+                break
+            previous = reached
+            reached = bdd.incref(bdd.or_(reached, new))
+            bdd.decref(previous)
+            bdd.decref(frontier)
+            frontier = bdd.incref(new)
+            monitor.checkpoint((), iterations)
+        result.completed = True
+    except ResourceLimitError as error:
+        result.failure = error.kind
+    result.iterations = iterations
+    result.seconds = monitor.elapsed
+    bdd.collect_garbage()
+    result.peak_live_nodes = max(monitor.peak_live, bdd.count_live())
+    result.reached_size = bdd.dag_size(reached)
+    if result.completed:
+        result.extra["space"] = space
+        result.extra["backward_chi"] = reached
+        if count_states:
+            result.num_states = space.states_of(reached)
+    return result
+
+
+def can_reach(
+    circuit,
+    target_states: Iterable[Sequence[bool]],
+    limits: Optional[ReachLimits] = None,
+) -> bool:
+    """True iff some target state is reachable from the reset state.
+
+    Decided *backwards*: the reset state must lie in the backward
+    reachable set of the targets.
+    """
+    result = backward_reachability(
+        circuit, target_states, limits=limits, count_states=False
+    )
+    if not result.completed:
+        raise ResourceLimitError(
+            result.failure or "time", "backward traversal exhausted budget"
+        )
+    space = result.extra["space"]
+    chi = result.extra["backward_chi"]
+    assignment = dict(zip(space.s_vars, space.initial_point))
+    return space.bdd.evaluate(chi, assignment)

@@ -1,0 +1,105 @@
+"""Reachability with Boolean functional vectors (paper Figure 2).
+
+The paper's flow: the reached set is held as a canonical BFV over the
+current-state choice variables; each iteration
+
+1. **symbolic simulation** — drive the circuit's state nets with the
+   from-set's components and its inputs with fresh variables, producing
+   the raw next-state vector over (state-choice, input) parameters;
+2. **re-parameterization** (Sec 2.6) — existentially eliminate those
+   parameters over the next-state choice variables, yielding the
+   canonical image, then rename next-state choices back to current;
+3. **set union** (Sec 2.3) — accumulate into the reached set;
+4. **fix-point test** — canonical vectors are compared componentwise.
+
+No characteristic function is ever constructed.  The *selection
+heuristic* of Figures 1/2 picks the representation-smaller of the image
+and the reached set as the next from-set.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..bfv import BFV
+from ..bfv.reparam import eliminate_params
+from ..errors import ResourceLimitError
+from ..sim.symbolic import SymbolicSimulator
+from .common import ReachLimits, ReachResult, ReachSpace, RunMonitor
+
+
+def bfv_reachability(
+    circuit,
+    slots: Optional[Sequence[str]] = None,
+    limits: Optional[ReachLimits] = None,
+    schedule: str = "support",
+    selection_heuristic: bool = True,
+    count_states: bool = True,
+    order_name: str = "?",
+    space: Optional[ReachSpace] = None,
+    initial_points=None,
+) -> ReachResult:
+    """Run Figure 2 reachability; returns a :class:`ReachResult`.
+
+    ``result.extra['space']`` / ``['reached']`` hold the
+    :class:`ReachSpace` and final reached :class:`BFV` for
+    cross-validation (when the run completes).
+    """
+    if space is None:
+        space = ReachSpace(circuit, slots)
+    bdd = space.bdd
+    simulator = SymbolicSimulator(bdd, circuit)
+    monitor = RunMonitor(bdd, limits)
+    input_drivers = {
+        net: bdd.incref(bdd.var(v)) for net, v in space.input_var.items()
+    }
+    params = list(space.s_vars) + list(space.x_vars)
+    latch_order = list(circuit.latches)
+    rename_map = dict(zip(space.t_vars, space.s_vars))
+
+    init = BFV.from_points(
+        bdd, space.s_vars, space.initial_point_set(initial_points)
+    )
+    reached = init
+    frontier = init
+    iterations = 0
+    result = ReachResult(
+        engine="bfv", circuit=circuit.name, order=order_name, completed=False
+    )
+    try:
+        while True:
+            iterations += 1
+            drivers = dict(input_drivers)
+            for net, comp in zip(space.state_order, frontier.components):
+                drivers[net] = comp
+            raw_by_latch = simulator.next_state(drivers)
+            by_net = dict(zip(latch_order, raw_by_latch))
+            raw = [by_net[n] for n in space.state_order]
+            image_t = eliminate_params(
+                bdd, space.t_vars, raw, params, schedule
+            )
+            image_comps = [bdd.rename(f, rename_map) for f in image_t]
+            image = BFV(bdd, space.s_vars, image_comps, validate=False)
+            new_reached = image.union(reached)
+            if new_reached == reached:
+                break
+            reached = new_reached
+            if selection_heuristic and image.shared_size() < reached.shared_size():
+                frontier = image
+            else:
+                frontier = reached
+            monitor.checkpoint((), iterations)
+        result.completed = True
+    except ResourceLimitError as error:
+        result.failure = error.kind
+    result.iterations = iterations
+    result.seconds = monitor.elapsed
+    bdd.collect_garbage()
+    result.peak_live_nodes = max(monitor.peak_live, bdd.count_live())
+    result.reached_size = reached.shared_size()
+    if result.completed:
+        result.extra["space"] = space
+        result.extra["reached"] = reached
+        if count_states:
+            result.num_states = reached.count()
+    return result

@@ -1,0 +1,209 @@
+"""Shared infrastructure for the reachability engines.
+
+:class:`ReachSpace` turns a circuit plus an order (slot list) into a BDD
+variable layout:
+
+* one variable ``x_<net>`` per primary input,
+* per state bit, adjacent ``s_<net>`` (current state / BFV choice) and
+  ``t_<net>`` (next state / re-parameterization choice) variables,
+
+with slots laid out in the requested order.  The state-net slot order is
+also the BFV *component order*, matching the paper's "same order for
+component ordering and BDD variable ordering".
+
+:class:`ReachLimits` models the paper's 10-hour / 1-GB budgets with
+wall-clock and live-node ceilings; engines raise
+:class:`repro.errors.ResourceLimitError` tagged ``"time"`` / ``"memory"``
+— reported as T.O. / M.O. in the Table 2 reproduction.
+:class:`ReachResult` carries the statistics Table 2 reports (time, peak
+live BDD nodes) plus cross-validation data.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bdd import BDD
+from ..circuits.netlist import Circuit
+from ..errors import CircuitError, ResourceLimitError
+from ..order import order_for
+
+
+class ReachSpace:
+    """BDD variable layout for reachability on one circuit."""
+
+    def __init__(self, circuit: Circuit, slots: Optional[Sequence[str]] = None) -> None:
+        circuit.validate()
+        self.circuit = circuit
+        if slots is None:
+            slots = order_for(circuit, "S1")
+        state_nets = set(circuit.latches)
+        input_nets = set(circuit.inputs)
+        missing = (state_nets | input_nets) - set(slots)
+        if missing:
+            raise CircuitError("order misses nets: %s" % sorted(missing))
+        self.slots = list(slots)
+        self.bdd = BDD()
+        self.input_var: Dict[str, int] = {}
+        self.state_var: Dict[str, int] = {}
+        self.next_var: Dict[str, int] = {}
+        #: State nets in component order (== slot order).
+        self.state_order: List[str] = []
+        for net in self.slots:
+            if net in input_nets:
+                self.input_var[net] = self.bdd.add_var("x_" + net)
+            elif net in state_nets:
+                self.state_var[net] = self.bdd.add_var("s_" + net)
+                self.next_var[net] = self.bdd.add_var("t_" + net)
+                self.state_order.append(net)
+            else:
+                raise CircuitError("order slot %r is not an input or state net" % net)
+        #: Choice/current-state variables in component order.
+        self.s_vars: Tuple[int, ...] = tuple(
+            self.state_var[n] for n in self.state_order
+        )
+        #: Next-state/re-parameterization variables in component order.
+        self.t_vars: Tuple[int, ...] = tuple(
+            self.next_var[n] for n in self.state_order
+        )
+        self.x_vars: Tuple[int, ...] = tuple(
+            self.input_var[n] for n in circuit.inputs
+        )
+        init_by_net = {
+            latch.output: latch.init for latch in circuit.latches.values()
+        }
+        #: Initial state bits in component order.
+        self.initial_point: Tuple[bool, ...] = tuple(
+            init_by_net[n] for n in self.state_order
+        )
+
+    def initial_point_set(
+        self, initial_points: Optional[Sequence[Sequence[bool]]] = None
+    ) -> List[Tuple[bool, ...]]:
+        """Initial states as component-order tuples.
+
+        ``initial_points`` (optional) gives the initial state set in
+        *latch declaration order*; the default is the circuit's single
+        reset state.
+        """
+        if initial_points is None:
+            return [self.initial_point]
+        declaration = list(self.circuit.latches)
+        index = {net: i for i, net in enumerate(declaration)}
+        points = []
+        for point in initial_points:
+            if len(point) != len(declaration):
+                raise CircuitError("initial state width mismatch")
+            points.append(
+                tuple(bool(point[index[net]]) for net in self.state_order)
+            )
+        if not points:
+            raise CircuitError("initial state set must be non-empty")
+        return points
+
+    def initial_chi(
+        self, initial_points: Optional[Sequence[Sequence[bool]]] = None
+    ) -> int:
+        """Characteristic function (over ``s`` vars) of the initial set."""
+        chi = self.bdd.false
+        for point in self.initial_point_set(initial_points):
+            chi = self.bdd.or_(
+                chi, self.bdd.cube(dict(zip(self.s_vars, point)))
+            )
+        return chi
+
+    def t_to_s(self, node: int) -> int:
+        """Rename next-state variables to current-state variables."""
+        return self.bdd.rename(
+            node, dict(zip(self.t_vars, self.s_vars))
+        )
+
+    def states_of(self, chi: int) -> int:
+        """Number of states in a characteristic function over ``s`` vars."""
+        return self.bdd.sat_count(chi, self.s_vars)
+
+
+@dataclass
+class ReachLimits:
+    """Resource budget for one reachability run."""
+
+    max_seconds: Optional[float] = None
+    max_live_nodes: Optional[int] = None
+    max_iterations: Optional[int] = None
+
+
+@dataclass
+class ReachResult:
+    """Outcome and statistics of a reachability run."""
+
+    engine: str
+    circuit: str
+    order: str
+    completed: bool
+    failure: Optional[str] = None  # "time" | "memory" | "iterations"
+    iterations: int = 0
+    seconds: float = 0.0
+    peak_live_nodes: int = 0
+    num_states: Optional[int] = None
+    reached_size: Optional[int] = None  # representation size (shared nodes)
+    conversion_seconds: float = 0.0  # Fig 1 flow: BFV<->chi conversion cost
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def status(self) -> str:
+        """Table-2-style cell: time, or T.O. / M.O."""
+        if self.completed:
+            return "%.2f" % self.seconds
+        return {"time": "T.O.", "memory": "M.O.", "iterations": "I.O."}.get(
+            self.failure or "", "FAIL"
+        )
+
+
+class RunMonitor:
+    """Tracks time/node budgets and peak-live statistics for a run."""
+
+    def __init__(self, bdd: BDD, limits: Optional[ReachLimits]) -> None:
+        self.bdd = bdd
+        self.limits = limits or ReachLimits()
+        self.start = time.monotonic()
+        self.peak_live = 0
+        if self.limits.max_live_nodes is not None:
+            # Hard allocation ceiling so a blowing-up image computation
+            # aborts from inside the BDD layer rather than only at the
+            # next iteration checkpoint.  Allocation includes garbage
+            # accumulated since the last per-iteration GC, hence the
+            # headroom factor.
+            bdd.node_limit = max(
+                10 * self.limits.max_live_nodes, 100_000
+            )
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the run started."""
+        return time.monotonic() - self.start
+
+    def checkpoint(self, roots: Sequence[int], iteration: int) -> None:
+        """GC, record peak live nodes, enforce the budgets."""
+        self.bdd.collect_garbage(roots)
+        live = self.bdd.count_live(roots)
+        if live > self.peak_live:
+            self.peak_live = live
+        limits = self.limits
+        if limits.max_live_nodes is not None and live > limits.max_live_nodes:
+            raise ResourceLimitError(
+                "memory", "live nodes %d exceed budget" % live
+            )
+        if (
+            limits.max_seconds is not None
+            and self.elapsed > limits.max_seconds
+        ):
+            raise ResourceLimitError("time", "time budget exceeded")
+        if (
+            limits.max_iterations is not None
+            and iteration >= limits.max_iterations
+        ):
+            raise ResourceLimitError(
+                "iterations", "iteration budget exceeded"
+            )

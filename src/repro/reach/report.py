@@ -1,0 +1,69 @@
+"""Tabular reporting for reachability runs (the paper's Table 2 layout)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from .common import ReachResult
+
+
+def format_table2(
+    results: Iterable[ReachResult], engines: Sequence[str] = ("tr", "bfv")
+) -> str:
+    """Render results in the paper's Table 2 shape.
+
+    One row per (circuit, order); per engine, the runtime in seconds (or
+    T.O. / M.O.) and the peak live BDD node count in thousands.
+    """
+    by_key: Dict[tuple, Dict[str, ReachResult]] = {}
+    order_seen: List[tuple] = []
+    for result in results:
+        key = (result.circuit, result.order)
+        if key not in by_key:
+            by_key[key] = {}
+            order_seen.append(key)
+        by_key[key][result.engine] = result
+
+    headers = ["Name", "Order"]
+    for engine in engines:
+        headers.extend(["%s time(s)" % engine, "%s Peak(K)" % engine])
+    rows = [headers]
+    for key in order_seen:
+        circuit, order = key
+        row = [circuit, order]
+        for engine in engines:
+            result = by_key[key].get(engine)
+            if result is None:
+                row.extend(["-", "-"])
+            else:
+                row.append(result.status)
+                row.append("%.1f" % (result.peak_live_nodes / 1000.0))
+        rows.append(row)
+    widths = [max(len(r[i]) for r in rows) for i in range(len(headers))]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.ljust(widths[j]) for j, cell in enumerate(row))
+        )
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_table3(sizes: Dict[str, Dict[str, int]]) -> str:
+    """Render Table 3: chi size vs BFV shared size per order family."""
+    orders = list(sizes)
+    rows = [["Order"] + orders]
+    rows.append(["Char.Fn"] + ["%d" % sizes[o]["chi"] for o in orders])
+    rows.append(["BFV"] + ["%d" % sizes[o]["bfv"] for o in orders])
+    widths = [
+        max(len(row[i]) for row in rows) for i in range(len(rows[0]))
+    ]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.ljust(widths[j]) for j, cell in enumerate(row))
+        )
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Characteristic-function reachability (the paper's VIS/IWLS95 baseline).
+
+Classic breadth-first symbolic traversal: the reached set is one BDD
+over the current-state variables; images are computed through an
+IWLS95-style partitioned transition relation with early quantification
+(:mod:`repro.reach.iwls95`); the frontier (newly reached states) —
+or the reached set, when smaller — feeds the next iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..errors import ResourceLimitError
+from ..sim.symbolic import SymbolicSimulator
+from .common import ReachLimits, ReachResult, ReachSpace, RunMonitor
+from .iwls95 import PartitionedRelation
+
+
+def tr_reachability(
+    circuit,
+    slots: Optional[Sequence[str]] = None,
+    limits: Optional[ReachLimits] = None,
+    cluster_threshold: int = 800,
+    selection_heuristic: bool = True,
+    count_states: bool = True,
+    order_name: str = "?",
+    space: Optional[ReachSpace] = None,
+    initial_points=None,
+) -> ReachResult:
+    """Run IWLS95-style reachability; returns a :class:`ReachResult`.
+
+    ``result.extra['space']`` / ``['reached_chi']`` hold the layout and
+    the reached characteristic function for cross-validation.
+    """
+    if space is None:
+        space = ReachSpace(circuit, slots)
+    bdd = space.bdd
+    simulator = SymbolicSimulator(bdd, circuit)
+    monitor = RunMonitor(bdd, limits)
+
+    net_input_vars = {net: v for net, v in space.input_var.items()}
+    net_state_vars = {net: v for net, v in space.state_var.items()}
+    deltas_by_latch = simulator.transition_functions(
+        net_input_vars, net_state_vars
+    )
+    by_net = dict(zip(circuit.latches, deltas_by_latch))
+    parts = [
+        bdd.equiv(bdd.var(space.next_var[net]), by_net[net])
+        for net in space.state_order
+    ]
+    quantify = list(space.s_vars) + list(space.x_vars)
+    relation = PartitionedRelation(
+        bdd, parts, quantify, cluster_threshold=cluster_threshold
+    )
+
+    init = bdd.incref(space.initial_chi(initial_points))
+    reached = init
+    frontier = init
+    iterations = 0
+    result = ReachResult(
+        engine="tr", circuit=circuit.name, order=order_name, completed=False
+    )
+    try:
+        while True:
+            iterations += 1
+            image_t = relation.image(frontier)
+            image = space.t_to_s(image_t)
+            new = bdd.diff(image, reached)
+            if new == bdd.false:
+                break
+            previous = reached
+            reached = bdd.incref(bdd.or_(reached, image))
+            bdd.decref(previous)
+            bdd.decref(frontier)
+            if selection_heuristic and bdd.dag_size(new) > bdd.dag_size(reached):
+                frontier = bdd.incref(reached)
+            else:
+                frontier = bdd.incref(new)
+            monitor.checkpoint((), iterations)
+        result.completed = True
+    except ResourceLimitError as error:
+        result.failure = error.kind
+    result.iterations = iterations
+    result.seconds = monitor.elapsed
+    bdd.collect_garbage()
+    result.peak_live_nodes = max(monitor.peak_live, bdd.count_live())
+    result.reached_size = bdd.dag_size(reached)
+    if result.completed:
+        result.extra["space"] = space
+        result.extra["reached_chi"] = reached
+        if count_states:
+            result.num_states = space.states_of(reached)
+    return result

@@ -1,0 +1,6 @@
+"""Circuit simulators: concrete (oracle) and symbolic (BDD-level)."""
+
+from .concrete import ConcreteSimulator, explicit_reachable
+from .symbolic import SymbolicSimulator
+
+__all__ = ["ConcreteSimulator", "SymbolicSimulator", "explicit_reachable"]

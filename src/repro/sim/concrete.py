@@ -1,0 +1,119 @@
+"""Concrete (two-valued) simulation and explicit-state reachability.
+
+This is the ground-truth oracle for the symbolic engines: a cycle-accurate
+gate-level simulator plus a breadth-first explicit search of the
+reachable state space.  Both are deliberately straightforward — their job
+is to be obviously correct, not fast — but the BFS packs states into
+integers and caches the topological gate order, so state spaces around a
+million states remain practical for the test suite.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..circuits.netlist import Circuit
+from ..errors import CircuitError
+
+
+class ConcreteSimulator:
+    """Evaluates a circuit cycle by cycle on concrete Boolean values."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        circuit.validate()
+        self.circuit = circuit
+        self._topo = circuit.topological_gates()
+        self.state_nets = circuit.state_nets
+
+    def evaluate_nets(
+        self, state: Sequence[bool], inputs: Dict[str, bool]
+    ) -> Dict[str, bool]:
+        """Values of every net for one cycle, given state and inputs."""
+        circuit = self.circuit
+        values: Dict[str, bool] = {}
+        for net, value in zip(self.state_nets, state):
+            values[net] = bool(value)
+        for net in circuit.inputs:
+            try:
+                values[net] = bool(inputs[net])
+            except KeyError:
+                raise CircuitError("missing input %r" % net) from None
+        for gate in self._topo:
+            values[gate.output] = gate.evaluate(
+                [values[i] for i in gate.inputs]
+            )
+        return values
+
+    def step(
+        self, state: Sequence[bool], inputs: Dict[str, bool]
+    ) -> Tuple[bool, ...]:
+        """Next state after one clock edge."""
+        values = self.evaluate_nets(state, inputs)
+        return tuple(
+            values[latch.data] for latch in self.circuit.latches.values()
+        )
+
+    def outputs(
+        self, state: Sequence[bool], inputs: Dict[str, bool]
+    ) -> Dict[str, bool]:
+        """Primary output values for one cycle."""
+        values = self.evaluate_nets(state, inputs)
+        return {net: values[net] for net in self.circuit.outputs}
+
+    def run(
+        self,
+        input_trace: Iterable[Dict[str, bool]],
+        state: Optional[Sequence[bool]] = None,
+    ) -> List[Tuple[bool, ...]]:
+        """Simulate a trace of input vectors; returns the state sequence.
+
+        The returned list starts with the initial state and has one more
+        entry than the trace.
+        """
+        current = tuple(
+            self.circuit.initial_state if state is None else state
+        )
+        sequence = [current]
+        for inputs in input_trace:
+            current = self.step(current, inputs)
+            sequence.append(current)
+        return sequence
+
+
+def explicit_reachable(
+    circuit: Circuit,
+    initial_states: Optional[Iterable[Sequence[bool]]] = None,
+    max_states: int = 1 << 22,
+) -> Set[Tuple[bool, ...]]:
+    """All reachable states by explicit breadth-first search.
+
+    Explores every input combination from every frontier state; intended
+    as the oracle for the symbolic engines on small circuits.  Raises
+    :class:`CircuitError` when ``max_states`` is exceeded.
+    """
+    sim = ConcreteSimulator(circuit)
+    inputs = circuit.inputs
+    input_vectors: List[Dict[str, bool]] = []
+    for mask in range(1 << len(inputs)):
+        input_vectors.append(
+            {net: bool(mask >> i & 1) for i, net in enumerate(inputs)}
+        )
+    if initial_states is None:
+        initial = [tuple(circuit.initial_state)]
+    else:
+        initial = [tuple(bool(b) for b in s) for s in initial_states]
+    seen: Set[Tuple[bool, ...]] = set(initial)
+    frontier = deque(initial)
+    while frontier:
+        state = frontier.popleft()
+        for vector in input_vectors:
+            nxt = sim.step(state, vector)
+            if nxt not in seen:
+                seen.add(nxt)
+                if len(seen) > max_states:
+                    raise CircuitError(
+                        "explicit reachability exceeded %d states" % max_states
+                    )
+                frontier.append(nxt)
+    return seen

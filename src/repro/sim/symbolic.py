@@ -1,0 +1,101 @@
+"""Symbolic simulation: netlist to next-state BDDs.
+
+The image-computation front end of the paper's Figure 2 flow: given BDD
+variables for the primary inputs and for the current-state bits (or,
+more generally, arbitrary BDD functions driving them), evaluate the
+combinational core in topological order to obtain one BDD per latch
+data input and per primary output.
+
+When the current-state nets are driven by the components of a Boolean
+functional vector, the resulting next-state functions are exactly the
+raw (non-canonical) vector that re-parameterization (Sec 2.6)
+canonicalizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..circuits.netlist import Circuit
+from ..errors import CircuitError
+
+
+class SymbolicSimulator:
+    """Evaluates a circuit's combinational core over BDD drivers."""
+
+    def __init__(self, bdd, circuit: Circuit) -> None:
+        circuit.validate()
+        self.bdd = bdd
+        self.circuit = circuit
+        self._topo = circuit.topological_gates()
+
+    def evaluate_nets(self, drivers: Dict[str, int]) -> Dict[str, int]:
+        """BDD for every net, given BDDs for inputs and state nets.
+
+        ``drivers`` must map every primary input and latch output to a
+        BDD node; gate nets are computed in topological order.
+        """
+        bdd = self.bdd
+        circuit = self.circuit
+        values: Dict[str, int] = {}
+        for net in circuit.inputs:
+            if net not in drivers:
+                raise CircuitError("missing driver for input %r" % net)
+            values[net] = drivers[net]
+        for net in circuit.latches:
+            if net not in drivers:
+                raise CircuitError("missing driver for state net %r" % net)
+            values[net] = drivers[net]
+        for gate in self._topo:
+            operands = [values[i] for i in gate.inputs]
+            values[gate.output] = self._evaluate_gate(gate.op, operands)
+        return values
+
+    def _evaluate_gate(self, op: str, operands: List[int]) -> int:
+        bdd = self.bdd
+        if op == "NOT":
+            return bdd.not_(operands[0])
+        if op == "BUF":
+            return operands[0]
+        if op == "AND":
+            return bdd.conjoin(operands)
+        if op == "OR":
+            return bdd.disjoin(operands)
+        if op == "NAND":
+            return bdd.not_(bdd.conjoin(operands))
+        if op == "NOR":
+            return bdd.not_(bdd.disjoin(operands))
+        result = operands[0]
+        for operand in operands[1:]:
+            result = bdd.xor(result, operand)
+        if op == "XNOR":
+            result = bdd.not_(result)
+        return result
+
+    def next_state(self, drivers: Dict[str, int]) -> List[int]:
+        """Next-state BDD per latch (declaration order)."""
+        values = self.evaluate_nets(drivers)
+        return [
+            values[latch.data] for latch in self.circuit.latches.values()
+        ]
+
+    def outputs(self, drivers: Dict[str, int]) -> Dict[str, int]:
+        """BDD per primary output."""
+        values = self.evaluate_nets(drivers)
+        return {net: values[net] for net in self.circuit.outputs}
+
+    def transition_functions(
+        self, input_vars: Dict[str, int], state_vars: Dict[str, int]
+    ) -> List[int]:
+        """Next-state functions over plain variables (delta_i(s, x)).
+
+        The classic transition-function view used by the characteristic
+        function engines and as the basis for transition relations.
+        ``input_vars`` / ``state_vars`` map nets to *variable indices*.
+        """
+        bdd = self.bdd
+        drivers = {net: bdd.var(v) for net, v in input_vars.items()}
+        drivers.update(
+            {net: bdd.var(v) for net, v in state_vars.items()}
+        )
+        return self.next_state(drivers)

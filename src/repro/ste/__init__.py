@@ -1,0 +1,28 @@
+"""Symbolic Trajectory Evaluation (STE) over the circuit substrate.
+
+The paper situates Boolean functional vectors next to STE (Sec 1):
+"Boolean functional vectors are also used in Symbolic Trajectory
+Evaluation [4] ... However, the specification language is restricted
+and does not require fix-point computations, thus avoiding the need for
+set manipulations."  This package implements that restricted-but-useful
+neighbour technique on the same netlist/BDD substrate: three-valued
+(0/1/X) symbolic simulation with dual-rail encoding, trajectory
+formulas (``is0``/``is1``/guards/conjunction/``next``), and assertion
+checking ``antecedent |= consequent`` with symbolic residuals.
+"""
+
+from .formulas import TrajectoryFormula, conj, equals, guard, is0, is1, next_
+from .engine import STE, STEResult, TernaryValue
+
+__all__ = [
+    "STE",
+    "STEResult",
+    "TernaryValue",
+    "TrajectoryFormula",
+    "conj",
+    "equals",
+    "guard",
+    "is0",
+    "is1",
+    "next_",
+]

@@ -1,0 +1,306 @@
+"""The STE engine: dual-rail ternary symbolic simulation + checking.
+
+Every net carries a :class:`TernaryValue` — a pair of BDDs
+``(can_be_1, can_be_0)`` over the symbolic variables:
+
+===========  ==========  ==========
+value        can_be_1    can_be_0
+===========  ==========  ==========
+``1``        true        false
+``0``        false       true
+``X``        true        true
+overconstr.  false       false
+===========  ==========  ==========
+
+Gates evaluate with the standard monotone ternary extensions; latches
+start at ``X``; antecedent leaves *meet* the simulated value (ruling
+out the opposite polarity where the guard holds).  An assertion
+``A |= C`` passes for exactly the symbolic assignments where every
+consequent leaf's net carries the required definite value; the engine
+returns that residual BDD plus the antecedent-failure condition
+(assignments where the antecedent contradicted the circuit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from ..circuits.netlist import Circuit
+from ..errors import ReproError
+from .formulas import TrajectoryFormula, depth, flatten
+
+
+class TernaryValue(NamedTuple):
+    """Dual-rail encoded ternary value: ``(can_be_1, can_be_0)``."""
+
+    high: int
+    low: int
+
+
+@dataclass
+class STEResult:
+    """Outcome of a trajectory assertion check.
+
+    ``condition`` is the BDD over the symbolic variables on which the
+    consequent is *satisfied* (definitely, not via X); the assertion
+    ``passes`` when that condition covers everything outside the
+    antecedent failure.  ``antecedent_failure`` marks assignments where
+    the antecedent contradicted the circuit (vacuous there).
+    """
+
+    passes: bool
+    condition: int
+    antecedent_failure: int
+    counterexample: Optional[Dict[str, bool]] = None
+    #: per-leaf satisfaction conditions, for diagnostics
+    leaves: List[Tuple[int, str, bool, int]] = field(default_factory=list)
+
+
+class STE:
+    """Symbolic trajectory evaluation over a sequential circuit."""
+
+    def __init__(self, bdd, circuit: Circuit) -> None:
+        circuit.validate()
+        self.bdd = bdd
+        self.circuit = circuit
+        self._topo = circuit.topological_gates()
+
+    # -- ternary gate algebra -------------------------------------------
+
+    def _not(self, a: TernaryValue) -> TernaryValue:
+        return TernaryValue(a.low, a.high)
+
+    def _and(self, a: TernaryValue, b: TernaryValue) -> TernaryValue:
+        bdd = self.bdd
+        return TernaryValue(
+            bdd.and_(a.high, b.high), bdd.or_(a.low, b.low)
+        )
+
+    def _or(self, a: TernaryValue, b: TernaryValue) -> TernaryValue:
+        bdd = self.bdd
+        return TernaryValue(
+            bdd.or_(a.high, b.high), bdd.and_(a.low, b.low)
+        )
+
+    def _xor(self, a: TernaryValue, b: TernaryValue) -> TernaryValue:
+        bdd = self.bdd
+        high = bdd.or_(
+            bdd.and_(a.high, b.low), bdd.and_(a.low, b.high)
+        )
+        low = bdd.or_(
+            bdd.and_(a.high, b.high), bdd.and_(a.low, b.low)
+        )
+        return TernaryValue(high, low)
+
+    def _evaluate_gate(self, op: str, operands: List[TernaryValue]) -> TernaryValue:
+        if op == "NOT":
+            return self._not(operands[0])
+        if op == "BUF":
+            return operands[0]
+        fold = {
+            "AND": self._and,
+            "NAND": self._and,
+            "OR": self._or,
+            "NOR": self._or,
+            "XOR": self._xor,
+            "XNOR": self._xor,
+        }[op]
+        value = operands[0]
+        for operand in operands[1:]:
+            value = fold(value, operand)
+        if op in ("NAND", "NOR", "XNOR"):
+            value = self._not(value)
+        return value
+
+    # -- simulation -------------------------------------------------------
+
+    def _x(self) -> TernaryValue:
+        return TernaryValue(self.bdd.true, self.bdd.true)
+
+    def simulate_step(
+        self, values: Dict[str, TernaryValue]
+    ) -> Dict[str, TernaryValue]:
+        """Evaluate the combinational core over ternary net values.
+
+        ``values`` must provide inputs and latch outputs; returns all
+        nets including gate outputs.
+        """
+        result = dict(values)
+        for gate in self._topo:
+            operands = [result[i] for i in gate.inputs]
+            result[gate.output] = self._evaluate_gate(gate.op, operands)
+        return result
+
+    def _meet(
+        self,
+        value: TernaryValue,
+        required: bool,
+        condition: int,
+        failures: List[int],
+    ) -> TernaryValue:
+        """Constrain ``value`` to ``required`` where ``condition`` holds."""
+        bdd = self.bdd
+        not_condition = bdd.not_(condition)
+        if required:
+            new = TernaryValue(
+                value.high, bdd.and_(value.low, not_condition)
+            )
+            failures.append(bdd.and_(condition, bdd.not_(value.high)))
+        else:
+            new = TernaryValue(
+                bdd.and_(value.high, not_condition), value.low
+            )
+            failures.append(bdd.and_(condition, bdd.not_(value.low)))
+        return new
+
+    def waveform(
+        self,
+        antecedent: TrajectoryFormula,
+        steps: int,
+        assignment: Optional[Dict[str, bool]] = None,
+        nets: Optional[List[str]] = None,
+    ) -> List[Dict[str, str]]:
+        """The defining trajectory as printable ternary values.
+
+        Runs the antecedent-constrained simulation for ``steps`` cycles
+        and returns, per cycle, ``{net: value}`` with values ``"0"``,
+        ``"1"``, ``"X"`` (unknown) or ``"!"`` (overconstrained) — the
+        waveform a debugger would show.  ``assignment`` fixes the
+        symbolic variables (default: all false); ``nets`` selects which
+        nets to report (default: inputs, states and outputs).
+        """
+        bdd = self.bdd
+        circuit = self.circuit
+        assignment = assignment or {}
+        if nets is None:
+            nets = (
+                list(circuit.inputs)
+                + list(circuit.latches)
+                + list(circuit.outputs)
+            )
+        ante_by_time: Dict[int, List] = {}
+        for time, net, value, condition in flatten(bdd, antecedent):
+            ante_by_time.setdefault(time, []).append((net, value, condition))
+
+        def classify(ternary: TernaryValue) -> str:
+            high = bdd.evaluate(ternary.high, assignment)
+            low = bdd.evaluate(ternary.low, assignment)
+            if high and low:
+                return "X"
+            if high:
+                return "1"
+            if low:
+                return "0"
+            return "!"
+
+        rows: List[Dict[str, str]] = []
+        failures: List[int] = []
+        state: Dict[str, TernaryValue] = {
+            net: self._x() for net in circuit.latches
+        }
+        for time in range(steps):
+            values: Dict[str, TernaryValue] = dict(state)
+            for net in circuit.inputs:
+                values[net] = self._x()
+            pending = ante_by_time.get(time, [])
+            for net, value, condition in pending:
+                if net in values:
+                    values[net] = self._meet(
+                        values[net], value, condition, failures
+                    )
+            values = self.simulate_step(values)
+            for net, value, condition in pending:
+                if circuit.driver_of(net) == "gate":
+                    values[net] = self._meet(
+                        values[net], value, condition, failures
+                    )
+            rows.append({net: classify(values[net]) for net in nets})
+            state = {
+                latch.output: values[latch.data]
+                for latch in circuit.latches.values()
+            }
+        return rows
+
+    def check(
+        self,
+        antecedent: TrajectoryFormula,
+        consequent: TrajectoryFormula,
+    ) -> STEResult:
+        """Check the trajectory assertion ``antecedent |= consequent``."""
+        bdd = self.bdd
+        circuit = self.circuit
+        steps = max(depth(antecedent), depth(consequent))
+        ante = flatten(bdd, antecedent)
+        cons = flatten(bdd, consequent)
+        known_nets = circuit.nets()
+        for _, net, _, _ in ante + cons:
+            if net not in known_nets:
+                raise ReproError("trajectory formula names unknown net %r" % net)
+        ante_by_time: Dict[int, List] = {}
+        for time, net, value, condition in ante:
+            ante_by_time.setdefault(time, []).append((net, value, condition))
+
+        failures: List[int] = []
+        satisfied = bdd.true
+        leaves: List[Tuple[int, str, bool, int]] = []
+        # Latches start at X; inputs are X unless the antecedent drives
+        # them (per time step).
+        state: Dict[str, TernaryValue] = {
+            net: self._x() for net in circuit.latches
+        }
+        cons_by_time: Dict[int, List] = {}
+        for time, net, value, condition in cons:
+            cons_by_time.setdefault(time, []).append((net, value, condition))
+
+        for time in range(steps):
+            values: Dict[str, TernaryValue] = dict(state)
+            for net in circuit.inputs:
+                values[net] = self._x()
+            # Apply antecedent constraints on inputs and state nets
+            # *before* gate evaluation, then once more on gate outputs
+            # afterwards (constraints on internal nets).
+            pending = ante_by_time.get(time, [])
+            for net, value, condition in pending:
+                if net in values:
+                    values[net] = self._meet(
+                        values[net], value, condition, failures
+                    )
+            values = self.simulate_step(values)
+            for net, value, condition in pending:
+                if circuit.driver_of(net) == "gate":
+                    values[net] = self._meet(
+                        values[net], value, condition, failures
+                    )
+            # Consequent leaves at this time: require definite values.
+            for net, value, condition in cons_by_time.get(time, []):
+                ternary = values[net]
+                if value:
+                    definite = bdd.and_(ternary.high, bdd.not_(ternary.low))
+                else:
+                    definite = bdd.and_(ternary.low, bdd.not_(ternary.high))
+                ok = bdd.implies(condition, definite)
+                leaves.append((time, net, value, ok))
+                satisfied = bdd.and_(satisfied, ok)
+            # Advance the clock.
+            state = {
+                latch.output: values[latch.data]
+                for latch in circuit.latches.values()
+            }
+
+        failure = bdd.disjoin(failures)
+        # The assertion passes where the consequent is satisfied or the
+        # antecedent already failed (vacuous truth).
+        overall = bdd.or_(satisfied, failure)
+        passes = overall == bdd.true
+        counterexample = None
+        if not passes:
+            model = bdd.pick_model(bdd.not_(overall))
+            counterexample = model
+        return STEResult(
+            passes=passes,
+            condition=satisfied,
+            antecedent_failure=failure,
+            counterexample=counterexample,
+            leaves=leaves,
+        )

@@ -1,0 +1,142 @@
+"""Trajectory formulas: the restricted STE specification language.
+
+The grammar of Bryant & Seger's trajectory evaluation logic::
+
+    f := is1(node) | is0(node) | f AND f | guard -> f | next(f)
+
+Guards are plain BDDs over *symbolic variables* (case-split variables
+the user declares on the manager); ``next`` advances one clock cycle.
+A formula's *depth* is the number of nested ``next`` operators plus
+one — the number of simulation steps needed to evaluate it.
+
+Formulas are immutable trees; :func:`flatten` lowers a formula to a
+list of ``(time, node, value, guard)`` leaves for the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import ReproError
+
+
+class TrajectoryFormula:
+    """Base class for trajectory formula nodes."""
+
+    def __and__(self, other: "TrajectoryFormula") -> "TrajectoryFormula":
+        return Conj(self, other)
+
+
+@dataclass(frozen=True)
+class Leaf(TrajectoryFormula):
+    """``is1`` / ``is0`` on a named circuit net."""
+
+    node: str
+    value: bool
+
+
+@dataclass(frozen=True)
+class Conj(TrajectoryFormula):
+    """Conjunction of two trajectory formulas."""
+
+    left: TrajectoryFormula
+    right: TrajectoryFormula
+
+
+@dataclass(frozen=True)
+class Guard(TrajectoryFormula):
+    """``condition -> formula``: applies only where the guard holds."""
+
+    condition: int  # BDD node over symbolic variables
+    formula: TrajectoryFormula
+
+
+@dataclass(frozen=True)
+class Next(TrajectoryFormula):
+    """The formula holds one clock cycle later."""
+
+    formula: TrajectoryFormula
+
+
+def is1(node: str) -> TrajectoryFormula:
+    """Net ``node`` carries 1 (now)."""
+    return Leaf(node, True)
+
+
+def is0(node: str) -> TrajectoryFormula:
+    """Net ``node`` carries 0 (now)."""
+    return Leaf(node, False)
+
+
+def guard(condition: int, formula: TrajectoryFormula) -> TrajectoryFormula:
+    """``condition -> formula`` for a BDD guard over symbolic variables."""
+    return Guard(condition, formula)
+
+
+def next_(formula: TrajectoryFormula, steps: int = 1) -> TrajectoryFormula:
+    """The formula shifted ``steps`` clock cycles into the future."""
+    if steps < 0:
+        raise ReproError("next_ steps must be non-negative")
+    for _ in range(steps):
+        formula = Next(formula)
+    return formula
+
+
+def conj(*formulas: TrajectoryFormula) -> TrajectoryFormula:
+    """Conjunction of any number of formulas (at least one)."""
+    if not formulas:
+        raise ReproError("conj needs at least one formula")
+    result = formulas[0]
+    for formula in formulas[1:]:
+        result = Conj(result, formula)
+    return result
+
+
+def equals(bdd, node: str, variable) -> TrajectoryFormula:
+    """Net ``node`` equals the symbolic variable: the case-split idiom.
+
+    ``(v -> is1(node)) AND (!v -> is0(node))`` — drives the net with a
+    symbolic value, the workhorse of STE datapath verification.
+    """
+    v = bdd.var(variable)
+    return Conj(
+        Guard(v, Leaf(node, True)),
+        Guard(bdd.not_(v), Leaf(node, False)),
+    )
+
+
+def flatten(
+    bdd, formula: TrajectoryFormula
+) -> List[Tuple[int, str, bool, int]]:
+    """Lower a formula to ``(time, node, value, guard)`` leaves."""
+    leaves: List[Tuple[int, str, bool, int]] = []
+
+    def walk(f: TrajectoryFormula, time: int, condition: int) -> None:
+        if isinstance(f, Leaf):
+            leaves.append((time, f.node, f.value, condition))
+        elif isinstance(f, Conj):
+            walk(f.left, time, condition)
+            walk(f.right, time, condition)
+        elif isinstance(f, Guard):
+            walk(f.formula, time, bdd.and_(condition, f.condition))
+        elif isinstance(f, Next):
+            walk(f.formula, time + 1, condition)
+        else:
+            raise ReproError("unknown trajectory formula %r" % (f,))
+
+    walk(formula, 0, bdd.true)
+    return leaves
+
+
+def depth(formula: TrajectoryFormula) -> int:
+    """Number of clock cycles the formula spans (max time + 1)."""
+    if isinstance(formula, Leaf):
+        return 1
+    if isinstance(formula, Conj):
+        return max(depth(formula.left), depth(formula.right))
+    if isinstance(formula, Guard):
+        return depth(formula.formula)
+    if isinstance(formula, Next):
+        return 1 + depth(formula.formula)
+    raise ReproError("unknown trajectory formula %r" % (formula,))

@@ -1,0 +1,125 @@
+"""Value Change Dump (VCD) export for traces and simulations.
+
+Counterexample traces from the model checker (and any concrete
+simulation) can be written as IEEE 1364 VCD files and inspected in any
+waveform viewer (GTKWave etc.) — the lingua franca for "show me the
+bug" in hardware teams.
+
+Only the widely supported subset is emitted: one timescale, scalar
+wires, `$dumpvars` initialization and per-cycle value changes (a change
+is emitted only when the value actually toggles).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, TextIO
+
+from .circuits.netlist import Circuit
+from .errors import ReproError
+from .sim.concrete import ConcreteSimulator
+
+# Printable VCD identifier characters (IEEE 1364 section 18.2.1).
+_ID_ALPHABET = [chr(c) for c in range(33, 127)]
+
+
+def _identifiers(count: int) -> List[str]:
+    """Short unique VCD identifier codes."""
+    codes: List[str] = []
+    base = len(_ID_ALPHABET)
+    for index in range(count):
+        code = ""
+        value = index
+        while True:
+            code = _ID_ALPHABET[value % base] + code
+            value = value // base - 1
+            if value < 0:
+                break
+        codes.append(code)
+    return codes
+
+
+def dump_waveform(
+    handle: TextIO,
+    signals: Dict[str, Sequence[bool]],
+    module: str = "trace",
+    timescale: str = "1 ns",
+) -> None:
+    """Write named boolean signal sequences as a VCD file.
+
+    All sequences must have equal length; sample ``j`` is dumped at
+    time ``j``.
+    """
+    lengths = {len(values) for values in signals.values()}
+    if len(lengths) > 1:
+        raise ReproError("signal sequences differ in length")
+    steps = lengths.pop() if lengths else 0
+    codes = _identifiers(len(signals))
+    by_name = dict(zip(signals, codes))
+    handle.write("$timescale %s $end\n" % timescale)
+    handle.write("$scope module %s $end\n" % module)
+    for name, code in by_name.items():
+        handle.write("$var wire 1 %s %s $end\n" % (code, name))
+    handle.write("$upscope $end\n$enddefinitions $end\n")
+    previous: Dict[str, Optional[bool]] = {name: None for name in signals}
+    for step in range(steps):
+        changes = []
+        for name, values in signals.items():
+            value = bool(values[step])
+            if previous[name] != value:
+                changes.append("%d%s" % (int(value), by_name[name]))
+                previous[name] = value
+        if changes or step == 0:
+            handle.write("#%d\n" % step)
+            if step == 0:
+                handle.write("$dumpvars\n")
+            for change in changes:
+                handle.write(change + "\n")
+            if step == 0:
+                handle.write("$end\n")
+    handle.write("#%d\n" % steps)
+
+
+def trace_to_vcd(
+    circuit: Circuit,
+    trace,
+    handle: TextIO,
+    include_outputs: bool = True,
+) -> None:
+    """Write a model-checker :class:`repro.mc.Trace` as a VCD waveform.
+
+    Emits every primary input, every state net and (optionally) every
+    primary output, replaying the trace on the concrete simulator to
+    recover output values.  The final sample repeats the last inputs so
+    the terminal state is visible for one full cycle.
+    """
+    simulator = ConcreteSimulator(circuit)
+    declaration = list(circuit.latches)
+    steps = len(trace.inputs)
+    signals: Dict[str, List[bool]] = {}
+    for net in circuit.inputs:
+        signals["in." + net] = []
+    for net in declaration:
+        signals["state." + net] = []
+    if include_outputs:
+        for net in circuit.outputs:
+            signals["out." + net] = []
+    idle = {net: False for net in circuit.inputs}
+    for step in range(steps + 1):
+        inputs = trace.inputs[step] if step < steps else idle
+        state_values = trace.states[step]
+        state = tuple(state_values[net] for net in declaration)
+        for net in circuit.inputs:
+            signals["in." + net].append(bool(inputs[net]))
+        for net in declaration:
+            signals["state." + net].append(bool(state_values[net]))
+        if include_outputs:
+            outputs = simulator.outputs(state, inputs)
+            for net in circuit.outputs:
+                signals["out." + net].append(bool(outputs[net]))
+    dump_waveform(handle, signals, module=circuit.name)
+
+
+def save_trace(circuit: Circuit, trace, path: str) -> None:
+    """Convenience wrapper: write a trace VCD to a file path."""
+    with open(path, "w") as handle:
+        trace_to_vcd(circuit, trace, handle)

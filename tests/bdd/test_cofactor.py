@@ -1,0 +1,117 @@
+"""Cofactor, constrain and restrict tests (properties + brute force)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.bdd import BDD
+from repro.errors import BDDError
+
+from ..conftest import build_expr, eval_expr, random_expr
+
+NVARS = 5
+
+
+@pytest.fixture
+def bdd():
+    return BDD(["x%d" % i for i in range(NVARS)])
+
+
+class TestShannonCofactor:
+    def test_basic(self, bdd):
+        f = bdd.and_(bdd.var(0), bdd.var(1))
+        assert bdd.cofactor(f, 0, True) == bdd.var(1)
+        assert bdd.cofactor(f, 0, False) == bdd.false
+
+    def test_missing_var(self, bdd):
+        f = bdd.var(2)
+        assert bdd.cofactor(f, 0, True) == f
+
+    def test_shannon_expansion(self, bdd):
+        rng = random.Random(1)
+        for _ in range(25):
+            f = build_expr(bdd, random_expr(rng, NVARS, 3))
+            v = rng.randrange(NVARS)
+            lo = bdd.cofactor(f, v, False)
+            hi = bdd.cofactor(f, v, True)
+            rebuilt = bdd.ite(bdd.var(v), hi, lo)
+            assert rebuilt == f
+
+    def test_cofactor_cube(self, bdd):
+        f = bdd.xor(bdd.var(0), bdd.and_(bdd.var(1), bdd.var(2)))
+        g = bdd.cofactor_cube(f, {0: True, 2: False})
+        expected = bdd.cofactor(bdd.cofactor(f, 0, True), 2, False)
+        assert g == expected
+
+    def test_cofactor_cube_empty(self, bdd):
+        f = bdd.var(1)
+        assert bdd.cofactor_cube(f, {}) == f
+
+
+class TestConstrain:
+    def test_agrees_on_care_set(self):
+        rng = random.Random(9)
+        for _ in range(60):
+            bdd = BDD(["x%d" % i for i in range(NVARS)])
+            f = build_expr(bdd, random_expr(rng, NVARS, 3))
+            c = build_expr(bdd, random_expr(rng, NVARS, 3))
+            if c == bdd.false:
+                continue
+            con = bdd.constrain(f, c)
+            assert bdd.and_(con, c) == bdd.and_(f, c)
+
+    def test_identity_cases(self, bdd):
+        f = bdd.var(0)
+        assert bdd.constrain(f, bdd.true) == f
+        assert bdd.constrain(f, f) == bdd.true
+        assert bdd.constrain(bdd.true, bdd.var(1)) == bdd.true
+
+    def test_false_care_set_rejected(self, bdd):
+        with pytest.raises(BDDError):
+            bdd.constrain(bdd.var(0), bdd.false)
+
+    def test_nearest_point_semantics(self, bdd):
+        # care set = {x0=1}; constrain maps x0=0 points to their nearest
+        # care neighbour (flip x0), so the result is f|x0=1.
+        f = bdd.and_(bdd.var(0), bdd.var(1))
+        con = bdd.constrain(f, bdd.var(0))
+        assert con == bdd.var(1)
+
+    def test_image_property_for_cubes(self, bdd):
+        # For a cube care set, constrain is full evaluation at the cube.
+        f = bdd.xor(bdd.var(0), bdd.var(1))
+        cube = bdd.cube({0: True, 1: False})
+        assert bdd.constrain(f, cube) == bdd.true
+
+
+class TestRestrict:
+    def test_agrees_on_care_set(self):
+        rng = random.Random(31)
+        for _ in range(60):
+            bdd = BDD(["x%d" % i for i in range(NVARS)])
+            f = build_expr(bdd, random_expr(rng, NVARS, 3))
+            c = build_expr(bdd, random_expr(rng, NVARS, 3))
+            if c == bdd.false:
+                continue
+            res = bdd.restrict(f, c)
+            assert bdd.and_(res, c) == bdd.and_(f, c)
+
+    def test_never_larger_support_growth(self):
+        # restrict drops care-set variables f does not depend on, while
+        # constrain may introduce them.
+        bdd = BDD(["x%d" % i for i in range(NVARS)])
+        f = bdd.var(1)
+        c = bdd.or_(bdd.and_(bdd.var(0), bdd.var(1)), bdd.not_(bdd.var(0)))
+        res = bdd.restrict(f, c)
+        assert set(bdd.support(res)) <= {1}
+
+    def test_false_care_set_rejected(self, bdd):
+        with pytest.raises(BDDError):
+            bdd.restrict(bdd.var(0), bdd.false)
+
+    def test_reduces_size_on_dont_cares(self, bdd):
+        # f arbitrary outside c: restrict may simplify to a constant.
+        f = bdd.and_(bdd.var(0), bdd.var(1))
+        c = bdd.and_(bdd.var(0), bdd.var(1))
+        assert bdd.restrict(f, c) == bdd.true

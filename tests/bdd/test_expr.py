@@ -1,0 +1,106 @@
+"""Expression parser and printer tests."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.bdd import BDD, parse, to_expr
+from repro.errors import BDDError, VariableError
+
+from ..conftest import build_expr, random_expr
+
+
+@pytest.fixture
+def bdd():
+    return BDD(["a", "b", "c", "d"])
+
+
+class TestParsing:
+    def test_literals_and_constants(self, bdd):
+        assert parse(bdd, "a") == bdd.var("a")
+        assert parse(bdd, "!a") == bdd.not_(bdd.var("a"))
+        assert parse(bdd, "~a") == bdd.not_(bdd.var("a"))
+        assert parse(bdd, "1") == bdd.true
+        assert parse(bdd, "true") == bdd.true
+        assert parse(bdd, "0") == bdd.false
+        assert parse(bdd, "false") == bdd.false
+
+    def test_binary_operators(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        assert parse(bdd, "a & b") == bdd.and_(a, b)
+        assert parse(bdd, "a | b") == bdd.or_(a, b)
+        assert parse(bdd, "a ^ b") == bdd.xor(a, b)
+        assert parse(bdd, "a -> b") == bdd.implies(a, b)
+        assert parse(bdd, "a <-> b") == bdd.equiv(a, b)
+        assert parse(bdd, "a == b") == bdd.equiv(a, b)
+
+    def test_precedence(self, bdd):
+        a, b, c = bdd.var("a"), bdd.var("b"), bdd.var("c")
+        assert parse(bdd, "a | b & c") == bdd.or_(a, bdd.and_(b, c))
+        assert parse(bdd, "a ^ b | c") == bdd.or_(bdd.xor(a, b), c)
+        assert parse(bdd, "!a & b") == bdd.and_(bdd.not_(a), b)
+        assert parse(bdd, "a -> b | c") == bdd.implies(a, bdd.or_(b, c))
+        assert parse(bdd, "a <-> b -> c") == bdd.equiv(
+            a, bdd.implies(b, c)
+        )
+
+    def test_implies_right_associative(self, bdd):
+        a, b, c = bdd.var("a"), bdd.var("b"), bdd.var("c")
+        assert parse(bdd, "a -> b -> c") == bdd.implies(
+            a, bdd.implies(b, c)
+        )
+
+    def test_parentheses(self, bdd):
+        a, b, c = bdd.var("a"), bdd.var("b"), bdd.var("c")
+        assert parse(bdd, "(a | b) & c") == bdd.and_(bdd.or_(a, b), c)
+        assert parse(bdd, "!(a & b)") == bdd.not_(bdd.and_(a, b))
+
+    def test_netlist_style_names(self):
+        bdd = BDD(["u0_s1", "reg[3]", "n.q"])
+        f = parse(bdd, "u0_s1 & reg[3] | n.q")
+        assert set(bdd.support_names(f)) == {"u0_s1", "reg[3]", "n.q"}
+
+    def test_unknown_name_rejected(self, bdd):
+        with pytest.raises(VariableError):
+            parse(bdd, "a & zz")
+
+    def test_auto_declare(self, bdd):
+        before = bdd.num_vars
+        f = parse(bdd, "a & fresh", auto_declare=True)
+        assert bdd.num_vars == before + 1
+        assert "fresh" in bdd.support_names(f)
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "a &", "& a", "(a", "a)", "a b", "a ! b", "a @ b"],
+    )
+    def test_syntax_errors(self, bdd, bad):
+        with pytest.raises(BDDError):
+            parse(bdd, bad)
+
+    def test_equivalences(self, bdd):
+        # classic identities through the parser
+        assert parse(bdd, "a -> b") == parse(bdd, "!a | b")
+        assert parse(bdd, "a <-> b") == parse(bdd, "!(a ^ b)")
+        assert parse(bdd, "!(a | b)") == parse(bdd, "!a & !b")
+
+
+class TestPrinting:
+    def test_constants(self, bdd):
+        assert to_expr(bdd, bdd.true) == "true"
+        assert to_expr(bdd, bdd.false) == "false"
+
+    def test_roundtrip_random(self):
+        rng = random.Random(4)
+        names = ["x%d" % i for i in range(5)]
+        for _ in range(40):
+            bdd = BDD(names)
+            node = build_expr(bdd, random_expr(rng, 5, 4))
+            text = to_expr(bdd, node)
+            assert parse(bdd, text) == node
+
+    def test_cube_limit(self, bdd):
+        f = parse(bdd, "a ^ b ^ c ^ d")
+        with pytest.raises(BDDError):
+            to_expr(bdd, f, limit=2)

@@ -1,0 +1,116 @@
+"""Tests for the operator-overloaded Function wrapper."""
+
+import pytest
+
+from repro.bdd import BDD, Function
+
+
+@pytest.fixture
+def bdd():
+    return BDD(["a", "b", "c"])
+
+
+@pytest.fixture
+def a(bdd):
+    return Function.var(bdd, "a")
+
+
+@pytest.fixture
+def b(bdd):
+    return Function.var(bdd, "b")
+
+
+class TestConstruction:
+    def test_constants(self, bdd):
+        assert Function.true(bdd).is_true()
+        assert Function.false(bdd).is_false()
+
+    def test_var(self, a):
+        assert a.evaluate(a=True)
+        assert not a.evaluate(a=False)
+
+    def test_pins_node(self, bdd, a, b):
+        f = a & b
+        bdd.collect_garbage()
+        assert f.evaluate(a=True, b=True)
+
+
+class TestOperators:
+    def test_and_or_xor_invert(self, a, b):
+        assert (a & b).evaluate(a=True, b=True)
+        assert not (a & b).evaluate(a=True, b=False)
+        assert (a | b).evaluate(a=False, b=True)
+        assert (a ^ b).evaluate(a=True, b=False)
+        assert (~a).evaluate(a=False)
+
+    def test_bool_operands(self, a):
+        assert (a & True) == a
+        assert (a | False) == a
+        assert (a & False).is_false()
+
+    def test_implies_equiv_ite(self, a, b, bdd):
+        assert a.implies(a).is_true()
+        assert a.equiv(a).is_true()
+        c = Function.var(bdd, "c")
+        mux = a.ite(b, c)
+        assert mux.evaluate(a=True, b=True, c=False)
+        assert not mux.evaluate(a=False, b=True, c=False)
+
+    def test_equality_with_bool(self, a):
+        assert (a | ~a) == True  # noqa: E712 - deliberate
+        assert (a & ~a) == False  # noqa: E712
+
+    def test_truthiness_is_ambiguous(self, a):
+        with pytest.raises(TypeError):
+            bool(a)
+
+    def test_cross_manager_rejected(self, a):
+        other = BDD(["a"])
+        with pytest.raises(ValueError):
+            a & Function.var(other, "a")
+
+    def test_type_error(self, a):
+        with pytest.raises(TypeError):
+            a & 3
+
+
+class TestQueriesAndTransforms:
+    def test_support_and_size(self, a, b):
+        f = a & ~b
+        assert f.support() == ["a", "b"]
+        assert f.dag_size() >= 3
+
+    def test_sat_count(self, a, b):
+        assert (a & b).sat_count() == 2  # over 3 declared vars
+
+    def test_models(self, a, b):
+        f = a & b
+        model = f.pick_model()
+        assert model["a"] and model["b"]
+        assert len(list(f.iter_models())) == 1
+
+    def test_quantify(self, a, b):
+        f = a & b
+        assert f.exists("a") == b
+        assert f.forall("a").is_false()
+
+    def test_cofactor_compose_rename(self, a, b, bdd):
+        f = a & b
+        assert f.cofactor(a=True) == b
+        assert f.compose("a", Function.true(bdd)) == b
+        g = f.rename({"a": "c"})
+        assert g.support() == ["b", "c"]
+
+    def test_constrain_restrict(self, a, b):
+        f = a & b
+        assert f.constrain(a) == b
+        assert f.restrict(a & b).is_true()
+
+    def test_repr_and_dot(self, a, b):
+        f = a & b
+        assert "vars=" in repr(f)
+        assert repr(Function.true(f.bdd)) == "Function(TRUE)"
+        assert "digraph" in f.to_dot()
+
+    def test_hashable(self, a, b):
+        assert len({a & b, a & b, a | b}) == 2

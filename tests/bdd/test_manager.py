@@ -1,0 +1,207 @@
+"""Unit tests for the BDD manager: storage, variables, refs and GC."""
+
+import pytest
+
+from repro.bdd import BDD
+from repro.errors import BDDError, VariableError
+
+
+class TestVariables:
+    def test_declared_in_order(self):
+        bdd = BDD(["a", "b", "c"])
+        assert bdd.num_vars == 3
+        assert bdd.order_names == ["a", "b", "c"]
+        assert bdd.level_of("a") == 0
+        assert bdd.level_of("c") == 2
+
+    def test_add_var_defaults_name(self):
+        bdd = BDD()
+        var = bdd.add_var()
+        assert bdd.var_name(var) == "x0"
+
+    def test_duplicate_name_rejected(self):
+        bdd = BDD(["a"])
+        with pytest.raises(VariableError):
+            bdd.add_var("a")
+
+    def test_unknown_name_rejected(self):
+        bdd = BDD(["a"])
+        with pytest.raises(VariableError):
+            bdd.var("zz")
+
+    def test_unknown_index_rejected(self):
+        bdd = BDD(["a"])
+        with pytest.raises(VariableError):
+            bdd.var(5)
+
+    def test_var_and_nvar_literals(self):
+        bdd = BDD(["a"])
+        a = bdd.var("a")
+        na = bdd.nvar("a")
+        assert bdd.evaluate(a, {"a": True})
+        assert not bdd.evaluate(a, {"a": False})
+        assert bdd.evaluate(na, {"a": False})
+        assert na == bdd.not_(a)
+
+    def test_var_at_level_roundtrip(self):
+        bdd = BDD(["a", "b"])
+        for level in range(2):
+            assert bdd.level_of(bdd.var_at_level(level)) == level
+
+
+class TestNodeStructure:
+    def test_terminals(self):
+        bdd = BDD(["a"])
+        assert bdd.is_terminal(bdd.true)
+        assert bdd.is_terminal(bdd.false)
+        assert not bdd.is_terminal(bdd.var("a"))
+
+    def test_node_accessors(self):
+        bdd = BDD(["a"])
+        a = bdd.var("a")
+        assert bdd.node_var(a) == 0
+        assert bdd.node_children(a) == (bdd.false, bdd.true)
+        with pytest.raises(BDDError):
+            bdd.node_var(bdd.true)
+        with pytest.raises(BDDError):
+            bdd.node_children(bdd.false)
+
+    def test_mk_is_canonical(self):
+        bdd = BDD(["a", "b"])
+        f = bdd.and_(bdd.var("a"), bdd.var("b"))
+        g = bdd.and_(bdd.var("b"), bdd.var("a"))
+        assert f == g
+
+    def test_redundant_test_collapses(self):
+        bdd = BDD(["a", "b"])
+        a = bdd.var("a")
+        # a AND a == a; no redundant node is created
+        assert bdd.and_(a, a) == a
+
+    def test_cube(self):
+        bdd = BDD(["a", "b", "c"])
+        cube = bdd.cube({"a": True, "c": False})
+        assert bdd.evaluate(cube, {"a": True, "b": False, "c": False})
+        assert not bdd.evaluate(cube, {"a": True, "b": False, "c": True})
+        assert bdd.sat_count(cube) == 2
+
+    def test_empty_cube_is_true(self):
+        bdd = BDD(["a"])
+        assert bdd.cube({}) == bdd.true
+
+    def test_check_invariants_clean(self):
+        bdd = BDD(["a", "b", "c"])
+        bdd.xor(bdd.var("a"), bdd.and_(bdd.var("b"), bdd.var("c")))
+        bdd.check_invariants()
+
+
+class TestGarbageCollection:
+    def test_unreferenced_nodes_are_collected(self):
+        bdd = BDD(["a", "b", "c"])
+        f = bdd.and_(bdd.var("a"), bdd.var("b"))
+        before = bdd.num_nodes
+        freed = bdd.collect_garbage()
+        assert freed > 0
+        assert bdd.num_nodes < before
+        # f's slot may be reused; rebuilding must give a valid node again.
+        f2 = bdd.and_(bdd.var("a"), bdd.var("b"))
+        assert bdd.evaluate(f2, {"a": True, "b": True})
+
+    def test_incref_protects(self):
+        bdd = BDD(["a", "b"])
+        f = bdd.and_(bdd.var("a"), bdd.var("b"))
+        bdd.incref(f)
+        bdd.collect_garbage()
+        assert bdd.evaluate(f, {"a": True, "b": True})
+        bdd.check_invariants()
+
+    def test_decref_releases(self):
+        bdd = BDD(["a", "b"])
+        f = bdd.and_(bdd.var("a"), bdd.var("b"))
+        bdd.incref(f)
+        bdd.decref(f)
+        live_before = bdd.count_live()
+        bdd.collect_garbage()
+        assert bdd.count_live() <= live_before
+
+    def test_roots_argument_protects(self):
+        bdd = BDD(["a", "b"])
+        f = bdd.or_(bdd.var("a"), bdd.var("b"))
+        bdd.collect_garbage(roots=[f])
+        assert bdd.evaluate(f, {"a": False, "b": True})
+
+    def test_terminal_refcounting_is_noop(self):
+        bdd = BDD(["a"])
+        bdd.incref(bdd.true)
+        bdd.decref(bdd.true)
+        bdd.decref(bdd.false)
+        bdd.collect_garbage()
+        assert bdd.num_nodes >= 2
+
+    def test_nested_incref(self):
+        bdd = BDD(["a", "b"])
+        f = bdd.and_(bdd.var("a"), bdd.var("b"))
+        bdd.incref(f)
+        bdd.incref(f)
+        bdd.decref(f)
+        bdd.collect_garbage()
+        # still protected by the second reference
+        assert bdd.evaluate(f, {"a": True, "b": True})
+
+    def test_maybe_collect_threshold(self):
+        bdd = BDD(["a", "b", "c", "d"])
+        bdd.gc_threshold = 1
+        bdd.xor(bdd.var("a"), bdd.var("b"))
+        assert bdd.maybe_collect() > 0
+
+    def test_gc_count_increments(self):
+        bdd = BDD(["a"])
+        before = bdd.gc_count
+        bdd.collect_garbage()
+        assert bdd.gc_count == before + 1
+
+
+class TestStatistics:
+    def test_peak_nodes_grows(self):
+        bdd = BDD(["a", "b", "c", "d"])
+        start = bdd.peak_nodes
+        f = bdd.true
+        for name in ("a", "b", "c", "d"):
+            f = bdd.xor(f, bdd.var(name))
+        assert bdd.peak_nodes > start
+
+    def test_count_live_tracks_peak(self):
+        bdd = BDD(["a", "b"])
+        f = bdd.and_(bdd.var("a"), bdd.var("b"))
+        bdd.incref(f)
+        live = bdd.count_live()
+        assert live >= 3
+        assert bdd.peak_live >= live
+
+    def test_reset_peak(self):
+        bdd = BDD(["a", "b", "c"])
+        f = bdd.conjoin([bdd.var("a"), bdd.var("b"), bdd.var("c")])
+        bdd.incref(f)
+        bdd.collect_garbage()
+        bdd.reset_peak()
+        assert bdd.peak_live == bdd.count_live()
+
+    def test_op_count_increments(self):
+        bdd = BDD(["a", "b"])
+        before = bdd.op_count
+        bdd.and_(bdd.var("a"), bdd.var("b"))
+        assert bdd.op_count == before + 1
+
+
+class TestBulkOps:
+    def test_conjoin_disjoin(self):
+        bdd = BDD(["a", "b", "c"])
+        literals = [bdd.var(n) for n in ("a", "b", "c")]
+        assert bdd.sat_count(bdd.conjoin(literals)) == 1
+        assert bdd.sat_count(bdd.disjoin(literals)) == 7
+        assert bdd.conjoin([]) == bdd.true
+        assert bdd.disjoin([]) == bdd.false
+
+    def test_conjoin_short_circuits_on_false(self):
+        bdd = BDD(["a"])
+        assert bdd.conjoin([bdd.false, bdd.var("a")]) == bdd.false

@@ -1,0 +1,140 @@
+"""Boolean operation tests: truth tables, identities, random cross-checks."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDD
+
+from ..conftest import build_expr, expr_table, random_expr, truth_table
+
+
+@pytest.fixture
+def bdd():
+    return BDD(["a", "b", "c", "d"])
+
+
+def lits(bdd):
+    return bdd.var("a"), bdd.var("b")
+
+
+class TestTerminalCases:
+    def test_not(self, bdd):
+        assert bdd.not_(bdd.true) == bdd.false
+        assert bdd.not_(bdd.false) == bdd.true
+        a = bdd.var("a")
+        assert bdd.not_(bdd.not_(a)) == a
+
+    def test_and(self, bdd):
+        a, b = lits(bdd)
+        assert bdd.and_(a, bdd.false) == bdd.false
+        assert bdd.and_(bdd.false, a) == bdd.false
+        assert bdd.and_(a, bdd.true) == a
+        assert bdd.and_(bdd.true, a) == a
+        assert bdd.and_(a, a) == a
+
+    def test_or(self, bdd):
+        a, b = lits(bdd)
+        assert bdd.or_(a, bdd.true) == bdd.true
+        assert bdd.or_(a, bdd.false) == a
+        assert bdd.or_(a, a) == a
+
+    def test_xor(self, bdd):
+        a, b = lits(bdd)
+        assert bdd.xor(a, a) == bdd.false
+        assert bdd.xor(a, bdd.false) == a
+        assert bdd.xor(a, bdd.true) == bdd.not_(a)
+
+    def test_ite(self, bdd):
+        a, b = lits(bdd)
+        c = bdd.var("c")
+        assert bdd.ite(bdd.true, a, b) == a
+        assert bdd.ite(bdd.false, a, b) == b
+        assert bdd.ite(a, b, b) == b
+        assert bdd.ite(a, bdd.true, bdd.false) == a
+        assert bdd.ite(a, bdd.false, bdd.true) == bdd.not_(a)
+        assert bdd.ite(a, b, c) == bdd.or_(
+            bdd.and_(a, b), bdd.and_(bdd.not_(a), c)
+        )
+
+
+class TestIdentities:
+    def test_de_morgan(self, bdd):
+        a, b = lits(bdd)
+        assert bdd.not_(bdd.and_(a, b)) == bdd.or_(
+            bdd.not_(a), bdd.not_(b)
+        )
+
+    def test_xor_via_and_or(self, bdd):
+        a, b = lits(bdd)
+        expected = bdd.or_(
+            bdd.and_(a, bdd.not_(b)), bdd.and_(bdd.not_(a), b)
+        )
+        assert bdd.xor(a, b) == expected
+
+    def test_equiv_is_not_xor(self, bdd):
+        a, b = lits(bdd)
+        assert bdd.equiv(a, b) == bdd.not_(bdd.xor(a, b))
+
+    def test_implies(self, bdd):
+        a, b = lits(bdd)
+        assert bdd.implies(a, b) == bdd.or_(bdd.not_(a), b)
+        assert bdd.implies(a, a) == bdd.true
+
+    def test_diff(self, bdd):
+        a, b = lits(bdd)
+        assert bdd.diff(a, b) == bdd.and_(a, bdd.not_(b))
+
+    def test_commutativity_shares_cache_entries(self, bdd):
+        a, b = lits(bdd)
+        f = bdd.and_(a, b)
+        before = len(bdd._cache)
+        g = bdd.and_(b, a)
+        assert f == g
+        assert len(bdd._cache) == before  # operand normalization hit
+
+    def test_distribution(self, bdd):
+        a, b = lits(bdd)
+        c = bdd.var("c")
+        left = bdd.and_(a, bdd.or_(b, c))
+        right = bdd.or_(bdd.and_(a, b), bdd.and_(a, c))
+        assert left == right
+
+
+class TestRandomizedAgainstTruthTables:
+    NVARS = 5
+
+    def test_many_random_expressions(self):
+        rng = random.Random(42)
+        for _ in range(150):
+            bdd = BDD(["x%d" % i for i in range(self.NVARS)])
+            expr = random_expr(rng, self.NVARS, 4)
+            node = build_expr(bdd, expr)
+            assert truth_table(bdd, node, self.NVARS) == expr_table(
+                expr, self.NVARS
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_hypothesis_expressions(self, data):
+        seed = data.draw(st.integers(0, 2**32 - 1))
+        rng = random.Random(seed)
+        bdd = BDD(["x%d" % i for i in range(self.NVARS)])
+        expr = random_expr(rng, self.NVARS, data.draw(st.integers(0, 5)))
+        node = build_expr(bdd, expr)
+        assert truth_table(bdd, node, self.NVARS) == expr_table(
+            expr, self.NVARS
+        )
+
+    def test_canonicity_equal_tables_equal_nodes(self):
+        rng = random.Random(7)
+        bdd = BDD(["x%d" % i for i in range(4)])
+        seen = {}
+        for _ in range(80):
+            expr = random_expr(rng, 4, 3)
+            node = build_expr(bdd, expr)
+            table = truth_table(bdd, node, 4)
+            if table in seen:
+                assert seen[table] == node
+            seen[table] = node

@@ -1,0 +1,147 @@
+"""Dynamic reordering tests: swaps, targeted reorder, sifting.
+
+The key contract: reorders rewrite interacting nodes in place, so node
+handles held across a reorder keep denoting the same Boolean function.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.bdd import BDD
+from repro.errors import BDDError
+
+from ..conftest import build_expr, random_expr
+
+NVARS = 6
+
+
+def table(bdd, node):
+    return tuple(
+        bdd.evaluate(node, dict(enumerate(env)))
+        for env in itertools.product([False, True], repeat=NVARS)
+    )
+
+
+@pytest.fixture
+def bdd():
+    return BDD(["x%d" % i for i in range(NVARS)])
+
+
+class TestSwapAdjacent:
+    def test_swap_updates_order(self, bdd):
+        bdd.swap_levels(0)
+        assert bdd.order_names[:2] == ["x1", "x0"]
+        assert bdd.level_of("x0") == 1
+
+    def test_swap_preserves_functions(self, bdd):
+        f = bdd.and_(bdd.var(0), bdd.or_(bdd.var(1), bdd.var(2)))
+        bdd.incref(f)
+        before = table(bdd, f)
+        bdd.swap_levels(0)
+        assert table(bdd, f) == before
+        bdd.check_invariants()
+
+    def test_swap_is_involution(self, bdd):
+        f = bdd.xor(bdd.var(1), bdd.and_(bdd.var(2), bdd.var(0)))
+        bdd.incref(f)
+        before = table(bdd, f)
+        bdd.swap_levels(1)
+        bdd.swap_levels(1)
+        assert bdd.order_names == ["x%d" % i for i in range(NVARS)]
+        assert table(bdd, f) == before
+
+    def test_swap_out_of_range(self, bdd):
+        with pytest.raises(BDDError):
+            bdd.swap_levels(NVARS - 1)
+        with pytest.raises(BDDError):
+            bdd.swap_levels(-1)
+
+    def test_random_swap_sequences(self):
+        rng = random.Random(77)
+        for _ in range(25):
+            bdd = BDD(["x%d" % i for i in range(NVARS)])
+            f = build_expr(bdd, random_expr(rng, NVARS, 4))
+            bdd.incref(f)
+            before = table(bdd, f)
+            for _swap in range(12):
+                bdd.swap_levels(rng.randrange(NVARS - 1))
+            bdd.check_invariants()
+            assert table(bdd, f) == before
+
+
+class TestReorderTo:
+    def test_reorder_to_target(self, bdd):
+        f = bdd.and_(bdd.var(0), bdd.xor(bdd.var(3), bdd.var(5)))
+        bdd.incref(f)
+        before = table(bdd, f)
+        target = [5, 4, 3, 2, 1, 0]
+        bdd.reorder_to(target)
+        assert bdd.order == target
+        assert table(bdd, f) == before
+        bdd.check_invariants()
+
+    def test_reorder_names(self, bdd):
+        bdd.reorder_to(["x2", "x0", "x1", "x3", "x4", "x5"])
+        assert bdd.order_names[:3] == ["x2", "x0", "x1"]
+
+    def test_reorder_requires_permutation(self, bdd):
+        with pytest.raises(BDDError):
+            bdd.reorder_to([0, 0, 1, 2, 3, 4])
+
+    def test_order_affects_size(self):
+        # The classic (a1<->b1)(a2<->b2)(a3<->b3): interleaved order is
+        # linear, separated order is exponential.
+        names = ["a1", "b1", "a2", "b2", "a3", "b3"]
+        bdd = BDD(names)
+        f = bdd.true
+        for i in (1, 2, 3):
+            f = bdd.and_(
+                f, bdd.equiv(bdd.var("a%d" % i), bdd.var("b%d" % i))
+            )
+        bdd.incref(f)
+        interleaved = bdd.dag_size(f)
+        bdd.reorder_to(["a1", "a2", "a3", "b1", "b2", "b3"])
+        separated = bdd.dag_size(f)
+        assert separated > interleaved
+
+
+class TestSifting:
+    def test_sift_preserves_semantics(self):
+        rng = random.Random(99)
+        for _ in range(10):
+            bdd = BDD(["x%d" % i for i in range(NVARS)])
+            f = build_expr(bdd, random_expr(rng, NVARS, 4))
+            g = build_expr(bdd, random_expr(rng, NVARS, 4))
+            bdd.incref(f)
+            bdd.incref(g)
+            before_f, before_g = table(bdd, f), table(bdd, g)
+            bdd.sift()
+            bdd.check_invariants()
+            assert table(bdd, f) == before_f
+            assert table(bdd, g) == before_g
+
+    def test_sift_finds_good_order_for_coupled_pairs(self):
+        names = ["a1", "a2", "a3", "b1", "b2", "b3"]
+        bdd = BDD(names)  # deliberately bad: pairs separated
+        f = bdd.true
+        for i in (1, 2, 3):
+            f = bdd.and_(
+                f, bdd.equiv(bdd.var("a%d" % i), bdd.var("b%d" % i))
+            )
+        bdd.incref(f)
+        bad = bdd.dag_size(f)
+        bdd.sift()
+        good = bdd.dag_size(f)
+        assert good < bad
+
+    def test_sift_respects_max_vars(self, bdd):
+        f = bdd.and_(bdd.var(0), bdd.var(5))
+        bdd.incref(f)
+        bdd.sift(max_vars=1)
+        bdd.check_invariants()
+
+    def test_sift_trivial_manager(self):
+        bdd = BDD(["only"])
+        assert bdd.sift() == bdd.num_nodes

@@ -1,0 +1,121 @@
+"""Quantification tests: EXISTS, FORALL and the fused relational product."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.bdd import BDD
+
+from ..conftest import build_expr, eval_expr, random_expr
+
+NVARS = 5
+
+
+@pytest.fixture
+def bdd():
+    return BDD(["x%d" % i for i in range(NVARS)])
+
+
+def brute_quantify(expr, variables, mode, nvars=NVARS):
+    """Truth table of the quantified expression, by expansion."""
+    rows = []
+    combine = any if mode == "exists" else all
+    for env in itertools.product([False, True], repeat=nvars):
+        env = dict(enumerate(env))
+        values = []
+        for combo in itertools.product([False, True], repeat=len(variables)):
+            env2 = dict(env)
+            env2.update(zip(variables, combo))
+            values.append(eval_expr(expr, env2))
+        rows.append(combine(values))
+    return tuple(rows)
+
+
+def table(bdd, node, nvars=NVARS):
+    return tuple(
+        bdd.evaluate(node, dict(enumerate(env)))
+        for env in itertools.product([False, True], repeat=nvars)
+    )
+
+
+class TestExistsForall:
+    def test_exists_simple(self, bdd):
+        f = bdd.and_(bdd.var(0), bdd.var(1))
+        assert bdd.exists([0], f) == bdd.var(1)
+        assert bdd.exists([0, 1], f) == bdd.true
+
+    def test_forall_simple(self, bdd):
+        f = bdd.or_(bdd.var(0), bdd.var(1))
+        assert bdd.forall([0], f) == bdd.var(1)
+        assert bdd.forall([0, 1], f) == bdd.false
+
+    def test_quantify_missing_var_is_noop(self, bdd):
+        f = bdd.var(1)
+        assert bdd.exists([0], f) == f
+        assert bdd.forall([3], f) == f
+
+    def test_empty_variable_set(self, bdd):
+        f = bdd.xor(bdd.var(0), bdd.var(2))
+        assert bdd.exists([], f) == f
+        assert bdd.forall([], f) == f
+
+    def test_terminals(self, bdd):
+        assert bdd.exists([0], bdd.true) == bdd.true
+        assert bdd.exists([0], bdd.false) == bdd.false
+        assert bdd.forall([0], bdd.true) == bdd.true
+
+    def test_names_accepted(self, bdd):
+        f = bdd.and_(bdd.var("x0"), bdd.var("x1"))
+        assert bdd.exists(["x0"], f) == bdd.var("x1")
+
+    def test_duality(self, bdd):
+        rng = random.Random(3)
+        for _ in range(30):
+            expr = random_expr(rng, NVARS, 3)
+            f = build_expr(bdd, expr)
+            vs = rng.sample(range(NVARS), 2)
+            assert bdd.forall(vs, f) == bdd.not_(
+                bdd.exists(vs, bdd.not_(f))
+            )
+
+    def test_randomized_against_expansion(self):
+        rng = random.Random(11)
+        for _ in range(40):
+            bdd = BDD(["x%d" % i for i in range(NVARS)])
+            expr = random_expr(rng, NVARS, 4)
+            f = build_expr(bdd, expr)
+            variables = rng.sample(range(NVARS), rng.randint(1, 3))
+            assert table(bdd, bdd.exists(variables, f)) == brute_quantify(
+                expr, variables, "exists"
+            )
+            assert table(bdd, bdd.forall(variables, f)) == brute_quantify(
+                expr, variables, "forall"
+            )
+
+
+class TestAndExists:
+    def test_matches_unfused(self):
+        rng = random.Random(23)
+        for _ in range(60):
+            bdd = BDD(["x%d" % i for i in range(NVARS)])
+            f = build_expr(bdd, random_expr(rng, NVARS, 3))
+            g = build_expr(bdd, random_expr(rng, NVARS, 3))
+            variables = rng.sample(range(NVARS), rng.randint(0, 3))
+            fused = bdd.and_exists(f, g, variables)
+            reference = bdd.exists(variables, bdd.and_(f, g))
+            assert fused == reference
+
+    def test_terminal_shortcuts(self, bdd):
+        f = bdd.var(0)
+        assert bdd.and_exists(f, bdd.false, [0]) == bdd.false
+        assert bdd.and_exists(bdd.true, bdd.true, [0]) == bdd.true
+        assert bdd.and_exists(f, bdd.true, [0]) == bdd.true
+        assert bdd.and_exists(f, f, [0]) == bdd.true
+
+    def test_relational_product_shape(self, bdd):
+        # image of {x0=1} under relation x1' == x0 (x1 plays next-state)
+        relation = bdd.equiv(bdd.var(1), bdd.var(0))
+        from_set = bdd.var(0)
+        image = bdd.and_exists(from_set, relation, [0])
+        assert image == bdd.var(1)

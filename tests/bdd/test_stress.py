@@ -1,0 +1,140 @@
+"""Stress and failure-injection tests for the BDD manager.
+
+Long random operation sequences with interleaved garbage collections
+and reorders must preserve function semantics and internal invariants;
+a node-limit abort must leave the manager usable.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.bdd import BDD
+from repro.errors import ResourceLimitError
+
+from ..conftest import build_expr, random_expr
+
+NVARS = 6
+
+
+def table(bdd, node):
+    return tuple(
+        bdd.evaluate(node, dict(enumerate(env)))
+        for env in itertools.product([False, True], repeat=NVARS)
+    )
+
+
+class TestInterleavedLifecycle:
+    def test_ops_gc_reorder_swaps(self):
+        rng = random.Random(2024)
+        bdd = BDD(["x%d" % i for i in range(NVARS)])
+        pinned = {}  # node -> truth table
+        for step in range(300):
+            action = rng.random()
+            if action < 0.5 or not pinned:
+                node = build_expr(bdd, random_expr(rng, NVARS, 3))
+                bdd.incref(node)
+                pinned[node] = table(bdd, node)
+            elif action < 0.65:
+                victim = rng.choice(list(pinned))
+                bdd.decref(victim)
+                del pinned[victim]
+                bdd.collect_garbage()
+            elif action < 0.8:
+                bdd.collect_garbage()
+            elif action < 0.95:
+                bdd.swap_levels(rng.randrange(NVARS - 1))
+            else:
+                order = list(range(NVARS))
+                rng.shuffle(order)
+                bdd.reorder_to(order)
+            if step % 37 == 0:
+                bdd.check_invariants()
+                for node, expected in pinned.items():
+                    assert table(bdd, node) == expected
+        bdd.check_invariants()
+        for node, expected in pinned.items():
+            assert table(bdd, node) == expected
+
+    def test_gc_then_rebuild_is_canonical(self):
+        rng = random.Random(7)
+        bdd = BDD(["x%d" % i for i in range(NVARS)])
+        expr = random_expr(rng, NVARS, 4)
+        first = build_expr(bdd, expr)
+        expected = table(bdd, first)
+        bdd.collect_garbage()  # first is swept
+        second = build_expr(bdd, expr)
+        assert table(bdd, second) == expected
+
+    def test_maybe_collect_during_heavy_load(self):
+        bdd = BDD(["x%d" % i for i in range(8)])
+        bdd.gc_threshold = 500
+        rng = random.Random(5)
+        keep = build_expr(bdd, random_expr(rng, 8, 4))
+        bdd.incref(keep)
+        reference = tuple(
+            bdd.evaluate(keep, dict(enumerate(env)))
+            for env in itertools.product([False, True], repeat=8)
+        )
+        for _ in range(30):
+            build_expr(bdd, random_expr(rng, 8, 4))
+            bdd.maybe_collect()
+        got = tuple(
+            bdd.evaluate(keep, dict(enumerate(env)))
+            for env in itertools.product([False, True], repeat=8)
+        )
+        assert got == reference
+
+
+class TestNodeLimit:
+    def test_limit_aborts_blowup(self):
+        bdd = BDD(["x%d" % i for i in range(40)])
+        bdd.node_limit = 2_000
+        with pytest.raises(ResourceLimitError) as info:
+            # multiplier-style function: exponential without luck
+            f = bdd.false
+            rng = random.Random(1)
+            for _ in range(200):
+                cube = bdd.cube(
+                    {v: rng.random() < 0.5 for v in rng.sample(range(40), 12)}
+                )
+                f = bdd.or_(f, cube)
+        assert info.value.kind == "memory"
+
+    def test_manager_usable_after_abort(self):
+        bdd = BDD(["x%d" % i for i in range(30)])
+        keep = bdd.and_(bdd.var(0), bdd.var(1))
+        bdd.incref(keep)
+        bdd.node_limit = bdd.num_nodes + 50
+        rng = random.Random(3)
+        with pytest.raises(ResourceLimitError):
+            f = bdd.true
+            for _ in range(500):
+                f = bdd.xor(
+                    f, bdd.cube({v: True for v in rng.sample(range(30), 8)})
+                )
+        # recover: lift the limit, GC, and keep working
+        bdd.node_limit = None
+        bdd.collect_garbage()
+        bdd.check_invariants()
+        assert bdd.evaluate(keep, {0: True, 1: True})
+        g = bdd.or_(keep, bdd.var(2))
+        assert bdd.evaluate(g, {0: False, 1: False, 2: True})
+
+    def test_peak_statistics_survive_abort(self):
+        bdd = BDD(["x%d" % i for i in range(20)])
+        bdd.node_limit = 500
+        try:
+            f = bdd.false
+            rng = random.Random(9)
+            for _ in range(100):
+                f = bdd.or_(
+                    f,
+                    bdd.cube(
+                        {v: rng.random() < 0.5 for v in rng.sample(range(20), 8)}
+                    ),
+                )
+        except ResourceLimitError:
+            pass
+        assert bdd.peak_nodes >= 500

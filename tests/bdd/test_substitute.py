@@ -1,0 +1,138 @@
+"""Composition and renaming tests, including simultaneity semantics."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.bdd import BDD
+
+from ..conftest import build_expr, eval_expr, random_expr
+
+NVARS = 5
+
+
+@pytest.fixture
+def bdd():
+    return BDD(["x%d" % i for i in range(NVARS)])
+
+
+def table(bdd, node):
+    return tuple(
+        bdd.evaluate(node, dict(enumerate(env)))
+        for env in itertools.product([False, True], repeat=NVARS)
+    )
+
+
+class TestCompose:
+    def test_substitute_constant(self, bdd):
+        f = bdd.and_(bdd.var(0), bdd.var(1))
+        assert bdd.compose(f, 0, bdd.true) == bdd.var(1)
+        assert bdd.compose(f, 0, bdd.false) == bdd.false
+
+    def test_substitute_var_above(self, bdd):
+        # Substituting a function of a *higher* variable must still work
+        # (the result's top variable rises above f's).
+        f = bdd.var(3)
+        g = bdd.var(0)
+        assert bdd.compose(f, 3, g) == g
+
+    def test_missing_var_is_noop(self, bdd):
+        f = bdd.var(2)
+        assert bdd.compose(f, 0, bdd.var(4)) == f
+
+    def test_randomized(self):
+        rng = random.Random(5)
+        for _ in range(40):
+            bdd = BDD(["x%d" % i for i in range(NVARS)])
+            fe = random_expr(rng, NVARS, 3)
+            ge = random_expr(rng, NVARS, 3)
+            var = rng.randrange(NVARS)
+            f = build_expr(bdd, fe)
+            g = build_expr(bdd, ge)
+            composed = bdd.compose(f, var, g)
+            for env in itertools.product([False, True], repeat=NVARS):
+                env = dict(enumerate(env))
+                env2 = dict(env)
+                env2[var] = eval_expr(ge, env)
+                assert bdd.evaluate(composed, env) == eval_expr(fe, env2)
+
+
+class TestVectorCompose:
+    def test_simultaneous_not_sequential(self, bdd):
+        # f = x0 XOR x1, swap x0 and x1 simultaneously: unchanged.
+        f = bdd.xor(bdd.var(0), bdd.var(1))
+        swapped = bdd.vector_compose(f, {0: bdd.var(1), 1: bdd.var(0)})
+        assert swapped == f
+        # But mapping x0 -> x1 while x1 -> NOT x1 must use the *original*
+        # x1 in both substitutions.
+        g = bdd.and_(bdd.var(0), bdd.var(1))
+        mapped = bdd.vector_compose(
+            g, {0: bdd.var(1), 1: bdd.not_(bdd.var(1))}
+        )
+        assert mapped == bdd.false  # x1 AND NOT x1
+
+    def test_empty_mapping(self, bdd):
+        f = bdd.var(2)
+        assert bdd.vector_compose(f, {}) == f
+
+    def test_randomized(self):
+        rng = random.Random(17)
+        for _ in range(40):
+            bdd = BDD(["x%d" % i for i in range(NVARS)])
+            fe = random_expr(rng, NVARS, 3)
+            subs = {
+                v: random_expr(rng, NVARS, 2)
+                for v in rng.sample(range(NVARS), rng.randint(1, 3))
+            }
+            f = build_expr(bdd, fe)
+            mapping = {v: build_expr(bdd, e) for v, e in subs.items()}
+            result = bdd.vector_compose(f, mapping)
+            for env in itertools.product([False, True], repeat=NVARS):
+                env = dict(enumerate(env))
+                env2 = dict(env)
+                for v, e in subs.items():
+                    env2[v] = eval_expr(e, env)
+                assert bdd.evaluate(result, env) == eval_expr(fe, env2)
+
+
+class TestRename:
+    def test_monotone_fast_path(self, bdd):
+        # x0 -> x1 keeps relative order when x0's support slot moves down.
+        f = bdd.and_(bdd.var(0), bdd.var(3))
+        renamed = bdd.rename(f, {0: 1})
+        assert renamed == bdd.and_(bdd.var(1), bdd.var(3))
+
+    def test_swap_two_vars(self, bdd):
+        f = bdd.and_(bdd.var(0), bdd.not_(bdd.var(1)))
+        swapped = bdd.rename(f, {0: 1, 1: 0})
+        assert swapped == bdd.and_(bdd.var(1), bdd.not_(bdd.var(0)))
+
+    def test_identity_rename(self, bdd):
+        f = bdd.xor(bdd.var(0), bdd.var(1))
+        assert bdd.rename(f, {0: 0, 1: 1}) == f
+        assert bdd.rename(f, {}) == f
+
+    def test_rename_outside_support_ignored(self, bdd):
+        f = bdd.var(2)
+        assert bdd.rename(f, {0: 4}) == f
+
+    def test_collision_with_untouched_support(self, bdd):
+        # Renaming x0 onto x1 while x1 stays: x0 AND x1 becomes x1.
+        f = bdd.and_(bdd.var(0), bdd.var(1))
+        assert bdd.rename(f, {0: 1}) == bdd.var(1)
+
+    def test_randomized_permutations(self):
+        rng = random.Random(29)
+        for _ in range(30):
+            bdd = BDD(["x%d" % i for i in range(NVARS)])
+            fe = random_expr(rng, NVARS, 3)
+            f = build_expr(bdd, fe)
+            perm = list(range(NVARS))
+            rng.shuffle(perm)
+            mapping = {i: perm[i] for i in range(NVARS)}
+            renamed = bdd.rename(f, mapping)
+            for env in itertools.product([False, True], repeat=NVARS):
+                env = dict(enumerate(env))
+                pre = {i: env[perm[i]] for i in range(NVARS)}
+                assert bdd.evaluate(renamed, env) == eval_expr(fe, pre)

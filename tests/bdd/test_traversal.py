@@ -1,0 +1,156 @@
+"""Traversal tests: support, sizes, evaluation, SAT counting, models."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.bdd import BDD
+from repro.errors import BDDError
+
+from ..conftest import build_expr, expr_table, random_expr
+
+NVARS = 5
+
+
+@pytest.fixture
+def bdd():
+    return BDD(["x%d" % i for i in range(NVARS)])
+
+
+class TestSupport:
+    def test_support_of_terminal(self, bdd):
+        assert bdd.support(bdd.true) == []
+        assert bdd.support(bdd.false) == []
+
+    def test_support_sorted_by_level(self, bdd):
+        f = bdd.and_(bdd.var(3), bdd.var(1))
+        assert bdd.support(f) == [1, 3]
+        assert bdd.support_names(f) == ["x1", "x3"]
+
+    def test_support_misses_cancelled_var(self, bdd):
+        # (x0 AND x1) OR (NOT x0 AND x1) == x1: x0 not in support.
+        f = bdd.or_(
+            bdd.and_(bdd.var(0), bdd.var(1)),
+            bdd.and_(bdd.not_(bdd.var(0)), bdd.var(1)),
+        )
+        assert bdd.support(f) == [1]
+
+
+class TestSizes:
+    def test_dag_size_terminal(self, bdd):
+        assert bdd.dag_size(bdd.true) == 1
+        assert bdd.dag_size(bdd.var(0)) == 3  # node + two terminals
+
+    def test_shared_size_counts_once(self, bdd):
+        f = bdd.and_(bdd.var(0), bdd.var(1))
+        g = bdd.or_(f, bdd.var(2))
+        shared = bdd.shared_size([f, g])
+        assert shared <= bdd.dag_size(f) + bdd.dag_size(g)
+        assert shared >= bdd.dag_size(g)
+
+    def test_shared_size_of_identical_roots(self, bdd):
+        f = bdd.xor(bdd.var(0), bdd.var(1))
+        assert bdd.shared_size([f, f]) == bdd.dag_size(f)
+
+
+class TestEvaluate:
+    def test_partial_assignment_on_path(self, bdd):
+        f = bdd.and_(bdd.var(0), bdd.var(1))
+        # x0=False decides the function without consulting x1.
+        assert bdd.evaluate(f, {0: False}) is False
+
+    def test_missing_variable_raises(self, bdd):
+        f = bdd.var(2)
+        with pytest.raises(BDDError):
+            bdd.evaluate(f, {})
+
+    def test_names_and_indices(self, bdd):
+        f = bdd.var("x1")
+        assert bdd.evaluate(f, {"x1": True}) is True
+        assert bdd.evaluate(f, {1: True}) is True
+
+
+class TestSatCount:
+    def test_constants(self, bdd):
+        assert bdd.sat_count(bdd.false) == 0
+        assert bdd.sat_count(bdd.true) == 2**NVARS
+
+    def test_literal(self, bdd):
+        assert bdd.sat_count(bdd.var(0)) == 2 ** (NVARS - 1)
+
+    def test_over_subset(self, bdd):
+        f = bdd.and_(bdd.var(1), bdd.var(3))
+        assert bdd.sat_count(f, [1, 3]) == 1
+        assert bdd.sat_count(f, [1, 3, 4]) == 2
+
+    def test_rejects_missing_support(self, bdd):
+        f = bdd.var(2)
+        with pytest.raises(BDDError):
+            bdd.sat_count(f, [0, 1])
+
+    def test_randomized(self):
+        rng = random.Random(13)
+        for _ in range(40):
+            bdd = BDD(["x%d" % i for i in range(NVARS)])
+            expr = random_expr(rng, NVARS, 4)
+            node = build_expr(bdd, expr)
+            expected = sum(expr_table(expr, NVARS))
+            assert bdd.sat_count(node) == expected
+
+
+class TestModels:
+    def test_pick_model_none_for_false(self, bdd):
+        assert bdd.pick_model(bdd.false) is None
+
+    def test_pick_model_satisfies(self, bdd):
+        rng = random.Random(19)
+        for _ in range(30):
+            f = build_expr(bdd, random_expr(rng, NVARS, 3))
+            model = bdd.pick_model(f)
+            if f == bdd.false:
+                assert model is None
+                continue
+            env = {name: value for name, value in model.items()}
+            full = {("x%d" % i): env.get("x%d" % i, False) for i in range(NVARS)}
+            assert bdd.evaluate(f, full)
+
+    def test_pick_model_includes_care_vars(self, bdd):
+        f = bdd.var(0)
+        model = bdd.pick_model(f, care_vars=[2, 4])
+        assert "x2" in model and "x4" in model
+
+    def test_iter_models_complete(self, bdd):
+        f = bdd.xor(bdd.var(0), bdd.var(2))
+        models = list(bdd.iter_models(f))
+        assert len(models) == 2  # over support {x0, x2}
+        for model in models:
+            assert model["x0"] != model["x2"]
+
+    def test_iter_models_with_care_vars(self, bdd):
+        f = bdd.var(0)
+        models = list(bdd.iter_models(f, care_vars=[1]))
+        assert len(models) == 2
+        assert {m["x1"] for m in models} == {False, True}
+
+    def test_iter_models_count_matches_sat_count(self, bdd):
+        rng = random.Random(37)
+        for _ in range(15):
+            f = build_expr(bdd, random_expr(rng, NVARS, 3))
+            models = list(bdd.iter_models(f))
+            over = bdd.support(f)
+            assert len(models) == bdd.sat_count(f, over)
+
+
+class TestDot:
+    def test_dot_contains_nodes_and_edges(self, bdd):
+        f = bdd.and_(bdd.var(0), bdd.var(1))
+        dot = bdd.to_dot(f)
+        assert dot.startswith("digraph")
+        assert "x0" in dot and "x1" in dot
+        assert "style=dashed" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_dot_terminal_only(self, bdd):
+        dot = bdd.to_dot(bdd.true)
+        assert "shape=box" in dot

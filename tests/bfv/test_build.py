@@ -1,0 +1,129 @@
+"""Conversion tests: characteristic function <-> canonical BFV.
+
+Includes the paper's Table 1 worked example and exhaustive round-trips.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDD
+from repro.bfv import BFV, constraints, from_characteristic, to_characteristic
+from repro.errors import BFVError
+
+from ..conftest import all_points, all_subsets, chi_of
+
+
+@pytest.fixture
+def bdd():
+    return BDD(["v0", "v1", "v2"])
+
+
+VARS3 = (0, 1, 2)
+
+
+class TestPaperTable1:
+    """The worked example of Section 2: S = {000, 001, 010, 011, 100, 101}."""
+
+    POINTS = [p for p in all_points(3) if not (p[0] and p[1])]
+
+    def test_characteristic_function(self, bdd):
+        chi = chi_of(bdd, VARS3, self.POINTS)
+        # chi == NOT (v0 AND v1)
+        assert chi == bdd.not_(bdd.and_(bdd.var(0), bdd.var(1)))
+
+    def test_canonical_vector_matches_paper(self, bdd):
+        chi = chi_of(bdd, VARS3, self.POINTS)
+        vec = from_characteristic(bdd, VARS3, chi)
+        v0, v1, v2 = bdd.var(0), bdd.var(1), bdd.var(2)
+        # F = (v1, NOT v1 AND v2, v3) in the paper's 1-based numbering.
+        assert vec.components == (
+            v0,
+            bdd.and_(bdd.not_(v0), v1),
+            v2,
+        )
+
+    def test_selection_table(self, bdd):
+        # Table 1's F column: every choice row maps to the listed member.
+        chi = chi_of(bdd, VARS3, self.POINTS)
+        vec = from_characteristic(bdd, VARS3, chi)
+        expected = {
+            (False, False, False): (False, False, False),
+            (False, False, True): (False, False, True),
+            (False, True, False): (False, True, False),
+            (False, True, True): (False, True, True),
+            (True, False, False): (True, False, False),
+            (True, False, True): (True, False, True),
+            (True, True, False): (True, False, False),
+            (True, True, True): (True, False, True),
+        }
+        for choices, member in expected.items():
+            assert vec.select(choices) == member
+
+
+class TestRoundTrips:
+    def test_exhaustive_width3(self, bdd):
+        for subset in all_subsets(3):
+            chi = chi_of(bdd, VARS3, subset)
+            vec = from_characteristic(bdd, VARS3, chi)
+            vec.check_structure()
+            assert to_characteristic(vec) == chi
+            assert set(vec.enumerate()) == subset
+            assert vec.count() == len(subset)
+
+    def test_empty_set(self, bdd):
+        vec = from_characteristic(bdd, VARS3, bdd.false)
+        assert vec.is_empty
+        assert to_characteristic(vec) == bdd.false
+
+    def test_full_set(self, bdd):
+        vec = from_characteristic(bdd, VARS3, bdd.true)
+        assert vec.components == (bdd.var(0), bdd.var(1), bdd.var(2))
+
+    def test_rejects_foreign_support(self, bdd):
+        bdd.add_var("w")
+        with pytest.raises(BFVError):
+            from_characteristic(bdd, VARS3, bdd.var("w"))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(4, 6))
+    def test_random_wider_sets(self, seed, width):
+        rng = random.Random(seed)
+        bdd = BDD(["v%d" % i for i in range(width)])
+        variables = tuple(range(width))
+        points = {
+            tuple(rng.random() < 0.5 for _ in range(width))
+            for _ in range(rng.randint(1, 12))
+        }
+        chi = chi_of(bdd, variables, points)
+        vec = from_characteristic(bdd, variables, chi)
+        vec.check_structure()
+        assert to_characteristic(vec) == chi
+        assert set(vec.enumerate()) == points
+
+
+class TestChoiceVarsNotFirst:
+    def test_choice_vars_interleaved_with_params(self):
+        # Choice variables need not be contiguous or first in the order.
+        bdd = BDD(["p", "v0", "q", "v1", "v2"])
+        variables = (1, 3, 4)
+        points = [(True, False, True), (False, False, False)]
+        chi = chi_of(bdd, variables, points)
+        vec = from_characteristic(bdd, variables, chi)
+        assert set(vec.enumerate()) == set(points)
+
+
+class TestConstraintsView:
+    def test_conjunction_equals_chi(self, bdd):
+        for subset in list(all_subsets(3))[::17]:
+            chi = chi_of(bdd, VARS3, subset)
+            vec = from_characteristic(bdd, VARS3, chi)
+            parts = constraints(vec)
+            assert bdd.conjoin(parts) == chi
+
+    def test_triangular_support(self, bdd):
+        chi = chi_of(bdd, VARS3, [(True, False, True), (False, True, True)])
+        vec = from_characteristic(bdd, VARS3, chi)
+        for i, part in enumerate(constraints(vec)):
+            assert set(bdd.support(part)) <= set(VARS3[: i + 1])

@@ -1,0 +1,165 @@
+"""Conjunctive-decomposition tests (paper Sec 2.7).
+
+Checks the exact bijection with canonical BFVs, agreement with
+McMillan's constrain-based construction when the component order equals
+the BDD order, and the set operations on the constraint view.
+"""
+
+import random
+
+import pytest
+
+from repro.bdd import BDD
+from repro.bfv import BFV, from_characteristic
+from repro.bfv.conjunctive import (
+    ConjunctiveDecomposition,
+    mcmillan_from_characteristic,
+)
+from repro.errors import BFVError
+
+from ..conftest import all_subsets, chi_of
+
+VARS3 = (0, 1, 2)
+
+
+@pytest.fixture
+def bdd():
+    return BDD(["v0", "v1", "v2"])
+
+
+def make_bfv(bdd, subset):
+    return from_characteristic(bdd, VARS3, chi_of(bdd, VARS3, subset))
+
+
+def make_cd(bdd, subset):
+    return ConjunctiveDecomposition.from_bfv(make_bfv(bdd, subset))
+
+
+class TestBijection:
+    def test_roundtrip_exhaustive(self, bdd):
+        for subset in all_subsets(3):
+            vec = make_bfv(bdd, subset)
+            cd = ConjunctiveDecomposition.from_bfv(vec)
+            assert cd.to_bfv() == vec
+            assert cd.to_characteristic() == chi_of(bdd, VARS3, subset)
+
+    def test_empty_roundtrip(self, bdd):
+        empty = BFV.empty(bdd, VARS3)
+        cd = ConjunctiveDecomposition.from_bfv(empty)
+        assert cd.is_empty
+        assert cd.to_bfv().is_empty
+        assert cd.to_characteristic() == bdd.false
+
+    def test_constraint_form(self, bdd):
+        # c_i = (v_i <-> f_i): check on the paper's Table 1 set.
+        points = [
+            (a, b, c)
+            for a in (False, True)
+            for b in (False, True)
+            for c in (False, True)
+            if not (a and b)
+        ]
+        vec = make_bfv(bdd, frozenset(points))
+        cd = ConjunctiveDecomposition.from_bfv(vec)
+        for v, f, part in zip(VARS3, vec.components, cd.parts):
+            assert part == bdd.equiv(bdd.var(v), f)
+
+
+class TestMcMillanConstruction:
+    def test_matches_bijection_exhaustive(self, bdd):
+        # With component order == BDD order, McMillan's constrain-based
+        # construction coincides with the BFV constraint view (Sec 2.7).
+        for subset in all_subsets(3):
+            chi = chi_of(bdd, VARS3, subset)
+            assert mcmillan_from_characteristic(
+                bdd, VARS3, chi
+            ) == ConjunctiveDecomposition.from_characteristic(
+                bdd, VARS3, chi
+            )
+
+    def test_empty(self, bdd):
+        assert mcmillan_from_characteristic(bdd, VARS3, bdd.false).is_empty
+
+
+class TestStructure:
+    def test_triangular_support_enforced(self, bdd):
+        with pytest.raises(BFVError):
+            ConjunctiveDecomposition(
+                bdd, VARS3, [bdd.var(2), bdd.true, bdd.true]
+            )
+
+    def test_prefix_satisfiability_enforced(self, bdd):
+        # c_0 = v0 AND NOT v0 rules out every prefix.
+        with pytest.raises(BFVError):
+            ConjunctiveDecomposition(bdd, VARS3, [bdd.false, bdd.true, bdd.true])
+
+    def test_part_count_enforced(self, bdd):
+        with pytest.raises(BFVError):
+            ConjunctiveDecomposition(bdd, VARS3, [bdd.true])
+
+
+class TestSetOperations:
+    def test_union_sampled(self, bdd):
+        rng = random.Random(6)
+        subsets = list(all_subsets(3))
+        cds = {s: make_cd(bdd, s) for s in subsets}
+        for _ in range(250):
+            a, b = rng.choice(subsets), rng.choice(subsets)
+            assert cds[a].union(cds[b]) == cds[a | b]
+
+    def test_intersect_sampled(self, bdd):
+        rng = random.Random(7)
+        subsets = list(all_subsets(3))
+        cds = {s: make_cd(bdd, s) for s in subsets}
+        for _ in range(250):
+            a, b = rng.choice(subsets), rng.choice(subsets)
+            result = cds[a].intersect(cds[b])
+            expected = a & b
+            if not expected:
+                assert result.is_empty
+            else:
+                assert result == cds[frozenset(expected)]
+
+    def test_union_with_empty(self, bdd):
+        cd = make_cd(bdd, frozenset([(True, True, False)]))
+        empty = ConjunctiveDecomposition(bdd, VARS3, None)
+        assert cd.union(empty) == cd
+        assert empty.union(cd) == cd
+
+    def test_intersect_with_empty(self, bdd):
+        cd = make_cd(bdd, frozenset([(True, True, False)]))
+        empty = ConjunctiveDecomposition(bdd, VARS3, None)
+        assert cd.intersect(empty).is_empty
+
+    def test_is_subset(self, bdd):
+        small = make_cd(bdd, frozenset([(False, True, False)]))
+        big = make_cd(
+            bdd,
+            frozenset([(False, True, False), (True, False, True)]),
+        )
+        assert small.is_subset(big)
+        assert not big.is_subset(small)
+
+    def test_contains_and_count(self, bdd):
+        points = frozenset([(False, False, True), (True, True, True)])
+        cd = make_cd(bdd, points)
+        assert cd.count() == 2
+        for point in points:
+            assert cd.contains(point)
+        assert not cd.contains((True, False, False))
+        empty = ConjunctiveDecomposition(bdd, VARS3, None)
+        assert empty.count() == 0
+        assert not empty.contains((True, False, False))
+
+    def test_mismatched_spaces_rejected(self, bdd):
+        cd = make_cd(bdd, frozenset([(True, True, True)]))
+        other = BDD(["v0", "v1", "v2"])
+        foreign = make_cd(other, frozenset([(True, True, True)]))
+        with pytest.raises(BFVError):
+            cd.union(foreign)
+
+    def test_shared_size_and_repr(self, bdd):
+        cd = make_cd(bdd, frozenset([(True, False, True)]))
+        assert cd.shared_size() > 0
+        assert "width=3" in repr(cd)
+        assert "empty" in repr(ConjunctiveDecomposition(bdd, VARS3, None))

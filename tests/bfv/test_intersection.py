@@ -1,0 +1,190 @@
+"""Set-intersection tests (paper Sec 2.4), incl. the worked example."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDD
+from repro.bfv import BFV, from_characteristic, intersect, is_subset, union
+from repro.errors import BFVError
+
+from ..conftest import all_subsets, chi_of
+
+
+def make(bdd, variables, subset):
+    return from_characteristic(bdd, variables, chi_of(bdd, variables, subset))
+
+
+class TestPaperExample:
+    """Sec 2.4's example: S' = {000,010,011}, S'' = {000,011,101,110}."""
+
+    def test_vectors_match_paper(self):
+        bdd = BDD(["v0", "v1", "v2"])
+        variables = (0, 1, 2)
+        s1 = [(False, False, False), (False, True, False), (False, True, True)]
+        s2 = [
+            (False, False, False),
+            (False, True, True),
+            (True, False, True),
+            (True, True, False),
+        ]
+        f = make(bdd, variables, s1)
+        g = make(bdd, variables, s2)
+        v1, v2, v3 = bdd.var(0), bdd.var(1), bdd.var(2)
+        # Paper: F = (0, v2, v2 AND v3) -- in 0-based naming here.
+        assert f.components == (bdd.false, v2, bdd.and_(v2, v3))
+        # Paper: G = (v1, v2, ...) with a conflict when the second bit
+        # is chosen 0 in F (third bit forced 0) vs G.
+        result = intersect(f, g)
+        expected = {(False, False, False), (False, True, True)}
+        assert set(result.enumerate()) == expected
+
+    def test_normalization_removes_conflicts(self):
+        # F = (0, v2, 0) vs G = (0, v2, v2 XOR-ish) from the paper text:
+        # S = {000, 010} vs S = {000, 011}: intersection {000} — choosing
+        # the second bit 1 would give conflicting third-bit values.
+        bdd = BDD(["v0", "v1", "v2"])
+        variables = (0, 1, 2)
+        f = make(bdd, variables, [(False, False, False), (False, True, False)])
+        g = make(bdd, variables, [(False, False, False), (False, True, True)])
+        result = intersect(f, g)
+        assert set(result.enumerate()) == {(False, False, False)}
+        result.check_structure()
+
+
+class TestExhaustiveWidth2:
+    def test_all_pairs(self):
+        bdd = BDD(["v0", "v1"])
+        variables = (0, 1)
+        vectors = {s: make(bdd, variables, s) for s in all_subsets(2)}
+        for a, fa in vectors.items():
+            for b, fb in vectors.items():
+                result = intersect(fa, fb)
+                expected = a & b
+                if not expected:
+                    assert result.is_empty, (sorted(a), sorted(b))
+                else:
+                    assert result == vectors[frozenset(expected)]
+
+
+class TestSampledWidth3:
+    def test_sampled_pairs(self):
+        bdd = BDD(["v0", "v1", "v2"])
+        variables = (0, 1, 2)
+        rng = random.Random(1)
+        subsets = list(all_subsets(3))
+        vectors = {s: make(bdd, variables, s) for s in subsets}
+        for _ in range(400):
+            a = rng.choice(subsets)
+            b = rng.choice(subsets)
+            result = intersect(vectors[a], vectors[b])
+            expected = a & b
+            if not expected:
+                assert result.is_empty
+            else:
+                assert result == vectors[frozenset(expected)]
+
+
+class TestAlgebraicProperties:
+    @pytest.fixture
+    def setup(self):
+        bdd = BDD(["v0", "v1", "v2"])
+        variables = (0, 1, 2)
+        rng = random.Random(4)
+        subsets = rng.sample(list(all_subsets(3)), 10)
+        return bdd, variables, [make(bdd, variables, s) for s in subsets]
+
+    def test_idempotent(self, setup):
+        _, _, vectors = setup
+        for vec in vectors:
+            assert intersect(vec, vec) == vec
+
+    def test_commutative(self, setup):
+        _, _, vectors = setup
+        for a in vectors[:5]:
+            for b in vectors[5:]:
+                assert intersect(a, b) == intersect(b, a)
+
+    def test_empty_annihilates(self, setup):
+        bdd, variables, vectors = setup
+        empty = BFV.empty(bdd, variables)
+        for vec in vectors:
+            assert intersect(vec, empty).is_empty
+            assert intersect(empty, vec).is_empty
+
+    def test_universe_is_identity(self, setup):
+        bdd, variables, vectors = setup
+        universe = BFV.universe(bdd, variables)
+        for vec in vectors:
+            assert intersect(vec, universe) == vec
+
+    def test_absorption_laws(self, setup):
+        _, _, vectors = setup
+        a, b = vectors[0], vectors[1]
+        assert union(a, intersect(a, b)) == a
+        assert intersect(a, union(a, b)) == a
+
+    def test_disjoint_singletons(self, setup):
+        bdd, variables, _ = setup
+        a = BFV.point(bdd, variables, (True, True, True))
+        b = BFV.point(bdd, variables, (False, False, False))
+        assert intersect(a, b).is_empty
+
+    def test_mismatched_spaces_rejected(self, setup):
+        bdd, variables, vectors = setup
+        other = BDD(["v0", "v1", "v2"])
+        with pytest.raises(BFVError):
+            intersect(vectors[0], BFV.universe(other, variables))
+
+
+class TestSubset:
+    def test_is_subset_basic(self):
+        bdd = BDD(["v0", "v1"])
+        variables = (0, 1)
+        small = BFV.point(bdd, variables, (True, False))
+        big = make(
+            bdd, variables, [(True, False), (False, False), (True, True)]
+        )
+        assert is_subset(small, big)
+        assert not is_subset(big, small)
+        assert is_subset(big, big)
+
+    def test_empty_subset_of_everything(self):
+        bdd = BDD(["v0", "v1"])
+        variables = (0, 1)
+        empty = BFV.empty(bdd, variables)
+        assert is_subset(empty, BFV.universe(bdd, variables))
+        assert is_subset(empty, empty)
+        assert not is_subset(BFV.universe(bdd, variables), empty)
+
+    def test_method_form(self):
+        bdd = BDD(["v0", "v1"])
+        variables = (0, 1)
+        a = BFV.point(bdd, variables, (False, True))
+        assert a.is_subset(BFV.universe(bdd, variables))
+
+
+class TestHypothesisWidth5:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_intersection_matches_set_semantics(self, seed):
+        rng = random.Random(seed)
+        width = rng.randint(3, 5)
+        bdd = BDD(["v%d" % i for i in range(width)])
+        variables = tuple(range(width))
+        universe_sample = [
+            tuple(rng.random() < 0.5 for _ in range(width))
+            for _ in range(12)
+        ]
+        a = set(universe_sample[: rng.randint(1, 10)])
+        b = set(rng.sample(universe_sample, rng.randint(1, 10)))
+        fa = make(bdd, variables, a)
+        fb = make(bdd, variables, b)
+        result = intersect(fa, fb)
+        expected = a & b
+        if not expected:
+            assert result.is_empty
+        else:
+            assert set(result.enumerate()) == expected
+            assert result == make(bdd, variables, expected)

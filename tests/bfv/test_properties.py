@@ -1,0 +1,155 @@
+"""Hypothesis property tests: the lattice laws of BFV set algebra.
+
+The canonical BFV representation with union/intersection must form a
+bounded distributive lattice isomorphic to the subset lattice; these
+properties are checked on randomly generated canonical vectors of
+random widths, together with cardinality laws and representation
+invariants (structure, canonicity round-trips) after every operation.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDD
+from repro.bfv import BFV, from_characteristic, intersect, union
+from repro.bfv.conjunctive import ConjunctiveDecomposition
+
+from ..conftest import chi_of
+
+
+def make_family(seed):
+    """Three random canonical vectors on a shared manager."""
+    rng = random.Random(seed)
+    width = rng.randint(2, 6)
+    bdd = BDD(["v%d" % i for i in range(width)])
+    variables = tuple(range(width))
+    vectors = []
+    sets = []
+    for _ in range(3):
+        points = {
+            tuple(rng.random() < 0.5 for _ in range(width))
+            for _ in range(rng.randint(0, 10))
+        }
+        sets.append(points)
+        if points:
+            vectors.append(
+                from_characteristic(
+                    bdd, variables, chi_of(bdd, variables, points)
+                )
+            )
+        else:
+            vectors.append(BFV.empty(bdd, variables))
+    return bdd, variables, vectors, sets
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_distributive_lattice_laws(seed):
+    _, _, (a, b, c), _ = make_family(seed)
+    # commutativity
+    assert union(a, b) == union(b, a)
+    assert intersect(a, b) == intersect(b, a)
+    # associativity
+    assert union(union(a, b), c) == union(a, union(b, c))
+    assert intersect(intersect(a, b), c) == intersect(a, intersect(b, c))
+    # absorption
+    if not a.is_empty or not b.is_empty:
+        assert union(a, intersect(a, b)) == a
+        assert intersect(a, union(a, b)) == a
+    # distributivity
+    assert intersect(a, union(b, c)) == union(
+        intersect(a, b), intersect(a, c)
+    )
+    assert union(a, intersect(b, c)) == intersect(
+        union(a, b), union(a, c)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_cardinality_laws(seed):
+    _, _, (a, b, _), _ = make_family(seed)
+    # inclusion-exclusion
+    assert (
+        union(a, b).count() + intersect(a, b).count()
+        == a.count() + b.count()
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_results_stay_canonical(seed):
+    bdd, variables, (a, b, _), _ = make_family(seed)
+    for result in (union(a, b), intersect(a, b)):
+        if result.is_empty:
+            continue
+        result.check_structure()
+        rebuilt = from_characteristic(
+            bdd, variables, result.to_characteristic()
+        )
+        assert rebuilt == result
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_subset_is_a_partial_order(seed):
+    _, _, (a, b, c), _ = make_family(seed)
+    # reflexivity
+    assert a.is_subset(a)
+    # the union is an upper bound, the intersection a lower bound
+    assert a.is_subset(union(a, b))
+    assert intersect(a, b).is_subset(a)
+    # antisymmetry (canonical equality decides it)
+    if a.is_subset(b) and b.is_subset(a):
+        assert a == b
+    # transitivity along the chain meet(a,b) <= a <= join(a,c)
+    assert intersect(a, b).is_subset(union(a, c))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_membership_consistency(seed):
+    rng = random.Random(seed ^ 0xABCDEF)
+    _, variables, (a, b, _), _ = make_family(seed)
+    width = len(variables)
+    u = union(a, b)
+    x = intersect(a, b)
+    for _ in range(10):
+        point = tuple(rng.random() < 0.5 for _ in range(width))
+        assert u.contains(point) == (a.contains(point) or b.contains(point))
+        assert x.contains(point) == (a.contains(point) and b.contains(point))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_conjunctive_view_is_homomorphic(seed):
+    _, _, (a, b, _), _ = make_family(seed)
+    ca = ConjunctiveDecomposition.from_bfv(a)
+    cb = ConjunctiveDecomposition.from_bfv(b)
+    assert ca.union(cb) == ConjunctiveDecomposition.from_bfv(union(a, b))
+    assert ca.intersect(cb) == ConjunctiveDecomposition.from_bfv(
+        intersect(a, b)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_smooth_consensus_galois(seed):
+    rng = random.Random(seed ^ 0x55AA)
+    _, variables, (a, _, _), _ = make_family(seed)
+    if a.is_empty:
+        return
+    index = rng.randrange(len(variables))
+    smoothed = a.smooth(index)
+    consensused = a.consensus(index)
+    # consensus(S) <= S <= smooth(S)
+    assert a.is_subset(smoothed)
+    if not consensused.is_empty:
+        assert consensused.is_subset(a)
+    # both are cylinders: quantifying again is idempotent
+    assert smoothed.smooth(index) == smoothed
+    if not consensused.is_empty:
+        assert consensused.consensus(index) == consensused
+        assert consensused.smooth(index) == consensused

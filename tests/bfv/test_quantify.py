@@ -1,0 +1,185 @@
+"""Quantification tests (paper Sec 2.5): cofactors, smoothing, consensus."""
+
+import random
+
+import pytest
+
+from repro.bdd import BDD
+from repro.bfv import BFV, from_characteristic, union
+from repro.errors import EmptySetError
+
+from ..conftest import all_points, all_subsets, chi_of
+
+VARS3 = (0, 1, 2)
+
+
+def make(bdd, subset):
+    return from_characteristic(bdd, VARS3, chi_of(bdd, VARS3, subset))
+
+
+@pytest.fixture
+def bdd():
+    return BDD(["v0", "v1", "v2"])
+
+
+def smoothed(subset, index):
+    result = set()
+    for point in subset:
+        for value in (False, True):
+            adjusted = list(point)
+            adjusted[index] = value
+            result.add(tuple(adjusted))
+    return frozenset(result)
+
+
+def consensused(subset, index):
+    result = set()
+    for point in all_points(3):
+        low = list(point)
+        low[index] = False
+        high = list(point)
+        high[index] = True
+        if tuple(low) in subset and tuple(high) in subset:
+            result.add(point)
+    return frozenset(result)
+
+
+class TestVectorCofactor:
+    def test_cofactor_splits_domain(self, bdd):
+        # Range(F|v=0) UNION Range(F|v=1) == Range(F): the expansion the
+        # paper uses for quantification (footnote: domain partitioning).
+        rng = random.Random(2)
+        for subset in rng.sample(list(all_subsets(3)), 25):
+            vec = make(bdd, subset)
+            for index in range(3):
+                lo = vec.cofactor(index, False)
+                hi = vec.cofactor(index, True)
+                assert set(union(lo, hi).enumerate()) == subset
+
+    def test_cofactor_of_free_bit_restricts(self, bdd):
+        vec = BFV.universe(bdd, VARS3)
+        lo = vec.cofactor(0, False)
+        assert all(not p[0] for p in lo.enumerate())
+
+    def test_cofactor_of_forced_bit_is_noop_on_range(self, bdd):
+        subset = frozenset(
+            [(True, False, False), (True, True, False)]
+        )  # bit 0 forced to 1
+        vec = make(bdd, subset)
+        lo = vec.cofactor(0, False)
+        assert set(lo.enumerate()) == subset
+
+
+class TestSmooth:
+    def test_exhaustive(self, bdd):
+        for subset in all_subsets(3):
+            vec = make(bdd, subset)
+            for index in range(3):
+                result = vec.smooth(index)
+                assert result == make(bdd, smoothed(subset, index)), (
+                    sorted(subset),
+                    index,
+                )
+
+    def test_smooth_contains_original(self, bdd):
+        rng = random.Random(8)
+        for subset in rng.sample(list(all_subsets(3)), 20):
+            vec = make(bdd, subset)
+            assert vec.is_subset(vec.smooth(1))
+
+    def test_smooth_idempotent(self, bdd):
+        vec = make(bdd, frozenset([(True, False, True)]))
+        once = vec.smooth(2)
+        assert once.smooth(2) == once
+
+    def test_smooth_empty(self, bdd):
+        empty = BFV.empty(bdd, VARS3)
+        assert empty.smooth(0).is_empty
+
+
+class TestConsensus:
+    def test_exhaustive(self, bdd):
+        for subset in all_subsets(3):
+            vec = make(bdd, subset)
+            for index in range(3):
+                result = vec.consensus(index)
+                expected = consensused(subset, index)
+                if not expected:
+                    assert result.is_empty, (sorted(subset), index)
+                else:
+                    assert result == make(bdd, expected)
+
+    def test_consensus_within_original(self, bdd):
+        rng = random.Random(10)
+        for subset in rng.sample(list(all_subsets(3)), 20):
+            vec = make(bdd, subset)
+            result = vec.consensus(0)
+            if not result.is_empty:
+                assert result.is_subset(vec)
+
+    def test_consensus_of_cylinder_is_identity(self, bdd):
+        cylinder = smoothed(frozenset([(False, True, False)]), 1)
+        vec = make(bdd, cylinder)
+        assert vec.consensus(1) == vec
+
+    def test_consensus_empty(self, bdd):
+        empty = BFV.empty(bdd, VARS3)
+        assert empty.consensus(2).is_empty
+
+    def test_consensus_singleton_is_empty(self, bdd):
+        vec = BFV.point(bdd, VARS3, (True, True, True))
+        assert vec.consensus(0).is_empty
+
+
+class TestQuantifierDuality:
+    def test_consensus_subset_smooth(self, bdd):
+        rng = random.Random(12)
+        for subset in rng.sample(list(all_subsets(3)), 15):
+            vec = make(bdd, subset)
+            for index in range(3):
+                consensus = vec.consensus(index)
+                smooth = vec.smooth(index)
+                if not consensus.is_empty:
+                    assert consensus.is_subset(smooth)
+
+    def test_errors_on_empty_cofactor(self, bdd):
+        with pytest.raises(EmptySetError):
+            BFV.empty(bdd, VARS3).cofactor(0, True)
+
+
+class TestProject:
+    def test_matches_iterated_smooth(self, bdd):
+        import random
+
+        rng = random.Random(44)
+        for subset in rng.sample(list(all_subsets(3)), 25):
+            vec = make(bdd, subset)
+            projected = vec.project({0})
+            expected = vec.smooth(1).smooth(2)
+            assert projected == expected
+
+    def test_keep_everything_is_identity(self, bdd):
+        vec = make(bdd, frozenset([(True, False, True)]))
+        assert vec.project({0, 1, 2}) == vec
+
+    def test_keep_nothing_gives_universe(self, bdd):
+        from repro.bfv import BFV
+
+        vec = make(bdd, frozenset([(True, False, True)]))
+        assert vec.project(set()) == BFV.universe(bdd, VARS3)
+
+    def test_out_of_range_rejected(self, bdd):
+        from repro.errors import BFVError
+
+        vec = make(bdd, frozenset([(True, True, True)]))
+        with pytest.raises(BFVError):
+            vec.project({5})
+
+    def test_counter_value_abstraction(self, bdd):
+        # project {(a, b, a AND b)} onto bit 2: cylinder over {0, 1}
+        points = {
+            (a, b, a and b) for a in (False, True) for b in (False, True)
+        }
+        vec = make(bdd, points)
+        projected = vec.project({2})
+        assert projected.count() == 8  # both bit-2 values occur

@@ -1,0 +1,155 @@
+"""Component-reordering tests (the paper's future-work direction)."""
+
+import random
+
+import pytest
+
+from repro.bdd import BDD
+from repro.bfv import BFV, from_characteristic
+from repro.bfv.reorder import (
+    functional_dependencies,
+    greedy_component_order,
+    reorder_components,
+)
+from repro.errors import BFVError
+
+from ..conftest import all_subsets, chi_of
+
+
+def make(bdd, variables, subset):
+    return from_characteristic(bdd, variables, chi_of(bdd, variables, subset))
+
+
+class TestReorderComponents:
+    def test_preserves_set_exhaustive(self):
+        bdd = BDD(["v0", "v1", "v2"])
+        variables = (0, 1, 2)
+        perms = [[0, 1, 2], [2, 1, 0], [1, 2, 0], [0, 2, 1]]
+        for subset in list(all_subsets(3))[::13]:
+            vec = make(bdd, variables, subset)
+            for perm in perms:
+                reordered = reorder_components(vec, perm)
+                reordered.check_structure()
+                # enumerate() yields bits in the *new* component order.
+                expected = {
+                    tuple(point[i] for i in perm) for point in subset
+                }
+                assert set(reordered.enumerate()) == expected
+
+    def test_roundtrip_permutation(self):
+        bdd = BDD(["v0", "v1", "v2", "v3"])
+        variables = (0, 1, 2, 3)
+        rng = random.Random(3)
+        points = {
+            tuple(rng.random() < 0.5 for _ in range(4)) for _ in range(6)
+        }
+        vec = make(bdd, variables, points)
+        perm = [2, 0, 3, 1]
+        inverse = [perm.index(i) for i in range(4)]
+        there = reorder_components(vec, perm)
+        back = reorder_components(there, inverse)
+        assert back == vec
+
+    def test_identity_permutation(self):
+        bdd = BDD(["v0", "v1"])
+        vec = BFV.from_points(bdd, (0, 1), [(True, False)])
+        assert reorder_components(vec, [0, 1]) == vec
+
+    def test_empty(self):
+        bdd = BDD(["v0", "v1"])
+        empty = BFV.empty(bdd, (0, 1))
+        assert reorder_components(empty, [1, 0]).is_empty
+
+    def test_invalid_permutation(self):
+        bdd = BDD(["v0", "v1"])
+        vec = BFV.universe(bdd, (0, 1))
+        with pytest.raises(BFVError):
+            reorder_components(vec, [0, 0])
+
+    def test_order_changes_component_sizes(self):
+        # Set where bit 2 = bit 0 XOR bit 1: placing the dependent bit
+        # first costs nodes, placing it last makes it a function of the
+        # earlier (free) bits.
+        bdd = BDD(["v0", "v1", "v2"])
+        variables = (0, 1, 2)
+        points = {
+            (a, b, a != b)
+            for a in (False, True)
+            for b in (False, True)
+        }
+        vec = make(bdd, variables, points)
+        # natural order: v2 determined by v0, v1
+        assert functional_dependencies(vec) == [2]
+        moved = reorder_components(vec, [2, 0, 1])
+        # the dependent bit first: now bit placed last is determined
+        assert functional_dependencies(moved) == [2]
+
+
+class TestFunctionalDependencies:
+    def test_shadow_set(self):
+        bdd = BDD(["m0", "m1", "c0", "c1"])
+        variables = (0, 1, 2, 3)
+        # copies: c_i == m_i
+        points = {
+            (a, b, a, b) for a in (False, True) for b in (False, True)
+        }
+        vec = make(bdd, variables, points)
+        assert functional_dependencies(vec) == [2, 3]
+
+    def test_universe_has_none(self):
+        bdd = BDD(["v0", "v1"])
+        assert functional_dependencies(BFV.universe(bdd, (0, 1))) == []
+
+    def test_singleton_all_dependent(self):
+        bdd = BDD(["v0", "v1", "v2"])
+        vec = BFV.point(bdd, (0, 1, 2), (True, False, True))
+        assert functional_dependencies(vec) == [0, 1, 2]
+
+    def test_empty(self):
+        bdd = BDD(["v0"])
+        assert functional_dependencies(BFV.empty(bdd, (0,))) == []
+
+
+class TestGreedyOrder:
+    def test_produces_permutation(self):
+        bdd = BDD(["v%d" % i for i in range(4)])
+        rng = random.Random(5)
+        points = {
+            tuple(rng.random() < 0.5 for _ in range(4)) for _ in range(5)
+        }
+        vec = make(bdd, tuple(range(4)), points)
+        order = greedy_component_order(vec)
+        assert sorted(order) == [0, 1, 2, 3]
+
+    def test_reorder_by_greedy_preserves_set(self):
+        bdd = BDD(["v%d" % i for i in range(4)])
+        points = {
+            (a, b, a != b, a and b)
+            for a in (False, True)
+            for b in (False, True)
+        }
+        vec = make(bdd, tuple(range(4)), points)
+        order = greedy_component_order(vec)
+        reordered = reorder_components(vec, order)
+        # same member count, canonical under the new order
+        assert reordered.count() == vec.count()
+        reordered.check_structure()
+
+    def test_greedy_not_worse_on_dependent_bits(self):
+        # A set with a heavy dependent bit placed badly: greedy should
+        # find an order whose shared size is no worse than the bad one.
+        bdd = BDD(["v%d" % i for i in range(5)])
+        variables = tuple(range(5))
+        points = set()
+        for mask in range(16):
+            bits = [bool(mask >> i & 1) for i in range(4)]
+            parity = bits[0] != bits[1] != bits[2] != bits[3]
+            points.add((parity, *bits))  # dependent bit FIRST
+        vec = make(bdd, variables, points)
+        order = greedy_component_order(vec)
+        improved = reorder_components(vec, order)
+        assert improved.shared_size() <= vec.shared_size()
+
+    def test_empty(self):
+        bdd = BDD(["v0", "v1"])
+        assert greedy_component_order(BFV.empty(bdd, (0, 1))) == [0, 1]

@@ -1,0 +1,166 @@
+"""BFV type tests: invariants, selection semantics, point queries."""
+
+import pytest
+
+from repro.bdd import BDD
+from repro.bfv import BFV, from_characteristic
+from repro.errors import BFVError, EmptySetError
+
+from ..conftest import all_points, chi_of
+
+
+@pytest.fixture
+def bdd():
+    return BDD(["v0", "v1", "v2"])
+
+
+@pytest.fixture
+def vars3():
+    return (0, 1, 2)
+
+
+class TestConstruction:
+    def test_universe(self, bdd, vars3):
+        universe = BFV.universe(bdd, vars3)
+        assert universe.count() == 8
+        assert all(universe.contains(p) for p in all_points(3))
+
+    def test_point(self, bdd, vars3):
+        point = BFV.point(bdd, vars3, (True, False, True))
+        assert point.count() == 1
+        assert point.contains((True, False, True))
+        assert not point.contains((True, False, False))
+
+    def test_point_width_mismatch(self, bdd, vars3):
+        with pytest.raises(BFVError):
+            BFV.point(bdd, vars3, (True,))
+
+    def test_empty(self, bdd, vars3):
+        empty = BFV.empty(bdd, vars3)
+        assert empty.is_empty
+        assert empty.count() == 0
+        assert not empty.contains((False, False, False))
+        assert list(empty.enumerate()) == []
+        assert empty.shared_size() == 0
+
+    def test_from_points(self, bdd, vars3):
+        points = [(False, False, True), (True, True, False)]
+        vec = BFV.from_points(bdd, vars3, points)
+        assert set(vec.enumerate()) == set(points)
+
+    def test_component_count_mismatch(self, bdd, vars3):
+        with pytest.raises(BFVError):
+            BFV(bdd, vars3, [bdd.true])
+
+    def test_width(self, bdd, vars3):
+        assert BFV.universe(bdd, vars3).width == 3
+
+
+class TestStructureValidation:
+    def test_non_triangular_rejected(self, bdd, vars3):
+        # component 0 depending on v1 violates triangular support
+        with pytest.raises(BFVError):
+            BFV(bdd, vars3, [bdd.var(1), bdd.var(1), bdd.var(2)])
+
+    def test_non_monotone_rejected(self, bdd, vars3):
+        # f0 = NOT v0 is antitone in its own choice variable
+        with pytest.raises(BFVError):
+            BFV(bdd, vars3, [bdd.not_(bdd.var(0)), bdd.var(1), bdd.var(2)])
+
+    def test_valid_structure_accepted(self, bdd, vars3):
+        # Table 1 vector: (v0, NOT v0 AND v1, v2)
+        comps = [
+            bdd.var(0),
+            bdd.and_(bdd.not_(bdd.var(0)), bdd.var(1)),
+            bdd.var(2),
+        ]
+        vec = BFV(bdd, vars3, comps)
+        vec.check_structure()
+
+
+class TestSelection:
+    def test_members_are_fixed_points(self, bdd, vars3):
+        chi = chi_of(bdd, vars3, [(False, True, False), (True, False, True)])
+        vec = from_characteristic(bdd, vars3, chi)
+        for point in vec.enumerate():
+            assert vec.select(point) == point
+
+    def test_nearest_member_mapping(self, bdd, vars3):
+        # S = {000..101} (Table 1); 110 and 111 map to their d-nearest.
+        points = [p for p in all_points(3) if not (p[0] and p[1])]
+        vec = from_characteristic(bdd, vars3, chi_of(bdd, vars3, points))
+
+        def dist(x, y):
+            return sum(
+                (1 << (2 - i)) for i in range(3) if x[i] != y[i]
+            )
+
+        for y in all_points(3):
+            nearest = min(points, key=lambda x: dist(x, y))
+            assert vec.select(y) == nearest
+
+    def test_select_width_check(self, bdd, vars3):
+        vec = BFV.universe(bdd, vars3)
+        with pytest.raises(BFVError):
+            vec.select((True,))
+
+    def test_select_on_empty_raises(self, bdd, vars3):
+        with pytest.raises(EmptySetError):
+            BFV.empty(bdd, vars3).select((True, False, False))
+
+
+class TestComponentConditions:
+    def test_partition(self, bdd, vars3):
+        chi = chi_of(
+            bdd, vars3, [(False, False, False), (True, True, False)]
+        )
+        vec = from_characteristic(bdd, vars3, chi)
+        for i in range(3):
+            f1, f0, fc = vec.component_conditions(i)
+            # mutually exclusive and complete
+            assert bdd.and_(f1, f0) == bdd.false
+            assert bdd.and_(f1, fc) == bdd.false
+            assert bdd.and_(f0, fc) == bdd.false
+            assert bdd.disjoin([f1, f0, fc]) == bdd.true
+
+    def test_forced_second_bit(self, bdd, vars3):
+        # S = {00x, 11x}: bit 2 is forced equal to bit 1.
+        points = [
+            (False, False, False),
+            (False, False, True),
+            (True, True, False),
+            (True, True, True),
+        ]
+        vec = from_characteristic(bdd, vars3, chi_of(bdd, vars3, points))
+        f1, f0, fc = vec.component_conditions(1)
+        assert fc == bdd.false
+        assert f1 == bdd.var(0)
+
+
+class TestEqualityAndSizes:
+    def test_canonical_equality(self, bdd, vars3):
+        points = [(True, False, False), (False, True, True)]
+        a = BFV.from_points(bdd, vars3, points)
+        b = BFV.from_points(bdd, vars3, reversed(points))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_sets_differ(self, bdd, vars3):
+        a = BFV.point(bdd, vars3, (True, True, True))
+        b = BFV.point(bdd, vars3, (False, True, True))
+        assert a != b
+
+    def test_same_space(self, bdd, vars3):
+        a = BFV.universe(bdd, vars3)
+        other = BDD(["v0", "v1", "v2"])
+        b = BFV.universe(other, vars3)
+        assert not a.same_space(b)
+
+    def test_sizes(self, bdd, vars3):
+        vec = BFV.universe(bdd, vars3)
+        assert vec.shared_size() >= 3
+        assert len(vec.component_sizes()) == 3
+
+    def test_repr(self, bdd, vars3):
+        assert "width=3" in repr(BFV.universe(bdd, vars3))
+        assert "empty" in repr(BFV.empty(bdd, vars3))

@@ -1,0 +1,136 @@
+"""BLIF format tests: parsing, writing, init values, round-trips."""
+
+import pytest
+
+from repro.circuits import blif, generators
+from repro.errors import BenchFormatError
+from repro.sim import ConcreteSimulator, explicit_reachable
+
+SIMPLE = """\
+# a tiny sequential model
+.model demo
+.inputs a b
+.outputs out
+.latch next q re clk 1
+.names a b mid
+11 1
+.names mid q next
+1- 1
+-1 1
+.names q out
+0 1
+.end
+"""
+
+
+class TestParsing:
+    def test_structure(self):
+        circuit = blif.loads(SIMPLE)
+        assert circuit.name == "demo"
+        assert circuit.inputs == ["a", "b"]
+        assert circuit.outputs == ["out"]
+        assert circuit.num_latches == 1
+        assert circuit.latches["q"].init is True
+
+    def test_cover_semantics(self):
+        circuit = blif.loads(SIMPLE)
+        sim = ConcreteSimulator(circuit)
+        values = sim.evaluate_nets((False,), {"a": True, "b": True})
+        assert values["mid"] is True
+        assert values["next"] is True  # mid OR q
+        assert values["out"] is True  # NOT q
+        assert sim.step((False,), {"a": True, "b": False}) == (False,)
+
+    def test_dont_care_row(self):
+        text = ".model m\n.inputs a b\n.outputs o\n.names a b o\n-1 1\n.end\n"
+        circuit = blif.loads(text)
+        sim = ConcreteSimulator(circuit)
+        assert sim.outputs((), {"a": False, "b": True}) == {"o": True}
+        assert sim.outputs((), {"a": True, "b": False}) == {"o": False}
+
+    def test_constant_nodes(self):
+        text = (
+            ".model m\n.inputs a\n.outputs one zero\n"
+            ".names one\n1\n.names zero\n.end\n"
+        )
+        circuit = blif.loads(text)
+        sim = ConcreteSimulator(circuit)
+        outs = sim.outputs((), {"a": False})
+        assert outs == {"one": True, "zero": False}
+
+    def test_continuation_lines(self):
+        text = (
+            ".model m\n.inputs a \\\nb\n.outputs o\n"
+            ".names a b o\n11 1\n.end\n"
+        )
+        circuit = blif.loads(text)
+        assert circuit.inputs == ["a", "b"]
+
+    def test_latch_without_type(self):
+        text = ".model m\n.inputs a\n.outputs q\n.latch a q 0\n.end\n"
+        circuit = blif.loads(text)
+        assert circuit.latches["q"].init is False
+
+    def test_rejects_offset_covers(self):
+        text = ".model m\n.inputs a\n.outputs o\n.names a o\n1 0\n.end\n"
+        with pytest.raises(BenchFormatError):
+            blif.loads(text)
+
+    def test_rejects_subckt(self):
+        with pytest.raises(BenchFormatError):
+            blif.loads(".model m\n.subckt foo a=b\n.end\n")
+
+    def test_rejects_arity_mismatch(self):
+        text = ".model m\n.inputs a b\n.outputs o\n.names a b o\n1 1\n.end\n"
+        with pytest.raises(BenchFormatError):
+            blif.loads(text)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: generators.counter(3),
+            lambda: generators.lfsr(4),  # non-zero init!
+            lambda: generators.token_ring(3),  # non-zero init!
+            lambda: generators.fifo_controller(1),
+            lambda: generators.traffic_light(),
+        ],
+        ids=["counter", "lfsr", "ring", "fifo", "traffic"],
+    )
+    def test_semantics_preserved(self, factory):
+        original = factory()
+        reparsed = blif.loads(blif.dumps(original), original.name)
+        # BLIF preserves latch init values, so default reachability
+        # matches (unlike .bench, which forces init = 0).
+        assert reparsed.initial_state == original.initial_state
+        assert explicit_reachable(reparsed) == explicit_reachable(original)
+
+    def test_file_io(self, tmp_path):
+        circuit = generators.johnson(3)
+        path = tmp_path / "johnson.blif"
+        blif.dump(circuit, str(path))
+        loaded = blif.load(str(path))
+        assert loaded.name == "johnson"
+        assert explicit_reachable(loaded) == explicit_reachable(circuit)
+
+    def test_xor_xnor_covers(self):
+        from repro.circuits.netlist import Circuit
+
+        circuit = Circuit("x")
+        circuit.add_input("a")
+        circuit.add_input("b")
+        circuit.add_input("c")
+        circuit.add_gate("x1", "XOR", ("a", "b", "c"))
+        circuit.add_gate("x2", "XNOR", ("a", "b"))
+        circuit.add_output("x1")
+        circuit.add_output("x2")
+        circuit.validate()
+        reparsed = blif.loads(blif.dumps(circuit), "x")
+        sim_a = ConcreteSimulator(circuit)
+        sim_b = ConcreteSimulator(reparsed)
+        import itertools
+
+        for values in itertools.product([False, True], repeat=3):
+            env = dict(zip(("a", "b", "c"), values))
+            assert sim_a.outputs((), env) == sim_b.outputs((), env)

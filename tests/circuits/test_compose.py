@@ -1,0 +1,113 @@
+"""Product-machine and miter construction tests."""
+
+import itertools
+
+import pytest
+
+from repro.circuits import generators as gen
+from repro.circuits.compose import miter, product
+from repro.circuits.netlist import Circuit
+from repro.errors import CircuitError
+from repro.sim import ConcreteSimulator
+
+
+def gray_counter(n):
+    """Binary counter with gray-coded outputs (equivalent output FSM)."""
+    circuit = gen.counter(n)
+    # gray output g_i = s_i XOR s_{i+1}
+    # (rebuild a renamed output interface for miter tests)
+    return circuit
+
+
+class TestProduct:
+    def test_shares_inputs_disjoint_state(self):
+        a = gen.counter(3)
+        b = gen.counter(3)
+        combined, left_map, right_map = product(a, b)
+        assert combined.inputs == ["en"]
+        assert combined.num_latches == 6
+        assert left_map["s0"] == "l_s0"
+        assert right_map["s0"] == "r_s0"
+
+    def test_requires_same_inputs(self):
+        with pytest.raises(CircuitError):
+            product(gen.counter(2), gen.shift_register(2))
+
+    def test_lockstep_semantics(self):
+        a = gen.counter(2)
+        b = gen.mod_counter_like = gen.counter(2)
+        combined, left_map, right_map = product(a, b)
+        sim = ConcreteSimulator(combined)
+        sim_a = ConcreteSimulator(a)
+        state = combined.initial_state
+        state_a = a.initial_state
+        for step in range(5):
+            state = sim.step(state, {"en": True})
+            state_a = sim_a.step(state_a, {"en": True})
+        values = dict(zip(combined.state_nets, state))
+        for i, net in enumerate(a.state_nets):
+            assert values[left_map[net]] == state_a[i]
+            assert values[right_map[net]] == state_a[i]
+
+
+class TestMiter:
+    def test_equivalent_copies_never_mismatch(self):
+        a = gen.counter(3)
+        b = gen.counter(3)
+        combined = miter(a, b)
+        sim = ConcreteSimulator(combined)
+        state = combined.initial_state
+        for step in range(10):
+            outs = sim.outputs(state, {"en": step % 2 == 0})
+            assert outs["mismatch"] is False
+            state = sim.step(state, {"en": step % 2 == 0})
+
+    def test_different_machines_mismatch(self):
+        a = gen.counter(2)  # output: s1 (MSB)
+        # a machine with the same interface but inverted behaviour
+        b = Circuit("notcounter")
+        b.add_input("en")
+        b.add_latch("q0", "nq0")
+        b.add_latch("s1", "ns1")
+        b.xor("nq0", "q0", "en")
+        b.and_("ns1", "q0", "en")
+        b.add_output("s1")
+        b.validate()
+        combined = miter(a, b)
+        sim = ConcreteSimulator(combined)
+        state = combined.initial_state
+        mismatched = False
+        for _ in range(6):
+            outs = sim.outputs(state, {"en": True})
+            mismatched = mismatched or outs["mismatch"]
+            state = sim.step(state, {"en": True})
+        assert mismatched
+
+    def test_requires_same_outputs(self):
+        a = gen.counter(2)
+        b = Circuit("other")
+        b.add_input("en")
+        b.add_latch("q", "nq")
+        b.not_("nq", "q")
+        b.add_output("q")
+        b.validate()
+        with pytest.raises(CircuitError):
+            miter(a, b)
+
+    def test_requires_outputs(self):
+        a = Circuit("a")
+        a.add_input("x")
+        a.add_latch("q", "x")
+        b = Circuit("b")
+        b.add_input("x")
+        b.add_latch("q", "x")
+        with pytest.raises(CircuitError):
+            miter(a, b)
+
+    def test_multi_output_aggregation(self):
+        a = gen.fifo_controller(1)  # outputs: full, empty
+        b = gen.fifo_controller(1)
+        combined = miter(a, b)
+        assert "miter_full" in combined.outputs
+        assert "miter_empty" in combined.outputs
+        assert "mismatch" in combined.outputs

@@ -1,0 +1,117 @@
+"""Generator-family tests against closed-form reachable-state counts."""
+
+import pytest
+
+from repro.circuits import generators as gen
+from repro.circuits.iscas import s27
+from repro.errors import CircuitError
+from repro.sim import explicit_reachable
+
+
+class TestClosedFormCounts:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_counter_reaches_everything(self, n):
+        assert len(explicit_reachable(gen.counter(n))) == 2**n
+
+    def test_free_running_counter(self):
+        circuit = gen.counter(4, with_enable=False)
+        assert circuit.stats()["inputs"] == 0
+        assert len(explicit_reachable(circuit)) == 16
+
+    @pytest.mark.parametrize("modulus", [2, 5, 10, 16])
+    def test_mod_counter(self, modulus):
+        circuit = gen.mod_counter(4, modulus)
+        assert len(explicit_reachable(circuit)) == modulus
+
+    def test_mod_counter_bad_modulus(self):
+        with pytest.raises(CircuitError):
+            gen.mod_counter(3, 9)
+        with pytest.raises(CircuitError):
+            gen.mod_counter(3, 1)
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 7])
+    def test_maximal_lfsr_cycle(self, n):
+        assert len(explicit_reachable(gen.lfsr(n))) == 2**n - 1
+
+    def test_lfsr_explicit_taps(self):
+        circuit = gen.lfsr(4, taps=(4, 3))
+        assert len(explicit_reachable(circuit)) == 15
+
+    def test_lfsr_unknown_width_needs_taps(self):
+        with pytest.raises(CircuitError):
+            gen.lfsr(17)
+
+    @pytest.mark.parametrize("n", [3, 4, 6])
+    def test_johnson(self, n):
+        assert len(explicit_reachable(gen.johnson(n))) == 2 * n
+
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_token_ring_stays_one_hot(self, n):
+        reachable = explicit_reachable(gen.token_ring(n))
+        assert len(reachable) == n
+        for state in reachable:
+            assert sum(state) == 1
+
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_shift_register(self, n):
+        assert len(explicit_reachable(gen.shift_register(n))) == 2**n
+
+    @pytest.mark.parametrize("pairs", [1, 2, 3])
+    def test_coupled_pairs_invariant(self, pairs):
+        reachable = explicit_reachable(gen.coupled_pairs(pairs))
+        assert len(reachable) == 2**pairs
+        for state in reachable:
+            # layout: a0, b0, a1, b1, ... pairs interleaved by decl order
+            values = dict(zip(gen.coupled_pairs(pairs).state_nets, state))
+            for j in range(pairs):
+                assert values["a%d" % j] == values["b%d" % j]
+
+    @pytest.mark.parametrize("bits", [1, 2])
+    def test_fifo_controller_occupancy_law(self, bits):
+        circuit = gen.fifo_controller(bits)
+        reachable = explicit_reachable(circuit)
+        depth = 1 << bits
+        assert len(reachable) == depth * (depth + 1)
+        nets = circuit.state_nets
+        for state in reachable:
+            values = dict(zip(nets, state))
+            head = sum(values["h%d" % i] << i for i in range(bits))
+            tail = sum(values["t%d" % i] << i for i in range(bits))
+            count = sum(values["c%d" % i] << i for i in range(bits + 1))
+            assert 0 <= count <= depth
+            assert (tail - head) % depth == count % depth
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_round_robin_arbiter(self, n):
+        reachable = explicit_reachable(gen.round_robin_arbiter(n))
+        assert len(reachable) == n
+        for state in reachable:
+            assert sum(state) == 1
+
+    def test_combination_lock_linear(self):
+        sequence = [True, False, True, True]
+        circuit = gen.combination_lock(sequence)
+        assert len(explicit_reachable(circuit)) == len(sequence) + 1
+
+    def test_shadow_datapath_dependency(self):
+        circuit = gen.shadow_datapath(3, shadows=1)
+        reachable = explicit_reachable(circuit)
+        assert len(reachable) == 2**3
+        nets = circuit.state_nets
+        for state in reachable:
+            values = dict(zip(nets, state))
+            for i in range(3):
+                expected = values["r0_%d" % i] != values["r0_%d" % ((i + 1) % 3)]
+                assert values["r1_%d" % i] == expected
+
+    def test_traffic_light_runs(self):
+        reachable = explicit_reachable(gen.traffic_light())
+        assert 4 <= len(reachable) <= 16
+
+    def test_random_control_deterministic(self):
+        a = gen.random_control(6, seed=5)
+        b = gen.random_control(6, seed=5)
+        assert explicit_reachable(a) == explicit_reachable(b)
+
+    def test_s27_embedded(self):
+        assert len(explicit_reachable(s27())) == 6

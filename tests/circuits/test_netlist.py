@@ -1,0 +1,169 @@
+"""Netlist model tests: construction, validation, topological order."""
+
+import pytest
+
+from repro.circuits.netlist import Circuit, Gate, Latch
+from repro.errors import CircuitError
+
+
+class TestGate:
+    def test_evaluate_all_ops(self):
+        cases = {
+            "AND": [(True, True, True), (True, False, False)],
+            "OR": [(False, False, False), (True, False, True)],
+            "NAND": [(True, True, False), (False, True, True)],
+            "NOR": [(False, False, True), (True, False, False)],
+            "XOR": [(True, False, True), (True, True, False)],
+            "XNOR": [(True, True, True), (True, False, False)],
+        }
+        for op, rows in cases.items():
+            gate = Gate("g", op, ("a", "b"))
+            for a, b, expected in rows:
+                assert gate.evaluate([a, b]) is expected, (op, a, b)
+        assert Gate("g", "NOT", ("a",)).evaluate([True]) is False
+        assert Gate("g", "BUF", ("a",)).evaluate([True]) is True
+
+    def test_wide_gates(self):
+        assert Gate("g", "AND", ("a", "b", "c")).evaluate([1, 1, 1])
+        assert Gate("g", "XOR", ("a", "b", "c")).evaluate([1, 1, 1])
+        assert not Gate("g", "XOR", ("a", "b", "c")).evaluate([1, 1, 0])
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(CircuitError):
+            Gate("g", "MAJ", ("a", "b", "c"))
+
+    def test_unary_arity_enforced(self):
+        with pytest.raises(CircuitError):
+            Gate("g", "NOT", ("a", "b"))
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(CircuitError):
+            Gate("g", "AND", ())
+
+
+class TestCircuitConstruction:
+    def test_basic_build(self):
+        circuit = Circuit("demo")
+        circuit.add_input("a")
+        circuit.add_latch("q", "d", init=True)
+        circuit.and_("d", "a", "q")
+        circuit.add_output("q")
+        circuit.validate()
+        assert circuit.num_latches == 1
+        assert circuit.num_gates == 1
+        assert circuit.initial_state == (True,)
+        assert circuit.state_nets == ["q"]
+        assert circuit.stats() == {
+            "inputs": 1,
+            "outputs": 1,
+            "latches": 1,
+            "gates": 1,
+        }
+
+    def test_duplicate_driver_rejected(self):
+        circuit = Circuit("demo")
+        circuit.add_input("a")
+        with pytest.raises(CircuitError):
+            circuit.add_gate("a", "NOT", ("a",))
+        with pytest.raises(CircuitError):
+            circuit.add_latch("a", "a")
+        with pytest.raises(CircuitError):
+            circuit.add_input("a")
+
+    def test_driver_of(self):
+        circuit = Circuit("demo")
+        circuit.add_input("a")
+        circuit.add_latch("q", "a")
+        circuit.not_("n", "a")
+        assert circuit.driver_of("a") == "input"
+        assert circuit.driver_of("q") == "latch"
+        assert circuit.driver_of("n") == "gate"
+        with pytest.raises(CircuitError):
+            circuit.driver_of("zz")
+
+    def test_convenience_builders(self):
+        circuit = Circuit("demo")
+        circuit.add_input("a")
+        circuit.add_input("b")
+        circuit.and_("g1", "a", "b")
+        circuit.or_("g2", "a", "b")
+        circuit.xor("g3", "a", "b")
+        circuit.not_("g4", "a")
+        assert circuit.num_gates == 4
+
+
+class TestValidation:
+    def test_undriven_gate_input(self):
+        circuit = Circuit("demo")
+        circuit.add_gate("g", "NOT", ("missing",))
+        with pytest.raises(CircuitError):
+            circuit.validate()
+
+    def test_undriven_latch_data(self):
+        circuit = Circuit("demo")
+        circuit.add_latch("q", "missing")
+        with pytest.raises(CircuitError):
+            circuit.validate()
+
+    def test_undriven_output(self):
+        circuit = Circuit("demo")
+        circuit.add_output("missing")
+        with pytest.raises(CircuitError):
+            circuit.validate()
+
+    def test_combinational_cycle_detected(self):
+        circuit = Circuit("demo")
+        circuit.add_gate("a", "NOT", ("b",))
+        circuit.add_gate("b", "NOT", ("a",))
+        with pytest.raises(CircuitError):
+            circuit.validate()
+
+    def test_cycle_through_latch_is_fine(self):
+        circuit = Circuit("demo")
+        circuit.add_latch("q", "d")
+        circuit.not_("d", "q")
+        circuit.validate()
+
+
+class TestTopologicalOrder:
+    def test_respects_dependencies(self):
+        circuit = Circuit("demo")
+        circuit.add_input("a")
+        circuit.not_("n1", "a")
+        circuit.not_("n2", "n1")
+        circuit.and_("g", "n2", "n1")
+        circuit.add_output("g")
+        order = [g.output for g in circuit.topological_gates()]
+        assert order.index("n1") < order.index("n2")
+        assert order.index("n2") < order.index("g")
+
+    def test_includes_dead_logic(self):
+        circuit = Circuit("demo")
+        circuit.add_input("a")
+        circuit.not_("dead", "a")
+        circuit.validate()
+        assert [g.output for g in circuit.topological_gates()] == ["dead"]
+
+    def test_cached_and_invalidated(self):
+        circuit = Circuit("demo")
+        circuit.add_input("a")
+        circuit.not_("n", "a")
+        first = circuit.topological_gates()
+        assert circuit.topological_gates() is first
+        circuit.not_("m", "n")
+        assert len(circuit.topological_gates()) == 2
+
+    def test_deep_chain_no_recursion_error(self):
+        circuit = Circuit("deep")
+        circuit.add_input("a")
+        previous = "a"
+        for i in range(5000):
+            circuit.not_("n%d" % i, previous)
+            previous = "n%d" % i
+        circuit.add_output(previous)
+        circuit.validate()
+        assert len(circuit.topological_gates()) == 5000
+
+    def test_repr(self):
+        circuit = Circuit("demo")
+        assert "demo" in repr(circuit)

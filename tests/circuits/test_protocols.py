@@ -1,0 +1,144 @@
+"""Protocol model tests: MSI coherence and handshake chains."""
+
+import pytest
+
+from repro.circuits.protocols import handshake, msi_coherence
+from repro.mc import check_invariant, state_predicate
+from repro.sim import ConcreteSimulator, explicit_reachable
+
+
+def msi_states(circuit, caches):
+    """Decoded reachable states as per-cache (m, s) tuples."""
+    reachable = explicit_reachable(circuit)
+    nets = circuit.state_nets
+    decoded = set()
+    for state in reachable:
+        values = dict(zip(nets, state))
+        decoded.add(
+            tuple(
+                (values["m%d" % i], values["s%d" % i]) for i in range(caches)
+            )
+        )
+    return decoded
+
+
+class TestMSI:
+    @pytest.mark.parametrize("caches", [2, 3])
+    def test_modified_is_exclusive(self, caches):
+        circuit = msi_coherence(caches)
+        for state in msi_states(circuit, caches):
+            modified = [i for i, (m, _s) in enumerate(state) if m]
+            assert len(modified) <= 1
+            for i in modified:
+                assert not state[i][1]  # M and S never together
+                for j, (m, s) in enumerate(state):
+                    if j != i:
+                        assert not m and not s  # all others Invalid
+
+    def test_all_protocol_states_reachable(self):
+        circuit = msi_coherence(2)
+        states = msi_states(circuit, 2)
+        # I-I (reset), S-I, I-S, S-S, M-I, I-M: all six legal states.
+        assert len(states) == 6
+
+    def test_write_invalidates(self):
+        circuit = msi_coherence(2)
+        sim = ConcreteSimulator(circuit)
+        nets = circuit.state_nets
+        # cache 0 reads (-> S), then cache 1 writes (-> M, 0 -> I)
+        state = circuit.initial_state
+        state = sim.step(
+            state, {"rd0": True, "wr0": False, "rd1": False, "wr1": False}
+        )
+        values = dict(zip(nets, state))
+        assert values["s0"] and not values["m0"]
+        state = sim.step(
+            state, {"rd0": False, "wr0": False, "rd1": False, "wr1": True}
+        )
+        values = dict(zip(nets, state))
+        assert values["m1"] and not values["s1"]
+        assert not values["s0"] and not values["m0"]
+
+    def test_read_demotes_modified(self):
+        circuit = msi_coherence(2)
+        sim = ConcreteSimulator(circuit)
+        nets = circuit.state_nets
+        state = circuit.initial_state
+        state = sim.step(
+            state, {"rd0": False, "wr0": True, "rd1": False, "wr1": False}
+        )
+        state = sim.step(
+            state, {"rd0": False, "wr0": False, "rd1": True, "wr1": False}
+        )
+        values = dict(zip(nets, state))
+        assert values["s0"] and not values["m0"]  # demoted via write-back
+        assert values["s1"] and not values["m1"]
+
+    def test_priority_arbitration(self):
+        circuit = msi_coherence(2)
+        sim = ConcreteSimulator(circuit)
+        nets = circuit.state_nets
+        # simultaneous writes: cache 0 has priority
+        state = sim.step(
+            circuit.initial_state,
+            {"rd0": False, "wr0": True, "rd1": False, "wr1": True},
+        )
+        values = dict(zip(nets, state))
+        assert values["m0"] and not values["m1"]
+
+    def test_symbolic_invariant_check(self):
+        circuit = msi_coherence(2)
+
+        def coherent(state):
+            pairs = [(state["m%d" % i], state["s%d" % i]) for i in range(2)]
+            modified = [i for i, (m, _s) in enumerate(pairs) if m]
+            if len(modified) > 1:
+                return False
+            for i in modified:
+                if pairs[i][1]:
+                    return False
+                for j, (m, s) in enumerate(pairs):
+                    if j != i and (m or s):
+                        return False
+            return True
+
+        result = check_invariant(circuit, state_predicate(coherent))
+        assert result.holds
+
+
+class TestHandshake:
+    @pytest.mark.parametrize("stages", [1, 2, 3])
+    def test_reachable_and_invariant(self, stages):
+        circuit = handshake(stages)
+        reachable = explicit_reachable(circuit)
+        nets = circuit.state_nets
+        # valid implies ack at the same stage was granted at some point;
+        # structurally: valid<k> never without the stage having acked.
+        for state in reachable:
+            values = dict(zip(nets, state))
+            for k in range(1, stages):
+                # a later stage cannot be valid while the feeding stage
+                # has never produced a valid transfer
+                if values["valid%d" % k]:
+                    assert values["valid%d" % (k - 1)]
+
+    def test_drop_clears(self):
+        circuit = handshake(2)
+        sim = ConcreteSimulator(circuit)
+        state = circuit.initial_state
+        for _ in range(5):
+            state = sim.step(state, {"req0": True, "drop": False})
+        assert any(state)
+        state = sim.step(state, {"req0": True, "drop": True})
+        assert not any(state)
+
+    def test_ack_follows_request(self):
+        circuit = handshake(1)
+        sim = ConcreteSimulator(circuit)
+        state = circuit.initial_state
+        state = sim.step(state, {"req0": True, "drop": False})
+        values = dict(zip(circuit.state_nets, state))
+        assert values["ack0"]
+        state = sim.step(state, {"req0": False, "drop": False})
+        values = dict(zip(circuit.state_nets, state))
+        assert not values["ack0"]

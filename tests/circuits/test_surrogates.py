@@ -1,0 +1,97 @@
+"""Surrogate-suite tests: structure, determinism and scaled ground truth.
+
+Full-size surrogates are validated by cross-engine agreement in the
+reach tests; here the *generator families* behind them are checked
+against explicit search at reduced scale, and the suite's structural
+fingerprints are pinned.
+"""
+
+import pytest
+
+from repro.circuits import generators as gen
+from repro.circuits import surrogates
+from repro.circuits.surrogates import _merge
+from repro.sim import explicit_reachable
+
+
+class TestSuiteShape:
+    def test_all_five_benchmarks(self):
+        assert list(surrogates.SUITE) == [
+            "s1269s",
+            "s1512s",
+            "s3271s",
+            "s3330s",
+            "s4863s",
+        ]
+
+    def test_stats_fingerprint(self):
+        expected = {
+            "s1269s": (1, 16),
+            "s1512s": (3, 14),
+            "s3271s": (16, 32),
+            "s3330s": (3, 18),
+            "s4863s": (1, 30),
+        }
+        for name, factory in surrogates.SUITE.items():
+            circuit = factory()
+            stats = circuit.stats()
+            assert (stats["inputs"], stats["latches"]) == expected[name], name
+
+    def test_deterministic(self):
+        for factory in surrogates.SUITE.values():
+            a, b = factory(), factory()
+            assert a.stats() == b.stats()
+            assert list(a.latches) == list(b.latches)
+            assert {g.output: (g.op, g.inputs) for g in a.gates.values()} == {
+                g.output: (g.op, g.inputs) for g in b.gates.values()
+            }
+
+    def test_build_suite(self):
+        circuits = surrogates.build_suite()
+        assert len(circuits) == 5
+        for circuit in circuits:
+            circuit.validate()
+
+
+class TestMerge:
+    def test_merge_is_product_machine(self):
+        merged = _merge("m", gen.counter(2), gen.johnson(2))
+        reachable = explicit_reachable(merged)
+        # counter reaches 4, johnson reaches 4; both can idle/hold only
+        # if an input allows it -- counter can (en=0), johnson cannot,
+        # so the product is synchronized; just check bounds and validity.
+        assert 4 <= len(reachable) <= 16
+
+    def test_merge_prefixes_disambiguate(self):
+        merged = _merge("m", gen.counter(2), gen.counter(2))
+        assert merged.num_latches == 4
+        assert set(merged.inputs) == {"u0_en", "u1_en"}
+
+
+class TestScaledGroundTruth:
+    def test_s1269s_reaches_everything(self):
+        # At full size (16 FFs, one input): every state reachable.
+        circuit = surrogates.s1269s()
+        assert len(explicit_reachable(circuit, max_states=1 << 17)) == 2**16
+
+    def test_s1512s_reachable_count(self):
+        circuit = surrogates.s1512s()
+        # product of the 12-bit random FSM (1657) and the lock; pinned
+        # for determinism.
+        assert len(explicit_reachable(circuit, max_states=1 << 16)) == 6628
+
+    def test_s3330s_reachable_count(self):
+        circuit = surrogates.s3330s()
+        assert len(explicit_reachable(circuit, max_states=1 << 16)) == 1934
+
+    def test_coupled_pairs_scaled(self):
+        # s3271s at reduced scale: pairs-equal times free counter.
+        circuit = _merge("mini", gen.coupled_pairs(3), gen.counter(2))
+        reachable = explicit_reachable(circuit)
+        assert len(reachable) == (2**3) * (2**2)
+
+    def test_shadow_scaled(self):
+        # s4863s at reduced scale: reachable count = 2^n (main bank free,
+        # shadows functionally determined).
+        circuit = gen.shadow_datapath(4, shadows=2)
+        assert len(explicit_reachable(circuit)) == 2**4

@@ -1,0 +1,121 @@
+"""Shared test utilities: random Boolean expressions and brute-force oracles.
+
+The expression helpers build the same function both as a BDD and as a
+Python-evaluatable tree, so tests can compare against exhaustive truth
+tables; the ``subsets`` helpers enumerate small power sets for the
+exhaustive BFV semantics checks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import pytest
+
+from repro.bdd import BDD
+
+Expr = tuple
+
+
+def random_expr(rng: random.Random, nvars: int, depth: int) -> Expr:
+    """A random expression tree over variables ``0..nvars-1``."""
+    if depth == 0 or rng.random() < 0.25:
+        if rng.random() < 0.1:
+            return ("const", rng.random() < 0.5)
+        return ("var", rng.randrange(nvars))
+    op = rng.choice(["and", "or", "xor", "not"])
+    if op == "not":
+        return ("not", random_expr(rng, nvars, depth - 1))
+    return (
+        op,
+        random_expr(rng, nvars, depth - 1),
+        random_expr(rng, nvars, depth - 1),
+    )
+
+
+def eval_expr(expr: Expr, env: Dict[int, bool]) -> bool:
+    """Evaluate an expression tree on a concrete assignment."""
+    tag = expr[0]
+    if tag == "var":
+        return env[expr[1]]
+    if tag == "const":
+        return expr[1]
+    if tag == "not":
+        return not eval_expr(expr[1], env)
+    left = eval_expr(expr[1], env)
+    right = eval_expr(expr[2], env)
+    if tag == "and":
+        return left and right
+    if tag == "or":
+        return left or right
+    return left != right  # xor
+
+
+def build_expr(bdd: BDD, expr: Expr) -> int:
+    """Build the expression tree as a BDD node."""
+    tag = expr[0]
+    if tag == "var":
+        return bdd.var(expr[1])
+    if tag == "const":
+        return bdd.true if expr[1] else bdd.false
+    if tag == "not":
+        return bdd.not_(build_expr(bdd, expr[1]))
+    left = build_expr(bdd, expr[1])
+    right = build_expr(bdd, expr[2])
+    op = {"and": bdd.and_, "or": bdd.or_, "xor": bdd.xor}[tag]
+    return op(left, right)
+
+
+def truth_table(bdd: BDD, node: int, nvars: int) -> Tuple[bool, ...]:
+    """Exhaustive truth table of a BDD node over the first nvars vars."""
+    return tuple(
+        bdd.evaluate(node, dict(enumerate(env)))
+        for env in itertools.product([False, True], repeat=nvars)
+    )
+
+
+def expr_table(expr: Expr, nvars: int) -> Tuple[bool, ...]:
+    """Exhaustive truth table of an expression tree."""
+    return tuple(
+        eval_expr(expr, dict(enumerate(env)))
+        for env in itertools.product([False, True], repeat=nvars)
+    )
+
+
+def all_points(width: int) -> List[Tuple[bool, ...]]:
+    """All bit-vectors of the given width."""
+    return list(itertools.product([False, True], repeat=width))
+
+
+def all_subsets(width: int, include_empty: bool = False):
+    """Every subset of {0,1}^width as a frozenset of tuples."""
+    points = all_points(width)
+    start = 0 if include_empty else 1
+    for mask in range(start, 1 << len(points)):
+        yield frozenset(
+            p for i, p in enumerate(points) if mask >> i & 1
+        )
+
+
+def chi_of(bdd: BDD, choice_vars: Sequence[int], points) -> int:
+    """Characteristic function of a set of concrete points."""
+    chi = bdd.false
+    for point in points:
+        chi = bdd.or_(
+            chi, bdd.cube(dict(zip(choice_vars, point)))
+        )
+    return chi
+
+
+@pytest.fixture
+def bdd3() -> BDD:
+    """A manager with three variables v0, v1, v2."""
+    return BDD(["v0", "v1", "v2"])
+
+
+@pytest.fixture
+def bdd6() -> BDD:
+    """A manager with six anonymous variables."""
+    return BDD(["x%d" % i for i in range(6)])

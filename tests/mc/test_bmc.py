@@ -1,0 +1,117 @@
+"""Bounded model checking tests, incl. agreement with the unbounded checker."""
+
+import pytest
+
+from repro.circuits import generators as gen
+from repro.errors import ReproError
+from repro.mc import (
+    bounded_check,
+    check_invariant,
+    never_all,
+    output_never_high,
+    state_predicate,
+)
+from repro.sim import ConcreteSimulator
+
+
+class TestBoundedResults:
+    def test_holds_within_bound(self):
+        circuit = gen.counter(4)
+        # counting to 15 takes 15 steps; depth 10 sees no violation
+        result = bounded_check(circuit, never_all(circuit.state_nets), 10)
+        assert result.holds_up_to_depth
+        assert result.violation_depth is None
+
+    def test_violation_at_exact_depth(self):
+        circuit = gen.counter(3)
+        result = bounded_check(circuit, never_all(circuit.state_nets), 10)
+        assert not result.holds_up_to_depth
+        assert result.violation_depth == 7  # shortest path to 111
+        assert len(result.counterexample) == 7
+
+    def test_depth_zero_checks_initial_state(self):
+        circuit = gen.counter(2)
+        def some_bit(state):
+            return any(state.values())
+
+        result = bounded_check(circuit, state_predicate(some_bit), 0)
+        assert not result.holds_up_to_depth
+        assert result.violation_depth == 0
+        assert len(result.counterexample) == 0
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ReproError):
+            bounded_check(gen.counter(2), never_all(["s0"]), -1)
+
+    def test_trace_ends_in_violating_state(self):
+        circuit = gen.shift_register(4)
+        pattern = (True, True, False, True)
+
+        def not_pattern(state):
+            return tuple(state["s%d" % i] for i in range(4)) != pattern
+
+        result = bounded_check(circuit, state_predicate(not_pattern), 8)
+        assert not result.holds_up_to_depth
+        final = result.counterexample.states[-1]
+        assert tuple(final["s%d" % i] for i in range(4)) == pattern
+
+    def test_trace_replays(self):
+        circuit = gen.counter(3)
+        result = bounded_check(circuit, never_all(circuit.state_nets), 8)
+        simulator = ConcreteSimulator(circuit)
+        state = circuit.initial_state
+        for step in result.counterexample.inputs:
+            state = simulator.step(state, step)
+        assert all(state)
+
+
+class TestOutputProperties:
+    def test_fifo_full_depth(self):
+        circuit = gen.fifo_controller(1)
+        result = bounded_check(circuit, output_never_high("full"), 6)
+        assert not result.holds_up_to_depth
+        # depth-2 FIFO needs 2 pushes; 'full' raised while count==2...
+        # shortest: 2 pushes then the output reads full -> depth 2.
+        assert result.violation_depth == 2
+
+    def test_unknown_output(self):
+        with pytest.raises(ReproError):
+            bounded_check(gen.counter(2), output_never_high("zz"), 2)
+
+
+class TestAgreementWithUnbounded:
+    @pytest.mark.parametrize(
+        "factory,builder",
+        [
+            (lambda: gen.counter(3), lambda c: never_all(c.state_nets)),
+            (
+                lambda: gen.mod_counter(3, 5),
+                lambda c: output_never_high("wrap"),
+            ),
+            (
+                lambda: gen.combination_lock([True, False, True]),
+                lambda c: output_never_high("at_end"),
+            ),
+        ],
+        ids=["counter", "modwrap", "lock"],
+    )
+    def test_same_shortest_depth(self, factory, builder):
+        circuit = factory()
+        prop = builder(circuit)
+        unbounded = check_invariant(circuit, prop)
+        assert not unbounded.holds
+        shortest = len(unbounded.counterexample)
+        bounded = bounded_check(circuit, prop, shortest + 3)
+        assert not bounded.holds_up_to_depth
+        assert bounded.violation_depth == shortest
+        # and just below the bound, BMC sees nothing
+        clean = bounded_check(circuit, prop, shortest - 1)
+        assert clean.holds_up_to_depth
+
+    def test_holding_invariant_agrees(self):
+        circuit = gen.token_ring(4)
+        from repro.mc import exactly_one
+
+        prop = exactly_one(circuit.state_nets)
+        assert check_invariant(circuit, prop).holds
+        assert bounded_check(circuit, prop, 10).holds_up_to_depth

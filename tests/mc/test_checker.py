@@ -1,0 +1,192 @@
+"""Model-checker tests: holding invariants, violations, trace validity."""
+
+import pytest
+
+from repro.circuits import generators as gen
+from repro.mc import (
+    check_invariant,
+    exactly_one,
+    never_all,
+    output_never_high,
+    state_predicate,
+)
+from repro.mc.properties import implication
+from repro.reach import ReachLimits
+from repro.sim import ConcreteSimulator, explicit_reachable
+
+
+class TestHoldingInvariants:
+    def test_token_ring_one_hot(self):
+        circuit = gen.token_ring(5)
+        result = check_invariant(
+            circuit, exactly_one(circuit.state_nets), count_states=True
+        )
+        assert result.holds
+        assert result.counterexample is None
+        assert result.num_states == 5
+
+    def test_johnson_never_alternating(self):
+        circuit = gen.johnson(4)
+
+        def no_101_prefix(state):
+            return not (state["s0"] and not state["s1"] and state["s2"])
+
+        result = check_invariant(circuit, state_predicate(no_101_prefix))
+        assert result.holds
+
+    def test_mod_counter_bound(self):
+        circuit = gen.mod_counter(4, 10)
+
+        def below_ten(state):
+            value = sum(state["s%d" % i] << i for i in range(4))
+            return value < 10
+
+        result = check_invariant(circuit, state_predicate(below_ten))
+        assert result.holds
+
+    def test_vacuous_property(self):
+        circuit = gen.counter(3)
+        result = check_invariant(
+            circuit, state_predicate(lambda state: True)
+        )
+        assert result.holds
+        assert result.iterations == 0
+
+
+class TestViolations:
+    def test_counter_reaches_max(self):
+        circuit = gen.counter(3)
+        result = check_invariant(circuit, never_all(circuit.state_nets))
+        assert not result.holds
+        trace = result.counterexample
+        assert trace is not None
+        # shortest path to 111 is 7 increments
+        assert len(trace) == 7
+        assert all(trace.states[-1][net] for net in circuit.state_nets)
+
+    def test_trace_replays_on_simulator(self):
+        circuit = gen.shift_register(4)
+        # claim: the register never holds 1010
+        def not_1010(state):
+            pattern = [True, False, True, False]
+            return [state["s%d" % i] for i in range(4)] != pattern
+
+        result = check_invariant(circuit, state_predicate(not_1010))
+        assert not result.holds
+        trace = result.counterexample
+        simulator = ConcreteSimulator(circuit)
+        state = circuit.initial_state
+        for step_inputs in trace.inputs:
+            state = simulator.step(state, step_inputs)
+        assert state == (True, False, True, False)
+
+    def test_violation_in_initial_state(self):
+        circuit = gen.counter(2)
+        # the all-zero initial state itself violates "some bit is high"
+        def some_bit(state):
+            return any(state.values())
+
+        result = check_invariant(circuit, state_predicate(some_bit))
+        assert not result.holds
+        assert len(result.counterexample) == 0
+
+    def test_trace_disabled(self):
+        circuit = gen.counter(2)
+        result = check_invariant(
+            circuit, never_all(circuit.state_nets), produce_trace=False
+        )
+        assert not result.holds
+        assert result.counterexample is None
+
+
+class TestOutputProperties:
+    def test_fifo_never_full_is_false(self):
+        circuit = gen.fifo_controller(1)
+        result = check_invariant(circuit, output_never_high("full"))
+        assert not result.holds
+        # replay: final state must allow raising 'full'
+        trace = result.counterexample
+        assert trace is not None
+
+    def test_mod_counter_wrap_reached(self):
+        circuit = gen.mod_counter(3, 5)
+        result = check_invariant(circuit, output_never_high("wrap"))
+        assert not result.holds
+        assert len(result.counterexample) == 4  # state 4 == modulus-1
+
+    def test_unknown_output_rejected(self):
+        from repro.errors import ReproError
+
+        circuit = gen.counter(2)
+        with pytest.raises(ReproError):
+            check_invariant(circuit, output_never_high("nope"))
+
+    def test_lock_never_opens_without_code(self):
+        sequence = [True, False, True]
+        circuit = gen.combination_lock(sequence)
+        result = check_invariant(circuit, output_never_high("at_end"))
+        assert not result.holds  # the right code opens it
+        trace = result.counterexample
+        assert [step["key"] for step in trace.inputs] == sequence
+
+
+class TestImplicationProperty:
+    def test_shadow_bank_dependency(self):
+        circuit = gen.shadow_datapath(2, shadows=1)
+        # r1_0 == r0_0 XOR r0_1 in every reachable state; in particular
+        # r0_0 AND r0_1 -> NOT r1_0, phrased per implication on a
+        # derived bit is awkward, so check via predicate instead:
+        def dependency(state):
+            return state["r1_0"] == (state["r0_0"] != state["r0_1"])
+
+        result = check_invariant(circuit, state_predicate(dependency))
+        assert result.holds
+
+    def test_implication_builder(self):
+        circuit = gen.johnson(3)
+        # In a Johnson ring from 000: s2 high implies s1 was high
+        # (states go 000,100,110,111,011,001): s2 -> s1 fails at 001.
+        result = check_invariant(circuit, implication("s2", "s1"))
+        assert not result.holds
+
+
+class TestLimits:
+    def test_budget_reports_incomplete(self):
+        circuit = gen.counter(6)
+        result = check_invariant(
+            circuit,
+            never_all(circuit.state_nets),
+            limits=ReachLimits(max_seconds=0.0),
+        )
+        assert not result.completed
+        assert result.failure == "time"
+
+
+class TestAgainstExplicitOracle:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: gen.token_ring(4),
+            lambda: gen.lfsr(4),
+            lambda: gen.fifo_controller(1),
+            lambda: gen.random_control(6, seed=9),
+        ],
+        ids=["ring", "lfsr", "fifo", "rctl"],
+    )
+    def test_arbitrary_predicates(self, factory):
+        circuit = factory()
+        reachable = explicit_reachable(circuit)
+        nets = circuit.state_nets
+
+        def forbid_some(state):
+            # forbid a specific reachable state: must be violated
+            target = sorted(reachable)[len(reachable) // 2]
+            return tuple(state[n] for n in nets) != target
+
+        result = check_invariant(circuit, state_predicate(forbid_some))
+        assert not result.holds
+
+        def forbid_none(state):
+            return tuple(state[n] for n in nets) in reachable or True
+
+        assert check_invariant(circuit, state_predicate(forbid_none)).holds

@@ -1,0 +1,74 @@
+"""Variable-order family tests: completeness, determinism, distinctness."""
+
+import pytest
+
+from repro.circuits import generators as gen
+from repro.circuits.iscas import s27
+from repro.order import (
+    FAMILIES,
+    bfs_interleave_order,
+    fanin_dfs_order,
+    order_for,
+    random_order,
+    reversed_order,
+    sifted_order,
+)
+
+
+def slot_universe(circuit):
+    return set(circuit.inputs) | set(circuit.latches)
+
+
+@pytest.fixture(params=[gen.counter(3), gen.fifo_controller(2), s27()])
+def circuit(request):
+    return request.param
+
+
+class TestAllFamilies:
+    def test_every_family_is_a_permutation(self, circuit):
+        expected = slot_universe(circuit)
+        for family in FAMILIES:
+            slots = order_for(circuit, family)
+            assert len(slots) == len(expected), family
+            assert set(slots) == expected, family
+
+    def test_families_deterministic(self, circuit):
+        for family in FAMILIES:
+            assert order_for(circuit, family) == order_for(circuit, family)
+
+    def test_unknown_family(self, circuit):
+        with pytest.raises(KeyError):
+            order_for(circuit, "Z9")
+
+
+class TestSpecificFamilies:
+    def test_p_is_reverse_of_s1(self, circuit):
+        assert reversed_order(circuit) == list(
+            reversed(fanin_dfs_order(circuit))
+        )
+
+    def test_o_seed_changes_order(self):
+        circuit = gen.fifo_controller(2)
+        assert random_order(circuit, seed=0) != random_order(circuit, seed=1)
+
+    def test_s1_s2_start_from_latches(self, circuit):
+        for order_fn in (fanin_dfs_order, bfs_interleave_order):
+            slots = order_fn(circuit)
+            assert slots[0] in set(circuit.latches) | set(circuit.inputs)
+
+    def test_sifted_order_runs(self):
+        circuit = gen.coupled_pairs(3)
+        slots = sifted_order(circuit)
+        assert set(slots) == slot_universe(circuit)
+
+    def test_sifted_order_interleaves_coupled_pairs(self):
+        # Sifting should place each pair's two registers close together
+        # (that is what makes the "D" order good for characteristic
+        # functions on this family).
+        circuit = gen.coupled_pairs(4)
+        slots = sifted_order(circuit)
+        positions = {net: i for i, net in enumerate(slots)}
+        distances = [
+            abs(positions["a%d" % j] - positions["b%d" % j]) for j in range(4)
+        ]
+        assert sum(distances) / len(distances) <= 4.0

@@ -1,0 +1,138 @@
+"""Backward reachability tests, including forward/backward duality."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.circuits import generators as gen
+from repro.circuits.iscas import s27
+from repro.errors import ResourceLimitError
+from repro.reach import ReachLimits, tr_reachability
+from repro.reach.backward import backward_reachability, can_reach
+from repro.sim import ConcreteSimulator, explicit_reachable
+
+
+def explicit_backward(circuit, targets):
+    """All states that can reach a target, by explicit fixed point."""
+    simulator = ConcreteSimulator(circuit)
+    nets = circuit.state_nets
+    states = list(itertools.product([False, True], repeat=len(nets)))
+    inputs = list(
+        itertools.product([False, True], repeat=len(circuit.inputs))
+    )
+    successors = {
+        state: {
+            simulator.step(state, dict(zip(circuit.inputs, vector)))
+            for vector in inputs
+        }
+        for state in states
+    }
+    reached = set(targets)
+    changed = True
+    while changed:
+        changed = False
+        for state in states:
+            if state not in reached and successors[state] & reached:
+                reached.add(state)
+                changed = True
+    return reached
+
+
+def decode(result):
+    space = result.extra["space"]
+    chi = result.extra["backward_chi"]
+    nets = list(space.circuit.latches)
+    index = {net: i for i, net in enumerate(space.state_order)}
+    out = set()
+    for state in itertools.product([False, True], repeat=len(nets)):
+        assignment = {
+            space.s_vars[index[net]]: state[i]
+            for i, net in enumerate(nets)
+        }
+        if space.bdd.evaluate(chi, assignment):
+            out.add(state)
+    return out
+
+
+class TestBackwardMatchesOracle:
+    @pytest.mark.parametrize(
+        "factory,target",
+        [
+            (lambda: gen.counter(3), (True, True, True)),
+            (lambda: gen.johnson(4), (True, True, True, True)),
+            (lambda: gen.token_ring(3), (False, False, True)),
+            (s27, (True, False, True)),
+            (lambda: gen.combination_lock([True, False]), (False, True)),
+        ],
+        ids=["counter", "johnson", "ring", "s27", "lock"],
+    )
+    def test_against_explicit(self, factory, target):
+        circuit = factory()
+        result = backward_reachability(circuit, [target])
+        assert result.completed
+        expected = explicit_backward(circuit, {target})
+        assert decode(result) == expected
+        assert result.num_states == len(expected)
+
+
+class TestForwardBackwardDuality:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: gen.lfsr(4),
+            lambda: gen.fifo_controller(1),
+            lambda: gen.random_control(6, seed=17),
+        ],
+        ids=["lfsr", "fifo", "rctl"],
+    )
+    def test_reachable_iff_initial_in_backward_set(self, factory):
+        circuit = factory()
+        forward = explicit_reachable(circuit)
+        nets = circuit.state_nets
+        rng = random.Random(0)
+        samples = set(itertools.islice(
+            itertools.product([False, True], repeat=len(nets)), 0, None
+        ))
+        samples = rng.sample(sorted(samples), min(12, len(samples)))
+        for state in samples:
+            assert can_reach(circuit, [state]) == (tuple(state) in forward)
+
+
+class TestBudget:
+    def test_limits_respected(self):
+        circuit = gen.counter(5)
+        result = backward_reachability(
+            circuit,
+            [(True,) * 5],
+            limits=ReachLimits(max_seconds=0.0),
+        )
+        assert not result.completed
+        assert result.failure == "time"
+
+    def test_can_reach_raises_on_budget(self):
+        circuit = gen.counter(5)
+        with pytest.raises(ResourceLimitError):
+            can_reach(
+                circuit,
+                [(True,) * 5],
+                limits=ReachLimits(max_seconds=0.0),
+            )
+
+
+class TestTargetSemantics:
+    def test_targets_included(self):
+        circuit = gen.counter(2)
+        target = (True, False)
+        result = backward_reachability(circuit, [target])
+        assert target in decode(result)
+
+    def test_multiple_targets_union(self):
+        circuit = gen.johnson(3)
+        t1 = (True, False, False)
+        t2 = (False, False, True)
+        separate = decode(
+            backward_reachability(circuit, [t1])
+        ) | decode(backward_reachability(circuit, [t2]))
+        combined = decode(backward_reachability(circuit, [t1, t2]))
+        assert combined == separate

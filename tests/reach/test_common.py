@@ -1,0 +1,104 @@
+"""ReachSpace layout, limits and monitor tests."""
+
+import pytest
+
+from repro.circuits import generators as gen
+from repro.errors import CircuitError, ResourceLimitError
+from repro.reach import ReachLimits, ReachSpace, RunMonitor
+from repro.reach.common import ReachResult
+
+
+class TestReachSpace:
+    def test_default_layout(self):
+        circuit = gen.counter(3)
+        space = ReachSpace(circuit)
+        assert len(space.s_vars) == 3
+        assert len(space.t_vars) == 3
+        assert len(space.x_vars) == 1
+        # s and t variables are adjacent per state bit
+        for s, t in zip(space.s_vars, space.t_vars):
+            assert space.bdd.level_of(t) == space.bdd.level_of(s) + 1
+
+    def test_component_order_follows_slots(self):
+        circuit = gen.counter(3)
+        slots = ["s2", "s1", "s0", "en"]
+        space = ReachSpace(circuit, slots)
+        assert space.state_order == ["s2", "s1", "s0"]
+        levels = [space.bdd.level_of(v) for v in space.s_vars]
+        assert levels == sorted(levels)
+
+    def test_missing_net_rejected(self):
+        circuit = gen.counter(3)
+        with pytest.raises(CircuitError):
+            ReachSpace(circuit, ["s0", "s1", "en"])  # s2 missing
+
+    def test_unknown_slot_rejected(self):
+        circuit = gen.counter(3)
+        with pytest.raises(CircuitError):
+            ReachSpace(circuit, ["s0", "s1", "s2", "en", "ghost"])
+
+    def test_initial_point_and_chi(self):
+        circuit = gen.token_ring(3)  # init: s0=1, others 0
+        space = ReachSpace(circuit)
+        chi = space.initial_chi()
+        assert space.states_of(chi) == 1
+        index = space.state_order.index("s0")
+        assert space.initial_point[index] is True
+
+    def test_t_to_s_rename(self):
+        circuit = gen.counter(2)
+        space = ReachSpace(circuit)
+        bdd = space.bdd
+        f = bdd.and_(bdd.var(space.t_vars[0]), bdd.var(space.t_vars[1]))
+        renamed = space.t_to_s(f)
+        assert renamed == bdd.and_(
+            bdd.var(space.s_vars[0]), bdd.var(space.s_vars[1])
+        )
+
+
+class TestRunMonitor:
+    def test_memory_limit(self):
+        circuit = gen.counter(2)
+        space = ReachSpace(circuit)
+        monitor = RunMonitor(space.bdd, ReachLimits(max_live_nodes=1))
+        with pytest.raises(ResourceLimitError) as info:
+            monitor.checkpoint((), 1)
+        assert info.value.kind == "memory"
+
+    def test_time_limit(self):
+        circuit = gen.counter(2)
+        space = ReachSpace(circuit)
+        monitor = RunMonitor(space.bdd, ReachLimits(max_seconds=0.0))
+        with pytest.raises(ResourceLimitError) as info:
+            monitor.checkpoint((), 1)
+        assert info.value.kind == "time"
+
+    def test_iteration_limit(self):
+        circuit = gen.counter(2)
+        space = ReachSpace(circuit)
+        monitor = RunMonitor(space.bdd, ReachLimits(max_iterations=3))
+        monitor.checkpoint((), 2)
+        with pytest.raises(ResourceLimitError) as info:
+            monitor.checkpoint((), 3)
+        assert info.value.kind == "iterations"
+
+    def test_no_limits(self):
+        circuit = gen.counter(2)
+        space = ReachSpace(circuit)
+        monitor = RunMonitor(space.bdd, None)
+        monitor.checkpoint((), 100)
+        assert monitor.peak_live > 0
+
+
+class TestReachResult:
+    def test_status_strings(self):
+        ok = ReachResult("bfv", "c", "S1", completed=True, seconds=1.25)
+        assert ok.status == "1.25"
+        to = ReachResult("bfv", "c", "S1", completed=False, failure="time")
+        assert to.status == "T.O."
+        mo = ReachResult("tr", "c", "S1", completed=False, failure="memory")
+        assert mo.status == "M.O."
+        io = ReachResult(
+            "tr", "c", "S1", completed=False, failure="iterations"
+        )
+        assert io.status == "I.O."

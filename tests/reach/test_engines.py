@@ -1,0 +1,197 @@
+"""End-to-end engine tests: the four engines vs the explicit oracle.
+
+Every engine must compute exactly the explicit-BFS reachable set on
+every circuit family, under several order families, with and without
+the selection heuristic — and resource budgets must surface as the
+paper's T.O. / M.O. outcomes.
+"""
+
+import pytest
+
+from repro.circuits import generators as gen
+from repro.circuits.iscas import s27
+from repro.order import FAMILIES, order_for
+from repro.reach import (
+    ENGINES,
+    ReachLimits,
+    bfv_reachability,
+    cbm_reachability,
+    conj_reachability,
+    tr_reachability,
+)
+from repro.sim import explicit_reachable
+
+
+def reached_points(result):
+    """Decode a completed run's reached set as latch-declaration tuples."""
+    space = result.extra["space"]
+    if "reached" in result.extra:
+        points = set(result.extra["reached"].enumerate())
+    elif "reached_cd" in result.extra:
+        points = set(result.extra["reached_cd"].to_bfv().enumerate())
+    else:
+        from repro.bfv import from_characteristic
+
+        vec = from_characteristic(
+            space.bdd, space.s_vars, result.extra["reached_chi"]
+        )
+        points = set(vec.enumerate())
+    declaration = list(space.circuit.latches)
+    index = {net: i for i, net in enumerate(space.state_order)}
+    return {
+        tuple(point[index[net]] for net in declaration) for point in points
+    }
+
+
+CIRCUITS = [
+    ("counter", lambda: gen.counter(4)),
+    ("mod_counter", lambda: gen.mod_counter(4, 11)),
+    ("lfsr", lambda: gen.lfsr(5)),
+    ("johnson", lambda: gen.johnson(5)),
+    ("ring", lambda: gen.token_ring(4)),
+    ("shift", lambda: gen.shift_register(4)),
+    ("coupled", lambda: gen.coupled_pairs(3)),
+    ("fifo", lambda: gen.fifo_controller(2)),
+    ("arbiter", lambda: gen.round_robin_arbiter(3)),
+    ("lock", lambda: gen.combination_lock([True, True, False])),
+    ("traffic", gen.traffic_light),
+    ("rctl", lambda: gen.random_control(7, seed=11)),
+    ("shadow", lambda: gen.shadow_datapath(3, 2)),
+    ("s27", s27),
+]
+
+
+class TestEnginesMatchOracle:
+    @pytest.mark.parametrize("engine", list(ENGINES))
+    @pytest.mark.parametrize(
+        "name,factory", CIRCUITS, ids=[c[0] for c in CIRCUITS]
+    )
+    def test_engine_vs_explicit(self, engine, name, factory):
+        circuit = factory()
+        truth = explicit_reachable(circuit)
+        result = ENGINES[engine](circuit)
+        assert result.completed
+        assert result.num_states == len(truth)
+        assert reached_points(result) == truth
+        assert result.iterations >= 1
+        assert result.peak_live_nodes > 0
+
+
+class TestOrderFamilies:
+    @pytest.mark.parametrize("family", list(FAMILIES))
+    def test_all_orders_same_set(self, family):
+        circuit = gen.fifo_controller(2)
+        truth = explicit_reachable(circuit)
+        slots = order_for(circuit, family)
+        for engine in ("bfv", "tr"):
+            result = ENGINES[engine](circuit, slots=slots, order_name=family)
+            assert result.completed, (engine, family)
+            assert reached_points(result) == truth
+            assert result.order == family
+
+
+class TestSelectionHeuristic:
+    @pytest.mark.parametrize("engine", list(ENGINES))
+    def test_heuristic_does_not_change_answer(self, engine):
+        circuit = gen.lfsr(5)
+        truth = explicit_reachable(circuit)
+        for flag in (True, False):
+            result = ENGINES[engine](circuit, selection_heuristic=flag)
+            assert reached_points(result) == truth
+
+
+class TestResourceLimits:
+    def test_time_budget_reports_timeout(self):
+        circuit = gen.counter(6)
+        result = bfv_reachability(
+            circuit, limits=ReachLimits(max_seconds=0.0)
+        )
+        assert not result.completed
+        assert result.failure == "time"
+        assert result.status == "T.O."
+
+    def test_node_budget_reports_memory_out(self):
+        circuit = gen.shift_register(6)
+        result = tr_reachability(
+            circuit, limits=ReachLimits(max_live_nodes=5)
+        )
+        assert not result.completed
+        assert result.status == "M.O."
+
+    def test_iteration_budget(self):
+        circuit = gen.counter(6)
+        result = tr_reachability(
+            circuit, limits=ReachLimits(max_iterations=2)
+        )
+        assert not result.completed
+        assert result.failure == "iterations"
+
+
+class TestConversionAccounting:
+    def test_cbm_reports_conversion_time(self):
+        circuit = gen.lfsr(5)
+        result = cbm_reachability(circuit)
+        assert result.completed
+        assert result.conversion_seconds >= 0.0
+        assert result.conversion_seconds <= result.seconds
+
+    def test_bfv_reports_representation_size(self):
+        circuit = gen.shadow_datapath(3, 1)
+        bfv = bfv_reachability(circuit)
+        tr = tr_reachability(circuit)
+        assert bfv.reached_size > 0
+        assert tr.reached_size > 0
+        assert bfv.num_states == tr.num_states
+
+
+class TestSchedules:
+    @pytest.mark.parametrize("schedule", ["support", "size", "fixed"])
+    def test_quantification_schedules_agree(self, schedule):
+        circuit = gen.fifo_controller(1)
+        truth = explicit_reachable(circuit)
+        result = bfv_reachability(circuit, schedule=schedule)
+        assert reached_points(result) == truth
+
+
+class TestCountStatesFlag:
+    def test_disabled_count(self):
+        circuit = gen.counter(3)
+        result = bfv_reachability(circuit, count_states=False)
+        assert result.completed
+        assert result.num_states is None
+
+
+class TestCBMImageMethods:
+    """The two historical Figure-1 image computations ([6] vs [7])."""
+
+    @pytest.mark.parametrize("method", ["simulate", "constrain"])
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: gen.lfsr(5),
+            lambda: gen.fifo_controller(2),
+            lambda: gen.coupled_pairs(3),
+            lambda: gen.random_control(7, seed=11),
+        ],
+        ids=["lfsr", "fifo", "coupled", "rctl"],
+    )
+    def test_methods_match_oracle(self, method, factory):
+        circuit = factory()
+        truth = explicit_reachable(circuit)
+        result = cbm_reachability(circuit, image_method=method)
+        assert result.completed
+        assert result.num_states == len(truth)
+        assert reached_points(result) == truth
+
+    def test_constrain_method_skips_chi_to_bfv(self):
+        # The [7] flow has no chi -> BFV conversion; only the BFV -> chi
+        # direction contributes to the conversion time.
+        circuit = gen.lfsr(6)
+        simulate = cbm_reachability(circuit, image_method="simulate")
+        constrain = cbm_reachability(circuit, image_method="constrain")
+        assert simulate.num_states == constrain.num_states
+        assert constrain.conversion_seconds <= simulate.conversion_seconds
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            cbm_reachability(gen.counter(2), image_method="bogus")

@@ -1,0 +1,69 @@
+"""Multi-initial-state reachability tests (all four engines)."""
+
+import pytest
+
+from repro.circuits import generators as gen
+from repro.errors import CircuitError
+from repro.reach import ENGINES, ReachSpace
+from repro.sim import explicit_reachable
+
+from .test_engines import reached_points
+
+
+class TestInitialPointSets:
+    @pytest.mark.parametrize("engine", list(ENGINES))
+    def test_two_seeds(self, engine):
+        circuit = gen.johnson(4)
+        # one reachable-from-zero seed plus one off-orbit seed
+        seeds = [
+            (False, False, False, False),
+            (True, False, True, False),
+        ]
+        truth = explicit_reachable(circuit, initial_states=seeds)
+        result = ENGINES[engine](circuit, initial_points=seeds)
+        assert result.completed
+        assert reached_points(result) == truth
+        assert result.num_states == len(truth)
+
+    @pytest.mark.parametrize("engine", ["bfv", "tr"])
+    def test_lfsr_zero_and_seed(self, engine):
+        circuit = gen.lfsr(4)
+        seeds = [(False,) * 4, (True,) + (False,) * 3]
+        truth = explicit_reachable(circuit, initial_states=seeds)
+        result = ENGINES[engine](circuit, initial_points=seeds)
+        assert result.num_states == len(truth) == 16
+
+    def test_default_matches_declared_init(self):
+        circuit = gen.token_ring(4)
+        explicit = ENGINES["bfv"](
+            circuit, initial_points=[circuit.initial_state]
+        )
+        default = ENGINES["bfv"](circuit)
+        assert reached_points(explicit) == reached_points(default)
+
+    def test_width_mismatch_rejected(self):
+        circuit = gen.counter(3)
+        with pytest.raises(CircuitError):
+            ENGINES["bfv"](circuit, initial_points=[(True,)])
+
+    def test_empty_set_rejected(self):
+        circuit = gen.counter(3)
+        with pytest.raises(CircuitError):
+            ENGINES["tr"](circuit, initial_points=[])
+
+
+class TestSpaceHelpers:
+    def test_point_set_reorders_to_components(self):
+        circuit = gen.counter(3)
+        space = ReachSpace(circuit, ["s2", "en", "s0", "s1"])
+        points = space.initial_point_set([(True, False, False)])
+        # declaration order is s0, s1, s2; component order is s2, s0, s1
+        assert points == [(False, True, False)]
+
+    def test_initial_chi_counts(self):
+        circuit = gen.counter(3)
+        space = ReachSpace(circuit)
+        chi = space.initial_chi(
+            [(True, False, False), (False, True, False)]
+        )
+        assert space.states_of(chi) == 2

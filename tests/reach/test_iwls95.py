@@ -1,0 +1,107 @@
+"""IWLS95-style partitioned relation tests: image correctness."""
+
+import random
+
+import pytest
+
+from repro.bdd import BDD
+from repro.circuits import generators as gen
+from repro.reach import PartitionedRelation, ReachSpace
+from repro.sim import SymbolicSimulator
+
+
+def build_relation_parts(circuit, space):
+    bdd = space.bdd
+    simulator = SymbolicSimulator(bdd, circuit)
+    deltas = simulator.transition_functions(
+        dict(space.input_var), dict(space.state_var)
+    )
+    by_net = dict(zip(circuit.latches, deltas))
+    parts = [
+        bdd.equiv(bdd.var(space.next_var[n]), by_net[n])
+        for n in space.state_order
+    ]
+    return parts
+
+
+def monolithic_image(space, parts, from_set):
+    bdd = space.bdd
+    relation = bdd.conjoin(parts)
+    quantify = list(space.s_vars) + list(space.x_vars)
+    return bdd.exists(quantify, bdd.and_(from_set, relation))
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: gen.counter(3),
+        lambda: gen.lfsr(4),
+        lambda: gen.fifo_controller(1),
+        lambda: gen.random_control(5, seed=8),
+        lambda: gen.coupled_pairs(2),
+    ],
+    ids=["counter", "lfsr", "fifo", "rctl", "coupled"],
+)
+@pytest.mark.parametrize("threshold", [1, 100, 10_000])
+def test_partitioned_image_matches_monolithic(factory, threshold):
+    circuit = factory()
+    space = ReachSpace(circuit)
+    bdd = space.bdd
+    parts = build_relation_parts(circuit, space)
+    quantify = list(space.s_vars) + list(space.x_vars)
+    relation = PartitionedRelation(
+        bdd, parts, quantify, cluster_threshold=threshold
+    )
+    rng = random.Random(0)
+    # several random from-sets, including the initial state
+    from_sets = [space.initial_chi()]
+    for _ in range(4):
+        cube = {
+            v: rng.random() < 0.5
+            for v in rng.sample(space.s_vars, len(space.s_vars) // 2 or 1)
+        }
+        from_sets.append(bdd.cube(cube))
+    for from_set in from_sets:
+        assert relation.image(from_set) == monolithic_image(
+            space, parts, from_set
+        )
+
+
+def test_cluster_threshold_controls_cluster_count():
+    circuit = gen.random_control(6, seed=4)
+    space = ReachSpace(circuit)
+    parts = build_relation_parts(circuit, space)
+    quantify = list(space.s_vars) + list(space.x_vars)
+    fine = PartitionedRelation(space.bdd, parts, quantify, cluster_threshold=1)
+    coarse = PartitionedRelation(
+        space.bdd, parts, quantify, cluster_threshold=1_000_000
+    )
+    assert len(fine.clusters) >= len(coarse.clusters)
+    assert len(coarse.clusters) == 1
+
+
+def test_residual_quantification_of_unused_inputs():
+    # An input that feeds no latch must still be quantified away.
+    circuit = gen.counter(2)
+    circuit2 = gen.counter(2)
+    del circuit2
+    space = ReachSpace(circuit)
+    bdd = space.bdd
+    parts = build_relation_parts(circuit, space)
+    quantify = list(space.s_vars) + list(space.x_vars)
+    relation = PartitionedRelation(bdd, parts, quantify)
+    # from-set mentioning the input variable
+    from_set = bdd.and_(space.initial_chi(), bdd.var(space.x_vars[0]))
+    image = relation.image(from_set)
+    assert set(bdd.support(image)) <= set(space.t_vars)
+
+
+def test_release_drops_references():
+    circuit = gen.counter(2)
+    space = ReachSpace(circuit)
+    parts = build_relation_parts(circuit, space)
+    quantify = list(space.s_vars) + list(space.x_vars)
+    relation = PartitionedRelation(space.bdd, parts, quantify)
+    before = len(space.bdd._extref)
+    relation.release()
+    assert len(space.bdd._extref) <= before

@@ -1,0 +1,113 @@
+"""Pre-image (backward step) tests against the explicit oracle."""
+
+import itertools
+
+import pytest
+
+from repro.circuits import generators as gen
+from repro.circuits.iscas import s27
+from repro.reach import PartitionedRelation, ReachSpace
+from repro.sim import ConcreteSimulator, SymbolicSimulator
+
+
+def build(circuit, cluster_threshold=200):
+    space = ReachSpace(circuit)
+    bdd = space.bdd
+    simulator = SymbolicSimulator(bdd, circuit)
+    deltas = simulator.transition_functions(
+        dict(space.input_var), dict(space.state_var)
+    )
+    by_net = dict(zip(circuit.latches, deltas))
+    parts = [
+        bdd.equiv(bdd.var(space.next_var[n]), by_net[n])
+        for n in space.state_order
+    ]
+    quantify = list(space.s_vars) + list(space.x_vars)
+    relation = PartitionedRelation(
+        bdd, parts, quantify, cluster_threshold=cluster_threshold
+    )
+    return space, relation
+
+
+def explicit_predecessors(circuit, targets):
+    """All states with some one-step successor in ``targets``."""
+    simulator = ConcreteSimulator(circuit)
+    nets = circuit.state_nets
+    predecessors = set()
+    for state in itertools.product([False, True], repeat=len(nets)):
+        for inputs in itertools.product(
+            [False, True], repeat=len(circuit.inputs)
+        ):
+            env = dict(zip(circuit.inputs, inputs))
+            if simulator.step(state, env) in targets:
+                predecessors.add(state)
+                break
+    return predecessors
+
+
+@pytest.mark.parametrize(
+    "factory,target_states",
+    [
+        (lambda: gen.counter(3), [(True, True, True)]),
+        (lambda: gen.johnson(4), [(True, True, False, False)]),
+        (lambda: gen.token_ring(3), [(False, False, True)]),
+        (s27, [(False, True, False), (True, False, False)]),
+    ],
+    ids=["counter", "johnson", "ring", "s27"],
+)
+def test_pre_image_matches_oracle(factory, target_states):
+    circuit = factory()
+    space, relation = build(circuit)
+    bdd = space.bdd
+    declaration = list(circuit.latches)
+    index_of = {net: declaration.index(net) for net in space.state_order}
+    # target over next-state (t) variables
+    target = bdd.false
+    for state in target_states:
+        cube = {
+            space.next_var[net]: state[index_of[net]]
+            for net in space.state_order
+        }
+        target = bdd.or_(target, bdd.cube(cube))
+    pre = relation.pre_image(target, space.t_vars, space.x_vars)
+    assert set(bdd.support(pre)) <= set(space.s_vars)
+    expected = explicit_predecessors(circuit, set(target_states))
+    got = set()
+    for state in itertools.product(
+        [False, True], repeat=len(declaration)
+    ):
+        assignment = {
+            space.state_var[net]: state[index_of[net]]
+            for net in space.state_order
+        }
+        if bdd.evaluate(pre, assignment):
+            got.add(state)
+    assert got == expected
+
+
+def test_pre_image_of_unreachable_target():
+    # The all-zero LFSR state has only itself as predecessor.
+    circuit = gen.lfsr(4)
+    space, relation = build(circuit)
+    bdd = space.bdd
+    zero = bdd.cube({v: False for v in space.t_vars})
+    pre = relation.pre_image(zero, space.t_vars, space.x_vars)
+    assert pre == bdd.cube({v: False for v in space.s_vars})
+
+
+def test_forward_backward_duality():
+    # s is in pre_image({t}) iff t is in image({s}).
+    circuit = gen.traffic_light()
+    space, relation = build(circuit)
+    bdd = space.bdd
+    nets = space.state_order
+    states = list(itertools.product([False, True], repeat=len(nets)))
+    for s in states[:6]:
+        s_cube = bdd.cube(dict(zip(space.s_vars, s)))
+        forward = relation.image(s_cube)  # over t vars
+        for t in states:
+            t_cube = bdd.cube(dict(zip(space.t_vars, t)))
+            in_image = bdd.and_(forward, t_cube) != bdd.false
+            pre = relation.pre_image(t_cube, space.t_vars, space.x_vars)
+            in_pre = bdd.evaluate(pre, dict(zip(space.s_vars, s)))
+            assert in_image == in_pre, (s, t)

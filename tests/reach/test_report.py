@@ -1,0 +1,56 @@
+"""Report-formatting tests (Table 2 / Table 3 renderers)."""
+
+from repro.reach import format_table2, format_table3
+from repro.reach.common import ReachResult
+
+
+def result(engine, circuit, order, **kwargs):
+    defaults = dict(completed=True, seconds=1.0, peak_live_nodes=1500)
+    defaults.update(kwargs)
+    return ReachResult(engine=engine, circuit=circuit, order=order, **defaults)
+
+
+class TestTable2:
+    def test_basic_layout(self):
+        results = [
+            result("tr", "s3271s", "S1"),
+            result("bfv", "s3271s", "S1", seconds=0.5, peak_live_nodes=300),
+            result(
+                "tr", "s3271s", "O", completed=False, failure="memory"
+            ),
+            result("bfv", "s3271s", "O"),
+        ]
+        text = format_table2(results)
+        lines = text.splitlines()
+        assert "Name" in lines[0] and "Order" in lines[0]
+        assert "tr time(s)" in lines[0]
+        assert any("M.O." in line for line in lines)
+        assert any("0.50" in line for line in lines)
+        # peak printed in thousands
+        assert any("1.5" in line for line in lines)
+
+    def test_missing_engine_cell(self):
+        text = format_table2([result("tr", "c", "S1")], engines=("tr", "bfv"))
+        assert "-" in text
+
+    def test_row_order_preserved(self):
+        results = [
+            result("tr", "b_circuit", "S1"),
+            result("tr", "a_circuit", "S1"),
+        ]
+        text = format_table2(results, engines=("tr",))
+        assert text.index("b_circuit") < text.index("a_circuit")
+
+
+class TestTable3:
+    def test_layout(self):
+        sizes = {
+            "S1": {"chi": 5000, "bfv": 100},
+            "D": {"chi": 4000, "bfv": 120},
+        }
+        text = format_table3(sizes)
+        lines = text.splitlines()
+        assert lines[0].startswith("Order")
+        assert any(line.startswith("Char.Fn") for line in lines)
+        assert any(line.startswith("BFV") for line in lines)
+        assert "5000" in text and "120" in text

@@ -1,0 +1,91 @@
+"""Concrete simulator and explicit-reachability oracle tests."""
+
+import pytest
+
+from repro.circuits import generators as gen
+from repro.circuits.netlist import Circuit
+from repro.errors import CircuitError
+from repro.sim import ConcreteSimulator, explicit_reachable
+
+
+@pytest.fixture
+def toggler():
+    circuit = Circuit("toggler")
+    circuit.add_input("en")
+    circuit.add_latch("q", "d", init=False)
+    circuit.xor("d", "q", "en")
+    circuit.add_output("q")
+    circuit.validate()
+    return circuit
+
+
+class TestStep:
+    def test_toggle_semantics(self, toggler):
+        sim = ConcreteSimulator(toggler)
+        assert sim.step((False,), {"en": True}) == (True,)
+        assert sim.step((True,), {"en": True}) == (False,)
+        assert sim.step((True,), {"en": False}) == (True,)
+
+    def test_missing_input_rejected(self, toggler):
+        sim = ConcreteSimulator(toggler)
+        with pytest.raises(CircuitError):
+            sim.step((False,), {})
+
+    def test_outputs(self, toggler):
+        sim = ConcreteSimulator(toggler)
+        assert sim.outputs((True,), {"en": False}) == {"q": True}
+
+    def test_evaluate_nets_includes_gates(self, toggler):
+        sim = ConcreteSimulator(toggler)
+        values = sim.evaluate_nets((True,), {"en": True})
+        assert values["d"] is False
+        assert values["q"] is True
+
+    def test_counter_counts(self):
+        circuit = gen.counter(3)
+        sim = ConcreteSimulator(circuit)
+        state = circuit.initial_state
+        for expected in range(1, 9):
+            state = sim.step(state, {"en": True})
+            value = sum(bit << i for i, bit in enumerate(state))
+            assert value == expected % 8
+
+
+class TestRun:
+    def test_trace_length(self, toggler):
+        sim = ConcreteSimulator(toggler)
+        trace = [{"en": True}, {"en": False}, {"en": True}]
+        states = sim.run(trace)
+        assert states == [(False,), (True,), (True,), (False,)]
+
+    def test_run_from_custom_state(self, toggler):
+        sim = ConcreteSimulator(toggler)
+        states = sim.run([{"en": False}], state=(True,))
+        assert states == [(True,), (True,)]
+
+
+class TestExplicitReachable:
+    def test_counts_match_closed_form(self):
+        assert len(explicit_reachable(gen.johnson(4))) == 8
+        assert len(explicit_reachable(gen.lfsr(4))) == 15
+
+    def test_custom_initial_states(self):
+        circuit = gen.shift_register(3)
+        # from {111} everything is still reachable through the input
+        reachable = explicit_reachable(
+            circuit, initial_states=[(True, True, True)]
+        )
+        assert len(reachable) == 8
+
+    def test_multiple_initial_states(self):
+        circuit = gen.johnson(3)
+        # seeding with an unreachable-from-zero state adds its orbit
+        both = explicit_reachable(
+            circuit,
+            initial_states=[(False,) * 3, (True, False, True)],
+        )
+        assert len(both) > 6
+
+    def test_max_states_enforced(self):
+        with pytest.raises(CircuitError):
+            explicit_reachable(gen.counter(8), max_states=10)

@@ -1,0 +1,250 @@
+"""Symbolic trajectory evaluation tests."""
+
+import pytest
+
+from repro.bdd import BDD
+from repro.circuits import generators as gen
+from repro.circuits.netlist import Circuit
+from repro.errors import ReproError
+from repro.ste import STE, conj, equals, guard, is0, is1, next_
+from repro.ste.engine import TernaryValue
+from repro.ste.formulas import depth, flatten
+
+
+@pytest.fixture
+def bdd():
+    return BDD(["a", "b", "c"])
+
+
+class TestFormulas:
+    def test_depth(self, bdd):
+        f = next_(is1("x"), 3) & is0("y")
+        assert depth(f) == 4
+
+    def test_flatten_guards_accumulate(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        f = guard(a, guard(b, is1("n")))
+        leaves = flatten(bdd, f)
+        assert leaves == [(0, "n", True, bdd.and_(a, b))]
+
+    def test_flatten_next_shifts_time(self, bdd):
+        f = next_(is0("n") & next_(is1("m")))
+        leaves = sorted(flatten(bdd, f))
+        assert leaves == [(1, "n", False, bdd.true), (2, "m", True, bdd.true)]
+
+    def test_conj_builder(self, bdd):
+        f = conj(is1("x"), is0("y"), is1("z"))
+        assert len(flatten(bdd, f)) == 3
+        with pytest.raises(ReproError):
+            conj()
+
+    def test_negative_next(self):
+        with pytest.raises(ReproError):
+            next_(is1("x"), -1)
+
+
+class TestCombinational:
+    def test_and_gate(self):
+        circuit = Circuit("c")
+        circuit.add_input("a")
+        circuit.add_input("b")
+        circuit.and_("o", "a", "b")
+        circuit.add_output("o")
+        circuit.validate()
+        bdd = BDD([])
+        ste = STE(bdd, circuit)
+        # 1 & 1 = 1
+        result = ste.check(is1("a") & is1("b"), is1("o"))
+        assert result.passes
+        # 0 & X = 0 (the ternary short-circuit STE exploits)
+        result = ste.check(is0("a"), is0("o"))
+        assert result.passes
+        # X & 1 is X: cannot conclude 1
+        result = ste.check(is1("b"), is1("o"))
+        assert not result.passes
+
+    def test_symbolic_case_split(self):
+        circuit = Circuit("c")
+        circuit.add_input("a")
+        circuit.add_input("b")
+        circuit.xor("o", "a", "b")
+        circuit.add_output("o")
+        circuit.validate()
+        bdd = BDD(["va", "vb"])
+        ste = STE(bdd, circuit)
+        antecedent = equals(bdd, "a", "va") & equals(bdd, "b", "vb")
+        # o == va XOR vb, expressed as two guarded leaves
+        vo = bdd.xor(bdd.var("va"), bdd.var("vb"))
+        consequent = guard(vo, is1("o")) & guard(bdd.not_(vo), is0("o"))
+        result = ste.check(antecedent, consequent)
+        assert result.passes
+
+    def test_counterexample_assignment(self):
+        circuit = Circuit("c")
+        circuit.add_input("a")
+        circuit.not_("o", "a")
+        circuit.add_output("o")
+        circuit.validate()
+        bdd = BDD(["va"])
+        ste = STE(bdd, circuit)
+        # wrong spec: o == a
+        antecedent = equals(bdd, "a", "va")
+        wrong = guard(bdd.var("va"), is1("o"))
+        result = ste.check(antecedent, wrong)
+        assert not result.passes
+        assert result.counterexample == {"va": True}
+
+
+class TestSequential:
+    def test_shift_register_pipeline(self):
+        circuit = gen.shift_register(3)
+        bdd = BDD(["v"])
+        ste = STE(bdd, circuit)
+        antecedent = equals(bdd, "d", "v")
+        v = bdd.var("v")
+        consequent = next_(
+            guard(v, is1("s2")) & guard(bdd.not_(v), is0("s2")), 3
+        )
+        result = ste.check(antecedent, consequent)
+        assert result.passes
+
+    def test_shift_register_too_early_fails(self):
+        circuit = gen.shift_register(3)
+        bdd = BDD(["v"])
+        ste = STE(bdd, circuit)
+        antecedent = equals(bdd, "d", "v")
+        v = bdd.var("v")
+        early = next_(guard(v, is1("s2")), 2)  # one cycle too early
+        result = ste.check(antecedent, early)
+        assert not result.passes
+
+    def test_latches_start_x(self):
+        circuit = gen.shift_register(2)
+        bdd = BDD([])
+        ste = STE(bdd, circuit)
+        # With nothing driven, the registers stay X: no conclusion.
+        result = ste.check(is1("d"), next_(is1("s1")))
+        assert not result.passes
+        # But the driven bit does arrive at s1 after two cycles.
+        result = ste.check(is1("d"), next_(is1("s0")))
+        assert result.passes
+
+    def test_counter_enable_chain(self):
+        circuit = gen.counter(2)
+        bdd = BDD([])
+        ste = STE(bdd, circuit)
+        # Registers start X, so even with en=1 the sum bits stay X...
+        result = ste.check(is1("en"), next_(is1("s0")))
+        assert not result.passes
+        # ...but forcing the state to 0 first makes the step definite.
+        antecedent = conj(
+            is0("s0"), is0("s1"), is1("en"), next_(is1("en"))
+        )
+        consequent = next_(is1("s0") & is0("s1")) & next_(
+            is0("s0") & is1("s1"), 2
+        )
+        result = ste.check(antecedent, consequent)
+        assert result.passes
+
+
+class TestAntecedentFailure:
+    def test_contradiction_is_vacuous(self):
+        circuit = Circuit("c")
+        circuit.add_input("a")
+        circuit.not_("o", "a")
+        circuit.add_output("o")
+        circuit.validate()
+        bdd = BDD([])
+        ste = STE(bdd, circuit)
+        # Force a=1 and o=1: the circuit makes o=0, contradiction;
+        # the assertion is vacuously true there.
+        antecedent = is1("a") & is1("o")
+        result = ste.check(antecedent, is0("a"))
+        assert result.antecedent_failure == bdd.true
+        assert result.passes
+
+    def test_partial_failure_region(self):
+        circuit = Circuit("c")
+        circuit.add_input("a")
+        circuit.not_("o", "a")
+        circuit.add_output("o")
+        circuit.validate()
+        bdd = BDD(["g"])
+        ste = STE(bdd, circuit)
+        g = bdd.var("g")
+        # Under g: contradictory; under !g: fine but proves nothing new.
+        antecedent = is1("a") & guard(g, is1("o"))
+        result = ste.check(antecedent, guard(g, is1("o")))
+        assert result.antecedent_failure == g
+        assert result.passes  # vacuous under g, satisfied trivially under !g
+
+    def test_unknown_net_rejected(self):
+        circuit = gen.counter(2)
+        bdd = BDD([])
+        ste = STE(bdd, circuit)
+        with pytest.raises(ReproError):
+            ste.check(is1("nope"), is1("s0"))
+
+
+class TestTernaryAlgebra:
+    def test_gate_tables(self):
+        bdd = BDD([])
+        ste = STE(bdd, gen.counter(2))
+        one = TernaryValue(bdd.true, bdd.false)
+        zero = TernaryValue(bdd.false, bdd.true)
+        x = TernaryValue(bdd.true, bdd.true)
+        # AND: 0 dominates X
+        assert ste._and(zero, x) == zero
+        assert ste._and(one, x) == x
+        assert ste._and(one, one) == one
+        # OR: 1 dominates X
+        assert ste._or(one, x) == one
+        assert ste._or(zero, x) == x
+        # XOR: any X poisons
+        assert ste._xor(one, x) == x
+        assert ste._xor(one, zero) == one
+        assert ste._xor(one, one) == zero
+        # NOT swaps rails
+        assert ste._not(one) == zero
+        assert ste._not(x) == x
+
+
+class TestWaveform:
+    def test_shift_register_pipeline_view(self):
+        circuit = gen.shift_register(3)
+        bdd = BDD(["v"])
+        ste = STE(bdd, circuit)
+        rows = ste.waveform(
+            equals(bdd, "d", "v"),
+            steps=4,
+            assignment={"v": True},
+            nets=["d", "s0", "s1", "s2"],
+        )
+        # the driven 1 marches down the pipeline; undriven cycles are X
+        assert rows[0]["d"] == "1"
+        assert rows[0]["s0"] == "X"
+        assert rows[1]["s0"] == "1"
+        assert rows[2]["s1"] == "1"
+        assert rows[3]["s2"] == "1"
+        assert rows[1]["d"] == "X"  # input only driven at time 0
+
+    def test_overconstrained_shows_bang(self):
+        circuit = Circuit("c")
+        circuit.add_input("a")
+        circuit.not_("o", "a")
+        circuit.add_output("o")
+        circuit.validate()
+        bdd = BDD([])
+        ste = STE(bdd, circuit)
+        rows = ste.waveform(is1("a") & is1("o"), steps=1)
+        assert rows[0]["a"] == "1"
+        assert rows[0]["o"] == "!"
+
+    def test_default_assignment_and_nets(self):
+        circuit = gen.counter(2)
+        bdd = BDD([])
+        ste = STE(bdd, circuit)
+        rows = ste.waveform(is0("s0") & is0("s1") & is1("en"), steps=2)
+        assert rows[0]["s0"] == "0"
+        assert rows[1]["s0"] == "1"  # counted once
+        assert rows[1]["en"] == "X"  # enable only driven at time 0

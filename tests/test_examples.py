@@ -1,0 +1,65 @@
+"""Smoke tests: every shipped example must run green end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "Table 1" in proc.stdout
+        assert "True" in proc.stdout
+
+    def test_invariant_checking(self):
+        proc = run_example("invariant_checking.py")
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.count("HOLDS") == 2
+        assert "VIOLATED" in proc.stdout
+        assert "counterexample state" in proc.stdout
+
+    def test_counterexample_traces(self):
+        proc = run_example("counterexample_traces.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "secret code extracted" in proc.stdout
+
+    def test_ordering_study(self):
+        proc = run_example("ordering_study.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "pairs separated" in proc.stdout
+
+    def test_reachability_comparison(self):
+        proc = run_example("reachability_comparison.py", "s27", "S2")
+        assert proc.returncode == 0, proc.stderr
+        assert "agree on the reached set size: 6" in proc.stdout
+
+    def test_reachability_comparison_unknown_circuit(self):
+        proc = run_example("reachability_comparison.py", "bogus")
+        assert proc.returncode == 1
+        assert "unknown circuit" in proc.stdout
+
+    def test_datapath_verification(self):
+        proc = run_example("datapath_verification.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "value emerges after 6 cycles: True" in proc.stdout
+        assert "NOT equivalent" in proc.stdout
+
+    def test_protocol_analysis(self):
+        proc = run_example("protocol_analysis.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "coherence invariant holds: True" in proc.stdout
+        assert "reset state among them: False" in proc.stdout

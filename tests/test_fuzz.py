@@ -1,0 +1,123 @@
+"""Cross-layer fuzzing with randomly generated sequential circuits.
+
+A hypothesis strategy builds arbitrary valid netlists (random gate
+types, fan-ins, latch feedback); every property then crosses at least
+two independently implemented layers:
+
+* symbolic simulation vs the concrete simulator;
+* all four reachability engines vs explicit-state search;
+* format round-trips (.bench and BLIF) vs reachable-set equality;
+* resynthesis vs sequential equivalence.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import bench, blif
+from repro.circuits.netlist import Circuit
+from repro.mc import check_equivalence
+from repro.reach import ENGINES
+from repro.sim import ConcreteSimulator, SymbolicSimulator, explicit_reachable
+from repro.synth import resynthesize
+
+GATE_OPS = ["AND", "OR", "NAND", "NOR", "XOR", "XNOR", "NOT", "BUF"]
+
+
+def random_circuit(seed: int, max_latches=5, max_inputs=3, max_gates=14) -> Circuit:
+    """A random, valid sequential circuit (deterministic per seed)."""
+    rng = random.Random(seed)
+    circuit = Circuit("fuzz%d" % seed)
+    n_inputs = rng.randint(1, max_inputs)
+    n_latches = rng.randint(1, max_latches)
+    n_gates = rng.randint(n_latches, max_gates)
+    for i in range(n_inputs):
+        circuit.add_input("x%d" % i)
+    for i in range(n_latches):
+        circuit.add_latch("q%d" % i, "g%d" % rng.randrange(n_gates), rng.random() < 0.3)
+    available = ["x%d" % i for i in range(n_inputs)] + [
+        "q%d" % i for i in range(n_latches)
+    ]
+    for i in range(n_gates):
+        op = rng.choice(GATE_OPS)
+        if op in ("NOT", "BUF"):
+            fanin = [rng.choice(available)]
+        else:
+            fanin = [
+                rng.choice(available)
+                for _ in range(rng.randint(2, min(3, len(available))))
+            ]
+        circuit.add_gate("g%d" % i, op, fanin)
+        available.append("g%d" % i)
+    # expose a couple of outputs
+    circuit.add_output("g%d" % (n_gates - 1))
+    circuit.add_output("q0")
+    circuit.validate()
+    return circuit
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_symbolic_matches_concrete(seed):
+    import itertools
+
+    from repro.bdd import BDD
+
+    circuit = random_circuit(seed)
+    bdd = BDD()
+    input_vars = {net: bdd.add_var("x_" + net) for net in circuit.inputs}
+    state_vars = {net: bdd.add_var("s_" + net) for net in circuit.latches}
+    deltas = SymbolicSimulator(bdd, circuit).transition_functions(
+        input_vars, state_vars
+    )
+    concrete = ConcreteSimulator(circuit)
+    nets = circuit.state_nets
+    rng = random.Random(seed ^ 0xF00D)
+    for _ in range(12):
+        state = tuple(rng.random() < 0.5 for _ in nets)
+        inputs = {net: rng.random() < 0.5 for net in circuit.inputs}
+        expected = concrete.step(state, inputs)
+        assignment = {state_vars[n]: v for n, v in zip(nets, state)}
+        assignment.update({input_vars[n]: v for n, v in inputs.items()})
+        got = tuple(bdd.evaluate(d, assignment) for d in deltas)
+        assert got == expected
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_engines_agree_with_explicit(seed):
+    circuit = random_circuit(seed, max_latches=4, max_inputs=2, max_gates=10)
+    truth = explicit_reachable(circuit)
+    for engine in ("bfv", "tr"):
+        result = ENGINES[engine](circuit)
+        assert result.completed
+        assert result.num_states == len(truth), (engine, seed)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_blif_roundtrip(seed):
+    circuit = random_circuit(seed)
+    reparsed = blif.loads(blif.dumps(circuit), circuit.name)
+    assert reparsed.initial_state == circuit.initial_state
+    assert explicit_reachable(reparsed) == explicit_reachable(circuit)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_bench_roundtrip_from_zero_state(seed):
+    circuit = random_circuit(seed)
+    reparsed = bench.loads(bench.dumps(circuit), circuit.name)
+    zeros = [tuple([False] * circuit.num_latches)]
+    assert explicit_reachable(
+        reparsed, initial_states=zeros
+    ) == explicit_reachable(circuit, initial_states=zeros)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_resynthesis_equivalent(seed):
+    circuit = random_circuit(seed, max_latches=4, max_gates=10)
+    rebuilt = resynthesize(circuit)
+    assert check_equivalence(circuit, rebuilt).holds

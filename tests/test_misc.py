@@ -1,0 +1,140 @@
+"""Coverage for corners not exercised elsewhere: errors, dot, edge cases."""
+
+import pytest
+
+from repro import errors
+from repro.bdd import BDD
+from repro.bdd.dot import to_dot_shared
+from repro.bfv import BFV, from_characteristic
+from repro.circuits import generators as gen
+from repro.order import order_for
+
+from .conftest import chi_of
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "BDDError",
+            "VariableError",
+            "BFVError",
+            "EmptySetError",
+            "CircuitError",
+            "BenchFormatError",
+            "ResourceLimitError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_resource_limit_kind(self):
+        error = errors.ResourceLimitError("memory", "boom")
+        assert error.kind == "memory"
+        assert "boom" in str(error)
+
+    def test_variable_error_is_bdd_error(self):
+        assert issubclass(errors.VariableError, errors.BDDError)
+
+    def test_bench_error_is_circuit_error(self):
+        assert issubclass(errors.BenchFormatError, errors.CircuitError)
+
+
+class TestSharedDot:
+    def test_multiple_roots_one_drawing(self):
+        bdd = BDD(["a", "b", "c"])
+        f = bdd.and_(bdd.var("a"), bdd.var("b"))
+        g = bdd.cofactor(f, "a", True)  # f's own sub-node: fully shared
+        dot = to_dot_shared(bdd, [f, g], name="pair")
+        assert dot.startswith("digraph pair")
+        assert dot.count('label="f') >= 2  # two root markers f0, f1
+        # the shared b-node is drawn exactly once
+        assert dot.count('label="b"') == 1
+
+    def test_bfv_rendering(self):
+        bdd = BDD(["v0", "v1"])
+        vec = from_characteristic(
+            bdd, (0, 1), chi_of(bdd, (0, 1), [(True, False), (False, False)])
+        )
+        dot = to_dot_shared(bdd, vec.components, name="vec")
+        assert "digraph vec" in dot
+
+
+class TestOrderEdgeCases:
+    def test_input_free_circuit(self):
+        circuit = gen.lfsr(4)  # no primary inputs
+        for family in ("S1", "S2", "P", "O"):
+            slots = order_for(circuit, family)
+            assert set(slots) == set(circuit.latches)
+
+    def test_single_latch(self):
+        from repro.circuits.netlist import Circuit
+
+        circuit = Circuit("one")
+        circuit.add_input("x")
+        circuit.add_latch("q", "x")
+        circuit.validate()
+        slots = order_for(circuit, "S1")
+        assert set(slots) == {"x", "q"}
+
+
+class TestVersionAndPackaging:
+    def test_version_string(self):
+        import repro
+
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_top_level_exports(self):
+        import repro
+
+        assert hasattr(repro, "BDD")
+        assert hasattr(repro, "Function")
+
+
+class TestBFVEdgeCases:
+    def test_width_zero_universe(self):
+        # Zero-width vectors: the one-point space of the empty tuple.
+        bdd = BDD([])
+        universe = BFV.universe(bdd, ())
+        assert universe.width == 0
+        assert list(universe.enumerate()) == [()]
+        assert universe.count() == 1
+        assert universe.contains(())
+
+    def test_width_zero_ops(self):
+        from repro.bfv import intersect, union
+
+        bdd = BDD([])
+        universe = BFV.universe(bdd, ())
+        empty = BFV.empty(bdd, ())
+        assert union(universe, universe) == universe
+        assert union(empty, universe) == universe
+        assert intersect(universe, universe) == universe
+        assert intersect(universe, empty).is_empty
+
+    def test_single_bit_sets(self):
+        bdd = BDD(["v"])
+        zero = BFV.point(bdd, (0,), (False,))
+        one = BFV.point(bdd, (0,), (True,))
+        both = zero.union(one)
+        assert both == BFV.universe(bdd, (0,))
+        assert zero.intersect(one).is_empty
+        assert both.smooth(0) == both
+        assert both.consensus(0) == both
+        assert zero.consensus(0).is_empty
+
+
+class TestManagerMisc:
+    def test_clear_cache(self):
+        bdd = BDD(["a", "b"])
+        bdd.and_(bdd.var("a"), bdd.var("b"))
+        assert len(bdd._cache) > 0
+        bdd.clear_cache()
+        assert len(bdd._cache) == 0
+
+    def test_repr(self):
+        bdd = BDD(["a"])
+        assert "vars=1" in repr(bdd)
+
+    def test_node_limit_none_by_default(self):
+        assert BDD(["a"]).node_limit is None

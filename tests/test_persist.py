@@ -1,0 +1,137 @@
+"""Persistence tests: function and BFV round-trips across managers."""
+
+import io
+import random
+
+import pytest
+
+from repro import persist
+from repro.bdd import BDD, parse
+from repro.bfv import BFV, from_characteristic
+from repro.errors import ReproError
+
+from .conftest import build_expr, chi_of, random_expr, truth_table
+
+
+def roundtrip(bdd, functions, vectors=None, target=None):
+    buffer = io.StringIO()
+    persist.dump_functions(bdd, functions, buffer, vectors)
+    buffer.seek(0)
+    return persist.load_functions(buffer, target)
+
+
+class TestFunctionRoundTrips:
+    def test_simple(self):
+        bdd = BDD(["a", "b", "c"])
+        f = parse(bdd, "a & (b | !c)")
+        loaded_bdd, functions, _ = roundtrip(bdd, {"f": f})
+        assert loaded_bdd.order_names == ["a", "b", "c"]
+        g = functions["f"]
+        for env in (
+            {"a": True, "b": False, "c": False},
+            {"a": True, "b": False, "c": True},
+            {"a": False, "b": True, "c": False},
+        ):
+            assert loaded_bdd.evaluate(g, env) == bdd.evaluate(f, env)
+
+    def test_constants(self):
+        bdd = BDD(["a"])
+        loaded, functions, _ = roundtrip(
+            bdd, {"t": bdd.true, "f": bdd.false}
+        )
+        assert functions["t"] == loaded.true
+        assert functions["f"] == loaded.false
+
+    def test_random_functions(self):
+        rng = random.Random(12)
+        for _ in range(20):
+            bdd = BDD(["x%d" % i for i in range(5)])
+            f = build_expr(bdd, random_expr(rng, 5, 4))
+            g = build_expr(bdd, random_expr(rng, 5, 4))
+            loaded, functions, _ = roundtrip(bdd, {"f": f, "g": g})
+            assert truth_table(loaded, functions["f"], 5) == truth_table(
+                bdd, f, 5
+            )
+            assert truth_table(loaded, functions["g"], 5) == truth_table(
+                bdd, g, 5
+            )
+
+    def test_into_existing_manager_with_different_order(self):
+        bdd = BDD(["a", "b", "c"])
+        f = parse(bdd, "(a <-> b) & c")
+        target = BDD(["c", "zz", "a"])  # different order, extra/missing vars
+        loaded, functions, _ = roundtrip(bdd, {"f": f}, target=target)
+        assert loaded is target
+        assert "b" in target.order_names  # re-declared
+        g = functions["f"]
+        env = {"a": True, "b": True, "c": True}
+        assert target.evaluate(g, env) is True
+        env["b"] = False
+        assert target.evaluate(g, env) is False
+
+    def test_loaded_roots_survive_gc(self):
+        bdd = BDD(["a", "b"])
+        f = parse(bdd, "a ^ b")
+        loaded, functions, _ = roundtrip(bdd, {"f": f})
+        loaded.collect_garbage()
+        assert loaded.evaluate(functions["f"], {"a": True, "b": False})
+
+
+class TestBFVRoundTrips:
+    def test_vector(self):
+        bdd = BDD(["v0", "v1", "v2"])
+        points = {(True, False, True), (False, True, True), (False, False, False)}
+        vec = from_characteristic(
+            bdd, (0, 1, 2), chi_of(bdd, (0, 1, 2), points)
+        )
+        loaded, _, vectors = roundtrip(bdd, {}, {"reached": vec})
+        out = vectors["reached"]
+        assert set(out.enumerate()) == points
+        out.check_structure()
+
+    def test_empty_vector(self):
+        bdd = BDD(["v0", "v1"])
+        empty = BFV.empty(bdd, (0, 1))
+        loaded, _, vectors = roundtrip(bdd, {}, {"e": empty})
+        assert vectors["e"].is_empty
+
+    def test_reached_set_cache_scenario(self, tmp_path):
+        # The intended use: cache a reachability result on disk.
+        from repro.circuits import generators
+        from repro.reach import bfv_reachability
+
+        circuit = generators.johnson(4)
+        result = bfv_reachability(circuit)
+        space = result.extra["space"]
+        reached = result.extra["reached"]
+        path = tmp_path / "reached.bdd"
+        persist.save(
+            str(path), space.bdd, vectors={"reached": reached}
+        )
+        loaded_bdd, _, vectors = persist.load(str(path))
+        assert vectors["reached"].count() == result.num_states
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(ReproError):
+            persist.load_functions(io.StringIO("garbage\n"))
+
+    def test_missing_vars(self):
+        with pytest.raises(ReproError):
+            persist.load_functions(io.StringIO("repro-bdd 1\nnope\n"))
+
+    def test_dangling_reference(self):
+        text = "repro-bdd 1\nvars a\nfunc f 7\n"
+        with pytest.raises(ReproError):
+            persist.load_functions(io.StringIO(text))
+
+    def test_unknown_record(self):
+        text = "repro-bdd 1\nvars a\nblob x\n"
+        with pytest.raises(ReproError):
+            persist.load_functions(io.StringIO(text))
+
+    def test_bad_name(self):
+        bdd = BDD(["a"])
+        with pytest.raises(ReproError):
+            persist.dump_functions(bdd, {"two words": bdd.true}, io.StringIO())

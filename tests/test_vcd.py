@@ -1,0 +1,110 @@
+"""VCD waveform export tests (parse-back and content checks)."""
+
+import io
+import re
+
+import pytest
+
+from repro.circuits import generators as gen
+from repro.errors import ReproError
+from repro.mc import check_invariant, never_all, output_never_high
+from repro.vcd import dump_waveform, save_trace, trace_to_vcd
+
+
+def parse_vcd(text):
+    """Minimal VCD reader: returns {name: [(time, value), ...]}."""
+    id_of = {}
+    for match in re.finditer(r"\$var wire 1 (\S+) (\S+) \$end", text):
+        id_of[match.group(1)] = match.group(2)
+    changes = {name: [] for name in id_of.values()}
+    time = 0
+    for line in text.splitlines():
+        line = line.strip()
+        if line.startswith("#"):
+            time = int(line[1:])
+        elif line and line[0] in "01" and line[1:] in id_of:
+            changes[id_of[line[1:]]].append((time, line[0] == "1"))
+    return changes
+
+
+def value_at(changes, time):
+    value = False
+    for t, v in changes:
+        if t > time:
+            break
+        value = v
+    return value
+
+
+class TestDumpWaveform:
+    def test_basic_structure(self):
+        buffer = io.StringIO()
+        dump_waveform(
+            buffer,
+            {"a": [False, True, True], "b": [True, True, False]},
+        )
+        text = buffer.getvalue()
+        assert "$timescale 1 ns $end" in text
+        assert "$enddefinitions $end" in text
+        assert "$dumpvars" in text
+        changes = parse_vcd(text)
+        assert value_at(changes["a"], 0) is False
+        assert value_at(changes["a"], 1) is True
+        assert value_at(changes["b"], 2) is False
+
+    def test_only_toggles_emitted(self):
+        buffer = io.StringIO()
+        dump_waveform(buffer, {"x": [True, True, True, False]})
+        text = buffer.getvalue()
+        # exactly two value-change lines for x: initial 1 and the drop
+        assert len(re.findall(r"^[01]", text, re.MULTILINE)) == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            dump_waveform(io.StringIO(), {"a": [True], "b": [True, False]})
+
+    def test_many_signals_unique_ids(self):
+        buffer = io.StringIO()
+        dump_waveform(
+            buffer, {"s%d" % i: [bool(i % 2)] for i in range(200)}
+        )
+        ids = re.findall(r"\$var wire 1 (\S+) ", buffer.getvalue())
+        assert len(set(ids)) == 200
+
+
+class TestTraceExport:
+    def test_counterexample_waveform(self):
+        circuit = gen.counter(3)
+        result = check_invariant(circuit, never_all(circuit.state_nets))
+        buffer = io.StringIO()
+        trace_to_vcd(circuit, result.counterexample, buffer)
+        changes = parse_vcd(buffer.getvalue())
+        # the enable input is high throughout the shortest trace
+        assert value_at(changes["in.en"], 0) is True
+        # the final state (time == len(trace)) is all ones
+        final = len(result.counterexample)
+        for i in range(3):
+            assert value_at(changes["state.s%d" % i], final) is True
+
+    def test_output_signals_included(self):
+        circuit = gen.mod_counter(3, 5)
+        result = check_invariant(circuit, output_never_high("wrap"))
+        buffer = io.StringIO()
+        trace_to_vcd(circuit, result.counterexample, buffer)
+        changes = parse_vcd(buffer.getvalue())
+        assert "out.wrap" in changes
+
+    def test_save_to_file(self, tmp_path):
+        circuit = gen.shift_register(3)
+
+        def never_101(state):
+            return [state["s%d" % i] for i in range(3)] != [True, False, True]
+
+        from repro.mc import state_predicate
+
+        result = check_invariant(circuit, state_predicate(never_101))
+        path = tmp_path / "bug.vcd"
+        save_trace(circuit, result.counterexample, str(path))
+        text = path.read_text()
+        assert "$var wire 1" in text
+        assert "state.s2" in text
