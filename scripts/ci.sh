@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: fast tests under a hard per-test timeout, then a
+# smoke run of the fault-tolerant batch harness on two small builtins.
+#
+# Usage: scripts/ci.sh   (from the repository root)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH=src
+
+echo "== tier-1 test suite =="
+# REPRO_TEST_TIMEOUT arms the SIGALRM guard in tests/conftest.py: any
+# single test that hangs past the limit fails instead of wedging the job.
+REPRO_TEST_TIMEOUT="${REPRO_TEST_TIMEOUT:-120}" \
+    python -m pytest -q -m tier1 tests
+
+echo "== batch harness smoke =="
+# Two small built-in circuits through the full resilient path
+# (process isolation, checkpointing, fallback ladder, journal).
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+python -m repro batch traffic s27 \
+    --max-seconds 120 \
+    --checkpoint-dir "$SMOKE_DIR/ckpt" \
+    --journal "$SMOKE_DIR/journal.jsonl"
+test -s "$SMOKE_DIR/journal.jsonl"
+
+echo "CI OK"

@@ -7,7 +7,7 @@ surrogates used by the reproduction (see DESIGN.md for the substitution
 rationale).
 """
 
-from . import bench, blif, compose, generators, iscas, protocols, surrogates
+from . import bench, blif, catalog, compose, generators, iscas, protocols, surrogates
 from .netlist import Circuit, Gate, Latch
 
 __all__ = [
@@ -16,6 +16,7 @@ __all__ = [
     "Latch",
     "bench",
     "blif",
+    "catalog",
     "compose",
     "generators",
     "iscas",

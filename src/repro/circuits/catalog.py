@@ -1,0 +1,55 @@
+"""Named circuit catalog: one place to resolve circuits by name.
+
+Both the CLI and the fault-tolerant run harness (whose worker processes
+re-resolve circuits on their side of the process boundary, so only a
+*name* needs to cross it) share this registry.  A circuit reference is
+either a built-in name from :func:`builtin_circuits` or a path to an
+ISCAS'89 ``.bench`` file.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict
+
+from ..errors import CircuitError
+from . import bench, generators, protocols, surrogates
+from .iscas import s27
+from .netlist import Circuit
+
+
+def builtin_circuits() -> Dict[str, Callable[[], Circuit]]:
+    """Name -> factory map of all circuits available by name."""
+    catalog: Dict[str, Callable[[], Circuit]] = dict(surrogates.SUITE)
+    catalog["s27"] = s27
+    catalog.update(
+        {
+            "counter8": lambda: generators.counter(8),
+            "lfsr8": lambda: generators.lfsr(8),
+            "johnson8": lambda: generators.johnson(8),
+            "ring8": lambda: generators.token_ring(8),
+            "fifo3": lambda: generators.fifo_controller(3),
+            "coupled8": lambda: generators.coupled_pairs(8),
+            "arbiter5": lambda: generators.round_robin_arbiter(5),
+            "traffic": generators.traffic_light,
+            "msi3": lambda: protocols.msi_coherence(3),
+            "handshake3": lambda: protocols.handshake(3),
+        }
+    )
+    return catalog
+
+
+def resolve(name: str) -> Circuit:
+    """Find a circuit by built-in name or ``.bench`` file path.
+
+    Raises :class:`repro.errors.CircuitError` for unknown references
+    (the CLI wraps this into a friendly ``SystemExit``).
+    """
+    catalog = builtin_circuits()
+    if name in catalog:
+        return catalog[name]()
+    if os.path.exists(name):
+        return bench.load(name)
+    raise CircuitError(
+        "unknown circuit %r (not a built-in name or .bench path)" % name
+    )

@@ -3,7 +3,11 @@
 ``python -m repro reach <circuit> [options]`` runs one of the four
 engines on a built-in circuit (surrogate suite, generator families,
 s27) or on an ISCAS'89 ``.bench`` file, and prints the Table-2-style
-statistics.  ``python -m repro list`` shows the built-in circuits.
+statistics.  Long runs can be made fault-tolerant with
+``--checkpoint-dir`` / ``--resume`` / ``--isolate`` / ``--fallback``
+(see :mod:`repro.harness`); ``python -m repro batch`` runs a whole
+circuit suite resiliently.  ``python -m repro list`` shows the built-in
+circuits.
 """
 
 from __future__ import annotations
@@ -11,43 +15,18 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Callable, Dict
 
-from .circuits import bench, generators, protocols, surrogates
-from .circuits.iscas import s27
+from .circuits.catalog import builtin_circuits
+from .circuits.catalog import resolve as _resolve
 from .circuits.netlist import Circuit
 from .order import FAMILIES, order_for
-from .reach import ENGINES, ReachLimits, format_table2
-
-
-def builtin_circuits() -> Dict[str, Callable[[], Circuit]]:
-    """Name -> factory map of all circuits available by name."""
-    catalog: Dict[str, Callable[[], Circuit]] = dict(surrogates.SUITE)
-    catalog["s27"] = s27
-    catalog.update(
-        {
-            "counter8": lambda: generators.counter(8),
-            "lfsr8": lambda: generators.lfsr(8),
-            "johnson8": lambda: generators.johnson(8),
-            "ring8": lambda: generators.token_ring(8),
-            "fifo3": lambda: generators.fifo_controller(3),
-            "coupled8": lambda: generators.coupled_pairs(8),
-            "arbiter5": lambda: generators.round_robin_arbiter(5),
-            "traffic": generators.traffic_light,
-            "msi3": lambda: protocols.msi_coherence(3),
-            "handshake3": lambda: protocols.handshake(3),
-        }
-    )
-    return catalog
+from .reach import ENGINES, ReachLimits, ReachResult, format_table2
 
 
 def resolve_circuit(name: str) -> Circuit:
     """Find a circuit by built-in name or ``.bench`` file path."""
-    catalog = builtin_circuits()
-    if name in catalog:
-        return catalog[name]()
-    if os.path.exists(name):
-        return bench.load(name)
+    if name in builtin_circuits() or os.path.exists(name):
+        return _resolve(name)
     raise SystemExit(
         "unknown circuit %r (not a built-in name or .bench path); "
         "try `python -m repro list`" % name
@@ -85,10 +64,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-nodes", type=int, default=1_000_000, help="live-node budget"
     )
     reach.add_argument(
+        "--max-iterations", type=int, default=None, help="iteration budget"
+    )
+    reach.add_argument(
         "--no-count",
         action="store_true",
         help="skip the exact state count (avoids building chi)",
     )
+    _add_harness_arguments(reach)
+
+    batch = sub.add_parser(
+        "batch",
+        help="run a circuit suite resiliently (checkpoints + fallback)",
+    )
+    batch.add_argument(
+        "circuits",
+        nargs="*",
+        default=["traffic", "s27"],
+        help="built-in names or .bench files (default: traffic s27)",
+    )
+    batch.add_argument(
+        "--engine",
+        choices=list(ENGINES),
+        default="bfv",
+        help="first-choice engine (default: bfv)",
+    )
+    batch.add_argument(
+        "--order",
+        choices=list(FAMILIES),
+        default="S1",
+        help="first-choice variable-order family (default: S1)",
+    )
+    batch.add_argument(
+        "--max-seconds",
+        type=float,
+        default=300.0,
+        help="per-circuit time budget, split across fallback attempts",
+    )
+    batch.add_argument(
+        "--max-nodes", type=int, default=1_000_000, help="live-node budget"
+    )
+    batch.add_argument(
+        "--no-count",
+        action="store_true",
+        help="skip the exact state count (avoids building chi)",
+    )
+    _add_harness_arguments(batch, batch_defaults=True)
 
     info = sub.add_parser("info", help="print circuit statistics")
     info.add_argument("circuit", help="built-in name or .bench file")
@@ -124,47 +145,210 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_harness_arguments(parser, batch_defaults: bool = False) -> None:
+    """Fault-tolerance options shared by ``reach`` and ``batch``."""
+    group = parser.add_argument_group("fault tolerance")
+    group.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="snapshot engine state here every --checkpoint-interval iterations",
+    )
+    group.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=1,
+        metavar="N",
+        help="iterations between checkpoints (default: 1)",
+    )
+    group.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the latest valid checkpoint in --checkpoint-dir",
+    )
+    group.add_argument(
+        "--fallback",
+        choices=["none", "auto"],
+        default="auto" if batch_defaults else "none",
+        help=(
+            "on failure, retry with other order families, then other "
+            "engines (default: %s)" % ("auto" if batch_defaults else "none")
+        ),
+    )
+    if batch_defaults:
+        group.add_argument(
+            "--no-isolate",
+            dest="isolate",
+            action="store_false",
+            help="run engines in-process instead of supervised children",
+        )
+        parser.set_defaults(isolate=True)
+    else:
+        group.add_argument(
+            "--isolate",
+            action="store_true",
+            help=(
+                "run each attempt in a supervised child process "
+                "(crashes/hangs become tagged failures)"
+            ),
+        )
+    group.add_argument(
+        "--max-rss-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="kill an attempt whose RSS exceeds this (implies --isolate)",
+    )
+    group.add_argument(
+        "--journal",
+        metavar="FILE",
+        help="append one JSONL record per attempt to FILE",
+    )
+
+
+def _result_line(result: ReachResult) -> str:
+    """One human-readable status line for a finished attempt."""
+    if result.completed:
+        line = (
+            "%-5s completed in %.2fs: %d iterations, "
+            "peak %d live nodes"
+            % (
+                result.engine,
+                result.seconds,
+                result.iterations,
+                result.peak_live_nodes,
+            )
+        )
+        if result.reached_size is not None:
+            line += ", representation %d nodes" % result.reached_size
+        if result.num_states is not None:
+            line += ", %d reachable states" % result.num_states
+        if "resumed_from" in result.extra:
+            line += " (resumed from iteration %d)" % result.extra["resumed_from"]
+    else:
+        line = "%-5s did not complete: %s after %.2fs" % (
+            result.engine,
+            result.status,
+            result.seconds,
+        )
+        progress = result.extra.get("iteration")
+        if progress:
+            line += " (reached iteration %d)" % progress
+    return line
+
+
+def _wants_harness(args: argparse.Namespace) -> bool:
+    return bool(
+        args.checkpoint_dir
+        or args.resume
+        or args.fallback != "none"
+        or args.isolate
+        or args.journal
+        or args.max_rss_mb is not None
+    )
+
+
 def cmd_reach(args: argparse.Namespace) -> int:
     circuit = resolve_circuit(args.circuit)
-    slots = order_for(circuit, args.order)
-    limits = ReachLimits(
-        max_seconds=args.max_seconds, max_live_nodes=args.max_nodes
-    )
     engines = list(ENGINES) if args.engine == "all" else [args.engine]
     results = []
-    for engine_name in engines:
-        result = ENGINES[engine_name](
-            circuit,
-            slots=slots,
-            limits=limits,
-            order_name=args.order,
-            count_states=not args.no_count,
+    if _wants_harness(args):
+        from .harness import RunJournal, resilient_reach
+
+        journal = RunJournal(args.journal) if args.journal else None
+        for engine_name in engines:
+            outcome, attempts = resilient_reach(
+                args.circuit,
+                engine=engine_name,
+                order=args.order,
+                max_seconds=args.max_seconds,
+                max_live_nodes=args.max_nodes,
+                max_iterations=args.max_iterations,
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_interval=args.checkpoint_interval,
+                resume=args.resume,
+                count_states=not args.no_count,
+                fallback=args.fallback == "auto" and args.engine != "all",
+                isolate=args.isolate or args.max_rss_mb is not None,
+                max_rss_mb=args.max_rss_mb,
+                journal=journal,
+                total_seconds=(
+                    args.max_seconds if args.fallback == "auto" else None
+                ),
+            )
+            results.append(outcome)
+            if len(attempts) > 1:
+                for attempt in attempts[:-1]:
+                    print(
+                        "attempt %s/%s failed: %s; falling back"
+                        % (attempt.engine, attempt.order, attempt.status)
+                    )
+            print(_result_line(outcome))
+    else:
+        slots = order_for(circuit, args.order)
+        limits = ReachLimits(
+            max_seconds=args.max_seconds,
+            max_live_nodes=args.max_nodes,
+            max_iterations=args.max_iterations,
         )
-        results.append(result)
-        if result.completed:
-            line = (
-                "%-5s completed in %.2fs: %d iterations, "
-                "peak %d live nodes, representation %d nodes"
-                % (
-                    engine_name,
-                    result.seconds,
-                    result.iterations,
-                    result.peak_live_nodes,
-                    result.reached_size,
-                )
+        for engine_name in engines:
+            result = ENGINES[engine_name](
+                circuit,
+                slots=slots,
+                limits=limits,
+                order_name=args.order,
+                count_states=not args.no_count,
             )
-            if result.num_states is not None:
-                line += ", %d reachable states" % result.num_states
-        else:
-            line = "%-5s did not complete: %s after %.2fs" % (
-                engine_name,
-                result.status,
-                result.seconds,
-            )
-        print(line)
+            results.append(result)
+            print(_result_line(result))
     print()
-    print(format_table2(results, engines=tuple(engines)))
+    shown = tuple(dict.fromkeys(result.engine for result in results))
+    print(format_table2(results, engines=shown))
     return 0
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    from .harness import FallbackPolicy, RunJournal, run_batch
+
+    for name in args.circuits:
+        resolve_circuit(name)  # fail fast on typos, before any long run
+    journal = RunJournal(args.journal) if args.journal else None
+    policy = None if args.fallback == "auto" else FallbackPolicy(max_attempts=1)
+    outcomes = run_batch(
+        args.circuits,
+        engine=args.engine,
+        order=args.order,
+        max_seconds=args.max_seconds,
+        max_live_nodes=args.max_nodes,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        fallback=args.fallback == "auto",
+        policy=policy,
+        isolate=args.isolate,
+        max_rss_mb=args.max_rss_mb,
+        journal=journal,
+        count_states=not args.no_count,
+    )
+    results = []
+    failures = 0
+    for name, (outcome, attempts) in outcomes.items():
+        label = "%-12s" % name
+        if outcome is None:
+            failures += 1
+            print(label, "no attempt ran (budget exhausted)")
+            continue
+        results.append(outcome)
+        if not outcome.completed:
+            failures += 1
+        print(
+            "%s %s (%d attempt%s)"
+            % (label, _result_line(outcome), len(attempts),
+               "s" if len(attempts) != 1 else "")
+        )
+    if results:
+        print()
+        shown = tuple(dict.fromkeys(result.engine for result in results))
+        print(format_table2(results, engines=shown))
+    return 0 if failures == 0 else 1
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -264,6 +448,7 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "reach": cmd_reach,
+        "batch": cmd_batch,
         "info": cmd_info,
         "check": cmd_check,
         "equiv": cmd_equiv,

@@ -42,14 +42,52 @@ class BenchFormatError(CircuitError):
     """Malformed ISCAS'89 ``.bench`` input."""
 
 
+class PersistError(ReproError):
+    """Malformed or truncated persisted data (checkpoints, caches).
+
+    Carries the 1-based ``line`` number of the offending record when the
+    problem can be localized, so torn checkpoint files produce actionable
+    diagnostics instead of a bare parse crash.
+    """
+
+    def __init__(self, message: str, line: "int | None" = None) -> None:
+        if line is not None:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)
+        self.line = line
+
+
+class HarnessError(ReproError):
+    """Misuse or internal failure of the fault-tolerant run harness."""
+
+
+class CheckpointError(HarnessError):
+    """A checkpoint file is unusable (corrupt, torn, or mismatched)."""
+
+
 class ResourceLimitError(ReproError):
     """A configured resource budget was exhausted.
 
     Mirrors the paper's time-out / memory-out entries in Table 2: engines
     run under a step and live-node budget, and raise this error (carrying
     ``kind`` = ``"time"`` or ``"memory"``) when the budget is exceeded.
+
+    The optional run statistics (``elapsed`` seconds, ``iteration``,
+    ``live_nodes``) record how far the run got before exhausting its
+    budget; :class:`repro.reach.common.RunMonitor` fills them in so
+    T.O./M.O. rows can report partial progress.
     """
 
-    def __init__(self, kind: str, message: str) -> None:
+    def __init__(
+        self,
+        kind: str,
+        message: str,
+        elapsed: "float | None" = None,
+        iteration: "int | None" = None,
+        live_nodes: "int | None" = None,
+    ) -> None:
         super().__init__(message)
         self.kind = kind
+        self.elapsed = elapsed
+        self.iteration = iteration
+        self.live_nodes = live_nodes

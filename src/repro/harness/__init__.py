@@ -1,0 +1,42 @@
+"""Fault-tolerant run harness for long reachability jobs.
+
+The paper's experiments are 10-hour / 1-GB jobs where T.O. and M.O. are
+first-class outcomes; this package makes such runs survivable:
+
+* :mod:`~repro.harness.checkpoint` — per-iteration engine snapshots with
+  atomic writes and torn-file-safe resume;
+* :mod:`~repro.harness.supervisor` — process isolation with wall-clock
+  and RSS watchdogs, converting crashes/OOM-kills/hangs into tagged
+  :class:`~repro.reach.ReachResult` failures;
+* :mod:`~repro.harness.policy` — a fallback ladder (other order
+  families, then other engines) with budget splitting and backoff;
+* :mod:`~repro.harness.journal` — an append-only JSONL log of every
+  attempt;
+* :mod:`~repro.harness.faults` — deterministic fault injection used by
+  the test suite to prove the above actually recovers;
+* :mod:`~repro.harness.worker` / :mod:`~repro.harness.runner` — attempt
+  execution and the high-level ``resilient_reach`` / ``run_batch``
+  entry points behind ``python -m repro reach`` / ``batch``.
+"""
+
+from .checkpoint import Checkpointer, Snapshot
+from .journal import RunJournal
+from .policy import DEFAULT_ENGINE_LADDER, FallbackPolicy, run_with_fallback
+from .runner import resilient_reach, run_batch
+from .supervisor import Supervisor, rss_bytes
+from .worker import AttemptSpec, run_attempt
+
+__all__ = [
+    "AttemptSpec",
+    "Checkpointer",
+    "DEFAULT_ENGINE_LADDER",
+    "FallbackPolicy",
+    "RunJournal",
+    "Snapshot",
+    "Supervisor",
+    "resilient_reach",
+    "rss_bytes",
+    "run_attempt",
+    "run_batch",
+    "run_with_fallback",
+]

@@ -1,0 +1,256 @@
+"""Per-iteration engine checkpoints: atomic writes, torn-file-safe resume.
+
+A checkpoint file is a small container around the :mod:`repro.persist`
+format::
+
+    repro-ckpt 1
+    meta {"engine": ..., "circuit": ..., "order": ..., "iteration": N, ...}
+    repro-bdd 1
+    ... persist payload (vars / node / func / bfv lines) ...
+    end <payload-line-count>
+
+The trailer makes truncation detectable: a torn write (or a crash
+mid-checkpoint, though :func:`repro.persist.atomic_write` already rules
+that out for local filesystems) fails validation and the loader falls
+back to the next-newest file.  Checkpoints are tagged with the engine,
+order family, and circuit so a fallback ladder's attempts never resume
+each other's state.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import CheckpointError, ReproError
+from ..persist import atomic_write, dump_functions, load_functions
+
+_MAGIC = "repro-ckpt 1"
+_FILE_RE = re.compile(r"^ckpt-(?P<tag>.+)-(?P<iteration>\d{8})\.rbdd$")
+
+
+def _sanitize(text: str) -> str:
+    """Filename-safe form of a tag component."""
+    return re.sub(r"[^A-Za-z0-9_.]+", "_", text)
+
+
+@dataclass
+class Snapshot:
+    """One loaded checkpoint: engine state plus provenance."""
+
+    iteration: int
+    functions: Dict[str, int] = field(default_factory=dict)
+    vectors: Dict[str, object] = field(default_factory=dict)
+    meta: Dict[str, object] = field(default_factory=dict)
+    path: Optional[str] = None
+
+
+class Checkpointer:
+    """Writes and restores engine checkpoints in one directory.
+
+    Engines talk to this object only through
+    :class:`repro.reach.common.RunMonitor` (``want_checkpoint`` /
+    ``save_state`` / ``restore``); the harness constructs it from an
+    :class:`repro.harness.worker.AttemptSpec`.
+
+    Parameters
+    ----------
+    directory:
+        Checkpoint directory (created on first save).
+    engine, circuit, order:
+        Provenance tag; only matching checkpoints are resumed.
+    interval:
+        Snapshot every ``interval``-th iteration (default: every one).
+    keep:
+        Newest checkpoints retained per tag; older ones are pruned.
+    resume:
+        When false, :meth:`restore` returns None and the run starts
+        fresh (existing checkpoints are still overwritten as the run
+        progresses).
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        engine: str,
+        circuit: str,
+        order: str = "?",
+        interval: int = 1,
+        keep: int = 3,
+        resume: bool = False,
+    ) -> None:
+        if interval < 1:
+            raise CheckpointError("interval must be >= 1, got %d" % interval)
+        if keep < 1:
+            raise CheckpointError("keep must be >= 1, got %d" % keep)
+        self.directory = directory
+        self.engine = engine
+        self.circuit = circuit
+        self.order = order
+        self.interval = interval
+        self.keep = keep
+        self.resume = resume
+        #: Files skipped during the last :meth:`restore`: (path, reason).
+        self.skipped: List[Tuple[str, str]] = []
+        #: Number of snapshots written by this instance.
+        self.saves = 0
+
+    # ------------------------------------------------------------------
+    # Naming
+    # ------------------------------------------------------------------
+
+    @property
+    def tag(self) -> str:
+        """Filename tag binding checkpoints to one attempt flavor."""
+        return "%s-%s-%s" % (
+            _sanitize(self.engine),
+            _sanitize(self.order),
+            _sanitize(self.circuit),
+        )
+
+    def path_for(self, iteration: int) -> str:
+        return os.path.join(
+            self.directory, "ckpt-%s-%08d.rbdd" % (self.tag, iteration)
+        )
+
+    def files(self) -> List[Tuple[int, str]]:
+        """``(iteration, path)`` of this tag's checkpoints, newest first."""
+        found = []
+        try:
+            entries = os.listdir(self.directory)
+        except OSError:
+            return []
+        for entry in entries:
+            match = _FILE_RE.match(entry)
+            if match is None or match.group("tag") != self.tag:
+                continue
+            found.append(
+                (int(match.group("iteration")),
+                 os.path.join(self.directory, entry))
+            )
+        found.sort(reverse=True)
+        return found
+
+    # ------------------------------------------------------------------
+    # Saving
+    # ------------------------------------------------------------------
+
+    def due(self, iteration: int) -> bool:
+        """True iff a snapshot should be taken at ``iteration``."""
+        return iteration % self.interval == 0
+
+    def maybe_save(self, bdd, iteration, functions=None, vectors=None) -> bool:
+        """Snapshot if ``iteration`` is due; returns whether it saved."""
+        if not self.due(iteration):
+            return False
+        self.save(bdd, iteration, functions, vectors)
+        return True
+
+    def save(self, bdd, iteration, functions=None, vectors=None) -> str:
+        """Write one checkpoint atomically; returns its path."""
+        os.makedirs(self.directory, exist_ok=True)
+        payload = io.StringIO()
+        dump_functions(bdd, functions or {}, payload, vectors)
+        body = payload.getvalue()
+        meta = {
+            "engine": self.engine,
+            "circuit": self.circuit,
+            "order": self.order,
+            "iteration": iteration,
+            "functions": sorted(functions or {}),
+            "vectors": sorted(vectors or {}),
+        }
+        path = self.path_for(iteration)
+        with atomic_write(path) as handle:
+            handle.write(_MAGIC + "\n")
+            handle.write("meta %s\n" % json.dumps(meta, sort_keys=True))
+            handle.write(body)
+            handle.write("end %d\n" % body.count("\n"))
+        self.saves += 1
+        self.prune()
+        return path
+
+    def prune(self) -> int:
+        """Delete all but the newest ``keep`` checkpoints of this tag."""
+        removed = 0
+        for _, path in self.files()[self.keep:]:
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def restore(self, bdd) -> Optional[Snapshot]:
+        """Latest valid snapshot, or None (also when resume is off).
+
+        Corrupt, torn, or mismatched files are skipped (recorded in
+        :attr:`skipped`) and the next-newest candidate is tried.
+        """
+        if not self.resume:
+            return None
+        self.skipped = []
+        for _, path in self.files():
+            try:
+                return self.load(path, bdd)
+            except ReproError as error:
+                self.skipped.append((path, str(error)))
+        return None
+
+    def load(self, path: str, bdd) -> Snapshot:
+        """Load and validate one checkpoint file into ``bdd``."""
+        try:
+            with open(path) as handle:
+                lines = handle.read().splitlines(keepends=True)
+        except OSError as error:
+            raise CheckpointError("unreadable checkpoint: %s" % error)
+        if not lines or lines[0].rstrip("\n") != _MAGIC:
+            raise CheckpointError("bad checkpoint magic in %s" % path)
+        if len(lines) < 3 or not lines[1].startswith("meta "):
+            raise CheckpointError("missing checkpoint meta in %s" % path)
+        try:
+            meta = json.loads(lines[1][len("meta "):])
+        except ValueError:
+            raise CheckpointError("unparsable checkpoint meta in %s" % path)
+        for key, expected in (
+            ("engine", self.engine),
+            ("circuit", self.circuit),
+            ("order", self.order),
+        ):
+            if meta.get(key) != expected:
+                raise CheckpointError(
+                    "checkpoint %s is for %s=%r, not %r"
+                    % (path, key, meta.get(key), expected)
+                )
+        trailer = lines[-1].split()
+        body = lines[2:-1]
+        if (
+            len(trailer) != 2
+            or trailer[0] != "end"
+            or not lines[-1].endswith("\n")
+            or trailer[1] != str(len(body))
+        ):
+            raise CheckpointError("truncated checkpoint %s" % path)
+        _, functions, vectors = load_functions(io.StringIO("".join(body)), bdd)
+        missing = (set(meta.get("functions", [])) - set(functions)) | (
+            set(meta.get("vectors", [])) - set(vectors)
+        )
+        if missing:
+            raise CheckpointError(
+                "checkpoint %s lost entries: %s" % (path, sorted(missing))
+            )
+        return Snapshot(
+            iteration=int(meta["iteration"]),
+            functions=functions,
+            vectors=vectors,
+            meta=meta,
+            path=path,
+        )

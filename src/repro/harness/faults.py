@@ -1,0 +1,238 @@
+"""Deterministic fault injection for the run harness test suite.
+
+A :class:`FaultPlan` is a list of fault specs (plain dicts, so they can
+cross a process boundary as JSON) that fire at reproducible points:
+
+``{"kind": "timeout", "at_iteration": k}``
+    Raise ``ResourceLimitError("time")`` at iteration ``k`` — an
+    artificial time-out the engine reports as T.O.
+``{"kind": "alloc", "after_nodes": n}``
+    Fail BDD node allocation after ``n`` further ``_mk`` calls with
+    ``ResourceLimitError("memory")``; with ``"hard": true`` raise a raw
+    ``MemoryError`` instead (an *uncaught* allocation failure, which
+    only process isolation can absorb).
+``{"kind": "die", "at_iteration": k}``
+    Kill the current process with ``SIGKILL`` (or ``"signal": "SIGABRT"``
+    etc.) at iteration ``k`` — models crashes and the OOM killer.
+``{"kind": "hang", "at_iteration": k, "seconds": s}``
+    Sleep ``s`` seconds at iteration ``k`` — models a wedged engine, to
+    be reaped by the supervisor's wall-clock watchdog.
+``{"kind": "corrupt_checkpoint", "directory": d, "at_iteration": k}``
+    Corrupt the newest checkpoint file under ``d`` (``"mode"``:
+    ``"truncate"`` or ``"garbage"``).
+
+Every fault fires at most ``max_hits`` times (default: once).  Iteration
+faults ride the :attr:`repro.reach.common.RunMonitor.iteration_hooks`
+registry; allocation faults patch ``BDD._mk``.  Plans stack; use
+:func:`clear` (or ``plan.uninstall()``) to restore clean state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from typing import Dict, List, Optional
+
+from ..bdd.manager import BDD
+from ..errors import HarnessError, ResourceLimitError
+from ..reach.common import RunMonitor
+
+ENV_VAR = "REPRO_FAULTS"
+
+KINDS = ("timeout", "alloc", "die", "hang", "corrupt_checkpoint")
+
+#: Currently installed plans (stacked; all are consulted).
+_active: List["FaultPlan"] = []
+_original_mk = BDD._mk
+
+
+def _patched_mk(self, var, lo, hi):
+    for plan in list(_active):
+        plan._on_alloc()
+    return _original_mk(self, var, lo, hi)
+
+
+class FaultPlan:
+    """A deterministic schedule of injected faults."""
+
+    def __init__(self, faults: List[Dict[str, object]]) -> None:
+        self.faults = []
+        for spec in faults:
+            spec = dict(spec)
+            kind = spec.get("kind")
+            if kind not in KINDS:
+                raise HarnessError("unknown fault kind %r" % kind)
+            spec.setdefault("max_hits", 1)
+            spec["hits"] = 0
+            self.faults.append(spec)
+        self.alloc_count = 0
+        self._installed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def install(self) -> "FaultPlan":
+        """Arm the plan process-wide; returns self."""
+        if self._installed:
+            return self
+        _active.append(self)
+        RunMonitor.iteration_hooks.append(self._on_iteration)
+        if any(f["kind"] == "alloc" for f in self.faults):
+            BDD._mk = _patched_mk
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        """Disarm the plan and restore unpatched behavior."""
+        if not self._installed:
+            return
+        self._installed = False
+        if self in _active:
+            _active.remove(self)
+        if self._on_iteration in RunMonitor.iteration_hooks:
+            RunMonitor.iteration_hooks.remove(self._on_iteration)
+        if not any(
+            any(f["kind"] == "alloc" for f in plan.faults) for plan in _active
+        ):
+            BDD._mk = _original_mk
+
+    # ------------------------------------------------------------------
+    # Firing
+    # ------------------------------------------------------------------
+
+    def _take(self, fault: Dict[str, object]) -> bool:
+        """Consume one hit; False when the fault is exhausted."""
+        if fault["hits"] >= fault["max_hits"]:
+            return False
+        fault["hits"] += 1
+        return True
+
+    def _on_alloc(self) -> None:
+        self.alloc_count += 1
+        for fault in self.faults:
+            if fault["kind"] != "alloc":
+                continue
+            if self.alloc_count <= int(fault.get("after_nodes", 0)):
+                continue
+            if not self._take(fault):
+                continue
+            if fault.get("hard"):
+                raise MemoryError(
+                    "injected hard allocation failure after %d allocations"
+                    % self.alloc_count
+                )
+            raise ResourceLimitError(
+                "memory",
+                "injected allocation failure after %d allocations"
+                % self.alloc_count,
+            )
+
+    def _on_iteration(self, monitor: RunMonitor, iteration: int) -> None:
+        for fault in self.faults:
+            kind = fault["kind"]
+            if kind == "alloc":
+                continue
+            at = fault.get("at_iteration")
+            if at is not None and iteration < int(at):
+                continue
+            if not self._take(fault):
+                continue
+            if kind == "timeout":
+                raise ResourceLimitError(
+                    "time",
+                    "injected time-out at iteration %d" % iteration,
+                    elapsed=monitor.elapsed,
+                    iteration=iteration,
+                )
+            if kind == "die":
+                signame = str(fault.get("signal", "SIGKILL"))
+                os.kill(os.getpid(), getattr(signal, signame))
+                # SIGKILL never returns; other signals may.
+                continue
+            if kind == "hang":
+                time.sleep(float(fault.get("seconds", 3600.0)))
+                continue
+            if kind == "corrupt_checkpoint":
+                corrupt_newest_checkpoint(
+                    str(fault["directory"]),
+                    mode=str(fault.get("mode", "truncate")),
+                )
+
+
+# ----------------------------------------------------------------------
+# Module-level conveniences
+# ----------------------------------------------------------------------
+
+
+def install(faults: List[Dict[str, object]]) -> FaultPlan:
+    """Build and arm a plan in one call."""
+    return FaultPlan(faults).install()
+
+
+def clear() -> None:
+    """Disarm every installed plan (test teardown hook)."""
+    for plan in list(_active):
+        plan.uninstall()
+    BDD._mk = _original_mk
+    RunMonitor.iteration_hooks[:] = [
+        hook
+        for hook in RunMonitor.iteration_hooks
+        if getattr(hook, "__self__", None) is None
+        or not isinstance(hook.__self__, FaultPlan)
+    ]
+
+
+def install_from_env(environ=None) -> Optional[FaultPlan]:
+    """Arm a plan from the ``REPRO_FAULTS`` JSON env var, if set."""
+    environ = os.environ if environ is None else environ
+    raw = environ.get(ENV_VAR)
+    if not raw:
+        return None
+    try:
+        faults = json.loads(raw)
+    except ValueError as error:
+        raise HarnessError("unparsable %s: %s" % (ENV_VAR, error))
+    return install(faults)
+
+
+def corrupt_file(path: str, mode: str = "truncate") -> None:
+    """Deterministically corrupt a file on disk (test helper).
+
+    ``truncate`` keeps roughly the first half of the file (dropping the
+    validation trailer); ``garbage`` rewrites a middle line with noise.
+    """
+    with open(path) as handle:
+        lines = handle.readlines()
+    if mode == "truncate":
+        keep = max(1, len(lines) // 2)
+        data = "".join(lines[:keep])
+        # Tear the last kept line mid-way to model a torn write.
+        data = data[: max(1, len(data) - 3)]
+    elif mode == "garbage":
+        middle = len(lines) // 2
+        lines[middle] = "node !!corrupted!! record\n"
+        data = "".join(lines)
+    else:
+        raise HarnessError("unknown corruption mode %r" % mode)
+    with open(path, "w") as handle:
+        handle.write(data)
+
+
+def corrupt_newest_checkpoint(directory: str, mode: str = "truncate") -> Optional[str]:
+    """Corrupt the newest ``.rbdd`` checkpoint in ``directory``."""
+    try:
+        entries = [
+            os.path.join(directory, entry)
+            for entry in os.listdir(directory)
+            if entry.endswith(".rbdd")
+        ]
+    except OSError:
+        return None
+    if not entries:
+        return None
+    newest = max(entries, key=os.path.getmtime)
+    corrupt_file(newest, mode=mode)
+    return newest

@@ -1,0 +1,60 @@
+"""Append-only JSONL run journal for harness attempts.
+
+Every supervised attempt appends one JSON object per line; a reader
+tolerates torn trailing lines (a crash mid-append) by skipping them, so
+the journal is safe to read while a run is in flight.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, Iterator, List, Optional
+
+
+class RunJournal:
+    """A JSONL file of run/attempt records."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def append(self, record: Dict[str, object]) -> Dict[str, object]:
+        """Append one record (a ``wall`` timestamp is added); fsynced."""
+        record = dict(record)
+        record.setdefault("wall", time.time())
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        line = json.dumps(record, sort_keys=True, default=str)
+        with open(self.path, "a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        return record
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        try:
+            handle = open(self.path)
+        except OSError:
+            return
+        with handle:
+            for raw in handle:
+                try:
+                    record = json.loads(raw)
+                except ValueError:
+                    continue  # torn trailing line from a crashed writer
+                if isinstance(record, dict):
+                    yield record
+
+    def read(self) -> List[Dict[str, object]]:
+        """All intact records, in append order."""
+        return list(self)
+
+    def attempts(self, circuit: Optional[str] = None) -> List[Dict[str, object]]:
+        """Attempt records, optionally filtered by circuit."""
+        return [
+            record
+            for record in self
+            if record.get("event") == "attempt"
+            and (circuit is None or record.get("circuit") == circuit)
+        ]

@@ -1,0 +1,138 @@
+"""Fallback ladder: retry a failing run with different orders/engines.
+
+The paper's central observation is that the representations fail in
+*different* places — the characteristic-function flow blows up where the
+BFV flow finishes, and vice versa, and both are sensitive to the
+variable-order family.  The :class:`FallbackPolicy` encodes that as a
+recovery strategy: on failure, first retry the same engine under the
+remaining order families, then walk the remaining engines
+(bfv → conj → cbm → tr by default), splitting the remaining time budget
+evenly across the attempts still planned and backing off between them.
+Every attempt is journaled.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from ..reach import ReachResult
+from .journal import RunJournal
+from .supervisor import Supervisor
+from .worker import AttemptSpec, run_attempt
+
+#: Engine order of the default ladder (the paper's Figure 2 flow first,
+#: its Sec 2.7 conjunctive variant, then the chi-based baselines).
+DEFAULT_ENGINE_LADDER = ("bfv", "conj", "cbm", "tr")
+
+
+@dataclass
+class FallbackPolicy:
+    """Retry/fallback strategy for one reachability job."""
+
+    engines: Sequence[str] = DEFAULT_ENGINE_LADDER
+    orders: Sequence[str] = ("S1", "S2")
+    max_attempts: int = 6
+    #: Floor on an attempt's time slice, so a nearly exhausted budget
+    #: still gives the last rungs a token chance.
+    min_attempt_seconds: float = 1.0
+    backoff_seconds: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_cap: float = 5.0
+
+    def ladder(self, engine: str, order: str) -> List[Tuple[str, str]]:
+        """Attempt sequence starting from the requested configuration.
+
+        The requested (engine, order) runs first; then the same engine
+        under the other order families; then each fallback engine under
+        every family — capped at :attr:`max_attempts`.
+        """
+        engines = [engine] + [e for e in self.engines if e != engine]
+        orders = [order] + [o for o in self.orders if o != order]
+        rungs = [(e, o) for e in engines for o in orders]
+        return rungs[: self.max_attempts]
+
+
+def run_with_fallback(
+    spec: AttemptSpec,
+    policy: Optional[FallbackPolicy] = None,
+    supervisor: Optional[Supervisor] = None,
+    journal: Optional[RunJournal] = None,
+    total_seconds: Optional[float] = None,
+    max_rss_bytes: Optional[int] = None,
+    sleep=time.sleep,
+) -> Tuple[Optional[ReachResult], List[ReachResult]]:
+    """Climb the fallback ladder until an attempt completes.
+
+    Returns ``(result, attempts)`` — the completing result (or the last
+    failure if every rung failed, or None if the ladder was empty) plus
+    every attempt's result in order.  With a ``supervisor`` each attempt
+    runs isolated in a child process; otherwise in-process.
+    ``total_seconds`` is the overall budget: each attempt gets the
+    remaining time divided by the rungs still planned.
+    """
+    policy = policy or FallbackPolicy()
+    rungs = policy.ladder(spec.engine, spec.order)
+    deadline = (
+        None if total_seconds is None else time.monotonic() + total_seconds
+    )
+    attempts: List[ReachResult] = []
+    outcome: Optional[ReachResult] = None
+    delay = policy.backoff_seconds
+    for index, (engine, order) in enumerate(rungs):
+        slice_seconds = spec.max_seconds
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 and index > 0:
+                break
+            slice_seconds = max(
+                policy.min_attempt_seconds, remaining / (len(rungs) - index)
+            )
+            if spec.max_seconds is not None:
+                slice_seconds = min(slice_seconds, spec.max_seconds)
+        attempt_spec = replace(
+            spec, engine=engine, order=order, max_seconds=slice_seconds
+        )
+        if supervisor is not None:
+            # The watchdog backstops the engine's own time self-limit:
+            # generous headroom so it only fires on genuine hangs.
+            watchdog = (
+                None
+                if slice_seconds is None
+                else slice_seconds * 1.5 + 1.0
+            )
+            result = supervisor.run(
+                attempt_spec,
+                budget_seconds=watchdog,
+                max_rss_bytes=max_rss_bytes,
+            )
+        else:
+            result = run_attempt(attempt_spec)
+        attempts.append(result)
+        outcome = result
+        if journal is not None:
+            journal.append(
+                {
+                    "event": "attempt",
+                    "attempt": index + 1,
+                    "of": len(rungs),
+                    "circuit": spec.circuit,
+                    "engine": engine,
+                    "order": order,
+                    "budget_seconds": slice_seconds,
+                    "isolated": supervisor is not None,
+                    "outcome": "completed" if result.completed else result.failure,
+                    "seconds": result.seconds,
+                    "iterations": result.iterations,
+                    "peak_live_nodes": result.peak_live_nodes,
+                    "num_states": result.num_states,
+                    "resumed_from": result.extra.get("resumed_from"),
+                }
+            )
+        if result.completed:
+            break
+        if index + 1 < len(rungs) and delay:
+            sleep(min(delay, policy.backoff_cap))
+            delay *= policy.backoff_factor
+    return outcome, attempts

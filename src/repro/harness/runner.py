@@ -1,0 +1,114 @@
+"""High-level entry points: resilient single runs and batch suites.
+
+This is what the CLI calls: :func:`resilient_reach` wraps one
+reachability job with checkpointing, optional process isolation, and an
+optional fallback ladder; :func:`run_batch` walks a whole circuit suite,
+guaranteeing that one blowing-up circuit can neither crash nor starve
+the rest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..reach import ReachResult
+from .journal import RunJournal
+from .policy import FallbackPolicy, run_with_fallback
+from .supervisor import Supervisor
+from .worker import AttemptSpec
+
+
+def resilient_reach(
+    circuit: str,
+    engine: str = "bfv",
+    order: str = "S1",
+    max_seconds: Optional[float] = None,
+    max_live_nodes: Optional[int] = None,
+    max_iterations: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_interval: int = 1,
+    resume: bool = False,
+    count_states: bool = True,
+    fallback: bool = False,
+    policy: Optional[FallbackPolicy] = None,
+    isolate: bool = False,
+    max_rss_mb: Optional[float] = None,
+    journal: Optional[RunJournal] = None,
+    total_seconds: Optional[float] = None,
+    faults=None,
+) -> Tuple[Optional[ReachResult], List[ReachResult]]:
+    """One fault-tolerant reachability run; ``(outcome, attempts)``.
+
+    ``circuit`` is a built-in name or ``.bench`` path (resolved on the
+    worker side).  Without ``fallback`` the ladder has a single rung, so
+    this degrades to "run once, checkpointed/supervised".
+    """
+    spec = AttemptSpec(
+        circuit=circuit,
+        engine=engine,
+        order=order,
+        max_seconds=max_seconds,
+        max_live_nodes=max_live_nodes,
+        max_iterations=max_iterations,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_interval=checkpoint_interval,
+        resume=resume,
+        count_states=count_states,
+        faults=faults,
+    )
+    if policy is None:
+        policy = FallbackPolicy() if fallback else FallbackPolicy(max_attempts=1)
+    supervisor = Supervisor() if isolate else None
+    max_rss_bytes = (
+        None if max_rss_mb is None else int(max_rss_mb * 1024 * 1024)
+    )
+    return run_with_fallback(
+        spec,
+        policy=policy,
+        supervisor=supervisor,
+        journal=journal,
+        total_seconds=total_seconds,
+        max_rss_bytes=max_rss_bytes,
+    )
+
+
+def run_batch(
+    circuits: Sequence[str],
+    engine: str = "bfv",
+    order: str = "S1",
+    max_seconds: Optional[float] = None,
+    max_live_nodes: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    fallback: bool = True,
+    policy: Optional[FallbackPolicy] = None,
+    isolate: bool = True,
+    max_rss_mb: Optional[float] = None,
+    journal: Optional[RunJournal] = None,
+    count_states: bool = True,
+) -> Dict[str, Tuple[Optional[ReachResult], List[ReachResult]]]:
+    """Run a suite of circuits resiliently; circuit -> (outcome, attempts).
+
+    ``max_seconds`` is the per-circuit budget (split across that
+    circuit's fallback attempts).  Every circuit always gets its turn:
+    failures of earlier circuits are recorded, not propagated.
+    """
+    results: Dict[str, Tuple[Optional[ReachResult], List[ReachResult]]] = {}
+    for circuit in circuits:
+        results[circuit] = resilient_reach(
+            circuit,
+            engine=engine,
+            order=order,
+            max_seconds=max_seconds,
+            max_live_nodes=max_live_nodes,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            count_states=count_states,
+            fallback=fallback,
+            policy=policy,
+            isolate=isolate,
+            max_rss_mb=max_rss_mb,
+            journal=journal,
+            total_seconds=max_seconds,
+        )
+    return results

@@ -1,0 +1,141 @@
+"""Process isolation: run an attempt in a watched child process.
+
+The paper's Table 2 jobs run for hours under hard budgets where T.O. and
+M.O. are *results*, not errors.  The :class:`Supervisor` makes that
+robust end-to-end: an engine attempt executes in a child process, and
+every way it can go wrong — a crash, a SIGKILL from the OOM killer, a
+hang, runaway RSS — comes back to the caller as a tagged
+:class:`repro.reach.ReachResult` failure instead of taking the parent
+down.  Combined with per-iteration checkpoints, a killed attempt can be
+resumed from where it died.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import shutil
+import tempfile
+import time
+from typing import Optional
+
+from ..reach import ReachResult
+from .worker import AttemptSpec, child_main
+
+
+def rss_bytes(pid: int) -> Optional[int]:
+    """Resident set size of ``pid`` via /proc, or None if unavailable."""
+    try:
+        with open("/proc/%d/status" % pid) as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    return None
+
+
+class Supervisor:
+    """Runs attempts in isolated child processes under watchdogs.
+
+    Parameters
+    ----------
+    poll_interval:
+        Seconds between watchdog checks of the child.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (cheap on Linux), else the platform default.
+    """
+
+    def __init__(
+        self,
+        poll_interval: float = 0.05,
+        start_method: Optional[str] = None,
+    ) -> None:
+        methods = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._context = multiprocessing.get_context(start_method)
+        self.poll_interval = poll_interval
+
+    def run(
+        self,
+        spec: AttemptSpec,
+        budget_seconds: Optional[float] = None,
+        max_rss_bytes: Optional[int] = None,
+    ) -> ReachResult:
+        """Run one attempt; never raises for child-side failures.
+
+        ``budget_seconds`` is the wall-clock watchdog (a backstop above
+        the engine's own ``max_seconds`` self-limit); ``max_rss_bytes``
+        is the child RSS ceiling, enforced by polling ``/proc`` — the
+        1-GB analogue of the paper's memory budget, but covering the
+        whole interpreter rather than just live BDD nodes.
+        """
+        workdir = tempfile.mkdtemp(prefix="repro-supervise-")
+        result_path = os.path.join(workdir, "result.json")
+        process = self._context.Process(
+            target=child_main,
+            args=(spec.to_dict(), result_path),
+            daemon=True,
+        )
+        start = time.monotonic()
+        process.start()
+        killed: Optional[str] = None
+        peak_rss = 0
+        try:
+            while process.is_alive():
+                elapsed = time.monotonic() - start
+                if budget_seconds is not None and elapsed > budget_seconds:
+                    killed = "time"
+                    process.kill()
+                    break
+                rss = rss_bytes(process.pid)
+                if rss is not None and rss > peak_rss:
+                    peak_rss = rss
+                if (
+                    max_rss_bytes is not None
+                    and rss is not None
+                    and rss > max_rss_bytes
+                ):
+                    killed = "memory"
+                    process.kill()
+                    break
+                process.join(self.poll_interval)
+            process.join()
+            elapsed = time.monotonic() - start
+            supervisor_info = {
+                "isolated": True,
+                "elapsed": elapsed,
+                "exitcode": process.exitcode,
+                "peak_rss_bytes": peak_rss or None,
+            }
+            if killed is not None:
+                supervisor_info["killed"] = killed
+            if process.exitcode is not None and process.exitcode < 0:
+                supervisor_info["signal"] = -process.exitcode
+            if killed is None and process.exitcode == 0:
+                try:
+                    with open(result_path) as handle:
+                        data = json.load(handle)
+                    result = ReachResult.from_dict(data)
+                    result.extra["supervisor"] = supervisor_info
+                    return result
+                except (OSError, ValueError, TypeError, KeyError):
+                    killed = None  # fall through to a crash result
+            failure = killed or "crash"
+            return ReachResult(
+                engine=spec.engine,
+                circuit=spec.circuit,
+                order=spec.order,
+                completed=False,
+                failure=failure,
+                seconds=elapsed,
+                extra={"supervisor": supervisor_info},
+            )
+        finally:
+            if process.is_alive():  # pragma: no cover - safety net
+                process.kill()
+                process.join()
+            shutil.rmtree(workdir, ignore_errors=True)

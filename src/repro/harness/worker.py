@@ -1,0 +1,122 @@
+"""Attempt execution: one engine run described by a picklable spec.
+
+:class:`AttemptSpec` is the unit of work the harness schedules — it
+names a circuit (built-in name or ``.bench`` path, resolved on the
+worker side so no netlist crosses the process boundary), an engine, an
+order family, resource limits, and checkpoint/fault settings.
+:func:`run_attempt` executes one spec in the current process;
+:func:`child_main` is the :class:`repro.harness.supervisor.Supervisor`'s
+child-process entry point, reporting the result as a JSON file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from ..circuits.catalog import resolve
+from ..order import order_for
+from ..reach import ENGINES, ReachLimits, ReachResult
+from . import faults as _faults
+from .checkpoint import Checkpointer
+
+
+@dataclass
+class AttemptSpec:
+    """One reachability attempt, serializable across processes."""
+
+    circuit: str
+    engine: str = "bfv"
+    order: str = "S1"
+    max_seconds: Optional[float] = None
+    max_live_nodes: Optional[int] = None
+    max_iterations: Optional[int] = None
+    checkpoint_dir: Optional[str] = None
+    checkpoint_interval: int = 1
+    keep_checkpoints: int = 3
+    resume: bool = False
+    count_states: bool = True
+    #: Fault plan installed before the run (tests only); see
+    #: :mod:`repro.harness.faults`.
+    faults: Optional[List[Dict[str, object]]] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "AttemptSpec":
+        names = {spec.name for spec in cls.__dataclass_fields__.values()}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
+
+def checkpointer_for(spec: AttemptSpec, circuit_name: str) -> Optional[Checkpointer]:
+    """The spec's checkpointer, or None when checkpointing is off."""
+    if not spec.checkpoint_dir:
+        return None
+    return Checkpointer(
+        spec.checkpoint_dir,
+        engine=spec.engine,
+        circuit=circuit_name,
+        order=spec.order,
+        interval=spec.checkpoint_interval,
+        keep=spec.keep_checkpoints,
+        resume=spec.resume,
+    )
+
+
+def run_attempt(spec: AttemptSpec) -> ReachResult:
+    """Execute one attempt in the current process.
+
+    Budget exhaustion comes back as a tagged :class:`ReachResult` (the
+    engines convert ``ResourceLimitError`` internally); anything else —
+    a hard ``MemoryError``, a wedged iteration, a killed process — is
+    the supervisor's job to absorb.
+    """
+    if spec.engine not in ENGINES:
+        raise ValueError("unknown engine %r" % spec.engine)
+    plan = _faults.FaultPlan(spec.faults).install() if spec.faults else None
+    try:
+        circuit = resolve(spec.circuit)
+        slots = order_for(circuit, spec.order)
+        limits = ReachLimits(
+            max_seconds=spec.max_seconds,
+            max_live_nodes=spec.max_live_nodes,
+            max_iterations=spec.max_iterations,
+        )
+        checkpointer = checkpointer_for(spec, circuit.name)
+        result = ENGINES[spec.engine](
+            circuit,
+            slots=slots,
+            limits=limits,
+            order_name=spec.order,
+            count_states=spec.count_states,
+            checkpointer=checkpointer,
+        )
+        if checkpointer is not None and checkpointer.skipped:
+            result.extra["checkpoints_skipped"] = [
+                path for path, _ in checkpointer.skipped
+            ]
+        return result
+    finally:
+        if plan is not None:
+            plan.uninstall()
+
+
+def child_main(spec_dict: Dict[str, object], result_path: str) -> None:
+    """Supervisor child entry: run the attempt, report JSON, exit.
+
+    Crashes simply propagate — a nonzero exit status (or a kill signal)
+    is itself the report, which the supervisor converts into a tagged
+    failure result.
+    """
+    _faults.install_from_env()
+    spec = AttemptSpec.from_dict(spec_dict)
+    result = run_attempt(spec)
+    tmp = result_path + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(result.to_dict(), handle, sort_keys=True)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, result_path)

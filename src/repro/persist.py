@@ -22,13 +22,43 @@ stored order exactly.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, TextIO, Tuple
+import os
+import tempfile
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Optional, TextIO, Tuple
 
 from .bdd import BDD
 from .bfv import BFV
-from .errors import ReproError
+from .errors import PersistError, ReproError
 
 _MAGIC = "repro-bdd 1"
+
+
+@contextmanager
+def atomic_write(path: str) -> Iterator[TextIO]:
+    """Write ``path`` atomically: temp file in the same directory, fsync,
+    then ``os.replace``.
+
+    A crash mid-write leaves the previous file contents intact; readers
+    never observe a torn file.  Used by :func:`save` and by the harness
+    checkpoint/journal writers.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def _collect_nodes(bdd, roots: Iterable[int]) -> List[int]:
@@ -104,10 +134,10 @@ def load_functions(
     """
     line = handle.readline().rstrip("\n")
     if line != _MAGIC:
-        raise ReproError("not a repro-bdd file (bad magic %r)" % line)
+        raise PersistError("not a repro-bdd file (bad magic %r)" % line, line=1)
     vars_line = handle.readline().split()
     if not vars_line or vars_line[0] != "vars":
-        raise ReproError("missing vars line")
+        raise PersistError("missing vars line", line=2)
     names = vars_line[1:]
     fresh = bdd is None
     if fresh:
@@ -120,34 +150,43 @@ def load_functions(
     id_map: Dict[int, int] = {0: bdd.false, 1: bdd.true}
     functions: Dict[str, int] = {}
     vectors: Dict[str, BFV] = {}
-    for raw in handle:
+    for lineno, raw in enumerate(handle, start=3):
         parts = raw.split()
         if not parts:
             continue
         kind = parts[0]
         if kind == "node":
             if len(parts) != 5:
-                raise ReproError("malformed node line %r" % raw)
-            node_id, var_name = int(parts[1]), parts[2]
-            lo, hi = int(parts[3]), int(parts[4])
+                raise PersistError(
+                    "malformed node line %r" % raw, line=lineno
+                )
+            node_id, var_name = _int(parts[1], lineno), parts[2]
+            lo, hi = _int(parts[3], lineno), _int(parts[4], lineno)
             try:
                 lo_node, hi_node = id_map[lo], id_map[hi]
             except KeyError:
-                raise ReproError(
-                    "node %d references unknown child" % node_id
+                raise PersistError(
+                    "node %d references unknown child" % node_id,
+                    line=lineno,
                 ) from None
             variable = bdd.var(var_name)
             rebuilt = bdd.ite(variable, hi_node, lo_node)
             id_map[node_id] = bdd.incref(rebuilt)
         elif kind == "func":
             if len(parts) != 3:
-                raise ReproError("malformed func line %r" % raw)
-            functions[parts[1]] = _lookup(id_map, int(parts[2]))
+                raise PersistError(
+                    "malformed func line %r" % raw, line=lineno
+                )
+            functions[parts[1]] = _lookup(
+                id_map, _int(parts[2], lineno), lineno
+            )
         elif kind == "bfv":
             try:
                 separator = parts.index("|")
             except ValueError:
-                raise ReproError("malformed bfv line %r" % raw) from None
+                raise PersistError(
+                    "malformed bfv line %r" % raw, line=lineno
+                ) from None
             name = parts[1]
             choice_vars = [bdd.var_index(n) for n in parts[2:separator]]
             payload = parts[separator + 1:]
@@ -155,11 +194,12 @@ def load_functions(
                 vectors[name] = BFV.empty(bdd, choice_vars)
             else:
                 components = [
-                    _lookup(id_map, int(item)) for item in payload
+                    _lookup(id_map, _int(item, lineno), lineno)
+                    for item in payload
                 ]
                 vectors[name] = BFV(bdd, choice_vars, components)
         else:
-            raise ReproError("unknown record %r" % kind)
+            raise PersistError("unknown record %r" % kind, line=lineno)
     # Release the temporary pins; callers own functions/vectors now.
     for name, root in functions.items():
         bdd.incref(root)
@@ -168,16 +208,34 @@ def load_functions(
     return bdd, functions, vectors
 
 
-def _lookup(id_map: Dict[int, int], node_id: int) -> int:
+def _int(text: str, lineno: int) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        raise PersistError(
+            "expected an integer, got %r" % text, line=lineno
+        ) from None
+
+
+def _lookup(
+    id_map: Dict[int, int], node_id: int, lineno: Optional[int] = None
+) -> int:
     try:
         return id_map[node_id]
     except KeyError:
-        raise ReproError("reference to unknown node %d" % node_id) from None
+        raise PersistError(
+            "reference to unknown node %d" % node_id, line=lineno
+        ) from None
 
 
 def save(path: str, bdd, functions=None, vectors=None) -> None:
-    """Convenience wrapper: write to a file path."""
-    with open(path, "w") as handle:
+    """Convenience wrapper: write to a file path, atomically.
+
+    The data is written to a temp file in the target directory, fsynced,
+    and moved into place with ``os.replace``, so a crash mid-save never
+    leaves a torn file behind.
+    """
+    with atomic_write(path) as handle:
         dump_functions(bdd, functions or {}, handle, vectors)
 
 

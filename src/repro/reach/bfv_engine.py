@@ -38,18 +38,22 @@ def bfv_reachability(
     order_name: str = "?",
     space: Optional[ReachSpace] = None,
     initial_points=None,
+    checkpointer=None,
 ) -> ReachResult:
     """Run Figure 2 reachability; returns a :class:`ReachResult`.
 
     ``result.extra['space']`` / ``['reached']`` hold the
     :class:`ReachSpace` and final reached :class:`BFV` for
-    cross-validation (when the run completes).
+    cross-validation (when the run completes).  With a ``checkpointer``
+    (see :mod:`repro.harness.checkpoint`) the reached/frontier vectors
+    are snapshotted every iteration and the run resumes from the latest
+    valid snapshot.
     """
     if space is None:
         space = ReachSpace(circuit, slots)
     bdd = space.bdd
     simulator = SymbolicSimulator(bdd, circuit)
-    monitor = RunMonitor(bdd, limits)
+    monitor = RunMonitor(bdd, limits, checkpointer)
     input_drivers = {
         net: bdd.incref(bdd.var(v)) for net, v in space.input_var.items()
     }
@@ -66,6 +70,12 @@ def bfv_reachability(
     result = ReachResult(
         engine="bfv", circuit=circuit.name, order=order_name, completed=False
     )
+    snapshot = monitor.restore()
+    if snapshot is not None:
+        reached = snapshot.vectors["reached"]
+        frontier = snapshot.vectors["frontier"]
+        iterations = snapshot.iteration
+        result.extra["resumed_from"] = snapshot.iteration
     try:
         while True:
             iterations += 1
@@ -88,10 +98,15 @@ def bfv_reachability(
                 frontier = image
             else:
                 frontier = reached
+            if monitor.want_checkpoint(iterations):
+                monitor.save_state(
+                    iterations,
+                    vectors={"reached": reached, "frontier": frontier},
+                )
             monitor.checkpoint((), iterations)
         result.completed = True
     except ResourceLimitError as error:
-        result.failure = error.kind
+        monitor.annotate(result, error, iterations)
     result.iterations = iterations
     result.seconds = monitor.elapsed
     bdd.collect_garbage()

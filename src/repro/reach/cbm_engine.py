@@ -43,6 +43,7 @@ def cbm_reachability(
     space: Optional[ReachSpace] = None,
     initial_points=None,
     image_method: str = "simulate",
+    checkpointer=None,
 ) -> ReachResult:
     """Run the Figure 1 flow; returns a :class:`ReachResult`."""
     if image_method not in ("simulate", "constrain"):
@@ -51,7 +52,7 @@ def cbm_reachability(
         space = ReachSpace(circuit, slots)
     bdd = space.bdd
     simulator = SymbolicSimulator(bdd, circuit)
-    monitor = RunMonitor(bdd, limits)
+    monitor = RunMonitor(bdd, limits, checkpointer)
     input_drivers = {
         net: bdd.incref(bdd.var(v)) for net, v in space.input_var.items()
     }
@@ -74,6 +75,12 @@ def cbm_reachability(
     result = ReachResult(
         engine="cbm", circuit=circuit.name, order=order_name, completed=False
     )
+    snapshot = monitor.restore()
+    if snapshot is not None:
+        reached = snapshot.functions["reached"]
+        from_chi = snapshot.functions["frontier"]
+        iterations = snapshot.iteration
+        result.extra["resumed_from"] = snapshot.iteration
     try:
         while True:
             iterations += 1
@@ -113,10 +120,15 @@ def cbm_reachability(
                 from_chi = bdd.incref(reached)
             else:
                 from_chi = bdd.incref(new)
+            if monitor.want_checkpoint(iterations):
+                monitor.save_state(
+                    iterations,
+                    functions={"reached": reached, "frontier": from_chi},
+                )
             monitor.checkpoint((), iterations)
         result.completed = True
     except ResourceLimitError as error:
-        result.failure = error.kind
+        monitor.annotate(result, error, iterations)
     result.iterations = iterations
     result.seconds = monitor.elapsed
     result.conversion_seconds = conversion

@@ -21,9 +21,10 @@ live BDD nodes) plus cross-validation data.
 
 from __future__ import annotations
 
+import json
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, fields
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..bdd import BDD
 from ..circuits.netlist import Circuit
@@ -142,7 +143,7 @@ class ReachResult:
     circuit: str
     order: str
     completed: bool
-    failure: Optional[str] = None  # "time" | "memory" | "iterations"
+    failure: Optional[str] = None  # "time" | "memory" | "iterations" | "crash"
     iterations: int = 0
     seconds: float = 0.0
     peak_live_nodes: int = 0
@@ -156,19 +157,70 @@ class ReachResult:
         """Table-2-style cell: time, or T.O. / M.O."""
         if self.completed:
             return "%.2f" % self.seconds
-        return {"time": "T.O.", "memory": "M.O.", "iterations": "I.O."}.get(
-            self.failure or "", "FAIL"
-        )
+        return {
+            "time": "T.O.",
+            "memory": "M.O.",
+            "iterations": "I.O.",
+            "crash": "CRASH",
+        }.get(self.failure or "", "FAIL")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict form (crosses the supervisor process boundary).
+
+        Non-serializable ``extra`` entries (the cross-validation objects
+        like ``space`` / ``reached``) are dropped.
+        """
+        data: Dict[str, object] = {}
+        for spec in fields(self):
+            data[spec.name] = getattr(self, spec.name)
+        extra = {}
+        for key, value in self.extra.items():
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                continue
+            extra[key] = value
+        data["extra"] = extra
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ReachResult":
+        known = {spec.name for spec in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
 
 class RunMonitor:
-    """Tracks time/node budgets and peak-live statistics for a run."""
+    """Tracks time/node budgets and peak-live statistics for a run.
 
-    def __init__(self, bdd: BDD, limits: Optional[ReachLimits]) -> None:
+    Besides budget enforcement, the monitor is the engines' hook into the
+    fault-tolerant harness (:mod:`repro.harness`):
+
+    * an optional *checkpointer* (duck-typed; see
+      :class:`repro.harness.checkpoint.Checkpointer`) receives the
+      engine's frontier/reached state every iteration via
+      :meth:`save_state`, and hands back the latest valid snapshot via
+      :meth:`restore`;
+    * the process-global :attr:`iteration_hooks` are invoked at every
+      iteration checkpoint — :mod:`repro.harness.faults` uses them to
+      inject deterministic time-outs, hangs, and crashes.
+    """
+
+    #: Process-global callbacks ``hook(monitor, iteration)`` fired at the
+    #: start of every :meth:`checkpoint` call (fault injection hook).
+    iteration_hooks: List[Callable[["RunMonitor", int], None]] = []
+
+    def __init__(
+        self,
+        bdd: BDD,
+        limits: Optional[ReachLimits],
+        checkpointer: Optional[object] = None,
+    ) -> None:
         self.bdd = bdd
         self.limits = limits or ReachLimits()
+        self.checkpointer = checkpointer
         self.start = time.monotonic()
         self.peak_live = 0
+        self.iteration = 0
         if self.limits.max_live_nodes is not None:
             # Hard allocation ceiling so a blowing-up image computation
             # aborts from inside the BDD layer rather than only at the
@@ -184,8 +236,60 @@ class RunMonitor:
         """Seconds since the run started."""
         return time.monotonic() - self.start
 
+    def want_checkpoint(self, iteration: int) -> bool:
+        """True iff the attached checkpointer wants a snapshot now.
+
+        Lets engines skip building the snapshot payload (e.g. the
+        conjunctive engine's BFV view) when it would be thrown away.
+        """
+        return self.checkpointer is not None and self.checkpointer.due(
+            iteration
+        )
+
+    def save_state(
+        self,
+        iteration: int,
+        functions: Optional[Dict[str, int]] = None,
+        vectors: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Persist the engine's state through the attached checkpointer."""
+        if self.checkpointer is not None:
+            self.checkpointer.maybe_save(
+                self.bdd, iteration, functions, vectors
+            )
+
+    def restore(self):
+        """Latest valid snapshot to resume from, or None."""
+        if self.checkpointer is None:
+            return None
+        return self.checkpointer.restore(self.bdd)
+
+    def annotate(self, result: "ReachResult", error, iteration: int) -> None:
+        """Record a budget failure and its partial-progress statistics.
+
+        Fills ``result.failure`` and ``result.extra`` with how far the
+        run got (``elapsed``, ``iteration``, ``live_nodes``) so T.O./M.O.
+        rows are informative.
+        """
+        result.failure = error.kind
+        elapsed = getattr(error, "elapsed", None)
+        result.extra["elapsed"] = (
+            elapsed if elapsed is not None else self.elapsed
+        )
+        err_iter = getattr(error, "iteration", None)
+        result.extra["iteration"] = (
+            err_iter if err_iter is not None else iteration
+        )
+        live = getattr(error, "live_nodes", None)
+        result.extra["live_nodes"] = (
+            live if live is not None else self.bdd.count_live()
+        )
+
     def checkpoint(self, roots: Sequence[int], iteration: int) -> None:
         """GC, record peak live nodes, enforce the budgets."""
+        self.iteration = iteration
+        for hook in list(self.iteration_hooks):
+            hook(self, iteration)
         self.bdd.collect_garbage(roots)
         live = self.bdd.count_live(roots)
         if live > self.peak_live:
@@ -193,17 +297,31 @@ class RunMonitor:
         limits = self.limits
         if limits.max_live_nodes is not None and live > limits.max_live_nodes:
             raise ResourceLimitError(
-                "memory", "live nodes %d exceed budget" % live
+                "memory",
+                "live nodes %d exceed budget" % live,
+                elapsed=self.elapsed,
+                iteration=iteration,
+                live_nodes=live,
             )
         if (
             limits.max_seconds is not None
             and self.elapsed > limits.max_seconds
         ):
-            raise ResourceLimitError("time", "time budget exceeded")
+            raise ResourceLimitError(
+                "time",
+                "time budget exceeded",
+                elapsed=self.elapsed,
+                iteration=iteration,
+                live_nodes=live,
+            )
         if (
             limits.max_iterations is not None
             and iteration >= limits.max_iterations
         ):
             raise ResourceLimitError(
-                "iterations", "iteration budget exceeded"
+                "iterations",
+                "iteration budget exceeded",
+                elapsed=self.elapsed,
+                iteration=iteration,
+                live_nodes=live,
             )

@@ -32,13 +32,14 @@ def conj_reachability(
     order_name: str = "?",
     space: Optional[ReachSpace] = None,
     initial_points=None,
+    checkpointer=None,
 ) -> ReachResult:
     """Run Figure 2 with conjunctive-decomposition set manipulation."""
     if space is None:
         space = ReachSpace(circuit, slots)
     bdd = space.bdd
     simulator = SymbolicSimulator(bdd, circuit)
-    monitor = RunMonitor(bdd, limits)
+    monitor = RunMonitor(bdd, limits, checkpointer)
     input_drivers = {
         net: bdd.incref(bdd.var(v)) for net, v in space.input_var.items()
     }
@@ -55,6 +56,14 @@ def conj_reachability(
     result = ReachResult(
         engine="conj", circuit=circuit.name, order=order_name, completed=False
     )
+    snapshot = monitor.restore()
+    if snapshot is not None:
+        reached = ConjunctiveDecomposition.from_bfv(
+            snapshot.vectors["reached"]
+        )
+        frontier = snapshot.vectors["frontier"]
+        iterations = snapshot.iteration
+        result.extra["resumed_from"] = snapshot.iteration
     try:
         while True:
             iterations += 1
@@ -81,10 +90,18 @@ def conj_reachability(
                 frontier = image_vec
             else:
                 frontier = reached.to_bfv()
+            if monitor.want_checkpoint(iterations):
+                monitor.save_state(
+                    iterations,
+                    vectors={
+                        "reached": reached.to_bfv(),
+                        "frontier": frontier,
+                    },
+                )
             monitor.checkpoint((), iterations)
         result.completed = True
     except ResourceLimitError as error:
-        result.failure = error.kind
+        monitor.annotate(result, error, iterations)
     result.iterations = iterations
     result.seconds = monitor.elapsed
     bdd.collect_garbage()

@@ -27,17 +27,21 @@ def tr_reachability(
     order_name: str = "?",
     space: Optional[ReachSpace] = None,
     initial_points=None,
+    checkpointer=None,
 ) -> ReachResult:
     """Run IWLS95-style reachability; returns a :class:`ReachResult`.
 
     ``result.extra['space']`` / ``['reached_chi']`` hold the layout and
-    the reached characteristic function for cross-validation.
+    the reached characteristic function for cross-validation.  With a
+    ``checkpointer`` the reached/frontier characteristic functions are
+    snapshotted every iteration and the run resumes from the latest
+    valid snapshot.
     """
     if space is None:
         space = ReachSpace(circuit, slots)
     bdd = space.bdd
     simulator = SymbolicSimulator(bdd, circuit)
-    monitor = RunMonitor(bdd, limits)
+    monitor = RunMonitor(bdd, limits, checkpointer)
 
     net_input_vars = {net: v for net, v in space.input_var.items()}
     net_state_vars = {net: v for net, v in space.state_var.items()}
@@ -61,6 +65,12 @@ def tr_reachability(
     result = ReachResult(
         engine="tr", circuit=circuit.name, order=order_name, completed=False
     )
+    snapshot = monitor.restore()
+    if snapshot is not None:
+        reached = snapshot.functions["reached"]
+        frontier = snapshot.functions["frontier"]
+        iterations = snapshot.iteration
+        result.extra["resumed_from"] = snapshot.iteration
     try:
         while True:
             iterations += 1
@@ -77,10 +87,15 @@ def tr_reachability(
                 frontier = bdd.incref(reached)
             else:
                 frontier = bdd.incref(new)
+            if monitor.want_checkpoint(iterations):
+                monitor.save_state(
+                    iterations,
+                    functions={"reached": reached, "frontier": frontier},
+                )
             monitor.checkpoint((), iterations)
         result.completed = True
     except ResourceLimitError as error:
-        result.failure = error.kind
+        monitor.annotate(result, error, iterations)
     result.iterations = iterations
     result.seconds = monitor.elapsed
     bdd.collect_garbage()

@@ -1,0 +1,154 @@
+"""CLI integration for the fault-tolerant harness paths."""
+
+import glob
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.harness import faults
+
+
+class TestReachCheckpointing:
+    def test_checkpoint_resume_reproduces_state_count(self, capsys, tmp_path):
+        """ISSUE acceptance: interrupt s27, resume, identical answer."""
+        assert main(["reach", "s27"]) == 0
+        baseline = capsys.readouterr().out
+        assert "6 reachable states" in baseline
+
+        assert (
+            main(
+                [
+                    "reach", "s27",
+                    "--checkpoint-dir", str(tmp_path),
+                    "--max-iterations", "1",
+                    "--checkpoint-interval", "1",
+                ]
+            )
+            == 0
+        )
+        interrupted = capsys.readouterr().out
+        assert "did not complete" in interrupted and "I.O." in interrupted
+        assert glob.glob(str(tmp_path / "*.rbdd"))
+
+        assert (
+            main(
+                [
+                    "reach", "s27",
+                    "--checkpoint-dir", str(tmp_path),
+                    "--resume",
+                ]
+            )
+            == 0
+        )
+        resumed = capsys.readouterr().out
+        assert "6 reachable states" in resumed
+        assert "resumed from iteration 1" in resumed
+
+    def test_resume_skips_corrupt_checkpoint(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "reach", "traffic",
+                    "--checkpoint-dir", str(tmp_path),
+                    "--max-iterations", "3",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        faults.corrupt_newest_checkpoint(str(tmp_path))
+        assert (
+            main(
+                [
+                    "reach", "traffic",
+                    "--checkpoint-dir", str(tmp_path),
+                    "--resume",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "16 reachable states" in out
+        assert "resumed from iteration 2" in out
+
+
+class TestReachFallback:
+    def test_fallback_auto_recovers_from_timeout(self, capsys):
+        plan = faults.install(
+            [{"kind": "timeout", "at_iteration": 1, "max_hits": 1}]
+        )
+        try:
+            code = main(["reach", "traffic", "--fallback", "auto"])
+        finally:
+            plan.uninstall()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "attempt bfv/S1 failed: T.O.; falling back" in out
+        assert "16 reachable states" in out
+
+    def test_journal_records_attempts(self, capsys, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        assert (
+            main(["reach", "s27", "--journal", str(journal_path)]) == 0
+        )
+        capsys.readouterr()
+        records = [
+            json.loads(line)
+            for line in journal_path.read_text().splitlines()
+        ]
+        assert len(records) == 1
+        assert records[0]["circuit"] == "s27"
+        assert records[0]["outcome"] == "completed"
+
+
+class TestBatch:
+    def test_smoke_two_builtins_no_isolate(self, capsys, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        code = main(
+            [
+                "batch", "traffic", "s27",
+                "--no-isolate",
+                "--journal", str(journal_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "traffic" in out and "s27" in out
+        assert out.count("completed") >= 2
+        records = [
+            json.loads(line)
+            for line in journal_path.read_text().splitlines()
+        ]
+        assert {r["circuit"] for r in records} == {"traffic", "s27"}
+
+    def test_isolated_batch_default_path(self, capsys, tmp_path):
+        # Default batch mode: each attempt in a supervised child process.
+        code = main(
+            [
+                "batch", "traffic",
+                "--checkpoint-dir", str(tmp_path),
+                "--max-seconds", "60",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "completed" in out
+
+    def test_unknown_circuit_fails_fast(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["batch", "traffic", "no_such_circuit_42"])
+
+    def test_failure_sets_exit_code(self, capsys):
+        plan = faults.install(
+            [{"kind": "timeout", "at_iteration": 1, "max_hits": 10**9}]
+        )
+        try:
+            code = main(
+                ["batch", "s27", "--no-isolate", "--fallback", "none"]
+            )
+        finally:
+            plan.uninstall()
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "did not complete" in out

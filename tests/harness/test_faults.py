@@ -1,0 +1,151 @@
+"""Fault-injection layer: deterministic failures, clean uninstall."""
+
+import json
+
+import pytest
+
+from repro.bdd import BDD
+from repro.bdd.manager import BDD as ManagerBDD
+from repro.errors import HarnessError, ResourceLimitError
+from repro.harness import AttemptSpec, run_attempt
+from repro.harness import faults
+from repro.reach.common import RunMonitor
+
+
+class TestInjection:
+    def test_timeout_at_iteration(self):
+        result = run_attempt(
+            AttemptSpec(
+                circuit="traffic",
+                faults=[{"kind": "timeout", "at_iteration": 2}],
+            )
+        )
+        assert not result.completed
+        assert result.failure == "time"
+        assert result.extra["iteration"] == 2
+
+    def test_alloc_failure_is_tagged_memory(self):
+        result = run_attempt(
+            AttemptSpec(
+                circuit="traffic",
+                faults=[{"kind": "alloc", "after_nodes": 200}],
+            )
+        )
+        assert not result.completed
+        assert result.failure == "memory"
+        assert result.extra["iteration"] >= 0
+
+    def test_hard_alloc_failure_escapes_the_engine(self):
+        with pytest.raises(MemoryError):
+            run_attempt(
+                AttemptSpec(
+                    circuit="traffic",
+                    faults=[
+                        {"kind": "alloc", "after_nodes": 200, "hard": True}
+                    ],
+                )
+            )
+
+    def test_fault_fires_once_by_default(self):
+        plan = faults.install(
+            [{"kind": "timeout", "at_iteration": 1, "max_hits": 1}]
+        )
+        try:
+            first = run_attempt(AttemptSpec(circuit="traffic"))
+            second = run_attempt(AttemptSpec(circuit="traffic"))
+        finally:
+            plan.uninstall()
+        assert first.failure == "time"
+        assert second.completed
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(HarnessError):
+            faults.FaultPlan([{"kind": "meteor-strike"}])
+
+
+class TestLifecycle:
+    def test_uninstall_restores_mk_and_hooks(self):
+        original = ManagerBDD._mk
+        plan = faults.install(
+            [
+                {"kind": "alloc", "after_nodes": 0},
+                {"kind": "timeout", "at_iteration": 1},
+            ]
+        )
+        assert ManagerBDD._mk is not original
+        assert plan._on_iteration in RunMonitor.iteration_hooks
+        plan.uninstall()
+        assert ManagerBDD._mk is original
+        assert plan._on_iteration not in RunMonitor.iteration_hooks
+
+    def test_clear_disarms_stacked_plans(self):
+        original = ManagerBDD._mk
+        faults.install([{"kind": "alloc", "after_nodes": 10**9}])
+        faults.install([{"kind": "timeout", "at_iteration": 10**9}])
+        faults.clear()
+        assert ManagerBDD._mk is original
+        assert run_attempt(AttemptSpec(circuit="s27")).completed
+
+    def test_install_from_env(self):
+        environ = {
+            faults.ENV_VAR: json.dumps(
+                [{"kind": "timeout", "at_iteration": 1}]
+            )
+        }
+        plan = faults.install_from_env(environ)
+        try:
+            result = run_attempt(AttemptSpec(circuit="s27"))
+        finally:
+            plan.uninstall()
+        assert result.failure == "time"
+
+    def test_install_from_env_absent_is_noop(self):
+        assert faults.install_from_env({}) is None
+
+    def test_direct_hook_raises_with_stats(self):
+        plan = faults.install([{"kind": "timeout", "at_iteration": 5}])
+        monitor = RunMonitor(BDD(), None)
+        try:
+            monitor.checkpoint((), 4)  # below threshold: no fire
+            with pytest.raises(ResourceLimitError) as info:
+                monitor.checkpoint((), 5)
+        finally:
+            plan.uninstall()
+        assert info.value.kind == "time"
+        assert info.value.iteration == 5
+
+
+class TestCorruption:
+    def test_truncate_strips_trailer(self, tmp_path):
+        path = tmp_path / "file.txt"
+        path.write_text("".join("line %d\n" % i for i in range(10)))
+        faults.corrupt_file(str(path), mode="truncate")
+        text = path.read_text()
+        assert len(text.splitlines()) < 10
+        assert not text.endswith("\n")  # torn mid-line
+
+    def test_garbage_rewrites_a_record(self, tmp_path):
+        path = tmp_path / "file.txt"
+        path.write_text("".join("line %d\n" % i for i in range(10)))
+        faults.corrupt_file(str(path), mode="garbage")
+        assert "!!corrupted!!" in path.read_text()
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        path = tmp_path / "file.txt"
+        path.write_text("data\n")
+        with pytest.raises(HarnessError):
+            faults.corrupt_file(str(path), mode="subtle")
+
+    def test_corrupt_newest_checkpoint_picks_newest(self, tmp_path):
+        old = tmp_path / "ckpt-a-00000001.rbdd"
+        new = tmp_path / "ckpt-a-00000002.rbdd"
+        old.write_text("old\ncontent\n")
+        new.write_text("new\ncontent\n")
+        import os
+        os.utime(str(old), (1, 1))
+        hit = faults.corrupt_newest_checkpoint(str(tmp_path), mode="garbage")
+        assert hit == str(new)
+        assert "content" in old.read_text()
+
+    def test_corrupt_newest_checkpoint_empty_dir(self, tmp_path):
+        assert faults.corrupt_newest_checkpoint(str(tmp_path)) is None

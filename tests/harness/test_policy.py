@@ -1,0 +1,177 @@
+"""Fallback ladder: order-then-engine retries under a shared budget."""
+
+import pytest
+
+from repro.harness import (
+    AttemptSpec,
+    DEFAULT_ENGINE_LADDER,
+    FallbackPolicy,
+    RunJournal,
+    run_with_fallback,
+)
+from repro.harness import faults
+
+
+class TestLadder:
+    def test_requested_config_first_then_orders_then_engines(self):
+        policy = FallbackPolicy(max_attempts=100)
+        rungs = policy.ladder("cbm", "S2")
+        assert rungs[0] == ("cbm", "S2")
+        assert rungs[1] == ("cbm", "S1")
+        assert rungs[2:4] == [("bfv", "S2"), ("bfv", "S1")]
+        engines = list(dict.fromkeys(e for e, _ in rungs))
+        assert engines == ["cbm"] + [
+            e for e in DEFAULT_ENGINE_LADDER if e != "cbm"
+        ]
+
+    def test_max_attempts_caps_the_ladder(self):
+        assert len(FallbackPolicy(max_attempts=3).ladder("bfv", "S1")) == 3
+
+    def test_single_attempt_policy_never_falls_back(self):
+        assert FallbackPolicy(max_attempts=1).ladder("tr", "S1") == [
+            ("tr", "S1")
+        ]
+
+
+class TestRunWithFallback:
+    def test_first_rung_success_stops_the_ladder(self, tmp_path):
+        journal = RunJournal(str(tmp_path / "journal.jsonl"))
+        outcome, attempts = run_with_fallback(
+            AttemptSpec(circuit="traffic"), journal=journal
+        )
+        assert outcome.completed
+        assert len(attempts) == 1
+        records = journal.read()
+        assert len(records) == 1
+        assert records[0]["outcome"] == "completed"
+        assert records[0]["attempt"] == 1
+
+    def test_failure_walks_to_next_order(self, tmp_path):
+        # Installed around the whole ladder (not per-attempt) so max_hits
+        # is shared: the first rung times out, the second completes.
+        plan = faults.install(
+            [{"kind": "timeout", "at_iteration": 1, "max_hits": 1}]
+        )
+        journal = RunJournal(str(tmp_path / "journal.jsonl"))
+        try:
+            outcome, attempts = run_with_fallback(
+                AttemptSpec(circuit="traffic"), journal=journal
+            )
+        finally:
+            plan.uninstall()
+        assert outcome.completed
+        assert len(attempts) == 2
+        assert attempts[0].failure == "time"
+        assert (attempts[0].engine, attempts[0].order) == ("bfv", "S1")
+        assert (attempts[1].engine, attempts[1].order) == ("bfv", "S2")
+        records = journal.read()
+        assert [r["outcome"] for r in records] == ["time", "completed"]
+        assert [r["of"] for r in records] == [6, 6]
+
+    def test_failure_walks_to_next_engine(self):
+        plan = faults.install(
+            [{"kind": "timeout", "at_iteration": 1, "max_hits": 2}]
+        )
+        try:
+            outcome, attempts = run_with_fallback(
+                AttemptSpec(circuit="traffic"),
+                policy=FallbackPolicy(orders=("S1", "S2")),
+            )
+        finally:
+            plan.uninstall()
+        assert outcome.completed
+        assert [(a.engine, a.order) for a in attempts] == [
+            ("bfv", "S1"),
+            ("bfv", "S2"),
+            ("conj", "S1"),
+        ]
+
+    def test_all_rungs_fail_returns_last_failure(self):
+        plan = faults.install(
+            [{"kind": "timeout", "at_iteration": 1, "max_hits": 10**9}]
+        )
+        try:
+            outcome, attempts = run_with_fallback(
+                AttemptSpec(circuit="traffic"),
+                policy=FallbackPolicy(max_attempts=3),
+            )
+        finally:
+            plan.uninstall()
+        assert outcome is not None
+        assert not outcome.completed
+        assert outcome.failure == "time"
+        assert len(attempts) == 3
+
+    def test_max_attempts_one_is_a_plain_run(self):
+        plan = faults.install(
+            [{"kind": "timeout", "at_iteration": 1, "max_hits": 10**9}]
+        )
+        try:
+            outcome, attempts = run_with_fallback(
+                AttemptSpec(circuit="traffic"),
+                policy=FallbackPolicy(max_attempts=1),
+            )
+        finally:
+            plan.uninstall()
+        assert len(attempts) == 1
+        assert outcome.failure == "time"
+
+    def test_budget_split_across_remaining_rungs(self, tmp_path):
+        journal = RunJournal(str(tmp_path / "journal.jsonl"))
+        plan = faults.install(
+            [{"kind": "timeout", "at_iteration": 1, "max_hits": 1}]
+        )
+        try:
+            outcome, attempts = run_with_fallback(
+                AttemptSpec(circuit="traffic"),
+                policy=FallbackPolicy(max_attempts=4),
+                journal=journal,
+                total_seconds=40.0,
+            )
+        finally:
+            plan.uninstall()
+        assert outcome.completed
+        budgets = [r["budget_seconds"] for r in journal.read()]
+        # First rung gets total/4; the retry splits what remains 3 ways.
+        assert budgets[0] == pytest.approx(10.0, abs=0.5)
+        assert budgets[1] == pytest.approx(40.0 / 3, abs=1.0)
+
+    def test_backoff_sleeps_between_failures(self):
+        naps = []
+        plan = faults.install(
+            [{"kind": "timeout", "at_iteration": 1, "max_hits": 2}]
+        )
+        try:
+            run_with_fallback(
+                AttemptSpec(circuit="traffic"),
+                policy=FallbackPolicy(
+                    backoff_seconds=0.25,
+                    backoff_factor=2.0,
+                    backoff_cap=0.4,
+                ),
+                sleep=naps.append,
+            )
+        finally:
+            plan.uninstall()
+        assert naps == [0.25, 0.4]
+
+
+class TestJournal:
+    def test_iteration_skips_torn_lines(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = RunJournal(str(path))
+        journal.append({"event": "attempt", "circuit": "a"})
+        journal.append({"event": "attempt", "circuit": "b"})
+        with open(str(path), "a") as handle:
+            handle.write('{"event": "attempt", "circ')  # torn write
+        records = journal.read()
+        assert [r["circuit"] for r in records] == ["a", "b"]
+        assert all("wall" in r for r in records)
+
+    def test_attempts_filter_by_circuit(self, tmp_path):
+        journal = RunJournal(str(tmp_path / "journal.jsonl"))
+        journal.append({"event": "attempt", "circuit": "a"})
+        journal.append({"event": "other", "circuit": "a"})
+        journal.append({"event": "attempt", "circuit": "b"})
+        assert len(journal.attempts()) == 2
+        assert len(journal.attempts(circuit="a")) == 1

@@ -135,3 +135,71 @@ class TestErrors:
         bdd = BDD(["a"])
         with pytest.raises(ReproError):
             persist.dump_functions(bdd, {"two words": bdd.true}, io.StringIO())
+
+
+class TestErrorLineNumbers:
+    """PersistError pinpoints the offending line of a damaged file."""
+
+    def load_error(self, text):
+        from repro.errors import PersistError
+
+        with pytest.raises(PersistError) as info:
+            persist.load_functions(io.StringIO(text))
+        return info.value
+
+    def test_bad_magic_is_line_one(self):
+        error = self.load_error("garbage\n")
+        assert error.line == 1
+        assert "line 1" in str(error)
+
+    def test_missing_vars_is_line_two(self):
+        error = self.load_error("repro-bdd 1\nnope\n")
+        assert error.line == 2
+
+    def test_malformed_node_reports_its_line(self):
+        error = self.load_error("repro-bdd 1\nvars a\nnode 2 a 0\n")
+        assert error.line == 3
+        assert "line 3" in str(error)
+
+    def test_non_integer_root_reports_its_line(self):
+        text = "repro-bdd 1\nvars a\nnode 2 a 0 1\nfunc f seven\n"
+        error = self.load_error(text)
+        assert error.line == 4
+
+    def test_dangling_reference_reports_its_line(self):
+        text = "repro-bdd 1\nvars a\nnode 2 a 0 1\nfunc f 9\n"
+        error = self.load_error(text)
+        assert error.line == 4
+        assert "unknown node 9" in str(error)
+
+    def test_unknown_record_reports_its_line(self):
+        text = "repro-bdd 1\nvars a\nnode 2 a 0 1\nblob x\n"
+        error = self.load_error(text)
+        assert error.line == 4
+
+
+class TestAtomicSave:
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        bdd = BDD(["a", "b"])
+        f = parse(bdd, "a & b")
+        path = tmp_path / "out.bdd"
+        persist.save(str(path), bdd, functions={"f": f})
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["out.bdd"]
+
+    def test_failed_save_preserves_previous_contents(self, tmp_path):
+        path = tmp_path / "out.bdd"
+        path.write_text("previous contents\n")
+        bdd = BDD(["a"])
+        with pytest.raises(ReproError):
+            persist.save(str(path), bdd, functions={"bad name": bdd.true})
+        assert path.read_text() == "previous contents\n"
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["out.bdd"]
+
+    def test_atomic_write_discards_on_exception(self, tmp_path):
+        path = tmp_path / "out.txt"
+        with pytest.raises(RuntimeError):
+            with persist.atomic_write(str(path)) as handle:
+                handle.write("half-written")
+                raise RuntimeError("crash mid-save")
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
