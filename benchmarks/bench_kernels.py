@@ -1,0 +1,389 @@
+#!/usr/bin/env python
+"""Microbenchmark: iterative kernels + per-op caches vs the seed kernels.
+
+Runs matched workloads through the recursive reference oracle
+(``tests/bdd/reference_kernels.py`` — the kernels exactly as they
+shipped in the seed, with the seed's shared tuple-keyed cache and its
+clear-everything-on-GC policy) and through the current kernels, **on
+the same manager**, so canonicity makes node-handle equality a complete
+correctness check.
+
+The workloads model how the reachability engines actually drive the
+kernels:
+
+* every engine's inner loop calls ``collect_garbage`` each iteration
+  while holding its result vectors live, so all suites interleave GC
+  with op batches over live results — the seed wiped its cache at every
+  GC, the per-op tables keep entries whose nodes survive;
+* image computation quantifies *wide* cubes (all present-state and
+  input variables at once), so the quantify suites use cubes of
+  60-150 variables over a 200-variable order — the seed re-sliced the
+  cube tuple at every level and hashed the whole tuple on every probe,
+  the current kernels thread an index through an interned cube.
+
+Writes ``BENCH_kernels.json``.  Exits non-zero if any suite produced a
+result mismatch.  ``--quick`` shrinks the workloads for CI smoke runs
+(timings are then noisy; only the correctness bit is meaningful).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import statistics
+import sys
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, _ROOT)
+sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from repro.bdd import BDD  # noqa: E402
+
+from tests.bdd import reference_kernels as ref  # noqa: E402
+from tests.conftest import build_expr, random_expr  # noqa: E402
+
+#: GC cycles per workload run (the "reachability iterations").
+GC_ROUNDS = 6
+
+
+def _expr_pool(bdd, nvars, seed, count, depth):
+    rng = random.Random(seed)
+    pool = []
+    for _ in range(count):
+        node = build_expr(bdd, random_expr(rng, nvars, depth))
+        bdd.incref(node)
+        pool.append(node)
+    return pool
+
+
+def _literal_pool(bdd, nvars, seed, count, width):
+    """Functions with support spread across a wide order."""
+    rng = random.Random(seed)
+    pool = []
+    for _ in range(count):
+        node = bdd.true
+        for v in rng.sample(range(nvars), width):
+            lit = bdd.var(v) if rng.random() < 0.5 else bdd.nvar(v)
+            if rng.random() < 0.5:
+                node = bdd.or_(node, lit)
+            else:
+                node = bdd.and_(node, lit)
+        bdd.incref(node)
+        pool.append(node)
+    return pool
+
+
+class Workload:
+    """A pair of matched run functions over one shared manager.
+
+    ``run(kernels)`` executes :data:`GC_ROUNDS` batches of operations,
+    increfs every result (engines hold their vectors live), collects
+    garbage between batches, then decrefs and returns the result
+    handles.  ``kernels`` supplies the op implementations and the
+    per-batch cache policy — the seed reference clears its cache at
+    every GC exactly as the seed manager did.
+    """
+
+    def __init__(self, bdd, batch):
+        self.bdd = bdd
+        self.batch = batch  # callable(ops) -> list of result nodes
+
+    def run_reference(self):
+        bdd = self.bdd
+        bdd._reference_cache = {}
+        out = []
+        for _ in range(GC_ROUNDS):
+            results = self.batch(_REF_OPS, bdd)
+            for node in results:
+                bdd.incref(node)
+            out.extend(results)
+            bdd._reference_cache.clear()  # the seed's GC-time policy
+            bdd.collect_garbage()
+        for node in out:
+            bdd.decref(node)
+        return out
+
+    def run_current(self):
+        bdd = self.bdd
+        bdd.clear_cache()
+        out = []
+        for _ in range(GC_ROUNDS):
+            results = self.batch(_CUR_OPS, bdd)
+            for node in results:
+                bdd.incref(node)
+            out.extend(results)
+            bdd.collect_garbage()  # live-preserving sweep
+        for node in out:
+            bdd.decref(node)
+        return out
+
+
+class _RefOps:
+    and_ = staticmethod(ref.and_)
+    or_ = staticmethod(ref.or_)
+    xor = staticmethod(ref.xor)
+    ite = staticmethod(ref.ite)
+    exists = staticmethod(ref.exists)
+    forall = staticmethod(ref.forall)
+    and_exists = staticmethod(ref.and_exists)
+    compose = staticmethod(ref.compose)
+    constrain = staticmethod(ref.constrain)
+    restrict = staticmethod(ref.restrict)
+
+
+class _CurOps:
+    @staticmethod
+    def and_(m, f, g):
+        return m.and_(f, g)
+
+    @staticmethod
+    def or_(m, f, g):
+        return m.or_(f, g)
+
+    @staticmethod
+    def xor(m, f, g):
+        return m.xor(f, g)
+
+    @staticmethod
+    def ite(m, f, g, h):
+        return m.ite(f, g, h)
+
+    @staticmethod
+    def exists(m, f, variables):
+        return m.exists(variables, f)
+
+    @staticmethod
+    def forall(m, f, variables):
+        return m.forall(variables, f)
+
+    @staticmethod
+    def and_exists(m, f, g, variables):
+        return m.and_exists(f, g, variables)
+
+    @staticmethod
+    def compose(m, f, var, g):
+        return m.compose(f, var, g)
+
+    @staticmethod
+    def constrain(m, f, c):
+        return m.constrain(f, c)
+
+    @staticmethod
+    def restrict(m, f, c):
+        return m.restrict(f, c)
+
+
+_REF_OPS = _RefOps
+_CUR_OPS = _CurOps
+
+
+def suite_apply(quick):
+    nvars = 24
+    bdd = BDD(["x%d" % i for i in range(nvars)])
+    pool = _expr_pool(bdd, nvars, 7, 8 if quick else 24, 5 if quick else 8)
+    rng = random.Random(11)
+    pairs = [
+        (rng.choice(pool), rng.choice(pool))
+        for _ in range(len(pool) * (2 if quick else 4))
+    ]
+
+    def batch(ops, m):
+        out = []
+        for f, g in pairs:
+            out.append(ops.and_(m, f, g))
+            out.append(ops.or_(m, f, g))
+            out.append(ops.xor(m, f, g))
+        return out
+
+    return Workload(bdd, batch), len(pairs) * 3 * GC_ROUNDS
+
+
+def suite_ite(quick):
+    nvars = 24
+    bdd = BDD(["x%d" % i for i in range(nvars)])
+    pool = _expr_pool(bdd, nvars, 13, 8 if quick else 24, 5 if quick else 8)
+    rng = random.Random(17)
+    triples = [
+        (rng.choice(pool), rng.choice(pool), rng.choice(pool))
+        for _ in range(len(pool) * (2 if quick else 4))
+    ]
+
+    def batch(ops, m):
+        return [ops.ite(m, f, g, h) for f, g, h in triples]
+
+    return Workload(bdd, batch), len(triples) * GC_ROUNDS
+
+
+def suite_quantify(quick):
+    nvars = 80 if quick else 200
+    bdd = BDD(["x%d" % i for i in range(nvars)])
+    pool = _literal_pool(bdd, nvars, 5, 6 if quick else 10, 20 if quick else 40)
+    rng = random.Random(19)
+    low, high = (nvars // 4, nvars // 2) if quick else (60, 150)
+    jobs = [
+        (rng.choice(pool), rng.sample(range(nvars), rng.randrange(low, high)))
+        for _ in range(20 if quick else 60)
+    ]
+
+    def batch(ops, m):
+        out = []
+        for f, vs in jobs:
+            out.append(ops.exists(m, f, vs))
+            out.append(ops.forall(m, f, vs))
+        return out
+
+    return Workload(bdd, batch), len(jobs) * 2 * GC_ROUNDS
+
+
+def suite_and_exists(quick):
+    nvars = 80 if quick else 200
+    bdd = BDD(["x%d" % i for i in range(nvars)])
+    pool = _literal_pool(bdd, nvars, 3, 6 if quick else 10, 20 if quick else 40)
+    rng = random.Random(23)
+    low, high = (nvars // 4, nvars // 2) if quick else (60, 150)
+    jobs = [
+        (
+            rng.choice(pool),
+            rng.choice(pool),
+            rng.sample(range(nvars), rng.randrange(low, high)),
+        )
+        for _ in range(20 if quick else 60)
+    ]
+
+    def batch(ops, m):
+        return [ops.and_exists(m, f, g, vs) for f, g, vs in jobs]
+
+    return Workload(bdd, batch), len(jobs) * GC_ROUNDS
+
+
+def suite_compose(quick):
+    nvars = 24
+    bdd = BDD(["x%d" % i for i in range(nvars)])
+    pool = _expr_pool(bdd, nvars, 29, 6 if quick else 16, 4 if quick else 6)
+    rng = random.Random(31)
+    jobs = [
+        (rng.choice(pool), rng.randrange(nvars), rng.choice(pool))
+        for _ in range(len(pool) * (2 if quick else 4))
+    ]
+
+    def batch(ops, m):
+        return [ops.compose(m, f, v, g) for f, v, g in jobs]
+
+    return Workload(bdd, batch), len(jobs) * GC_ROUNDS
+
+
+def suite_cofactor(quick):
+    nvars = 24
+    bdd = BDD(["x%d" % i for i in range(nvars)])
+    pool = _expr_pool(bdd, nvars, 37, 8 if quick else 24, 5 if quick else 8)
+    rng = random.Random(41)
+    jobs = []
+    for _ in range(len(pool) * (2 if quick else 4)):
+        f, c = rng.choice(pool), rng.choice(pool)
+        if c == 0:
+            c = 1
+        jobs.append((f, c))
+
+    def batch(ops, m):
+        out = []
+        for f, c in jobs:
+            out.append(ops.constrain(m, f, c))
+            out.append(ops.restrict(m, f, c))
+        return out
+
+    return Workload(bdd, batch), len(jobs) * 2 * GC_ROUNDS
+
+
+SUITES = {
+    "apply": suite_apply,
+    "ite": suite_ite,
+    "quantify": suite_quantify,
+    "and_exists": suite_and_exists,
+    "compose": suite_compose,
+    "cofactor": suite_cofactor,
+}
+
+
+def run_suite(name, builder, rounds, quick):
+    workload, ops = builder(quick)
+    # Warmup pair doubles as the correctness check: same manager, live
+    # results, so node handles are directly comparable.
+    res_ref = workload.run_reference()
+    res_cur = workload.run_current()
+    match = res_ref == res_cur
+    before, after = [], []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        workload.run_reference()
+        before.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        workload.run_current()
+        after.append(time.perf_counter() - start)
+    before_s = statistics.median(before)
+    after_s = statistics.median(after)
+    stats = workload.bdd.cache_stats()["total"]
+    return {
+        "before_s": round(before_s, 6),
+        "after_s": round(after_s, 6),
+        "speedup": round(before_s / after_s, 3) if after_s else None,
+        "ops": ops,
+        "rounds": rounds,
+        "gc_rounds": GC_ROUNDS,
+        "cache_hit_rate": stats["hit_rate"],
+        "peak_nodes": workload.bdd.peak_nodes,
+        "match": match,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny workloads for CI smoke runs (timings not meaningful)",
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(_ROOT, "BENCH_kernels.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    rounds = 3 if args.quick else 7
+    report = {
+        "meta": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "quick": args.quick,
+            "rounds": rounds,
+            "workload": "gc-interleaved batches over live results; "
+            "wide-cube quantification (see module docstring)",
+        },
+        "suites": {},
+    }
+    failed = False
+    for name, builder in SUITES.items():
+        entry = run_suite(name, builder, rounds, args.quick)
+        report["suites"][name] = entry
+        flag = "" if entry["match"] else "  ** MISMATCH **"
+        print(
+            "%-12s before %8.4fs  after %8.4fs  speedup %6.2fx%s"
+            % (name, entry["before_s"], entry["after_s"], entry["speedup"], flag)
+        )
+        if not entry["match"]:
+            failed = True
+
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote", args.output)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""End-to-end reachability benchmark: seed kernels vs current kernels.
+
+For each Table-2 surrogate circuit, runs the same engine twice per
+round: once with the seed's recursive kernels and clear-on-GC shared
+cache installed on the manager (``install_reference_kernels``), once
+with the current iterative kernels and GC-surviving per-op tables.
+Each phase gets a fresh :class:`ReachSpace`, so the comparison is a
+full engine run including image computation, fixpoint detection and
+the per-iteration garbage collections.
+
+Correctness: when both phases complete, they must agree on iteration
+count and on the canonical size of the reached set's representation
+(same circuit, same order — sizes are comparable across managers).
+Differing *statuses* are a legitimate performance outcome (the seed
+kernels may time out where the current ones finish), not a mismatch.
+
+Writes ``BENCH_reach.json``.  Exits non-zero only on a correctness
+mismatch.  ``--quick`` runs a subset for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, _ROOT)
+sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from repro.circuits import surrogates  # noqa: E402
+from repro.order import order_for  # noqa: E402
+from repro.reach import ENGINES, ReachLimits, ReachSpace  # noqa: E402
+
+from tests.bdd.reference_kernels import install_reference_kernels  # noqa: E402
+
+LIMITS = ReachLimits(max_seconds=20.0, max_live_nodes=60_000)
+QUICK_LIMITS = ReachLimits(max_seconds=5.0, max_live_nodes=30_000)
+
+
+def run_once(engine, circuit, slots, limits, reference):
+    space = ReachSpace(circuit, slots)
+    if reference:
+        install_reference_kernels(space.bdd)
+    result = ENGINES[engine](
+        circuit,
+        slots=slots,
+        limits=limits,
+        order_name="S1",
+        count_states=False,
+        space=space,
+    )
+    return result
+
+
+def bench_cell(engine, circuit, slots, limits, rounds):
+    before, after = [], []
+    mismatch = None
+    for _ in range(rounds):
+        ref_result = run_once(engine, circuit, slots, limits, reference=True)
+        cur_result = run_once(engine, circuit, slots, limits, reference=False)
+        before.append(ref_result.seconds)
+        after.append(cur_result.seconds)
+        if ref_result.completed and cur_result.completed:
+            if ref_result.iterations != cur_result.iterations:
+                mismatch = "iterations: %d vs %d" % (
+                    ref_result.iterations,
+                    cur_result.iterations,
+                )
+            elif ref_result.reached_size != cur_result.reached_size:
+                mismatch = "reached_size: %s vs %s" % (
+                    ref_result.reached_size,
+                    cur_result.reached_size,
+                )
+    before_s = statistics.median(before)
+    after_s = statistics.median(after)
+    cache = cur_result.extra.get("cache", {}).get("total", {})
+    return {
+        "before_s": round(before_s, 4),
+        "after_s": round(after_s, 4),
+        "speedup": round(before_s / after_s, 3) if after_s else None,
+        "before_status": ref_result.status,
+        "after_status": cur_result.status,
+        "iterations": cur_result.iterations,
+        "peak_live_nodes": cur_result.peak_live_nodes,
+        "cache_hit_rate": cache.get("hit_rate"),
+        "mismatch": mismatch,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument(
+        "--output", default=os.path.join(_ROOT, "BENCH_reach.json")
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        circuit_names = list(surrogates.SUITE)[:2]
+        engines = ("bfv",)
+        limits = QUICK_LIMITS
+        rounds = 1
+    else:
+        circuit_names = list(surrogates.SUITE)
+        engines = ("bfv", "tr")
+        limits = LIMITS
+        rounds = 3
+
+    report = {
+        "meta": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "quick": args.quick,
+            "rounds": rounds,
+            "order": "S1",
+            "max_seconds": limits.max_seconds,
+            "max_live_nodes": limits.max_live_nodes,
+        },
+        "cells": {},
+    }
+    failed = False
+    for name in circuit_names:
+        circuit = surrogates.SUITE[name]()
+        slots = order_for(circuit, "S1")
+        for engine in engines:
+            cell = bench_cell(engine, circuit, slots, limits, rounds)
+            report["cells"]["%s/%s" % (name, engine)] = cell
+            flag = ""
+            if cell["mismatch"]:
+                flag = "  ** MISMATCH: %s **" % cell["mismatch"]
+                failed = True
+            print(
+                "%-10s %-4s before %8.2fs (%s)  after %8.2fs (%s)  "
+                "speedup %6.2fx  hit-rate %s%s"
+                % (
+                    name,
+                    engine,
+                    cell["before_s"],
+                    cell["before_status"],
+                    cell["after_s"],
+                    cell["after_status"],
+                    cell["speedup"],
+                    cell["cache_hit_rate"],
+                    flag,
+                )
+            )
+
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote", args.output)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

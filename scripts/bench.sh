@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tracked benchmark baseline: current kernels vs the seed's recursive
+# reference kernels, at the kernel level and end-to-end through the
+# reachability engines.  Writes BENCH_kernels.json and BENCH_reach.json
+# at the repository root.
+#
+# Usage: scripts/bench.sh [--quick]
+#
+# --quick shrinks every workload for CI smoke runs: timings become
+# noisy and only the built-in correctness checks are meaningful.  Both
+# benchmark scripts exit non-zero on a correctness mismatch (and only
+# on a mismatch), so this script's exit code is a pure correctness
+# gate.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH=src
+
+echo "== kernel microbenchmarks =="
+python benchmarks/bench_kernels.py "$@"
+
+echo "== reachability benchmarks =="
+python benchmarks/bench_reach.py "$@"
+
+echo "BENCH OK"

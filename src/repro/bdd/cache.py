@@ -1,0 +1,243 @@
+"""Per-operation computed tables with packed integer keys.
+
+The BDD kernels memoize subproblem results in *computed tables*.  The
+seed implementation used one shared ``dict`` keyed by tuples like
+``("&", f, g)`` — every probe paid a tuple allocation plus a string-tag
+hash, and the whole table was wiped at every garbage collection.  This
+module replaces it with:
+
+* **one table per operation** (no string tags, no cross-op interference),
+* **packed integer keys** — operands are packed into a single int with
+  32-bit fields (e.g. ``g << 32 | f`` for the commutative binary ops),
+  so a probe hashes one small int,
+* **bounded size with batched oldest-half eviction** — when a table
+  reaches :data:`DEFAULT_LIMIT` entries, :func:`evict_half` rebuilds it
+  from the newest half (Python dicts preserve insertion order), which
+  amortizes to O(1) per insert,
+* **hit / miss / insert / eviction / sweep counters** per operation,
+  surfaced through :meth:`repro.bdd.manager.BDD.cache_stats`,
+* **live-preserving garbage collection** — at GC time, entries whose
+  operand and result nodes are all marked live are *kept* (node handles
+  are stable across GC), so reachability iterations stop rebuilding
+  warm state; only entries referencing dead (freeable, hence
+  reusable) node slots are dropped.
+
+Key layouts (``f``/``g``/``h``/``c`` are node handles, assumed to fit
+32 bits — the node-count budgets in this reproduction stay far below
+``2**32``; ``var`` is a variable index, ``cid``/``iid`` intern ids for
+level-sorted quantification cubes / cofactor literal lists, ``i`` the
+current index into the interned tuple):
+
+========== ==========================================================
+op          key
+========== ==========================================================
+not         ``f``
+and/or/xor  ``g << 32 | f``           (normalized ``f < g``)
+ite         ``f << 64 | g << 32 | h``
+exists      ``(cid << 64) | (i << 32) | f``
+forall      ``(cid << 64) | (i << 32) | f``
+and_exists  ``(cid << 96) | (i << 64) | (g << 32) | f``  (``f < g``)
+cofactor    ``(var << 33) | (value << 32) | f``
+cof_cube    ``(iid << 64) | (i << 32) | f``
+constrain   ``c << 32 | f``
+restrict    ``c << 32 | f``
+compose     ``(var << 64) | (g << 32) | f``
+========== ==========================================================
+
+Quantification cubes are interned (tuple -> small id) per manager, so
+the inner recursion threads an *index* into the cube rather than
+re-slicing ``cube[1:]`` tuples at every level.  Intern tables are
+cleared together with the computed tables on reorder (the level-sorted
+tuples change meaning), and kept across GC (they reference variables,
+not nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+# Operation codes — indexes into the per-manager table/stats lists.
+OP_NOT = 0
+OP_AND = 1
+OP_OR = 2
+OP_XOR = 3
+OP_ITE = 4
+OP_EXISTS = 5
+OP_FORALL = 6
+OP_AND_EXISTS = 7
+OP_COFACTOR = 8
+OP_COFACTOR_CUBE = 9
+OP_CONSTRAIN = 10
+OP_RESTRICT = 11
+OP_COMPOSE = 12
+N_OPS = 13
+
+OP_NAMES = (
+    "not",
+    "and",
+    "or",
+    "xor",
+    "ite",
+    "exists",
+    "forall",
+    "and_exists",
+    "cofactor",
+    "cofactor_cube",
+    "constrain",
+    "restrict",
+    "compose",
+)
+
+#: Bit width of one node field in a packed key.
+NODE_SHIFT = 32
+NODE_MASK = (1 << NODE_SHIFT) - 1
+
+#: Default per-operation entry bound (see ``BDD.cache_limit``).  Sized
+#: so that single large image computations (millions of subproblems)
+#: do not churn through mid-operation evictions — the seed's shared
+#: table was unbounded between collections.
+DEFAULT_LIMIT = 1 << 20
+
+#: Per-op shifts of the key fields that hold *node handles* (the result
+#: value is always a node and is checked separately).  Used by
+#: :func:`sweep` to decide whether an entry may survive a GC.
+_NODE_FIELDS = (
+    (0,),  # not (key is the operand node itself)
+    (0, 32),  # and
+    (0, 32),  # or
+    (0, 32),  # xor
+    (0, 32, 64),  # ite
+    (0,),  # exists
+    (0,),  # forall
+    (0, 32),  # and_exists
+    (0,),  # cofactor
+    (0,),  # cofactor_cube
+    (0, 32),  # constrain
+    (0, 32),  # restrict
+    (0, 32),  # compose
+)
+
+# Stats slots (one list of 5 counters per op).
+HITS = 0
+MISSES = 1
+INSERTS = 2
+EVICTIONS = 3
+SWEPT = 4
+
+
+def new_tables() -> List[Dict[int, int]]:
+    """Fresh empty computed tables, one dict per operation."""
+    return [dict() for _ in range(N_OPS)]
+
+
+def new_stats() -> List[List[int]]:
+    """Fresh counters: ``[hits, misses, inserts, evictions, swept]``."""
+    return [[0, 0, 0, 0, 0] for _ in range(N_OPS)]
+
+
+def evict_half(table: Dict[int, int], st: List[int]) -> int:
+    """Drop the (insertion-)oldest half of ``table``; returns the count.
+
+    Rebuilding from the newest half amortizes eviction to O(1) per
+    insert.  Deleting single front keys instead leaves tombstones at
+    the head of the dict's entry array, degrading every subsequent
+    ``next(iter(table))`` probe to a linear scan.
+    """
+    survivors = list(table.items())[len(table) // 2:]
+    dropped = len(table) - len(survivors)
+    table.clear()
+    table.update(survivors)
+    st[EVICTIONS] += dropped
+    return dropped
+
+
+def sweep(tables: List[Dict[int, int]], stats: List[List[int]], marked) -> int:
+    """Drop entries that reference any non-live node; keep the rest.
+
+    ``marked`` is the GC mark bytearray (index = node handle).  Live
+    nodes keep their handles across a collection, so an entry whose
+    operands *and* result are all marked stays valid; an entry touching
+    a dead node must go before the freed slot is reused.  Returns the
+    total number of entries dropped.
+    """
+    n = len(marked)
+    mask = NODE_MASK
+    dropped_total = 0
+    # Specialized dict comprehensions per key arity: the sweep visits
+    # every entry of every table, so per-entry interpreter overhead is
+    # the whole cost.
+    for op in range(N_OPS):
+        table = tables[op]
+        if not table:
+            continue
+        fields = _NODE_FIELDS[op]
+        if fields == (0,):
+            keep = {
+                k: v
+                for k, v in table.items()
+                if v < n and marked[v]
+                and (a := k & mask) < n and marked[a]
+            }
+        elif fields == (0, 32):
+            keep = {
+                k: v
+                for k, v in table.items()
+                if v < n and marked[v]
+                and (a := k & mask) < n and marked[a]
+                and (b := (k >> 32) & mask) < n and marked[b]
+            }
+        else:
+            keep = {
+                k: v
+                for k, v in table.items()
+                if v < n and marked[v]
+                and (a := k & mask) < n and marked[a]
+                and (b := (k >> 32) & mask) < n and marked[b]
+                and (c := (k >> 64) & mask) < n and marked[c]
+            }
+        dropped = len(table) - len(keep)
+        if dropped:
+            stats[op][SWEPT] += dropped
+            dropped_total += dropped
+            tables[op] = keep
+    return dropped_total
+
+
+def clear(tables: List[Dict[int, int]]) -> None:
+    """Empty every computed table (counters are preserved)."""
+    for table in tables:
+        table.clear()
+
+
+def stats_dict(tables: List[Dict[int, int]], stats: List[List[int]]) -> Dict[str, Dict[str, object]]:
+    """JSON-safe per-op and total statistics for ``BDD.cache_stats()``."""
+    out: Dict[str, Dict[str, object]] = {}
+    totals = [0, 0, 0, 0, 0]
+    total_entries = 0
+    for op in range(N_OPS):
+        h, miss, ins, ev, sw = stats[op]
+        probes = h + miss
+        entries = len(tables[op])
+        out[OP_NAMES[op]] = {
+            "hits": h,
+            "misses": miss,
+            "inserts": ins,
+            "evictions": ev,
+            "swept": sw,
+            "entries": entries,
+            "hit_rate": (h / probes) if probes else 0.0,
+        }
+        for slot in range(5):
+            totals[slot] += stats[op][slot]
+        total_entries += entries
+    probes = totals[HITS] + totals[MISSES]
+    out["total"] = {
+        "hits": totals[HITS],
+        "misses": totals[MISSES],
+        "inserts": totals[INSERTS],
+        "evictions": totals[EVICTIONS],
+        "swept": totals[SWEPT],
+        "entries": total_entries,
+        "hit_rate": (totals[HITS] / probes) if probes else 0.0,
+    }
+    return out

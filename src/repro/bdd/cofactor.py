@@ -10,77 +10,296 @@
   Boolean functional vectors.  It is the primitive behind McMillan's
   conjunctive-decomposition operations (paper Sec 2.7).
 * :func:`restrict` — the Coudert-Madre size-minimizing variant.
+
+All kernels are iterative (explicit task stacks, see
+:mod:`repro.bdd.operations` for the encoding conventions) and memoize in
+the packed-key per-op computed tables of :mod:`repro.bdd.cache`.
+``cofactor_cube`` interns the level-sorted literal list (``m._item_ids``)
+and threads an index through it, mirroring the quantification kernels.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Tuple
 
 from ..errors import BDDError
 from . import operations as _operations
+from .cache import (
+    OP_COFACTOR,
+    OP_COFACTOR_CUBE,
+    OP_CONSTRAIN,
+    OP_RESTRICT,
+    evict_half,
+)
 
 
 def cofactor(m, f: int, var: int, value: bool) -> int:
     """Shannon cofactor ``f|var=value``."""
+    m.op_count += 1
     if f < 2:
         return f
-    cache = m._cache
-    key = ("c1", f, var, value)
-    cached = cache.get(key)
-    if cached is not None:
-        return cached
+    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
+    # O(1) structural outcomes: ``var`` above the root level cannot
+    # appear in ``f``; ``var`` at the root is a child lookup.
+    v = var_[f]
+    lvl_var = lvl[var]
+    if lvl[v] > lvl_var:
+        return f
+    if v == var:
+        return hi_[f] if value else lo_[f]
+    table = m._ctables[OP_COFACTOR]
+    st = m._cstats[OP_COFACTOR]
+    kbase = (var << 33) | ((1 if value else 0) << 32)
+    get = table.get
+    r = get(kbase | f)
+    if r is not None:
+        st[0] += 1
+        return r
+    mk = m._mk
+    limit = m.cache_limit
+    # Tasks: non-negative int = expand; negative int = literal (terminal
+    # or level-bypassed node, folded at push time); (v, key) mk-combine.
+    tasks = [f]
+    vals = []
+    push = tasks.append
+    pop = tasks.pop
+    while tasks:
+        t = pop()
+        if type(t) is int:
+            if t < 0:
+                vals.append(-1 - t)
+                continue
+            v = var_[t]
+            key = kbase | t
+            r = get(key)
+            if r is not None:
+                st[0] += 1
+                vals.append(r)
+                continue
+            st[1] += 1
+            if v == var:
+                res = hi_[t] if value else lo_[t]
+                if len(table) >= limit:
+                    evict_half(table, st)
+                table[key] = res
+                st[2] += 1
+                vals.append(res)
+                continue
+            push((v, key))
+            hi = hi_[t]
+            push(-1 - hi if hi < 2 or lvl[var_[hi]] > lvl_var else hi)
+            lo = lo_[t]
+            push(-1 - lo if lo < 2 or lvl[var_[lo]] > lvl_var else lo)
+        else:
+            v, key = t
+            r1 = vals.pop()
+            r0 = vals.pop()
+            res = mk(v, r0, r1)
+            if len(table) >= limit:
+                evict_half(table, st)
+            table[key] = res
+            st[2] += 1
+            vals.append(res)
+    return vals[-1]
+
+
+def cofactor2(m, f: int, var: int) -> Tuple[int, int]:
+    """Both Shannon cofactors ``(f|var=0, f|var=1)`` in one traversal.
+
+    The two cofactors share every node of ``f`` above ``var``'s level;
+    computing them together walks that region once instead of twice.
+    Results are inserted into the ordinary ``OP_COFACTOR`` table under
+    the same keys the single-sided kernel uses, so the two entry points
+    feed each other's cache and the GC sweep needs no special casing.
+    """
+    m.op_count += 1
+    if f < 2:
+        return f, f
     var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
     v = var_[f]
-    if lvl[v] > lvl[var]:
-        result = f
-    elif v == var:
-        result = hi_[f] if value else lo_[f]
-    else:
-        result = m._mk(
-            v,
-            cofactor(m, lo_[f], var, value),
-            cofactor(m, hi_[f], var, value),
-        )
-    cache[key] = result
-    return result
+    lvl_var = lvl[var]
+    if lvl[v] > lvl_var:
+        return f, f
+    if v == var:
+        return lo_[f], hi_[f]
+    table = m._ctables[OP_COFACTOR]
+    st = m._cstats[OP_COFACTOR]
+    kbase0 = var << 33
+    kbase1 = kbase0 | (1 << 32)
+    get = table.get
+    r0 = get(kbase0 | f)
+    if r0 is not None:
+        r1 = get(kbase1 | f)
+        if r1 is not None:
+            st[0] += 2
+            return r0, r1
+    mk = m._mk
+    limit = m.cache_limit
+
+    def resolve(c):
+        """Result pair for child ``c``, or None when it needs a task."""
+        if c < 2 or lvl[var_[c]] > lvl_var:
+            return c, c
+        if var_[c] == var:
+            return lo_[c], hi_[c]
+        r0 = get(kbase0 | c)
+        if r0 is not None:
+            r1 = get(kbase1 | c)
+            if r1 is not None:
+                st[0] += 2
+                return r0, r1
+        return None
+
+    # Tasks: int = expand node; (v, key0, key1, inline, flag) =
+    # mk-combine, where ``inline`` is the already-resolved child pair
+    # (flag 0: it is the lo pair, flag 1: the hi pair, flag 2: none —
+    # both pairs come off ``vals``).  ``vals`` holds ``(at-var=0,
+    # at-var=1)`` result pairs.
+    tasks = [f]
+    vals = []
+    push = tasks.append
+    pop = tasks.pop
+    vpush = vals.append
+    while tasks:
+        t = pop()
+        if type(t) is int:
+            st[1] += 2
+            v = var_[t]
+            key0 = kbase0 | t
+            key1 = kbase1 | t
+            hi = hi_[t]
+            lo = lo_[t]
+            ph = resolve(hi)
+            pl = resolve(lo)
+            if pl is not None and ph is not None:
+                res0 = mk(v, pl[0], ph[0])
+                res1 = mk(v, pl[1], ph[1])
+                if len(table) >= limit:
+                    evict_half(table, st)
+                table[key0] = res0
+                table[key1] = res1
+                st[2] += 2
+                vpush((res0, res1))
+            elif pl is not None:
+                push((v, key0, key1, pl, 0))
+                push(hi)
+            elif ph is not None:
+                push((v, key0, key1, ph, 1))
+                push(lo)
+            else:
+                push((v, key0, key1, None, 2))
+                push(hi)
+                push(lo)
+        else:
+            v, key0, key1, inline, flag = t
+            if flag == 0:
+                pl = inline
+                ph = vals.pop()
+            elif flag == 1:
+                ph = inline
+                pl = vals.pop()
+            else:
+                ph = vals.pop()
+                pl = vals.pop()
+            res0 = mk(v, pl[0], ph[0])
+            res1 = mk(v, pl[1], ph[1])
+            if len(table) >= limit:
+                evict_half(table, st)
+            table[key0] = res0
+            table[key1] = res1
+            st[2] += 2
+            vpush((res0, res1))
+    return vals[-1]
+
+
+def _intern_items(m, items: Tuple[Tuple[int, bool], ...]) -> int:
+    """Small integer id for a level-sorted literal tuple (per manager)."""
+    ids = m._item_ids
+    iid = ids.get(items)
+    if iid is None:
+        iid = len(ids)
+        ids[items] = iid
+    return iid
 
 
 def cofactor_cube(m, f: int, assignment: Dict[int, bool]) -> int:
     """Cofactor ``f`` by a conjunction of literals ``{var: value}``."""
+    m.op_count += 1
     if f < 2 or not assignment:
         return f
-    items = tuple(
-        sorted(assignment.items(), key=lambda item: m._var2level[item[0]])
-    )
-    return _cofactor_cube(m, f, items)
-
-
-def _cofactor_cube(m, f: int, items) -> int:
-    if f < 2 or not items:
-        return f
-    cache = m._cache
-    key = ("cc", f, items)
-    cached = cache.get(key)
-    if cached is not None:
-        return cached
-    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
-    v = var_[f]
-    lf = lvl[v]
-    while items and lvl[items[0][0]] < lf:
-        items = items[1:]
-    if not items:
-        result = f
-    elif v == items[0][0]:
-        child = hi_[f] if items[0][1] else lo_[f]
-        result = _cofactor_cube(m, child, items[1:])
-    else:
-        result = m._mk(
-            v,
-            _cofactor_cube(m, lo_[f], items),
-            _cofactor_cube(m, hi_[f], items),
-        )
-    cache[key] = result
-    return result
+    lvl = m._var2level
+    items = tuple(sorted(assignment.items(), key=lambda item: lvl[item[0]]))
+    table = m._ctables[OP_COFACTOR_CUBE]
+    st = m._cstats[OP_COFACTOR_CUBE]
+    kbase = _intern_items(m, items) << 64
+    nitems = len(items)
+    var_, lo_, hi_ = m._var, m._lo, m._hi
+    mk = m._mk
+    limit = m.cache_limit
+    get = table.get
+    # Tasks: negative int = literal; (f, s) expand; (v, key, 0) mk-combine;
+    # (key,) forward (cache the tail-call result under key).
+    tasks = [(f, 0)]
+    vals = []
+    push = tasks.append
+    pop = tasks.pop
+    while tasks:
+        t = pop()
+        if type(t) is int:
+            vals.append(-1 - t)
+            continue
+        n = len(t)
+        if n == 2:
+            ff, s = t
+            v = var_[ff]
+            lf = lvl[v]
+            while s < nitems and lvl[items[s][0]] < lf:
+                s += 1
+            if s == nitems:
+                vals.append(ff)
+                continue
+            key = kbase | (s << 32) | ff
+            r = get(key)
+            if r is not None:
+                st[0] += 1
+                vals.append(r)
+                continue
+            st[1] += 1
+            if v == items[s][0]:
+                child = hi_[ff] if items[s][1] else lo_[ff]
+                if child < 2:
+                    if len(table) >= limit:
+                        evict_half(table, st)
+                    table[key] = child
+                    st[2] += 1
+                    vals.append(child)
+                else:
+                    push((key,))
+                    push((child, s + 1))
+            else:
+                push((v, key, 0))
+                hi = hi_[ff]
+                push(-1 - hi if hi < 2 else (hi, s))
+                lo = lo_[ff]
+                push(-1 - lo if lo < 2 else (lo, s))
+        elif n == 3:
+            v, key, _ = t
+            r1 = vals.pop()
+            r0 = vals.pop()
+            res = mk(v, r0, r1)
+            if len(table) >= limit:
+                evict_half(table, st)
+            table[key] = res
+            st[2] += 1
+            vals.append(res)
+        else:
+            key = t[0]
+            res = vals[-1]
+            if len(table) >= limit:
+                evict_half(table, st)
+            table[key] = res
+            st[2] += 1
+    return vals[-1]
 
 
 def constrain(m, f: int, c: int) -> int:
@@ -93,40 +312,77 @@ def constrain(m, f: int, c: int) -> int:
     """
     if c == 0:
         raise BDDError("constrain by the empty care set is undefined")
-    return _constrain(m, f, c)
-
-
-def _constrain(m, f: int, c: int) -> int:
-    if c == 1 or f < 2:
-        return f
-    if f == c:
-        return 1
-    cache = m._cache
-    key = ("gc", f, c)
-    cached = cache.get(key)
-    if cached is not None:
-        return cached
+    m.op_count += 1
+    table = m._ctables[OP_CONSTRAIN]
+    st = m._cstats[OP_CONSTRAIN]
     var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
-    lf = lvl[var_[f]]
-    lc = lvl[var_[c]]
-    level = lf if lf <= lc else lc
-    v = m._level2var[level]
-    if var_[f] == v:
-        f0, f1 = lo_[f], hi_[f]
-    else:
-        f0 = f1 = f
-    if var_[c] == v:
-        c0, c1 = lo_[c], hi_[c]
-    else:
-        c0 = c1 = c
-    if c0 == 0:
-        result = _constrain(m, f1, c1)
-    elif c1 == 0:
-        result = _constrain(m, f0, c0)
-    else:
-        result = m._mk(v, _constrain(m, f0, c0), _constrain(m, f1, c1))
-    cache[key] = result
-    return result
+    level2var = m._level2var
+    mk = m._mk
+    limit = m.cache_limit
+    get = table.get
+    # Tasks: (f, c) expand; (v, key, 0) mk-combine; (key,) forward.
+    tasks = [(f, c)]
+    vals = []
+    push = tasks.append
+    pop = tasks.pop
+    while tasks:
+        t = pop()
+        n = len(t)
+        if n == 2:
+            ff, cc = t
+            if cc == 1 or ff < 2:
+                vals.append(ff)
+                continue
+            if ff == cc:
+                vals.append(1)
+                continue
+            key = (cc << 32) | ff
+            r = get(key)
+            if r is not None:
+                st[0] += 1
+                vals.append(r)
+                continue
+            st[1] += 1
+            lf = lvl[var_[ff]]
+            lc = lvl[var_[cc]]
+            level = lf if lf <= lc else lc
+            v = level2var[level]
+            if var_[ff] == v:
+                f0, f1 = lo_[ff], hi_[ff]
+            else:
+                f0 = f1 = ff
+            if var_[cc] == v:
+                c0, c1 = lo_[cc], hi_[cc]
+            else:
+                c0 = c1 = cc
+            if c0 == 0:
+                push((key,))
+                push((f1, c1))
+            elif c1 == 0:
+                push((key,))
+                push((f0, c0))
+            else:
+                push((v, key, 0))
+                push((f1, c1))
+                push((f0, c0))
+        elif n == 3:
+            v, key, _ = t
+            r1 = vals.pop()
+            r0 = vals.pop()
+            res = mk(v, r0, r1)
+            if len(table) >= limit:
+                evict_half(table, st)
+            table[key] = res
+            st[2] += 1
+            vals.append(res)
+        else:
+            key = t[0]
+            res = vals[-1]
+            if len(table) >= limit:
+                evict_half(table, st)
+            table[key] = res
+            st[2] += 1
+    return vals[-1]
 
 
 def restrict(m, f: int, c: int) -> int:
@@ -139,38 +395,74 @@ def restrict(m, f: int, c: int) -> int:
     """
     if c == 0:
         raise BDDError("restrict by the empty care set is undefined")
-    return _restrict(m, f, c)
-
-
-def _restrict(m, f: int, c: int) -> int:
-    if c == 1 or f < 2:
-        return f
-    if f == c:
-        return 1
-    cache = m._cache
-    key = ("rs", f, c)
-    cached = cache.get(key)
-    if cached is not None:
-        return cached
+    m.op_count += 1
+    table = m._ctables[OP_RESTRICT]
+    st = m._cstats[OP_RESTRICT]
     var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
-    lf = lvl[var_[f]]
-    lc = lvl[var_[c]]
-    if lc < lf:
-        # c's top variable does not occur in f: drop it from the care set.
-        v = var_[c]
-        result = _restrict(m, f, _operations.or_(m, lo_[c], hi_[c]))
-    else:
-        v = var_[f]
-        f0, f1 = lo_[f], hi_[f]
-        if var_[c] == v:
-            c0, c1 = lo_[c], hi_[c]
+    mk = m._mk
+    limit = m.cache_limit
+    get = table.get
+    tasks = [(f, c)]
+    vals = []
+    push = tasks.append
+    pop = tasks.pop
+    while tasks:
+        t = pop()
+        n = len(t)
+        if n == 2:
+            ff, cc = t
+            if cc == 1 or ff < 2:
+                vals.append(ff)
+                continue
+            if ff == cc:
+                vals.append(1)
+                continue
+            key = (cc << 32) | ff
+            r = get(key)
+            if r is not None:
+                st[0] += 1
+                vals.append(r)
+                continue
+            st[1] += 1
+            lf = lvl[var_[ff]]
+            lc = lvl[var_[cc]]
+            if lc < lf:
+                # c's top variable does not occur in f: drop it from the
+                # care set (existential quantification, done inline).
+                push((key,))
+                push((ff, _operations.or_(m, lo_[cc], hi_[cc])))
+                continue
+            v = var_[ff]
+            f0, f1 = lo_[ff], hi_[ff]
+            if var_[cc] == v:
+                c0, c1 = lo_[cc], hi_[cc]
+            else:
+                c0 = c1 = cc
+            if c0 == 0:
+                push((key,))
+                push((f1, c1))
+            elif c1 == 0:
+                push((key,))
+                push((f0, c0))
+            else:
+                push((v, key, 0))
+                push((f1, c1))
+                push((f0, c0))
+        elif n == 3:
+            v, key, _ = t
+            r1 = vals.pop()
+            r0 = vals.pop()
+            res = mk(v, r0, r1)
+            if len(table) >= limit:
+                evict_half(table, st)
+            table[key] = res
+            st[2] += 1
+            vals.append(res)
         else:
-            c0 = c1 = c
-        if c0 == 0:
-            result = _restrict(m, f1, c1)
-        elif c1 == 0:
-            result = _restrict(m, f0, c0)
-        else:
-            result = m._mk(v, _restrict(m, f0, c0), _restrict(m, f1, c1))
-    cache[key] = result
-    return result
+            key = t[0]
+            res = vals[-1]
+            if len(table) >= limit:
+                evict_half(table, st)
+            table[key] = res
+            st[2] += 1
+    return vals[-1]

@@ -158,9 +158,18 @@ def parse(bdd, text: str, auto_declare: bool = False) -> int:
     """Parse ``text`` into a BDD node over ``bdd``'s variables.
 
     With ``auto_declare``, unknown names are declared (at the bottom of
-    the current order) instead of raising.
+    the current order) instead of raising.  Pathologically nested input
+    (the parser recursion tracks *expression* depth, not BDD depth)
+    fails cleanly as ``ResourceLimitError("depth")``.
     """
-    return _Parser(bdd, text, auto_declare).parse()
+    try:
+        return _Parser(bdd, text, auto_declare).parse()
+    except RecursionError:
+        from ..errors import ResourceLimitError
+
+        raise ResourceLimitError(
+            "depth", "expression nesting exceeds the recursion limit"
+        ) from None
 
 
 def to_expr(bdd, node: int, limit: int = 10_000) -> str:

@@ -2,10 +2,11 @@
 
 This module provides the node store and bookkeeping for the BDD substrate
 used throughout the reproduction: a unique table per variable (guaranteeing
-canonicity), a computed-table cache shared by all operations, external
-reference counting with mark-and-sweep garbage collection, and the live /
-allocated node accounting that backs the "peak live BDD nodes" statistics
-reported in the paper's Table 2.
+canonicity), per-operation computed tables with packed integer keys (see
+:mod:`repro.bdd.cache`), external reference counting with mark-and-sweep
+garbage collection that *preserves* cache entries among live nodes, and the
+live / allocated node accounting that backs the "peak live BDD nodes"
+statistics reported in the paper's Table 2.
 
 Nodes are plain integers indexing parallel arrays; ``0`` is the constant
 FALSE and ``1`` the constant TRUE.  The manager stores, for every node, its
@@ -29,6 +30,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..errors import BDDError, VariableError
+from . import cache as _cache
 from . import cofactor as _cofactor
 from . import operations as _operations
 from . import ordering as _ordering
@@ -72,8 +74,11 @@ class BDD:
         self._var: List[int] = [TERMINAL_VAR, TERMINAL_VAR]
         self._lo: List[int] = [0, 1]
         self._hi: List[int] = [0, 1]
-        # Unique table: one dict per variable mapping (lo, hi) -> node.
-        self._unique: List[Dict[Tuple[int, int], int]] = []
+        # Unique table: one dict per variable mapping the packed child
+        # pair ``lo << 32 | hi`` -> node.  Packed int keys hash faster
+        # than tuples and allocate nothing on the ``_mk`` hot path
+        # (node handles fit 32 bits; see repro.bdd.cache).
+        self._unique: List[Dict[int, int]] = []
         # Variable naming and ordering.
         self._names: List[str] = []
         self._name2var: Dict[str, int] = {}
@@ -83,11 +88,30 @@ class BDD:
         self._var2level: List[int] = [TERMINAL_LEVEL]
         # Free slots available for reuse after garbage collection.
         self._free: List[int] = []
+        # Allocated-node count (``len(_var) - len(_free)``), maintained
+        # incrementally so the ``_mk`` hot path avoids two len() calls.
+        self._node_count = 2
         # External references (node -> count); the GC roots.
         self._extref: Dict[int, int] = {}
-        # Computed table shared by all operations; cleared at GC time.
-        self._cache: Dict[tuple, int] = {}
-        # Statistics.
+        # Per-operation computed tables with packed integer keys, plus
+        # their [hits, misses, inserts, evictions, swept] counters; see
+        # repro.bdd.cache.  Bounded at ``cache_limit`` entries per op
+        # (FIFO eviction); swept (not cleared) at GC time.
+        self._ctables = _cache.new_tables()
+        self._cstats = _cache.new_stats()
+        self.cache_limit = _cache.DEFAULT_LIMIT
+        # Intern tables for quantification cubes and cofactor literal
+        # lists (level-sorted tuple -> small id used in packed cache
+        # keys).  They reference variables, not nodes, so they survive
+        # GC; they are cleared with the caches on reorder.
+        self._cube_ids: Dict[Tuple[int, ...], int] = {}
+        self._item_ids: Dict[Tuple[Tuple[int, bool], ...], int] = {}
+        # Statistics.  ``op_count`` counts *kernel invocations*: every
+        # entry into an apply-style kernel (not_/and_/or_/xor/ite,
+        # exists/forall/and_exists, cofactor*/constrain/restrict,
+        # compose/vector_compose/rename) increments it once, including
+        # internal cross-kernel calls — so ``equiv`` counts 2 (XOR then
+        # NOT) and ``conjoin`` counts one per conjunct.
         self.peak_nodes = 2
         self.peak_live = 2
         self.op_count = 0
@@ -203,7 +227,7 @@ class BDD:
         if lo == hi:
             return lo
         tab = self._unique[var]
-        key = (lo, hi)
+        key = (lo << 32) | hi
         node = tab.get(key)
         if node is not None:
             return node
@@ -219,7 +243,8 @@ class BDD:
             self._lo.append(lo)
             self._hi.append(hi)
         tab[key] = node
-        size = len(self._var) - len(free)
+        size = self._node_count + 1
+        self._node_count = size
         if size > self.peak_nodes:
             self.peak_nodes = size
         if self.node_limit is not None and size > self.node_limit:
@@ -230,10 +255,36 @@ class BDD:
             )
         return node
 
+    def _resolve_assignment(self, assignment: Dict[VarLike, bool]) -> Dict[int, bool]:
+        """Resolve an assignment's keys to variable indices.
+
+        Raises :class:`VariableError` when the same variable appears twice
+        with conflicting polarity (possible via mixed name/index spelling,
+        e.g. ``{"a": True, 0: False}``) — silently building the constant
+        FALSE or letting the last writer win would hide a caller bug.
+        """
+        resolved: Dict[int, bool] = {}
+        for v, val in assignment.items():
+            var = self.var_index(v)
+            val = bool(val)
+            prev = resolved.get(var)
+            if prev is None:
+                resolved[var] = val
+            elif prev != val:
+                raise VariableError(
+                    "conflicting polarity for variable %r in assignment"
+                    % self._names[var]
+                )
+        return resolved
+
     def cube(self, assignment: Dict[VarLike, bool]) -> int:
-        """Node for the conjunction of literals given by ``assignment``."""
+        """Node for the conjunction of literals given by ``assignment``.
+
+        Raises :class:`VariableError` if a variable is listed twice with
+        conflicting polarity.
+        """
         items = sorted(
-            ((self.var_index(v), bool(val)) for v, val in assignment.items()),
+            self._resolve_assignment(assignment).items(),
             key=lambda item: self._var2level[item[0]],
             reverse=True,
         )
@@ -281,38 +332,46 @@ class BDD:
     def collect_garbage(self, roots: Sequence[int] = ()) -> int:
         """Reclaim all nodes unreachable from external refs and ``roots``.
 
-        Returns the number of nodes freed.  The computed table is cleared
-        (it may reference dead nodes).  Node handles of live nodes are
-        unaffected.
+        Returns the number of nodes freed.  Computed-table entries whose
+        operands and result are all still live are *kept* (live node
+        handles are stable across GC), so repeated collections — e.g. one
+        per reachability iteration — do not discard warm cache state;
+        entries touching a dead (hence reusable) node slot are dropped.
         """
-        self._cache.clear()
         marked = self._mark(roots)
-        var_, lo_, hi_ = self._var, self._lo, self._hi
+        _cache.sweep(self._ctables, self._cstats, marked)
+        var_ = self._var
         unique, free = self._unique, self._free
+        # Rebuild each unique table from its live entries (one dict
+        # comprehension per variable beats a hash-delete per dead node),
+        # then scan the slot array once to maintain the free list.
+        for v, tab in enumerate(unique):
+            if tab:
+                keep = {k: n for k, n in tab.items() if marked[n]}
+                if len(keep) != len(tab):
+                    unique[v] = keep
         freed = 0
         for n in range(2, len(var_)):
-            v = var_[n]
-            if v == FREED_VAR or marked[n]:
+            if var_[n] == FREED_VAR or marked[n]:
                 continue
-            del unique[v][(lo_[n], hi_[n])]
             var_[n] = FREED_VAR
             free.append(n)
             freed += 1
         self.gc_count += 1
-        self._nodes_at_last_gc = len(var_) - len(free)
+        self._node_count -= freed
+        self._nodes_at_last_gc = self._node_count
         return freed
 
     def maybe_collect(self, roots: Sequence[int] = ()) -> int:
         """Run GC if allocation grew past the threshold since the last GC."""
-        size = len(self._var) - len(self._free)
-        if size - self._nodes_at_last_gc >= self.gc_threshold:
+        if self._node_count - self._nodes_at_last_gc >= self.gc_threshold:
             return self.collect_garbage(roots)
         return 0
 
     @property
     def num_nodes(self) -> int:
         """Number of allocated (possibly dead-but-uncollected) nodes."""
-        return len(self._var) - len(self._free)
+        return self._node_count
 
     def count_live(self, roots: Sequence[int] = ()) -> int:
         """Count nodes reachable from external refs and ``roots``.
@@ -331,8 +390,24 @@ class BDD:
         self.peak_nodes = self.num_nodes
 
     def clear_cache(self) -> None:
-        """Drop the computed table (automatic at GC and reorder time)."""
-        self._cache.clear()
+        """Drop all computed tables and intern tables (automatic on reorder).
+
+        Counters are preserved; GC does *not* call this — it sweeps dead
+        entries instead (see :meth:`collect_garbage`).
+        """
+        _cache.clear(self._ctables)
+        self._cube_ids.clear()
+        self._item_ids.clear()
+
+    def cache_stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-operation computed-table statistics.
+
+        Returns a JSON-safe dict keyed by operation name (plus a
+        ``"total"`` aggregate), each with ``hits`` / ``misses`` /
+        ``inserts`` / ``evictions`` / ``swept`` / ``entries`` /
+        ``hit_rate`` fields.
+        """
+        return _cache.stats_dict(self._ctables, self._cstats)
 
     # ------------------------------------------------------------------
     # Boolean operations (delegated to the algorithm modules)
@@ -340,46 +415,42 @@ class BDD:
 
     def not_(self, f: int) -> int:
         """Negation ``NOT f``."""
-        self.op_count += 1
         return _operations.not_(self, f)
 
     def and_(self, f: int, g: int) -> int:
         """Conjunction ``f AND g``."""
         self.op_count += 1
-        return _operations.and_(self, f, g)
+        return _operations._apply2(self, _cache.OP_AND, f, g)
 
     def or_(self, f: int, g: int) -> int:
         """Disjunction ``f OR g``."""
         self.op_count += 1
-        return _operations.or_(self, f, g)
+        return _operations._apply2(self, _cache.OP_OR, f, g)
 
     def xor(self, f: int, g: int) -> int:
         """Exclusive or ``f XOR g``."""
         self.op_count += 1
-        return _operations.xor(self, f, g)
+        return _operations._apply2(self, _cache.OP_XOR, f, g)
 
     def equiv(self, f: int, g: int) -> int:
-        """Equivalence ``f XNOR g``."""
-        self.op_count += 1
+        """Equivalence ``f XNOR g`` (two kernel invocations, plus any
+        nested kernels the XOR itself invokes)."""
         return _operations.not_(self, _operations.xor(self, f, g))
 
     def implies(self, f: int, g: int) -> int:
-        """Implication ``f -> g``."""
-        self.op_count += 1
+        """Implication ``f -> g`` (two kernel invocations)."""
         return _operations.or_(self, _operations.not_(self, f), g)
 
     def diff(self, f: int, g: int) -> int:
-        """Difference ``f AND NOT g``."""
-        self.op_count += 1
+        """Difference ``f AND NOT g`` (two kernel invocations)."""
         return _operations.and_(self, f, _operations.not_(self, g))
 
     def ite(self, f: int, g: int, h: int) -> int:
         """If-then-else ``(f AND g) OR (NOT f AND h)``."""
-        self.op_count += 1
         return _operations.ite(self, f, g, h)
 
     def conjoin(self, nodes: Iterable[int]) -> int:
-        """Conjunction of all ``nodes`` (TRUE for an empty iterable)."""
+        """Conjunction of all ``nodes`` (one kernel invocation each)."""
         result = 1
         for node in nodes:
             result = _operations.and_(self, result, node)
@@ -388,7 +459,7 @@ class BDD:
         return result
 
     def disjoin(self, nodes: Iterable[int]) -> int:
-        """Disjunction of all ``nodes`` (FALSE for an empty iterable)."""
+        """Disjunction of all ``nodes`` (one kernel invocation each)."""
         result = 0
         for node in nodes:
             result = _operations.or_(self, result, node)
@@ -400,17 +471,14 @@ class BDD:
 
     def exists(self, variables: Iterable[VarLike], f: int) -> int:
         """Existential quantification of ``variables`` from ``f``."""
-        self.op_count += 1
         return _quantify.exists(self, f, self._resolve_vars(variables))
 
     def forall(self, variables: Iterable[VarLike], f: int) -> int:
         """Universal quantification of ``variables`` from ``f``."""
-        self.op_count += 1
         return _quantify.forall(self, f, self._resolve_vars(variables))
 
     def and_exists(self, f: int, g: int, variables: Iterable[VarLike]) -> int:
         """Relational product ``EXISTS variables . f AND g`` (fused)."""
-        self.op_count += 1
         return _quantify.and_exists(self, f, g, self._resolve_vars(variables))
 
     def _resolve_vars(self, variables: Iterable[VarLike]) -> List[int]:
@@ -420,13 +488,11 @@ class BDD:
 
     def compose(self, f: int, var: VarLike, g: int) -> int:
         """Substitute function ``g`` for variable ``var`` in ``f``."""
-        self.op_count += 1
         return _substitute.compose(self, f, self.var_index(var), g)
 
     def vector_compose(self, f: int, mapping: Dict[VarLike, int]) -> int:
         """Simultaneously substitute ``mapping[var]`` for each ``var``."""
         resolved = {self.var_index(v): g for v, g in mapping.items()}
-        self.op_count += 1
         return _substitute.vector_compose(self, f, resolved)
 
     def rename(self, f: int, var_map: Dict[VarLike, VarLike]) -> int:
@@ -441,25 +507,28 @@ class BDD:
 
     def cofactor(self, f: int, var: VarLike, value: bool) -> int:
         """Shannon cofactor of ``f`` with respect to ``var = value``."""
-        self.op_count += 1
         return _cofactor.cofactor(self, f, self.var_index(var), bool(value))
 
+    def cofactors(self, f: int, var: VarLike) -> Tuple[int, int]:
+        """Both Shannon cofactors ``(f|var=0, f|var=1)`` in one pass."""
+        return _cofactor.cofactor2(self, f, self.var_index(var))
+
     def cofactor_cube(self, f: int, assignment: Dict[VarLike, bool]) -> int:
-        """Cofactor of ``f`` by a conjunction of literals."""
-        resolved = {
-            self.var_index(v): bool(val) for v, val in assignment.items()
-        }
-        self.op_count += 1
-        return _cofactor.cofactor_cube(self, f, resolved)
+        """Cofactor of ``f`` by a conjunction of literals.
+
+        Raises :class:`VariableError` if a variable is listed twice with
+        conflicting polarity.
+        """
+        return _cofactor.cofactor_cube(
+            self, f, self._resolve_assignment(assignment)
+        )
 
     def constrain(self, f: int, c: int) -> int:
         """Generalized cofactor (the BDD ``constrain`` operator)."""
-        self.op_count += 1
         return _cofactor.constrain(self, f, c)
 
     def restrict(self, f: int, c: int) -> int:
         """Coudert-Madre ``restrict``: minimize ``f`` w.r.t. care set ``c``."""
-        self.op_count += 1
         return _cofactor.restrict(self, f, c)
 
     # -- traversal / inspection ------------------------------------------
@@ -534,6 +603,8 @@ class BDD:
 
     def check_invariants(self) -> None:
         """Validate internal structure (tests / debugging aid)."""
+        if self._node_count != len(self._var) - len(self._free):
+            raise BDDError("allocated-node counter out of sync")
         var2level = self._var2level
         if var2level[-1] != TERMINAL_LEVEL:
             raise BDDError("var2level sentinel lost")
@@ -541,7 +612,8 @@ class BDD:
             if var2level[var] != level:
                 raise BDDError("level permutation inconsistent")
         for var, tab in enumerate(self._unique):
-            for (lo, hi), n in tab.items():
+            for key, n in tab.items():
+                lo, hi = key >> 32, key & 0xFFFFFFFF
                 if lo == hi:
                     raise BDDError("redundant node %d in unique table" % n)
                 if self._var[n] != var or self._lo[n] != lo or self._hi[n] != hi:

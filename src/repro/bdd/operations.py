@@ -1,137 +1,368 @@
 """Core Boolean operations on BDD nodes: NOT, AND, OR, XOR and ITE.
 
-These are the classic Bryant ``apply`` recursions with a shared computed
-table (``manager._cache``).  The binary operations normalize commutative
-operand order to improve cache hit rates, and the hot paths read the
-manager's parallel arrays into locals.
+These are the classic Bryant ``apply`` kernels, implemented with
+**explicit stacks** instead of Python recursion, so no operation can hit
+the interpreter recursion limit regardless of BDD depth, and per-step
+overhead stays constant.  AND/OR/XOR share one iterative driver
+(:func:`_apply2`); NOT and ITE have their own loops of the same shape.
 
-All functions take the manager as the first argument and raw integer node
-handles; they are re-exported as methods on :class:`repro.bdd.manager.BDD`.
+Memoization uses the per-operation packed-key computed tables of
+:mod:`repro.bdd.cache` (``m._ctables`` / ``m._cstats``): one dict per
+op, keys packed into a single int, bounded size with batched
+oldest-half eviction.
+
+Every kernel entry increments ``m.op_count`` — the manager-level
+statistic therefore counts *kernel invocations*, including internal
+cross-kernel calls (e.g. the XOR-with-TRUE fallback into NOT, or ITE's
+simplification into AND/OR).
+
+The explicit stacks hold three kinds of tasks, dispatched by type:
+
+* a non-negative ``int`` — *expand* this subproblem (probe the table,
+  split on the top variable, push children),
+* a negative ``int`` ``-1 - v`` — a *literal*: push value ``v`` onto
+  the value stack (used for children resolved at push time),
+* a ``tuple`` — a *combine* frame: pop the children's results off the
+  value stack, build the result node, insert it into the table.
+
+Combine frames always find their operands on top of the value stack
+because every pushed task nets exactly one value by the time it is
+consumed.
 """
 
 from __future__ import annotations
 
+from .cache import OP_AND, OP_ITE, OP_NOT, OP_OR, OP_XOR, evict_half
+
 
 def not_(m, f: int) -> int:
-    """Negation of ``f``."""
+    """Negation of ``f`` (iterative)."""
+    m.op_count += 1
     if f < 2:
         return f ^ 1
-    cache = m._cache
-    key = ("!", f)
-    cached = cache.get(key)
-    if cached is not None:
-        return cached
-    result = m._mk(m._var[f], not_(m, m._lo[f]), not_(m, m._hi[f]))
-    cache[key] = result
-    # Negation is an involution; seed the reverse entry for free.
-    cache[("!", result)] = f
-    return result
+    table = m._ctables[OP_NOT]
+    st = m._cstats[OP_NOT]
+    r = table.get(f)
+    if r is not None:
+        st[0] += 1
+        return r
+    var_, lo_, hi_ = m._var, m._lo, m._hi
+    mk = m._mk
+    limit = m.cache_limit
+    get = table.get
+    # One-level fast path: both children terminal or cache-resident.
+    lo = lo_[f]
+    hi = hi_[f]
+    r0 = lo ^ 1 if lo < 2 else get(lo)
+    if r0 is not None:
+        r1 = hi ^ 1 if hi < 2 else get(hi)
+        if r1 is not None:
+            res = mk(var_[f], r0, r1)
+            if len(table) >= limit:
+                evict_half(table, st)
+            table[f] = res
+            table[res] = f
+            st[0] += (lo >= 2) + (hi >= 2)
+            st[1] += 1
+            st[2] += 2
+            return res
+    # Tasks: tagged ints — negative = literal value; even = expand node
+    # ``t >> 1``; odd = mk-combine node ``t >> 1``.
+    tasks = [f << 1]
+    vals = []
+    push = tasks.append
+    pop = tasks.pop
+    while tasks:
+        t = pop()
+        if t < 0:
+            vals.append(-1 - t)
+            continue
+        n = t >> 1
+        if t & 1:
+            r1 = vals.pop()
+            r0 = vals.pop()
+            res = mk(var_[n], r0, r1)
+            if len(table) >= limit:
+                evict_half(table, st)
+            table[n] = res
+            # Negation is an involution; seed the reverse entry for free.
+            if len(table) >= limit:
+                evict_half(table, st)
+            table[res] = n
+            st[2] += 2
+            vals.append(res)
+            continue
+        r = get(n)
+        if r is not None:
+            st[0] += 1
+            vals.append(r)
+            continue
+        st[1] += 1
+        push((n << 1) | 1)
+        hi = hi_[n]
+        push(-1 - (hi ^ 1) if hi < 2 else hi << 1)
+        lo = lo_[n]
+        push(-1 - (lo ^ 1) if lo < 2 else lo << 1)
+    return vals[-1]
+
+
+def _apply2(m, op: int, f: int, g: int) -> int:
+    """Shared iterative apply driver for the commutative binary ops.
+
+    ``op`` is one of ``OP_AND`` / ``OP_OR`` / ``OP_XOR``; operand pairs
+    are normalized to ``f < g`` so the packed key ``g << 32 | f`` is
+    canonical.
+    """
+    # Top-level trivial cases (same ladder as the per-child resolution
+    # below, kept inline so the fast path has no loop setup).
+    if f == g:
+        return 0 if op == OP_XOR else f
+    if f > g:
+        f, g = g, f
+    if f < 2:
+        if op == OP_AND:
+            return 0 if f == 0 else g
+        if op == OP_OR:
+            return g if f == 0 else 1
+        return g if f == 0 else not_(m, g)
+    table = m._ctables[op]
+    st = m._cstats[op]
+    key = (g << 32) | f
+    r = table.get(key)
+    if r is not None:
+        st[0] += 1
+        return r
+    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
+    mk = m._mk
+    limit = m.cache_limit
+    get = table.get
+    # One-level fast path.  The average subproblem (especially inside
+    # the engines' warm-cache fixpoint loops) resolves both children by
+    # the constant ladder or a cache probe; handle that without paying
+    # for the task-stack machinery below.  Mirrors the resolution logic
+    # in the loop — on failure the root is simply re-expanded there,
+    # and no stats are flushed here so nothing is double-counted.
+    fhits = 0
+    la = lvl[var_[f]]
+    lb = lvl[var_[g]]
+    if la <= lb:
+        v = var_[f]
+        a0, a1 = lo_[f], hi_[f]
+    else:
+        v = var_[g]
+        a0 = a1 = f
+    if lb <= la:
+        b0, b1 = lo_[g], hi_[g]
+    else:
+        b0 = b1 = g
+    if a0 == b0:
+        r0 = 0 if op == OP_XOR else a0
+    else:
+        if a0 > b0:
+            a0, b0 = b0, a0
+        if a0 == 0:
+            r0 = 0 if op == OP_AND else b0
+        elif a0 == 1:
+            if op == OP_AND:
+                r0 = b0
+            elif op == OP_OR:
+                r0 = 1
+            else:
+                r0 = not_(m, b0)
+        else:
+            rc = get((b0 << 32) | a0)
+            if rc is None:
+                r0 = -1
+            else:
+                fhits += 1
+                r0 = rc
+    if r0 >= 0:
+        if a1 == b1:
+            r1 = 0 if op == OP_XOR else a1
+        else:
+            if a1 > b1:
+                a1, b1 = b1, a1
+            if a1 == 0:
+                r1 = 0 if op == OP_AND else b1
+            elif a1 == 1:
+                if op == OP_AND:
+                    r1 = b1
+                elif op == OP_OR:
+                    r1 = 1
+                else:
+                    r1 = not_(m, b1)
+            else:
+                rc = get((b1 << 32) | a1)
+                if rc is None:
+                    r1 = -1
+                else:
+                    fhits += 1
+                    r1 = rc
+        if r1 >= 0:
+            res = mk(v, r0, r1)
+            if len(table) >= limit:
+                evict_half(table, st)
+            table[key] = res
+            st[0] += fhits
+            st[1] += 1
+            st[2] += 1
+            return res
+    # Tasks are 3-tuples dispatched on the sign of the first element:
+    #
+    # * ``(a, b, key)`` with ``a >= 2`` — *expand* this operand pair
+    #   (already probed: its table miss was counted at push time),
+    # * ``(-1 - v, key, r1)`` — *combine*: build ``mk(v, r0, r1)``,
+    #   popping ``r0`` off the value stack, and ``r1`` too when it is
+    #   carried as ``-1`` rather than an inline value.
+    #
+    # Children are resolved eagerly at push time — constant ladder first,
+    # then a table probe — so cache-hit children never become tasks, and
+    # a node whose children both resolve is built immediately with no
+    # combine frame.  Stats are tallied in locals and flushed once.
+    tasks = [(f, g, key)]
+    vals = []
+    push = tasks.append
+    pop = tasks.pop
+    vpush = vals.append
+    vpop = vals.pop
+    hits = 0
+    misses = 1
+    inserts = 0
+    entries = len(table)
+    while tasks:
+        t = pop()
+        a = t[0]
+        if a >= 0:
+            b = t[1]
+            key = t[2]
+            la = lvl[var_[a]]
+            lb = lvl[var_[b]]
+            if la <= lb:
+                v = var_[a]
+                a0, a1 = lo_[a], hi_[a]
+            else:
+                v = var_[b]
+                a0 = a1 = a
+            if lb <= la:
+                b0, b1 = lo_[b], hi_[b]
+            else:
+                b0 = b1 = b
+            # Resolve each child to a value (constant ladder, then a
+            # cache probe) or to -1 (needs its own expansion).
+            if a0 == b0:
+                r0 = 0 if op == OP_XOR else a0
+            else:
+                if a0 > b0:
+                    a0, b0 = b0, a0
+                if a0 == 0:
+                    r0 = 0 if op == OP_AND else b0
+                elif a0 == 1:
+                    if op == OP_AND:
+                        r0 = b0
+                    elif op == OP_OR:
+                        r0 = 1
+                    else:
+                        r0 = not_(m, b0)
+                else:
+                    k0 = (b0 << 32) | a0
+                    rc = get(k0)
+                    if rc is None:
+                        r0 = -1
+                    else:
+                        hits += 1
+                        r0 = rc
+            if a1 == b1:
+                r1 = 0 if op == OP_XOR else a1
+            else:
+                if a1 > b1:
+                    a1, b1 = b1, a1
+                if a1 == 0:
+                    r1 = 0 if op == OP_AND else b1
+                elif a1 == 1:
+                    if op == OP_AND:
+                        r1 = b1
+                    elif op == OP_OR:
+                        r1 = 1
+                    else:
+                        r1 = not_(m, b1)
+                else:
+                    k1 = (b1 << 32) | a1
+                    rc = get(k1)
+                    if rc is None:
+                        r1 = -1
+                    else:
+                        hits += 1
+                        r1 = rc
+            if r0 >= 0:
+                if r1 >= 0:
+                    res = mk(v, r0, r1)
+                    if entries >= limit:
+                        evict_half(table, st)
+                        entries = len(table)
+                    table[key] = res
+                    entries += 1
+                    inserts += 1
+                    vpush(res)
+                else:
+                    # r0 lands on the value stack now; the hi subtree
+                    # nets exactly one value on top of it.
+                    misses += 1
+                    vpush(r0)
+                    push((-1 - v, key, -1))
+                    push((a1, b1, k1))
+            elif r1 >= 0:
+                misses += 1
+                push((-1 - v, key, r1))
+                push((a0, b0, k0))
+            else:
+                misses += 2
+                push((-1 - v, key, -1))
+                # hi pair first, lo pair second: LIFO pops lo first, so
+                # the combine frame finds (r0, r1) in order.
+                push((a1, b1, k1))
+                push((a0, b0, k0))
+        else:
+            key = t[1]
+            r1 = t[2]
+            if r1 < 0:
+                r1 = vpop()
+            r0 = vpop()
+            res = mk(-1 - a, r0, r1)
+            if entries >= limit:
+                evict_half(table, st)
+                entries = len(table)
+            table[key] = res
+            entries += 1
+            inserts += 1
+            vpush(res)
+    st[0] += hits
+    st[1] += misses
+    st[2] += inserts
+    return vals[-1]
 
 
 def and_(m, f: int, g: int) -> int:
     """Conjunction of ``f`` and ``g``."""
-    if f == g:
-        return f
-    if f > g:
-        f, g = g, f
-    if f == 0:
-        return 0
-    if f == 1:
-        return g
-    cache = m._cache
-    key = ("&", f, g)
-    cached = cache.get(key)
-    if cached is not None:
-        return cached
-    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
-    lf = lvl[var_[f]]
-    lg = lvl[var_[g]]
-    if lf <= lg:
-        v = var_[f]
-        f0, f1 = lo_[f], hi_[f]
-    else:
-        v = var_[g]
-        f0 = f1 = f
-    if lg <= lf:
-        g0, g1 = lo_[g], hi_[g]
-    else:
-        g0 = g1 = g
-    result = m._mk(v, and_(m, f0, g0), and_(m, f1, g1))
-    cache[key] = result
-    return result
+    m.op_count += 1
+    return _apply2(m, OP_AND, f, g)
 
 
 def or_(m, f: int, g: int) -> int:
     """Disjunction of ``f`` and ``g``."""
-    if f == g:
-        return f
-    if f > g:
-        f, g = g, f
-    if f == 1:
-        return 1
-    if f == 0:
-        return g
-    cache = m._cache
-    key = ("|", f, g)
-    cached = cache.get(key)
-    if cached is not None:
-        return cached
-    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
-    lf = lvl[var_[f]]
-    lg = lvl[var_[g]]
-    if lf <= lg:
-        v = var_[f]
-        f0, f1 = lo_[f], hi_[f]
-    else:
-        v = var_[g]
-        f0 = f1 = f
-    if lg <= lf:
-        g0, g1 = lo_[g], hi_[g]
-    else:
-        g0 = g1 = g
-    result = m._mk(v, or_(m, f0, g0), or_(m, f1, g1))
-    cache[key] = result
-    return result
+    m.op_count += 1
+    return _apply2(m, OP_OR, f, g)
 
 
 def xor(m, f: int, g: int) -> int:
     """Exclusive-or of ``f`` and ``g``."""
-    if f == g:
-        return 0
-    if f > g:
-        f, g = g, f
-    if f == 0:
-        return g
-    if f == 1:
-        return not_(m, g)
-    cache = m._cache
-    key = ("^", f, g)
-    cached = cache.get(key)
-    if cached is not None:
-        return cached
-    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
-    lf = lvl[var_[f]]
-    lg = lvl[var_[g]]
-    if lf <= lg:
-        v = var_[f]
-        f0, f1 = lo_[f], hi_[f]
-    else:
-        v = var_[g]
-        f0 = f1 = f
-    if lg <= lf:
-        g0, g1 = lo_[g], hi_[g]
-    else:
-        g0 = g1 = g
-    result = m._mk(v, xor(m, f0, g0), xor(m, f1, g1))
-    cache[key] = result
-    return result
+    m.op_count += 1
+    return _apply2(m, OP_XOR, f, g)
 
 
-def ite(m, f: int, g: int, h: int) -> int:
-    """If-then-else: ``(f AND g) OR (NOT f AND h)``.
+def _ite_shallow(m, f: int, g: int, h: int):
+    """Standard ITE simplifications; a node, or None when none apply.
 
-    Applies the standard terminal simplifications before recursing, and
-    falls back to the two-operand operations where possible so their
+    Falls back to the two-operand kernels where possible so their
     (better-shared) cache entries are reused.
     """
     if f == 1:
@@ -156,26 +387,79 @@ def ite(m, f: int, g: int, h: int) -> int:
         return or_(m, f, h)
     if f == h:
         return and_(m, f, g)
-    cache = m._cache
-    key = ("?", f, g, h)
-    cached = cache.get(key)
-    if cached is not None:
-        return cached
+    return None
+
+
+def ite(m, f: int, g: int, h: int) -> int:
+    """If-then-else ``(f AND g) OR (NOT f AND h)`` (iterative)."""
+    m.op_count += 1
+    res = _ite_shallow(m, f, g, h)
+    if res is not None:
+        return res
+    table = m._ctables[OP_ITE]
+    st = m._cstats[OP_ITE]
+    r = table.get((f << 64) | (g << 32) | h)
+    if r is not None:
+        st[0] += 1
+        return r
     var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
-    level = min(lvl[var_[f]], lvl[var_[g]], lvl[var_[h]])
-    v = m._level2var[level]
-    if var_[f] == v:
-        f0, f1 = lo_[f], hi_[f]
-    else:
-        f0 = f1 = f
-    if g > 1 and var_[g] == v:
-        g0, g1 = lo_[g], hi_[g]
-    else:
-        g0 = g1 = g
-    if h > 1 and var_[h] == v:
-        h0, h1 = lo_[h], hi_[h]
-    else:
-        h0 = h1 = h
-    result = m._mk(v, ite(m, f0, g0, h0), ite(m, f1, g1, h1))
-    cache[key] = result
-    return result
+    level2var = m._level2var
+    mk = m._mk
+    limit = m.cache_limit
+    get = table.get
+    tasks = [(f, g, h)]
+    vals = []
+    push = tasks.append
+    pop = tasks.pop
+    while tasks:
+        t = pop()
+        if type(t) is int:
+            vals.append(-1 - t)
+            continue
+        if len(t) == 3:
+            a, b, c = t
+            key = (a << 64) | (b << 32) | c
+            r = get(key)
+            if r is not None:
+                st[0] += 1
+                vals.append(r)
+                continue
+            st[1] += 1
+            level = lvl[var_[a]]
+            if b > 1:
+                lb = lvl[var_[b]]
+                if lb < level:
+                    level = lb
+            if c > 1:
+                lc = lvl[var_[c]]
+                if lc < level:
+                    level = lc
+            v = level2var[level]
+            if var_[a] == v:
+                a0, a1 = lo_[a], hi_[a]
+            else:
+                a0 = a1 = a
+            if b > 1 and var_[b] == v:
+                b0, b1 = lo_[b], hi_[b]
+            else:
+                b0 = b1 = b
+            if c > 1 and var_[c] == v:
+                c0, c1 = lo_[c], hi_[c]
+            else:
+                c0 = c1 = c
+            push((v, key))
+            res = _ite_shallow(m, a1, b1, c1)
+            push(-1 - res if res is not None else (a1, b1, c1))
+            res = _ite_shallow(m, a0, b0, c0)
+            push(-1 - res if res is not None else (a0, b0, c0))
+        else:
+            v, key = t
+            r1 = vals.pop()
+            r0 = vals.pop()
+            res = mk(v, r0, r1)
+            if len(table) >= limit:
+                evict_half(table, st)
+            table[key] = res
+            st[2] += 1
+            vals.append(res)
+    return vals[-1]

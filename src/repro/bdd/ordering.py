@@ -37,13 +37,14 @@ def swap_adjacent(m, level: int) -> None:
     var_, lo_, hi_ = m._var, m._lo, m._hi
     xtab = m._unique[x]
     ytab = m._unique[y]
-    keep: Dict[tuple, int] = {}
+    keep: Dict[int, int] = {}
     interacting: List[int] = []
-    for (lo, hi), n in xtab.items():
+    for key, n in xtab.items():
+        lo, hi = key >> 32, key & 0xFFFFFFFF
         if var_[lo] == y or var_[hi] == y:
             interacting.append(n)
         else:
-            keep[(lo, hi)] = n
+            keep[key] = n
     m._unique[x] = keep
     mk = m._mk
     for n in interacting:
@@ -60,7 +61,7 @@ def swap_adjacent(m, level: int) -> None:
         f1 = mk(x, lo1, hi1)
         if f0 == f1:  # pragma: no cover - impossible by the argument above
             raise BDDError("swap produced a redundant node")
-        key = (f0, f1)
+        key = (f0 << 32) | f1
         if key in ytab:  # pragma: no cover - impossible by canonicity
             raise BDDError("swap produced a duplicate node")
         var_[n] = y
@@ -72,10 +73,11 @@ def swap_adjacent(m, level: int) -> None:
     m._var2level[x] = level + 1
     m._var2level[y] = level
     # Cached results remain *semantically* valid (nodes keep their
-    # functions) but quantification cache keys embed level-sorted tuples;
-    # clearing keeps the invariants simple and swaps are rare outside
-    # sifting, which clears caches itself.
-    m._cache.clear()
+    # functions) but quantification cache keys embed interned level-sorted
+    # tuples; clearing the computed and intern tables keeps the invariants
+    # simple and swaps are rare outside sifting, which clears caches
+    # itself.
+    m.clear_cache()
 
 
 def reorder_to(m, order: Sequence[int]) -> None:

@@ -1,14 +1,23 @@
 """Quantification over BDDs: EXISTS, FORALL and the fused relational product.
 
-``and_exists`` implements ``EXISTS V . f AND g`` in a single recursion with
+``and_exists`` implements ``EXISTS V . f AND g`` in a single pass with
 early termination — the workhorse of image computation in the
 characteristic-function (VIS/IWLS95-style) reachability baseline.
 
-Quantified variable sets are normalized to tuples sorted by *current level*
-so that the recursion can drop variables that can no longer occur, and so
-cache keys are canonical.  The computed results are plain functions and thus
-remain valid across reorders; the caches are nevertheless cleared on reorder
-and GC by the manager.
+Quantified variable sets are normalized to tuples sorted by *current
+level* and **interned** to a small integer id (``m._cube_ids``); the
+iterative kernels thread an *index* into the interned tuple instead of
+re-slicing ``cube[1:]`` at every level, and cache keys pack
+``(cube id, index, operand)`` into one integer (see
+:mod:`repro.bdd.cache`).  The computed results are plain functions and
+thus remain valid across reorders; the caches and intern tables are
+nevertheless cleared on reorder (the level-sorted tuples change
+meaning) and swept at GC.
+
+All three kernels run on explicit stacks (no Python recursion); the
+quantified-variable case short-circuits the hi branch when the lo
+branch already decided the result (1 for EXISTS, 0 for FORALL), exactly
+like the classic recursive formulation.
 """
 
 from __future__ import annotations
@@ -16,86 +25,220 @@ from __future__ import annotations
 from typing import Sequence, Tuple
 
 from . import operations as _operations
+from .cache import OP_AND_EXISTS, OP_EXISTS, OP_FORALL, evict_half
 
 
 def _sorted_cube(m, variables: Sequence[int]) -> Tuple[int, ...]:
-    """Deduplicate and sort variables by their current level."""
+    """Deduplicate and sort variables by their current level.
+
+    Quantified variable lists carry no polarity, so duplicates (also by
+    mixed name/index spelling, resolved upstream) are harmlessly
+    coalesced.
+    """
     lvl = m._var2level
     return tuple(sorted(set(variables), key=lvl.__getitem__))
+
+
+def _intern_cube(m, cube: Tuple[int, ...]) -> int:
+    """Small integer id for a level-sorted cube tuple (per manager)."""
+    ids = m._cube_ids
+    cid = ids.get(cube)
+    if cid is None:
+        cid = len(ids)
+        ids[cube] = cid
+    return cid
 
 
 def exists(m, f: int, variables: Sequence[int]) -> int:
     """Existentially quantify ``variables`` out of ``f``."""
     cube = _sorted_cube(m, variables)
     if not cube or f < 2:
+        m.op_count += 1
         return f
-    return _exists(m, f, cube)
+    return _exists(m, f, cube, 0)
 
 
-def _exists(m, f: int, cube: Tuple[int, ...]) -> int:
+def _exists(m, f: int, cube: Tuple[int, ...], start: int) -> int:
+    m.op_count += 1
     if f < 2:
         return f
+    table = m._ctables[OP_EXISTS]
+    st = m._cstats[OP_EXISTS]
+    kbase = _intern_cube(m, cube) << 64
+    ncube = len(cube)
     var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
-    lf = lvl[var_[f]]
-    # Drop quantified variables that lie above f's top variable: they no
-    # longer occur in f.
-    while cube and lvl[cube[0]] < lf:
-        cube = cube[1:]
-    if not cube:
-        return f
-    cache = m._cache
-    key = ("E", f, cube)
-    cached = cache.get(key)
-    if cached is not None:
-        return cached
-    v = var_[f]
-    if v == cube[0]:
-        rest = cube[1:]
-        r0 = _exists(m, lo_[f], rest)
-        if r0 == 1:
-            result = 1
+    mk = m._mk
+    limit = m.cache_limit
+    get = table.get
+    # Tasks: negative int = literal; (f, s) expand; (v, key, 0) mk-combine;
+    # (key, hi, rest, 0) check-lo; (key,) or-combine.
+    tasks = [(f, start)]
+    vals = []
+    push = tasks.append
+    pop = tasks.pop
+    while tasks:
+        t = pop()
+        if type(t) is int:
+            vals.append(-1 - t)
+            continue
+        n = len(t)
+        if n == 2:
+            ff, s = t
+            lf = lvl[var_[ff]]
+            # Skip quantified variables above ff's top: they no longer
+            # occur in ff (index advance replaces cube[1:] re-slicing).
+            while s < ncube and lvl[cube[s]] < lf:
+                s += 1
+            if s == ncube:
+                vals.append(ff)
+                continue
+            key = kbase | (s << 32) | ff
+            r = get(key)
+            if r is not None:
+                st[0] += 1
+                vals.append(r)
+                continue
+            st[1] += 1
+            v = var_[ff]
+            if v == cube[s]:
+                rest = s + 1
+                push((key, hi_[ff], rest, 0))
+                lo = lo_[ff]
+                push(-1 - lo if lo < 2 else (lo, rest))
+            else:
+                push((v, key, 0))
+                hi = hi_[ff]
+                push(-1 - hi if hi < 2 else (hi, s))
+                lo = lo_[ff]
+                push(-1 - lo if lo < 2 else (lo, s))
+        elif n == 3:
+            v, key, _ = t
+            r1 = vals.pop()
+            r0 = vals.pop()
+            res = mk(v, r0, r1)
+            if len(table) >= limit:
+                evict_half(table, st)
+            table[key] = res
+            st[2] += 1
+            vals.append(res)
+        elif n == 4:
+            key, hi, rest, _ = t
+            r0 = vals.pop()
+            if r0 == 1:
+                if len(table) >= limit:
+                    evict_half(table, st)
+                table[key] = 1
+                st[2] += 1
+                vals.append(1)
+            else:
+                push((key,))
+                push(-1 - hi if hi < 2 else (hi, rest))
+                push(-1 - r0)
         else:
-            result = _operations.or_(m, r0, _exists(m, hi_[f], rest))
-    else:
-        result = m._mk(v, _exists(m, lo_[f], cube), _exists(m, hi_[f], cube))
-    cache[key] = result
-    return result
+            key = t[0]
+            r1 = vals.pop()
+            r0 = vals.pop()
+            res = _operations.or_(m, r0, r1)
+            if len(table) >= limit:
+                evict_half(table, st)
+            table[key] = res
+            st[2] += 1
+            vals.append(res)
+    return vals[-1]
 
 
 def forall(m, f: int, variables: Sequence[int]) -> int:
     """Universally quantify ``variables`` out of ``f``."""
     cube = _sorted_cube(m, variables)
     if not cube or f < 2:
+        m.op_count += 1
         return f
-    return _forall(m, f, cube)
+    return _forall(m, f, cube, 0)
 
 
-def _forall(m, f: int, cube: Tuple[int, ...]) -> int:
+def _forall(m, f: int, cube: Tuple[int, ...], start: int) -> int:
+    m.op_count += 1
     if f < 2:
         return f
+    table = m._ctables[OP_FORALL]
+    st = m._cstats[OP_FORALL]
+    kbase = _intern_cube(m, cube) << 64
+    ncube = len(cube)
     var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
-    lf = lvl[var_[f]]
-    while cube and lvl[cube[0]] < lf:
-        cube = cube[1:]
-    if not cube:
-        return f
-    cache = m._cache
-    key = ("A", f, cube)
-    cached = cache.get(key)
-    if cached is not None:
-        return cached
-    v = var_[f]
-    if v == cube[0]:
-        rest = cube[1:]
-        r0 = _forall(m, lo_[f], rest)
-        if r0 == 0:
-            result = 0
+    mk = m._mk
+    limit = m.cache_limit
+    get = table.get
+    tasks = [(f, start)]
+    vals = []
+    push = tasks.append
+    pop = tasks.pop
+    while tasks:
+        t = pop()
+        if type(t) is int:
+            vals.append(-1 - t)
+            continue
+        n = len(t)
+        if n == 2:
+            ff, s = t
+            lf = lvl[var_[ff]]
+            while s < ncube and lvl[cube[s]] < lf:
+                s += 1
+            if s == ncube:
+                vals.append(ff)
+                continue
+            key = kbase | (s << 32) | ff
+            r = get(key)
+            if r is not None:
+                st[0] += 1
+                vals.append(r)
+                continue
+            st[1] += 1
+            v = var_[ff]
+            if v == cube[s]:
+                rest = s + 1
+                push((key, hi_[ff], rest, 0))
+                lo = lo_[ff]
+                push(-1 - lo if lo < 2 else (lo, rest))
+            else:
+                push((v, key, 0))
+                hi = hi_[ff]
+                push(-1 - hi if hi < 2 else (hi, s))
+                lo = lo_[ff]
+                push(-1 - lo if lo < 2 else (lo, s))
+        elif n == 3:
+            v, key, _ = t
+            r1 = vals.pop()
+            r0 = vals.pop()
+            res = mk(v, r0, r1)
+            if len(table) >= limit:
+                evict_half(table, st)
+            table[key] = res
+            st[2] += 1
+            vals.append(res)
+        elif n == 4:
+            key, hi, rest, _ = t
+            r0 = vals.pop()
+            if r0 == 0:
+                if len(table) >= limit:
+                    evict_half(table, st)
+                table[key] = 0
+                st[2] += 1
+                vals.append(0)
+            else:
+                push((key,))
+                push(-1 - hi if hi < 2 else (hi, rest))
+                push(-1 - r0)
         else:
-            result = _operations.and_(m, r0, _forall(m, hi_[f], rest))
-    else:
-        result = m._mk(v, _forall(m, lo_[f], cube), _forall(m, hi_[f], cube))
-    cache[key] = result
-    return result
+            key = t[0]
+            r1 = vals.pop()
+            r0 = vals.pop()
+            res = _operations.and_(m, r0, r1)
+            if len(table) >= limit:
+                evict_half(table, st)
+            table[key] = res
+            st[2] += 1
+            vals.append(res)
+    return vals[-1]
 
 
 def and_exists(m, f: int, g: int, variables: Sequence[int]) -> int:
@@ -107,50 +250,108 @@ def and_exists(m, f: int, g: int, variables: Sequence[int]) -> int:
 
 
 def _and_exists(m, f: int, g: int, cube: Tuple[int, ...]) -> int:
-    if f == 0 or g == 0:
-        return 0
-    if f == 1 and g == 1:
-        return 1
-    if f == 1:
-        return _exists(m, g, cube)
-    if g == 1:
-        return _exists(m, f, cube)
-    if f == g:
-        return _exists(m, f, cube)
-    if f > g:
-        f, g = g, f
+    m.op_count += 1
+    table = m._ctables[OP_AND_EXISTS]
+    st = m._cstats[OP_AND_EXISTS]
+    kbase = _intern_cube(m, cube) << 96
+    ncube = len(cube)
     var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
-    lf = lvl[var_[f]]
-    lg = lvl[var_[g]]
-    top = lf if lf <= lg else lg
-    while cube and lvl[cube[0]] < top:
-        cube = cube[1:]
-    if not cube:
-        return _operations.and_(m, f, g)
-    cache = m._cache
-    key = ("AE", f, g, cube)
-    cached = cache.get(key)
-    if cached is not None:
-        return cached
-    v = m._level2var[top]
-    if var_[f] == v:
-        f0, f1 = lo_[f], hi_[f]
-    else:
-        f0 = f1 = f
-    if var_[g] == v:
-        g0, g1 = lo_[g], hi_[g]
-    else:
-        g0 = g1 = g
-    if v == cube[0]:
-        rest = cube[1:]
-        r0 = _and_exists(m, f0, g0, rest)
-        if r0 == 1:
-            result = 1
+    level2var = m._level2var
+    mk = m._mk
+    limit = m.cache_limit
+    get = table.get
+    # Tasks: negative int = literal; (0, f, g, s) expand; (1, v, key)
+    # mk-combine; (2, key, f1, g1, rest) check-lo; (3, key) or-combine.
+    tasks = [(0, f, g, 0)]
+    vals = []
+    push = tasks.append
+    pop = tasks.pop
+    while tasks:
+        t = pop()
+        if type(t) is int:
+            vals.append(-1 - t)
+            continue
+        tag = t[0]
+        if tag == 0:
+            _, ff, gg, s = t
+            if ff > gg:
+                ff, gg = gg, ff
+            if ff == 0:
+                vals.append(0)
+                continue
+            if ff == 1:
+                vals.append(1 if gg == 1 else _exists(m, gg, cube, s))
+                continue
+            if ff == gg:
+                vals.append(_exists(m, ff, cube, s))
+                continue
+            vf = var_[ff]
+            vg = var_[gg]
+            lf = lvl[vf]
+            lg = lvl[vg]
+            top = lf if lf <= lg else lg
+            while s < ncube and lvl[cube[s]] < top:
+                s += 1
+            if s == ncube:
+                vals.append(_operations.and_(m, ff, gg))
+                continue
+            key = kbase | (s << 64) | (gg << 32) | ff
+            r = get(key)
+            if r is not None:
+                st[0] += 1
+                vals.append(r)
+                continue
+            st[1] += 1
+            v = level2var[top]
+            if vf == v:
+                f0, f1 = lo_[ff], hi_[ff]
+            else:
+                f0 = f1 = ff
+            if vg == v:
+                g0, g1 = lo_[gg], hi_[gg]
+            else:
+                g0 = g1 = gg
+            # Zero children fold at push time (-1 encodes literal 0):
+            # AND with 0 needs no task of its own.
+            if v == cube[s]:
+                rest = s + 1
+                push((2, key, f1, g1, rest))
+                push(-1 if f0 == 0 or g0 == 0 else (0, f0, g0, rest))
+            else:
+                push((1, v, key))
+                push(-1 if f1 == 0 or g1 == 0 else (0, f1, g1, s))
+                push(-1 if f0 == 0 or g0 == 0 else (0, f0, g0, s))
+        elif tag == 1:
+            _, v, key = t
+            r1 = vals.pop()
+            r0 = vals.pop()
+            res = mk(v, r0, r1)
+            if len(table) >= limit:
+                evict_half(table, st)
+            table[key] = res
+            st[2] += 1
+            vals.append(res)
+        elif tag == 2:
+            _, key, f1, g1, rest = t
+            r0 = vals.pop()
+            if r0 == 1:
+                if len(table) >= limit:
+                    evict_half(table, st)
+                table[key] = 1
+                st[2] += 1
+                vals.append(1)
+            else:
+                push((3, key))
+                push(-1 if f1 == 0 or g1 == 0 else (0, f1, g1, rest))
+                push(-1 - r0)
         else:
-            result = _operations.or_(m, r0, _and_exists(m, f1, g1, rest))
-    else:
-        result = m._mk(
-            v, _and_exists(m, f0, g0, cube), _and_exists(m, f1, g1, cube)
-        )
-    cache[key] = result
-    return result
+            _, key = t
+            r1 = vals.pop()
+            r0 = vals.pop()
+            res = _operations.or_(m, r0, r1)
+            if len(table) >= limit:
+                evict_half(table, st)
+            table[key] = res
+            st[2] += 1
+            vals.append(res)
+    return vals[-1]

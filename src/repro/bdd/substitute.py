@@ -9,6 +9,11 @@ behind the Boolean-functional-vector intersection's final normalization pass
 order-compatible case (every renamed variable keeps its relative level
 position and target variables do not collide with the support) and then uses
 a fast structural rebuild, falling back to general composition otherwise.
+
+All traversals are iterative.  ``compose`` memoizes in the shared
+packed-key computed table (:mod:`repro.bdd.cache`); ``vector_compose``
+and the monotone rename keep per-call memo dicts because their results
+depend on the whole (unhashable) mapping.
 """
 
 from __future__ import annotations
@@ -17,33 +22,69 @@ from typing import Dict
 
 from . import operations as _operations
 from . import traversal as _traversal
+from .cache import OP_COMPOSE, evict_half
 
 
 def compose(m, f: int, var: int, g: int) -> int:
     """Substitute function ``g`` for variable ``var`` in ``f``."""
+    m.op_count += 1
     if f < 2:
         return f
-    cache = m._cache
-    key = ("C", f, var, g)
-    cached = cache.get(key)
-    if cached is not None:
-        return cached
+    table = m._ctables[OP_COMPOSE]
+    st = m._cstats[OP_COMPOSE]
+    kbase = (var << 64) | (g << 32)
     var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
-    lf = lvl[var_[f]]
     lv = lvl[var]
-    if lf > lv:
-        result = f
-    elif var_[f] == var:
-        result = _operations.ite(m, g, hi_[f], lo_[f])
-    else:
-        r0 = compose(m, lo_[f], var, g)
-        r1 = compose(m, hi_[f], var, g)
-        # Children may now contain variables above f's own variable (g can
-        # reference anything), so rebuild with ITE instead of _mk.
-        v_node = m._mk(var_[f], 0, 1)
-        result = _operations.ite(m, v_node, r1, r0)
-    cache[key] = result
-    return result
+    mk = m._mk
+    limit = m.cache_limit
+    get = table.get
+    # Tasks: int = expand (terminals resolve to themselves at pop);
+    # (vf, key) ite-combine.
+    tasks = [f]
+    vals = []
+    push = tasks.append
+    pop = tasks.pop
+    while tasks:
+        t = pop()
+        if type(t) is int:
+            if t < 2:
+                vals.append(t)
+                continue
+            vf = var_[t]
+            if lvl[vf] > lv:
+                vals.append(t)
+                continue
+            key = kbase | t
+            r = get(key)
+            if r is not None:
+                st[0] += 1
+                vals.append(r)
+                continue
+            st[1] += 1
+            if vf == var:
+                res = _operations.ite(m, g, hi_[t], lo_[t])
+                if len(table) >= limit:
+                    evict_half(table, st)
+                table[key] = res
+                st[2] += 1
+                vals.append(res)
+                continue
+            push((vf, key))
+            push(hi_[t])
+            push(lo_[t])
+        else:
+            vf, key = t
+            r1 = vals.pop()
+            r0 = vals.pop()
+            # Children may now contain variables above f's own variable (g
+            # can reference anything), so rebuild with ITE instead of _mk.
+            res = _operations.ite(m, mk(vf, 0, 1), r1, r0)
+            if len(table) >= limit:
+                evict_half(table, st)
+            table[key] = res
+            st[2] += 1
+            vals.append(res)
+    return vals[-1]
 
 
 def vector_compose(m, f: int, mapping: Dict[int, int]) -> int:
@@ -53,37 +94,46 @@ def vector_compose(m, f: int, mapping: Dict[int, int]) -> int:
     is simultaneous: replacement functions are *not* themselves rewritten,
     even if they mention variables that also appear as mapping keys.
     """
+    m.op_count += 1
     if f < 2 or not mapping:
         return f
-    lvl = m._var2level
+    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
     max_level = max(lvl[v] for v in mapping)
+    mk = m._mk
     # Per-call memo table: mapping dicts are not hashable and results
     # depend on the whole mapping, so a shared cache key would be awkward.
     memo: Dict[int, int] = {}
-    return _vector_compose(m, f, mapping, max_level, memo)
-
-
-def _vector_compose(
-    m, f: int, mapping: Dict[int, int], max_level: int, memo: Dict[int, int]
-) -> int:
-    if f < 2:
-        return f
-    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
-    v = var_[f]
-    if lvl[v] > max_level:
-        # No mapped variable can occur at or below this node.
-        return f
-    cached = memo.get(f)
-    if cached is not None:
-        return cached
-    r0 = _vector_compose(m, lo_[f], mapping, max_level, memo)
-    r1 = _vector_compose(m, hi_[f], mapping, max_level, memo)
-    g = mapping.get(v)
-    if g is None:
-        g = m._mk(v, 0, 1)
-    result = _operations.ite(m, g, r1, r0)
-    memo[f] = result
-    return result
+    memo_get = memo.get
+    tasks = [f]
+    vals = []
+    push = tasks.append
+    pop = tasks.pop
+    while tasks:
+        t = pop()
+        if type(t) is int:
+            if t < 2 or lvl[var_[t]] > max_level:
+                # No mapped variable can occur at or below this node.
+                vals.append(t)
+                continue
+            r = memo_get(t)
+            if r is not None:
+                vals.append(r)
+                continue
+            push((t,))
+            push(hi_[t])
+            push(lo_[t])
+        else:
+            ff = t[0]
+            r1 = vals.pop()
+            r0 = vals.pop()
+            v = var_[ff]
+            g = mapping.get(v)
+            if g is None:
+                g = mk(v, 0, 1)
+            res = _operations.ite(m, g, r1, r0)
+            memo[ff] = res
+            vals.append(res)
+    return vals[-1]
 
 
 def rename(m, f: int, var_map: Dict[int, int]) -> int:
@@ -94,10 +144,12 @@ def rename(m, f: int, var_map: Dict[int, int]) -> int:
     to simultaneous composition with literal nodes.
     """
     if f < 2 or not var_map:
+        m.op_count += 1
         return f
     support = set(_traversal.support(m, f))
     effective = {v: w for v, w in var_map.items() if v in support and v != w}
     if not effective:
+        m.op_count += 1
         return f
     lvl = m._var2level
     targets = set(effective.values())
@@ -112,23 +164,40 @@ def rename(m, f: int, var_map: Dict[int, int]) -> int:
             pairs[i][1] < pairs[i + 1][1] for i in range(len(pairs) - 1)
         )
         if monotone:
-            memo: Dict[int, int] = {}
-            return _rename_monotone(m, f, effective, memo)
+            return _rename_monotone(m, f, effective)
     literal_map = {v: m._mk(w, 0, 1) for v, w in effective.items()}
     return vector_compose(m, f, literal_map)
 
 
-def _rename_monotone(m, f: int, var_map: Dict[int, int], memo: Dict[int, int]) -> int:
-    if f < 2:
-        return f
-    cached = memo.get(f)
-    if cached is not None:
-        return cached
-    v = m._var[f]
-    result = m._mk(
-        var_map.get(v, v),
-        _rename_monotone(m, m._lo[f], var_map, memo),
-        _rename_monotone(m, m._hi[f], var_map, memo),
-    )
-    memo[f] = result
-    return result
+def _rename_monotone(m, f: int, var_map: Dict[int, int]) -> int:
+    m.op_count += 1
+    var_, lo_, hi_ = m._var, m._lo, m._hi
+    mk = m._mk
+    memo: Dict[int, int] = {}
+    memo_get = memo.get
+    tasks = [f]
+    vals = []
+    push = tasks.append
+    pop = tasks.pop
+    while tasks:
+        t = pop()
+        if type(t) is int:
+            if t < 2:
+                vals.append(t)
+                continue
+            r = memo_get(t)
+            if r is not None:
+                vals.append(r)
+                continue
+            push((t,))
+            push(hi_[t])
+            push(lo_[t])
+        else:
+            ff = t[0]
+            r1 = vals.pop()
+            r0 = vals.pop()
+            v = var_[ff]
+            res = mk(var_map.get(v, v), r0, r1)
+            memo[ff] = res
+            vals.append(res)
+    return vals[-1]

@@ -91,31 +91,32 @@ def sat_count(m, f: int, over: Optional[Iterable[int]] = None) -> int:
         )
     rank = {v: i for i, v in enumerate(variables)}
     total = len(variables)
-    cache: Dict[int, int] = {}
-    count = _sat_count(m, f, rank, total, cache)
-    top_rank = rank[m._var[f]] if f > 1 else total
-    return count << top_rank
-
-
-def _sat_count(
-    m, f: int, rank: Dict[int, int], total: int, cache: Dict[int, int]
-) -> int:
-    """Count models over the counted variables at ranks >= rank(var(f))."""
-    if f == 0:
-        return 0
-    if f == 1:
-        return 1
-    cached = cache.get(f)
-    if cached is not None:
-        return cached
-    r = rank[m._var[f]]
-    lo, hi = m._lo[f], m._hi[f]
-    lo_rank = rank[m._var[lo]] if lo > 1 else total
-    hi_rank = rank[m._var[hi]] if hi > 1 else total
-    count = _sat_count(m, lo, rank, total, cache) << (lo_rank - r - 1)
-    count += _sat_count(m, hi, rank, total, cache) << (hi_rank - r - 1)
-    cache[f] = count
-    return count
+    # Iterative post-order over the DAG: each node's count covers the
+    # counted variables at ranks >= rank(var(node)).
+    var_, lo_, hi_ = m._var, m._lo, m._hi
+    counts: Dict[int, int] = {0: 0, 1: 1}
+    stack = [f]
+    while stack:
+        n = stack[-1]
+        if n in counts:
+            stack.pop()
+            continue
+        lo, hi = lo_[n], hi_[n]
+        clo = counts.get(lo)
+        chi = counts.get(hi)
+        if clo is None or chi is None:
+            if clo is None:
+                stack.append(lo)
+            if chi is None:
+                stack.append(hi)
+            continue
+        r = rank[var_[n]]
+        lo_rank = rank[var_[lo]] if lo > 1 else total
+        hi_rank = rank[var_[hi]] if hi > 1 else total
+        counts[n] = (clo << (lo_rank - r - 1)) + (chi << (hi_rank - r - 1))
+        stack.pop()
+    top_rank = rank[var_[f]] if f > 1 else total
+    return counts[f] << top_rank
 
 
 def pick_model(m, f: int, care_vars: List[int]) -> Optional[Dict[str, bool]]:
@@ -153,23 +154,35 @@ def iter_models(
         set(support(m, f)) | set(care_vars), key=m._var2level.__getitem__
     )
     names = [m._names[v] for v in variables]
-
-    def recurse(node: int, index: int) -> Iterator[List[bool]]:
-        if node == 0:
-            return
-        if index == len(variables):
-            yield []
-            return
+    nvars = len(variables)
+    var_, lo_, hi_ = m._var, m._lo, m._hi
+    # Iterative backtracking (no recursion, so model width is unbounded).
+    # Frame = [node, index, state]; state 0 = descend lo, 1 = descend hi,
+    # 2 = exhausted.  ``values[:index]`` is the assignment prefix.
+    values: List[bool] = []
+    frames = [[f, 0, 0]]
+    while frames:
+        frame = frames[-1]
+        node, index, state = frame
+        if node == 0 or state == 2:
+            frames.pop()
+            del values[index:]
+            continue
+        if index == nvars:
+            yield dict(zip(names, values))
+            frames.pop()
+            continue
         v = variables[index]
-        var_ = m._var
         if node > 1 and var_[node] == v:
-            lo, hi = m._lo[node], m._hi[node]
+            lo, hi = lo_[node], hi_[node]
         else:
             lo = hi = node
-        for tail in recurse(lo, index + 1):
-            yield [False] + tail
-        for tail in recurse(hi, index + 1):
-            yield [True] + tail
-
-    for values in recurse(f, 0):
-        yield dict(zip(names, values))
+        del values[index:]
+        if state == 0:
+            frame[2] = 1
+            values.append(False)
+            frames.append([lo, index + 1, 0])
+        else:
+            frame[2] = 2
+            values.append(True)
+            frames.append([hi, index + 1, 0])

@@ -43,8 +43,7 @@ def from_characteristic(bdd, choice_vars: Sequence[int], chi: int) -> BFV:
     remaining = chi
     for i in range(n):
         v = choice_vars[i]
-        zero = bdd.cofactor(remaining, v, False)
-        one = bdd.cofactor(remaining, v, True)
+        zero, one = bdd.cofactors(remaining, v)
         rest = choice_vars[i + 1:]
         can_zero = bdd.exists(rest, zero)
         can_one = bdd.exists(rest, one)

@@ -126,8 +126,7 @@ class ConjunctiveDecomposition:
         bdd = self.bdd
         comps = []
         for v, c in zip(self.choice_vars, self.parts):
-            c0 = bdd.cofactor(c, v, False)
-            c1 = bdd.cofactor(c, v, True)
+            c0, c1 = bdd.cofactors(c, v)
             comps.append(bdd.or_(bdd.not_(c0), bdd.and_(c1, bdd.var(v))))
         return BFV(bdd, self.choice_vars, comps, validate=False)
 
@@ -166,8 +165,9 @@ class ConjunctiveDecomposition:
         bdd = self.bdd
         v = self.choice_vars[index]
         c = self.parts[index]
-        forced_one = bdd.not_(bdd.cofactor(c, v, False))
-        forced_zero = bdd.not_(bdd.cofactor(c, v, True))
+        c0, c1 = bdd.cofactors(c, v)
+        forced_one = bdd.not_(c0)
+        forced_zero = bdd.not_(c1)
         return forced_one, forced_zero
 
     def union(self, other: "ConjunctiveDecomposition") -> "ConjunctiveDecomposition":

@@ -41,9 +41,8 @@ def _conditions(bdd, f: int, v: int) -> Tuple[int, int]:
     ``f = f1 OR (fc AND v)`` implies ``f1 = f|v=0`` and
     ``f0 = NOT f|v=1``; both are free of ``v``.
     """
-    f1 = bdd.cofactor(f, v, False)
-    f0 = bdd.not_(bdd.cofactor(f, v, True))
-    return f1, f0
+    r0, r1 = bdd.cofactors(f, v)
+    return r0, bdd.not_(r1)
 
 
 def raw_union(
@@ -123,8 +122,7 @@ def raw_intersect(
         forced_one = or_(f1, g1)
         forced_zero = or_(f0, g0)
         free = not_(or_(forced_one, forced_zero))
-        e_hi = bdd.cofactor(carry, v, True)
-        e_lo = bdd.cofactor(carry, v, False)
+        e_lo, e_hi = bdd.cofactors(carry, v)
         carry = or_(
             or_(conflict, and_(forced_one, e_hi)),
             or_(
@@ -146,8 +144,9 @@ def raw_intersect(
         v = choice_vars[i]
         f1, f0 = f_conds[i]
         g1, g0 = g_conds[i]
-        k1[i] = or_(or_(f1, g1), bdd.cofactor(elim[i], v, False))
-        k0[i] = or_(or_(f0, g0), bdd.cofactor(elim[i], v, True))
+        e0, e1 = bdd.cofactors(elim[i], v)
+        k1[i] = or_(or_(f1, g1), e0)
+        k0[i] = or_(or_(f0, g0), e1)
     # Forward pass: substitute the restricted choices for the choice
     # variables so downstream conditions see the *selected* bits.
     h: List[int] = []

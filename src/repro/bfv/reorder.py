@@ -105,8 +105,7 @@ def greedy_component_order(
         best_component = None
         for index in candidates:
             v = vector.choice_vars[index]
-            zero = bdd.cofactor(remaining_chi, v, False)
-            one = bdd.cofactor(remaining_chi, v, True)
+            zero, one = bdd.cofactors(remaining_chi, v)
             rest = [
                 vector.choice_vars[i] for i in remaining if i != index
             ]
@@ -121,8 +120,7 @@ def greedy_component_order(
         order.append(best)
         remaining.remove(best)
         v = vector.choice_vars[best]
-        zero = bdd.cofactor(remaining_chi, v, False)
-        one = bdd.cofactor(remaining_chi, v, True)
+        zero, one = bdd.cofactors(remaining_chi, v)
         remaining_chi = bdd.ite(best_component, one, zero)
         placed_vars.append(v)
     return order

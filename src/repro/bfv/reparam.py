@@ -98,8 +98,9 @@ def eliminate_params(
         if not affected:
             continue
         start = affected[0]
-        lo = [bdd.cofactor(f, param, False) for f in comps]
-        hi = [bdd.cofactor(f, param, True) for f in comps]
+        pairs = [bdd.cofactors(f, param) for f in comps]
+        lo = [p[0] for p in pairs]
+        hi = [p[1] for p in pairs]
         comps = _ops.raw_union(bdd, choice_vars, lo, hi, start=start)
         for i in range(start, len(comps)):
             supports[i] = set(bdd.support(comps[i]))

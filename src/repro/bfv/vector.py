@@ -122,8 +122,7 @@ class BFV:
                     "component %d depends on non-prefix variables %s"
                     % (i, sorted(bdd.var_name(x) for x in extra))
                 )
-            f0 = bdd.cofactor(f, v, False)
-            f1 = bdd.cofactor(f, v, True)
+            f0, f1 = bdd.cofactors(f, v)
             if bdd.implies(f0, f1) != bdd.true:
                 raise BFVError("component %d is not monotone in v_%d" % (i, i))
 
@@ -175,8 +174,7 @@ class BFV:
             v = comps[index]
             f_here = bdd.cofactor_cube(v, assignment)
             var = self.choice_vars[index]
-            f0 = bdd.cofactor(f_here, var, False)
-            f1 = bdd.cofactor(f_here, var, True)
+            f0, f1 = bdd.cofactors(f_here, var)
             # Possible bit values given the prefix: forced-one iff f0 is
             # TRUE, forced-zero iff f1 is FALSE, free otherwise.
             values: List[bool] = []
@@ -215,8 +213,7 @@ class BFV:
         bdd = self.bdd
         v = self.choice_vars[index]
         f = comps[index]
-        f1 = bdd.cofactor(f, v, False)
-        high = bdd.cofactor(f, v, True)
+        f1, high = bdd.cofactors(f, v)
         f0 = bdd.not_(high)
         fc = bdd.diff(high, f1)
         return f1, f0, fc

@@ -27,6 +27,18 @@ from .worker import AttemptSpec, run_attempt
 DEFAULT_ENGINE_LADDER = ("bfv", "conj", "cbm", "tr")
 
 
+def _cache_hit_rate(result: ReachResult) -> Optional[float]:
+    """Aggregate computed-table hit rate of an attempt, if reported."""
+    cache = result.extra.get("cache")
+    if not isinstance(cache, dict):
+        return None
+    total = cache.get("total")
+    if not isinstance(total, dict):
+        return None
+    rate = total.get("hit_rate")
+    return float(rate) if isinstance(rate, (int, float)) else None
+
+
 @dataclass
 class FallbackPolicy:
     """Retry/fallback strategy for one reachability job."""
@@ -128,6 +140,7 @@ def run_with_fallback(
                     "peak_live_nodes": result.peak_live_nodes,
                     "num_states": result.num_states,
                     "resumed_from": result.extra.get("resumed_from"),
+                    "cache_hit_rate": _cache_hit_rate(result),
                 }
             )
         if result.completed:

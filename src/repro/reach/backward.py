@@ -98,10 +98,13 @@ def backward_reachability(
         result.completed = True
     except ResourceLimitError as error:
         result.failure = error.kind
+    except RecursionError:
+        result.failure = "depth"
     result.iterations = iterations
     result.seconds = monitor.elapsed
     bdd.collect_garbage()
     result.peak_live_nodes = max(monitor.peak_live, bdd.count_live())
+    result.extra["cache"] = bdd.cache_stats()
     result.reached_size = bdd.dag_size(reached)
     if result.completed:
         result.extra["space"] = space

@@ -129,11 +129,18 @@ def cbm_reachability(
         result.completed = True
     except ResourceLimitError as error:
         monitor.annotate(result, error, iterations)
+    except RecursionError:
+        monitor.annotate(
+            result,
+            ResourceLimitError("depth", "recursion limit exceeded"),
+            iterations,
+        )
     result.iterations = iterations
     result.seconds = monitor.elapsed
     result.conversion_seconds = conversion
     bdd.collect_garbage()
     result.peak_live_nodes = max(monitor.peak_live, bdd.count_live())
+    result.extra["cache"] = bdd.cache_stats()
     result.reached_size = bdd.dag_size(reached)
     if result.completed:
         result.extra["space"] = space

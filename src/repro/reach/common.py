@@ -143,7 +143,8 @@ class ReachResult:
     circuit: str
     order: str
     completed: bool
-    failure: Optional[str] = None  # "time" | "memory" | "iterations" | "crash"
+    # "time" | "memory" | "iterations" | "depth" | "crash"
+    failure: Optional[str] = None
     iterations: int = 0
     seconds: float = 0.0
     peak_live_nodes: int = 0
@@ -161,6 +162,7 @@ class ReachResult:
             "time": "T.O.",
             "memory": "M.O.",
             "iterations": "I.O.",
+            "depth": "D.O.",
             "crash": "CRASH",
         }.get(self.failure or "", "FAIL")
 
@@ -220,15 +222,18 @@ class RunMonitor:
         self.checkpointer = checkpointer
         self.start = time.monotonic()
         self.peak_live = 0
+        #: Minimum allocation before a no-budget checkpoint collects.
+        self.gc_floor = 4096
+        self._gc_live = 0
         self.iteration = 0
         if self.limits.max_live_nodes is not None:
             # Hard allocation ceiling so a blowing-up image computation
             # aborts from inside the BDD layer rather than only at the
             # next iteration checkpoint.  Allocation includes garbage
-            # accumulated since the last per-iteration GC, hence the
-            # headroom factor.
+            # deferred by :meth:`checkpoint` (up to 5x the budget), hence
+            # the headroom factor.
             bdd.node_limit = max(
-                10 * self.limits.max_live_nodes, 100_000
+                20 * self.limits.max_live_nodes, 100_000
             )
 
     @property
@@ -286,15 +291,57 @@ class RunMonitor:
         )
 
     def checkpoint(self, roots: Sequence[int], iteration: int) -> None:
-        """GC, record peak live nodes, enforce the budgets."""
+        """Enforce the budgets; collect only when allocation demands it.
+
+        Live nodes never exceed allocated nodes, so while the allocated
+        count stays within ``max_live_nodes`` a memory violation is
+        impossible and no mark pass is needed.  Past the budget, a
+        *mark-only* :meth:`~repro.bdd.BDD.count_live` enforces the limit
+        exactly without freeing anything; the actual collection — which
+        also sweeps every computed-table entry whose nodes died — is
+        deferred until allocation reaches several times the budget.
+        Deferring keeps the kernels' computed tables warm across
+        iterations, where image computations reuse sub-results from
+        earlier frontiers (the ``node_limit`` ceiling installed in
+        ``__init__`` still caps allocation between checkpoints).
+        Without a node budget, collection falls back to the classic
+        grow-by-2x heuristic over the last post-GC live count.
+        """
         self.iteration = iteration
         for hook in list(self.iteration_hooks):
             hook(self, iteration)
-        self.bdd.collect_garbage(roots)
-        live = self.bdd.count_live(roots)
-        if live > self.peak_live:
-            self.peak_live = live
         limits = self.limits
+        bdd = self.bdd
+        allocated = bdd.num_nodes
+        budget = limits.max_live_nodes
+        if getattr(bdd, "per_iteration_gc", False):
+            # Escape hatch: collect at every checkpoint, the cadence the
+            # engines used before collection became budget-driven.  The
+            # benchmark baseline sets this to reproduce the seed stack
+            # end-to-end (see tests/bdd/reference_kernels.py).
+            bdd.collect_garbage(roots)
+            live = self._gc_live = bdd.count_live(roots)
+            if live > self.peak_live:
+                self.peak_live = live
+        elif budget is not None:
+            if allocated <= budget:
+                live = allocated  # upper bound; exact count not needed
+            elif allocated <= 5 * budget:
+                live = bdd.count_live(roots)  # mark-only budget check
+                if live > self.peak_live:
+                    self.peak_live = live
+            else:
+                bdd.collect_garbage(roots)
+                live = self._gc_live = bdd.count_live(roots)
+                if live > self.peak_live:
+                    self.peak_live = live
+        elif allocated > max(self.gc_floor, 2 * self._gc_live):
+            bdd.collect_garbage(roots)
+            live = self._gc_live = bdd.count_live(roots)
+            if live > self.peak_live:
+                self.peak_live = live
+        else:
+            live = allocated
         if limits.max_live_nodes is not None and live > limits.max_live_nodes:
             raise ResourceLimitError(
                 "memory",

@@ -102,10 +102,17 @@ def conj_reachability(
         result.completed = True
     except ResourceLimitError as error:
         monitor.annotate(result, error, iterations)
+    except RecursionError:
+        monitor.annotate(
+            result,
+            ResourceLimitError("depth", "recursion limit exceeded"),
+            iterations,
+        )
     result.iterations = iterations
     result.seconds = monitor.elapsed
     bdd.collect_garbage()
     result.peak_live_nodes = max(monitor.peak_live, bdd.count_live())
+    result.extra["cache"] = bdd.cache_stats()
     result.reached_size = reached.shared_size()
     if result.completed:
         result.extra["space"] = space

@@ -1,0 +1,711 @@
+"""The seed *recursive* BDD kernels, kept as a private reference oracle.
+
+This module preserves the original recursive implementations of the
+apply-style kernels (with their shared tuple-keyed computed table)
+exactly as they shipped before the iterative rewrite.  They serve two
+purposes:
+
+* randomized equivalence testing — the iterative kernels must produce
+  the *same node handles* as these on the same manager (canonicity makes
+  node-id equality a complete correctness check);
+* the "before" half of the tracked benchmarks
+  (``benchmarks/bench_kernels.py`` / ``bench_reach.py``), so speedups
+  are measured against the real prior implementation rather than a
+  guess.
+
+All functions take the manager first and use a dedicated per-manager
+dict (``m._reference_cache``) so they never touch the production
+per-operation tables.  :func:`install_reference_kernels` instance-binds
+the full manager operation surface to these kernels, so whole reach
+engines can run against the reference implementation.
+
+This is test/benchmark infrastructure only — not part of the package.
+"""
+
+from __future__ import annotations
+
+import types
+from typing import Dict, Iterable, Sequence, Tuple
+
+from repro.bdd.manager import BDD
+from repro.errors import BDDError
+
+
+def _cache(m) -> Dict[tuple, int]:
+    cache = getattr(m, "_reference_cache", None)
+    if cache is None:
+        cache = {}
+        m._reference_cache = cache
+    return cache
+
+
+# ----------------------------------------------------------------------
+# operations.py (seed)
+# ----------------------------------------------------------------------
+
+
+def not_(m, f: int) -> int:
+    if f < 2:
+        return f ^ 1
+    cache = _cache(m)
+    key = ("!", f)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    result = m._mk(m._var[f], not_(m, m._lo[f]), not_(m, m._hi[f]))
+    cache[key] = result
+    cache[("!", result)] = f
+    return result
+
+
+def and_(m, f: int, g: int) -> int:
+    if f == g:
+        return f
+    if f > g:
+        f, g = g, f
+    if f == 0:
+        return 0
+    if f == 1:
+        return g
+    cache = _cache(m)
+    key = ("&", f, g)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
+    lf = lvl[var_[f]]
+    lg = lvl[var_[g]]
+    if lf <= lg:
+        v = var_[f]
+        f0, f1 = lo_[f], hi_[f]
+    else:
+        v = var_[g]
+        f0 = f1 = f
+    if lg <= lf:
+        g0, g1 = lo_[g], hi_[g]
+    else:
+        g0 = g1 = g
+    result = m._mk(v, and_(m, f0, g0), and_(m, f1, g1))
+    cache[key] = result
+    return result
+
+
+def or_(m, f: int, g: int) -> int:
+    if f == g:
+        return f
+    if f > g:
+        f, g = g, f
+    if f == 1:
+        return 1
+    if f == 0:
+        return g
+    cache = _cache(m)
+    key = ("|", f, g)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
+    lf = lvl[var_[f]]
+    lg = lvl[var_[g]]
+    if lf <= lg:
+        v = var_[f]
+        f0, f1 = lo_[f], hi_[f]
+    else:
+        v = var_[g]
+        f0 = f1 = f
+    if lg <= lf:
+        g0, g1 = lo_[g], hi_[g]
+    else:
+        g0 = g1 = g
+    result = m._mk(v, or_(m, f0, g0), or_(m, f1, g1))
+    cache[key] = result
+    return result
+
+
+def xor(m, f: int, g: int) -> int:
+    if f == g:
+        return 0
+    if f > g:
+        f, g = g, f
+    if f == 0:
+        return g
+    if f == 1:
+        return not_(m, g)
+    cache = _cache(m)
+    key = ("^", f, g)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
+    lf = lvl[var_[f]]
+    lg = lvl[var_[g]]
+    if lf <= lg:
+        v = var_[f]
+        f0, f1 = lo_[f], hi_[f]
+    else:
+        v = var_[g]
+        f0 = f1 = f
+    if lg <= lf:
+        g0, g1 = lo_[g], hi_[g]
+    else:
+        g0 = g1 = g
+    result = m._mk(v, xor(m, f0, g0), xor(m, f1, g1))
+    cache[key] = result
+    return result
+
+
+def ite(m, f: int, g: int, h: int) -> int:
+    if f == 1:
+        return g
+    if f == 0:
+        return h
+    if g == h:
+        return g
+    if g == 1 and h == 0:
+        return f
+    if g == 0 and h == 1:
+        return not_(m, f)
+    if g == 1:
+        return or_(m, f, h)
+    if h == 0:
+        return and_(m, f, g)
+    if g == 0:
+        return and_(m, not_(m, f), h)
+    if h == 1:
+        return or_(m, not_(m, f), g)
+    if f == g:
+        return or_(m, f, h)
+    if f == h:
+        return and_(m, f, g)
+    cache = _cache(m)
+    key = ("?", f, g, h)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
+    level = min(lvl[var_[f]], lvl[var_[g]], lvl[var_[h]])
+    v = m._level2var[level]
+    if var_[f] == v:
+        f0, f1 = lo_[f], hi_[f]
+    else:
+        f0 = f1 = f
+    if g > 1 and var_[g] == v:
+        g0, g1 = lo_[g], hi_[g]
+    else:
+        g0 = g1 = g
+    if h > 1 and var_[h] == v:
+        h0, h1 = lo_[h], hi_[h]
+    else:
+        h0 = h1 = h
+    result = m._mk(v, ite(m, f0, g0, h0), ite(m, f1, g1, h1))
+    cache[key] = result
+    return result
+
+
+# ----------------------------------------------------------------------
+# quantify.py (seed)
+# ----------------------------------------------------------------------
+
+
+def _sorted_cube(m, variables: Sequence[int]) -> Tuple[int, ...]:
+    lvl = m._var2level
+    return tuple(sorted(set(variables), key=lvl.__getitem__))
+
+
+def exists(m, f: int, variables: Sequence[int]) -> int:
+    cube = _sorted_cube(m, variables)
+    if not cube or f < 2:
+        return f
+    return _exists(m, f, cube)
+
+
+def _exists(m, f: int, cube: Tuple[int, ...]) -> int:
+    if f < 2:
+        return f
+    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
+    lf = lvl[var_[f]]
+    while cube and lvl[cube[0]] < lf:
+        cube = cube[1:]
+    if not cube:
+        return f
+    cache = _cache(m)
+    key = ("E", f, cube)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    v = var_[f]
+    if v == cube[0]:
+        rest = cube[1:]
+        r0 = _exists(m, lo_[f], rest)
+        if r0 == 1:
+            result = 1
+        else:
+            result = or_(m, r0, _exists(m, hi_[f], rest))
+    else:
+        result = m._mk(v, _exists(m, lo_[f], cube), _exists(m, hi_[f], cube))
+    cache[key] = result
+    return result
+
+
+def forall(m, f: int, variables: Sequence[int]) -> int:
+    cube = _sorted_cube(m, variables)
+    if not cube or f < 2:
+        return f
+    return _forall(m, f, cube)
+
+
+def _forall(m, f: int, cube: Tuple[int, ...]) -> int:
+    if f < 2:
+        return f
+    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
+    lf = lvl[var_[f]]
+    while cube and lvl[cube[0]] < lf:
+        cube = cube[1:]
+    if not cube:
+        return f
+    cache = _cache(m)
+    key = ("A", f, cube)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    v = var_[f]
+    if v == cube[0]:
+        rest = cube[1:]
+        r0 = _forall(m, lo_[f], rest)
+        if r0 == 0:
+            result = 0
+        else:
+            result = and_(m, r0, _forall(m, hi_[f], rest))
+    else:
+        result = m._mk(v, _forall(m, lo_[f], cube), _forall(m, hi_[f], cube))
+    cache[key] = result
+    return result
+
+
+def and_exists(m, f: int, g: int, variables: Sequence[int]) -> int:
+    cube = _sorted_cube(m, variables)
+    if not cube:
+        return and_(m, f, g)
+    return _and_exists(m, f, g, cube)
+
+
+def _and_exists(m, f: int, g: int, cube: Tuple[int, ...]) -> int:
+    if f == 0 or g == 0:
+        return 0
+    if f == 1 and g == 1:
+        return 1
+    if f == 1:
+        return _exists(m, g, cube)
+    if g == 1:
+        return _exists(m, f, cube)
+    if f == g:
+        return _exists(m, f, cube)
+    if f > g:
+        f, g = g, f
+    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
+    lf = lvl[var_[f]]
+    lg = lvl[var_[g]]
+    top = lf if lf <= lg else lg
+    while cube and lvl[cube[0]] < top:
+        cube = cube[1:]
+    if not cube:
+        return and_(m, f, g)
+    cache = _cache(m)
+    key = ("AE", f, g, cube)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    v = m._level2var[top]
+    if var_[f] == v:
+        f0, f1 = lo_[f], hi_[f]
+    else:
+        f0 = f1 = f
+    if var_[g] == v:
+        g0, g1 = lo_[g], hi_[g]
+    else:
+        g0 = g1 = g
+    if v == cube[0]:
+        rest = cube[1:]
+        r0 = _and_exists(m, f0, g0, rest)
+        if r0 == 1:
+            result = 1
+        else:
+            result = or_(m, r0, _and_exists(m, f1, g1, rest))
+    else:
+        result = m._mk(
+            v, _and_exists(m, f0, g0, cube), _and_exists(m, f1, g1, cube)
+        )
+    cache[key] = result
+    return result
+
+
+# ----------------------------------------------------------------------
+# cofactor.py (seed)
+# ----------------------------------------------------------------------
+
+
+def cofactor(m, f: int, var: int, value: bool) -> int:
+    if f < 2:
+        return f
+    cache = _cache(m)
+    key = ("c1", f, var, value)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
+    v = var_[f]
+    if lvl[v] > lvl[var]:
+        result = f
+    elif v == var:
+        result = hi_[f] if value else lo_[f]
+    else:
+        result = m._mk(
+            v,
+            cofactor(m, lo_[f], var, value),
+            cofactor(m, hi_[f], var, value),
+        )
+    cache[key] = result
+    return result
+
+
+def cofactor_cube(m, f: int, assignment: Dict[int, bool]) -> int:
+    if f < 2 or not assignment:
+        return f
+    items = tuple(
+        sorted(assignment.items(), key=lambda item: m._var2level[item[0]])
+    )
+    return _cofactor_cube(m, f, items)
+
+
+def _cofactor_cube(m, f: int, items) -> int:
+    if f < 2 or not items:
+        return f
+    cache = _cache(m)
+    key = ("cc", f, items)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
+    v = var_[f]
+    lf = lvl[v]
+    while items and lvl[items[0][0]] < lf:
+        items = items[1:]
+    if not items:
+        result = f
+    elif v == items[0][0]:
+        child = hi_[f] if items[0][1] else lo_[f]
+        result = _cofactor_cube(m, child, items[1:])
+    else:
+        result = m._mk(
+            v,
+            _cofactor_cube(m, lo_[f], items),
+            _cofactor_cube(m, hi_[f], items),
+        )
+    cache[key] = result
+    return result
+
+
+def constrain(m, f: int, c: int) -> int:
+    if c == 0:
+        raise BDDError("constrain by the empty care set is undefined")
+    return _constrain(m, f, c)
+
+
+def _constrain(m, f: int, c: int) -> int:
+    if c == 1 or f < 2:
+        return f
+    if f == c:
+        return 1
+    cache = _cache(m)
+    key = ("gc", f, c)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
+    lf = lvl[var_[f]]
+    lc = lvl[var_[c]]
+    level = lf if lf <= lc else lc
+    v = m._level2var[level]
+    if var_[f] == v:
+        f0, f1 = lo_[f], hi_[f]
+    else:
+        f0 = f1 = f
+    if var_[c] == v:
+        c0, c1 = lo_[c], hi_[c]
+    else:
+        c0 = c1 = c
+    if c0 == 0:
+        result = _constrain(m, f1, c1)
+    elif c1 == 0:
+        result = _constrain(m, f0, c0)
+    else:
+        result = m._mk(v, _constrain(m, f0, c0), _constrain(m, f1, c1))
+    cache[key] = result
+    return result
+
+
+def restrict(m, f: int, c: int) -> int:
+    if c == 0:
+        raise BDDError("restrict by the empty care set is undefined")
+    return _restrict(m, f, c)
+
+
+def _restrict(m, f: int, c: int) -> int:
+    if c == 1 or f < 2:
+        return f
+    if f == c:
+        return 1
+    cache = _cache(m)
+    key = ("rs", f, c)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
+    lf = lvl[var_[f]]
+    lc = lvl[var_[c]]
+    if lc < lf:
+        result = _restrict(m, f, or_(m, lo_[c], hi_[c]))
+    else:
+        v = var_[f]
+        f0, f1 = lo_[f], hi_[f]
+        if var_[c] == v:
+            c0, c1 = lo_[c], hi_[c]
+        else:
+            c0 = c1 = c
+        if c0 == 0:
+            result = _restrict(m, f1, c1)
+        elif c1 == 0:
+            result = _restrict(m, f0, c0)
+        else:
+            result = m._mk(v, _restrict(m, f0, c0), _restrict(m, f1, c1))
+    cache[key] = result
+    return result
+
+
+# ----------------------------------------------------------------------
+# substitute.py (seed)
+# ----------------------------------------------------------------------
+
+
+def compose(m, f: int, var: int, g: int) -> int:
+    if f < 2:
+        return f
+    cache = _cache(m)
+    key = ("C", f, var, g)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
+    lf = lvl[var_[f]]
+    lv = lvl[var]
+    if lf > lv:
+        result = f
+    elif var_[f] == var:
+        result = ite(m, g, hi_[f], lo_[f])
+    else:
+        r0 = compose(m, lo_[f], var, g)
+        r1 = compose(m, hi_[f], var, g)
+        v_node = m._mk(var_[f], 0, 1)
+        result = ite(m, v_node, r1, r0)
+    cache[key] = result
+    return result
+
+
+def vector_compose(m, f: int, mapping: Dict[int, int]) -> int:
+    if f < 2 or not mapping:
+        return f
+    lvl = m._var2level
+    max_level = max(lvl[v] for v in mapping)
+    memo: Dict[int, int] = {}
+    return _vector_compose(m, f, mapping, max_level, memo)
+
+
+def _vector_compose(m, f, mapping, max_level, memo):
+    if f < 2:
+        return f
+    var_, lo_, hi_, lvl = m._var, m._lo, m._hi, m._var2level
+    v = var_[f]
+    if lvl[v] > max_level:
+        return f
+    cached = memo.get(f)
+    if cached is not None:
+        return cached
+    r0 = _vector_compose(m, lo_[f], mapping, max_level, memo)
+    r1 = _vector_compose(m, hi_[f], mapping, max_level, memo)
+    g = mapping.get(v)
+    if g is None:
+        g = m._mk(v, 0, 1)
+    result = ite(m, g, r1, r0)
+    memo[f] = result
+    return result
+
+
+def rename(m, f: int, var_map: Dict[int, int]) -> int:
+    from repro.bdd import traversal as _traversal
+
+    if f < 2 or not var_map:
+        return f
+    support = set(_traversal.support(m, f))
+    effective = {v: w for v, w in var_map.items() if v in support and v != w}
+    if not effective:
+        return f
+    lvl = m._var2level
+    targets = set(effective.values())
+    untouched = support - set(effective)
+    collision = bool(targets & untouched)
+    if not collision:
+        pairs = [(lvl[v], lvl[effective.get(v, v)]) for v in support]
+        pairs.sort()
+        monotone = all(
+            pairs[i][1] < pairs[i + 1][1] for i in range(len(pairs) - 1)
+        )
+        if monotone:
+            memo: Dict[int, int] = {}
+            return _rename_monotone(m, f, effective, memo)
+    literal_map = {v: m._mk(w, 0, 1) for v, w in effective.items()}
+    return vector_compose(m, f, literal_map)
+
+
+def _rename_monotone(m, f, var_map, memo):
+    if f < 2:
+        return f
+    cached = memo.get(f)
+    if cached is not None:
+        return cached
+    v = m._var[f]
+    result = m._mk(
+        var_map.get(v, v),
+        _rename_monotone(m, m._lo[f], var_map, memo),
+        _rename_monotone(m, m._hi[f], var_map, memo),
+    )
+    memo[f] = result
+    return result
+
+
+# ----------------------------------------------------------------------
+# Installation: run a whole manager on the reference kernels
+# ----------------------------------------------------------------------
+
+
+def install_reference_kernels(bdd: BDD) -> BDD:
+    """Instance-bind the seed recursive kernels onto ``bdd``.
+
+    Every public operation method of the manager is overridden so that
+    engines, BFV code and tests exercising this instance run the *seed*
+    implementation (shared tuple-keyed cache, cleared wholesale at GC
+    and reorder — the original behavior).  Other ``BDD`` instances are
+    unaffected.  Returns ``bdd`` for chaining.
+    """
+    _cache(bdd)  # materialize the shared reference cache
+    # Restore the seed's collection cadence too: engines collected at
+    # every iteration checkpoint (RunMonitor honors this flag), wiping
+    # the shared cache each time.  Without it, end-to-end "before"
+    # numbers would borrow this PR's deferred-GC improvement.
+    bdd.per_iteration_gc = True
+
+    def bind(name, fn):
+        setattr(bdd, name, types.MethodType(fn, bdd))
+
+    bind("not_", lambda self, f: not_(self, f))
+    bind("and_", lambda self, f, g: and_(self, f, g))
+    bind("or_", lambda self, f, g: or_(self, f, g))
+    bind("xor", lambda self, f, g: xor(self, f, g))
+    bind("ite", lambda self, f, g, h: ite(self, f, g, h))
+    bind("equiv", lambda self, f, g: not_(self, xor(self, f, g)))
+    bind("implies", lambda self, f, g: or_(self, not_(self, f), g))
+    bind("diff", lambda self, f, g: and_(self, f, not_(self, g)))
+
+    def _conjoin(self, nodes: Iterable[int]) -> int:
+        result = 1
+        for node in nodes:
+            result = and_(self, result, node)
+            if result == 0:
+                break
+        return result
+
+    def _disjoin(self, nodes: Iterable[int]) -> int:
+        result = 0
+        for node in nodes:
+            result = or_(self, result, node)
+            if result == 1:
+                break
+        return result
+
+    bind("conjoin", _conjoin)
+    bind("disjoin", _disjoin)
+    bind(
+        "exists",
+        lambda self, variables, f: exists(
+            self, f, self._resolve_vars(variables)
+        ),
+    )
+    bind(
+        "forall",
+        lambda self, variables, f: forall(
+            self, f, self._resolve_vars(variables)
+        ),
+    )
+    bind(
+        "and_exists",
+        lambda self, f, g, variables: and_exists(
+            self, f, g, self._resolve_vars(variables)
+        ),
+    )
+    bind(
+        "cofactor",
+        lambda self, f, var, value: cofactor(
+            self, f, self.var_index(var), bool(value)
+        ),
+    )
+    # The seed had no fused cofactor pair: two independent walks.
+    bind(
+        "cofactors",
+        lambda self, f, var: (
+            cofactor(self, f, self.var_index(var), False),
+            cofactor(self, f, self.var_index(var), True),
+        ),
+    )
+    bind(
+        "cofactor_cube",
+        lambda self, f, assignment: cofactor_cube(
+            self,
+            f,
+            {self.var_index(v): bool(val) for v, val in assignment.items()},
+        ),
+    )
+    bind("constrain", lambda self, f, c: constrain(self, f, c))
+    bind("restrict", lambda self, f, c: restrict(self, f, c))
+    bind(
+        "compose",
+        lambda self, f, var, g: compose(self, f, self.var_index(var), g),
+    )
+    bind(
+        "vector_compose",
+        lambda self, f, mapping: vector_compose(
+            self, f, {self.var_index(v): g for v, g in mapping.items()}
+        ),
+    )
+    bind(
+        "rename",
+        lambda self, f, var_map: rename(
+            self,
+            f,
+            {
+                self.var_index(old): self.var_index(new)
+                for old, new in var_map.items()
+            },
+        ),
+    )
+
+    def _collect_garbage(self, roots=()):
+        # Seed behavior: the shared computed table is wiped at every GC.
+        self._reference_cache.clear()
+        return BDD.collect_garbage(self, roots)
+
+    def _clear_cache(self):
+        self._reference_cache.clear()
+        return BDD.clear_cache(self)
+
+    bind("collect_garbage", _collect_garbage)
+    bind("clear_cache", _clear_cache)
+    return bdd

@@ -1,0 +1,204 @@
+"""Per-operation computed tables: stats, eviction, GC sweep, accounting."""
+
+import pytest
+
+from repro.bdd import BDD
+from repro.bdd import cache as cache_mod
+from repro.errors import VariableError
+
+
+def fresh():
+    return BDD(["a", "b", "c", "d"])
+
+
+class TestStats:
+    def test_cache_stats_shape(self):
+        bdd = fresh()
+        stats = bdd.cache_stats()
+        assert set(stats) == set(cache_mod.OP_NAMES) | {"total"}
+        for entry in stats.values():
+            assert set(entry) == {
+                "hits",
+                "misses",
+                "inserts",
+                "evictions",
+                "swept",
+                "entries",
+                "hit_rate",
+            }
+
+    def test_hits_and_misses_are_counted(self):
+        bdd = fresh()
+        a, b = bdd.var("a"), bdd.var("b")
+        bdd.and_(a, b)
+        first = bdd.cache_stats()["and"]
+        assert first["misses"] >= 1
+        assert first["inserts"] >= 1
+        bdd.and_(a, b)  # repeat: top-level probe hits
+        second = bdd.cache_stats()["and"]
+        assert second["hits"] > first["hits"]
+        assert second["misses"] == first["misses"]
+
+    def test_per_op_tables_are_independent(self):
+        bdd = fresh()
+        a, b = bdd.var("a"), bdd.var("b")
+        bdd.and_(a, b)
+        stats = bdd.cache_stats()
+        assert stats["and"]["entries"] > 0
+        assert stats["or"]["entries"] == 0
+        assert stats["xor"]["entries"] == 0
+
+    def test_stats_json_safe(self):
+        import json
+
+        bdd = fresh()
+        bdd.and_(bdd.var("a"), bdd.var("b"))
+        json.dumps(bdd.cache_stats())
+
+
+class TestEviction:
+    def test_tables_stay_bounded(self):
+        bdd = BDD(["x%d" % i for i in range(24)])
+        bdd.cache_limit = 64
+        import random
+
+        rng = random.Random(0)
+        f = bdd.false
+        for _ in range(300):
+            cube = bdd.cube(
+                {v: rng.random() < 0.5 for v in rng.sample(range(24), 8)}
+            )
+            f = bdd.or_(f, cube)
+        stats = bdd.cache_stats()
+        for name in cache_mod.OP_NAMES:
+            assert stats[name]["entries"] <= 64
+        assert stats["or"]["evictions"] > 0
+
+    def test_eviction_preserves_correctness(self):
+        bdd = BDD(["x%d" % i for i in range(12)])
+        bdd.cache_limit = 8  # pathological: constant thrash
+        import random
+
+        from ..conftest import build_expr, random_expr, truth_table
+
+        rng = random.Random(1)
+        for _ in range(20):
+            expr = random_expr(rng, 6, 3)
+            node = build_expr(bdd, expr)
+            from ..conftest import expr_table
+
+            assert truth_table(bdd, node, 6) == expr_table(expr, 6)
+
+
+class TestGCSweep:
+    def test_live_entries_survive_gc(self):
+        bdd = fresh()
+        a, b = bdd.var("a"), bdd.var("b")
+        f = bdd.and_(a, b)
+        # The operand node ``a`` is not a child of ``a AND b`` (= mk(a, 0, b)),
+        # so every key participant needs to be a root for the entry to live.
+        for node in (a, b, f):
+            bdd.incref(node)
+        swept_before = bdd.cache_stats()["total"]["swept"]
+        bdd.collect_garbage()
+        stats = bdd.cache_stats()["and"]
+        assert stats["entries"] > 0  # operands and result all live
+        hits_before = stats["hits"]
+        assert bdd.and_(a, b) == f
+        assert bdd.cache_stats()["and"]["hits"] > hits_before
+        assert bdd.cache_stats()["total"]["swept"] == swept_before
+
+    def test_dead_entries_are_swept(self):
+        bdd = fresh()
+        a, b, c = bdd.var("a"), bdd.var("b"), bdd.var("c")
+        g = bdd.and_(bdd.or_(a, b), c)  # intermediate or-node is garbage
+        del g
+        bdd.collect_garbage()  # nothing incref'd: results die
+        stats = bdd.cache_stats()
+        assert stats["total"]["swept"] > 0
+        assert stats["total"]["entries"] == 0
+        bdd.check_invariants()
+
+    def test_sweep_keeps_only_fully_live_entries(self):
+        tables = cache_mod.new_tables()
+        stats = cache_mod.new_stats()
+        # and-entry: operands 2,3 -> result 4; another with dead operand 5.
+        tables[cache_mod.OP_AND][(3 << 32) | 2] = 4
+        tables[cache_mod.OP_AND][(5 << 32) | 2] = 4
+        marked = bytearray([1, 1, 1, 1, 1, 0])
+        dropped = cache_mod.sweep(tables, stats, marked)
+        assert dropped == 1
+        assert tables[cache_mod.OP_AND] == {(3 << 32) | 2: 4}
+        assert stats[cache_mod.OP_AND][cache_mod.SWEPT] == 1
+
+    def test_clear_cache_empties_tables_but_keeps_counters(self):
+        bdd = fresh()
+        bdd.and_(bdd.var("a"), bdd.var("b"))
+        misses = bdd.cache_stats()["total"]["misses"]
+        assert misses > 0
+        bdd.clear_cache()
+        stats = bdd.cache_stats()["total"]
+        assert stats["entries"] == 0
+        assert stats["misses"] == misses
+
+
+class TestOpCountAccounting:
+    def test_conjoin_counts_kernel_invocations(self):
+        bdd = fresh()
+        nodes = [bdd.var(v) for v in ("a", "b", "c")]
+        before = bdd.op_count
+        bdd.conjoin(nodes)
+        assert bdd.op_count == before + 3  # one AND kernel per element
+
+    def test_equiv_counts_at_least_two_kernel_invocations(self):
+        bdd = fresh()
+        a, b = bdd.var("a"), bdd.var("b")
+        before = bdd.op_count
+        bdd.equiv(a, b)
+        # XOR + NOT at the top; XOR may invoke nested NOT kernels while
+        # complementing cofactors, and those invocations count too.
+        assert bdd.op_count >= before + 2
+
+    def test_implies_and_diff_count_two(self):
+        bdd = fresh()
+        a, b = bdd.var("a"), bdd.var("b")
+        before = bdd.op_count
+        bdd.implies(a, b)
+        assert bdd.op_count == before + 2
+        before = bdd.op_count
+        bdd.diff(a, b)
+        assert bdd.op_count == before + 2
+
+    def test_single_kernel_ops_count_once(self):
+        bdd = fresh()
+        a, b = bdd.var("a"), bdd.var("b")
+        for call in (
+            lambda: bdd.and_(a, b),
+            lambda: bdd.or_(a, b),
+            lambda: bdd.not_(a),
+        ):
+            before = bdd.op_count
+            call()
+            assert bdd.op_count == before + 1
+        # XOR additionally invokes the NOT kernel to complement cofactors.
+        before = bdd.op_count
+        bdd.xor(a, b)
+        assert bdd.op_count >= before + 1
+
+
+class TestCubeConflicts:
+    def test_cube_conflicting_polarity_raises(self):
+        bdd = fresh()
+        with pytest.raises(VariableError):
+            bdd.cube({"a": True, 0: False})  # same variable, two spellings
+
+    def test_cube_duplicate_same_polarity_ok(self):
+        bdd = fresh()
+        node = bdd.cube({"a": True, 0: True})
+        assert node == bdd.cube({"a": True})
+
+    def test_cofactor_cube_conflicting_polarity_raises(self):
+        bdd = fresh()
+        f = bdd.and_(bdd.var("a"), bdd.var("b"))
+        with pytest.raises(VariableError):
+            bdd.cofactor_cube(f, {"a": True, 0: False})

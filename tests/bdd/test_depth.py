@@ -1,0 +1,105 @@
+"""Deep-order stress: iterative kernels on orders the recursive seed
+kernels could not traverse without blowing the Python stack.
+
+The workhorse is the parity (XOR-chain) function: both cofactors are
+non-trivial at every one of its ``NVARS`` levels, so nothing short
+circuits and every kernel must genuinely descend the full order.
+"""
+
+import sys
+
+import pytest
+
+from repro.bdd import BDD, expr
+from repro.errors import ResourceLimitError
+
+from . import reference_kernels as ref
+
+# Deeper than CPython's default recursion limit (1000): the recursive
+# seed kernels needed at least one frame per level.
+NVARS = 1200
+
+
+def parity_manager():
+    bdd = BDD(["x%d" % i for i in range(NVARS)])
+    parity = bdd.false
+    for i in range(NVARS):
+        parity = bdd.xor(parity, bdd.var(i))
+    odd = bdd.not_(parity)
+    for node in (parity, odd):
+        bdd.incref(node)
+    return bdd, parity, odd
+
+
+class TestDeepOrders:
+    def test_recursive_reference_overflows(self):
+        """The seed kernels genuinely cannot handle this depth."""
+        if sys.getrecursionlimit() > 2 * NVARS:
+            pytest.skip("interpreter recursion limit raised externally")
+        bdd, parity, odd = parity_manager()
+        with pytest.raises(RecursionError):
+            ref.and_(bdd, parity, odd)
+
+    def test_apply_completes_on_deep_chain(self):
+        bdd, parity, odd = parity_manager()
+        assert bdd.and_(parity, odd) == 0
+        assert bdd.or_(parity, odd) == 1
+        assert bdd.xor(parity, odd) == 1
+        assert bdd.not_(odd) == parity
+        assert bdd.ite(parity, odd, parity) == 0
+
+    def test_quantify_completes_on_deep_chain(self):
+        bdd, parity, odd = parity_manager()
+        assert bdd.exists(range(NVARS), parity) == 1
+        assert bdd.forall(range(NVARS), parity) == 0
+        assert bdd.exists([0], parity) == 1  # flipping x0 flips parity
+        assert bdd.and_exists(parity, odd, range(NVARS)) == 0
+        assert bdd.and_exists(parity, parity, range(NVARS)) == 1
+
+    def test_cofactor_and_substitute_complete_on_deep_chain(self):
+        bdd, parity, odd = parity_manager()
+        rest = bdd.false  # parity of x1..x_{n-1}
+        for i in range(1, NVARS):
+            rest = bdd.xor(rest, bdd.var(i))
+        assert bdd.cofactor(parity, 0, False) == rest
+        assert bdd.cofactor(parity, 0, True) == bdd.not_(rest)
+        assert bdd.constrain(parity, parity) == 1
+        assert bdd.restrict(parity, parity) == 1
+        assert bdd.compose(parity, 0, bdd.false) == rest
+        assignment = {i: False for i in range(0, NVARS, 2)}
+        half = bdd.cofactor_cube(parity, assignment)
+        rest_odd = bdd.false  # parity of the odd-indexed variables
+        for i in range(1, NVARS, 2):
+            rest_odd = bdd.xor(rest_odd, bdd.var(i))
+        assert half == rest_odd
+        assert bdd.rename(parity, {}) == parity
+
+    def test_traversals_complete_on_deep_chain(self):
+        bdd, parity, odd = parity_manager()
+        assert bdd.sat_count(parity) == 1 << (NVARS - 1)
+        model = next(bdd.iter_models(parity))
+        assert len(model) == NVARS
+        assert sum(model.values()) % 2 == 1
+        assert bdd.evaluate(parity, {i: i == 0 for i in range(NVARS)})
+
+    def test_deep_chain_survives_gc(self):
+        bdd, parity, odd = parity_manager()
+        bdd.and_(parity, odd)
+        bdd.collect_garbage()
+        bdd.check_invariants()
+        assert bdd.or_(parity, odd) == 1
+
+
+class TestExprDepth:
+    def test_deeply_nested_expression_reports_depth(self):
+        bdd = BDD(["a"])
+        n = sys.getrecursionlimit()
+        text = "(" * n + "a" + ")" * n
+        with pytest.raises(ResourceLimitError) as info:
+            expr.parse(bdd, text)
+        assert info.value.kind == "depth"
+
+    def test_moderate_nesting_still_parses(self):
+        bdd = BDD(["a"])
+        text = "(" * 50 + "a" + ")" * 50
+        assert expr.parse(bdd, text) == bdd.var("a")

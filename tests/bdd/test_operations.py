@@ -89,10 +89,15 @@ class TestIdentities:
     def test_commutativity_shares_cache_entries(self, bdd):
         a, b = lits(bdd)
         f = bdd.and_(a, b)
-        before = len(bdd._cache)
+        stats = bdd.cache_stats()["and"]
+        before_inserts = stats["inserts"]
+        hits_before = stats["hits"]
         g = bdd.and_(b, a)
         assert f == g
-        assert len(bdd._cache) == before  # operand normalization hit
+        stats = bdd.cache_stats()["and"]
+        # Operand normalization: the swapped call hits, inserting nothing.
+        assert stats["inserts"] == before_inserts
+        assert stats["hits"] > hits_before
 
     def test_distribution(self, bdd):
         a, b = lits(bdd)

@@ -86,7 +86,14 @@ class TestRunMonitor:
         circuit = gen.counter(2)
         space = ReachSpace(circuit)
         monitor = RunMonitor(space.bdd, None)
+        # Allocation is far below the growth floor, so the checkpoint
+        # skips the collection (and the live count) entirely.
         monitor.checkpoint((), 100)
+        assert monitor.peak_live == 0
+        # Dropping the floor forces a collection at the next checkpoint,
+        # which records the live peak.
+        monitor.gc_floor = 0
+        monitor.checkpoint((), 101)
         assert monitor.peak_live > 0
 
 

@@ -1,0 +1,31 @@
+"""Engines convert stray RecursionError into a 'depth' resource failure."""
+
+
+from repro.circuits import generators as gen
+from repro.reach.bfv_engine import bfv_reachability
+from repro.reach.common import ReachSpace
+
+
+def test_recursion_error_maps_to_depth_failure():
+    circuit = gen.counter(3)
+    space = ReachSpace(circuit)
+
+    def blow_up(*_args, **_kwargs):
+        raise RecursionError
+
+    space.bdd.and_ = blow_up
+    space.bdd.or_ = blow_up
+    result = bfv_reachability(circuit, space=space, count_states=False)
+    assert not result.completed
+    assert result.failure == "depth"
+    assert result.status == "D.O."
+    assert "cache" in result.extra
+
+
+def test_cache_stats_attached_on_success():
+    circuit = gen.counter(3)
+    result = bfv_reachability(circuit, count_states=False)
+    assert result.completed
+    cache = result.extra["cache"]
+    assert cache["total"]["hits"] + cache["total"]["misses"] > 0
+    assert 0.0 <= cache["total"]["hit_rate"] <= 1.0

@@ -128,9 +128,9 @@ class TestManagerMisc:
     def test_clear_cache(self):
         bdd = BDD(["a", "b"])
         bdd.and_(bdd.var("a"), bdd.var("b"))
-        assert len(bdd._cache) > 0
+        assert bdd.cache_stats()["total"]["entries"] > 0
         bdd.clear_cache()
-        assert len(bdd._cache) == 0
+        assert bdd.cache_stats()["total"]["entries"] == 0
 
     def test_repr(self):
         bdd = BDD(["a"])
