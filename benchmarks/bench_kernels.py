@@ -315,6 +315,16 @@ def run_suite(name, builder, rounds, quick):
     res_ref = workload.run_reference()
     res_cur = workload.run_current()
     match = res_ref == res_cur
+    # Untimed live-peak sample: one batch with its results held, the
+    # way an engine holds its vectors (peak_live only advances when
+    # count_live runs, which the timed loops deliberately avoid).
+    bdd = workload.bdd
+    held = workload.batch(_CUR_OPS, bdd)
+    for node in held:
+        bdd.incref(node)
+    bdd.count_live()
+    for node in held:
+        bdd.decref(node)
     before, after = [], []
     for _ in range(rounds):
         start = time.perf_counter()
@@ -334,7 +344,14 @@ def run_suite(name, builder, rounds, quick):
         "rounds": rounds,
         "gc_rounds": GC_ROUNDS,
         "cache_hit_rate": stats["hit_rate"],
+        "cache": {
+            "hits": stats.get("hits"),
+            "misses": stats.get("misses"),
+            "evictions": stats.get("evictions"),
+            "hit_rate": stats.get("hit_rate"),
+        },
         "peak_nodes": workload.bdd.peak_nodes,
+        "peak_live_nodes": workload.bdd.peak_live,
         "match": match,
     }
 
@@ -355,6 +372,9 @@ def main(argv=None):
 
     rounds = 3 if args.quick else 7
     report = {
+        # Version 2 adds per-suite "cache" breakdowns and peak live
+        # node counts alongside the aggregate hit rate.
+        "schema_version": 2,
         "meta": {
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
             "python": platform.python_version(),

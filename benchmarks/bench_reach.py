@@ -89,6 +89,12 @@ def bench_cell(engine, circuit, slots, limits, rounds):
         "iterations": cur_result.iterations,
         "peak_live_nodes": cur_result.peak_live_nodes,
         "cache_hit_rate": cache.get("hit_rate"),
+        "cache": {
+            "hits": cache.get("hits"),
+            "misses": cache.get("misses"),
+            "evictions": cache.get("evictions"),
+            "hit_rate": cache.get("hit_rate"),
+        },
         "mismatch": mismatch,
     }
 
@@ -113,6 +119,9 @@ def main(argv=None):
         rounds = 3
 
     report = {
+        # Version 2 adds per-cell "cache" breakdowns (hits/misses/
+        # evictions) alongside the aggregate hit rate.
+        "schema_version": 2,
         "meta": {
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
             "python": platform.python_version(),

@@ -122,6 +122,10 @@ class BDD:
         #: ResourceLimitError("memory") from inside node creation, so
         #: run-away operations abort promptly (the paper's M.O.).
         self.node_limit: Optional[int] = None
+        #: Observers called as ``hook(bdd, freed)`` after every garbage
+        #: collection (the observability layer's GC-event feed; an empty
+        #: list costs one truth test per collection).
+        self.gc_hooks: List = []
         for name in var_names:
             self.add_var(name)
 
@@ -360,6 +364,9 @@ class BDD:
         self.gc_count += 1
         self._node_count -= freed
         self._nodes_at_last_gc = self._node_count
+        if self.gc_hooks:
+            for hook in list(self.gc_hooks):
+                hook(self, freed)
         return freed
 
     def maybe_collect(self, roots: Sequence[int] = ()) -> int:
@@ -408,6 +415,34 @@ class BDD:
         ``hit_rate`` fields.
         """
         return _cache.stats_dict(self._ctables, self._cstats)
+
+    def counters_snapshot(self) -> Dict[str, object]:
+        """JSON-safe snapshot of the monotonic operation/GC counters.
+
+        Stored in checkpoint metadata so that a resumed run can restore
+        the counters via :meth:`restore_counters` and keep reporting
+        monotonic (not reset-to-zero) statistics across the resume.
+        """
+        return {
+            "op_count": self.op_count,
+            "gc_count": self.gc_count,
+            "cache": [list(st) for st in self._cstats],
+        }
+
+    def restore_counters(self, snapshot: Dict[str, object]) -> None:
+        """Add a prior run's :meth:`counters_snapshot` onto this manager.
+
+        Used on checkpoint resume: the fresh manager starts at zero, so
+        adding the snapshot makes ``op_count`` / ``gc_count`` and every
+        ``cache_stats`` counter continue from where the interrupted run
+        left off (table ``entries`` are naturally *not* restored — the
+        resumed manager starts with cold tables).
+        """
+        self.op_count += int(snapshot.get("op_count", 0))
+        self.gc_count += int(snapshot.get("gc_count", 0))
+        for st, base in zip(self._cstats, snapshot.get("cache", ())):
+            for slot, value in enumerate(base[: len(st)]):
+                st[slot] += int(value)
 
     # ------------------------------------------------------------------
     # Boolean operations (delegated to the algorithm modules)

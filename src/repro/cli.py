@@ -6,8 +6,10 @@ s27) or on an ISCAS'89 ``.bench`` file, and prints the Table-2-style
 statistics.  Long runs can be made fault-tolerant with
 ``--checkpoint-dir`` / ``--resume`` / ``--isolate`` / ``--fallback``
 (see :mod:`repro.harness`); ``python -m repro batch`` runs a whole
-circuit suite resiliently.  ``python -m repro list`` shows the built-in
-circuits.
+circuit suite resiliently.  ``--trace-dir`` records per-iteration
+telemetry (see :mod:`repro.obs`) and ``python -m repro trace`` renders
+it as size-trajectory and phase-time tables.  ``python -m repro list``
+shows the built-in circuits.
 """
 
 from __future__ import annotations
@@ -141,6 +143,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-nodes", type=int, default=1_000_000, help="live-node budget"
     )
 
+    trace = sub.add_parser(
+        "trace",
+        help="render a run's trace JSONL as iteration/phase tables",
+    )
+    trace.add_argument(
+        "path",
+        help=(
+            "trace file, or a --trace-dir directory of trace-*.jsonl files"
+        ),
+    )
+
     sub.add_parser("list", help="list built-in circuits")
     return parser
 
@@ -202,6 +215,15 @@ def _add_harness_arguments(parser, batch_defaults: bool = False) -> None:
         "--journal",
         metavar="FILE",
         help="append one JSONL record per attempt to FILE",
+    )
+    obs = parser.add_argument_group("observability")
+    obs.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        help=(
+            "write per-iteration trace JSONL here (one file per "
+            "engine/order/circuit); inspect with `python -m repro trace DIR`"
+        ),
     )
 
 
@@ -274,6 +296,7 @@ def cmd_reach(args: argparse.Namespace) -> int:
                 total_seconds=(
                     args.max_seconds if args.fallback == "auto" else None
                 ),
+                trace_dir=args.trace_dir,
             )
             results.append(outcome)
             if len(attempts) > 1:
@@ -291,13 +314,25 @@ def cmd_reach(args: argparse.Namespace) -> int:
             max_iterations=args.max_iterations,
         )
         for engine_name in engines:
-            result = ENGINES[engine_name](
-                circuit,
-                slots=slots,
-                limits=limits,
-                order_name=args.order,
-                count_states=not args.no_count,
-            )
+            tracer = None
+            if args.trace_dir:
+                from .obs import file_tracer
+
+                tracer = file_tracer(
+                    args.trace_dir, engine_name, args.order, circuit.name
+                )
+            try:
+                result = ENGINES[engine_name](
+                    circuit,
+                    slots=slots,
+                    limits=limits,
+                    order_name=args.order,
+                    count_states=not args.no_count,
+                    tracer=tracer,
+                )
+            finally:
+                if tracer is not None:
+                    tracer.close()
             results.append(result)
             print(_result_line(result))
     print()
@@ -327,6 +362,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         max_rss_mb=args.max_rss_mb,
         journal=journal,
         count_states=not args.no_count,
+        trace_dir=args.trace_dir,
     )
     results = []
     failures = 0
@@ -431,6 +467,19 @@ def cmd_equiv(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .obs.report import render_trace_path
+
+    if not os.path.exists(args.path):
+        raise SystemExit("no such trace file or directory: %r" % args.path)
+    text = render_trace_path(args.path)
+    if not text.strip():
+        print("no trace records found in %s" % args.path)
+        return 1
+    print(text)
+    return 0
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     print("built-in circuits:")
     for name, factory in sorted(builtin_circuits().items()):
@@ -452,6 +501,7 @@ def main(argv=None) -> int:
         "info": cmd_info,
         "check": cmd_check,
         "equiv": cmd_equiv,
+        "trace": cmd_trace,
         "list": cmd_list,
     }
     return handlers[args.command](args)

@@ -164,6 +164,10 @@ class Checkpointer:
             "functions": sorted(functions or {}),
             "vectors": sorted(vectors or {}),
         }
+        # Manager counters ride along so a resumed run reports monotonic
+        # op/cache statistics instead of restarting them from zero.
+        if hasattr(bdd, "counters_snapshot"):
+            meta["counters"] = bdd.counters_snapshot()
         path = self.path_for(iteration)
         with atomic_write(path) as handle:
             handle.write(_MAGIC + "\n")

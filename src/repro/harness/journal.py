@@ -10,6 +10,7 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
 from typing import Dict, Iterator, List, Optional
 
 
@@ -38,11 +39,19 @@ class RunJournal:
         except OSError:
             return
         with handle:
-            for raw in handle:
+            for lineno, raw in enumerate(handle, 1):
                 try:
                     record = json.loads(raw)
                 except ValueError:
-                    continue  # torn trailing line from a crashed writer
+                    # Torn trailing line from a crashed writer (or torn
+                    # mid-file from a concurrent one): skip, but say so.
+                    warnings.warn(
+                        "skipping corrupt journal line %d in %s"
+                        % (lineno, self.path),
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    continue
                 if isinstance(record, dict):
                     yield record
 

@@ -13,6 +13,7 @@ Every attempt is journaled.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple
@@ -86,6 +87,13 @@ def run_with_fallback(
     """
     policy = policy or FallbackPolicy()
     rungs = policy.ladder(spec.engine, spec.order)
+    trace_journal = None
+    if getattr(spec, "trace_dir", None):
+        # Ladder decisions land next to the engines' per-iteration
+        # traces, so `repro trace <dir>` can interleave both.
+        trace_journal = RunJournal(
+            os.path.join(spec.trace_dir, "attempts.jsonl")
+        )
     deadline = (
         None if total_seconds is None else time.monotonic() + total_seconds
     )
@@ -123,6 +131,23 @@ def run_with_fallback(
             result = run_attempt(attempt_spec)
         attempts.append(result)
         outcome = result
+        if trace_journal is not None:
+            trace_journal.append(
+                {
+                    "event": "fallback_attempt",
+                    "attempt": index + 1,
+                    "of": len(rungs),
+                    "circuit": spec.circuit,
+                    "engine": engine,
+                    "order": order,
+                    "budget_seconds": slice_seconds,
+                    "outcome": "completed"
+                    if result.completed
+                    else result.failure,
+                    "seconds": result.seconds,
+                    "iterations": result.iterations,
+                }
+            )
         if journal is not None:
             journal.append(
                 {

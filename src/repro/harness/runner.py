@@ -35,6 +35,7 @@ def resilient_reach(
     max_rss_mb: Optional[float] = None,
     journal: Optional[RunJournal] = None,
     total_seconds: Optional[float] = None,
+    trace_dir: Optional[str] = None,
     faults=None,
 ) -> Tuple[Optional[ReachResult], List[ReachResult]]:
     """One fault-tolerant reachability run; ``(outcome, attempts)``.
@@ -54,6 +55,7 @@ def resilient_reach(
         checkpoint_interval=checkpoint_interval,
         resume=resume,
         count_states=count_states,
+        trace_dir=trace_dir,
         faults=faults,
     )
     if policy is None:
@@ -86,6 +88,7 @@ def run_batch(
     max_rss_mb: Optional[float] = None,
     journal: Optional[RunJournal] = None,
     count_states: bool = True,
+    trace_dir: Optional[str] = None,
 ) -> Dict[str, Tuple[Optional[ReachResult], List[ReachResult]]]:
     """Run a suite of circuits resiliently; circuit -> (outcome, attempts).
 
@@ -110,5 +113,6 @@ def run_batch(
             max_rss_mb=max_rss_mb,
             journal=journal,
             total_seconds=max_seconds,
+            trace_dir=trace_dir,
         )
     return results

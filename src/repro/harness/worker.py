@@ -17,6 +17,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 from ..circuits.catalog import resolve
+from ..obs import file_tracer
 from ..order import order_for
 from ..reach import ENGINES, ReachLimits, ReachResult
 from . import faults as _faults
@@ -38,6 +39,9 @@ class AttemptSpec:
     keep_checkpoints: int = 3
     resume: bool = False
     count_states: bool = True
+    #: Directory for per-iteration trace JSONL (see :mod:`repro.obs`);
+    #: None disables tracing (the engines see the null tracer).
+    trace_dir: Optional[str] = None
     #: Fault plan installed before the run (tests only); see
     #: :mod:`repro.harness.faults`.
     faults: Optional[List[Dict[str, object]]] = None
@@ -77,6 +81,7 @@ def run_attempt(spec: AttemptSpec) -> ReachResult:
     if spec.engine not in ENGINES:
         raise ValueError("unknown engine %r" % spec.engine)
     plan = _faults.FaultPlan(spec.faults).install() if spec.faults else None
+    tracer = None
     try:
         circuit = resolve(spec.circuit)
         slots = order_for(circuit, spec.order)
@@ -86,6 +91,10 @@ def run_attempt(spec: AttemptSpec) -> ReachResult:
             max_iterations=spec.max_iterations,
         )
         checkpointer = checkpointer_for(spec, circuit.name)
+        if spec.trace_dir:
+            tracer = file_tracer(
+                spec.trace_dir, spec.engine, spec.order, circuit.name
+            )
         result = ENGINES[spec.engine](
             circuit,
             slots=slots,
@@ -93,6 +102,7 @@ def run_attempt(spec: AttemptSpec) -> ReachResult:
             order_name=spec.order,
             count_states=spec.count_states,
             checkpointer=checkpointer,
+            tracer=tracer,
         )
         if checkpointer is not None and checkpointer.skipped:
             result.extra["checkpoints_skipped"] = [
@@ -100,6 +110,8 @@ def run_attempt(spec: AttemptSpec) -> ReachResult:
             ]
         return result
     finally:
+        if tracer is not None:
+            tracer.close()
         if plan is not None:
             plan.uninstall()
 

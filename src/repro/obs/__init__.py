@@ -1,0 +1,64 @@
+"""Observability: tracing and per-iteration metrics for reachability runs.
+
+The paper's experimental story is about *trajectories* — the BFV
+representation of the reached set staying small per image step while
+the characteristic function blows up (Tables 2-3).  This package makes
+those trajectories visible in our own runs:
+
+* :class:`~repro.obs.tracer.Tracer` — monotonic-clock **phase spans**
+  (``setup``, ``image``, ``reparam``, ``union``, ``fixpoint_test``,
+  ``chi_conversion``, ``gc``, ``checkpoint``, nestable) and
+  **per-iteration metric records** (frontier/reached representation
+  sizes, chi size where one is built, kernel-invocation and
+  computed-table deltas, live/allocated nodes, RSS);
+* :class:`~repro.obs.tracer.NullTracer` — the zero-cost default: every
+  engine accepts ``tracer=None`` and runs against a shared no-op
+  singleton, so disabled tracing adds only a handful of no-op calls
+  per iteration;
+* :mod:`~repro.obs.sinks` — pluggable record sinks: in-memory
+  collection for tests, JSONL files interoperable with
+  :class:`repro.harness.journal.RunJournal`;
+* :mod:`~repro.obs.report` — renders trace files as paper-style
+  per-iteration trajectory tables and a phase-time breakdown (behind
+  ``python -m repro trace``; imported lazily to keep this package
+  import-light for :mod:`repro.reach.common`).
+
+Engines roll the cumulative phase timing summary into
+``ReachResult.extra["obs"]``, so even without a sink a traced run
+reports where its time went.
+"""
+
+from .sinks import JsonlSink, MemorySink, NullSink, Sink, trace_filename
+from .tracer import NULL_TRACER, NullTracer, Tracer, ensure_tracer
+
+__all__ = [
+    "JsonlSink",
+    "MemorySink",
+    "NullSink",
+    "NULL_TRACER",
+    "NullTracer",
+    "Sink",
+    "Tracer",
+    "ensure_tracer",
+    "file_tracer",
+    "trace_filename",
+]
+
+
+def file_tracer(trace_dir: str, engine: str, order: str, circuit: str) -> Tracer:
+    """A :class:`Tracer` writing JSONL records under ``trace_dir``.
+
+    The file name follows the same ``<engine>-<order>-<circuit>`` tag
+    convention as :class:`repro.harness.checkpoint.Checkpointer`, so one
+    directory can hold the traces of a whole fallback ladder without
+    collisions; records are appended, so a resumed run extends its
+    earlier trace file.
+    """
+    import os
+
+    sink = JsonlSink(
+        os.path.join(trace_dir, trace_filename(engine, order, circuit))
+    )
+    tracer = Tracer(sink=sink)
+    tracer.bind(engine=engine, order=order, circuit=circuit)
+    return tracer

@@ -1,0 +1,48 @@
+"""Cheap metric snapshots for the tracer.
+
+These helpers read process- and manager-level counters without going
+through heavier public APIs, so a traced iteration pays one dict and a
+few integer reads.  They deliberately avoid importing anything from
+:mod:`repro.reach` or :mod:`repro.harness` (the tracer sits below both).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+#: Counter fields copied from ``BDD.cache_stats()['total']`` into
+#: iteration records (as deltas) and summaries.
+CACHE_FIELDS = ("hits", "misses", "inserts", "evictions", "swept")
+
+
+def rss_self_bytes() -> Optional[int]:
+    """Resident set size of the current process, or None off-Linux."""
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    return None
+
+
+def manager_counters(bdd) -> Dict[str, int]:
+    """Monotonic operation/cache counters of a BDD manager.
+
+    Returns ``op_count`` / ``gc_count`` plus the aggregate computed-table
+    counters; iteration records report the *delta* of two snapshots.
+    """
+    total = bdd.cache_stats()["total"]
+    counters = {
+        "op_count": bdd.op_count,
+        "gc_count": bdd.gc_count,
+    }
+    for field in CACHE_FIELDS:
+        counters["cache_" + field] = int(total[field])
+    return counters
+
+
+def counter_deltas(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
+    """Per-field ``after - before`` over matching counter keys."""
+    return {key: after[key] - before.get(key, 0) for key in after}

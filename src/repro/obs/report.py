@@ -1,0 +1,234 @@
+"""Render trace files: per-iteration trajectory tables + phase breakdown.
+
+This is the read side of the observability layer, behind
+``python -m repro trace <path>``.  A trace path is a JSONL file written
+by :class:`repro.obs.sinks.JsonlSink` (or a directory of them, e.g. a
+``--trace-dir``); records are read with the journal reader, so torn
+trailing lines from an in-flight or crashed run are tolerated.
+
+The per-iteration table is the trajectory view the paper's Tables 2-3
+aggregate away: representation sizes of the frontier and reached set at
+every image step, next to the operation mix (kernel invocations,
+computed-table hit rate) and memory (live nodes, RSS) that produced
+them.  The phase breakdown reports *exclusive* span times, so nested
+spans (a ``gc`` inside a ``checkpoint``) are not double-counted and the
+phase total is directly comparable to the run's wall-clock seconds.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..harness.journal import RunJournal
+from ..reach.report import format_grid
+
+#: Columns of the per-iteration table: (header, record key, formatter).
+_NUM = "%d"
+
+
+def _fmt_int(value) -> str:
+    return _NUM % value if isinstance(value, (int, float)) else "-"
+
+
+def _fmt_rate(value) -> str:
+    return "%.1f%%" % (100.0 * value) if isinstance(value, (int, float)) else "-"
+
+
+def _fmt_seconds(value) -> str:
+    return "%.4f" % value if isinstance(value, (int, float)) else "-"
+
+
+def _fmt_mb(value) -> str:
+    return (
+        "%.1f" % (value / (1024.0 * 1024.0))
+        if isinstance(value, (int, float))
+        else "-"
+    )
+
+
+_COLUMNS = (
+    ("Iter", "iteration", _fmt_int),
+    ("Frontier", "frontier_size", _fmt_int),
+    ("Reached", "reached_size", _fmt_int),
+    ("Chi", "chi_size", _fmt_int),
+    ("Ops", "op_delta", _fmt_int),
+    ("Hit%", "cache_hit_rate", _fmt_rate),
+    ("Live", "live_nodes", _fmt_int),
+    ("RSS(MB)", "rss_bytes", _fmt_mb),
+    ("Time(s)", "seconds", _fmt_seconds),
+)
+
+
+def load_trace(path: str) -> List[Dict[str, object]]:
+    """All intact records of one trace file or a directory of them.
+
+    Directories are walked non-recursively; ``*.jsonl`` files are read
+    in sorted name order and each record is annotated with its source
+    file under ``_file``.
+    """
+    if os.path.isdir(path):
+        records: List[Dict[str, object]] = []
+        for name in sorted(os.listdir(path)):
+            if not name.endswith(".jsonl"):
+                continue
+            for record in RunJournal(os.path.join(path, name)):
+                record["_file"] = name
+                records.append(record)
+        return records
+    return RunJournal(path).read()
+
+
+def _run_key(record: Dict[str, object]) -> Tuple[str, str, str]:
+    return (
+        str(record.get("engine", "?")),
+        str(record.get("circuit", "?")),
+        str(record.get("order", "?")),
+    )
+
+
+def group_runs(
+    records: Iterable[Dict[str, object]]
+) -> List[Tuple[Tuple[str, str, str], List[Dict[str, object]]]]:
+    """Split records into per-run groups keyed (engine, circuit, order)."""
+    groups: Dict[Tuple[str, str, str], List[Dict[str, object]]] = {}
+    order: List[Tuple[str, str, str]] = []
+    for record in records:
+        key = _run_key(record)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(record)
+    return [(key, groups[key]) for key in order]
+
+
+def format_iteration_table(records: Sequence[Dict[str, object]]) -> str:
+    """Paper-style size-trajectory table from iteration records."""
+    rows = [[header for header, _, _ in _COLUMNS]]
+    for record in records:
+        rows.append(
+            [fmt(record.get(key)) for _, key, fmt in _COLUMNS]
+        )
+    return format_grid(rows)
+
+
+def format_phase_breakdown(
+    phase_self: Dict[str, float],
+    wall_seconds: Optional[float] = None,
+    span_counts: Optional[Dict[str, int]] = None,
+) -> str:
+    """Phase table (exclusive seconds, share, span count) + coverage line."""
+    total = sum(phase_self.values())
+    rows = [["Phase", "Self(s)", "Share", "Spans"]]
+    for phase, seconds in sorted(
+        phase_self.items(), key=lambda item: -item[1]
+    ):
+        rows.append(
+            [
+                phase,
+                "%.4f" % seconds,
+                "%.1f%%" % (100.0 * seconds / total) if total else "-",
+                _fmt_int((span_counts or {}).get(phase)),
+            ]
+        )
+    lines = [format_grid(rows)]
+    if wall_seconds:
+        lines.append(
+            "phase total %.4fs of %.4fs wall (%.1f%% coverage)"
+            % (total, wall_seconds, 100.0 * total / wall_seconds)
+        )
+    return "\n".join(lines)
+
+
+def render_run(
+    key: Tuple[str, str, str], records: Sequence[Dict[str, object]]
+) -> str:
+    """Full report for one run's records."""
+    engine, circuit, order = key
+    iteration_records = [
+        r for r in records if r.get("event") == "iteration"
+    ]
+    summaries = [r for r in records if r.get("event") == "summary"]
+    summary = summaries[-1] if summaries else None
+    lines = ["== %s / %s / order %s ==" % (engine, circuit, order)]
+    if iteration_records:
+        lines.append(format_iteration_table(iteration_records))
+    else:
+        lines.append("(no iteration records)")
+    phase_self: Dict[str, float] = {}
+    span_counts: Optional[Dict[str, int]] = None
+    wall: Optional[float] = None
+    if summary is not None:
+        raw = summary.get("phase_self_seconds")
+        if isinstance(raw, dict):
+            phase_self = {
+                str(k): float(v)
+                for k, v in raw.items()
+                if isinstance(v, (int, float))
+            }
+        raw_counts = summary.get("span_counts")
+        if isinstance(raw_counts, dict):
+            span_counts = {str(k): int(v) for k, v in raw_counts.items()}
+        if isinstance(summary.get("seconds"), (int, float)):
+            wall = float(summary["seconds"])
+    if not phase_self:
+        for record in iteration_records:
+            phases = record.get("phases")
+            if isinstance(phases, dict):
+                for phase, seconds in phases.items():
+                    if isinstance(seconds, (int, float)):
+                        phase_self[str(phase)] = (
+                            phase_self.get(str(phase), 0.0) + seconds
+                        )
+    if wall is None and iteration_records:
+        wall = sum(
+            r["seconds"]
+            for r in iteration_records
+            if isinstance(r.get("seconds"), (int, float))
+        )
+    if phase_self:
+        lines.append("")
+        lines.append(format_phase_breakdown(phase_self, wall, span_counts))
+    if summary is not None:
+        status_bits = []
+        if summary.get("completed") is True:
+            status_bits.append("completed")
+        elif summary.get("failure"):
+            status_bits.append("failed: %s" % summary["failure"])
+        for name, label in (
+            ("iterations", "iterations"),
+            ("peak_live_nodes", "peak live nodes"),
+            ("reached_size", "reached representation"),
+            ("num_states", "reachable states"),
+        ):
+            if summary.get(name) is not None:
+                status_bits.append("%s %s" % (summary[name], label))
+        if status_bits:
+            lines.append("summary: " + ", ".join(status_bits))
+    events = {}
+    for record in records:
+        kind = record.get("event")
+        if kind not in ("iteration", "summary"):
+            events[kind] = events.get(kind, 0) + 1
+    if events:
+        lines.append(
+            "events: "
+            + ", ".join(
+                "%s x%d" % (kind, count)
+                for kind, count in sorted(events.items())
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_trace(records: Iterable[Dict[str, object]]) -> str:
+    """Report for every run found in ``records``."""
+    groups = group_runs(records)
+    if not groups:
+        return "(no trace records)"
+    return "\n\n".join(render_run(key, group) for key, group in groups)
+
+
+def render_trace_path(path: str) -> str:
+    """Load ``path`` (file or directory) and render its report."""
+    return render_trace(load_trace(path))

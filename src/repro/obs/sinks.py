@@ -1,0 +1,112 @@
+"""Trace record sinks: where tracer records go.
+
+A sink receives one JSON-safe dict per record (iteration, event, or
+summary).  Three implementations cover the use cases:
+
+* :class:`NullSink` — drops everything (the tracer itself already
+  short-circuits when disabled; this exists for explicit wiring);
+* :class:`MemorySink` — collects records in a list (tests, in-process
+  analysis);
+* :class:`JsonlSink` — appends one JSON line per record, in the same
+  shape as :class:`repro.harness.journal.RunJournal` records (every
+  record carries an ``event`` key and a ``wall`` timestamp, written
+  with ``sort_keys``), so a trace file can be read back with the
+  journal reader — including its torn-trailing-line tolerance.
+
+Unlike the attempt journal, the JSONL sink does **not** fsync per
+record: iteration records are emitted on the engines' hot loop, and a
+lost trailing record after a crash costs one iteration of telemetry,
+not run state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from typing import Dict, List, Optional
+
+
+def trace_filename(engine: str, order: str, circuit: str) -> str:
+    """Trace file name for one attempt flavor (filename-safe tag)."""
+
+    def clean(text: str) -> str:
+        return re.sub(r"[^A-Za-z0-9_.]+", "_", text)
+
+    return "trace-%s-%s-%s.jsonl" % (clean(engine), clean(order), clean(circuit))
+
+
+class Sink:
+    """Interface: receives tracer records; close flushes resources."""
+
+    def emit(self, record: Dict[str, object]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def __enter__(self) -> "Sink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class NullSink(Sink):
+    """Discards every record."""
+
+    def emit(self, record: Dict[str, object]) -> None:
+        pass
+
+
+class MemorySink(Sink):
+    """Collects records in :attr:`records` (testing / in-process use)."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, object]] = []
+
+    def emit(self, record: Dict[str, object]) -> None:
+        self.records.append(record)
+
+    def by_event(self, event: str) -> List[Dict[str, object]]:
+        """Records whose ``event`` field equals ``event``."""
+        return [r for r in self.records if r.get("event") == event]
+
+
+class JsonlSink(Sink):
+    """Appends records as JSON lines to ``path``.
+
+    The file is opened lazily on the first record (so merely
+    constructing a tracer creates no empty files) and in append mode,
+    so a resumed attempt extends its previous trace.  ``fsync=True``
+    switches to journal-grade durability per record.
+    """
+
+    def __init__(self, path: str, fsync: bool = False) -> None:
+        self.path = path
+        self.fsync = fsync
+        self._handle: Optional[object] = None
+        self.emitted = 0
+
+    def _open(self):
+        if self._handle is None:
+            directory = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(directory, exist_ok=True)
+            self._handle = open(self.path, "a")
+        return self._handle
+
+    def emit(self, record: Dict[str, object]) -> None:
+        record = dict(record)
+        record.setdefault("wall", time.time())
+        handle = self._open()
+        handle.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

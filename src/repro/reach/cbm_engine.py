@@ -28,6 +28,7 @@ from typing import Optional, Sequence
 from ..bfv import BFV, from_characteristic, to_characteristic
 from ..bfv.reparam import eliminate_params
 from ..errors import ResourceLimitError
+from ..obs import ensure_tracer
 from ..sim.symbolic import SymbolicSimulator
 from .common import ReachLimits, ReachResult, ReachSpace, RunMonitor
 
@@ -44,32 +45,42 @@ def cbm_reachability(
     initial_points=None,
     image_method: str = "simulate",
     checkpointer=None,
+    tracer=None,
 ) -> ReachResult:
-    """Run the Figure 1 flow; returns a :class:`ReachResult`."""
+    """Run the Figure 1 flow; returns a :class:`ReachResult`.
+
+    With a ``tracer`` the per-iteration representation conversions the
+    paper's Figure 2 eliminates show up as ``chi_conversion`` spans,
+    directly comparable against the BFV engine's phase profile.
+    """
     if image_method not in ("simulate", "constrain"):
         raise ValueError("unknown image_method %r" % image_method)
     if space is None:
         space = ReachSpace(circuit, slots)
     bdd = space.bdd
-    simulator = SymbolicSimulator(bdd, circuit)
-    monitor = RunMonitor(bdd, limits, checkpointer)
-    input_drivers = {
-        net: bdd.incref(bdd.var(v)) for net, v in space.input_var.items()
-    }
-    params = list(space.s_vars) + list(space.x_vars)
-    latch_order = list(circuit.latches)
-    rename_map = dict(zip(space.t_vars, space.s_vars))
+    tracer = ensure_tracer(tracer)
+    tracer.attach(bdd)
+    tracer.bind(engine="cbm", circuit=circuit.name, order=order_name)
+    monitor = RunMonitor(bdd, limits, checkpointer, tracer=tracer)
+    with tracer.span("setup"):
+        simulator = SymbolicSimulator(bdd, circuit)
+        input_drivers = {
+            net: bdd.incref(bdd.var(v)) for net, v in space.input_var.items()
+        }
+        params = list(space.s_vars) + list(space.x_vars)
+        latch_order = list(circuit.latches)
+        rename_map = dict(zip(space.t_vars, space.s_vars))
 
-    deltas = None
-    if image_method == "constrain":
-        deltas_by_latch = simulator.transition_functions(
-            dict(space.input_var), dict(space.state_var)
-        )
-        by_net = dict(zip(latch_order, deltas_by_latch))
-        deltas = [bdd.incref(by_net[n]) for n in space.state_order]
+        deltas = None
+        if image_method == "constrain":
+            deltas_by_latch = simulator.transition_functions(
+                dict(space.input_var), dict(space.state_var)
+            )
+            by_net = dict(zip(latch_order, deltas_by_latch))
+            deltas = [bdd.incref(by_net[n]) for n in space.state_order]
 
-    reached = bdd.incref(space.initial_chi(initial_points))
-    from_chi = bdd.incref(reached)
+        reached = bdd.incref(space.initial_chi(initial_points))
+        from_chi = bdd.incref(reached)
     iterations = 0
     conversion = 0.0
     result = ReachResult(
@@ -84,36 +95,60 @@ def cbm_reachability(
     try:
         while True:
             iterations += 1
+            tracer.begin_iteration(iterations)
             if image_method == "simulate":
                 # chi -> BFV conversion (the cost Figure 2 avoids).
-                t0 = time.monotonic()
-                frontier = from_characteristic(bdd, space.s_vars, from_chi)
-                conversion += time.monotonic() - t0
-                drivers = dict(input_drivers)
-                for net, comp in zip(space.state_order, frontier.components):
-                    drivers[net] = comp
-                raw_by_latch = simulator.next_state(drivers)
-                by_net = dict(zip(latch_order, raw_by_latch))
-                raw = [by_net[n] for n in space.state_order]
+                with tracer.span("chi_conversion"):
+                    t0 = time.monotonic()
+                    frontier = from_characteristic(bdd, space.s_vars, from_chi)
+                    conversion += time.monotonic() - t0
+                with tracer.span("image"):
+                    drivers = dict(input_drivers)
+                    for net, comp in zip(
+                        space.state_order, frontier.components
+                    ):
+                        drivers[net] = comp
+                    raw_by_latch = simulator.next_state(drivers)
+                    by_net = dict(zip(latch_order, raw_by_latch))
+                    raw = [by_net[n] for n in space.state_order]
             else:
                 # Range computation [7]: generalized cofactor of each
                 # transition function by the from-set; the image is the
                 # range of the constrained vector.
-                raw = [bdd.constrain(delta, from_chi) for delta in deltas]
-            image_t = eliminate_params(
-                bdd, space.t_vars, raw, params, schedule
-            )
-            image_comps = [bdd.rename(f, rename_map) for f in image_t]
-            image_vec = BFV(bdd, space.s_vars, image_comps, validate=False)
+                with tracer.span("image"):
+                    raw = [
+                        bdd.constrain(delta, from_chi) for delta in deltas
+                    ]
+            with tracer.span("reparam"):
+                image_t = eliminate_params(
+                    bdd, space.t_vars, raw, params, schedule
+                )
+                image_comps = [bdd.rename(f, rename_map) for f in image_t]
+                image_vec = BFV(bdd, space.s_vars, image_comps, validate=False)
             # BFV -> chi conversion.
-            t0 = time.monotonic()
-            image = to_characteristic(image_vec)
-            conversion += time.monotonic() - t0
-            new = bdd.diff(image, reached)
-            if new == bdd.false:
+            with tracer.span("chi_conversion"):
+                t0 = time.monotonic()
+                image = to_characteristic(image_vec)
+                conversion += time.monotonic() - t0
+            with tracer.span("fixpoint_test"):
+                new = bdd.diff(image, reached)
+                fixed = new == bdd.false
+            if fixed:
+                if tracer.enabled:
+                    with tracer.span("telemetry"):
+                        frontier_size = bdd.dag_size(from_chi)
+                        reached_size = bdd.dag_size(reached)
+                    tracer.end_iteration(
+                        iterations,
+                        frontier_size=frontier_size,
+                        reached_size=reached_size,
+                        chi_size=reached_size,
+                        fixpoint=True,
+                    )
                 break
             previous = reached
-            reached = bdd.incref(bdd.or_(reached, image))
+            with tracer.span("union"):
+                reached = bdd.incref(bdd.or_(reached, image))
             bdd.decref(previous)
             bdd.decref(from_chi)
             if selection_heuristic and bdd.dag_size(new) > bdd.dag_size(reached):
@@ -126,6 +161,16 @@ def cbm_reachability(
                     functions={"reached": reached, "frontier": from_chi},
                 )
             monitor.checkpoint((), iterations)
+            if tracer.enabled:
+                with tracer.span("telemetry"):
+                    frontier_size = bdd.dag_size(from_chi)
+                    reached_size = bdd.dag_size(reached)
+                tracer.end_iteration(
+                    iterations,
+                    frontier_size=frontier_size,
+                    reached_size=reached_size,
+                    chi_size=reached_size,
+                )
         result.completed = True
     except ResourceLimitError as error:
         monitor.annotate(result, error, iterations)
@@ -138,13 +183,17 @@ def cbm_reachability(
     result.iterations = iterations
     result.seconds = monitor.elapsed
     result.conversion_seconds = conversion
-    bdd.collect_garbage()
-    result.peak_live_nodes = max(monitor.peak_live, bdd.count_live())
-    result.extra["cache"] = bdd.cache_stats()
-    result.reached_size = bdd.dag_size(reached)
-    if result.completed:
-        result.extra["space"] = space
-        result.extra["reached_chi"] = reached
-        if count_states:
-            result.num_states = space.states_of(reached)
+    with tracer.span("finalize"):
+        bdd.collect_garbage()
+        result.peak_live_nodes = max(monitor.peak_live, bdd.count_live())
+        result.extra["cache"] = bdd.cache_stats()
+        result.reached_size = bdd.dag_size(reached)
+        if result.completed:
+            result.extra["space"] = space
+            result.extra["reached_chi"] = reached
+            if count_states:
+                result.num_states = space.states_of(reached)
+    if tracer.enabled:
+        result.extra["obs"] = tracer.summary()
+        tracer.finish(result)
     return result

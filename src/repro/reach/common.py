@@ -29,7 +29,23 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..bdd import BDD
 from ..circuits.netlist import Circuit
 from ..errors import CircuitError, ResourceLimitError
+from ..obs import NULL_TRACER, ensure_tracer
 from ..order import order_for
+
+#: Table-2-style cell label for every failure code the engines and the
+#: harness can emit.  Engines tag budget failures ``time`` / ``memory``
+#: / ``iterations`` / ``depth`` (ResourceLimitError kinds, plus the
+#: RecursionError translation); the supervisor adds ``crash`` for child
+#: processes that die without reporting, and reuses ``time`` /
+#: ``memory`` for watchdog kills.  :attr:`ReachResult.status` renders
+#: unknown codes as ``FAIL`` rather than raising.
+FAILURE_LABELS: Dict[str, str] = {
+    "time": "T.O.",
+    "memory": "M.O.",
+    "iterations": "I.O.",
+    "depth": "D.O.",
+    "crash": "CRASH",
+}
 
 
 class ReachSpace:
@@ -155,16 +171,15 @@ class ReachResult:
 
     @property
     def status(self) -> str:
-        """Table-2-style cell: time, or T.O. / M.O."""
+        """Table-2-style cell: time, or a :data:`FAILURE_LABELS` code.
+
+        Every failure code the engines or the harness can emit has a
+        label; anything unrecognized (including a missing code) renders
+        as ``FAIL`` instead of raising.
+        """
         if self.completed:
             return "%.2f" % self.seconds
-        return {
-            "time": "T.O.",
-            "memory": "M.O.",
-            "iterations": "I.O.",
-            "depth": "D.O.",
-            "crash": "CRASH",
-        }.get(self.failure or "", "FAIL")
+        return FAILURE_LABELS.get(self.failure or "", "FAIL")
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe dict form (crosses the supervisor process boundary).
@@ -216,10 +231,16 @@ class RunMonitor:
         bdd: BDD,
         limits: Optional[ReachLimits],
         checkpointer: Optional[object] = None,
+        tracer: Optional[object] = None,
     ) -> None:
         self.bdd = bdd
         self.limits = limits or ReachLimits()
         self.checkpointer = checkpointer
+        #: Observability hook (see :mod:`repro.obs`): GC work inside
+        #: :meth:`checkpoint` is timed under a ``gc`` span, snapshots
+        #: under a ``checkpoint`` span, and checkpoint/resume become
+        #: trace events.  Defaults to the zero-cost null tracer.
+        self.tracer = ensure_tracer(tracer)
         self.start = time.monotonic()
         self.peak_live = 0
         #: Minimum allocation before a no-budget checkpoint collects.
@@ -259,15 +280,32 @@ class RunMonitor:
     ) -> None:
         """Persist the engine's state through the attached checkpointer."""
         if self.checkpointer is not None:
-            self.checkpointer.maybe_save(
-                self.bdd, iteration, functions, vectors
-            )
+            with self.tracer.span("checkpoint"):
+                saved = self.checkpointer.maybe_save(
+                    self.bdd, iteration, functions, vectors
+                )
+            if saved:
+                self.tracer.event("checkpoint", iteration=iteration)
 
     def restore(self):
-        """Latest valid snapshot to resume from, or None."""
+        """Latest valid snapshot to resume from, or None.
+
+        A restored snapshot's counter baselines (see
+        :meth:`repro.bdd.BDD.counters_snapshot`) are added onto the
+        manager, so statistics reported after a resume are monotonic
+        across the whole logical run instead of resetting to zero.
+        """
         if self.checkpointer is None:
             return None
-        return self.checkpointer.restore(self.bdd)
+        snapshot = self.checkpointer.restore(self.bdd)
+        if snapshot is not None:
+            counters = snapshot.meta.get("counters")
+            if counters and hasattr(self.bdd, "restore_counters"):
+                self.bdd.restore_counters(counters)
+            self.tracer.event(
+                "resume", iteration=snapshot.iteration, path=snapshot.path
+            )
+        return snapshot
 
     def annotate(self, result: "ReachResult", error, iteration: int) -> None:
         """Record a budget failure and its partial-progress statistics.
@@ -319,8 +357,9 @@ class RunMonitor:
             # engines used before collection became budget-driven.  The
             # benchmark baseline sets this to reproduce the seed stack
             # end-to-end (see tests/bdd/reference_kernels.py).
-            bdd.collect_garbage(roots)
-            live = self._gc_live = bdd.count_live(roots)
+            with self.tracer.span("gc"):
+                bdd.collect_garbage(roots)
+                live = self._gc_live = bdd.count_live(roots)
             if live > self.peak_live:
                 self.peak_live = live
         elif budget is not None:
@@ -331,13 +370,15 @@ class RunMonitor:
                 if live > self.peak_live:
                     self.peak_live = live
             else:
-                bdd.collect_garbage(roots)
-                live = self._gc_live = bdd.count_live(roots)
+                with self.tracer.span("gc"):
+                    bdd.collect_garbage(roots)
+                    live = self._gc_live = bdd.count_live(roots)
                 if live > self.peak_live:
                     self.peak_live = live
         elif allocated > max(self.gc_floor, 2 * self._gc_live):
-            bdd.collect_garbage(roots)
-            live = self._gc_live = bdd.count_live(roots)
+            with self.tracer.span("gc"):
+                bdd.collect_garbage(roots)
+                live = self._gc_live = bdd.count_live(roots)
             if live > self.peak_live:
                 self.peak_live = live
         else:

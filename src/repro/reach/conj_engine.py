@@ -18,6 +18,7 @@ from ..bfv import BFV
 from ..bfv.conjunctive import ConjunctiveDecomposition
 from ..bfv.reparam import eliminate_params
 from ..errors import ResourceLimitError
+from ..obs import ensure_tracer
 from ..sim.symbolic import SymbolicSimulator
 from .common import ReachLimits, ReachResult, ReachSpace, RunMonitor
 
@@ -33,24 +34,29 @@ def conj_reachability(
     space: Optional[ReachSpace] = None,
     initial_points=None,
     checkpointer=None,
+    tracer=None,
 ) -> ReachResult:
     """Run Figure 2 with conjunctive-decomposition set manipulation."""
     if space is None:
         space = ReachSpace(circuit, slots)
     bdd = space.bdd
-    simulator = SymbolicSimulator(bdd, circuit)
-    monitor = RunMonitor(bdd, limits, checkpointer)
-    input_drivers = {
-        net: bdd.incref(bdd.var(v)) for net, v in space.input_var.items()
-    }
-    params = list(space.s_vars) + list(space.x_vars)
-    latch_order = list(circuit.latches)
-    rename_map = dict(zip(space.t_vars, space.s_vars))
+    tracer = ensure_tracer(tracer)
+    tracer.attach(bdd)
+    tracer.bind(engine="conj", circuit=circuit.name, order=order_name)
+    monitor = RunMonitor(bdd, limits, checkpointer, tracer=tracer)
+    with tracer.span("setup"):
+        simulator = SymbolicSimulator(bdd, circuit)
+        input_drivers = {
+            net: bdd.incref(bdd.var(v)) for net, v in space.input_var.items()
+        }
+        params = list(space.s_vars) + list(space.x_vars)
+        latch_order = list(circuit.latches)
+        rename_map = dict(zip(space.t_vars, space.s_vars))
 
-    init = BFV.from_points(
-        bdd, space.s_vars, space.initial_point_set(initial_points)
-    )
-    reached = ConjunctiveDecomposition.from_bfv(init)
+        init = BFV.from_points(
+            bdd, space.s_vars, space.initial_point_set(initial_points)
+        )
+        reached = ConjunctiveDecomposition.from_bfv(init)
     frontier = init
     iterations = 0
     result = ReachResult(
@@ -67,20 +73,36 @@ def conj_reachability(
     try:
         while True:
             iterations += 1
-            drivers = dict(input_drivers)
-            for net, comp in zip(space.state_order, frontier.components):
-                drivers[net] = comp
-            raw_by_latch = simulator.next_state(drivers)
-            by_net = dict(zip(latch_order, raw_by_latch))
-            raw = [by_net[n] for n in space.state_order]
-            image_t = eliminate_params(
-                bdd, space.t_vars, raw, params, schedule
-            )
-            image_comps = [bdd.rename(f, rename_map) for f in image_t]
-            image_vec = BFV(bdd, space.s_vars, image_comps, validate=False)
-            image = ConjunctiveDecomposition.from_bfv(image_vec)
-            new_reached = image.union(reached)
-            if new_reached == reached:
+            tracer.begin_iteration(iterations)
+            with tracer.span("image"):
+                drivers = dict(input_drivers)
+                for net, comp in zip(space.state_order, frontier.components):
+                    drivers[net] = comp
+                raw_by_latch = simulator.next_state(drivers)
+                by_net = dict(zip(latch_order, raw_by_latch))
+                raw = [by_net[n] for n in space.state_order]
+            with tracer.span("reparam"):
+                image_t = eliminate_params(
+                    bdd, space.t_vars, raw, params, schedule
+                )
+                image_comps = [bdd.rename(f, rename_map) for f in image_t]
+                image_vec = BFV(bdd, space.s_vars, image_comps, validate=False)
+            with tracer.span("union"):
+                image = ConjunctiveDecomposition.from_bfv(image_vec)
+                new_reached = image.union(reached)
+            with tracer.span("fixpoint_test"):
+                fixed = new_reached == reached
+            if fixed:
+                if tracer.enabled:
+                    with tracer.span("telemetry"):
+                        frontier_size = frontier.shared_size()
+                        reached_size = reached.shared_size()
+                    tracer.end_iteration(
+                        iterations,
+                        frontier_size=frontier_size,
+                        reached_size=reached_size,
+                        fixpoint=True,
+                    )
                 break
             reached = new_reached
             if (
@@ -99,6 +121,15 @@ def conj_reachability(
                     },
                 )
             monitor.checkpoint((), iterations)
+            if tracer.enabled:
+                with tracer.span("telemetry"):
+                    frontier_size = frontier.shared_size()
+                    reached_size = reached.shared_size()
+                tracer.end_iteration(
+                    iterations,
+                    frontier_size=frontier_size,
+                    reached_size=reached_size,
+                )
         result.completed = True
     except ResourceLimitError as error:
         monitor.annotate(result, error, iterations)
@@ -110,13 +141,17 @@ def conj_reachability(
         )
     result.iterations = iterations
     result.seconds = monitor.elapsed
-    bdd.collect_garbage()
-    result.peak_live_nodes = max(monitor.peak_live, bdd.count_live())
-    result.extra["cache"] = bdd.cache_stats()
-    result.reached_size = reached.shared_size()
-    if result.completed:
-        result.extra["space"] = space
-        result.extra["reached_cd"] = reached
-        if count_states:
-            result.num_states = reached.count()
+    with tracer.span("finalize"):
+        bdd.collect_garbage()
+        result.peak_live_nodes = max(monitor.peak_live, bdd.count_live())
+        result.extra["cache"] = bdd.cache_stats()
+        result.reached_size = reached.shared_size()
+        if result.completed:
+            result.extra["space"] = space
+            result.extra["reached_cd"] = reached
+            if count_states:
+                result.num_states = reached.count()
+    if tracer.enabled:
+        result.extra["obs"] = tracer.summary()
+        tracer.finish(result)
     return result

@@ -7,6 +7,27 @@ from typing import Dict, Iterable, List, Sequence
 from .common import ReachResult
 
 
+def format_grid(rows: Sequence[Sequence[str]], header_rule: bool = True) -> str:
+    """Render rows of string cells as an aligned left-justified grid.
+
+    The first row is the header; with ``header_rule`` a dashed rule is
+    inserted below it.  Shared by the Table 2/3 renderers here and the
+    trace trajectory tables in :mod:`repro.obs.report`.
+    """
+    if not rows:
+        return ""
+    ncols = len(rows[0])
+    widths = [max(len(row[i]) for row in rows) for i in range(ncols)]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.ljust(widths[j]) for j, cell in enumerate(row))
+        )
+        if i == 0 and header_rule:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
 def format_table2(
     results: Iterable[ReachResult], engines: Sequence[str] = ("tr", "bfv")
 ) -> str:
@@ -39,15 +60,7 @@ def format_table2(
                 row.append(result.status)
                 row.append("%.1f" % (result.peak_live_nodes / 1000.0))
         rows.append(row)
-    widths = [max(len(r[i]) for r in rows) for i in range(len(headers))]
-    lines = []
-    for i, row in enumerate(rows):
-        lines.append(
-            "  ".join(cell.ljust(widths[j]) for j, cell in enumerate(row))
-        )
-        if i == 0:
-            lines.append("  ".join("-" * w for w in widths))
-    return "\n".join(lines)
+    return format_grid(rows)
 
 
 def format_table3(sizes: Dict[str, Dict[str, int]]) -> str:
@@ -56,14 +69,4 @@ def format_table3(sizes: Dict[str, Dict[str, int]]) -> str:
     rows = [["Order"] + orders]
     rows.append(["Char.Fn"] + ["%d" % sizes[o]["chi"] for o in orders])
     rows.append(["BFV"] + ["%d" % sizes[o]["bfv"] for o in orders])
-    widths = [
-        max(len(row[i]) for row in rows) for i in range(len(rows[0]))
-    ]
-    lines = []
-    for i, row in enumerate(rows):
-        lines.append(
-            "  ".join(cell.ljust(widths[j]) for j, cell in enumerate(row))
-        )
-        if i == 0:
-            lines.append("  ".join("-" * w for w in widths))
-    return "\n".join(lines)
+    return format_grid(rows)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..errors import ResourceLimitError
+from ..obs import ensure_tracer
 from ..sim.symbolic import SymbolicSimulator
 from .common import ReachLimits, ReachResult, ReachSpace, RunMonitor
 from .iwls95 import PartitionedRelation
@@ -28,6 +29,7 @@ def tr_reachability(
     space: Optional[ReachSpace] = None,
     initial_points=None,
     checkpointer=None,
+    tracer=None,
 ) -> ReachResult:
     """Run IWLS95-style reachability; returns a :class:`ReachResult`.
 
@@ -40,25 +42,29 @@ def tr_reachability(
     if space is None:
         space = ReachSpace(circuit, slots)
     bdd = space.bdd
-    simulator = SymbolicSimulator(bdd, circuit)
-    monitor = RunMonitor(bdd, limits, checkpointer)
+    tracer = ensure_tracer(tracer)
+    tracer.attach(bdd)
+    tracer.bind(engine="tr", circuit=circuit.name, order=order_name)
+    monitor = RunMonitor(bdd, limits, checkpointer, tracer=tracer)
 
-    net_input_vars = {net: v for net, v in space.input_var.items()}
-    net_state_vars = {net: v for net, v in space.state_var.items()}
-    deltas_by_latch = simulator.transition_functions(
-        net_input_vars, net_state_vars
-    )
-    by_net = dict(zip(circuit.latches, deltas_by_latch))
-    parts = [
-        bdd.equiv(bdd.var(space.next_var[net]), by_net[net])
-        for net in space.state_order
-    ]
-    quantify = list(space.s_vars) + list(space.x_vars)
-    relation = PartitionedRelation(
-        bdd, parts, quantify, cluster_threshold=cluster_threshold
-    )
+    with tracer.span("setup"):
+        simulator = SymbolicSimulator(bdd, circuit)
+        net_input_vars = {net: v for net, v in space.input_var.items()}
+        net_state_vars = {net: v for net, v in space.state_var.items()}
+        deltas_by_latch = simulator.transition_functions(
+            net_input_vars, net_state_vars
+        )
+        by_net = dict(zip(circuit.latches, deltas_by_latch))
+        parts = [
+            bdd.equiv(bdd.var(space.next_var[net]), by_net[net])
+            for net in space.state_order
+        ]
+        quantify = list(space.s_vars) + list(space.x_vars)
+        relation = PartitionedRelation(
+            bdd, parts, quantify, cluster_threshold=cluster_threshold
+        )
 
-    init = bdd.incref(space.initial_chi(initial_points))
+        init = bdd.incref(space.initial_chi(initial_points))
     reached = init
     frontier = init
     iterations = 0
@@ -74,25 +80,53 @@ def tr_reachability(
     try:
         while True:
             iterations += 1
-            image_t = relation.image(frontier)
-            image = space.t_to_s(image_t)
-            new = bdd.diff(image, reached)
-            if new == bdd.false:
+            tracer.begin_iteration(iterations)
+            with tracer.span("image"):
+                image_t = relation.image(frontier)
+                image = space.t_to_s(image_t)
+            with tracer.span("fixpoint_test"):
+                new = bdd.diff(image, reached)
+                fixed = new == bdd.false
+            if fixed:
+                if tracer.enabled:
+                    with tracer.span("telemetry"):
+                        frontier_size = bdd.dag_size(frontier)
+                        reached_size = bdd.dag_size(reached)
+                    tracer.end_iteration(
+                        iterations,
+                        frontier_size=frontier_size,
+                        reached_size=reached_size,
+                        chi_size=reached_size,
+                        fixpoint=True,
+                    )
                 break
             previous = reached
-            reached = bdd.incref(bdd.or_(reached, image))
-            bdd.decref(previous)
-            bdd.decref(frontier)
-            if selection_heuristic and bdd.dag_size(new) > bdd.dag_size(reached):
-                frontier = bdd.incref(reached)
-            else:
-                frontier = bdd.incref(new)
+            with tracer.span("union"):
+                reached = bdd.incref(bdd.or_(reached, image))
+                bdd.decref(previous)
+                bdd.decref(frontier)
+                if selection_heuristic and bdd.dag_size(new) > bdd.dag_size(
+                    reached
+                ):
+                    frontier = bdd.incref(reached)
+                else:
+                    frontier = bdd.incref(new)
             if monitor.want_checkpoint(iterations):
                 monitor.save_state(
                     iterations,
                     functions={"reached": reached, "frontier": frontier},
                 )
             monitor.checkpoint((), iterations)
+            if tracer.enabled:
+                with tracer.span("telemetry"):
+                    frontier_size = bdd.dag_size(frontier)
+                    reached_size = bdd.dag_size(reached)
+                tracer.end_iteration(
+                    iterations,
+                    frontier_size=frontier_size,
+                    reached_size=reached_size,
+                    chi_size=reached_size,
+                )
         result.completed = True
     except ResourceLimitError as error:
         monitor.annotate(result, error, iterations)
@@ -104,13 +138,17 @@ def tr_reachability(
         )
     result.iterations = iterations
     result.seconds = monitor.elapsed
-    bdd.collect_garbage()
-    result.peak_live_nodes = max(monitor.peak_live, bdd.count_live())
-    result.extra["cache"] = bdd.cache_stats()
-    result.reached_size = bdd.dag_size(reached)
-    if result.completed:
-        result.extra["space"] = space
-        result.extra["reached_chi"] = reached
-        if count_states:
-            result.num_states = space.states_of(reached)
+    with tracer.span("finalize"):
+        bdd.collect_garbage()
+        result.peak_live_nodes = max(monitor.peak_live, bdd.count_live())
+        result.extra["cache"] = bdd.cache_stats()
+        result.reached_size = bdd.dag_size(reached)
+        if result.completed:
+            result.extra["space"] = space
+            result.extra["reached_chi"] = reached
+            if count_states:
+                result.num_states = space.states_of(reached)
+    if tracer.enabled:
+        result.extra["obs"] = tracer.summary()
+        tracer.finish(result)
     return result

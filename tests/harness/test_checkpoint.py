@@ -165,3 +165,54 @@ class TestCheckpointer:
             if name.endswith(".tmp")
         ]
         assert leftovers == []
+
+
+class TestCounterCarryover:
+    """Resumed runs report monotonic, not reset, manager statistics."""
+
+    def make(self, tmp_path, **kw):
+        kw.setdefault("engine", "bfv")
+        kw.setdefault("circuit", "c")
+        kw.setdefault("order", "S1")
+        return Checkpointer(str(tmp_path), **kw)
+
+    def test_save_embeds_counter_snapshot(self, tmp_path):
+        ckpt = self.make(tmp_path, resume=True)
+        bdd = BDD(["a", "b"])
+        f = bdd.and_(bdd.var("a"), bdd.var("b"))
+        ckpt.save(bdd, 1, functions={"f": f})
+        snapshot = ckpt.restore(BDD(["a", "b"]))
+        counters = snapshot.meta["counters"]
+        assert counters["op_count"] == bdd.op_count > 0
+        assert counters["gc_count"] == bdd.gc_count
+        assert len(counters["cache"]) > 0
+
+    def test_monitor_restore_makes_counters_monotonic(self, tmp_path):
+        from repro.reach import RunMonitor
+
+        ckpt = self.make(tmp_path, resume=True)
+        first = BDD(["a", "b"])
+        f = first.and_(first.var("a"), first.var("b"))
+        for _ in range(5):
+            first.or_(first.var("a"), first.var("b"))
+        ckpt.save(first, 1, functions={"f": f})
+        ops_before_crash = first.op_count
+
+        # A fresh interpreter (fresh manager) resumes the run.
+        second = BDD(["a", "b"])
+        monitor = RunMonitor(second, None, ckpt)
+        snapshot = monitor.restore()
+        assert snapshot is not None
+        assert second.op_count >= ops_before_crash
+        baseline = second.op_count
+        second.xor(second.var("a"), second.var("b"))
+        assert second.op_count > baseline  # still counting forward
+
+    def test_end_to_end_resume_reports_cumulative_ops(self, tmp_path):
+        interrupted = attempt(tmp_path, max_iterations=3)
+        assert not interrupted.completed
+        interrupted_hits = interrupted.extra["cache"]["total"]["hits"]
+        resumed = attempt(tmp_path, resume=True)
+        assert resumed.completed
+        # The resumed attempt's totals include the interrupted run's.
+        assert resumed.extra["cache"]["total"]["hits"] >= interrupted_hits

@@ -1,0 +1,62 @@
+"""Disabled tracing must be (near) free: <2% of a small reachability run.
+
+Naive before/after wall-clock comparison of two engine runs is too
+noisy for CI (the two runs legitimately differ by more than 2% from
+allocator and cache luck alone).  Instead we measure the *actual
+per-iteration cost* of the null-tracer calls the instrumented engines
+make — begin/end iteration plus the loop's phase spans — over many
+thousands of cycles, and require that cost, multiplied by the run's
+iteration count, to stay under 2% of the run's measured wall time.
+"""
+
+import time
+
+from repro.circuits import generators as gen
+from repro.obs import NULL_TRACER
+from repro.reach import bfv_reachability
+
+#: The spans the busiest engine loop opens per iteration.
+LOOP_PHASES = ("image", "reparam", "union", "fixpoint_test")
+
+
+def null_cost_per_iteration(cycles=20000):
+    """Median-of-3 cost of one iteration's worth of null-tracer calls."""
+    tracer = NULL_TRACER
+    timings = []
+    for _ in range(3):
+        start = time.perf_counter()
+        for i in range(cycles):
+            tracer.begin_iteration(i)
+            for phase in LOOP_PHASES:
+                with tracer.span(phase):
+                    pass
+            tracer.end_iteration(i)
+        timings.append(time.perf_counter() - start)
+    timings.sort()
+    return timings[1] / cycles
+
+
+class TestNullTracerOverhead:
+    def test_disabled_overhead_under_two_percent(self):
+        # A small but non-trivial run: 32 states, 32 image steps.
+        result = bfv_reachability(gen.counter(5))
+        assert result.completed
+        assert result.seconds > 0
+        per_iteration = null_cost_per_iteration()
+        added = per_iteration * result.iterations
+        assert added < 0.02 * result.seconds, (
+            "null tracer cost %.3fus/iter x %d iterations = %.6fs "
+            "exceeds 2%% of the %.6fs run"
+            % (
+                per_iteration * 1e6,
+                result.iterations,
+                added,
+                result.seconds,
+            )
+        )
+
+    def test_null_tracer_allocates_no_spans(self):
+        # The disabled hot path returns one shared span object, so the
+        # engine loop does not allocate per phase.
+        spans = {id(NULL_TRACER.span(p)) for p in LOOP_PHASES}
+        assert len(spans) == 1

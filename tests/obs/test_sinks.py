@@ -1,0 +1,98 @@
+"""Sink tests: JSONL interop with the harness journal, filenames."""
+
+import json
+import os
+
+import pytest
+
+from repro.harness.journal import RunJournal
+from repro.obs import JsonlSink, MemorySink, NullSink, trace_filename
+
+
+class TestTraceFilename:
+    def test_plain(self):
+        assert trace_filename("bfv", "S1", "s27") == "trace-bfv-S1-s27.jsonl"
+
+    def test_hostile_components_are_sanitized(self):
+        name = trace_filename("bfv", "S1", "../../etc/passwd")
+        assert "/" not in name
+        assert name == "trace-bfv-S1-.._.._etc_passwd.jsonl"
+
+
+class TestMemorySink:
+    def test_collects_and_filters(self):
+        sink = MemorySink()
+        sink.emit({"event": "iteration", "iteration": 1})
+        sink.emit({"event": "gc", "freed": 3})
+        sink.emit({"event": "iteration", "iteration": 2})
+        assert len(sink.records) == 3
+        assert [r["iteration"] for r in sink.by_event("iteration")] == [1, 2]
+        assert sink.by_event("summary") == []
+
+
+class TestJsonlSink:
+    def test_lazy_open_creates_no_empty_file(self, tmp_path):
+        path = str(tmp_path / "sub" / "t.jsonl")
+        sink = JsonlSink(path)
+        assert not os.path.exists(path)
+        sink.close()  # closing an unopened sink is fine
+        assert not os.path.exists(path)
+        sink.emit({"event": "x"})
+        assert os.path.exists(path)
+        sink.close()
+
+    def test_records_round_trip_through_run_journal(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with JsonlSink(path) as sink:
+            sink.emit({"event": "iteration", "iteration": 1, "seconds": 0.5})
+            sink.emit({"event": "summary", "completed": True})
+        records = RunJournal(path).read()
+        assert [r["event"] for r in records] == ["iteration", "summary"]
+        # The sink stamps a wall timestamp like the journal does.
+        assert all("wall" in r for r in records)
+        assert sink.emitted == 2
+
+    def test_append_mode_extends_previous_trace(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with JsonlSink(path) as sink:
+            sink.emit({"event": "iteration", "iteration": 1})
+        with JsonlSink(path) as sink:
+            sink.emit({"event": "iteration", "iteration": 2})
+        iters = [r["iteration"] for r in RunJournal(path)]
+        assert iters == [1, 2]
+
+    def test_non_json_values_are_stringified(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with JsonlSink(path) as sink:
+            sink.emit({"event": "x", "obj": object()})
+        with open(path) as handle:
+            record = json.loads(handle.readline())
+        assert isinstance(record["obj"], str)
+
+    def test_lines_are_sorted_and_parseable(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with JsonlSink(path) as sink:
+            sink.emit({"z": 1, "a": 2, "event": "x", "wall": 0})
+        with open(path) as handle:
+            line = handle.readline()
+        assert json.loads(line) == {"z": 1, "a": 2, "event": "x", "wall": 0}
+        keys = list(json.loads(line))
+        assert keys == sorted(keys)
+
+
+class TestNullSink:
+    def test_discards(self):
+        sink = NullSink()
+        sink.emit({"event": "x"})
+        sink.close()
+
+
+class TestSinkContextManager:
+    def test_close_propagates_nothing(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with pytest.raises(RuntimeError):
+            with JsonlSink(path) as sink:
+                sink.emit({"event": "x"})
+                raise RuntimeError("boom")
+        # sink was closed by __exit__; file intact and readable
+        assert RunJournal(path).read()[0]["event"] == "x"

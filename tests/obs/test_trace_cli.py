@@ -1,0 +1,162 @@
+"""CLI integration: --trace-dir on reach/batch, the trace subcommand."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.obs.report import (
+    format_phase_breakdown,
+    group_runs,
+    load_trace,
+    render_trace,
+)
+
+
+class TestReachTraceDir:
+    def test_reach_writes_and_trace_renders(self, tmp_path, capsys):
+        trace_dir = str(tmp_path / "traces")
+        assert main(["reach", "s27", "--trace-dir", trace_dir]) == 0
+        capsys.readouterr()
+        assert os.path.exists(
+            os.path.join(trace_dir, "trace-bfv-S1-s27.jsonl")
+        )
+
+        assert main(["trace", trace_dir]) == 0
+        out = capsys.readouterr().out
+        assert "== bfv / s27 / order S1 ==" in out
+        # Size-trajectory table columns.
+        for header in ("Iter", "Frontier", "Reached", "Ops", "Hit%",
+                       "Live", "Time(s)"):
+            assert header in out
+        # Phase breakdown with coverage line.
+        assert "Phase" in out and "reparam" in out
+        assert "phase total" in out and "wall" in out
+        assert "summary: completed" in out
+
+    def test_trace_accepts_single_file(self, tmp_path, capsys):
+        trace_dir = str(tmp_path / "traces")
+        main(["reach", "s27", "--engine", "tr", "--trace-dir", trace_dir])
+        capsys.readouterr()
+        path = os.path.join(trace_dir, "trace-tr-S1-s27.jsonl")
+        assert main(["trace", path]) == 0
+        out = capsys.readouterr().out
+        assert "== tr / s27 / order S1 ==" in out
+        assert "Chi" in out  # the tr engine reports chi sizes
+
+    def test_engine_all_writes_one_file_per_engine(self, tmp_path, capsys):
+        trace_dir = str(tmp_path / "traces")
+        main(["reach", "s27", "--engine", "all", "--trace-dir", trace_dir])
+        capsys.readouterr()
+        names = sorted(os.listdir(trace_dir))
+        assert names == [
+            "trace-bfv-S1-s27.jsonl",
+            "trace-cbm-S1-s27.jsonl",
+            "trace-conj-S1-s27.jsonl",
+            "trace-tr-S1-s27.jsonl",
+        ]
+        main(["trace", trace_dir])
+        out = capsys.readouterr().out
+        for engine in ("bfv", "cbm", "conj", "tr"):
+            assert "== %s / s27 / order S1 ==" % engine in out
+
+    def test_harness_path_traces_too(self, tmp_path, capsys):
+        trace_dir = str(tmp_path / "traces")
+        assert (
+            main(
+                [
+                    "reach",
+                    "s27",
+                    "--isolate",
+                    "--trace-dir",
+                    trace_dir,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert os.path.exists(
+            os.path.join(trace_dir, "trace-bfv-S1-s27.jsonl")
+        )
+
+    def test_reach_without_trace_dir_unchanged(self, tmp_path, capsys):
+        assert main(["reach", "s27"]) == 0
+        out = capsys.readouterr().out
+        assert "completed" in out
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestBatchTraceDir:
+    def test_batch_traces_each_circuit(self, tmp_path, capsys):
+        trace_dir = str(tmp_path / "traces")
+        code = main(
+            [
+                "batch",
+                "traffic",
+                "s27",
+                "--no-isolate",
+                "--trace-dir",
+                trace_dir,
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        names = os.listdir(trace_dir)
+        assert "trace-bfv-S1-traffic.jsonl" in names
+        assert "trace-bfv-S1-s27.jsonl" in names
+
+
+class TestTraceCommand:
+    def test_missing_path_exits_with_message(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such trace"):
+            main(["trace", str(tmp_path / "nope")])
+
+    def test_empty_directory_reports_no_records(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path)]) == 0
+        assert "no trace records" in capsys.readouterr().out
+
+
+class TestReportHelpers:
+    def test_group_runs_splits_by_flavor(self):
+        records = [
+            {"event": "iteration", "engine": "bfv", "circuit": "a", "order": "S1"},
+            {"event": "iteration", "engine": "tr", "circuit": "a", "order": "S1"},
+            {"event": "summary", "engine": "bfv", "circuit": "a", "order": "S1"},
+        ]
+        groups = group_runs(records)
+        assert [key for key, _ in groups] == [
+            ("bfv", "a", "S1"),
+            ("tr", "a", "S1"),
+        ]
+        assert len(groups[0][1]) == 2
+
+    def test_phase_breakdown_coverage_line(self):
+        text = format_phase_breakdown(
+            {"image": 0.6, "reparam": 0.3}, wall_seconds=1.0
+        )
+        assert "image" in text and "reparam" in text
+        assert "66.7%" in text  # image's share of the phase total
+        assert "phase total 0.9000s of 1.0000s wall (90.0% coverage)" in text
+
+    def test_render_trace_tolerates_partial_records(self):
+        # Records missing optional fields render as "-", never raise.
+        out = render_trace(
+            [
+                {
+                    "event": "iteration",
+                    "engine": "bfv",
+                    "circuit": "c",
+                    "order": "S1",
+                    "iteration": 1,
+                }
+            ]
+        )
+        assert "== bfv / c / order S1 ==" in out
+        assert "-" in out
+
+    def test_load_trace_skips_non_jsonl(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("hello\n")
+        (tmp_path / "t.jsonl").write_text('{"event": "gc"}\n')
+        records = load_trace(str(tmp_path))
+        assert len(records) == 1
+        assert records[0]["_file"] == "t.jsonl"

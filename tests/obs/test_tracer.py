@@ -1,0 +1,204 @@
+"""Tracer unit tests: spans, iteration records, null path."""
+
+from repro.bdd import BDD
+from repro.obs import (
+    NULL_TRACER,
+    MemorySink,
+    NullTracer,
+    Tracer,
+    ensure_tracer,
+)
+from repro.obs.tracer import NULL_SPAN, PHASES
+
+
+class FakeClock:
+    """Deterministic clock: advances only when told to."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, seconds):
+        self.now += seconds
+
+
+class TestNullTracer:
+    def test_ensure_tracer_defaults_to_singleton(self):
+        assert ensure_tracer(None) is NULL_TRACER
+        real = Tracer()
+        assert ensure_tracer(real) is real
+
+    def test_disabled_flag_and_noop_surface(self):
+        tracer = NULL_TRACER
+        assert tracer.enabled is False
+        assert isinstance(tracer, NullTracer)
+        # Every engine-facing call is a harmless no-op.
+        tracer.attach(object())
+        tracer.bind(engine="bfv")
+        with tracer.span("image"):
+            pass
+        tracer.begin_iteration(1)
+        tracer.end_iteration(1, frontier_size=3)
+        tracer.event("gc", freed=1)
+        tracer.finish(None)
+        tracer.close()
+        assert tracer.summary() == {}
+
+    def test_null_span_is_shared(self):
+        assert NULL_TRACER.span("image") is NULL_TRACER.span("reparam")
+        assert NULL_TRACER.span("gc") is NULL_SPAN
+
+
+class TestSpans:
+    def test_exclusive_time_subtracts_children(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("checkpoint"):
+            clock.tick(1.0)
+            with tracer.span("gc"):
+                clock.tick(3.0)
+            clock.tick(0.5)
+        assert tracer.phase_seconds["checkpoint"] == 4.5
+        assert tracer.phase_seconds["gc"] == 3.0
+        # Self time excludes the nested gc span entirely.
+        assert tracer.phase_self_seconds["checkpoint"] == 1.5
+        assert tracer.phase_self_seconds["gc"] == 3.0
+        assert tracer.span_counts == {"checkpoint": 1, "gc": 1}
+
+    def test_self_times_are_disjoint(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("image"):
+            clock.tick(2.0)
+        with tracer.span("reparam"):
+            clock.tick(1.0)
+            with tracer.span("gc"):
+                clock.tick(1.0)
+        total_self = sum(tracer.phase_self_seconds.values())
+        assert total_self == 4.0  # == wall, no double counting
+
+    def test_engine_phases_are_conventional_vocabulary(self):
+        for phase in ("image", "reparam", "union", "fixpoint_test",
+                      "chi_conversion", "setup", "finalize", "telemetry"):
+            assert phase in PHASES
+
+
+class TestIterations:
+    def test_iteration_record_fields(self):
+        clock = FakeClock()
+        sink = MemorySink()
+        bdd = BDD(["a", "b"])
+        tracer = Tracer(
+            sink=sink, bdd=bdd, clock=clock, measure_rss=False
+        )
+        tracer.bind(engine="bfv", circuit="c", order="S1")
+        tracer.begin_iteration(1)
+        with tracer.span("image"):
+            clock.tick(0.25)
+            bdd.and_(bdd.var("a"), bdd.var("b"))
+        tracer.end_iteration(1, frontier_size=4, reached_size=7)
+        (record,) = sink.by_event("iteration")
+        assert record["engine"] == "bfv"
+        assert record["circuit"] == "c"
+        assert record["order"] == "S1"
+        assert record["iteration"] == 1
+        assert record["seconds"] == 0.25
+        assert record["phases"] == {"image": 0.25}
+        assert record["op_delta"] == 1
+        assert record["cache_misses_delta"] == 1
+        assert 0.0 <= record["cache_hit_rate"] <= 1.0
+        assert record["frontier_size"] == 4
+        assert record["reached_size"] == 7
+        assert record["live_nodes"] >= 0
+        assert "rss_bytes" not in record  # measure_rss=False
+
+    def test_per_iteration_phase_deltas_not_cumulative(self):
+        clock = FakeClock()
+        sink = MemorySink()
+        tracer = Tracer(sink=sink, clock=clock)
+        for i in (1, 2):
+            tracer.begin_iteration(i)
+            with tracer.span("image"):
+                clock.tick(1.0)
+            tracer.end_iteration(i)
+        first, second = sink.by_event("iteration")
+        assert first["phases"]["image"] == 1.0
+        assert second["phases"]["image"] == 1.0  # delta, not 2.0
+
+    def test_end_without_begin_is_ignored(self):
+        sink = MemorySink()
+        tracer = Tracer(sink=sink)
+        tracer.end_iteration(5, frontier_size=1)
+        assert sink.records == []
+
+    def test_telemetry_phase_accounts_observer_cost(self):
+        clock = FakeClock()
+        bdd = BDD(["a"])
+        tracer = Tracer(
+            sink=MemorySink(), bdd=bdd, clock=clock, measure_rss=False
+        )
+        tracer.begin_iteration(1)
+        tracer.end_iteration(1)
+        assert "telemetry" in tracer.phase_self_seconds
+
+
+class TestEventsAndSummary:
+    def test_gc_hook_emits_event(self):
+        sink = MemorySink()
+        bdd = BDD(["a", "b"])
+        tracer = Tracer(sink=sink, bdd=bdd)
+        node = bdd.and_(bdd.var("a"), bdd.var("b"))
+        del node
+        bdd.collect_garbage()
+        events = sink.by_event("gc")
+        assert events and "freed" in events[0]
+        assert events[0]["allocated_nodes"] == bdd.num_nodes
+
+    def test_attach_is_idempotent(self):
+        bdd = BDD(["a"])
+        tracer = Tracer(sink=MemorySink())
+        tracer.attach(bdd)
+        tracer.attach(bdd)
+        assert bdd.gc_hooks.count(tracer._on_gc) == 1
+
+    def test_bind_drops_none_values(self):
+        tracer = Tracer(sink=MemorySink())
+        tracer.bind(engine="bfv", circuit=None)
+        assert tracer.meta == {"engine": "bfv"}
+
+    def test_summary_and_finish(self):
+        clock = FakeClock()
+        sink = MemorySink()
+        tracer = Tracer(sink=sink, clock=clock)
+        tracer.bind(engine="tr")
+        with tracer.span("image"):
+            clock.tick(2.0)
+        summary = tracer.summary()
+        assert summary["phase_seconds"] == {"image": 2.0}
+        assert summary["phase_self_seconds"] == {"image": 2.0}
+        assert summary["span_counts"] == {"image": 1}
+        assert summary["iterations_recorded"] == 0
+
+        class Result:
+            completed = True
+            iterations = 9
+            seconds = 2.5
+            failure = None
+
+        tracer.finish(Result())
+        (record,) = sink.by_event("summary")
+        assert record["engine"] == "tr"
+        assert record["completed"] is True
+        assert record["iterations"] == 9
+        assert record["seconds"] == 2.5
+        assert "failure" not in record  # None attributes are omitted
+
+    def test_sinkless_tracer_still_summarizes(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("union"):
+            clock.tick(1.0)
+        tracer.finish(None)  # no sink: must not raise
+        assert tracer.summary()["phase_seconds"] == {"union": 1.0}

@@ -5,7 +5,7 @@ import pytest
 from repro.circuits import generators as gen
 from repro.errors import CircuitError, ResourceLimitError
 from repro.reach import ReachLimits, ReachSpace, RunMonitor
-from repro.reach.common import ReachResult
+from repro.reach.common import FAILURE_LABELS, ReachResult
 
 
 class TestReachSpace:
@@ -109,3 +109,26 @@ class TestReachResult:
             "tr", "c", "S1", completed=False, failure="iterations"
         )
         assert io.status == "I.O."
+
+    def test_every_harness_failure_code_has_a_label(self):
+        # The engines emit time/memory/iterations/depth; the supervisor
+        # adds crash.  Every code must render, never raise.
+        assert set(FAILURE_LABELS) == {
+            "time",
+            "memory",
+            "iterations",
+            "depth",
+            "crash",
+        }
+        for code, label in FAILURE_LABELS.items():
+            result = ReachResult("bfv", "c", "S1", completed=False, failure=code)
+            assert result.status == label
+            assert label  # non-empty, printable
+
+    def test_unknown_or_missing_failure_still_renders(self):
+        unknown = ReachResult(
+            "bfv", "c", "S1", completed=False, failure="meteor"
+        )
+        assert unknown.status == "FAIL"
+        missing = ReachResult("bfv", "c", "S1", completed=False)
+        assert missing.status == "FAIL"
