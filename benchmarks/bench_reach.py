@@ -15,6 +15,14 @@ count and on the canonical size of the reached set's representation
 Differing *statuses* are a legitimate performance outcome (the seed
 kernels may time out where the current ones finish), not a mismatch.
 
+A second phase benchmarks the *batch scheduler*: the same suite of
+cells dispatched through :mod:`repro.harness.scheduler` sequentially
+(``jobs=1``) and on a worker pool (``--jobs``, default: the machine's
+core count), recording the wall-clock speedup and checking that the
+two merged reports are byte-identical (the scheduler's determinism
+guarantee).  On a single-core box the speedup hovers around 1.0x; the
+CI runners (2+ cores) are where the recorded figure is meaningful.
+
 Writes ``BENCH_reach.json``.  Exits non-zero only on a correctness
 mismatch.  ``--quick`` runs a subset for CI smoke runs.
 """
@@ -99,11 +107,78 @@ def bench_cell(engine, circuit, slots, limits, rounds):
     }
 
 
+def bench_batch(circuit_names, engines, limits, jobs):
+    """Wall-clock of the cell suite through the scheduler, 1 vs N workers.
+
+    Every (circuit, engine) pair is one single-rung batch job (no
+    fallback, states uncounted), all isolated in supervised children —
+    the same work at both pool sizes, so the wall-clock ratio is a pure
+    scheduling win.  Returns the figures plus the determinism check:
+    jobs that *completed* at both pool sizes must report identical
+    normalized results (cells that hit the time budget are legitimately
+    timing-dependent and are excluded from the comparison).
+    """
+    from repro.harness.scheduler import run_scheduled_batch
+
+    def run(n):
+        start = time.perf_counter()
+        reports = [
+            run_scheduled_batch(
+                list(circuit_names),
+                engine=engine,
+                jobs=n,
+                max_seconds=limits.max_seconds,
+                max_live_nodes=limits.max_live_nodes,
+                fallback=False,
+                count_states=False,
+                bench_path=os.path.join(_ROOT, "BENCH_reach.json"),
+            )
+            for engine in engines
+        ]
+        return (
+            time.perf_counter() - start,
+            [report.merged()["jobs"] for report in reports],
+        )
+
+    def completed_agree(left_runs, right_runs):
+        for left_jobs, right_jobs in zip(left_runs, right_runs):
+            for left, right in zip(left_jobs, right_jobs):
+                lo, ro = left["outcome"], right["outcome"]
+                if not (lo and ro and lo["completed"] and ro["completed"]):
+                    continue
+                if left != right:
+                    return False
+        return True
+
+    sequential_s, sequential_jobs = run(1)
+    parallel_s, parallel_jobs = run(jobs)
+    return {
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "cells": len(circuit_names) * len(engines),
+        "sequential_s": round(sequential_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup": (
+            round(sequential_s / parallel_s, 3) if parallel_s else None
+        ),
+        "deterministic": completed_agree(sequential_jobs, parallel_jobs),
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true")
     parser.add_argument(
         "--output", default=os.path.join(_ROOT, "BENCH_reach.json")
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=max(1, os.cpu_count() or 1),
+        help=(
+            "worker pool size for the batch-scheduler phase "
+            "(default: cpu count)"
+        ),
     )
     args = parser.parse_args(argv)
 
@@ -120,8 +195,10 @@ def main(argv=None):
 
     report = {
         # Version 2 adds per-cell "cache" breakdowns (hits/misses/
-        # evictions) alongside the aggregate hit rate.
-        "schema_version": 2,
+        # evictions) alongside the aggregate hit rate.  Version 3 adds
+        # the top-level "batch" scheduler phase (jobs=1 vs jobs=N wall
+        # clock, speedup, determinism check).
+        "schema_version": 3,
         "meta": {
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
             "python": platform.python_version(),
@@ -160,6 +237,25 @@ def main(argv=None):
                     flag,
                 )
             )
+
+    batch = bench_batch(circuit_names, engines, limits, args.jobs)
+    report["batch"] = batch
+    if not batch["deterministic"]:
+        print("** MISMATCH: jobs=1 and jobs=%d merged reports differ **"
+              % args.jobs)
+        failed = True
+    print(
+        "batch      %d cells  jobs=1 %8.2fs  jobs=%d %8.2fs  "
+        "speedup %5.2fx  deterministic %s"
+        % (
+            batch["cells"],
+            batch["sequential_s"],
+            batch["jobs"],
+            batch["parallel_s"],
+            batch["speedup"],
+            batch["deterministic"],
+        )
+    )
 
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)

@@ -1,26 +1,39 @@
 #!/usr/bin/env bash
 # Tracked benchmark baseline: current kernels vs the seed's recursive
 # reference kernels, at the kernel level and end-to-end through the
-# reachability engines.  Writes BENCH_kernels.json and BENCH_reach.json
-# at the repository root.
+# reachability engines (including the batch-scheduler jobs=1 vs jobs=N
+# wall-clock comparison).  Writes BENCH_kernels.json and
+# BENCH_reach.json at the repository root.
 #
-# Usage: scripts/bench.sh [--quick]
+# Usage: scripts/bench.sh [--quick] [--jobs N]
 #
 # --quick shrinks every workload for CI smoke runs: timings become
 # noisy and only the built-in correctness checks are meaningful.  Both
 # benchmark scripts exit non-zero on a correctness mismatch (and only
 # on a mismatch), so this script's exit code is a pure correctness
-# gate.
+# gate.  --jobs sets the scheduler pool size for the batch phase of
+# the reachability benchmark (default: the machine's core count).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH=src
 
+# --jobs belongs to the reachability benchmark only.
+KERNEL_ARGS=()
+REACH_ARGS=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --jobs) REACH_ARGS+=("$1" "$2"); shift 2 ;;
+        --jobs=*) REACH_ARGS+=("$1"); shift ;;
+        *) KERNEL_ARGS+=("$1"); REACH_ARGS+=("$1"); shift ;;
+    esac
+done
+
 echo "== kernel microbenchmarks =="
-python benchmarks/bench_kernels.py "$@"
+python benchmarks/bench_kernels.py ${KERNEL_ARGS[0]:+"${KERNEL_ARGS[@]}"}
 
 echo "== reachability benchmarks =="
-python benchmarks/bench_reach.py "$@"
+python benchmarks/bench_reach.py ${REACH_ARGS[0]:+"${REACH_ARGS[@]}"}
 
 echo "BENCH OK"

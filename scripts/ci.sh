@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: fast tests under a hard per-test timeout, then a
-# smoke run of the fault-tolerant batch harness on two small builtins.
+# smoke run of the fault-tolerant batch harness on two small builtins —
+# once sequentially, once on the parallel scheduler — checking that the
+# two merged reports are byte-identical (the --jobs determinism
+# guarantee).
 #
 # Usage: scripts/ci.sh   (from the repository root)
 
@@ -10,20 +13,37 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 
 echo "== tier-1 test suite =="
+# Coverage floor on the harness package (supervision, fallback,
+# scheduling — the layer whose regressions are easiest to leave
+# silently untested).  pytest-cov is an optional dependency: CI
+# installs it, local runs without it simply skip the gate.
+COV_ARGS=()
+if python -c "import pytest_cov" 2>/dev/null; then
+    COV_ARGS=(--cov=repro.harness --cov-report=term --cov-fail-under=75)
+fi
 # REPRO_TEST_TIMEOUT arms the SIGALRM guard in tests/conftest.py: any
 # single test that hangs past the limit fails instead of wedging the job.
 REPRO_TEST_TIMEOUT="${REPRO_TEST_TIMEOUT:-120}" \
-    python -m pytest -q -m tier1 tests
+    python -m pytest -q -m tier1 ${COV_ARGS[0]:+"${COV_ARGS[@]}"} tests
 
 echo "== batch harness smoke =="
 # Two small built-in circuits through the full resilient path
-# (process isolation, checkpointing, fallback ladder, journal).
-SMOKE_DIR="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_DIR"' EXIT
+# (process isolation, checkpointing, fallback ladder, journal), at
+# --jobs 1 and --jobs 2; the merged reports must match byte for byte.
+SMOKE_DIR="${REPRO_SMOKE_DIR:-$(mktemp -d)}"
+[ -n "${REPRO_SMOKE_DIR:-}" ] || trap 'rm -rf "$SMOKE_DIR"' EXIT
 python -m repro batch traffic s27 \
     --max-seconds 120 \
-    --checkpoint-dir "$SMOKE_DIR/ckpt" \
-    --journal "$SMOKE_DIR/journal.jsonl"
+    --checkpoint-dir "$SMOKE_DIR/ckpt1" \
+    --journal "$SMOKE_DIR/journal-seq.jsonl" \
+    --report "$SMOKE_DIR/report-seq.json"
+python -m repro batch traffic s27 \
+    --max-seconds 120 --jobs 2 \
+    --checkpoint-dir "$SMOKE_DIR/ckpt2" \
+    --journal "$SMOKE_DIR/journal.jsonl" \
+    --report "$SMOKE_DIR/report-par.json"
+test -s "$SMOKE_DIR/journal-seq.jsonl"
 test -s "$SMOKE_DIR/journal.jsonl"
+cmp "$SMOKE_DIR/report-seq.json" "$SMOKE_DIR/report-par.json"
 
 echo "CI OK"

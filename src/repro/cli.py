@@ -6,7 +6,8 @@ s27) or on an ISCAS'89 ``.bench`` file, and prints the Table-2-style
 statistics.  Long runs can be made fault-tolerant with
 ``--checkpoint-dir`` / ``--resume`` / ``--isolate`` / ``--fallback``
 (see :mod:`repro.harness`); ``python -m repro batch`` runs a whole
-circuit suite resiliently.  ``--trace-dir`` records per-iteration
+circuit suite resiliently, and ``--jobs N`` spreads its cells over a
+parallel worker pool (see :mod:`repro.harness.scheduler`).  ``--trace-dir`` records per-iteration
 telemetry (see :mod:`repro.obs`) and ``python -m repro trace`` renders
 it as size-trajectory and phase-time tables.  ``python -m repro list``
 shows the built-in circuits.
@@ -110,6 +111,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-count",
         action="store_true",
         help="skip the exact state count (avoids building chi)",
+    )
+    batch.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker pool size: run up to N cells (circuit x engine x "
+            "order rungs) concurrently in supervised child processes "
+            "(default: 1; implies --isolate when > 1)"
+        ),
+    )
+    batch.add_argument(
+        "--total-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "global wall budget for the whole batch on top of the "
+            "per-circuit --max-seconds; on expiry, running cells are "
+            "cancelled and unstarted ones skipped"
+        ),
+    )
+    batch.add_argument(
+        "--total-rss-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help=(
+            "global RSS budget summed over all worker children; the "
+            "largest child is cancelled until the pool fits"
+        ),
+    )
+    batch.add_argument(
+        "--report",
+        metavar="FILE",
+        help=(
+            "write the merged deterministic batch report (JSON, input-"
+            "ordered; byte-identical across --jobs levels) to FILE"
+        ),
+    )
+    batch.add_argument(
+        "--bench-baseline",
+        metavar="FILE",
+        default=None,
+        help=(
+            "BENCH_reach.json timings used to schedule longest-expected "
+            "cells first (default: BENCH_reach.json at the repo root if "
+            "present)"
+        ),
     )
     _add_harness_arguments(batch, batch_defaults=True)
 
@@ -342,16 +393,19 @@ def cmd_reach(args: argparse.Namespace) -> int:
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
-    from .harness import FallbackPolicy, RunJournal, run_batch
+    from .harness import FallbackPolicy, run_scheduled_batch
 
     for name in args.circuits:
         resolve_circuit(name)  # fail fast on typos, before any long run
-    journal = RunJournal(args.journal) if args.journal else None
     policy = None if args.fallback == "auto" else FallbackPolicy(max_attempts=1)
-    outcomes = run_batch(
+    bench_path = args.bench_baseline
+    if bench_path is None and os.path.exists("BENCH_reach.json"):
+        bench_path = "BENCH_reach.json"
+    report = run_scheduled_batch(
         args.circuits,
         engine=args.engine,
         order=args.order,
+        jobs=args.jobs,
         max_seconds=args.max_seconds,
         max_live_nodes=args.max_nodes,
         checkpoint_dir=args.checkpoint_dir,
@@ -360,31 +414,36 @@ def cmd_batch(args: argparse.Namespace) -> int:
         policy=policy,
         isolate=args.isolate,
         max_rss_mb=args.max_rss_mb,
-        journal=journal,
+        journal=args.journal,
         count_states=not args.no_count,
         trace_dir=args.trace_dir,
+        total_seconds=args.total_seconds,
+        total_rss_mb=args.total_rss_mb,
+        bench_path=bench_path,
     )
     results = []
-    failures = 0
-    for name, (outcome, attempts) in outcomes.items():
-        label = "%-12s" % name
-        if outcome is None:
-            failures += 1
+    for job in report.jobs:
+        label = "%-12s" % job.circuit
+        if job.outcome is None:
             print(label, "no attempt ran (budget exhausted)")
             continue
-        results.append(outcome)
-        if not outcome.completed:
-            failures += 1
+        results.append(job.outcome)
         print(
             "%s %s (%d attempt%s)"
-            % (label, _result_line(outcome), len(attempts),
-               "s" if len(attempts) != 1 else "")
+            % (label, _result_line(job.outcome), len(job.attempts),
+               "s" if len(job.attempts) != 1 else "")
         )
     if results:
         print()
         shown = tuple(dict.fromkeys(result.engine for result in results))
         print(format_table2(results, engines=shown))
-    return 0 if failures == 0 else 1
+    if args.report:
+        directory = os.path.dirname(os.path.abspath(args.report))
+        os.makedirs(directory, exist_ok=True)
+        with open(args.report, "w") as handle:
+            handle.write(report.to_json())
+        print("merged report written to", args.report)
+    return 0 if report.failures == 0 else 1
 
 
 def cmd_info(args: argparse.Namespace) -> int:

@@ -16,27 +16,48 @@ first-class outcomes; this package makes such runs survivable:
   the test suite to prove the above actually recovers;
 * :mod:`~repro.harness.worker` / :mod:`~repro.harness.runner` — attempt
   execution and the high-level ``resilient_reach`` / ``run_batch``
-  entry points behind ``python -m repro reach`` / ``batch``.
+  entry points behind ``python -m repro reach`` / ``batch``;
+* :mod:`~repro.harness.scheduler` — the parallel batch scheduler: a
+  bounded shared-nothing worker pool over supervised children, with
+  speculated fallback rungs, longest-expected-first dispatch, global
+  wall/RSS budgets, and deterministic merged reports (``--jobs N``).
 """
 
 from .checkpoint import Checkpointer, Snapshot
-from .journal import RunJournal
+from .journal import RunJournal, merge_journals
 from .policy import DEFAULT_ENGINE_LADDER, FallbackPolicy, run_with_fallback
 from .runner import resilient_reach, run_batch
+from .scheduler import (
+    BatchReport,
+    BatchScheduler,
+    CancelToken,
+    WorkCell,
+    expand_cells,
+    job_key,
+    run_scheduled_batch,
+)
 from .supervisor import Supervisor, rss_bytes
 from .worker import AttemptSpec, run_attempt
 
 __all__ = [
     "AttemptSpec",
+    "BatchReport",
+    "BatchScheduler",
+    "CancelToken",
     "Checkpointer",
     "DEFAULT_ENGINE_LADDER",
     "FallbackPolicy",
     "RunJournal",
     "Snapshot",
     "Supervisor",
+    "WorkCell",
+    "expand_cells",
+    "job_key",
+    "merge_journals",
     "resilient_reach",
     "rss_bytes",
     "run_attempt",
     "run_batch",
+    "run_scheduled_batch",
     "run_with_fallback",
 ]

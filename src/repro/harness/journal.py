@@ -11,7 +11,7 @@ import json
 import os
 import time
 import warnings
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 
 class RunJournal:
@@ -67,3 +67,51 @@ class RunJournal:
             if record.get("event") == "attempt"
             and (circuit is None or record.get("circuit") == circuit)
         ]
+
+
+def _merge_key(item: Tuple[int, int, Dict[str, object]]) -> Tuple:
+    """Default merge order: input order (job, rung), then source order.
+
+    Records from the parallel scheduler carry integer ``job`` / ``rung``
+    fields; those sort by batch-input position regardless of which
+    worker executed them or when.  Records without them (one-off events,
+    foreign journals) keep their source order, after the cell records.
+    """
+    source, line, record = item
+    job = record.get("job")
+    rung = record.get("rung")
+    if isinstance(job, int):
+        return (0, job, rung if isinstance(rung, int) else 0, source, line)
+    return (1, 0, 0, source, line)
+
+
+def merge_journals(
+    sources: Sequence[Union[str, RunJournal]],
+    dest_path: str,
+    key=None,
+) -> int:
+    """Merge journal files into one deterministically ordered journal.
+
+    Reads every intact record from ``sources`` (paths or
+    :class:`RunJournal` instances; torn lines are skipped by the
+    reader), sorts them with ``key`` (default: :func:`_merge_key`,
+    batch-input order), and writes ``dest_path`` atomically.  Returns
+    the number of records written.  The output is a valid journal: the
+    same reader APIs work on it.
+    """
+    items: List[Tuple[int, int, Dict[str, object]]] = []
+    for source_index, source in enumerate(sources):
+        journal = source if isinstance(source, RunJournal) else RunJournal(source)
+        for line_index, record in enumerate(journal):
+            items.append((source_index, line_index, record))
+    items.sort(key=key or _merge_key)
+    directory = os.path.dirname(os.path.abspath(dest_path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = dest_path + ".tmp"
+    with open(tmp, "w") as handle:
+        for _, _, record in items:
+            handle.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, dest_path)
+    return len(items)

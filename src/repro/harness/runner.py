@@ -11,9 +11,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import os
+
 from ..reach import ReachResult
 from .journal import RunJournal
 from .policy import FallbackPolicy, run_with_fallback
+from .scheduler import job_key, run_scheduled_batch
 from .supervisor import Supervisor
 from .worker import AttemptSpec
 
@@ -89,22 +92,56 @@ def run_batch(
     journal: Optional[RunJournal] = None,
     count_states: bool = True,
     trace_dir: Optional[str] = None,
+    jobs: int = 1,
 ) -> Dict[str, Tuple[Optional[ReachResult], List[ReachResult]]]:
     """Run a suite of circuits resiliently; circuit -> (outcome, attempts).
 
     ``max_seconds`` is the per-circuit budget (split across that
     circuit's fallback attempts).  Every circuit always gets its turn:
     failures of earlier circuits are recorded, not propagated.
+
+    Checkpoints and traces are namespaced per job (:func:`job_key` — the
+    batch position plus the circuit basename), so two circuits that
+    share a basename can no longer collide on, and resume, each other's
+    checkpoint state.
+
+    With ``jobs > 1`` the suite runs on the parallel batch scheduler
+    (:mod:`repro.harness.scheduler`) instead of this sequential loop;
+    prefer :func:`repro.harness.scheduler.run_scheduled_batch` directly
+    when you want the full :class:`~repro.harness.scheduler.BatchReport`.
     """
+    if jobs > 1:
+        return run_scheduled_batch(
+            circuits,
+            engine=engine,
+            order=order,
+            jobs=jobs,
+            max_seconds=max_seconds,
+            max_live_nodes=max_live_nodes,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            fallback=fallback,
+            policy=policy,
+            isolate=isolate,
+            max_rss_mb=max_rss_mb,
+            journal=journal,
+            count_states=count_states,
+            trace_dir=trace_dir,
+        ).outcomes()
     results: Dict[str, Tuple[Optional[ReachResult], List[ReachResult]]] = {}
-    for circuit in circuits:
+    for index, circuit in enumerate(circuits):
+        namespace = job_key(index, circuit)
         results[circuit] = resilient_reach(
             circuit,
             engine=engine,
             order=order,
             max_seconds=max_seconds,
             max_live_nodes=max_live_nodes,
-            checkpoint_dir=checkpoint_dir,
+            checkpoint_dir=(
+                os.path.join(checkpoint_dir, namespace)
+                if checkpoint_dir
+                else None
+            ),
             resume=resume,
             count_states=count_states,
             fallback=fallback,
@@ -113,6 +150,8 @@ def run_batch(
             max_rss_mb=max_rss_mb,
             journal=journal,
             total_seconds=max_seconds,
-            trace_dir=trace_dir,
+            trace_dir=(
+                os.path.join(trace_dir, namespace) if trace_dir else None
+            ),
         )
     return results

@@ -1,0 +1,822 @@
+"""Parallel batch scheduler: a shared-nothing worker pool over cells.
+
+``python -m repro batch`` used to walk the suite one circuit at a time
+even though every attempt already runs in its own supervised child
+process.  This module scales the suite *out*: a batch request is
+expanded into independent :class:`WorkCell`\\ s (one fallback-ladder rung
+of one circuit — circuit x engine x order), the cells are dispatched to
+a bounded pool of workers (each attempt still a supervised child, so
+workers share nothing but the dispatch queue), and scheduled
+longest-expected-first using the per-cell timings recorded in
+``BENCH_reach.json`` so stragglers start early.
+
+Semantics match the sequential fallback ladder
+(:func:`repro.harness.policy.run_with_fallback`) with one deliberate
+change: per-rung time slices are *static* (the per-circuit budget split
+evenly over the ladder) instead of recomputed from the remaining
+budget, so the outcome of every cell is independent of scheduling
+order.  That is what makes the merged report deterministic: for the
+same request, ``jobs=1`` and ``jobs=N`` produce byte-identical
+:meth:`BatchReport.to_json` output.
+
+With more workers than ready cells, later rungs of an unresolved ladder
+are *speculated* — started before their predecessors have failed.  A
+speculative result only counts if the sequential ladder would have
+reached that rung: the job's outcome is always the first rung (in
+ladder order) that completed, earlier-rung attempts are reported
+exactly as the sequential ladder would, and any rung past the first
+completion is cancelled (running children are killed, pending cells are
+skipped) and journaled as discarded.
+
+On top of the per-cell budgets the scheduler enforces *global* ceilings:
+``total_seconds`` (wall deadline — outstanding cells are cancelled with
+failure ``"time"``, unstarted ones are skipped) and ``total_rss_mb``
+(summed child RSS — the largest child is cancelled with ``"memory"``
+until the pool fits).
+
+Per-worker JSONL journals and per-job checkpoint/trace subdirectories
+(namespaced by :func:`job_key`, which keeps two circuits that share a
+basename apart) are merged after the run: journals into one
+input-ordered file via :func:`repro.harness.journal.merge_journals`,
+trace files up into the root trace directory under job-key-prefixed
+names that ``python -m repro trace`` reads unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..reach import ReachResult
+from .journal import RunJournal, merge_journals
+from .policy import FallbackPolicy
+from .supervisor import Supervisor
+from .worker import AttemptSpec, run_attempt
+
+#: Expected duration assigned to cells absent from the benchmark
+#: baseline: infinity, so unknown work is scheduled first (the
+#: conservative straggler policy for longest-expected-first).
+UNKNOWN_EXPECTED_SECONDS = float("inf")
+
+
+def _sanitize(text: str) -> str:
+    """Filename-safe form of a tag component (checkpointer convention)."""
+    return re.sub(r"[^A-Za-z0-9_.]+", "_", text)
+
+
+def job_key(index: int, circuit: str) -> str:
+    """Filesystem namespace for one batch job's checkpoints and traces.
+
+    The job *index* makes the key unique even when two circuit
+    references share a basename (``a/s27.bench`` vs ``b/s27.bench``),
+    which previously made their checkpoints collide and resume each
+    other's state.
+    """
+    name = _sanitize(os.path.splitext(os.path.basename(circuit))[0])
+    return "job%03d-%s" % (index, name or "circuit")
+
+
+class CancelToken:
+    """Cooperative cancellation flag carrying a failure code.
+
+    The supervisor polls :meth:`is_set` in its watchdog loop and kills
+    the child with :attr:`reason` (``cancelled`` / ``time`` /
+    ``memory``) as the attempt's failure code.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.reason = "cancelled"
+
+    def set(self, reason: str = "cancelled") -> None:
+        self.reason = reason
+        self._event.set()
+
+    def is_set(self) -> bool:
+        return self._event.is_set()
+
+
+@dataclass(frozen=True)
+class WorkCell:
+    """One schedulable unit: a single fallback rung of one batch job."""
+
+    job: int
+    rung: int
+    circuit: str
+    engine: str
+    order: str
+    budget_seconds: Optional[float] = None
+    #: Ladder length of this cell's job (for journaling "attempt k of n").
+    rungs: int = 1
+
+    @property
+    def key(self) -> str:
+        """Unique, filesystem-safe cell identifier."""
+        return "%s-r%d-%s-%s" % (
+            job_key(self.job, self.circuit),
+            self.rung,
+            _sanitize(self.engine),
+            _sanitize(self.order),
+        )
+
+
+def expand_cells(
+    circuits: Sequence[str],
+    engine: str = "bfv",
+    order: str = "S1",
+    fallback: bool = True,
+    policy: Optional[FallbackPolicy] = None,
+    max_seconds: Optional[float] = None,
+) -> List[WorkCell]:
+    """Expand a batch request into work cells in deterministic order.
+
+    Each circuit contributes one cell per fallback-ladder rung (a single
+    rung when ``fallback`` is off).  The per-circuit ``max_seconds``
+    budget is split statically across the ladder, floored at the
+    policy's ``min_attempt_seconds``, so a cell's time slice does not
+    depend on when the scheduler happens to run it.
+    """
+    if policy is None:
+        policy = FallbackPolicy() if fallback else FallbackPolicy(max_attempts=1)
+    cells: List[WorkCell] = []
+    for index, circuit in enumerate(circuits):
+        rungs = policy.ladder(engine, order)
+        slice_seconds = None
+        if max_seconds is not None:
+            slice_seconds = min(
+                max_seconds,
+                max(policy.min_attempt_seconds, max_seconds / len(rungs)),
+            )
+        for rung, (rung_engine, rung_order) in enumerate(rungs):
+            cells.append(
+                WorkCell(
+                    job=index,
+                    rung=rung,
+                    circuit=circuit,
+                    engine=rung_engine,
+                    order=rung_order,
+                    budget_seconds=slice_seconds,
+                    rungs=len(rungs),
+                )
+            )
+    return cells
+
+
+def load_expected_seconds(path: str) -> Dict[str, float]:
+    """``circuit/engine -> seconds`` estimates from a BENCH_reach report.
+
+    Tolerates a missing or malformed file (returns ``{}``): the
+    benchmark baseline is an optimization input, never a correctness
+    dependency.
+    """
+    try:
+        with open(path) as handle:
+            report = json.load(handle)
+        cells = report.get("cells", {})
+    except (OSError, ValueError, AttributeError):
+        return {}
+    estimates: Dict[str, float] = {}
+    if not isinstance(cells, dict):
+        return estimates
+    for key, cell in cells.items():
+        if not isinstance(cell, dict):
+            continue
+        seconds = cell.get("after_s")
+        if isinstance(seconds, (int, float)):
+            estimates[str(key)] = float(seconds)
+    return estimates
+
+
+def expected_seconds(cell: WorkCell, estimates: Dict[str, float]) -> float:
+    """Expected duration of a cell under the benchmark baseline."""
+    name = os.path.splitext(os.path.basename(cell.circuit))[0]
+    return estimates.get(
+        "%s/%s" % (name, cell.engine), UNKNOWN_EXPECTED_SECONDS
+    )
+
+
+def _normalize_result(result: ReachResult) -> Dict[str, object]:
+    """The deterministic attempt fields of the merged report.
+
+    Wall-clock and RSS figures are excluded on purpose: everything kept
+    here is a function of the (circuit, engine, order, budgets) inputs
+    alone, which is what makes ``jobs=1`` and ``jobs=N`` reports
+    byte-identical.
+    """
+    return {
+        "engine": result.engine,
+        "order": result.order,
+        "completed": result.completed,
+        "failure": result.failure,
+        "iterations": result.iterations,
+        "num_states": result.num_states,
+        "reached_size": result.reached_size,
+        "peak_live_nodes": result.peak_live_nodes,
+    }
+
+
+@dataclass
+class CellOutcome:
+    """What happened to one cell (for the report's cell inventory)."""
+
+    cell: WorkCell
+    state: str  # "done" | "skipped"
+    result: Optional[ReachResult] = None
+    speculative: bool = False
+    #: True for executed rungs past the job's first completion — work a
+    #: sequential ladder would never have run.
+    discarded: bool = False
+
+
+@dataclass
+class JobOutcome:
+    """Per-circuit outcome in sequential-ladder semantics."""
+
+    index: int
+    circuit: str
+    outcome: Optional[ReachResult]
+    attempts: List[ReachResult] = field(default_factory=list)
+
+
+class BatchReport:
+    """Input-ordered results of one scheduled batch."""
+
+    def __init__(
+        self,
+        jobs: List[JobOutcome],
+        cells: List[CellOutcome],
+        meta: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.jobs = jobs
+        self.cells = cells
+        self.meta = dict(meta or {})
+
+    def outcomes(
+        self,
+    ) -> Dict[str, Tuple[Optional[ReachResult], List[ReachResult]]]:
+        """Legacy ``run_batch`` shape: circuit -> (outcome, attempts).
+
+        Duplicate circuit references keep the last job's entry, matching
+        the old dict behavior; iterate :attr:`jobs` to see every job.
+        """
+        results: Dict[str, Tuple[Optional[ReachResult], List[ReachResult]]] = {}
+        for job in self.jobs:
+            results[job.circuit] = (job.outcome, job.attempts)
+        return results
+
+    @property
+    def failures(self) -> int:
+        """Jobs that did not produce a completed outcome."""
+        return sum(
+            1
+            for job in self.jobs
+            if job.outcome is None or not job.outcome.completed
+        )
+
+    def merged(self) -> Dict[str, object]:
+        """Deterministic, input-ordered report dict.
+
+        Contains only fields that are functions of the request (no wall
+        clock, no RSS, no worker identity), so the same request yields
+        the same bytes at any ``--jobs`` level.
+        """
+        return {
+            "schema_version": 1,
+            "engine": self.meta.get("engine"),
+            "order": self.meta.get("order"),
+            "fallback": self.meta.get("fallback"),
+            "jobs": [
+                {
+                    "circuit": job.circuit,
+                    "outcome": (
+                        None
+                        if job.outcome is None
+                        else _normalize_result(job.outcome)
+                    ),
+                    "attempts": [
+                        _normalize_result(attempt) for attempt in job.attempts
+                    ],
+                }
+                for job in self.jobs
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.merged(), indent=2, sort_keys=True) + "\n"
+
+
+class BatchScheduler:
+    """Dispatches a batch's work cells to a bounded worker pool.
+
+    One instance runs one batch (:meth:`run`).  With ``jobs == 1`` the
+    dispatch loop runs inline in the calling thread — in-process
+    attempts (``isolate=False``) then behave exactly like the
+    sequential harness, including process-global fault plans installed
+    by tests.  With ``jobs > 1`` isolation is forced on: parallelism
+    and cancellation both require the shared-nothing child processes.
+    """
+
+    def __init__(
+        self,
+        circuits: Sequence[str],
+        engine: str = "bfv",
+        order: str = "S1",
+        jobs: int = 1,
+        max_seconds: Optional[float] = None,
+        max_live_nodes: Optional[int] = None,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
+        fallback: bool = True,
+        policy: Optional[FallbackPolicy] = None,
+        isolate: bool = True,
+        max_rss_mb: Optional[float] = None,
+        journal: Optional[object] = None,
+        count_states: bool = True,
+        trace_dir: Optional[str] = None,
+        total_seconds: Optional[float] = None,
+        total_rss_mb: Optional[float] = None,
+        bench_path: Optional[str] = None,
+        cell_faults: Optional[Dict[str, List[Dict[str, object]]]] = None,
+        supervisor: Optional[Supervisor] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1, got %d" % jobs)
+        self.circuits = list(circuits)
+        self.engine = engine
+        self.order = order
+        self.jobs = jobs
+        self.max_seconds = max_seconds
+        self.max_live_nodes = max_live_nodes
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
+        self.fallback = fallback
+        self.policy = policy or (
+            FallbackPolicy() if fallback else FallbackPolicy(max_attempts=1)
+        )
+        self.isolate = isolate or jobs > 1
+        self.max_rss_mb = max_rss_mb
+        self.count_states = count_states
+        self.trace_dir = trace_dir
+        self.total_seconds = total_seconds
+        self.total_rss_mb = total_rss_mb
+        self.cell_faults = dict(cell_faults or {})
+        self.supervisor = supervisor or (Supervisor() if self.isolate else None)
+        self.journal_path = getattr(journal, "path", journal)
+        if self.journal_path is not None:
+            self.journal_path = str(self.journal_path)
+
+        self.cells = expand_cells(
+            self.circuits,
+            engine=engine,
+            order=order,
+            fallback=fallback,
+            policy=self.policy,
+            max_seconds=max_seconds,
+        )
+        estimates = load_expected_seconds(bench_path) if bench_path else {}
+        self._expected = [
+            expected_seconds(cell, estimates) for cell in self.cells
+        ]
+        self._by_job: Dict[int, List[int]] = {}
+        for index, cell in enumerate(self.cells):
+            self._by_job.setdefault(cell.job, []).append(index)
+
+        self._cond = threading.Condition()
+        self._status = ["pending"] * len(self.cells)
+        self._results: Dict[int, ReachResult] = {}
+        self._speculated: Dict[int, bool] = {}
+        self._skip_reason: Dict[int, str] = {}
+        self._tokens: Dict[int, CancelToken] = {}
+        self._rss: Dict[int, int] = {}
+        self._deadline: Optional[float] = None
+        self._speculate = self.jobs > 1
+
+    # ------------------------------------------------------------------
+    # Dispatch (all under self._cond)
+    # ------------------------------------------------------------------
+
+    def _predecessors(self, index: int) -> List[int]:
+        cell = self.cells[index]
+        return [i for i in self._by_job[cell.job] if self.cells[i].rung < cell.rung]
+
+    def _eligible(self, index: int) -> Optional[bool]:
+        """None if not runnable now, else whether it would be speculative."""
+        preds = self._predecessors(index)
+        settled = all(self._status[i] == "done" for i in preds)
+        if settled and not any(
+            self._results[i].completed for i in preds
+        ):
+            return False  # the sequential ladder has reached this rung
+        if self._speculate:
+            return True
+        return None
+
+    def _pick(self) -> Optional[int]:
+        """Highest-priority runnable cell: real work first, longest first."""
+        best = None
+        best_key = None
+        for index, cell in enumerate(self.cells):
+            if self._status[index] != "pending":
+                continue
+            speculative = self._eligible(index)
+            if speculative is None:
+                continue
+            key = (
+                1 if speculative else 0,
+                -self._expected[index],
+                cell.job,
+                cell.rung,
+            )
+            if best_key is None or key < best_key:
+                best, best_key = index, key
+        return best
+
+    def _first_completed_rung(self, job: int) -> Optional[int]:
+        for index in self._by_job[job]:
+            if self._status[index] == "done" and self._results[index].completed:
+                return self.cells[index].rung
+        return None
+
+    def _finish(self, index: int, result: ReachResult) -> None:
+        self._status[index] = "done"
+        self._results[index] = result
+        self._tokens.pop(index, None)
+        self._rss.pop(index, None)
+        if result.completed:
+            # Rungs past a completion can never be the outcome: kill the
+            # running ones, skip the pending ones.
+            rung = self.cells[index].rung
+            for other in self._by_job[self.cells[index].job]:
+                if self.cells[other].rung <= rung:
+                    continue
+                if self._status[other] == "pending":
+                    self._status[other] = "skipped"
+                    self._skip_reason[other] = "resolved"
+                elif self._status[other] == "running":
+                    token = self._tokens.get(other)
+                    if token is not None:
+                        token.set("cancelled")
+
+    def _check_budgets(self) -> None:
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            for index, status in enumerate(self._status):
+                if status == "pending":
+                    self._status[index] = "skipped"
+                    self._skip_reason[index] = "deadline"
+                elif status == "running":
+                    token = self._tokens.get(index)
+                    if token is not None and not token.is_set():
+                        token.set("time")
+        if self.total_rss_mb is not None and self._rss:
+            budget = int(self.total_rss_mb * 1024 * 1024)
+            total = sum(self._rss.values())
+            if total > budget:
+                largest = max(self._rss, key=lambda i: self._rss[i])
+                token = self._tokens.get(largest)
+                if token is not None and not token.is_set():
+                    token.set("memory")
+
+    def _settled(self) -> bool:
+        return all(status in ("done", "skipped") for status in self._status)
+
+    # ------------------------------------------------------------------
+    # Execution (worker threads)
+    # ------------------------------------------------------------------
+
+    def _spec_for(self, cell: WorkCell) -> AttemptSpec:
+        checkpoint_dir = None
+        if self.checkpoint_dir:
+            checkpoint_dir = os.path.join(
+                self.checkpoint_dir, job_key(cell.job, cell.circuit)
+            )
+        trace_dir = None
+        if self.trace_dir:
+            trace_dir = os.path.join(
+                self.trace_dir, job_key(cell.job, cell.circuit)
+            )
+        return AttemptSpec(
+            circuit=cell.circuit,
+            engine=cell.engine,
+            order=cell.order,
+            max_seconds=cell.budget_seconds,
+            max_live_nodes=self.max_live_nodes,
+            checkpoint_dir=checkpoint_dir,
+            resume=self.resume,
+            count_states=self.count_states,
+            trace_dir=trace_dir,
+            faults=self.cell_faults.get(cell.circuit),
+        )
+
+    def _execute(self, index: int, token: CancelToken) -> ReachResult:
+        cell = self.cells[index]
+        spec = self._spec_for(cell)
+        if token.is_set():
+            return ReachResult(
+                engine=cell.engine,
+                circuit=cell.circuit,
+                order=cell.order,
+                completed=False,
+                failure=token.reason,
+            )
+        if self.supervisor is not None:
+            watchdog = (
+                None
+                if cell.budget_seconds is None
+                else cell.budget_seconds * 1.5 + 1.0
+            )
+            max_rss_bytes = (
+                None
+                if self.max_rss_mb is None
+                else int(self.max_rss_mb * 1024 * 1024)
+            )
+
+            def on_poll(pid: int, rss: Optional[int]) -> None:
+                if rss is not None:
+                    with self._cond:
+                        if self._status[index] == "running":
+                            self._rss[index] = rss
+                        self._check_budgets()
+
+            return self.supervisor.run(
+                spec,
+                budget_seconds=watchdog,
+                max_rss_bytes=max_rss_bytes,
+                cancel=token,
+                on_poll=on_poll,
+            )
+        try:
+            return run_attempt(spec)
+        except Exception as error:  # worker threads must never die
+            return ReachResult(
+                engine=cell.engine,
+                circuit=cell.circuit,
+                order=cell.order,
+                completed=False,
+                failure="crash",
+                extra={"error": "%s: %s" % (type(error).__name__, error)},
+            )
+
+    def _journal_record(
+        self,
+        cell: WorkCell,
+        result: ReachResult,
+        worker: int,
+        speculative: bool,
+    ) -> Dict[str, object]:
+        return {
+            "event": "attempt",
+            "attempt": cell.rung + 1,
+            "of": cell.rungs,
+            "job": cell.job,
+            "rung": cell.rung,
+            "cell": cell.key,
+            "worker": worker,
+            "speculative": speculative,
+            "circuit": cell.circuit,
+            "engine": cell.engine,
+            "order": cell.order,
+            "budget_seconds": cell.budget_seconds,
+            "isolated": self.supervisor is not None,
+            "outcome": "completed" if result.completed else result.failure,
+            "seconds": result.seconds,
+            "iterations": result.iterations,
+            "peak_live_nodes": result.peak_live_nodes,
+            "num_states": result.num_states,
+        }
+
+    def _worker(self, worker: int, journal: Optional[RunJournal]) -> None:
+        while True:
+            with self._cond:
+                index = None
+                while True:
+                    self._check_budgets()
+                    index = self._pick()
+                    if index is not None:
+                        break
+                    if self._settled() or not any(
+                        status == "running" for status in self._status
+                    ):
+                        # No runnable work and nothing in flight that
+                        # could unlock more: drain any stranded cells
+                        # and stop.
+                        for i, status in enumerate(self._status):
+                            if status == "pending":
+                                self._status[i] = "skipped"
+                                self._skip_reason[i] = "starved"
+                        self._cond.notify_all()
+                        return
+                    self._cond.wait(0.05)
+                speculative = bool(self._eligible(index))
+                token = CancelToken()
+                self._status[index] = "running"
+                self._tokens[index] = token
+                self._speculated[index] = speculative
+            result = self._execute(index, token)
+            if journal is not None:
+                journal.append(
+                    self._journal_record(
+                        self.cells[index], result, worker, speculative
+                    )
+                )
+            with self._cond:
+                self._finish(index, result)
+                self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Run + merge
+    # ------------------------------------------------------------------
+
+    def _worker_journal_dir(self) -> Optional[str]:
+        if self.journal_path is not None:
+            return self.journal_path + ".d"
+        if self.trace_dir is not None:
+            return os.path.join(self.trace_dir, ".workers")
+        return None
+
+    def run(self) -> BatchReport:
+        start = time.monotonic()
+        if self.total_seconds is not None:
+            self._deadline = start + self.total_seconds
+        journal_dir = self._worker_journal_dir()
+        worker_journals: List[RunJournal] = []
+        if journal_dir is not None:
+            os.makedirs(journal_dir, exist_ok=True)
+            worker_journals = [
+                RunJournal(os.path.join(journal_dir, "worker%02d.jsonl" % i))
+                for i in range(self.jobs)
+            ]
+        if self.jobs == 1:
+            self._worker(0, worker_journals[0] if worker_journals else None)
+        else:
+            threads = [
+                threading.Thread(
+                    target=self._worker,
+                    args=(i, worker_journals[i] if worker_journals else None),
+                    name="repro-batch-worker-%d" % i,
+                    daemon=True,
+                )
+                for i in range(self.jobs)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        report = self._build_report(time.monotonic() - start)
+        self._merge_journals(journal_dir, worker_journals)
+        self._merge_traces()
+        return report
+
+    def _build_report(self, elapsed: float) -> BatchReport:
+        jobs: List[JobOutcome] = []
+        cell_outcomes: List[CellOutcome] = []
+        first_completed: Dict[int, Optional[int]] = {
+            job: self._first_completed_rung(job) for job in self._by_job
+        }
+        for job_index, circuit in enumerate(self.circuits):
+            indices = self._by_job.get(job_index, [])
+            cutoff = first_completed.get(job_index)
+            attempts: List[ReachResult] = []
+            outcome: Optional[ReachResult] = None
+            for index in indices:
+                cell = self.cells[index]
+                status = self._status[index]
+                result = self._results.get(index)
+                discarded = cutoff is not None and cell.rung > cutoff
+                if status == "done" and not discarded:
+                    attempts.append(result)
+                    outcome = result
+                    if result.completed:
+                        break
+            jobs.append(
+                JobOutcome(
+                    index=job_index,
+                    circuit=circuit,
+                    outcome=outcome,
+                    attempts=attempts,
+                )
+            )
+            for index in indices:
+                cell = self.cells[index]
+                cell_outcomes.append(
+                    CellOutcome(
+                        cell=cell,
+                        state=self._status[index],
+                        result=self._results.get(index),
+                        speculative=self._speculated.get(index, False),
+                        discarded=(
+                            cutoff is not None and cell.rung > cutoff
+                        ),
+                    )
+                )
+        meta = {
+            "engine": self.engine,
+            "order": self.order,
+            "fallback": self.fallback,
+            "jobs": self.jobs,
+            "isolate": self.isolate,
+            "cells": len(self.cells),
+            "elapsed": elapsed,
+        }
+        return BatchReport(jobs, cell_outcomes, meta)
+
+    def _merge_journals(
+        self, journal_dir: Optional[str], worker_journals: List[RunJournal]
+    ) -> None:
+        if journal_dir is None:
+            return
+        sources = [journal.path for journal in worker_journals]
+        if self.journal_path is not None:
+            merge_journals(sources, self.journal_path)
+        if self.trace_dir is not None:
+            # Ladder decisions land next to the traces, mirroring the
+            # sequential harness's attempts.jsonl convention.
+            merge_journals(
+                sources, os.path.join(self.trace_dir, "attempts.jsonl")
+            )
+        shutil.rmtree(journal_dir, ignore_errors=True)
+
+    def _merge_traces(self) -> None:
+        """Lift per-job trace files into the root trace directory.
+
+        Files become ``trace-<jobkey>-<engine>-<order>-<circuit>.jsonl``
+        so one flat directory holds the whole batch without collisions
+        (``python -m repro trace <dir>`` reads it unchanged).
+        """
+        if self.trace_dir is None:
+            return
+        for job_index, circuit in enumerate(self.circuits):
+            subdir = os.path.join(
+                self.trace_dir, job_key(job_index, circuit)
+            )
+            if not os.path.isdir(subdir):
+                continue
+            for name in sorted(os.listdir(subdir)):
+                if not name.endswith(".jsonl"):
+                    continue
+                rest = name[len("trace-"):] if name.startswith("trace-") else name
+                merged = "trace-%s-%s" % (
+                    job_key(job_index, circuit), rest
+                )
+                os.replace(
+                    os.path.join(subdir, name),
+                    os.path.join(self.trace_dir, merged),
+                )
+            try:
+                os.rmdir(subdir)
+            except OSError:  # pragma: no cover - non-empty leftovers
+                pass
+
+
+def run_scheduled_batch(
+    circuits: Sequence[str],
+    engine: str = "bfv",
+    order: str = "S1",
+    jobs: int = 1,
+    max_seconds: Optional[float] = None,
+    max_live_nodes: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    fallback: bool = True,
+    policy: Optional[FallbackPolicy] = None,
+    isolate: bool = True,
+    max_rss_mb: Optional[float] = None,
+    journal: Optional[object] = None,
+    count_states: bool = True,
+    trace_dir: Optional[str] = None,
+    total_seconds: Optional[float] = None,
+    total_rss_mb: Optional[float] = None,
+    bench_path: Optional[str] = None,
+    cell_faults: Optional[Dict[str, List[Dict[str, object]]]] = None,
+) -> BatchReport:
+    """Run a circuit suite on the parallel batch scheduler.
+
+    The functional entry point behind ``python -m repro batch --jobs``;
+    see :class:`BatchScheduler` for the semantics.
+    """
+    return BatchScheduler(
+        circuits,
+        engine=engine,
+        order=order,
+        jobs=jobs,
+        max_seconds=max_seconds,
+        max_live_nodes=max_live_nodes,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        fallback=fallback,
+        policy=policy,
+        isolate=isolate,
+        max_rss_mb=max_rss_mb,
+        journal=journal,
+        count_states=count_states,
+        trace_dir=trace_dir,
+        total_seconds=total_seconds,
+        total_rss_mb=total_rss_mb,
+        bench_path=bench_path,
+        cell_faults=cell_faults,
+    ).run()

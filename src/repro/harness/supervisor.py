@@ -64,6 +64,8 @@ class Supervisor:
         spec: AttemptSpec,
         budget_seconds: Optional[float] = None,
         max_rss_bytes: Optional[int] = None,
+        cancel: Optional[object] = None,
+        on_poll: Optional[object] = None,
     ) -> ReachResult:
         """Run one attempt; never raises for child-side failures.
 
@@ -72,6 +74,14 @@ class Supervisor:
         is the child RSS ceiling, enforced by polling ``/proc`` — the
         1-GB analogue of the paper's memory budget, but covering the
         whole interpreter rather than just live BDD nodes.
+
+        ``cancel`` is an optional cooperative cancellation flag (see
+        :class:`repro.harness.scheduler.CancelToken`: ``is_set()`` plus
+        a ``reason`` failure code) checked every watchdog poll — the
+        parallel scheduler uses it for global-deadline, global-RSS, and
+        speculation kills.  ``on_poll(pid, rss_bytes_or_None)`` is
+        invoked once per poll so a caller can aggregate RSS across a
+        worker pool.
         """
         workdir = tempfile.mkdtemp(prefix="repro-supervise-")
         result_path = os.path.join(workdir, "result.json")
@@ -87,11 +97,17 @@ class Supervisor:
         try:
             while process.is_alive():
                 elapsed = time.monotonic() - start
+                if cancel is not None and cancel.is_set():
+                    killed = getattr(cancel, "reason", None) or "cancelled"
+                    process.kill()
+                    break
                 if budget_seconds is not None and elapsed > budget_seconds:
                     killed = "time"
                     process.kill()
                     break
                 rss = rss_bytes(process.pid)
+                if on_poll is not None:
+                    on_poll(process.pid, rss)
                 if rss is not None and rss > peak_rss:
                     peak_rss = rss
                 if (

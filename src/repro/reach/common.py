@@ -37,14 +37,17 @@ from ..order import order_for
 #: / ``iterations`` / ``depth`` (ResourceLimitError kinds, plus the
 #: RecursionError translation); the supervisor adds ``crash`` for child
 #: processes that die without reporting, and reuses ``time`` /
-#: ``memory`` for watchdog kills.  :attr:`ReachResult.status` renders
-#: unknown codes as ``FAIL`` rather than raising.
+#: ``memory`` for watchdog kills; the parallel batch scheduler adds
+#: ``cancelled`` for speculative attempts killed once an earlier
+#: fallback rung completed.  :attr:`ReachResult.status` renders unknown
+#: codes as ``FAIL`` rather than raising.
 FAILURE_LABELS: Dict[str, str] = {
     "time": "T.O.",
     "memory": "M.O.",
     "iterations": "I.O.",
     "depth": "D.O.",
     "crash": "CRASH",
+    "cancelled": "CANC.",
 }
 
 

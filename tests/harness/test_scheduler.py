@@ -1,0 +1,408 @@
+"""Parallel batch scheduler tests: determinism, budgets, containment.
+
+The scheduler's contract is that parallelism is *invisible* in the
+results: the merged report for any ``jobs`` level is byte-identical to
+the sequential one, a global deadline converts outstanding work into
+tagged failures instead of hanging the batch, and a crashing cell is
+contained to its own job.  Fault injection (:mod:`repro.harness.faults`)
+makes the failure cases deterministic.
+"""
+
+import json
+import os
+import random
+import time
+
+import pytest
+
+from repro.circuits import bench, generators as gen
+from repro.harness import (
+    RunJournal,
+    job_key,
+    merge_journals,
+    run_batch,
+    run_scheduled_batch,
+)
+from repro.harness.scheduler import (
+    UNKNOWN_EXPECTED_SECONDS,
+    BatchScheduler,
+    expand_cells,
+    expected_seconds,
+    load_expected_seconds,
+)
+from repro.sim import explicit_reachable
+
+SUITE = ["traffic", "s27"]
+
+
+class TestExpandCells:
+    def test_single_rung_without_fallback(self):
+        cells = expand_cells(SUITE, engine="tr", order="S2", fallback=False)
+        assert [(c.job, c.rung) for c in cells] == [(0, 0), (1, 0)]
+        assert all(c.engine == "tr" and c.order == "S2" for c in cells)
+        assert all(c.rungs == 1 for c in cells)
+
+    def test_static_budget_slices(self):
+        cells = expand_cells(["traffic"], fallback=True, max_seconds=60.0)
+        assert len(cells) > 1
+        # Even split across the ladder, identical for every rung: the
+        # slice must not depend on scheduling order.
+        slices = {c.budget_seconds for c in cells}
+        assert slices == {60.0 / len(cells)}
+
+    def test_budget_slice_floored_at_min_attempt(self):
+        cells = expand_cells(["traffic"], fallback=True, max_seconds=0.5)
+        # A tiny budget still grants min_attempt_seconds per rung (but
+        # never more than the whole per-circuit budget).
+        assert all(c.budget_seconds == 0.5 for c in cells)
+
+    def test_job_keys_distinguish_shared_basenames(self):
+        cells = expand_cells(
+            ["a/s27.bench", "b/s27.bench"], fallback=False
+        )
+        assert cells[0].key != cells[1].key
+        assert job_key(0, "a/s27.bench") != job_key(1, "b/s27.bench")
+
+    def test_expected_seconds_baseline(self, tmp_path):
+        path = tmp_path / "BENCH_reach.json"
+        path.write_text(
+            json.dumps({"cells": {"traffic/bfv": {"after_s": 2.5}}})
+        )
+        estimates = load_expected_seconds(str(path))
+        [cell] = expand_cells(["traffic"], fallback=False)
+        assert expected_seconds(cell, estimates) == 2.5
+        [other] = expand_cells(["s27"], fallback=False)
+        assert expected_seconds(other, estimates) is UNKNOWN_EXPECTED_SECONDS
+
+    def test_expected_seconds_tolerates_bad_baseline(self, tmp_path):
+        path = tmp_path / "BENCH_reach.json"
+        path.write_text("{not json")
+        assert load_expected_seconds(str(path)) == {}
+        assert load_expected_seconds(str(tmp_path / "missing.json")) == {}
+
+
+class TestDeterminism:
+    def test_reports_byte_identical_across_pool_sizes(self):
+        reports = {
+            jobs: run_scheduled_batch(
+                SUITE + ["counter8"],
+                jobs=jobs,
+                max_seconds=60.0,
+                fallback=False,
+                isolate=True,
+            )
+            for jobs in (1, 4)
+        }
+        assert reports[1].failures == 0
+        assert reports[1].to_json() == reports[4].to_json()
+
+    def test_fallback_ladder_deterministic_with_speculation(self):
+        # A healthy circuit resolves at rung 0; with jobs=4 the later
+        # rungs are speculated and must be discarded from the report,
+        # leaving exactly the attempts a sequential ladder would log.
+        reports = {
+            jobs: run_scheduled_batch(
+                ["traffic"],
+                jobs=jobs,
+                max_seconds=60.0,
+                fallback=True,
+                isolate=True,
+            )
+            for jobs in (1, 4)
+        }
+        assert reports[1].to_json() == reports[4].to_json()
+        [job] = reports[4].jobs
+        assert job.outcome is not None and job.outcome.completed
+        assert len(job.attempts) == 1
+
+    def test_poisoned_ladder_deterministic(self):
+        # Every rung of the poisoned circuit fails the same way (an
+        # injected engine-level timeout), so even an exhausted ladder
+        # must serialize identically at any pool size.
+        faults = {"traffic": [{"kind": "timeout", "at_iteration": 1}]}
+        reports = {
+            jobs: run_scheduled_batch(
+                ["traffic", "s27"],
+                jobs=jobs,
+                max_seconds=30.0,
+                fallback=True,
+                isolate=True,
+                cell_faults=faults,
+            )
+            for jobs in (1, 4)
+        }
+        assert reports[1].to_json() == reports[4].to_json()
+        outcome, attempts = reports[4].outcomes()["traffic"]
+        assert outcome is not None and not outcome.completed
+        assert outcome.failure == "time"
+        assert len(attempts) >= 2  # the whole ladder ran, every rung failed
+        assert all(not attempt.completed for attempt in attempts)
+        assert reports[4].outcomes()["s27"][0].completed
+
+
+class TestGlobalBudgets:
+    def test_deadline_cancels_running_and_skips_pending(self):
+        faults = {"s27": [{"kind": "hang", "at_iteration": 1, "seconds": 60}]}
+        start = time.monotonic()
+        report = run_scheduled_batch(
+            ["traffic", "s27"],
+            jobs=2,
+            fallback=False,
+            isolate=True,
+            total_seconds=1.5,
+            cell_faults=faults,
+        )
+        elapsed = time.monotonic() - start
+        assert elapsed < 20.0  # the hang did not sink the batch
+        outcomes = report.outcomes()
+        assert outcomes["traffic"][0].completed
+        hung, _ = outcomes["s27"]
+        assert hung is not None and not hung.completed
+        assert hung.failure == "time"
+        assert report.failures == 1
+
+    def test_deadline_skips_unstarted_cells(self):
+        faults = {
+            name: [{"kind": "hang", "at_iteration": 1, "seconds": 60}]
+            for name in ("traffic", "s27", "counter8")
+        }
+        report = run_scheduled_batch(
+            ["traffic", "s27", "counter8"],
+            jobs=1,
+            fallback=False,
+            isolate=True,
+            total_seconds=1.0,
+            cell_faults=faults,
+        )
+        # Every job either got cancelled mid-run ("time") or never
+        # started (skipped: outcome None); none completed.
+        assert report.failures == 3
+        states = {cell.state for cell in report.cells}
+        assert "skipped" in states  # at least one cell never started
+
+    def test_global_rss_budget_cancels_largest_child(self):
+        # Any running child exceeds a zero-byte pool budget, so the
+        # scheduler must cancel it with the memory failure code.
+        faults = {"s27": [{"kind": "hang", "at_iteration": 1, "seconds": 60}]}
+        report = run_scheduled_batch(
+            ["s27"],
+            jobs=1,
+            fallback=False,
+            isolate=True,
+            total_rss_mb=0.0,
+            cell_faults=faults,
+        )
+        [job] = report.jobs
+        assert job.outcome is not None and not job.outcome.completed
+        assert job.outcome.failure == "memory"
+
+
+class TestCrashContainment:
+    def test_poisoned_cell_does_not_sink_the_batch(self):
+        faults = {"s27": [{"kind": "die", "at_iteration": 1}]}
+        report = run_scheduled_batch(
+            ["traffic", "s27", "counter8"],
+            jobs=2,
+            fallback=False,
+            isolate=True,
+            max_seconds=60.0,
+            cell_faults=faults,
+        )
+        outcomes = report.outcomes()
+        assert outcomes["traffic"][0].completed
+        assert outcomes["counter8"][0].completed
+        crashed, attempts = outcomes["s27"]
+        assert crashed is not None and crashed.failure == "crash"
+        assert len(attempts) == 1
+        assert report.failures == 1
+
+
+class TestJournalMerge:
+    def test_merged_journal_is_input_ordered(self, tmp_path):
+        journal_path = tmp_path / "batch.jsonl"
+        report = run_scheduled_batch(
+            ["traffic", "s27", "counter8"],
+            jobs=2,
+            fallback=False,
+            isolate=True,
+            max_seconds=60.0,
+            journal=str(journal_path),
+        )
+        assert report.failures == 0
+        records = RunJournal(str(journal_path)).read()
+        assert len(records) == 3
+        assert [(r["job"], r["rung"]) for r in records] == [
+            (0, 0),
+            (1, 0),
+            (2, 0),
+        ]
+        assert {r["event"] for r in records} == {"attempt"}
+        # The per-worker staging directory is gone after the merge.
+        assert not os.path.exists(str(journal_path) + ".d")
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_merge_journals_sorts_and_skips_torn_lines(self, tmp_path):
+        rng = random.Random(7)
+        records = [
+            {"event": "attempt", "job": j, "rung": r, "cell": "j%d-r%d" % (j, r)}
+            for j in range(3)
+            for r in range(2)
+        ]
+        shuffled = records[:]
+        rng.shuffle(shuffled)
+        sources = []
+        for index in range(2):
+            path = tmp_path / ("worker%d.jsonl" % index)
+            with open(str(path), "w") as handle:
+                for record in shuffled[index::2]:
+                    handle.write(json.dumps(record) + "\n")
+            sources.append(str(path))
+        # Torn final line: the tolerant reader must skip it.
+        with open(sources[0], "a") as handle:
+            handle.write('{"event": "attempt", "job": 9')
+        dest = tmp_path / "merged.jsonl"
+        written = merge_journals(sources, str(dest))
+        assert written == len(records)
+        merged = RunJournal(str(dest)).read()
+        assert [(r["job"], r["rung"]) for r in merged] == [
+            (j, r) for j in range(3) for r in range(2)
+        ]
+
+    def test_records_without_job_fields_keep_source_order(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        journal = RunJournal(str(path))
+        journal.append({"event": "start"})
+        journal.append({"event": "attempt", "job": 0, "rung": 0})
+        journal.append({"event": "stop"})
+        dest = tmp_path / "merged.jsonl"
+        merge_journals([str(path)], str(dest))
+        merged = RunJournal(str(dest)).read()
+        # Cell records lead (input order), one-off events follow in
+        # their original order.
+        assert [r["event"] for r in merged] == ["attempt", "start", "stop"]
+
+
+class TestNamespacing:
+    def _dump_two_circuits_sharing_a_basename(self, tmp_path):
+        a_dir = tmp_path / "a"
+        b_dir = tmp_path / "b"
+        a_dir.mkdir()
+        b_dir.mkdir()
+        first = a_dir / "same.bench"
+        second = b_dir / "same.bench"
+        # Two genuinely different circuits (4 vs 8 reachable states),
+        # both iterating long enough to write checkpoints.
+        bench.dump(gen.counter(2), str(first))
+        bench.dump(gen.counter(3), str(second))
+        return str(first), str(second)
+
+    def test_scheduler_checkpoints_do_not_collide(self, tmp_path):
+        first, second = self._dump_two_circuits_sharing_a_basename(tmp_path)
+        checkpoint_dir = tmp_path / "ckpt"
+        report = run_scheduled_batch(
+            [first, second],
+            jobs=2,
+            fallback=False,
+            isolate=True,
+            max_seconds=60.0,
+            checkpoint_dir=str(checkpoint_dir),
+        )
+        assert report.failures == 0
+        namespaces = sorted(os.listdir(str(checkpoint_dir)))
+        assert namespaces == [job_key(0, first), job_key(1, second)]
+        assert all(
+            os.listdir(os.path.join(str(checkpoint_dir), n))
+            for n in namespaces
+        )
+        # Each job reports its own circuit's state count — proof that
+        # neither run resumed the other's checkpoint.
+        for path, job in zip([first, second], report.jobs):
+            truth = explicit_reachable(bench.load(path))
+            assert job.outcome.num_states == len(truth), path
+
+    def test_sequential_run_batch_namespaces_too(self, tmp_path):
+        # The legacy sequential path had the collision bug; it now uses
+        # the same per-job namespace.
+        first, second = self._dump_two_circuits_sharing_a_basename(tmp_path)
+        checkpoint_dir = tmp_path / "ckpt"
+        trace_dir = tmp_path / "traces"
+        results = run_batch(
+            [first, second],
+            fallback=False,
+            isolate=False,
+            max_seconds=60.0,
+            checkpoint_dir=str(checkpoint_dir),
+            trace_dir=str(trace_dir),
+        )
+        assert all(
+            outcome is not None and outcome.completed
+            for outcome, _ in results.values()
+        )
+        for root in (checkpoint_dir, trace_dir):
+            assert sorted(os.listdir(str(root))) == [
+                job_key(0, first),
+                job_key(1, second),
+            ]
+
+    def test_trace_files_lifted_into_flat_directory(self, tmp_path):
+        trace_dir = tmp_path / "traces"
+        report = run_scheduled_batch(
+            ["traffic", "s27"],
+            jobs=2,
+            fallback=False,
+            isolate=True,
+            max_seconds=60.0,
+            trace_dir=str(trace_dir),
+        )
+        assert report.failures == 0
+        names = sorted(os.listdir(str(trace_dir)))
+        traces = [n for n in names if n.startswith("trace-job")]
+        assert len(traces) == 2
+        assert all(n.endswith(".jsonl") for n in traces)
+        # No per-job subdirectories survive the merge, and the ladder
+        # journal sits alongside the traces.
+        assert not any(
+            os.path.isdir(os.path.join(str(trace_dir), n)) for n in names
+        )
+        assert "attempts.jsonl" in names
+
+
+class TestBatchReportShape:
+    def test_rejects_non_positive_jobs(self):
+        with pytest.raises(ValueError):
+            BatchScheduler(["traffic"], jobs=0)
+
+    def test_merged_schema(self):
+        report = run_scheduled_batch(
+            ["traffic"],
+            jobs=1,
+            fallback=False,
+            isolate=False,
+            max_seconds=60.0,
+        )
+        merged = report.merged()
+        assert merged["schema_version"] == 1
+        assert merged["engine"] == "bfv"
+        assert merged["fallback"] is False
+        [job] = merged["jobs"]
+        assert job["circuit"] == "traffic"
+        assert job["outcome"]["completed"] is True
+        # Determinism-hostile fields must stay out of the merged report.
+        for attempt in [job["outcome"]] + job["attempts"]:
+            assert "seconds" not in attempt
+            assert "rss" not in attempt
+        assert report.to_json().endswith("\n")
+
+    def test_outcomes_matches_legacy_run_batch_shape(self):
+        report = run_scheduled_batch(
+            ["traffic", "s27"],
+            jobs=1,
+            fallback=False,
+            isolate=False,
+            max_seconds=60.0,
+        )
+        outcomes = report.outcomes()
+        assert set(outcomes) == {"traffic", "s27"}
+        for outcome, attempts in outcomes.values():
+            assert outcome is not None and outcome.completed
+            assert attempts and attempts[-1] is outcome

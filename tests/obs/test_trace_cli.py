@@ -102,8 +102,11 @@ class TestBatchTraceDir:
         capsys.readouterr()
         assert code == 0
         names = os.listdir(trace_dir)
-        assert "trace-bfv-S1-traffic.jsonl" in names
-        assert "trace-bfv-S1-s27.jsonl" in names
+        # Batch traces are namespaced per job (so shared basenames
+        # cannot collide) and merged into one flat directory.
+        assert "trace-job000-traffic-bfv-S1-traffic.jsonl" in names
+        assert "trace-job001-s27-bfv-S1-s27.jsonl" in names
+        assert "attempts.jsonl" in names
 
 
 class TestTraceCommand:

@@ -112,13 +112,16 @@ class TestReachResult:
 
     def test_every_harness_failure_code_has_a_label(self):
         # The engines emit time/memory/iterations/depth; the supervisor
-        # adds crash.  Every code must render, never raise.
+        # adds crash; the batch scheduler adds cancelled (speculative
+        # rungs killed after an earlier rung completed).  Every code
+        # must render, never raise.
         assert set(FAILURE_LABELS) == {
             "time",
             "memory",
             "iterations",
             "depth",
             "crash",
+            "cancelled",
         }
         for code, label in FAILURE_LABELS.items():
             result = ReachResult("bfv", "c", "S1", completed=False, failure=code)

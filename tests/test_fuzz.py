@@ -5,11 +5,17 @@ types, fan-ins, latch feedback); every property then crosses at least
 two independently implemented layers:
 
 * symbolic simulation vs the concrete simulator;
-* all four reachability engines vs explicit-state search;
+* all four reachability engines vs explicit-state search (the
+  *differential campaign*: agreement on the reached-set characteristic
+  function, the state count, and the fix-point depth);
+* the same corpus pushed through the parallel batch scheduler, checking
+  its jobs=1 vs jobs=N determinism guarantee on real work;
 * format round-trips (.bench and BLIF) vs reachable-set equality;
 * resynthesis vs sequential equivalence.
 """
 
+import itertools
+import os
 import random
 
 import pytest
@@ -23,6 +29,12 @@ from repro.sim import ConcreteSimulator, SymbolicSimulator, explicit_reachable
 from repro.synth import resynthesize
 
 GATE_OPS = ["AND", "OR", "NAND", "NOR", "XOR", "XNOR", "NOT", "BUF"]
+
+ALL_ENGINES = ("bfv", "tr", "cbm", "conj")
+
+#: Number of seeds in the differential campaign.  The default keeps
+#: tier-1 fast; CI's differential job raises it (REPRO_FUZZ_SEEDS=200).
+DIFFERENTIAL_SEEDS = int(os.environ.get("REPRO_FUZZ_SEEDS", "40"))
 
 
 def random_circuit(seed: int, max_latches=5, max_inputs=3, max_gates=14) -> Circuit:
@@ -84,15 +96,126 @@ def test_symbolic_matches_concrete(seed):
         assert got == expected
 
 
+def reached_states(result):
+    """Reachable set as declaration-order tuples, from any engine.
+
+    Each engine leaves its reached-set representation in
+    ``result.extra`` under a different key (a :class:`~repro.bfv.BFV`,
+    a conjunctive decomposition, or a plain characteristic function);
+    this normalizes all three to the explicit-search state format so
+    the differential campaign can compare characteristic functions, not
+    just cardinalities.
+    """
+    space = result.extra["space"]
+    extra = result.extra
+    if "reached" in extra:
+        contains = extra["reached"].contains
+    elif "reached_cd" in extra:
+        contains = extra["reached_cd"].contains
+    else:
+        chi = extra["reached_chi"]
+
+        def contains(point, _bdd=space.bdd, _chi=chi, _vars=space.s_vars):
+            return _bdd.evaluate(_chi, dict(zip(_vars, point)))
+
+    declaration = list(space.circuit.latches)
+    index = {net: i for i, net in enumerate(space.state_order)}
+    states = set()
+    for point in itertools.product((False, True), repeat=len(declaration)):
+        if contains(point):
+            states.add(tuple(point[index[net]] for net in declaration))
+    return states
+
+
+def assert_engines_agree(seed):
+    """One differential-campaign probe: all four engines vs the oracle.
+
+    Asserts agreement on the reached-set characteristic function (by
+    exhaustive membership), on the state count, and on the fix-point
+    depth (iteration count) — any divergence in image computation,
+    union exclusion conditions, or fix-point detection shows up here.
+    """
+    circuit = random_circuit(seed, max_latches=4, max_inputs=2, max_gates=10)
+    truth = explicit_reachable(circuit)
+    results = {}
+    for engine in ALL_ENGINES:
+        result = ENGINES[engine](circuit)
+        assert result.completed, (engine, seed, result.failure)
+        results[engine] = result
+    depth = results[ALL_ENGINES[0]].iterations
+    for engine, result in results.items():
+        assert result.num_states == len(truth), (engine, seed)
+        assert result.iterations == depth, (engine, seed)
+        assert reached_states(result) == truth, (engine, seed)
+
+
+@pytest.mark.parametrize("seed", range(DIFFERENTIAL_SEEDS))
+def test_differential_campaign(seed):
+    assert_engines_agree(seed)
+
+
 @settings(max_examples=12, deadline=None)
 @given(st.integers(0, 2**32 - 1))
 def test_engines_agree_with_explicit(seed):
+    # The hypothesis twin of the pinned campaign: same property, random
+    # high seeds, so regressions outside the pinned range still surface.
     circuit = random_circuit(seed, max_latches=4, max_inputs=2, max_gates=10)
     truth = explicit_reachable(circuit)
-    for engine in ("bfv", "tr"):
+    depth = None
+    for engine in ALL_ENGINES:
         result = ENGINES[engine](circuit)
         assert result.completed
         assert result.num_states == len(truth), (engine, seed)
+        if depth is None:
+            depth = result.iterations
+        assert result.iterations == depth, (engine, seed)
+
+
+def test_fuzz_corpus_through_scheduler(tmp_path):
+    """Push a serialized fuzz corpus through the parallel scheduler.
+
+    Two cross-checks at once: the scheduler's determinism guarantee
+    (jobs=1 and jobs=2 merged reports are byte-identical on real work)
+    and cross-engine agreement along the scheduler path (every engine
+    reports the same state count and fix-point depth per corpus entry,
+    with circuits resolved from .bench files in supervised children).
+    """
+    from repro.harness import run_scheduled_batch
+
+    paths = []
+    for seed in range(4):
+        circuit = random_circuit(
+            seed, max_latches=4, max_inputs=2, max_gates=10
+        )
+        path = tmp_path / ("fuzz%d.bench" % seed)
+        bench.dump(circuit, str(path))
+        paths.append(str(path))
+
+    by_engine = {}
+    for engine in ALL_ENGINES:
+        reports = {}
+        for jobs in (1, 2):
+            report = run_scheduled_batch(
+                paths,
+                engine=engine,
+                jobs=jobs,
+                max_seconds=60.0,
+                fallback=False,
+                isolate=True,
+            )
+            assert report.failures == 0, (engine, jobs)
+            reports[jobs] = report
+        assert reports[1].to_json() == reports[2].to_json(), engine
+        by_engine[engine] = {
+            os.path.basename(job["circuit"]): (
+                job["outcome"]["iterations"],
+                job["outcome"]["num_states"],
+            )
+            for job in reports[2].merged()["jobs"]
+        }
+    reference = by_engine[ALL_ENGINES[0]]
+    for engine, summary in by_engine.items():
+        assert summary == reference, engine
 
 
 @settings(max_examples=15, deadline=None)

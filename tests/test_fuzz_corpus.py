@@ -1,0 +1,202 @@
+"""Pinned fuzz-seed regression corpus.
+
+The differential campaign in :mod:`tests.test_fuzz` sweeps a seed range
+that CI can scale up; this file pins the seeds whose circuits exercise
+known-delicate corners — deep fix-points, near-empty and full reachable
+fractions, duplicate gate fan-ins (the duplicate-polarity cube path),
+XOR-heavy logic — so they run on every tier-1 invocation forever, plus
+direct regressions for the union exclusion-condition corner cases, the
+duplicate-polarity cube guard, and the expression depth limit.
+"""
+
+import itertools
+
+import pytest
+
+from repro.bdd import BDD
+from repro.bdd.expr import parse
+from repro.bfv import BFV
+from repro.errors import ResourceLimitError, VariableError
+
+from tests.test_fuzz import assert_engines_agree
+
+#: Structurally diverse seeds, picked by scanning seeds 0..400 of
+#: ``random_circuit(seed, max_latches=4, max_inputs=2, max_gates=10)``.
+#: Comments give the property that earned each seed its pin.
+PINNED_SEEDS = (
+    141,  # deepest fix-point in range (8 iterations), dup fan-ins, XOR
+    174,  # depth 5, 44% of the space reachable
+    265,  # depth 6, dup fan-ins
+    313,  # depth 6, XOR-heavy, no dup fan-ins
+    314,  # depth 5, exactly half the space reachable
+    338,  # depth 5, sparse (31%) without XOR
+    324,  # depth 5, XOR-heavy
+    1,    # degenerate: single latch, single reachable state
+    61,   # two latches collapsing to a single reachable state
+    263,  # full space reachable (union must saturate cleanly)
+    0,    # sparse: 2 of 16 states reachable
+    10,   # sparse + dup fan-ins + XOR
+    21,   # sparse, 4 latches
+    6,    # dup fan-ins, depth 4
+    8,    # dup fan-ins, 3 latches
+    9,    # dup fan-ins feeding XOR
+    16,   # dup fan-ins, 9 of 16 states reachable
+    17,   # dup fan-ins, exactly half reachable
+    4,    # XOR without dup fan-ins
+    13,   # XNOR path, sparse
+)
+
+
+@pytest.mark.parametrize("seed", PINNED_SEEDS)
+def test_pinned_seed_differential(seed):
+    assert_engines_agree(seed)
+
+
+class TestUnionExclusionCorners:
+    """Union (Sec 2.3) corner cases against the characteristic oracle.
+
+    The exclusion-condition construction is the subtlest BFV operation;
+    these pin the boundary set shapes where its conditions degenerate
+    (empty operands, singletons, complements, saturation).
+    """
+
+    WIDTH = 3
+
+    def setup_method(self):
+        self.bdd = BDD()
+        self.vars = [self.bdd.add_var("c%d" % i) for i in range(self.WIDTH)]
+
+    def points(self, *masks):
+        return [
+            tuple(bool(m >> i & 1) for i in range(self.WIDTH)) for m in masks
+        ]
+
+    def chi_of(self, points):
+        chi = self.bdd.false
+        for p in points:
+            chi = self.bdd.or_(
+                chi, self.bdd.cube(dict(zip(self.vars, p)))
+            )
+        return chi
+
+    def check_union(self, left_masks, right_masks):
+        left = BFV.from_points(
+            self.bdd, self.vars, self.points(*left_masks)
+        )
+        right = BFV.from_points(
+            self.bdd, self.vars, self.points(*right_masks)
+        )
+        union = left.union(right)
+        expected = self.chi_of(self.points(*set(left_masks + right_masks)))
+        assert union.to_characteristic() == expected
+        # Union is symmetric and canonical: same vector both ways.
+        flipped = right.union(left)
+        assert flipped.components == union.components
+
+    def test_empty_is_identity(self):
+        self.check_union((), (1, 6))
+        self.check_union((), ())
+
+    def test_idempotent(self):
+        self.check_union((2, 5), (2, 5))
+
+    def test_disjoint_singletons(self):
+        self.check_union((0,), (7,))
+
+    def test_complementary_points(self):
+        # {000} with {111}: every component's exclusion condition is
+        # live at once.
+        self.check_union((0,), (7,))
+        self.check_union((0, 7), (1, 6))
+
+    def test_subset_absorbed(self):
+        self.check_union((1,), (1, 3, 5))
+
+    def test_overlapping_sets(self):
+        self.check_union((0, 1, 2), (2, 3, 4))
+
+    def test_saturating_to_universe(self):
+        all_masks = tuple(range(1 << self.WIDTH))
+        left = all_masks[::2]
+        right = all_masks[1::2]
+        self.check_union(left, right)
+        union = BFV.from_points(
+            self.bdd, self.vars, self.points(*left)
+        ).union(BFV.from_points(self.bdd, self.vars, self.points(*right)))
+        assert union.to_characteristic() == self.bdd.true
+
+    def test_exhaustive_width_two(self):
+        # Every pair of subsets of a 2-bit space: 16 x 16 unions against
+        # the oracle, the complete truth table of the algorithm.
+        bdd = BDD()
+        vars2 = [bdd.add_var("b0"), bdd.add_var("b1")]
+        subsets = []
+        for mask in range(16):
+            pts = [
+                (bool(m & 1), bool(m >> 1 & 1))
+                for m in range(4)
+                if mask >> m & 1
+            ]
+            subsets.append(pts)
+        for left_pts, right_pts in itertools.product(subsets, repeat=2):
+            left = BFV.from_points(bdd, vars2, left_pts)
+            right = BFV.from_points(bdd, vars2, right_pts)
+            expected = set(map(tuple, left_pts)) | set(map(tuple, right_pts))
+            union = left.union(right)
+            got = {
+                p
+                for p in itertools.product((False, True), repeat=2)
+                if union.contains(p)
+            }
+            assert got == expected, (left_pts, right_pts)
+
+
+class TestDuplicatePolarityCube:
+    def test_conflicting_polarity_raises(self):
+        bdd = BDD()
+        index = bdd.add_var("a")
+        with pytest.raises(VariableError):
+            # The same variable spelled by name and by index, with
+            # opposite polarity: silently building FALSE would hide the
+            # caller's bug.
+            bdd.cube({"a": True, index: False})
+
+    def test_consistent_duplicate_is_fine(self):
+        bdd = BDD()
+        index = bdd.add_var("a")
+        node = bdd.cube({"a": True, index: True})
+        assert node == bdd.var(index)
+
+    def test_fuzz_cubes_match_evaluation(self):
+        # Cubes over random assignments: the cube must accept exactly
+        # its defining point.
+        import random
+
+        bdd = BDD()
+        names = [bdd.add_var("v%d" % i) for i in range(4)]
+        rng = random.Random(99)
+        for _ in range(25):
+            assignment = {v: rng.random() < 0.5 for v in names}
+            node = bdd.cube(assignment)
+            assert bdd.evaluate(node, assignment) is True
+            flipped = dict(assignment)
+            victim = rng.choice(names)
+            flipped[victim] = not flipped[victim]
+            assert bdd.evaluate(node, flipped) is False
+
+
+class TestDepthLimits:
+    def test_deep_expression_fails_cleanly(self):
+        bdd = BDD()
+        bdd.add_var("a")
+        depth = 100_000
+        text = "(" * depth + "a" + ")" * depth
+        with pytest.raises(ResourceLimitError) as info:
+            parse(bdd, text)
+        assert info.value.kind == "depth"
+
+    def test_reasonable_nesting_parses(self):
+        bdd = BDD()
+        index = bdd.add_var("a")
+        text = "(" * 50 + "a" + ")" * 50
+        assert parse(bdd, text) == bdd.var(index)
