@@ -12,6 +12,23 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH=src
 
+echo "== repo-specific lint =="
+# The custom AST rules (R001-R004, see docs/analysis.md) have no
+# external dependencies and always gate.
+python -m repro lint
+
+# Generic strict tooling (config in pyproject.toml) is an optional
+# dependency like pytest-cov below: CI installs ruff+mypy, local runs
+# without them simply skip the gates.
+if python -m ruff --version >/dev/null 2>&1; then
+    echo "== ruff =="
+    python -m ruff check src tests
+fi
+if python -c "import mypy" 2>/dev/null; then
+    echo "== mypy =="
+    python -m mypy
+fi
+
 echo "== tier-1 test suite =="
 # Coverage floor on the harness package (supervision, fallback,
 # scheduling — the layer whose regressions are easiest to leave
@@ -45,5 +62,11 @@ python -m repro batch traffic s27 \
 test -s "$SMOKE_DIR/journal-seq.jsonl"
 test -s "$SMOKE_DIR/journal.jsonl"
 cmp "$SMOKE_DIR/report-seq.json" "$SMOKE_DIR/report-par.json"
+
+echo "== sanitized reach smoke =="
+# Every engine under every-iteration invariant auditing (unique-table
+# canonicity, cache replay vs the reference kernels, BFV canonical
+# form); any violation aborts the run with the invariant's name.
+python -m repro reach s27 --engine all --sanitize --max-seconds 120
 
 echo "CI OK"

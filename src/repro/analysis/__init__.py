@@ -1,0 +1,43 @@
+"""Static and dynamic analysis for the reproduction itself.
+
+Two heads, one goal — make the invariants everything else relies on
+machine-checkable:
+
+* :mod:`repro.analysis.sanitizer` — runtime audit passes over the live
+  BDD manager (unique-table canonicity, order monotonicity, refcount /
+  GC accounting, computed-table soundness), the Boolean functional
+  vectors the engines accumulate (the paper's Section 2.2 canonical-form
+  conditions), and persisted harness state (checkpoint / journal
+  schemas).  Enabled with ``--sanitize[=rate]`` on ``reach`` / ``batch``
+  or the ``REPRO_SANITIZE`` environment variable; violations raise
+  :class:`repro.errors.SanitizerError` carrying the violated invariant's
+  dotted name.
+
+* :mod:`repro.analysis.lint` — AST-based repo-specific static checks
+  (``python -m repro lint``): no recursive apply-style BDD kernels
+  (R001), no nondeterminism in byte-identical output paths (R002), no
+  node handles held across ``collect_garbage`` without incref (R003),
+  no bare ``except`` in the harness (R004).
+"""
+
+from .sanitizer import (
+    Sanitizer,
+    check_bdd_structure,
+    check_bfv_canonical,
+    check_cache_soundness,
+    check_decomposition,
+    check_refcounts,
+    validate_checkpoint_meta,
+    validate_journal_record,
+)
+
+__all__ = [
+    "Sanitizer",
+    "check_bdd_structure",
+    "check_bfv_canonical",
+    "check_cache_soundness",
+    "check_decomposition",
+    "check_refcounts",
+    "validate_checkpoint_meta",
+    "validate_journal_record",
+]

@@ -1,0 +1,969 @@
+"""Runtime invariant auditing ("sanitizer") for the BDD/BFV substrate.
+
+Everything the reproduction claims rests on invariants that are normally
+only *assumed*: ROBDD canonicity in the unique tables, soundness of the
+memoized computed-table entries, and the Section 2.2 canonical-form
+conditions for Boolean functional vectors (union, intersection and the
+fix-point equality test are only correct on canonical vectors).  This
+module makes them checkable while a run is in flight.
+
+The audits are grouped into three domains:
+
+* **BDD manager structure** (:func:`check_bdd_structure`,
+  :func:`check_refcounts`) — no redundant ``lo == hi`` nodes, no
+  duplicate ``(var, lo, hi)`` triples, variable-order monotonicity along
+  every edge, unique-table / slot-array agreement, free-list and
+  allocated-count bookkeeping, external-reference validity and
+  mark-pass / ``count_live`` agreement.
+
+* **Computed-table soundness** (:func:`check_cache_soundness`) — decode
+  a sample of the newest packed-key entries per operation (see
+  :mod:`repro.bdd.cache` for the layouts) and replay them through the
+  seed recursive oracle (``tests/bdd/reference_kernels.py``).  Canonicity
+  makes node-handle equality a complete check.  When the oracle is not
+  importable (installed package without the test tree) a deterministic
+  pointwise fallback evaluates both sides of each entry on enumerated
+  assignments instead.
+
+* **BFV canonicity** (:func:`check_bfv_canonical`,
+  :func:`check_decomposition`) — structural triangular-support and
+  monotonicity conditions, reparameterization idempotence
+  (``from_characteristic(to_characteristic(F)) == F``), the constraint
+  view round-trip through :mod:`repro.bfv.conjunctive`, and
+  range / characteristic agreement by exhaustive enumeration on small
+  instances.
+
+Plus schema validation for persisted harness state
+(:func:`validate_checkpoint_meta`, :func:`validate_journal_record`).
+
+Violations raise :class:`repro.errors.SanitizerError` whose
+``invariant`` attribute carries a stable dotted name (e.g.
+``"bdd.unique_duplicate_triple"``), so tests and triage tooling match on
+the name rather than the message.
+
+:class:`Sanitizer` bundles the audits behind a sampling rate: engines
+construct one per run (via ``RunMonitor``) and call
+:meth:`Sanitizer.audit` once per reachability iteration; the audit runs
+every ``round(1/rate)``-th iteration.  Sampling is deterministic — a
+stride, not a coin flip — so a given rate audits the same iterations on
+every run (the scheduler's byte-identical-output contract extends to
+sanitized runs).
+"""
+
+from __future__ import annotations
+
+from itertools import islice as _islice
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..bdd import cache as _cache
+from ..bdd.manager import FREED_VAR, TERMINAL_LEVEL
+from ..errors import BFVError, SanitizerError
+
+#: Default number of (newest) computed-table entries replayed per
+#: operation per audit pass.
+DEFAULT_CACHE_SAMPLE = 8
+
+#: Vectors at most this wide get the exhaustive range / characteristic
+#: agreement check (2^width evaluations).
+DEFAULT_SMALL_WIDTH = 6
+
+#: Cap on the number of enumerated assignments in the pointwise
+#: fallback replay (oracle unavailable).
+_POINTWISE_SAMPLES = 64
+
+_NODE_MASK = _cache.NODE_MASK
+
+
+def _fail(invariant: str, message: str, iteration: Optional[int] = None) -> None:
+    raise SanitizerError(invariant, message, iteration=iteration)
+
+
+# ----------------------------------------------------------------------
+# BDD manager structure
+# ----------------------------------------------------------------------
+
+
+def check_bdd_structure(bdd, iteration: Optional[int] = None) -> int:
+    """Audit unique-table canonicity and slot-array consistency.
+
+    Returns the number of allocated node slots scanned.  Invariants
+    (dotted names raised on violation):
+
+    * ``bdd.node_count_sync`` — ``_node_count == len(_var) - len(_free)``
+    * ``bdd.level_permutation`` — ``var2level`` / ``level2var`` are
+      inverse permutations and the terminal sentinel is intact
+    * ``bdd.free_list_sync`` — free-list membership matches the
+      ``FREED_VAR`` slot marking, with no duplicates
+    * ``bdd.unique_redundant`` — no node with ``lo == hi``
+    * ``bdd.unique_duplicate_triple`` — no two live slots share a
+      ``(var, lo, hi)`` triple (canonicity)
+    * ``bdd.dangling_child`` — children are allocated, non-freed slots
+    * ``bdd.order_monotone`` — every edge descends in the current order
+    * ``bdd.unique_orphan`` — every live slot is indexed by its
+      variable's unique table
+    * ``bdd.unique_sync`` — every unique-table entry describes its node
+    """
+    var_, lo_, hi_ = bdd._var, bdd._lo, bdd._hi
+    var2level = bdd._var2level
+    unique = bdd._unique
+    n = len(var_)
+    if bdd._node_count != n - len(bdd._free):
+        _fail(
+            "bdd.node_count_sync",
+            "allocated-node counter %d != %d slots - %d free"
+            % (bdd._node_count, n, len(bdd._free)),
+            iteration,
+        )
+    if var2level[-1] != TERMINAL_LEVEL:
+        _fail("bdd.level_permutation", "var2level sentinel lost", iteration)
+    for level, var in enumerate(bdd._level2var):
+        if var2level[var] != level:
+            _fail(
+                "bdd.level_permutation",
+                "level2var[%d] = %d but var2level[%d] = %d"
+                % (level, var, var, var2level[var]),
+                iteration,
+            )
+    free_set = frozenset(bdd._free)
+    if len(free_set) != len(bdd._free):
+        _fail("bdd.free_list_sync", "duplicate slots on the free list", iteration)
+    seen: Dict[Tuple[int, int, int], int] = {}
+    scanned = 0
+    for node in range(2, n):
+        v = var_[node]
+        if v == FREED_VAR:
+            if node not in free_set:
+                _fail(
+                    "bdd.free_list_sync",
+                    "slot %d marked freed but not on the free list" % node,
+                    iteration,
+                )
+            continue
+        if node in free_set:
+            _fail(
+                "bdd.free_list_sync",
+                "slot %d on the free list but not marked freed" % node,
+                iteration,
+            )
+        scanned += 1
+        lo, hi = lo_[node], hi_[node]
+        if lo == hi:
+            _fail(
+                "bdd.unique_redundant",
+                "node %d has lo == hi == %d" % (node, lo),
+                iteration,
+            )
+        triple = (v, lo, hi)
+        other = seen.get(triple)
+        if other is not None:
+            _fail(
+                "bdd.unique_duplicate_triple",
+                "slots %d and %d both hold (var=%d, lo=%d, hi=%d)"
+                % (other, node, v, lo, hi),
+                iteration,
+            )
+        seen[triple] = node
+        if not 0 <= v < len(unique):
+            _fail(
+                "bdd.unique_sync",
+                "node %d labelled with unknown variable %d" % (node, v),
+                iteration,
+            )
+        level = var2level[v]
+        for child in (lo, hi):
+            if child >= n or (child > 1 and var_[child] == FREED_VAR):
+                _fail(
+                    "bdd.dangling_child",
+                    "node %d has dangling child %d" % (node, child),
+                    iteration,
+                )
+            if child > 1 and var2level[var_[child]] <= level:
+                _fail(
+                    "bdd.order_monotone",
+                    "edge %d -> %d does not descend in the order"
+                    % (node, child),
+                    iteration,
+                )
+        if unique[v].get((lo << 32) | hi) != node:
+            _fail(
+                "bdd.unique_orphan",
+                "node %d missing from (or shadowed in) its unique table"
+                % node,
+                iteration,
+            )
+    for v, tab in enumerate(unique):
+        for key, node in tab.items():
+            lo, hi = key >> 32, key & _NODE_MASK
+            if (
+                node >= n
+                or var_[node] != v
+                or lo_[node] != lo
+                or hi_[node] != hi
+            ):
+                _fail(
+                    "bdd.unique_sync",
+                    "unique table for var %d maps (%d, %d) to stale node %d"
+                    % (v, lo, hi, node),
+                    iteration,
+                )
+    return scanned
+
+
+def check_refcounts(
+    bdd, roots: Sequence[int] = (), iteration: Optional[int] = None
+) -> int:
+    """Audit external references and mark-pass / ``count_live`` agreement.
+
+    Returns the live node count.  Invariants:
+
+    * ``bdd.extref_dangling`` — every external reference points at an
+      allocated, non-freed slot with a positive count
+    * ``bdd.mark_freed`` — the mark pass never reaches a freed slot
+    * ``bdd.live_accounting`` — live nodes never exceed allocated nodes
+    * ``bdd.live_count`` — ``count_live`` agrees with an independent
+      mark pass over the same roots
+    """
+    var_ = bdd._var
+    n = len(var_)
+    for node, count in bdd._extref.items():
+        if count <= 0:
+            _fail(
+                "bdd.extref_dangling",
+                "non-positive external refcount %d on node %d"
+                % (count, node),
+                iteration,
+            )
+        if node < 2 or node >= n or var_[node] == FREED_VAR:
+            _fail(
+                "bdd.extref_dangling",
+                "external reference to invalid or freed slot %d" % node,
+                iteration,
+            )
+    roots = tuple(roots)
+    marked = bdd._mark(roots)
+    for node in range(2, n):
+        if marked[node] and var_[node] == FREED_VAR:
+            _fail(
+                "bdd.mark_freed",
+                "mark pass reached freed slot %d (handle held across GC "
+                "without incref?)" % node,
+                iteration,
+            )
+    live = sum(marked)
+    if live > bdd._node_count:
+        _fail(
+            "bdd.live_accounting",
+            "%d live nodes exceed %d allocated" % (live, bdd._node_count),
+            iteration,
+        )
+    counted = bdd.count_live(roots)
+    if counted != live:
+        _fail(
+            "bdd.live_count",
+            "count_live reports %d but the mark pass found %d"
+            % (counted, live),
+            iteration,
+        )
+    return live
+
+
+# ----------------------------------------------------------------------
+# Computed-table soundness (oracle replay)
+# ----------------------------------------------------------------------
+
+_ORACLE: Any = None
+_ORACLE_LOADED = False
+
+
+def _load_oracle() -> Any:
+    """Import the seed recursive kernels (``tests/bdd/reference_kernels``).
+
+    The test tree ships with the repository but not with an installed
+    package; when it is unavailable the cache replay falls back to the
+    pointwise semantic check.  The import is attempted once per process.
+    """
+    global _ORACLE, _ORACLE_LOADED
+    if not _ORACLE_LOADED:
+        _ORACLE_LOADED = True
+        try:
+            from tests.bdd import reference_kernels as oracle  # type: ignore
+
+            _ORACLE = oracle
+        except Exception:
+            _ORACLE = None
+    return _ORACLE
+
+
+def _assignments(
+    variables: Sequence[int],
+) -> Iterable[Dict[int, bool]]:
+    """Deterministic assignment patterns over ``variables``.
+
+    Exhaustive when ``2**len(variables)`` fits the sample budget;
+    otherwise a fixed bit-mixing pattern covers a spread of corners.
+    No randomness — audits must not perturb run determinism.
+    """
+    k = len(variables)
+    if k == 0:
+        yield {}
+        return
+    if k <= 6:
+        for t in range(1 << k):
+            yield {v: bool((t >> j) & 1) for j, v in enumerate(variables)}
+        return
+    for t in range(_POINTWISE_SAMPLES):
+        yield {
+            v: bool(((t >> (j % 6)) ^ (t >> ((j + 3) % 7)) ^ j) & 1)
+            for j, v in enumerate(variables)
+        }
+
+
+def _pointwise_agrees(bdd, nodes: Sequence[int], spec) -> Optional[bool]:
+    """Fallback semantic check: evaluate ``spec`` on enumerated points.
+
+    ``spec(assignment) -> (expected_bool, actual_bool)``; returns False
+    on the first disagreement, True when every sampled point agrees.
+    """
+    support: List[int] = []
+    seen: set = set()
+    for node in nodes:
+        for v in bdd.support(node):
+            if v not in seen:
+                seen.add(v)
+                support.append(v)
+    support.sort()
+    for assignment in _assignments(support):
+        expected, actual = spec(assignment)
+        if expected != actual:
+            return False
+    return True
+
+
+def _replay_fallback(
+    bdd, op: int, key: int, result: int, cube, items
+) -> Optional[bool]:
+    """Pointwise replay of one cache entry without the oracle.
+
+    Returns True/False for checked entries, None for entries whose
+    semantics are not pointwise-checkable here (``constrain`` /
+    ``restrict`` depend on the nearest-point metric, wide
+    quantifications explode).
+    """
+    ev = bdd.evaluate
+    if op == _cache.OP_NOT:
+        f = key
+        return _pointwise_agrees(
+            bdd, (f, result), lambda a: (not ev(f, a), ev(result, a))
+        )
+    if op in (_cache.OP_AND, _cache.OP_OR, _cache.OP_XOR):
+        f, g = key & _NODE_MASK, key >> 32
+        fn = {
+            _cache.OP_AND: lambda x, y: x and y,
+            _cache.OP_OR: lambda x, y: x or y,
+            _cache.OP_XOR: lambda x, y: x != y,
+        }[op]
+        return _pointwise_agrees(
+            bdd,
+            (f, g, result),
+            lambda a: (fn(ev(f, a), ev(g, a)), ev(result, a)),
+        )
+    if op == _cache.OP_ITE:
+        h = key & _NODE_MASK
+        g = (key >> 32) & _NODE_MASK
+        f = key >> 64
+        return _pointwise_agrees(
+            bdd,
+            (f, g, h, result),
+            lambda a: (ev(g, a) if ev(f, a) else ev(h, a), ev(result, a)),
+        )
+    if op in (_cache.OP_EXISTS, _cache.OP_FORALL):
+        if cube is None or len(cube) > 6:
+            return None
+        f = key & _NODE_MASK
+        want_any = op == _cache.OP_EXISTS
+
+        def spec(a: Dict[int, bool]) -> Tuple[bool, bool]:
+            vals = []
+            for patch in _assignments(tuple(cube)):
+                full = dict(a)
+                full.update(patch)
+                vals.append(ev(f, full))
+            expected = any(vals) if want_any else all(vals)
+            return expected, ev(result, a)
+
+        return _pointwise_agrees(bdd, (f, result), spec)
+    if op == _cache.OP_AND_EXISTS:
+        if cube is None or len(cube) > 6:
+            return None
+        f = key & _NODE_MASK
+        g = (key >> 32) & _NODE_MASK
+
+        def spec(a: Dict[int, bool]) -> Tuple[bool, bool]:
+            hit = False
+            for patch in _assignments(tuple(cube)):
+                full = dict(a)
+                full.update(patch)
+                if ev(f, full) and ev(g, full):
+                    hit = True
+                    break
+            return hit, ev(result, a)
+
+        return _pointwise_agrees(bdd, (f, g, result), spec)
+    if op == _cache.OP_COFACTOR:
+        f = key & _NODE_MASK
+        value = bool((key >> 32) & 1)
+        var = key >> 33
+
+        def spec(a: Dict[int, bool]) -> Tuple[bool, bool]:
+            full = dict(a)
+            full[var] = value
+            return ev(f, full), ev(result, a)
+
+        return _pointwise_agrees(bdd, (f, result), spec)
+    if op == _cache.OP_COFACTOR_CUBE:
+        if items is None:
+            return None
+        f = key & _NODE_MASK
+        fixed = dict(items)
+
+        def spec(a: Dict[int, bool]) -> Tuple[bool, bool]:
+            full = dict(a)
+            full.update(fixed)
+            return ev(f, full), ev(result, a)
+
+        return _pointwise_agrees(bdd, (f, result), spec)
+    if op == _cache.OP_COMPOSE:
+        f = key & _NODE_MASK
+        g = (key >> 32) & _NODE_MASK
+        var = key >> 64
+
+        def spec(a: Dict[int, bool]) -> Tuple[bool, bool]:
+            full = dict(a)
+            full[var] = ev(g, a)
+            return ev(f, full), ev(result, a)
+
+        return _pointwise_agrees(bdd, (f, g, result), spec)
+    return None  # constrain / restrict: not pointwise-definable
+
+
+def check_cache_soundness(
+    bdd,
+    sample: int = DEFAULT_CACHE_SAMPLE,
+    iteration: Optional[int] = None,
+) -> Tuple[int, int]:
+    """Replay a sample of computed-table entries against the oracle.
+
+    Decodes the ``sample`` newest packed-key entries of every
+    per-operation table (newest because they are the ones produced since
+    the previous audit) and recomputes each through the seed recursive
+    kernels.  Canonicity makes node-handle equality a complete check.
+    Returns ``(replayed, skipped)``.  Invariants:
+
+    * ``bdd.cache_freed_operand`` — no entry references a freed or
+      out-of-range node slot
+    * ``bdd.cache_replay`` — every replayed entry reproduces its cached
+      result (an undecodable key also lands here)
+    """
+    oracle = _load_oracle()
+    var_ = bdd._var
+    n = len(var_)
+    num_vars = len(bdd._names)
+    cube_by_id = {cid: cube for cube, cid in bdd._cube_ids.items()}
+    items_by_id = {iid: items for items, iid in bdd._item_ids.items()}
+    replayed = skipped = 0
+
+    def alive(node: int) -> bool:
+        return 0 <= node < n and (node < 2 or var_[node] != FREED_VAR)
+
+    def check_alive(op: int, key: int, nodes: Sequence[int]) -> None:
+        for node in nodes:
+            if not alive(node):
+                _fail(
+                    "bdd.cache_freed_operand",
+                    "%s entry 0x%x references freed/invalid node %d"
+                    % (_cache.OP_NAMES[op], key, node),
+                    iteration,
+                )
+
+    def check_var(op: int, key: int, var: int) -> bool:
+        if not 0 <= var < num_vars:
+            _fail(
+                "bdd.cache_replay",
+                "%s entry 0x%x encodes unknown variable %d"
+                % (_cache.OP_NAMES[op], key, var),
+                iteration,
+            )
+        return True
+
+    for op in range(_cache.N_OPS):
+        table = bdd._ctables[op]
+        if not table:
+            continue
+        # Dict views iterate in insertion order and are reversible, so
+        # this walks only the newest ``sample`` entries.
+        entries = list(_islice(reversed(table.items()), sample))
+        for key, result in entries:
+            cube = items = None
+            expected: Optional[int] = None
+            try:
+                if op == _cache.OP_NOT:
+                    f = key
+                    check_alive(op, key, (f, result))
+                    if oracle is not None:
+                        expected = oracle.not_(bdd, f)
+                elif op in (_cache.OP_AND, _cache.OP_OR, _cache.OP_XOR):
+                    f, g = key & _NODE_MASK, key >> 32
+                    check_alive(op, key, (f, g, result))
+                    if oracle is not None:
+                        fn = (
+                            oracle.and_
+                            if op == _cache.OP_AND
+                            else oracle.or_ if op == _cache.OP_OR else oracle.xor
+                        )
+                        expected = fn(bdd, f, g)
+                elif op == _cache.OP_ITE:
+                    h = key & _NODE_MASK
+                    g = (key >> 32) & _NODE_MASK
+                    f = key >> 64
+                    check_alive(op, key, (f, g, h, result))
+                    if oracle is not None:
+                        expected = oracle.ite(bdd, f, g, h)
+                elif op in (_cache.OP_EXISTS, _cache.OP_FORALL):
+                    f = key & _NODE_MASK
+                    index = (key >> 32) & _NODE_MASK
+                    cid = key >> 64
+                    check_alive(op, key, (f, result))
+                    full = cube_by_id.get(cid)
+                    if full is None or index > len(full):
+                        skipped += 1
+                        continue
+                    cube = full[index:]
+                    if oracle is not None:
+                        fn = (
+                            oracle.exists
+                            if op == _cache.OP_EXISTS
+                            else oracle.forall
+                        )
+                        expected = fn(bdd, f, list(cube))
+                elif op == _cache.OP_AND_EXISTS:
+                    f = key & _NODE_MASK
+                    g = (key >> 32) & _NODE_MASK
+                    index = (key >> 64) & _NODE_MASK
+                    cid = key >> 96
+                    check_alive(op, key, (f, g, result))
+                    full = cube_by_id.get(cid)
+                    if full is None or index > len(full):
+                        skipped += 1
+                        continue
+                    cube = full[index:]
+                    if oracle is not None:
+                        expected = oracle.and_exists(bdd, f, g, list(cube))
+                elif op == _cache.OP_COFACTOR:
+                    f = key & _NODE_MASK
+                    value = bool((key >> 32) & 1)
+                    var = key >> 33
+                    check_alive(op, key, (f, result))
+                    check_var(op, key, var)
+                    if oracle is not None:
+                        expected = oracle.cofactor(bdd, f, var, value)
+                elif op == _cache.OP_COFACTOR_CUBE:
+                    f = key & _NODE_MASK
+                    index = (key >> 32) & _NODE_MASK
+                    iid = key >> 64
+                    check_alive(op, key, (f, result))
+                    full_items = items_by_id.get(iid)
+                    if full_items is None or index > len(full_items):
+                        skipped += 1
+                        continue
+                    items = full_items[index:]
+                    if oracle is not None:
+                        expected = oracle.cofactor_cube(bdd, f, dict(items))
+                elif op in (_cache.OP_CONSTRAIN, _cache.OP_RESTRICT):
+                    f = key & _NODE_MASK
+                    c = key >> 32
+                    check_alive(op, key, (f, c, result))
+                    if c == 0:
+                        _fail(
+                            "bdd.cache_replay",
+                            "%s entry cached for the empty care set"
+                            % _cache.OP_NAMES[op],
+                            iteration,
+                        )
+                    if oracle is not None:
+                        fn = (
+                            oracle.constrain
+                            if op == _cache.OP_CONSTRAIN
+                            else oracle.restrict
+                        )
+                        expected = fn(bdd, f, c)
+                else:  # OP_COMPOSE
+                    f = key & _NODE_MASK
+                    g = (key >> 32) & _NODE_MASK
+                    var = key >> 64
+                    check_alive(op, key, (f, g, result))
+                    check_var(op, key, var)
+                    if oracle is not None:
+                        expected = oracle.compose(bdd, f, var, g)
+                if oracle is None:
+                    agrees = _replay_fallback(bdd, op, key, result, cube, items)
+                    if agrees is None:
+                        skipped += 1
+                        continue
+                    if not agrees:
+                        _fail(
+                            "bdd.cache_replay",
+                            "%s entry 0x%x disagrees with pointwise "
+                            "evaluation (cached node %d)"
+                            % (_cache.OP_NAMES[op], key, result),
+                            iteration,
+                        )
+                    replayed += 1
+                    continue
+            except RecursionError:
+                skipped += 1
+                continue
+            if expected != result:
+                _fail(
+                    "bdd.cache_replay",
+                    "%s entry 0x%x cached node %d but the oracle "
+                    "recomputes node %d"
+                    % (_cache.OP_NAMES[op], key, result, expected),
+                    iteration,
+                )
+            replayed += 1
+    # The oracle memoizes in a per-manager dict that GC never sweeps;
+    # drop it so stale handles cannot leak into later replays (and so
+    # the audit leaves no hidden node roots behind).
+    ref_cache = getattr(bdd, "_reference_cache", None)
+    if ref_cache is not None:
+        ref_cache.clear()
+    return replayed, skipped
+
+
+# ----------------------------------------------------------------------
+# BFV canonicity (paper Sec 2.2)
+# ----------------------------------------------------------------------
+
+
+def check_bfv_canonical(
+    vector,
+    iteration: Optional[int] = None,
+    small_width: int = DEFAULT_SMALL_WIDTH,
+) -> None:
+    """Audit one Boolean functional vector for canonical form.
+
+    Invariants:
+
+    * ``bfv.structure`` — triangular support and per-component
+      monotonicity in the own choice variable (Sec 2.2 conditions)
+    * ``bfv.reparam_idempotent`` — reparameterizing the vector's own
+      range reproduces it component-for-component
+      (``from_characteristic(to_characteristic(F)) == F``)
+    * ``bfv.constraint_structure`` — the Sec 2.7 constraint view is a
+      valid canonical conjunctive decomposition
+    * ``bfv.constraint_roundtrip`` — the constraint view maps back to
+      the identical vector
+    * ``bfv.range_agreement`` — on widths up to ``small_width``, the
+      enumerated members, the characteristic function and the selection
+      fixed-point property all agree, and every choice assignment
+      selects a member
+    """
+    from ..bfv.conjunctive import ConjunctiveDecomposition
+    from ..bfv.vector import BFV
+
+    if vector is None or vector.is_empty:
+        return
+    bdd = vector.bdd
+    try:
+        vector.check_structure()
+    except BFVError as exc:
+        _fail("bfv.structure", str(exc), iteration)
+    try:
+        chi = vector.to_characteristic()
+        rebuilt = BFV.from_characteristic(bdd, vector.choice_vars, chi)
+    except BFVError as exc:
+        _fail("bfv.reparam_idempotent", str(exc), iteration)
+    if rebuilt.components != vector.components:
+        _fail(
+            "bfv.reparam_idempotent",
+            "reparameterize(F) != F: components %s became %s"
+            % (vector.components, rebuilt.components),
+            iteration,
+        )
+    decomposition = ConjunctiveDecomposition.from_bfv(vector)
+    try:
+        decomposition.check_structure()
+    except BFVError as exc:
+        _fail("bfv.constraint_structure", str(exc), iteration)
+    back = decomposition.to_bfv()
+    if back.components != vector.components:
+        _fail(
+            "bfv.constraint_roundtrip",
+            "constraint-view round trip changed components %s to %s"
+            % (vector.components, back.components),
+            iteration,
+        )
+    if vector.width <= small_width:
+        members = set(vector.enumerate())
+        for point in _all_points(vector.width):
+            assignment = {
+                v: b for v, b in zip(vector.choice_vars, point)
+            }
+            in_chi = bdd.evaluate(chi, assignment)
+            selected = vector.select(point)
+            if (point in members) != in_chi:
+                _fail(
+                    "bfv.range_agreement",
+                    "point %s: enumeration and characteristic function "
+                    "disagree" % (point,),
+                    iteration,
+                )
+            if selected not in members:
+                _fail(
+                    "bfv.range_agreement",
+                    "choice %s selects non-member %s" % (point, selected),
+                    iteration,
+                )
+            if in_chi and selected != point:
+                _fail(
+                    "bfv.range_agreement",
+                    "member %s is not a selection fixed point (maps to %s)"
+                    % (point, selected),
+                    iteration,
+                )
+
+
+def _all_points(width: int) -> Iterable[Tuple[bool, ...]]:
+    for t in range(1 << width):
+        yield tuple(
+            bool((t >> (width - 1 - j)) & 1) for j in range(width)
+        )
+
+
+def check_decomposition(
+    decomposition, iteration: Optional[int] = None
+) -> None:
+    """Audit a conjunctive decomposition's canonical structure.
+
+    Invariants: ``bfv.constraint_structure`` (triangular support and
+    per-prefix satisfiability) and ``bfv.constraint_roundtrip`` (the
+    evaluation-view vector maps back to the identical constraint list).
+    """
+    from ..bfv.conjunctive import ConjunctiveDecomposition
+
+    if decomposition is None or decomposition.is_empty:
+        return
+    try:
+        decomposition.check_structure()
+    except BFVError as exc:
+        _fail("bfv.constraint_structure", str(exc), iteration)
+    back = ConjunctiveDecomposition.from_bfv(decomposition.to_bfv())
+    if back.parts != decomposition.parts:
+        _fail(
+            "bfv.constraint_roundtrip",
+            "evaluation-view round trip changed parts %s to %s"
+            % (decomposition.parts, back.parts),
+            iteration,
+        )
+
+
+# ----------------------------------------------------------------------
+# Persisted-state schemas
+# ----------------------------------------------------------------------
+
+_CHECKPOINT_META_STR = ("engine", "circuit", "order")
+_CHECKPOINT_META_LIST = ("functions", "vectors")
+
+
+def validate_checkpoint_meta(
+    meta: Mapping[str, Any], path: Optional[str] = None
+) -> None:
+    """Validate a checkpoint metadata record against its schema.
+
+    Raises ``SanitizerError("checkpoint.schema", ...)`` when a required
+    field is missing or ill-typed.  Runs on checkpoint load when the
+    sanitizer is active (the loader's own checks only cover identity
+    fields; this pins the full shape).
+    """
+    where = " in %s" % path if path else ""
+
+    def bad(detail: str) -> None:
+        _fail("checkpoint.schema", detail + where)
+
+    if not isinstance(meta, Mapping):
+        bad("checkpoint meta is not a mapping")
+    for field in _CHECKPOINT_META_STR:
+        if not isinstance(meta.get(field), str):
+            bad("field %r missing or not a string" % field)
+    iteration = meta.get("iteration")
+    if not isinstance(iteration, int) or isinstance(iteration, bool):
+        bad("field 'iteration' missing or not an integer")
+    elif iteration < 0:
+        bad("field 'iteration' is negative")
+    for field in _CHECKPOINT_META_LIST:
+        value = meta.get(field)
+        if not isinstance(value, list) or not all(
+            isinstance(name, str) for name in value
+        ):
+            bad("field %r missing or not a list of names" % field)
+    counters = meta.get("counters")
+    if counters is not None and not isinstance(counters, dict):
+        bad("field 'counters' is not a mapping")
+
+
+def validate_journal_record(
+    record: Mapping[str, Any], line: Optional[int] = None
+) -> None:
+    """Validate one journal record against the attempt-record schema.
+
+    Raises ``SanitizerError("journal.schema", ...)``.  Every record must
+    be a JSON object with a string ``event`` discriminator and a numeric
+    ``wall`` stamp; attempt-shaped events additionally need string
+    ``engine`` / ``circuit`` fields.
+    """
+    where = "" if line is None else " (journal line %d)" % line
+
+    def bad(detail: str) -> None:
+        _fail("journal.schema", detail + where)
+
+    if not isinstance(record, Mapping):
+        bad("journal record is not a JSON object")
+    event = record.get("event")
+    if not isinstance(event, str) or not event:
+        bad("field 'event' missing or not a string")
+    wall = record.get("wall")
+    if wall is not None and not isinstance(wall, (int, float)):
+        bad("field 'wall' is not a number")
+    if event in ("attempt", "fallback_attempt"):
+        for field in ("engine", "circuit"):
+            if not isinstance(record.get(field), str):
+                bad("field %r missing or not a string" % field)
+
+
+# ----------------------------------------------------------------------
+# The per-run sanitizer
+# ----------------------------------------------------------------------
+
+
+class Sanitizer:
+    """Sampling-rate-controlled audit driver for one reachability run.
+
+    Parameters
+    ----------
+    bdd:
+        The manager under audit.
+    rate:
+        Sampling rate in ``(0, 1]``: audits run on every
+        ``round(1/rate)``-th iteration (deterministic stride, iteration
+        0 always audited).  ``1.0`` audits every iteration.
+    cache_sample:
+        Newest computed-table entries replayed per operation per audit.
+    small_width:
+        Width bound for the exhaustive BFV range check.
+    """
+
+    def __init__(
+        self,
+        bdd,
+        rate: float = 1.0,
+        cache_sample: int = DEFAULT_CACHE_SAMPLE,
+        small_width: int = DEFAULT_SMALL_WIDTH,
+    ) -> None:
+        rate = float(rate)
+        if not 0.0 < rate <= 1.0:
+            raise SanitizerError(
+                "sanitizer.rate",
+                "sampling rate must be in (0, 1], got %r" % rate,
+            )
+        self.bdd = bdd
+        self.rate = rate
+        self.stride = max(1, int(round(1.0 / rate)))
+        self.cache_sample = cache_sample
+        self.small_width = small_width
+        self.counts: Dict[str, int] = {
+            "audits": 0,
+            "nodes_scanned": 0,
+            "cache_replayed": 0,
+            "cache_skipped": 0,
+            "vectors_audited": 0,
+            "decompositions_audited": 0,
+            "checkpoints_validated": 0,
+            "journal_records_validated": 0,
+        }
+
+    def should_audit(self, iteration: int) -> bool:
+        """True when the stride lands on ``iteration``."""
+        return iteration % self.stride == 0
+
+    def audit(
+        self,
+        iteration: int,
+        roots: Sequence[int] = (),
+        vectors: Sequence[Any] = (),
+        decompositions: Sequence[Any] = (),
+    ) -> bool:
+        """Run one full audit pass if the stride selects ``iteration``.
+
+        ``roots`` are extra GC roots for the refcount audit (matching
+        what the engine would pass to ``collect_garbage``); ``vectors``
+        are the BFVs and ``decompositions`` the conjunctive
+        decompositions currently accumulated by the engine.  Returns
+        True when a pass actually ran.
+        """
+        if not self.should_audit(iteration):
+            return False
+        bdd = self.bdd
+        counts = self.counts
+        # Audits replay kernels and rebuild characteristic functions,
+        # which allocates scratch nodes; a hard node budget must meter
+        # the run, not the auditor.
+        saved_limit = bdd.node_limit
+        bdd.node_limit = None
+        try:
+            counts["nodes_scanned"] += check_bdd_structure(bdd, iteration)
+            check_refcounts(bdd, roots, iteration)
+            replayed, skipped = check_cache_soundness(
+                bdd, self.cache_sample, iteration
+            )
+            counts["cache_replayed"] += replayed
+            counts["cache_skipped"] += skipped
+            for vector in vectors:
+                if vector is None:
+                    continue
+                check_bfv_canonical(vector, iteration, self.small_width)
+                counts["vectors_audited"] += 1
+            for decomposition in decompositions:
+                if decomposition is None:
+                    continue
+                check_decomposition(decomposition, iteration)
+                counts["decompositions_audited"] += 1
+        finally:
+            bdd.node_limit = saved_limit
+        counts["audits"] += 1
+        return True
+
+    def validate_checkpoint(self, meta: Mapping[str, Any], path: Optional[str] = None) -> None:
+        """Schema-validate loaded checkpoint metadata (counts the pass)."""
+        validate_checkpoint_meta(meta, path)
+        self.counts["checkpoints_validated"] += 1
+
+    def validate_journal(self, record: Mapping[str, Any], line: Optional[int] = None) -> None:
+        """Schema-validate one journal record (counts the pass)."""
+        validate_journal_record(record, line)
+        self.counts["journal_records_validated"] += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe audit counters for ``ReachResult.extra['sanitizer']``."""
+        out: Dict[str, Any] = dict(self.counts)
+        out["rate"] = self.rate
+        out["stride"] = self.stride
+        return out

@@ -151,7 +151,9 @@ def evict_half(table: Dict[int, int], st: List[int]) -> int:
     return dropped
 
 
-def sweep(tables: List[Dict[int, int]], stats: List[List[int]], marked) -> int:
+def sweep(
+    tables: List[Dict[int, int]], stats: List[List[int]], marked: bytearray
+) -> int:
     """Drop entries that reference any non-live node; keep the rest.
 
     ``marked`` is the GC mark bytearray (index = node handle).  Live

@@ -20,7 +20,7 @@ and threads an index through it, mirroring the quantification kernels.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from ..errors import BDDError
 from . import operations as _operations
@@ -32,8 +32,11 @@ from .cache import (
     evict_half,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .manager import BDD
 
-def cofactor(m, f: int, var: int, value: bool) -> int:
+
+def cofactor(m: "BDD", f: int, var: int, value: bool) -> int:
     """Shannon cofactor ``f|var=value``."""
     m.op_count += 1
     if f < 2:
@@ -103,7 +106,7 @@ def cofactor(m, f: int, var: int, value: bool) -> int:
     return vals[-1]
 
 
-def cofactor2(m, f: int, var: int) -> Tuple[int, int]:
+def cofactor2(m: "BDD", f: int, var: int) -> Tuple[int, int]:
     """Both Shannon cofactors ``(f|var=0, f|var=1)`` in one traversal.
 
     The two cofactors share every node of ``f`` above ``var``'s level;
@@ -136,7 +139,7 @@ def cofactor2(m, f: int, var: int) -> Tuple[int, int]:
     mk = m._mk
     limit = m.cache_limit
 
-    def resolve(c):
+    def resolve(c: int) -> Optional[Tuple[int, int]]:
         """Result pair for child ``c``, or None when it needs a task."""
         if c < 2 or lvl[var_[c]] > lvl_var:
             return c, c
@@ -212,7 +215,7 @@ def cofactor2(m, f: int, var: int) -> Tuple[int, int]:
     return vals[-1]
 
 
-def _intern_items(m, items: Tuple[Tuple[int, bool], ...]) -> int:
+def _intern_items(m: "BDD", items: Tuple[Tuple[int, bool], ...]) -> int:
     """Small integer id for a level-sorted literal tuple (per manager)."""
     ids = m._item_ids
     iid = ids.get(items)
@@ -222,7 +225,7 @@ def _intern_items(m, items: Tuple[Tuple[int, bool], ...]) -> int:
     return iid
 
 
-def cofactor_cube(m, f: int, assignment: Dict[int, bool]) -> int:
+def cofactor_cube(m: "BDD", f: int, assignment: Dict[int, bool]) -> int:
     """Cofactor ``f`` by a conjunction of literals ``{var: value}``."""
     m.op_count += 1
     if f < 2 or not assignment:
@@ -302,7 +305,7 @@ def cofactor_cube(m, f: int, assignment: Dict[int, bool]) -> int:
     return vals[-1]
 
 
-def constrain(m, f: int, c: int) -> int:
+def constrain(m: "BDD", f: int, c: int) -> int:
     """Generalized cofactor ``f ↓ c`` (Coudert-Berthet-Madre).
 
     Requires ``c != FALSE``.  Satisfies ``constrain(f, c) AND c == f AND c``
@@ -385,7 +388,7 @@ def constrain(m, f: int, c: int) -> int:
     return vals[-1]
 
 
-def restrict(m, f: int, c: int) -> int:
+def restrict(m: "BDD", f: int, c: int) -> int:
     """Coudert-Madre ``restrict``: a don't-care minimization of ``f``.
 
     Agrees with ``f`` wherever ``c`` holds and is chosen to (heuristically)

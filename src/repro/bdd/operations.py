@@ -32,10 +32,15 @@ consumed.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
 from .cache import OP_AND, OP_ITE, OP_NOT, OP_OR, OP_XOR, evict_half
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .manager import BDD
 
-def not_(m, f: int) -> int:
+
+def not_(m: "BDD", f: int) -> int:
     """Negation of ``f`` (iterative)."""
     m.op_count += 1
     if f < 2:
@@ -106,7 +111,7 @@ def not_(m, f: int) -> int:
     return vals[-1]
 
 
-def _apply2(m, op: int, f: int, g: int) -> int:
+def _apply2(m: "BDD", op: int, f: int, g: int) -> int:
     """Shared iterative apply driver for the commutative binary ops.
 
     ``op`` is one of ``OP_AND`` / ``OP_OR`` / ``OP_XOR``; operand pairs
@@ -341,25 +346,25 @@ def _apply2(m, op: int, f: int, g: int) -> int:
     return vals[-1]
 
 
-def and_(m, f: int, g: int) -> int:
+def and_(m: "BDD", f: int, g: int) -> int:
     """Conjunction of ``f`` and ``g``."""
     m.op_count += 1
     return _apply2(m, OP_AND, f, g)
 
 
-def or_(m, f: int, g: int) -> int:
+def or_(m: "BDD", f: int, g: int) -> int:
     """Disjunction of ``f`` and ``g``."""
     m.op_count += 1
     return _apply2(m, OP_OR, f, g)
 
 
-def xor(m, f: int, g: int) -> int:
+def xor(m: "BDD", f: int, g: int) -> int:
     """Exclusive-or of ``f`` and ``g``."""
     m.op_count += 1
     return _apply2(m, OP_XOR, f, g)
 
 
-def _ite_shallow(m, f: int, g: int, h: int):
+def _ite_shallow(m: "BDD", f: int, g: int, h: int) -> Optional[int]:
     """Standard ITE simplifications; a node, or None when none apply.
 
     Falls back to the two-operand kernels where possible so their
@@ -390,7 +395,7 @@ def _ite_shallow(m, f: int, g: int, h: int):
     return None
 
 
-def ite(m, f: int, g: int, h: int) -> int:
+def ite(m: "BDD", f: int, g: int, h: int) -> int:
     """If-then-else ``(f AND g) OR (NOT f AND h)`` (iterative)."""
     m.op_count += 1
     res = _ite_shallow(m, f, g, h)

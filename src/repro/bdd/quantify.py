@@ -22,13 +22,16 @@ like the classic recursive formulation.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import TYPE_CHECKING, Sequence, Tuple
 
 from . import operations as _operations
 from .cache import OP_AND_EXISTS, OP_EXISTS, OP_FORALL, evict_half
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .manager import BDD
 
-def _sorted_cube(m, variables: Sequence[int]) -> Tuple[int, ...]:
+
+def _sorted_cube(m: "BDD", variables: Sequence[int]) -> Tuple[int, ...]:
     """Deduplicate and sort variables by their current level.
 
     Quantified variable lists carry no polarity, so duplicates (also by
@@ -39,7 +42,7 @@ def _sorted_cube(m, variables: Sequence[int]) -> Tuple[int, ...]:
     return tuple(sorted(set(variables), key=lvl.__getitem__))
 
 
-def _intern_cube(m, cube: Tuple[int, ...]) -> int:
+def _intern_cube(m: "BDD", cube: Tuple[int, ...]) -> int:
     """Small integer id for a level-sorted cube tuple (per manager)."""
     ids = m._cube_ids
     cid = ids.get(cube)
@@ -49,7 +52,7 @@ def _intern_cube(m, cube: Tuple[int, ...]) -> int:
     return cid
 
 
-def exists(m, f: int, variables: Sequence[int]) -> int:
+def exists(m: "BDD", f: int, variables: Sequence[int]) -> int:
     """Existentially quantify ``variables`` out of ``f``."""
     cube = _sorted_cube(m, variables)
     if not cube or f < 2:
@@ -58,7 +61,7 @@ def exists(m, f: int, variables: Sequence[int]) -> int:
     return _exists(m, f, cube, 0)
 
 
-def _exists(m, f: int, cube: Tuple[int, ...], start: int) -> int:
+def _exists(m: "BDD", f: int, cube: Tuple[int, ...], start: int) -> int:
     m.op_count += 1
     if f < 2:
         return f
@@ -147,7 +150,7 @@ def _exists(m, f: int, cube: Tuple[int, ...], start: int) -> int:
     return vals[-1]
 
 
-def forall(m, f: int, variables: Sequence[int]) -> int:
+def forall(m: "BDD", f: int, variables: Sequence[int]) -> int:
     """Universally quantify ``variables`` out of ``f``."""
     cube = _sorted_cube(m, variables)
     if not cube or f < 2:
@@ -156,7 +159,7 @@ def forall(m, f: int, variables: Sequence[int]) -> int:
     return _forall(m, f, cube, 0)
 
 
-def _forall(m, f: int, cube: Tuple[int, ...], start: int) -> int:
+def _forall(m: "BDD", f: int, cube: Tuple[int, ...], start: int) -> int:
     m.op_count += 1
     if f < 2:
         return f
@@ -241,7 +244,7 @@ def _forall(m, f: int, cube: Tuple[int, ...], start: int) -> int:
     return vals[-1]
 
 
-def and_exists(m, f: int, g: int, variables: Sequence[int]) -> int:
+def and_exists(m: "BDD", f: int, g: int, variables: Sequence[int]) -> int:
     """Relational product: ``EXISTS variables . f AND g`` in one pass."""
     cube = _sorted_cube(m, variables)
     if not cube:
@@ -249,7 +252,7 @@ def and_exists(m, f: int, g: int, variables: Sequence[int]) -> int:
     return _and_exists(m, f, g, cube)
 
 
-def _and_exists(m, f: int, g: int, cube: Tuple[int, ...]) -> int:
+def _and_exists(m: "BDD", f: int, g: int, cube: Tuple[int, ...]) -> int:
     m.op_count += 1
     table = m._ctables[OP_AND_EXISTS]
     st = m._cstats[OP_AND_EXISTS]

@@ -18,14 +18,17 @@ depend on the whole (unhashable) mapping.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import TYPE_CHECKING, Dict
 
 from . import operations as _operations
 from . import traversal as _traversal
 from .cache import OP_COMPOSE, evict_half
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .manager import BDD
 
-def compose(m, f: int, var: int, g: int) -> int:
+
+def compose(m: "BDD", f: int, var: int, g: int) -> int:
     """Substitute function ``g`` for variable ``var`` in ``f``."""
     m.op_count += 1
     if f < 2:
@@ -87,7 +90,7 @@ def compose(m, f: int, var: int, g: int) -> int:
     return vals[-1]
 
 
-def vector_compose(m, f: int, mapping: Dict[int, int]) -> int:
+def vector_compose(m: "BDD", f: int, mapping: Dict[int, int]) -> int:
     """Simultaneously substitute ``mapping[var]`` for each variable.
 
     Variables absent from ``mapping`` are left untouched.  The substitution
@@ -136,7 +139,7 @@ def vector_compose(m, f: int, mapping: Dict[int, int]) -> int:
     return vals[-1]
 
 
-def rename(m, f: int, var_map: Dict[int, int]) -> int:
+def rename(m: "BDD", f: int, var_map: Dict[int, int]) -> int:
     """Rename variables of ``f``: each key variable becomes its value.
 
     Uses a fast monotone rebuild when the renaming preserves the relative
@@ -169,7 +172,7 @@ def rename(m, f: int, var_map: Dict[int, int]) -> int:
     return vector_compose(m, f, literal_map)
 
 
-def _rename_monotone(m, f: int, var_map: Dict[int, int]) -> int:
+def _rename_monotone(m: "BDD", f: int, var_map: Dict[int, int]) -> int:
     m.op_count += 1
     var_, lo_, hi_ = m._var, m._lo, m._hi
     mk = m._mk

@@ -31,8 +31,13 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from typing import TYPE_CHECKING
+
 from ..errors import BFVError, EmptySetError
 from .vector import BFV
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..bdd.manager import BDD
 
 
 class ConjunctiveDecomposition:
@@ -47,7 +52,7 @@ class ConjunctiveDecomposition:
 
     def __init__(
         self,
-        bdd,
+        bdd: "BDD",
         choice_vars: Sequence[int],
         parts: Optional[Sequence[int]],
         validate: bool = True,
@@ -136,7 +141,7 @@ class ConjunctiveDecomposition:
 
     @classmethod
     def from_characteristic(
-        cls, bdd, choice_vars: Sequence[int], chi: int
+        cls, bdd: "BDD", choice_vars: Sequence[int], chi: int
     ) -> "ConjunctiveDecomposition":
         """Canonical decomposition of ``{X : chi(X)}`` (via parameterization)."""
         from . import build as _build
@@ -268,7 +273,7 @@ class ConjunctiveDecomposition:
         ):
             raise BFVError("operands live on different choice variables")
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, ConjunctiveDecomposition):
             return NotImplemented
         return (
@@ -290,7 +295,7 @@ class ConjunctiveDecomposition:
 
 
 def mcmillan_from_characteristic(
-    bdd, choice_vars: Sequence[int], chi: int
+    bdd: "BDD", choice_vars: Sequence[int], chi: int
 ) -> ConjunctiveDecomposition:
     """McMillan's original construction of the canonical decomposition.
 
@@ -316,7 +321,7 @@ def mcmillan_from_characteristic(
 
 
 def _normalize_parts(
-    bdd, choice_vars: Sequence[int], raw: Sequence[int]
+    bdd: "BDD", choice_vars: Sequence[int], raw: Sequence[int]
 ) -> Optional[List[int]]:
     """Canonicalize triangular constraint parts.
 

@@ -27,7 +27,12 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from typing import TYPE_CHECKING
+
 from ..errors import BFVError, EmptySetError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..bdd.manager import BDD
 
 
 class BFV:
@@ -54,7 +59,7 @@ class BFV:
 
     def __init__(
         self,
-        bdd,
+        bdd: "BDD",
         choice_vars: Sequence[int],
         components: Optional[Sequence[int]],
         validate: bool = True,
@@ -165,29 +170,43 @@ class BFV:
             return
         bdd = self.bdd
         comps = self.components
+        choice_vars = self.choice_vars
         n = self.width
+        if n == 0:
+            yield ()
+            return
 
-        def recurse(index: int, assignment: Dict[int, bool]) -> Iterator[Tuple[bool, ...]]:
-            if index == n:
-                yield tuple(assignment[v] for v in self.choice_vars)
-                return
-            v = comps[index]
-            f_here = bdd.cofactor_cube(v, assignment)
-            var = self.choice_vars[index]
-            f0, f1 = bdd.cofactors(f_here, var)
-            # Possible bit values given the prefix: forced-one iff f0 is
-            # TRUE, forced-zero iff f1 is FALSE, free otherwise.
+        # Possible bit values given the prefix: forced-one iff f0 is
+        # TRUE, forced-zero iff f1 is FALSE, free otherwise.  Appended
+        # True-first so pop() explores False before True (ascending
+        # weighted order).  Explicit DFS stack rather than an inner
+        # recursive generator: a self-referential closure is a reference
+        # cycle that keeps the vector — and its component increfs —
+        # alive until the cyclic collector happens to run.
+        def branch_values(index: int, assignment: Dict[int, bool]) -> List[bool]:
+            f_here = bdd.cofactor_cube(comps[index], assignment)
+            f0, f1 = bdd.cofactors(f_here, choice_vars[index])
             values: List[bool] = []
-            if f0 != bdd.true or f1 == bdd.false:
-                values.append(False)
             if f1 != bdd.false:
                 values.append(True)
-            for value in values:
-                assignment[var] = value
-                yield from recurse(index + 1, assignment)
-            del assignment[var]
+            if f0 != bdd.true or f1 == bdd.false:
+                values.append(False)
+            return values
 
-        yield from recurse(0, {})
+        assignment: Dict[int, bool] = {}
+        pending: List[List[bool]] = [branch_values(0, assignment)]
+        while pending:
+            index = len(pending) - 1
+            values = pending[-1]
+            if not values:
+                pending.pop()
+                assignment.pop(choice_vars[index], None)
+                continue
+            assignment[choice_vars[index]] = values.pop()
+            if index + 1 == n:
+                yield tuple(assignment[v] for v in choice_vars)
+            else:
+                pending.append(branch_values(index + 1, assignment))
 
     def count(self) -> int:
         """Number of members of the set (exact)."""
@@ -230,7 +249,7 @@ class BFV:
             and self.choice_vars == other.choice_vars
         )
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, BFV):
             return NotImplemented
         if not self.same_space(other):
@@ -294,7 +313,7 @@ class BFV:
 
         return _ops.consensus(self, index)
 
-    def project(self, keep_indices) -> "BFV":
+    def project(self, keep_indices: Iterable[int]) -> "BFV":
         """Smooth away every bit not in ``keep_indices``."""
         from . import ops as _ops
 
@@ -317,18 +336,20 @@ class BFV:
     # ------------------------------------------------------------------
 
     @classmethod
-    def empty(cls, bdd, choice_vars: Sequence[int]) -> "BFV":
+    def empty(cls, bdd: "BDD", choice_vars: Sequence[int]) -> "BFV":
         """The empty set (special-cased; no vector exists for it)."""
         return cls(bdd, choice_vars, None)
 
     @classmethod
-    def universe(cls, bdd, choice_vars: Sequence[int]) -> "BFV":
+    def universe(cls, bdd: "BDD", choice_vars: Sequence[int]) -> "BFV":
         """The full space: every component is a free choice."""
         comps = [bdd.var(v) for v in choice_vars]
         return cls(bdd, choice_vars, comps, validate=False)
 
     @classmethod
-    def point(cls, bdd, choice_vars: Sequence[int], point: Sequence[bool]) -> "BFV":
+    def point(
+        cls, bdd: "BDD", choice_vars: Sequence[int], point: Sequence[bool]
+    ) -> "BFV":
         """The singleton set ``{point}`` (every component forced)."""
         if len(point) != len(choice_vars):
             raise BFVError("point width mismatch")
@@ -337,7 +358,10 @@ class BFV:
 
     @classmethod
     def from_points(
-        cls, bdd, choice_vars: Sequence[int], points: Iterable[Sequence[bool]]
+        cls,
+        bdd: "BDD",
+        choice_vars: Sequence[int],
+        points: Iterable[Sequence[bool]],
     ) -> "BFV":
         """The set of all given points (canonical union of singletons)."""
         from . import ops as _ops
@@ -349,7 +373,7 @@ class BFV:
 
     @classmethod
     def from_characteristic(
-        cls, bdd, choice_vars: Sequence[int], chi: int
+        cls, bdd: "BDD", choice_vars: Sequence[int], chi: int
     ) -> "BFV":
         """Canonical vector of the set ``{X : chi(X)}`` (Sec 2.1)."""
         from . import build as _build

@@ -205,6 +205,21 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo-specific static checks (rules R001-R004)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
     sub.add_parser("list", help="list built-in circuits")
     return parser
 
@@ -276,6 +291,36 @@ def _add_harness_arguments(parser, batch_defaults: bool = False) -> None:
             "engine/order/circuit); inspect with `python -m repro trace DIR`"
         ),
     )
+    obs.add_argument(
+        "--sanitize",
+        nargs="?",
+        const=1.0,
+        type=float,
+        default=None,
+        metavar="RATE",
+        help=(
+            "audit BDD/BFV invariants on a sampled fraction of "
+            "iterations (bare flag: every iteration); violations abort "
+            "with the failing invariant's name; the REPRO_SANITIZE env "
+            "var supplies a default rate (see docs/analysis.md)"
+        ),
+    )
+
+
+def _sanitize_rate(args: argparse.Namespace):
+    """The run's sanitizer rate: ``--sanitize`` or ``REPRO_SANITIZE``."""
+    if args.sanitize is not None:
+        return args.sanitize
+    raw = os.environ.get("REPRO_SANITIZE")
+    if not raw:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        raise SystemExit(
+            "unparsable REPRO_SANITIZE value %r (want a rate in (0, 1])"
+            % raw
+        )
 
 
 def _result_line(result: ReachResult) -> str:
@@ -348,6 +393,7 @@ def cmd_reach(args: argparse.Namespace) -> int:
                     args.max_seconds if args.fallback == "auto" else None
                 ),
                 trace_dir=args.trace_dir,
+                sanitize=args.sanitize,
             )
             results.append(outcome)
             if len(attempts) > 1:
@@ -380,6 +426,7 @@ def cmd_reach(args: argparse.Namespace) -> int:
                     order_name=args.order,
                     count_states=not args.no_count,
                     tracer=tracer,
+                    sanitize=_sanitize_rate(args),
                 )
             finally:
                 if tracer is not None:
@@ -417,6 +464,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         journal=args.journal,
         count_states=not args.no_count,
         trace_dir=args.trace_dir,
+        sanitize=args.sanitize,
         total_seconds=args.total_seconds,
         total_rss_mb=args.total_rss_mb,
         bench_path=bench_path,
@@ -539,6 +587,22 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import lint as _lint
+
+    if args.list_rules:
+        for rule, summary in sorted(_lint.RULES.items()):
+            print("%s  %s" % (rule, summary))
+        return 0
+    findings = _lint.run_lint(tuple(args.paths))
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print("%d finding%s" % (len(findings), "s" if len(findings) != 1 else ""))
+        return 1
+    return 0
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     print("built-in circuits:")
     for name, factory in sorted(builtin_circuits().items()):
@@ -561,6 +625,7 @@ def main(argv=None) -> int:
         "check": cmd_check,
         "equiv": cmd_equiv,
         "trace": cmd_trace,
+        "lint": cmd_lint,
         "list": cmd_list,
     }
     return handlers[args.command](args)

@@ -65,6 +65,34 @@ class CheckpointError(HarnessError):
     """A checkpoint file is unusable (corrupt, torn, or mismatched)."""
 
 
+class SanitizerError(ReproError):
+    """A runtime audit found a violated invariant.
+
+    Raised by :mod:`repro.analysis.sanitizer` when a sampled audit pass
+    detects a broken structural invariant — a non-canonical unique table,
+    an unsound computed-table entry, a Boolean functional vector that
+    fails the Section 2.2 canonical-form conditions, or a malformed
+    checkpoint/journal record.
+
+    ``invariant`` names the violated invariant with a stable dotted
+    identifier (for example ``"bdd.unique_duplicate_triple"`` or
+    ``"bfv.reparam_idempotent"``) so tests and triage tooling can match
+    on it without parsing the human-readable message.  ``iteration``
+    records the reachability iteration during which the audit ran, when
+    known.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        message: str,
+        iteration: "int | None" = None,
+    ) -> None:
+        super().__init__("%s: %s" % (invariant, message))
+        self.invariant = invariant
+        self.iteration = iteration
+
+
 class ResourceLimitError(ReproError):
     """A configured resource budget was exhausted.
 

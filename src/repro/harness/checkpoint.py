@@ -121,7 +121,7 @@ class Checkpointer:
         """``(iteration, path)`` of this tag's checkpoints, newest first."""
         found = []
         try:
-            entries = os.listdir(self.directory)
+            entries = sorted(os.listdir(self.directory))
         except OSError:
             return []
         for entry in entries:

@@ -20,6 +20,19 @@ cross a process boundary as JSON) that fire at reproducible points:
 ``{"kind": "corrupt_checkpoint", "directory": d, "at_iteration": k}``
     Corrupt the newest checkpoint file under ``d`` (``"mode"``:
     ``"truncate"`` or ``"garbage"``).
+``{"kind": "corrupt_unique", "at_iteration": k}``
+    Append a duplicate ``(var, lo, hi)`` slot to the manager's node
+    arrays — a canonicity violation the sanitizer must report as
+    ``bdd.unique_duplicate_triple``.
+``{"kind": "corrupt_cache", "at_iteration": k}``
+    Plant a stale AND computed-table entry (the negation of the correct
+    result) — an unsound memo the sanitizer's oracle replay must report
+    as ``bdd.cache_replay``.
+``{"kind": "corrupt_bfv", "at_iteration": k}``
+    Replace the first component of the next audited Boolean functional
+    vector with a function that is anti-monotone in its own choice
+    variable — a Sec 2.2 canonical-form violation the sanitizer must
+    report as ``bfv.structure``.
 
 Every fault fires at most ``max_hits`` times (default: once).  Iteration
 faults ride the :attr:`repro.reach.common.RunMonitor.iteration_hooks`
@@ -31,17 +44,28 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import signal
 import time
 from typing import Dict, List, Optional
 
-from ..bdd.manager import BDD
+from ..bdd.cache import OP_AND
+from ..bdd.manager import BDD, FREED_VAR
 from ..errors import HarnessError, ResourceLimitError
 from ..reach.common import RunMonitor
 
 ENV_VAR = "REPRO_FAULTS"
 
-KINDS = ("timeout", "alloc", "die", "hang", "corrupt_checkpoint")
+KINDS = (
+    "timeout",
+    "alloc",
+    "die",
+    "hang",
+    "corrupt_checkpoint",
+    "corrupt_unique",
+    "corrupt_cache",
+    "corrupt_bfv",
+)
 
 #: Currently installed plans (stacked; all are consulted).
 _active: List["FaultPlan"] = []
@@ -160,6 +184,15 @@ class FaultPlan:
                     str(fault["directory"]),
                     mode=str(fault.get("mode", "truncate")),
                 )
+                continue
+            if kind == "corrupt_unique":
+                corrupt_unique_table(monitor.bdd)
+                continue
+            if kind == "corrupt_cache":
+                corrupt_computed_table(monitor.bdd)
+                continue
+            if kind == "corrupt_bfv":
+                _arm_bfv_corruption(monitor)
 
 
 # ----------------------------------------------------------------------
@@ -221,18 +254,111 @@ def corrupt_file(path: str, mode: str = "truncate") -> None:
         handle.write(data)
 
 
+#: Trailing iteration number in a checkpoint filename
+#: (``ckpt-<tag>-<%08d>.rbdd``; see repro.harness.checkpoint).
+_CKPT_ITER_RE = re.compile(r"-(\d{8})\.rbdd$")
+
+
 def corrupt_newest_checkpoint(directory: str, mode: str = "truncate") -> Optional[str]:
-    """Corrupt the newest ``.rbdd`` checkpoint in ``directory``."""
+    """Corrupt the newest ``.rbdd`` checkpoint in ``directory``.
+
+    "Newest" is decided by the iteration number encoded in the filename
+    (ties broken by name), *not* by mtime: fault schedules must fire on
+    the same file on every run, and coarse filesystem timestamps make
+    mtime ties platform-dependent.
+    """
     try:
-        entries = [
-            os.path.join(directory, entry)
-            for entry in os.listdir(directory)
-            if entry.endswith(".rbdd")
-        ]
+        names = sorted(os.listdir(directory))
     except OSError:
         return None
-    if not entries:
+    best: Optional[str] = None
+    best_key = (-1, "")
+    for name in names:
+        if not name.endswith(".rbdd"):
+            continue
+        match = _CKPT_ITER_RE.search(name)
+        key = (int(match.group(1)) if match else -1, name)
+        if best is None or key > best_key:
+            best, best_key = name, key
+    if best is None:
         return None
-    newest = max(entries, key=os.path.getmtime)
+    newest = os.path.join(directory, best)
     corrupt_file(newest, mode=mode)
     return newest
+
+
+# ----------------------------------------------------------------------
+# Sanitizer-domain corruptions (used by the sanitizer test suite)
+# ----------------------------------------------------------------------
+
+
+def corrupt_unique_table(bdd: BDD) -> Optional[int]:
+    """Append a duplicate ``(var, lo, hi)`` slot to the node arrays.
+
+    The clone shares its triple with an existing live node but is not
+    indexed by the unique table — exactly the canonicity breakage a
+    buggy ``_mk`` or table rebuild would cause.  Returns the new slot
+    (None when no internal node exists yet).
+    """
+    for node in range(2, len(bdd._var)):
+        var = bdd._var[node]
+        if var == FREED_VAR:
+            continue
+        clone = len(bdd._var)
+        bdd._var.append(var)
+        bdd._lo.append(bdd._lo[node])
+        bdd._hi.append(bdd._hi[node])
+        bdd._node_count += 1
+        return clone
+    return None
+
+
+def corrupt_computed_table(bdd: BDD) -> Optional[int]:
+    """Plant a stale AND entry: cache NOT(f AND g) under the key of
+    ``f AND g``.
+
+    The entry is popped and re-inserted so it is the *newest* AND entry
+    — the sanitizer's replay samples newest-first, so a rate-1.0 audit
+    is guaranteed to see it.  Returns the poisoned packed key (None when
+    fewer than two variables exist).
+    """
+    if len(bdd._names) < 2:
+        return None
+    f, g = bdd.var(0), bdd.var(1)
+    if f > g:
+        f, g = g, f
+    correct = bdd.and_(f, g)
+    wrong = bdd.not_(correct)
+    key = (g << 32) | f
+    table = bdd._ctables[OP_AND]
+    table.pop(key, None)
+    table[key] = wrong
+    return key
+
+
+def _arm_bfv_corruption(monitor: RunMonitor) -> None:
+    """Wrap ``monitor.audit`` to de-canonicalize the next audited vector.
+
+    The first non-empty vector handed to the next audit gets its first
+    component replaced by ``NOT v_1`` — anti-monotone in its own choice
+    variable, violating the Sec 2.2 structure condition.
+    """
+    original = monitor.audit
+
+    def corrupted_audit(iteration, roots=(), vectors=(), decompositions=()):
+        for vector in vectors:
+            components = getattr(vector, "components", None)
+            if components:
+                bdd = vector.bdd
+                bad = bdd.not_(bdd.var(vector.choice_vars[0]))
+                bdd.incref(bad)
+                vector.components = (bad,) + tuple(components[1:])
+                break
+        return original(
+            iteration,
+            roots=roots,
+            vectors=vectors,
+            decompositions=decompositions,
+        )
+
+    monitor.audit = corrupted_audit  # type: ignore[method-assign]

@@ -15,15 +15,27 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 
 class RunJournal:
-    """A JSONL file of run/attempt records."""
+    """A JSONL file of run/attempt records.
 
-    def __init__(self, path: str) -> None:
+    ``validator`` (optional) is called on every record the reader
+    yields — e.g.
+    :func:`repro.analysis.sanitizer.validate_journal_record`, which
+    raises a :class:`repro.errors.SanitizerError` naming the violated
+    schema invariant.  Torn (unparsable) lines are still skipped with a
+    warning; the validator only sees intact JSON objects.
+    """
+
+    def __init__(self, path: str, validator=None) -> None:
         self.path = path
+        self.validator = validator
 
     def append(self, record: Dict[str, object]) -> Dict[str, object]:
         """Append one record (a ``wall`` timestamp is added); fsynced."""
         record = dict(record)
-        record.setdefault("wall", time.time())
+        # Wall stamps are provenance, not payload: merge ordering and the
+        # byte-identical report comparison both ignore them (merge_journals
+        # keys on job/rung, BatchReport keeps schedule-independent fields).
+        record.setdefault("wall", time.time())  # noqa: R002
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
         line = json.dumps(record, sort_keys=True, default=str)
@@ -53,6 +65,8 @@ class RunJournal:
                     )
                     continue
                 if isinstance(record, dict):
+                    if self.validator is not None:
+                        self.validator(record, line=lineno)
                     yield record
 
     def read(self) -> List[Dict[str, object]]:
@@ -89,6 +103,7 @@ def merge_journals(
     sources: Sequence[Union[str, RunJournal]],
     dest_path: str,
     key=None,
+    validator=None,
 ) -> int:
     """Merge journal files into one deterministically ordered journal.
 
@@ -102,6 +117,8 @@ def merge_journals(
     items: List[Tuple[int, int, Dict[str, object]]] = []
     for source_index, source in enumerate(sources):
         journal = source if isinstance(source, RunJournal) else RunJournal(source)
+        if validator is not None and journal.validator is None:
+            journal = RunJournal(journal.path, validator=validator)
         for line_index, record in enumerate(journal):
             items.append((source_index, line_index, record))
     items.sort(key=key or _merge_key)

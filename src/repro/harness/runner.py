@@ -39,6 +39,7 @@ def resilient_reach(
     journal: Optional[RunJournal] = None,
     total_seconds: Optional[float] = None,
     trace_dir: Optional[str] = None,
+    sanitize: Optional[float] = None,
     faults=None,
 ) -> Tuple[Optional[ReachResult], List[ReachResult]]:
     """One fault-tolerant reachability run; ``(outcome, attempts)``.
@@ -59,6 +60,7 @@ def resilient_reach(
         resume=resume,
         count_states=count_states,
         trace_dir=trace_dir,
+        sanitize=sanitize,
         faults=faults,
     )
     if policy is None:
@@ -92,6 +94,7 @@ def run_batch(
     journal: Optional[RunJournal] = None,
     count_states: bool = True,
     trace_dir: Optional[str] = None,
+    sanitize: Optional[float] = None,
     jobs: int = 1,
 ) -> Dict[str, Tuple[Optional[ReachResult], List[ReachResult]]]:
     """Run a suite of circuits resiliently; circuit -> (outcome, attempts).
@@ -127,6 +130,7 @@ def run_batch(
             journal=journal,
             count_states=count_states,
             trace_dir=trace_dir,
+            sanitize=sanitize,
         ).outcomes()
     results: Dict[str, Tuple[Optional[ReachResult], List[ReachResult]]] = {}
     for index, circuit in enumerate(circuits):
@@ -153,5 +157,6 @@ def run_batch(
             trace_dir=(
                 os.path.join(trace_dir, namespace) if trace_dir else None
             ),
+            sanitize=sanitize,
         )
     return results

@@ -339,6 +339,7 @@ class BatchScheduler:
         journal: Optional[object] = None,
         count_states: bool = True,
         trace_dir: Optional[str] = None,
+        sanitize: Optional[float] = None,
         total_seconds: Optional[float] = None,
         total_rss_mb: Optional[float] = None,
         bench_path: Optional[str] = None,
@@ -363,6 +364,7 @@ class BatchScheduler:
         self.max_rss_mb = max_rss_mb
         self.count_states = count_states
         self.trace_dir = trace_dir
+        self.sanitize = sanitize
         self.total_seconds = total_seconds
         self.total_rss_mb = total_rss_mb
         self.cell_faults = dict(cell_faults or {})
@@ -510,6 +512,7 @@ class BatchScheduler:
             resume=self.resume,
             count_states=self.count_states,
             trace_dir=trace_dir,
+            sanitize=self.sanitize,
             faults=self.cell_faults.get(cell.circuit),
         )
 
@@ -730,14 +733,21 @@ class BatchScheduler:
     ) -> None:
         if journal_dir is None:
             return
+        validator = None
+        if self.sanitize:
+            from ..analysis.sanitizer import validate_journal_record
+
+            validator = validate_journal_record
         sources = [journal.path for journal in worker_journals]
         if self.journal_path is not None:
-            merge_journals(sources, self.journal_path)
+            merge_journals(sources, self.journal_path, validator=validator)
         if self.trace_dir is not None:
             # Ladder decisions land next to the traces, mirroring the
             # sequential harness's attempts.jsonl convention.
             merge_journals(
-                sources, os.path.join(self.trace_dir, "attempts.jsonl")
+                sources,
+                os.path.join(self.trace_dir, "attempts.jsonl"),
+                validator=validator,
             )
         shutil.rmtree(journal_dir, ignore_errors=True)
 
@@ -789,6 +799,7 @@ def run_scheduled_batch(
     journal: Optional[object] = None,
     count_states: bool = True,
     trace_dir: Optional[str] = None,
+    sanitize: Optional[float] = None,
     total_seconds: Optional[float] = None,
     total_rss_mb: Optional[float] = None,
     bench_path: Optional[str] = None,
@@ -815,6 +826,7 @@ def run_scheduled_batch(
         journal=journal,
         count_states=count_states,
         trace_dir=trace_dir,
+        sanitize=sanitize,
         total_seconds=total_seconds,
         total_rss_mb=total_rss_mb,
         bench_path=bench_path,

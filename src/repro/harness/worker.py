@@ -23,6 +23,28 @@ from ..reach import ENGINES, ReachLimits, ReachResult
 from . import faults as _faults
 from .checkpoint import Checkpointer
 
+#: Env var carrying a sanitizer rate across the supervised-child
+#: boundary (mirrors how ``trace_dir`` rides the spec): a float in
+#: (0, 1], or ``1`` for every-iteration auditing.
+SANITIZE_ENV_VAR = "REPRO_SANITIZE"
+
+
+def sanitize_rate_for(spec: AttemptSpec, environ=None) -> Optional[float]:
+    """The spec's sanitizer rate, falling back to ``REPRO_SANITIZE``."""
+    if spec.sanitize is not None:
+        return spec.sanitize
+    environ = os.environ if environ is None else environ
+    raw = environ.get(SANITIZE_ENV_VAR)
+    if not raw:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(
+            "unparsable %s value %r (want a rate in (0, 1])"
+            % (SANITIZE_ENV_VAR, raw)
+        )
+
 
 @dataclass
 class AttemptSpec:
@@ -42,6 +64,11 @@ class AttemptSpec:
     #: Directory for per-iteration trace JSONL (see :mod:`repro.obs`);
     #: None disables tracing (the engines see the null tracer).
     trace_dir: Optional[str] = None
+    #: Sanitizer sampling rate in (0, 1] (see
+    #: :mod:`repro.analysis.sanitizer`); None disables auditing.  The
+    #: ``REPRO_SANITIZE`` env var supplies a fallback rate on the
+    #: worker side, crossing the supervised-child boundary.
+    sanitize: Optional[float] = None
     #: Fault plan installed before the run (tests only); see
     #: :mod:`repro.harness.faults`.
     faults: Optional[List[Dict[str, object]]] = None
@@ -103,6 +130,7 @@ def run_attempt(spec: AttemptSpec) -> ReachResult:
             count_states=spec.count_states,
             checkpointer=checkpointer,
             tracer=tracer,
+            sanitize=sanitize_rate_for(spec),
         )
         if checkpointer is not None and checkpointer.skipped:
             result.extra["checkpoints_skipped"] = [

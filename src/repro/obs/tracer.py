@@ -46,6 +46,7 @@ PHASES = (
     "chi_conversion",
     "gc",
     "checkpoint",
+    "sanitize",
     "finalize",
     "telemetry",
 )

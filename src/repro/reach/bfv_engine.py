@@ -41,6 +41,7 @@ def bfv_reachability(
     initial_points=None,
     checkpointer=None,
     tracer=None,
+    sanitize=None,
 ) -> ReachResult:
     """Run Figure 2 reachability; returns a :class:`ReachResult`.
 
@@ -51,7 +52,10 @@ def bfv_reachability(
     are snapshotted every iteration and the run resumes from the latest
     valid snapshot.  With a ``tracer`` (see :mod:`repro.obs`) every
     iteration emits a metric record and the loop phases are timed;
-    ``result.extra['obs']`` carries the phase summary.
+    ``result.extra['obs']`` carries the phase summary.  With a
+    ``sanitize`` rate (see :mod:`repro.analysis.sanitizer`) sampled
+    iterations audit manager and vector invariants;
+    ``result.extra['sanitizer']`` carries the audit counts.
     """
     if space is None:
         space = ReachSpace(circuit, slots)
@@ -59,7 +63,9 @@ def bfv_reachability(
     tracer = ensure_tracer(tracer)
     tracer.attach(bdd)
     tracer.bind(engine="bfv", circuit=circuit.name, order=order_name)
-    monitor = RunMonitor(bdd, limits, checkpointer, tracer=tracer)
+    monitor = RunMonitor(
+        bdd, limits, checkpointer, tracer=tracer, sanitize=sanitize
+    )
     with tracer.span("setup"):
         simulator = SymbolicSimulator(bdd, circuit)
         input_drivers = {
@@ -128,6 +134,7 @@ def bfv_reachability(
                     vectors={"reached": reached, "frontier": frontier},
                 )
             monitor.checkpoint((), iterations)
+            monitor.audit(iterations, vectors=(reached, frontier))
             if tracer.enabled:
                 with tracer.span("telemetry"):
                     frontier_size = frontier.shared_size()
@@ -153,6 +160,8 @@ def bfv_reachability(
         result.peak_live_nodes = max(monitor.peak_live, bdd.count_live())
         result.extra["cache"] = bdd.cache_stats()
         result.reached_size = reached.shared_size()
+        if monitor.sanitizer is not None:
+            result.extra["sanitizer"] = monitor.sanitizer.snapshot()
         if result.completed:
             result.extra["space"] = space
             result.extra["reached"] = reached

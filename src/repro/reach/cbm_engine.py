@@ -46,12 +46,16 @@ def cbm_reachability(
     image_method: str = "simulate",
     checkpointer=None,
     tracer=None,
+    sanitize=None,
 ) -> ReachResult:
     """Run the Figure 1 flow; returns a :class:`ReachResult`.
 
     With a ``tracer`` the per-iteration representation conversions the
     paper's Figure 2 eliminates show up as ``chi_conversion`` spans,
-    directly comparable against the BFV engine's phase profile.
+    directly comparable against the BFV engine's phase profile.  With a
+    ``sanitize`` rate sampled iterations audit manager invariants and
+    the reparameterized image vector; ``result.extra['sanitizer']``
+    carries the audit counts.
     """
     if image_method not in ("simulate", "constrain"):
         raise ValueError("unknown image_method %r" % image_method)
@@ -61,7 +65,9 @@ def cbm_reachability(
     tracer = ensure_tracer(tracer)
     tracer.attach(bdd)
     tracer.bind(engine="cbm", circuit=circuit.name, order=order_name)
-    monitor = RunMonitor(bdd, limits, checkpointer, tracer=tracer)
+    monitor = RunMonitor(
+        bdd, limits, checkpointer, tracer=tracer, sanitize=sanitize
+    )
     with tracer.span("setup"):
         simulator = SymbolicSimulator(bdd, circuit)
         input_drivers = {
@@ -161,6 +167,9 @@ def cbm_reachability(
                     functions={"reached": reached, "frontier": from_chi},
                 )
             monitor.checkpoint((), iterations)
+            monitor.audit(
+                iterations, roots=(reached, from_chi), vectors=(image_vec,)
+            )
             if tracer.enabled:
                 with tracer.span("telemetry"):
                     frontier_size = bdd.dag_size(from_chi)
@@ -188,6 +197,8 @@ def cbm_reachability(
         result.peak_live_nodes = max(monitor.peak_live, bdd.count_live())
         result.extra["cache"] = bdd.cache_stats()
         result.reached_size = bdd.dag_size(reached)
+        if monitor.sanitizer is not None:
+            result.extra["sanitizer"] = monitor.sanitizer.snapshot()
         if result.completed:
             result.extra["space"] = space
             result.extra["reached_chi"] = reached

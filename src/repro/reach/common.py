@@ -222,7 +222,13 @@ class RunMonitor:
       :meth:`restore`;
     * the process-global :attr:`iteration_hooks` are invoked at every
       iteration checkpoint — :mod:`repro.harness.faults` uses them to
-      inject deterministic time-outs, hangs, and crashes.
+      inject deterministic time-outs, hangs, and crashes;
+    * an optional *sanitizer* (``sanitize`` rate, see
+      :class:`repro.analysis.sanitizer.Sanitizer`) audits the manager,
+      the engines' accumulated vectors and loaded persisted state via
+      :meth:`audit` — engines call it right after :meth:`checkpoint`
+      so same-iteration corruption (including injected faults) is
+      caught before it propagates.
     """
 
     #: Process-global callbacks ``hook(monitor, iteration)`` fired at the
@@ -235,10 +241,18 @@ class RunMonitor:
         limits: Optional[ReachLimits],
         checkpointer: Optional[object] = None,
         tracer: Optional[object] = None,
+        sanitize: Optional[float] = None,
     ) -> None:
         self.bdd = bdd
         self.limits = limits or ReachLimits()
         self.checkpointer = checkpointer
+        #: Runtime invariant auditor (None unless a ``--sanitize`` rate
+        #: was requested); see :mod:`repro.analysis.sanitizer`.
+        self.sanitizer = None
+        if sanitize:
+            from ..analysis.sanitizer import Sanitizer
+
+            self.sanitizer = Sanitizer(bdd, rate=float(sanitize))
         #: Observability hook (see :mod:`repro.obs`): GC work inside
         #: :meth:`checkpoint` is timed under a ``gc`` span, snapshots
         #: under a ``checkpoint`` span, and checkpoint/resume become
@@ -249,6 +263,13 @@ class RunMonitor:
         #: Minimum allocation before a no-budget checkpoint collects.
         self.gc_floor = 4096
         self._gc_live = 0
+        #: Nodes allocated by sanitizer audits since the last collection.
+        #: Audit scratch (oracle replays, BFV round-trips) is garbage the
+        #: moment the pass ends, but it still raises ``num_nodes``;
+        #: discounting it keeps the GC schedule — and therefore the
+        #: reported peak-live statistic — byte-identical to an
+        #: unsanitized run (the --jobs determinism guarantee).
+        self._audit_nodes = 0
         self.iteration = 0
         if self.limits.max_live_nodes is not None:
             # Hard allocation ceiling so a blowing-up image computation
@@ -302,6 +323,12 @@ class RunMonitor:
             return None
         snapshot = self.checkpointer.restore(self.bdd)
         if snapshot is not None:
+            if self.sanitizer is not None:
+                # Schema-validate what we are about to trust: resuming
+                # from a malformed snapshot corrupts the whole run.
+                self.sanitizer.validate_checkpoint(
+                    snapshot.meta, snapshot.path
+                )
             counters = snapshot.meta.get("counters")
             if counters and hasattr(self.bdd, "restore_counters"):
                 self.bdd.restore_counters(counters)
@@ -309,6 +336,42 @@ class RunMonitor:
                 "resume", iteration=snapshot.iteration, path=snapshot.path
             )
         return snapshot
+
+    def audit(
+        self,
+        iteration: int,
+        roots: Sequence[int] = (),
+        vectors: Sequence[object] = (),
+        decompositions: Sequence[object] = (),
+    ) -> bool:
+        """Run a sanitizer pass when one is attached and the stride hits.
+
+        Engines call this right after :meth:`checkpoint` with the
+        vectors / decompositions they are accumulating; it is a cheap
+        no-op when no ``--sanitize`` rate was configured.  Audit time is
+        accounted under a ``sanitize`` tracer span.
+        """
+        sanitizer = self.sanitizer
+        if sanitizer is None or not sanitizer.should_audit(iteration):
+            return False
+        before = self.bdd.num_nodes
+        with self.tracer.span("sanitize"):
+            ran = sanitizer.audit(
+                iteration,
+                roots=roots,
+                vectors=vectors,
+                decompositions=decompositions,
+            )
+        self._audit_nodes += max(0, self.bdd.num_nodes - before)
+        if ran:
+            self.tracer.event(
+                "sanitize",
+                iteration=iteration,
+                audits=sanitizer.counts["audits"],
+                cache_replayed=sanitizer.counts["cache_replayed"],
+                vectors_audited=sanitizer.counts["vectors_audited"],
+            )
+        return ran
 
     def annotate(self, result: "ReachResult", error, iteration: int) -> None:
         """Record a budget failure and its partial-progress statistics.
@@ -353,7 +416,9 @@ class RunMonitor:
             hook(self, iteration)
         limits = self.limits
         bdd = self.bdd
-        allocated = bdd.num_nodes
+        # Sanitizer scratch is dead weight, not engine allocation; see
+        # :attr:`_audit_nodes`.
+        allocated = bdd.num_nodes - self._audit_nodes
         budget = limits.max_live_nodes
         if getattr(bdd, "per_iteration_gc", False):
             # Escape hatch: collect at every checkpoint, the cadence the
@@ -363,6 +428,7 @@ class RunMonitor:
             with self.tracer.span("gc"):
                 bdd.collect_garbage(roots)
                 live = self._gc_live = bdd.count_live(roots)
+                self._audit_nodes = 0
             if live > self.peak_live:
                 self.peak_live = live
         elif budget is not None:
@@ -376,12 +442,14 @@ class RunMonitor:
                 with self.tracer.span("gc"):
                     bdd.collect_garbage(roots)
                     live = self._gc_live = bdd.count_live(roots)
+                    self._audit_nodes = 0
                 if live > self.peak_live:
                     self.peak_live = live
         elif allocated > max(self.gc_floor, 2 * self._gc_live):
             with self.tracer.span("gc"):
                 bdd.collect_garbage(roots)
                 live = self._gc_live = bdd.count_live(roots)
+                self._audit_nodes = 0
             if live > self.peak_live:
                 self.peak_live = live
         else:

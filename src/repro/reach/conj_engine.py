@@ -35,15 +35,23 @@ def conj_reachability(
     initial_points=None,
     checkpointer=None,
     tracer=None,
+    sanitize=None,
 ) -> ReachResult:
-    """Run Figure 2 with conjunctive-decomposition set manipulation."""
+    """Run Figure 2 with conjunctive-decomposition set manipulation.
+
+    With a ``sanitize`` rate sampled iterations audit the image vector,
+    the frontier, and the reached decomposition's constraint-view
+    invariants; ``result.extra['sanitizer']`` carries the audit counts.
+    """
     if space is None:
         space = ReachSpace(circuit, slots)
     bdd = space.bdd
     tracer = ensure_tracer(tracer)
     tracer.attach(bdd)
     tracer.bind(engine="conj", circuit=circuit.name, order=order_name)
-    monitor = RunMonitor(bdd, limits, checkpointer, tracer=tracer)
+    monitor = RunMonitor(
+        bdd, limits, checkpointer, tracer=tracer, sanitize=sanitize
+    )
     with tracer.span("setup"):
         simulator = SymbolicSimulator(bdd, circuit)
         input_drivers = {
@@ -121,6 +129,11 @@ def conj_reachability(
                     },
                 )
             monitor.checkpoint((), iterations)
+            monitor.audit(
+                iterations,
+                vectors=(image_vec, frontier),
+                decompositions=(reached,),
+            )
             if tracer.enabled:
                 with tracer.span("telemetry"):
                     frontier_size = frontier.shared_size()
@@ -146,6 +159,8 @@ def conj_reachability(
         result.peak_live_nodes = max(monitor.peak_live, bdd.count_live())
         result.extra["cache"] = bdd.cache_stats()
         result.reached_size = reached.shared_size()
+        if monitor.sanitizer is not None:
+            result.extra["sanitizer"] = monitor.sanitizer.snapshot()
         if result.completed:
             result.extra["space"] = space
             result.extra["reached_cd"] = reached

@@ -30,6 +30,7 @@ def tr_reachability(
     initial_points=None,
     checkpointer=None,
     tracer=None,
+    sanitize=None,
 ) -> ReachResult:
     """Run IWLS95-style reachability; returns a :class:`ReachResult`.
 
@@ -37,7 +38,9 @@ def tr_reachability(
     the reached characteristic function for cross-validation.  With a
     ``checkpointer`` the reached/frontier characteristic functions are
     snapshotted every iteration and the run resumes from the latest
-    valid snapshot.
+    valid snapshot.  With a ``sanitize`` rate sampled iterations audit
+    manager invariants (no vectors exist in this flow);
+    ``result.extra['sanitizer']`` carries the audit counts.
     """
     if space is None:
         space = ReachSpace(circuit, slots)
@@ -45,7 +48,9 @@ def tr_reachability(
     tracer = ensure_tracer(tracer)
     tracer.attach(bdd)
     tracer.bind(engine="tr", circuit=circuit.name, order=order_name)
-    monitor = RunMonitor(bdd, limits, checkpointer, tracer=tracer)
+    monitor = RunMonitor(
+        bdd, limits, checkpointer, tracer=tracer, sanitize=sanitize
+    )
 
     with tracer.span("setup"):
         simulator = SymbolicSimulator(bdd, circuit)
@@ -117,6 +122,7 @@ def tr_reachability(
                     functions={"reached": reached, "frontier": frontier},
                 )
             monitor.checkpoint((), iterations)
+            monitor.audit(iterations, roots=(reached, frontier))
             if tracer.enabled:
                 with tracer.span("telemetry"):
                     frontier_size = bdd.dag_size(frontier)
@@ -143,6 +149,8 @@ def tr_reachability(
         result.peak_live_nodes = max(monitor.peak_live, bdd.count_live())
         result.extra["cache"] = bdd.cache_stats()
         result.reached_size = bdd.dag_size(reached)
+        if monitor.sanitizer is not None:
+            result.extra["sanitizer"] = monitor.sanitizer.snapshot()
         if result.completed:
             result.extra["space"] = space
             result.extra["reached_chi"] = reached

@@ -1,0 +1,12 @@
+"""Analysis test fixtures: guaranteed fault-plan cleanup."""
+
+import pytest
+
+from repro.harness import faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    """Never let an armed fault plan leak into the next test."""
+    yield
+    faults.clear()

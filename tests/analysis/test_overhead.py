@@ -1,0 +1,54 @@
+"""A disabled sanitizer must be (near) free: <5% of a small run.
+
+Same methodology as the null-tracer overhead gate
+(``tests/obs/test_overhead.py``): wall-clock comparison of two engine
+runs is too noisy for CI, so we measure the actual per-iteration cost
+of the ``monitor.audit(...)`` early-out the instrumented engines pay
+when no ``--sanitize`` rate is configured, and require that cost times
+the run's iteration count to stay under 5% of the run's wall time.
+"""
+
+import time
+
+from repro.bdd import BDD
+from repro.circuits import generators as gen
+from repro.reach import bfv_reachability
+from repro.reach.common import RunMonitor
+
+
+def disabled_audit_cost_per_iteration(cycles=20000):
+    """Median-of-3 cost of one disabled ``monitor.audit`` call."""
+    monitor = RunMonitor(BDD(), None)
+    assert monitor.sanitizer is None
+    timings = []
+    for _ in range(3):
+        start = time.perf_counter()
+        for i in range(cycles):
+            monitor.audit(i, vectors=(None, None))
+        timings.append(time.perf_counter() - start)
+    timings.sort()
+    return timings[1] / cycles
+
+
+class TestDisabledSanitizerOverhead:
+    def test_disabled_overhead_under_five_percent(self):
+        # A small but non-trivial run: 32 states, 32 image steps.
+        result = bfv_reachability(gen.counter(5))
+        assert result.completed
+        assert result.seconds > 0
+        per_iteration = disabled_audit_cost_per_iteration()
+        added = per_iteration * result.iterations
+        assert added < 0.05 * result.seconds, (
+            "disabled sanitizer cost %.3fus/iter x %d iterations = %.6fs "
+            "exceeds 5%% of the %.6fs run"
+            % (
+                per_iteration * 1e6,
+                result.iterations,
+                added,
+                result.seconds,
+            )
+        )
+
+    def test_disabled_audit_reports_false(self):
+        monitor = RunMonitor(BDD(), None)
+        assert monitor.audit(0) is False

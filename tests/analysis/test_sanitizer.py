@@ -1,0 +1,409 @@
+"""Runtime sanitizer: every corruption class is caught *by name*.
+
+Each audit family gets three kinds of coverage: clean state passes, a
+seeded corruption raises :class:`SanitizerError` naming the violated
+invariant, and the engine-integration path (``sanitize=1.0``) catches
+the same corruption when the fault injector plants it mid-run.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Sanitizer,
+    check_bdd_structure,
+    check_bfv_canonical,
+    check_cache_soundness,
+    check_decomposition,
+    check_refcounts,
+    validate_checkpoint_meta,
+    validate_journal_record,
+)
+from repro.bdd import BDD
+from repro.bfv import BFV, ConjunctiveDecomposition
+from repro.circuits import generators as gen
+from repro.errors import SanitizerError
+from repro.harness import AttemptSpec, faults, run_attempt
+from repro.harness.checkpoint import Checkpointer
+from repro.harness.journal import RunJournal, merge_journals
+from repro.harness.worker import sanitize_rate_for
+from repro.reach import ENGINES
+from repro.reach.common import RunMonitor
+
+
+def busy_manager():
+    """A manager with enough structure to make every audit non-trivial."""
+    bdd = BDD(["v%d" % i for i in range(6)])
+    f = bdd.and_(bdd.var(0), bdd.or_(bdd.var(1), bdd.not_(bdd.var(2))))
+    g = bdd.xor(bdd.var(3), bdd.and_(bdd.var(4), bdd.var(5)))
+    h = bdd.ite(f, g, bdd.not_(g))
+    bdd.exists([1, 3], h)
+    bdd.cofactor(h, 0, True)
+    return bdd, (f, g, h)
+
+
+# ----------------------------------------------------------------------
+# BDD structure + refcount audits
+# ----------------------------------------------------------------------
+
+
+class TestBddStructure:
+    def test_clean_manager_passes(self):
+        bdd, roots = busy_manager()
+        assert check_bdd_structure(bdd) > 2
+        assert check_refcounts(bdd, roots) > 0
+
+    def test_duplicate_triple_named(self):
+        bdd, _ = busy_manager()
+        assert faults.corrupt_unique_table(bdd) is not None
+        with pytest.raises(SanitizerError) as info:
+            check_bdd_structure(bdd)
+        assert info.value.invariant == "bdd.unique_duplicate_triple"
+
+    def test_node_count_desync_named(self):
+        bdd, _ = busy_manager()
+        bdd._node_count += 1
+        with pytest.raises(SanitizerError) as info:
+            check_bdd_structure(bdd)
+        assert info.value.invariant == "bdd.node_count_sync"
+
+    def test_dangling_extref_named(self):
+        bdd, _ = busy_manager()
+        bdd._extref[len(bdd._var) + 7] = 1
+        with pytest.raises(SanitizerError) as info:
+            check_refcounts(bdd)
+        assert info.value.invariant == "bdd.extref_dangling"
+
+    def test_nonpositive_extref_named(self):
+        bdd, roots = busy_manager()
+        bdd._extref[roots[0]] = 0
+        with pytest.raises(SanitizerError) as info:
+            check_refcounts(bdd, roots)
+        assert info.value.invariant == "bdd.extref_dangling"
+
+    def test_survives_garbage_collection(self):
+        bdd, (f, g, h) = busy_manager()
+        bdd.collect_garbage([h])
+        assert check_bdd_structure(bdd) > 0
+        assert check_refcounts(bdd, (h,)) > 0
+
+
+class TestCacheSoundness:
+    def test_clean_cache_replays(self):
+        bdd, _ = busy_manager()
+        replayed, _skipped = check_cache_soundness(bdd, sample=8)
+        assert replayed > 0
+
+    def test_planted_wrong_result_named(self):
+        bdd, _ = busy_manager()
+        assert faults.corrupt_computed_table(bdd) is not None
+        with pytest.raises(SanitizerError) as info:
+            check_cache_soundness(bdd, sample=8)
+        assert info.value.invariant == "bdd.cache_replay"
+
+
+# ----------------------------------------------------------------------
+# BFV canonicity audits
+# ----------------------------------------------------------------------
+
+
+class TestBfvCanonical:
+    def choice_setup(self):
+        bdd = BDD(["c%d" % i for i in range(3)])
+        cvars = (0, 1, 2)
+        vec = BFV.from_points(
+            bdd, cvars, [(True, False, True), (False, True, True)]
+        )
+        return bdd, cvars, vec
+
+    def test_clean_vector_passes(self):
+        _, _, vec = self.choice_setup()
+        check_bfv_canonical(vec)
+
+    def test_empty_and_universe_pass(self):
+        bdd, cvars, _ = self.choice_setup()
+        check_bfv_canonical(BFV.empty(bdd, cvars))
+        check_bfv_canonical(BFV.universe(bdd, cvars))
+
+    def test_noncanonical_component_named(self):
+        bdd, cvars, vec = self.choice_setup()
+        # Component 0 may not depend on any choice variable; this is the
+        # exact corruption the ``corrupt_bfv`` fault kind plants.
+        vec.components = (bdd.not_(bdd.var(cvars[0])),) + tuple(
+            vec.components[1:]
+        )
+        with pytest.raises(SanitizerError) as info:
+            check_bfv_canonical(vec)
+        assert info.value.invariant == "bfv.structure"
+
+    def test_clean_decomposition_passes(self):
+        _, _, vec = self.choice_setup()
+        check_decomposition(ConjunctiveDecomposition.from_bfv(vec))
+
+
+# ----------------------------------------------------------------------
+# Persisted-state schema audits
+# ----------------------------------------------------------------------
+
+
+def good_meta():
+    return {
+        "engine": "bfv",
+        "circuit": "traffic",
+        "order": "S1",
+        "iteration": 3,
+        "functions": ["frontier"],
+        "vectors": ["reached"],
+        "counters": {"ops": 12},
+    }
+
+
+class TestCheckpointSchema:
+    def test_good_meta_passes(self):
+        validate_checkpoint_meta(good_meta())
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda m: m.pop("engine"),
+            lambda m: m.__setitem__("circuit", 7),
+            lambda m: m.__setitem__("iteration", -1),
+            lambda m: m.__setitem__("iteration", True),
+            lambda m: m.__setitem__("functions", "frontier"),
+            lambda m: m.__setitem__("counters", [1, 2]),
+        ],
+        ids=[
+            "missing-engine",
+            "nonstring-circuit",
+            "negative-iteration",
+            "bool-iteration",
+            "nonlist-functions",
+            "nondict-counters",
+        ],
+    )
+    def test_bad_meta_named(self, mutate):
+        meta = good_meta()
+        mutate(meta)
+        with pytest.raises(SanitizerError) as info:
+            validate_checkpoint_meta(meta, path="x.rbdd")
+        assert info.value.invariant == "checkpoint.schema"
+
+
+class TestJournalSchema:
+    def test_good_records_pass(self):
+        validate_journal_record({"event": "note", "wall": 1.5})
+        validate_journal_record(
+            {"event": "attempt", "engine": "bfv", "circuit": "traffic"}
+        )
+
+    @pytest.mark.parametrize(
+        "record",
+        [
+            {"wall": 1.0},
+            {"event": "", "wall": 1.0},
+            {"event": "note", "wall": "yesterday"},
+            {"event": "attempt", "circuit": "traffic"},
+            {"event": "fallback_attempt", "engine": "bfv"},
+        ],
+        ids=[
+            "missing-event",
+            "empty-event",
+            "string-wall",
+            "attempt-missing-engine",
+            "fallback-missing-circuit",
+        ],
+    )
+    def test_bad_records_named(self, record):
+        with pytest.raises(SanitizerError) as info:
+            validate_journal_record(record, line=4)
+        assert info.value.invariant == "journal.schema"
+
+    def test_journal_validator_hook(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        RunJournal(path).append({"event": "note"})
+        with open(path, "a") as handle:
+            handle.write(json.dumps({"event": ""}) + "\n")
+        with pytest.raises(SanitizerError) as info:
+            list(RunJournal(path, validator=validate_journal_record))
+        assert info.value.invariant == "journal.schema"
+
+    def test_merge_journals_validates(self, tmp_path):
+        source = str(tmp_path / "worker.jsonl")
+        RunJournal(source).append({"event": "note"})
+        with open(source, "a") as handle:
+            handle.write(json.dumps({"wall": 0.5}) + "\n")
+        with pytest.raises(SanitizerError):
+            merge_journals(
+                [source],
+                str(tmp_path / "merged.jsonl"),
+                validator=validate_journal_record,
+            )
+
+
+# ----------------------------------------------------------------------
+# Sanitizer object semantics
+# ----------------------------------------------------------------------
+
+
+class TestSanitizerObject:
+    @pytest.mark.parametrize("rate", [0.0, -0.5, 1.5])
+    def test_bad_rate_named(self, rate):
+        with pytest.raises(SanitizerError) as info:
+            Sanitizer(BDD(), rate=rate)
+        assert info.value.invariant == "sanitizer.rate"
+
+    def test_stride_is_deterministic(self):
+        sanitizer = Sanitizer(BDD(), rate=0.25)
+        assert sanitizer.stride == 4
+        pattern = [sanitizer.should_audit(i) for i in range(8)]
+        assert pattern == [True, False, False, False] * 2
+
+    def test_full_rate_audits_every_iteration(self):
+        sanitizer = Sanitizer(BDD(), rate=1.0)
+        assert sanitizer.stride == 1
+        assert all(sanitizer.should_audit(i) for i in range(5))
+
+    def test_audit_counts_and_snapshot(self):
+        bdd, roots = busy_manager()
+        sanitizer = Sanitizer(bdd, rate=1.0)
+        assert sanitizer.audit(0, roots=roots)
+        snap = sanitizer.snapshot()
+        assert snap["audits"] == 1
+        assert snap["nodes_scanned"] > 0
+        assert snap["cache_replayed"] > 0
+        assert snap["rate"] == 1.0
+        assert snap["stride"] == 1
+
+    def test_audit_restores_node_limit(self):
+        bdd, roots = busy_manager()
+        bdd.node_limit = 50_000
+        Sanitizer(bdd, rate=1.0).audit(0, roots=roots)
+        assert bdd.node_limit == 50_000
+
+    def test_audit_skips_none_vectors(self):
+        bdd, _ = busy_manager()
+        sanitizer = Sanitizer(bdd, rate=1.0)
+        assert sanitizer.audit(0, vectors=(None,), decompositions=(None,))
+        assert sanitizer.counts["vectors_audited"] == 0
+
+
+# ----------------------------------------------------------------------
+# Engine integration: seeded corruption under --sanitize=1.0
+# ----------------------------------------------------------------------
+
+#: Fault kind -> the invariant the sanitizer must name when it fires.
+CORRUPTIONS = [
+    ("corrupt_unique", "bdd.unique_duplicate_triple"),
+    ("corrupt_cache", "bdd.cache_replay"),
+    ("corrupt_bfv", "bfv.structure"),
+]
+
+
+class TestEngineIntegration:
+    @pytest.mark.parametrize(
+        "kind,invariant", CORRUPTIONS, ids=[c[0] for c in CORRUPTIONS]
+    )
+    def test_seeded_corruption_caught_by_name(self, kind, invariant):
+        plan = faults.install([{"kind": kind, "at_iteration": 2}])
+        try:
+            with pytest.raises(SanitizerError) as info:
+                ENGINES["bfv"](gen.traffic_light(), sanitize=1.0)
+        finally:
+            plan.uninstall()
+        assert info.value.invariant == invariant
+
+    @pytest.mark.parametrize("engine", ["bfv", "tr", "conj", "cbm"])
+    def test_clean_sanitized_run_reports_counts(self, engine):
+        result = ENGINES[engine](gen.traffic_light(), sanitize=1.0)
+        assert result.completed
+        counts = result.extra["sanitizer"]
+        # The fixpoint-detecting final iteration exits before its audit.
+        assert counts["audits"] >= result.iterations - 1 > 0
+        assert counts["rate"] == 1.0
+
+    def test_half_rate_audits_fewer_iterations(self):
+        full = ENGINES["bfv"](gen.counter(4), sanitize=1.0)
+        half = ENGINES["bfv"](gen.counter(4), sanitize=0.5)
+        assert half.extra["sanitizer"]["stride"] == 2
+        assert 0 < half.extra["sanitizer"]["audits"] < (
+            full.extra["sanitizer"]["audits"]
+        )
+
+    def test_unsanitized_run_has_no_counts(self):
+        result = ENGINES["bfv"](gen.traffic_light())
+        assert "sanitizer" not in result.extra
+
+
+# ----------------------------------------------------------------------
+# Harness boundary: spec field and REPRO_SANITIZE env var
+# ----------------------------------------------------------------------
+
+
+class TestHarnessBoundary:
+    def test_spec_rate_wins_over_env(self):
+        spec = AttemptSpec(circuit="traffic", sanitize=0.5)
+        assert sanitize_rate_for(spec, {"REPRO_SANITIZE": "1.0"}) == 0.5
+
+    def test_env_fallback(self):
+        spec = AttemptSpec(circuit="traffic")
+        assert sanitize_rate_for(spec, {"REPRO_SANITIZE": "0.25"}) == 0.25
+        assert sanitize_rate_for(spec, {}) is None
+        assert sanitize_rate_for(spec, {"REPRO_SANITIZE": ""}) is None
+
+    def test_unparsable_env_rejected(self):
+        spec = AttemptSpec(circuit="traffic")
+        with pytest.raises(ValueError):
+            sanitize_rate_for(spec, {"REPRO_SANITIZE": "yes please"})
+
+    def test_spec_carries_rate_through_run_attempt(self):
+        result = run_attempt(AttemptSpec(circuit="traffic", sanitize=1.0))
+        assert result.completed
+        assert result.extra["sanitizer"]["audits"] > 0
+
+    def test_env_crosses_worker_boundary(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1.0")
+        result = run_attempt(AttemptSpec(circuit="traffic"))
+        assert result.completed
+        assert result.extra["sanitizer"]["audits"] > 0
+
+    def test_spec_roundtrips_sanitize_field(self):
+        spec = AttemptSpec(circuit="traffic", sanitize=0.5)
+        assert AttemptSpec.from_dict(spec.to_dict()).sanitize == 0.5
+
+
+# ----------------------------------------------------------------------
+# Checkpoint-resume validation through RunMonitor
+# ----------------------------------------------------------------------
+
+
+class TestResumeValidation:
+    def write_checkpoint(self, directory):
+        bdd = BDD(["a", "b"])
+        node = bdd.and_(bdd.var(0), bdd.var(1))
+        saver = Checkpointer(directory, engine="bfv", circuit="traffic")
+        return saver.save(bdd, 3, functions={"frontier": node})
+
+    def test_tampered_meta_rejected_on_resume(self, tmp_path):
+        path = self.write_checkpoint(str(tmp_path))
+        with open(path) as handle:
+            text = handle.read()
+        assert '"iteration": 3' in text
+        with open(path, "w") as handle:
+            handle.write(text.replace('"iteration": 3', '"iteration": -3'))
+        loader = Checkpointer(
+            str(tmp_path), engine="bfv", circuit="traffic", resume=True
+        )
+        monitor = RunMonitor(BDD(["a", "b"]), None, loader, sanitize=1.0)
+        with pytest.raises(SanitizerError) as info:
+            monitor.restore()
+        assert info.value.invariant == "checkpoint.schema"
+
+    def test_intact_checkpoint_resumes(self, tmp_path):
+        self.write_checkpoint(str(tmp_path))
+        loader = Checkpointer(
+            str(tmp_path), engine="bfv", circuit="traffic", resume=True
+        )
+        monitor = RunMonitor(BDD(["a", "b"]), None, loader, sanitize=1.0)
+        snapshot = monitor.restore()
+        assert snapshot is not None and snapshot.iteration == 3

@@ -36,6 +36,11 @@ ALL_ENGINES = ("bfv", "tr", "cbm", "conj")
 #: tier-1 fast; CI's differential job raises it (REPRO_FUZZ_SEEDS=200).
 DIFFERENTIAL_SEEDS = int(os.environ.get("REPRO_FUZZ_SEEDS", "40"))
 
+#: Sanitizer rate for the campaign's engine runs (None = off).  CI's
+#: sanitized slice sets REPRO_SANITIZE=1.0 so every-iteration invariant
+#: auditing rides the differential probes (see docs/analysis.md).
+SANITIZE_RATE = float(os.environ.get("REPRO_SANITIZE", "0") or "0") or None
+
 
 def random_circuit(seed: int, max_latches=5, max_inputs=3, max_gates=14) -> Circuit:
     """A random, valid sequential circuit (deterministic per seed)."""
@@ -139,7 +144,7 @@ def assert_engines_agree(seed):
     truth = explicit_reachable(circuit)
     results = {}
     for engine in ALL_ENGINES:
-        result = ENGINES[engine](circuit)
+        result = ENGINES[engine](circuit, sanitize=SANITIZE_RATE)
         assert result.completed, (engine, seed, result.failure)
         results[engine] = result
     depth = results[ALL_ENGINES[0]].iterations
