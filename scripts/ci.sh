@@ -63,6 +63,14 @@ test -s "$SMOKE_DIR/journal-seq.jsonl"
 test -s "$SMOKE_DIR/journal.jsonl"
 cmp "$SMOKE_DIR/report-seq.json" "$SMOKE_DIR/report-par.json"
 
+echo "== serve smoke =="
+# A real `python -m repro serve` subprocess under a 50-request storm:
+# eight concurrent clients with duplicated requests (in-flight dedup +
+# result cache), a crash-injected attempt the server must degrade to a
+# resumable answer, a cancelled request, graceful SIGTERM shutdown, and
+# a /proc scan proving no engine process outlived the server.
+python scripts/serve_smoke.py
+
 echo "== sanitized reach smoke =="
 # Every engine under every-iteration invariant auditing (unique-table
 # canonicity, cache replay vs the reference kernels, BFV canonical

@@ -1,0 +1,229 @@
+#!/usr/bin/env python
+"""CI smoke for the reachability service: 50 concurrent requests.
+
+Boots a real ``python -m repro serve`` subprocess and drives it the way
+an unlucky day would: eight client threads firing duplicated requests
+(so in-flight dedup and the result cache both matter), one request whose
+supervised child is crash-injected every attempt (the server must
+degrade to a resumable answer, not die), and one deliberately wedged
+request that gets cancelled.  Afterwards the server is asked to shut
+down gracefully and /proc is scanned for orphaned engine processes.
+
+Exits nonzero with a message on any violated expectation.  Stdlib only.
+
+Usage: PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+import concurrent.futures
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.harness.faults import SERVE_PID_ENV_VAR  # noqa: E402
+from repro.serve import ServeClient  # noqa: E402
+
+BANNER = re.compile(r"serving on ([\d.]+):(\d+) \(pid (\d+)\)")
+CLIENTS = 8
+REQUESTS = 48  # six per client thread, over eight request shapes
+
+#: The duplicated request shapes.  The slow ones (a sub-second injected
+#: hang) stay in flight long enough that their duplicates are dedup
+#: hits, not cache hits.
+SLOW = [{"kind": "hang", "at_iteration": 1, "seconds": 0.75}]
+SHAPES = [
+    {"circuit": "traffic"},
+    {"circuit": "s27"},
+    {"circuit": "traffic", "order": "S2"},
+    {"circuit": "s27", "order": "S2"},
+    {"circuit": "traffic", "count_states": False},
+    {"circuit": "s27", "count_states": False},
+    {"circuit": "traffic", "faults": SLOW},
+    {"circuit": "s27", "faults": SLOW},
+]
+
+
+def fail(message):
+    print("serve smoke FAILED: %s" % message, file=sys.stderr)
+    sys.exit(1)
+
+
+def spawn_server(cache_dir, trace_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [sys.path[0]]
+        + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    )
+    env.pop(SERVE_PID_ENV_VAR, None)
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--cache-dir", cache_dir,
+            "--trace-dir", trace_dir,
+            "--pool", "2",
+        ],
+        stdout=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    line = proc.stdout.readline()
+    match = BANNER.search(line)
+    if not match:
+        fail("no serve banner, got %r" % line)
+    return proc, match.group(1), int(match.group(2)), int(match.group(3))
+
+
+def orphans_of(server_pid):
+    """Live pids whose environment names ``server_pid`` as their server."""
+    if not os.path.isdir("/proc"):
+        return []  # no orphan accounting on this platform
+    needle = ("%s=%d" % (SERVE_PID_ENV_VAR, server_pid)).encode() + b"\0"
+    found = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit() or int(entry) == server_pid:
+            continue
+        try:
+            with open("/proc/%s/environ" % entry, "rb") as handle:
+                environ = handle.read()
+        except OSError:
+            continue
+        if needle in environ:
+            found.append(int(entry))
+    return found
+
+
+def client_worker(host, port, index, barrier):
+    """One client thread: six requests, the first a synchronized wave.
+
+    Every client fires the same slow request at the same instant (the
+    barrier), so one attempt runs and the other seven are in-flight
+    dedup hits; the remaining requests round-robin over the shapes and
+    mostly land in the result cache.
+    """
+    statuses = []
+    with ServeClient(host, port, timeout=120.0) as client:
+        barrier.wait(timeout=60)
+        statuses.append(
+            client.reach(**dict(SHAPES[-1], max_seconds=120))["status"]
+        )
+        for turn in range(REQUESTS // CLIENTS - 1):
+            shape = SHAPES[(index + turn) % len(SHAPES)]
+            reply = client.reach(**dict(shape, max_seconds=120))
+            statuses.append(reply["status"])
+    return statuses
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="serve-smoke-")
+    cache_dir = os.path.join(workdir, "cache")
+    trace_dir = os.path.join(workdir, "trace")
+    proc, host, port, server_pid = spawn_server(cache_dir, trace_dir)
+    try:
+        print("== 50-request storm against pid %d ==" % server_pid)
+        barrier = threading.Barrier(CLIENTS)
+        pool = concurrent.futures.ThreadPoolExecutor(max_workers=CLIENTS)
+        futures = [
+            pool.submit(client_worker, host, port, index, barrier)
+            for index in range(CLIENTS)
+        ]
+        statuses = [
+            status
+            for future in concurrent.futures.as_completed(futures)
+            for status in future.result()
+        ]
+        pool.shutdown()
+        if statuses.count("ok") != REQUESTS:
+            fail("wanted %d ok replies, got %r" % (REQUESTS, statuses))
+
+        # Request 49: every attempt's supervised child is killed by an
+        # injected crash; retries exhaust and the server degrades to a
+        # resumable answer instead of dying or losing the request.
+        with ServeClient(host, port, timeout=120.0) as client:
+            reply = client.reach(
+                "traffic",
+                max_seconds=120,
+                faults=[{"kind": "die", "at_iteration": 1, "max_hits": 1}],
+            )
+            if reply["status"] != "resumable":
+                fail("crash-injected request got %r" % reply)
+            if reply["result"]["extra"].get("retries_exhausted") != 3:
+                fail("crash-injected request was not retried: %r" % reply)
+
+            # Request 50: wedge an attempt, then cancel it.
+            stuck_id = client.send(
+                {
+                    "op": "reach",
+                    "circuit": "s27",
+                    "max_seconds": 120,
+                    "faults": [
+                        {"kind": "hang", "at_iteration": 1, "seconds": 60}
+                    ],
+                }
+            )
+            time.sleep(0.5)
+            cancel_reply = client.call({"op": "cancel", "target": stuck_id})
+            if cancel_reply["status"] != "ok":
+                fail("cancel was not acknowledged: %r" % cancel_reply)
+            stuck_reply = client.wait(stuck_id)
+            if stuck_reply["status"] != "cancelled":
+                fail("cancelled request got %r" % stuck_reply)
+
+            status = client.status()
+        counters = status["counters"]
+        sessions = status["sessions"]
+        print(
+            "counters: %s"
+            % " ".join("%s=%d" % item for item in sorted(counters.items()))
+        )
+        print("dedup_hits=%d" % sessions["dedup_hits"])
+        if counters["requests"] < REQUESTS + 2:
+            fail("server saw %d requests" % counters["requests"])
+        if sessions["dedup_hits"] < CLIENTS // 2:
+            fail(
+                "the synchronized wave produced only %d in-flight dedup "
+                "hits" % sessions["dedup_hits"]
+            )
+        shared = sessions["dedup_hits"] + counters["cache_hits"]
+        if shared < REQUESTS - len(SHAPES):
+            fail(
+                "deduplication did not happen: %d shared answers for %d "
+                "requests over %d shapes"
+                % (shared, REQUESTS, len(SHAPES))
+            )
+        if counters["cancelled"] < 1:
+            fail("no cancellation recorded: %r" % counters)
+
+        print("== graceful shutdown ==")
+        proc.send_signal(signal.SIGTERM)
+        if proc.wait(timeout=60) != 0:
+            fail("server exited %r on SIGTERM" % proc.returncode)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        leftover = orphans_of(server_pid)
+        if not leftover:
+            break
+        time.sleep(0.05)
+    else:
+        fail("orphaned engine processes survived: %r" % leftover)
+    print("zero orphans for pid %d" % server_pid)
+    shutil.rmtree(workdir, ignore_errors=True)
+    print("serve smoke OK")
+
+
+if __name__ == "__main__":
+    main()

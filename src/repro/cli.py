@@ -9,8 +9,10 @@ statistics.  Long runs can be made fault-tolerant with
 circuit suite resiliently, and ``--jobs N`` spreads its cells over a
 parallel worker pool (see :mod:`repro.harness.scheduler`).  ``--trace-dir`` records per-iteration
 telemetry (see :mod:`repro.obs`) and ``python -m repro trace`` renders
-it as size-trajectory and phase-time tables.  ``python -m repro list``
-shows the built-in circuits.
+it as size-trajectory and phase-time tables.  ``python -m repro serve``
+exposes the whole stack as a fault-tolerant TCP service with a
+checkpoint-resuming result cache (see :mod:`repro.serve`).
+``python -m repro list`` shows the built-in circuits.
 """
 
 from __future__ import annotations
@@ -192,6 +194,88 @@ def build_parser() -> argparse.ArgumentParser:
     )
     equiv.add_argument(
         "--max-nodes", type=int, default=1_000_000, help="live-node budget"
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the reachability service (NDJSON over TCP)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=9559,
+        help="TCP port; 0 picks an ephemeral port (default: 9559)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        required=True,
+        metavar="DIR",
+        help=(
+            "content-addressed result + checkpoint cache; identical "
+            "requests are answered from here, and timed-out requests "
+            "resume from their checkpoints"
+        ),
+    )
+    serve.add_argument(
+        "--pool",
+        type=int,
+        default=2,
+        metavar="N",
+        help="supervised attempts run concurrently (default: 2)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        metavar="N",
+        help=(
+            "requests allowed to wait beyond the pool; excess load is "
+            "shed with a retry_after hint (default: 16)"
+        ),
+    )
+    serve.add_argument(
+        "--default-budget-seconds",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="engine time budget when the request names none (default: 60)",
+    )
+    serve.add_argument(
+        "--max-budget-seconds",
+        type=float,
+        default=600.0,
+        metavar="S",
+        help="ceiling on any request's time budget (default: 600)",
+    )
+    serve.add_argument(
+        "--max-rss-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="per-attempt RSS watchdog ceiling (default: off)",
+    )
+    serve.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=1,
+        metavar="N",
+        help="iterations between cache checkpoints (default: 1)",
+    )
+    serve.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        help=(
+            "write serve telemetry + per-attempt traces here; inspect "
+            "with `python -m repro trace DIR`"
+        ),
+    )
+    serve.add_argument(
+        "--journal",
+        metavar="FILE",
+        help="append retry/backoff records to this JSONL journal",
     )
 
     trace = sub.add_parser(
@@ -574,6 +658,59 @@ def cmd_equiv(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import contextlib
+    import signal
+
+    from .serve import AdmissionPolicy, ReachServer
+
+    policy = AdmissionPolicy(
+        max_queue=args.max_queue,
+        default_budget_seconds=args.default_budget_seconds,
+        max_budget_seconds=args.max_budget_seconds,
+        max_rss_mb=args.max_rss_mb,
+    )
+    server = ReachServer(
+        cache_dir=args.cache_dir,
+        host=args.host,
+        port=args.port,
+        pool_size=args.pool,
+        policy=policy,
+        trace_dir=args.trace_dir,
+        journal_path=args.journal,
+        checkpoint_interval=args.checkpoint_interval,
+    )
+
+    async def _main() -> None:
+        await server.start()
+        # The resolved port matters with --port 0; tests parse this line.
+        print(
+            "serving on %s:%d (pid %d)"
+            % (server.host, server.port, os.getpid()),
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, ValueError):  # pragma: no cover
+                pass
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        await stop.wait()
+        serve_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await serve_task
+        await server.close()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from .obs.report import render_trace_path
 
@@ -624,6 +761,7 @@ def main(argv=None) -> int:
         "info": cmd_info,
         "check": cmd_check,
         "equiv": cmd_equiv,
+        "serve": cmd_serve,
         "trace": cmd_trace,
         "lint": cmd_lint,
         "list": cmd_list,

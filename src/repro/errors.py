@@ -61,6 +61,16 @@ class HarnessError(ReproError):
     """Misuse or internal failure of the fault-tolerant run harness."""
 
 
+class ServeError(ReproError):
+    """Protocol or configuration error in the reachability service.
+
+    Raised by :mod:`repro.serve` for malformed requests (bad JSON,
+    unknown op, invalid options) and server misconfiguration.  Request
+    errors are reported back to the client as ``status="error"``
+    responses; they never take the server down.
+    """
+
+
 class CheckpointError(HarnessError):
     """A checkpoint file is unusable (corrupt, torn, or mismatched)."""
 

@@ -20,12 +20,16 @@ first-class outcomes; this package makes such runs survivable:
 * :mod:`~repro.harness.scheduler` — the parallel batch scheduler: a
   bounded shared-nothing worker pool over supervised children, with
   speculated fallback rungs, longest-expected-first dispatch, global
-  wall/RSS budgets, and deterministic merged reports (``--jobs N``).
+  wall/RSS budgets, and deterministic merged reports (``--jobs N``);
+* :mod:`~repro.harness.pool` — a long-lived bounded worker pool behind
+  futures, with per-attempt retry/backoff and cooperative cancellation,
+  feeding the ``python -m repro serve`` service (:mod:`repro.serve`).
 """
 
 from .checkpoint import Checkpointer, Snapshot
 from .journal import RunJournal, merge_journals
 from .policy import DEFAULT_ENGINE_LADDER, FallbackPolicy, run_with_fallback
+from .pool import WorkerPool
 from .runner import resilient_reach, run_batch
 from .scheduler import (
     BatchReport,
@@ -36,8 +40,8 @@ from .scheduler import (
     job_key,
     run_scheduled_batch,
 )
-from .supervisor import Supervisor, rss_bytes
-from .worker import AttemptSpec, run_attempt
+from .supervisor import RetryPolicy, Supervisor, rss_bytes
+from .worker import AttemptSpec, install_orphan_guard, run_attempt
 
 __all__ = [
     "AttemptSpec",
@@ -47,11 +51,14 @@ __all__ = [
     "Checkpointer",
     "DEFAULT_ENGINE_LADDER",
     "FallbackPolicy",
+    "RetryPolicy",
     "RunJournal",
     "Snapshot",
     "Supervisor",
     "WorkCell",
+    "WorkerPool",
     "expand_cells",
+    "install_orphan_guard",
     "job_key",
     "merge_journals",
     "resilient_reach",

@@ -23,14 +23,22 @@ import io
 import json
 import os
 import re
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import CheckpointError, ReproError
-from ..persist import atomic_write, dump_functions, load_functions
+from ..persist import atomic_write, dump_functions, fsync_dir, load_functions
 
 _MAGIC = "repro-ckpt 1"
 _FILE_RE = re.compile(r"^ckpt-(?P<tag>.+)-(?P<iteration>\d{8})\.rbdd$")
+
+#: Process-global callbacks ``hook(checkpointer, iteration)`` invoked at
+#: the start of every :meth:`Checkpointer.save`, after the payload is
+#: built but before the atomic write.  :mod:`repro.harness.faults` uses
+#: them to model crashes, hangs, and cancellations delivered
+#: mid-checkpoint-write — the window where durability bugs hide.
+save_hooks: List[Callable[["Checkpointer", int], None]] = []
 
 
 def _sanitize(text: str) -> str:
@@ -96,6 +104,10 @@ class Checkpointer:
         self.resume = resume
         #: Files skipped during the last :meth:`restore`: (path, reason).
         self.skipped: List[Tuple[str, str]] = []
+        #: Corrupt files quarantined (renamed ``*.corrupt``) by
+        #: :meth:`restore`, so a torn-but-parseable checkpoint cannot
+        #: wedge every retry of its cell.
+        self.quarantined: List[str] = []
         #: Number of snapshots written by this instance.
         self.saves = 0
 
@@ -169,6 +181,8 @@ class Checkpointer:
         if hasattr(bdd, "counters_snapshot"):
             meta["counters"] = bdd.counters_snapshot()
         path = self.path_for(iteration)
+        for hook in list(save_hooks):
+            hook(self, iteration)
         with atomic_write(path) as handle:
             handle.write(_MAGIC + "\n")
             handle.write("meta %s\n" % json.dumps(meta, sort_keys=True))
@@ -197,17 +211,46 @@ class Checkpointer:
         """Latest valid snapshot, or None (also when resume is off).
 
         Corrupt, torn, or mismatched files are skipped (recorded in
-        :attr:`skipped`) and the next-newest candidate is tried.
+        :attr:`skipped`) and the next-newest candidate is tried.  A file
+        that fails checksum/schema validation is additionally
+        *quarantined* — renamed with a ``.corrupt`` suffix after a
+        warning — so the same torn-but-parseable file cannot wedge every
+        subsequent retry of this cell; the run falls back to the
+        next-newest checkpoint or a fresh start.  Files that merely
+        belong to a *different* attempt flavor (engine/order/circuit
+        mismatch) are skipped but left in place: they are another
+        attempt's valid state, not corruption.
         """
         if not self.resume:
             return None
         self.skipped = []
+        self.quarantined = []
         for _, path in self.files():
             try:
                 return self.load(path, bdd)
             except ReproError as error:
                 self.skipped.append((path, str(error)))
+                if not isinstance(error, CheckpointError) or not str(
+                    error
+                ).startswith("checkpoint %s is for " % path):
+                    self._quarantine(path, str(error))
         return None
+
+    def _quarantine(self, path: str, reason: str) -> None:
+        """Rename a corrupt checkpoint out of the resume candidate set."""
+        quarantined = path + ".corrupt"
+        try:
+            os.replace(path, quarantined)
+            fsync_dir(path)
+        except OSError:  # pragma: no cover - raced deletion
+            return
+        self.quarantined.append(quarantined)
+        warnings.warn(
+            "quarantined corrupt checkpoint %s (%s); resuming from an "
+            "older snapshot or starting fresh" % (path, reason),
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def load(self, path: str, bdd) -> Snapshot:
         """Load and validate one checkpoint file into ``bdd``."""
@@ -224,6 +267,14 @@ class Checkpointer:
             meta = json.loads(lines[1][len("meta "):])
         except ValueError:
             raise CheckpointError("unparsable checkpoint meta in %s" % path)
+        if not isinstance(meta, dict):
+            raise CheckpointError(
+                "checkpoint meta is not an object in %s" % path
+            )
+        if not isinstance(meta.get("iteration"), int):
+            raise CheckpointError(
+                "checkpoint %s meta lacks an integer iteration" % path
+            )
         for key, expected in (
             ("engine", self.engine),
             ("circuit", self.circuit),

@@ -33,11 +33,28 @@ cross a process boundary as JSON) that fire at reproducible points:
     vector with a function that is anti-monotone in its own choice
     variable — a Sec 2.2 canonical-form violation the sanitizer must
     report as ``bfv.structure``.
+``{"kind": "server_crash", "at_iteration": k}``
+    SIGKILL the *serving* process at iteration ``k``: the pid named by
+    the ``REPRO_SERVE_PID`` env var (``python -m repro serve`` exports
+    its own pid, so supervised children inherit it), falling back to
+    the current process.  Models the reachability service dying mid-run
+    — the checkpoint-resuming cache must answer the retried request
+    from where the dead server left off.
+``{"kind": "client_disconnect", "at_iteration": k}``
+    Raise ``ResourceLimitError("cancelled")`` at iteration ``k`` — the
+    engine-side face of a requester that vanished: the run stops with a
+    journaled ``cancelled`` attempt, leaving its checkpoints behind as
+    a resumable cache entry.
 
 Every fault fires at most ``max_hits`` times (default: once).  Iteration
 faults ride the :attr:`repro.reach.common.RunMonitor.iteration_hooks`
-registry; allocation faults patch ``BDD._mk``.  Plans stack; use
-:func:`clear` (or ``plan.uninstall()``) to restore clean state.
+registry; allocation faults patch ``BDD._mk``.  An iteration-style
+fault may also set ``"during": "checkpoint"`` to fire from
+:data:`repro.harness.checkpoint.save_hooks` instead — i.e. *inside*
+``Checkpointer.save``, after the payload is built but before the atomic
+write — modelling crashes and cancellations delivered
+mid-checkpoint-write.  Plans stack; use :func:`clear` (or
+``plan.uninstall()``) to restore clean state.
 """
 
 from __future__ import annotations
@@ -53,8 +70,13 @@ from ..bdd.cache import OP_AND
 from ..bdd.manager import BDD, FREED_VAR
 from ..errors import HarnessError, ResourceLimitError
 from ..reach.common import RunMonitor
+from . import checkpoint as _checkpoint
 
 ENV_VAR = "REPRO_FAULTS"
+
+#: Env var naming the serving process a ``server_crash`` fault kills
+#: (``python -m repro serve`` exports its own pid under this name).
+SERVE_PID_ENV_VAR = "REPRO_SERVE_PID"
 
 KINDS = (
     "timeout",
@@ -65,6 +87,8 @@ KINDS = (
     "corrupt_unique",
     "corrupt_cache",
     "corrupt_bfv",
+    "server_crash",
+    "client_disconnect",
 )
 
 #: Currently installed plans (stacked; all are consulted).
@@ -104,6 +128,8 @@ class FaultPlan:
             return self
         _active.append(self)
         RunMonitor.iteration_hooks.append(self._on_iteration)
+        if any(f.get("during") == "checkpoint" for f in self.faults):
+            _checkpoint.save_hooks.append(self._on_checkpoint_save)
         if any(f["kind"] == "alloc" for f in self.faults):
             BDD._mk = _patched_mk
         self._installed = True
@@ -118,6 +144,8 @@ class FaultPlan:
             _active.remove(self)
         if self._on_iteration in RunMonitor.iteration_hooks:
             RunMonitor.iteration_hooks.remove(self._on_iteration)
+        if self._on_checkpoint_save in _checkpoint.save_hooks:
+            _checkpoint.save_hooks.remove(self._on_checkpoint_save)
         if not any(
             any(f["kind"] == "alloc" for f in plan.faults) for plan in _active
         ):
@@ -155,9 +183,22 @@ class FaultPlan:
             )
 
     def _on_iteration(self, monitor: RunMonitor, iteration: int) -> None:
+        self._fire("iteration", iteration, monitor=monitor)
+
+    def _on_checkpoint_save(self, checkpointer, iteration: int) -> None:
+        self._fire("checkpoint", iteration)
+
+    def _fire(
+        self,
+        during: str,
+        iteration: int,
+        monitor: Optional[RunMonitor] = None,
+    ) -> None:
         for fault in self.faults:
             kind = fault["kind"]
             if kind == "alloc":
+                continue
+            if str(fault.get("during", "iteration")) != during:
                 continue
             at = fault.get("at_iteration")
             if at is not None and iteration < int(at):
@@ -168,13 +209,25 @@ class FaultPlan:
                 raise ResourceLimitError(
                     "time",
                     "injected time-out at iteration %d" % iteration,
-                    elapsed=monitor.elapsed,
+                    elapsed=monitor.elapsed if monitor is not None else None,
+                    iteration=iteration,
+                )
+            if kind == "client_disconnect":
+                raise ResourceLimitError(
+                    "cancelled",
+                    "injected client disconnect at iteration %d" % iteration,
+                    elapsed=monitor.elapsed if monitor is not None else None,
                     iteration=iteration,
                 )
             if kind == "die":
                 signame = str(fault.get("signal", "SIGKILL"))
                 os.kill(os.getpid(), getattr(signal, signame))
                 # SIGKILL never returns; other signals may.
+                continue
+            if kind == "server_crash":
+                target = os.environ.get(SERVE_PID_ENV_VAR)
+                pid = int(target) if target else os.getpid()
+                os.kill(pid, signal.SIGKILL)
                 continue
             if kind == "hang":
                 time.sleep(float(fault.get("seconds", 3600.0)))
@@ -185,6 +238,8 @@ class FaultPlan:
                     mode=str(fault.get("mode", "truncate")),
                 )
                 continue
+            if monitor is None:
+                continue  # manager-level corruptions need the monitor
             if kind == "corrupt_unique":
                 corrupt_unique_table(monitor.bdd)
                 continue
@@ -210,11 +265,17 @@ def clear() -> None:
     for plan in list(_active):
         plan.uninstall()
     BDD._mk = _original_mk
+
+    def _foreign(hook) -> bool:
+        return getattr(hook, "__self__", None) is None or not isinstance(
+            hook.__self__, FaultPlan
+        )
+
     RunMonitor.iteration_hooks[:] = [
-        hook
-        for hook in RunMonitor.iteration_hooks
-        if getattr(hook, "__self__", None) is None
-        or not isinstance(hook.__self__, FaultPlan)
+        hook for hook in RunMonitor.iteration_hooks if _foreign(hook)
+    ]
+    _checkpoint.save_hooks[:] = [
+        hook for hook in _checkpoint.save_hooks if _foreign(hook)
     ]
 
 

@@ -13,6 +13,8 @@ import time
 import warnings
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from ..persist import fsync_dir
+
 
 class RunJournal:
     """A JSONL file of run/attempt records.
@@ -131,4 +133,5 @@ def merge_journals(
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, dest_path)
+    fsync_dir(dest_path)
     return len(items)

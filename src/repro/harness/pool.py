@@ -1,0 +1,170 @@
+"""Long-lived worker pool: supervised attempts behind futures.
+
+The batch scheduler owns its workers for the lifetime of one batch; a
+*service* needs the opposite shape — a pool that outlives any single
+request.  :class:`WorkerPool` keeps a bounded set of dispatcher threads
+alive indefinitely; each submitted :class:`~repro.harness.worker.AttemptSpec`
+still runs in its own supervised child process (shared-nothing, crash-
+isolated, watchdogged), so the pool itself holds no engine state and a
+dying attempt can never take a dispatcher down:
+:meth:`repro.harness.supervisor.Supervisor.run_with_retry` absorbs
+worker-spawn failures and transient child crashes with exponential
+backoff + jitter before reporting a journaled failure.
+
+Cancellation is cooperative end to end: every submission owns a
+:class:`~repro.harness.scheduler.CancelToken` which the supervisor's
+watchdog polls, so ``cancel()`` (or :meth:`shutdown`) kills the child
+within one poll interval — the mechanism the serve layer uses to reap
+abandoned requests.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Dict, Optional
+
+from ..reach import ReachResult
+from .scheduler import CancelToken
+from .supervisor import RetryPolicy, Supervisor
+from .worker import AttemptSpec
+
+
+class WorkerPool:
+    """A bounded, long-lived pool of supervised attempt dispatchers.
+
+    Parameters
+    ----------
+    size:
+        Maximum attempts in flight; further submissions queue.
+    supervisor:
+        Shared :class:`Supervisor` (stateless between runs).
+    retry:
+        :class:`RetryPolicy` applied to every attempt.
+    journal:
+        Optional :class:`repro.harness.journal.RunJournal` receiving
+        ``retry`` / ``retry_exhausted`` records from the retry path.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        supervisor: Optional[Supervisor] = None,
+        retry: Optional[RetryPolicy] = None,
+        journal: Optional[object] = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError("pool size must be >= 1, got %d" % size)
+        self.size = size
+        self.supervisor = supervisor or Supervisor()
+        self.retry = retry or RetryPolicy()
+        self.journal = journal
+        self._executor = ThreadPoolExecutor(
+            max_workers=size, thread_name_prefix="repro-pool"
+        )
+        self._lock = threading.Lock()
+        self._tokens: Dict[int, CancelToken] = {}
+        self._next_id = 0
+        self._closed = False
+        #: Monotonic counters (read via :meth:`stats`).
+        self.submitted = 0
+        self.completed = 0
+        self.running = 0
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        spec: AttemptSpec,
+        token: Optional[CancelToken] = None,
+        budget_seconds: Optional[float] = None,
+        max_rss_bytes: Optional[int] = None,
+        on_poll: Optional[Callable[[int, Optional[int]], None]] = None,
+    ) -> "Future[ReachResult]":
+        """Queue one attempt; returns a future resolving to its result.
+
+        The future never raises for attempt-side failures — crashes,
+        budget kills, and cancellations all come back as tagged
+        :class:`ReachResult` failures, exactly like the supervisor
+        itself.  ``token`` (optional) lets the caller cancel the attempt
+        before or during execution.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("pool is shut down")
+            token = token or CancelToken()
+            ticket = self._next_id
+            self._next_id += 1
+            self._tokens[ticket] = token
+            self.submitted += 1
+        # Per-submission jitter stream seeded by the ticket: retries of
+        # concurrent attempts decorrelate, yet any single attempt's
+        # backoff schedule is reproducible.
+        rng = random.Random(0xA5EED ^ ticket)
+
+        def _job() -> ReachResult:
+            with self._lock:
+                self.running += 1
+            try:
+                return self.supervisor.run_with_retry(
+                    spec,
+                    policy=self.retry,
+                    journal=self.journal,
+                    rng=rng,
+                    budget_seconds=budget_seconds,
+                    max_rss_bytes=max_rss_bytes,
+                    cancel=token,
+                    on_poll=on_poll,
+                )
+            finally:
+                with self._lock:
+                    self.running -= 1
+                    self.completed += 1
+                    self._tokens.pop(ticket, None)
+
+        return self._executor.submit(_job)
+
+    # ------------------------------------------------------------------
+    # Introspection + lifecycle
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of pool occupancy: submitted/completed/running/queued."""
+        with self._lock:
+            return {
+                "size": self.size,
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "running": self.running,
+                "queued": self.submitted - self.completed - self.running,
+            }
+
+    def cancel_all(self, reason: str = "cancelled") -> int:
+        """Set every outstanding token; returns how many were signalled."""
+        with self._lock:
+            tokens = list(self._tokens.values())
+        for token in tokens:
+            if not token.is_set():
+                token.set(reason)
+        return len(tokens)
+
+    def shutdown(self, wait: bool = True, reason: str = "cancelled") -> None:
+        """Cancel outstanding work and stop the dispatchers.
+
+        With ``wait=True`` this returns only after every in-flight
+        supervised child has been reaped — the no-orphans guarantee the
+        serve smoke test asserts.
+        """
+        with self._lock:
+            self._closed = True
+        self.cancel_all(reason)
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

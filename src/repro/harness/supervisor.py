@@ -15,13 +15,48 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import random
 import shutil
 import tempfile
 import time
-from typing import Optional
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from ..reach import ReachResult
 from .worker import AttemptSpec, child_main
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential backoff for transient supervisor-path failures.
+
+    Worker-spawn failures (``fork`` hitting a transient ``OSError``
+    under pid/memory pressure) and child crashes without a result file
+    are retried up to ``retries`` times with exponentially growing,
+    jittered delays.  Deterministic budget outcomes (``time`` /
+    ``memory`` / ``cancelled`` / …) are *never* retried — they are
+    results.  Once the cap is hit the last failure is journaled and
+    returned; the caller never hangs on a permanently broken spawn path.
+    """
+
+    retries: int = 2
+    backoff_seconds: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_cap: float = 5.0
+    #: Fraction of the delay added as uniform random jitter, decorrelating
+    #: a pool's worth of retries so they do not stampede the same
+    #: resource that caused the failure.
+    jitter: float = 0.25
+    #: Failure codes considered transient.
+    transient: Tuple[str, ...] = ("crash",)
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Jittered delay before retry number ``attempt`` (0-based)."""
+        base = min(
+            self.backoff_cap,
+            self.backoff_seconds * self.backoff_factor ** attempt,
+        )
+        return base * (1.0 + self.jitter * rng.random())
 
 
 def rss_bytes(pid: int) -> Optional[int]:
@@ -155,3 +190,84 @@ class Supervisor:
                 process.kill()
                 process.join()
             shutil.rmtree(workdir, ignore_errors=True)
+
+    def run_with_retry(
+        self,
+        spec: AttemptSpec,
+        policy: Optional[RetryPolicy] = None,
+        journal: Optional[object] = None,
+        rng: Optional[random.Random] = None,
+        sleep=time.sleep,
+        **run_kwargs,
+    ) -> ReachResult:
+        """:meth:`run` with bounded, jittered retries of transient failures.
+
+        Retried failures are worker-spawn errors (an ``OSError`` out of
+        ``Process.start``, absorbed into a ``crash``-tagged result) and
+        any failure code in ``policy.transient`` — by default only
+        ``crash``, the code for a child that died without reporting.
+        Cooperative cancellation short-circuits the loop: a set
+        ``cancel`` token means the caller no longer wants the result,
+        so the failure is returned as-is.
+
+        Every retry appends a ``retry`` record to ``journal`` (a
+        :class:`repro.harness.journal.RunJournal`, optional); exhausting
+        the cap appends ``retry_exhausted`` and *returns* the last
+        failure instead of raising — a downgrade, never a hang.
+        """
+        policy = policy or RetryPolicy()
+        # Deterministic default jitter stream: reproducible tests, while
+        # a pool passing its own seeded rng still decorrelates workers.
+        rng = rng or random.Random(0x5EED)
+        cancel = run_kwargs.get("cancel")
+        result: Optional[ReachResult] = None
+        for attempt in range(policy.retries + 1):
+            try:
+                result = self.run(spec, **run_kwargs)
+            except OSError as error:
+                result = ReachResult(
+                    engine=spec.engine,
+                    circuit=spec.circuit,
+                    order=spec.order,
+                    completed=False,
+                    failure="crash",
+                    extra={
+                        "spawn_error": "%s: %s"
+                        % (type(error).__name__, error)
+                    },
+                )
+            if result.completed or result.failure not in policy.transient:
+                return result
+            if cancel is not None and cancel.is_set():
+                return result
+            if attempt == policy.retries:
+                break
+            delay = policy.delay(attempt, rng)
+            if journal is not None:
+                journal.append(
+                    {
+                        "event": "retry",
+                        "circuit": spec.circuit,
+                        "engine": spec.engine,
+                        "order": spec.order,
+                        "failure": result.failure,
+                        "attempt": attempt + 1,
+                        "of": policy.retries + 1,
+                        "delay_seconds": delay,
+                        "spawn_error": result.extra.get("spawn_error"),
+                    }
+                )
+            sleep(delay)
+        if journal is not None:
+            journal.append(
+                {
+                    "event": "retry_exhausted",
+                    "circuit": spec.circuit,
+                    "engine": spec.engine,
+                    "order": spec.order,
+                    "failure": result.failure,
+                    "attempts": policy.retries + 1,
+                }
+            )
+        result.extra["retries_exhausted"] = policy.retries + 1
+        return result

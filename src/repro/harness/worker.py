@@ -13,15 +13,21 @@ from __future__ import annotations
 
 import json
 import os
+import stat
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 from ..circuits.catalog import resolve
 from ..obs import file_tracer
 from ..order import order_for
+from ..persist import fsync_dir
 from ..reach import ENGINES, ReachLimits, ReachResult
+from ..reach.common import RunMonitor
 from . import faults as _faults
 from .checkpoint import Checkpointer
+
+#: Exit status of a child that noticed its supervisor vanished.
+ORPHAN_EXIT_CODE = 86
 
 #: Env var carrying a sanitizer rate across the supervised-child
 #: boundary (mirrors how ``trace_dir`` rides the spec): a float in
@@ -144,6 +150,70 @@ def run_attempt(spec: AttemptSpec) -> ReachResult:
             plan.uninstall()
 
 
+def install_orphan_guard() -> None:
+    """Exit the child if its supervising parent process disappears.
+
+    Supervised children are daemonic, but ``SIGKILL`` of the parent
+    (e.g. the serve process dying mid-run, or the kill-resume soak test)
+    skips the multiprocessing atexit cleanup and would leave the engine
+    running forever under init.  This registers a per-iteration hook
+    that notices the re-parenting (``getppid`` changed) and exits with
+    :data:`ORPHAN_EXIT_CODE` — the last checkpoint written is exactly
+    the state the restarted server resumes from.
+    """
+    parent = os.getppid()
+
+    def _orphan_guard(monitor: RunMonitor, iteration: int) -> None:
+        if os.getppid() != parent:
+            os._exit(ORPHAN_EXIT_CODE)
+
+    RunMonitor.iteration_hooks.append(_orphan_guard)
+
+
+def _close_inherited_sockets() -> None:
+    """Close every socket fd a forked engine child inherited.
+
+    An engine child needs no network, but ``fork`` duplicates the
+    serving process's listener and accepted-connection fds into it.
+    Those duplicates keep TCP connections half-open for as long as an
+    attempt runs: a client that disconnects is not seen to disconnect
+    (its FIN is ignored while a dup of the socket survives here), and
+    a closed server keeps its port busy.  Only sockets are closed —
+    multiprocessing's pipes and the result/checkpoint files stay up.
+    """
+    try:
+        fds = [int(name) for name in os.listdir("/proc/self/fd")]
+    except (OSError, ValueError):  # pragma: no cover - no /proc
+        return
+    for fd in fds:
+        if fd <= 2:
+            continue
+        try:
+            if stat.S_ISSOCK(os.fstat(fd).st_mode):
+                os.close(fd)
+        except OSError:
+            continue
+
+
+def _disarm_inherited_executors() -> None:
+    """Drop executor shutdown hooks a forked child inherited.
+
+    A child forked from a ``ThreadPoolExecutor`` dispatcher thread (the
+    serve layer's worker pool) inherits the executor's atexit hook,
+    which joins worker threads at interpreter shutdown — but after the
+    fork the dispatcher thread *is* this child's main thread, so the
+    join raises ``cannot join current thread`` and turns every clean
+    exit into exitcode 1.  The inherited threads do not exist in the
+    child anyway; forget them.
+    """
+    try:
+        import concurrent.futures.thread as cf_thread
+
+        cf_thread._threads_queues.clear()
+    except (ImportError, AttributeError):  # pragma: no cover - stdlib drift
+        pass
+
+
 def child_main(spec_dict: Dict[str, object], result_path: str) -> None:
     """Supervisor child entry: run the attempt, report JSON, exit.
 
@@ -151,7 +221,10 @@ def child_main(spec_dict: Dict[str, object], result_path: str) -> None:
     is itself the report, which the supervisor converts into a tagged
     failure result.
     """
+    _disarm_inherited_executors()
+    _close_inherited_sockets()
     _faults.install_from_env()
+    install_orphan_guard()
     spec = AttemptSpec.from_dict(spec_dict)
     result = run_attempt(spec)
     tmp = result_path + ".tmp"
@@ -160,3 +233,4 @@ def child_main(spec_dict: Dict[str, object], result_path: str) -> None:
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, result_path)
+    fsync_dir(result_path)

@@ -221,12 +221,83 @@ def render_run(
     return "\n".join(lines)
 
 
+def render_serve(records: Sequence[Dict[str, object]]) -> str:
+    """Service section: request dispositions + latest counters snapshot.
+
+    Built from the ``serve_request`` / ``serve_counters`` events the
+    reachability service (``python -m repro serve``) writes into its
+    ``--trace-dir``; the dedup/shed/resume counters here are the
+    service-health view the per-run tables cannot show.
+    """
+    requests = [r for r in records if r.get("event") == "serve_request"]
+    counters = [r for r in records if r.get("event") == "serve_counters"]
+    lines = ["== serve =="]
+    if requests:
+        by_disposition: Dict[str, int] = {}
+        for record in requests:
+            disposition = str(record.get("disposition", "?"))
+            by_disposition[disposition] = by_disposition.get(disposition, 0) + 1
+        rows = [["Disposition", "Requests"]]
+        for disposition, count in sorted(by_disposition.items()):
+            rows.append([disposition, _fmt_int(count)])
+        lines.append(format_grid(rows))
+    if counters:
+        latest = counters[-1]
+        bits = []
+        for name in (
+            "requests",
+            "ok",
+            "cache_hits",
+            "dedup_hits",
+            "resumes",
+            "resumable_stored",
+            "shed",
+            "cancelled",
+            "abandoned",
+            "disconnects",
+            "errors",
+        ):
+            value = latest.get(name)
+            if isinstance(value, int):
+                bits.append("%s %d" % (name, value))
+        if bits:
+            lines.append("counters: " + ", ".join(bits))
+        cache = latest.get("cache")
+        if isinstance(cache, dict):
+            lines.append(
+                "cache: %s complete, %s resumable, %s corrupt"
+                % (
+                    cache.get("complete", "-"),
+                    cache.get("resumable", "-"),
+                    cache.get("corrupt", "-"),
+                )
+            )
+    if len(lines) == 1:
+        lines.append("(no serve events)")
+    return "\n".join(lines)
+
+
 def render_trace(records: Iterable[Dict[str, object]]) -> str:
-    """Report for every run found in ``records``."""
-    groups = group_runs(records)
-    if not groups:
+    """Report for every run found in ``records``.
+
+    Service telemetry (``serve_*`` events) renders as its own section
+    after the per-run tables instead of polluting the run grouping.
+    """
+    serve_records: List[Dict[str, object]] = []
+    run_records: List[Dict[str, object]] = []
+    for record in records:
+        if str(record.get("event", "")).startswith("serve_"):
+            serve_records.append(record)
+        else:
+            run_records.append(record)
+    sections = [
+        render_run(key, group) for key, group in group_runs(run_records)
+    ]
+    if serve_records:
+        sections.append(render_serve(serve_records))
+    if not sections:
         return "(no trace records)"
-    return "\n\n".join(render_run(key, group) for key, group in groups)
+    return "\n\n".join(sections)
 
 
 def render_trace_path(path: str) -> str:

@@ -34,14 +34,44 @@ from .errors import PersistError, ReproError
 _MAGIC = "repro-bdd 1"
 
 
+def fsync_dir(path: str) -> None:
+    """fsync the directory containing ``path`` (or ``path`` itself).
+
+    ``os.replace`` makes a rename atomic, but on ext4-style journaling
+    filesystems the *directory entry* is not durable until the directory
+    inode is synced: a power cut just after the rename can roll the
+    directory back, losing the new name entirely.  Every atomic-replace
+    writer in this repo (checkpoints, journals, cache entries, the
+    supervisor's result files) calls this after its ``os.replace``.
+
+    Best-effort: platforms that cannot open or fsync a directory (or a
+    directory that vanished concurrently) are silently tolerated — the
+    rename itself already happened.
+    """
+    directory = path if os.path.isdir(path) else os.path.dirname(
+        os.path.abspath(path)
+    )
+    try:
+        fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
 @contextmanager
 def atomic_write(path: str) -> Iterator[TextIO]:
     """Write ``path`` atomically: temp file in the same directory, fsync,
-    then ``os.replace``.
+    then ``os.replace``, then an fsync of the parent directory.
 
     A crash mid-write leaves the previous file contents intact; readers
-    never observe a torn file.  Used by :func:`save` and by the harness
-    checkpoint/journal writers.
+    never observe a torn file; and the directory fsync makes the rename
+    itself durable (see :func:`fsync_dir`).  Used by :func:`save` and by
+    the harness checkpoint/journal writers.
     """
     directory = os.path.dirname(os.path.abspath(path)) or "."
     fd, tmp = tempfile.mkstemp(
@@ -53,6 +83,7 @@ def atomic_write(path: str) -> Iterator[TextIO]:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)
+        fsync_dir(path)
     except BaseException:
         try:
             os.unlink(tmp)

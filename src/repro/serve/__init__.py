@@ -1,0 +1,45 @@
+"""Reachability-as-a-service: the ``python -m repro serve`` subsystem.
+
+Turns the fault-tolerant harness into a long-running service: an
+asyncio NDJSON front-end (:mod:`~repro.serve.server`) over a long-lived
+supervised worker pool, with a persistent content-addressed result +
+checkpoint cache (:mod:`~repro.serve.cache`) that lets timed-out or
+killed requests *resume* instead of restart, in-flight deduplication
+and cooperative abandonment (:mod:`~repro.serve.session`), and bounded
+admission with load shedding (:mod:`~repro.serve.admission`).  The wire
+protocol lives in :mod:`~repro.serve.protocol`; a small blocking client
+in :mod:`~repro.serve.client`.  See ``docs/serving.md``.
+"""
+
+from .admission import AdmissionController, AdmissionPolicy, Ticket
+from .cache import COMPLETE, RESUMABLE, CacheEntry, ResultCache
+from .client import ServeClient
+from .protocol import (
+    PROTOCOL,
+    ReachRequest,
+    Request,
+    encode,
+    parse_request,
+    response,
+)
+from .server import ReachServer
+from .session import SessionManager
+
+__all__ = [
+    "COMPLETE",
+    "PROTOCOL",
+    "RESUMABLE",
+    "AdmissionController",
+    "AdmissionPolicy",
+    "CacheEntry",
+    "ReachRequest",
+    "ReachServer",
+    "Request",
+    "ResultCache",
+    "ServeClient",
+    "SessionManager",
+    "Ticket",
+    "encode",
+    "parse_request",
+    "response",
+]

@@ -1,0 +1,126 @@
+"""Admission control: bounded queueing, budget clamps, load shedding.
+
+The service degrades gracefully instead of falling over: every request
+passes the :class:`AdmissionController` before any work starts.  It
+enforces a bounded queue on top of the worker pool (beyond it, requests
+are *shed* with a ``retry_after`` hint rather than queued without
+bound), clamps per-request budgets to server-wide ceilings, and tracks
+the shed/admit counters the telemetry layer reports.
+
+Shedding is deliberately cheap and stateless — a shed request costs one
+dictionary and one write, so an overloaded server stays responsive
+enough to keep saying "not now".
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class AdmissionPolicy:
+    """Server-wide limits applied to every request."""
+
+    #: Requests allowed to wait for a pool slot beyond those running.
+    max_queue: int = 16
+    #: Engine time budget used when the request names none.
+    default_budget_seconds: float = 60.0
+    #: Hard ceiling on any request's engine time budget.
+    max_budget_seconds: float = 600.0
+    #: Watchdog grace multiplier/offset over the engine budget: the
+    #: supervisor kills the child at ``budget * factor + grace``.
+    watchdog_factor: float = 1.5
+    watchdog_grace_seconds: float = 5.0
+    #: Per-child RSS ceiling (None disables the RSS watchdog).
+    max_rss_mb: Optional[float] = None
+    #: Floor for the Retry-After hint handed to shed clients.
+    min_retry_after_seconds: float = 1.0
+
+
+@dataclass
+class Ticket:
+    """An admitted request's resolved budgets."""
+
+    max_seconds: float
+    budget_seconds: float
+    max_rss_bytes: Optional[int]
+
+
+class AdmissionController:
+    """Gatekeeper in front of the worker pool."""
+
+    def __init__(self, policy: Optional[AdmissionPolicy] = None) -> None:
+        self.policy = policy or AdmissionPolicy()
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self.admitted = 0
+        self.shed = 0
+        self.peak_inflight = 0
+
+    # ------------------------------------------------------------------
+
+    def try_admit(
+        self, pool_size: int, requested_seconds: Optional[float] = None
+    ) -> Optional[Ticket]:
+        """Admit one request, or return None (shed) when the queue is full.
+
+        ``pool_size`` is the number of concurrently *running* attempts
+        the pool allows; admission allows ``pool_size + max_queue``
+        in-flight requests total.  Deduplicated waiters do not pass
+        through here — attaching to an in-flight attempt costs nothing,
+        so it is never shed.
+        """
+        policy = self.policy
+        with self._lock:
+            if self._inflight >= pool_size + policy.max_queue:
+                self.shed += 1
+                return None
+            self._inflight += 1
+            self.admitted += 1
+            if self._inflight > self.peak_inflight:
+                self.peak_inflight = self._inflight
+        max_seconds = min(
+            requested_seconds or policy.default_budget_seconds,
+            policy.max_budget_seconds,
+        )
+        budget = (
+            max_seconds * policy.watchdog_factor
+            + policy.watchdog_grace_seconds
+        )
+        max_rss = (
+            int(policy.max_rss_mb * 1024 * 1024)
+            if policy.max_rss_mb is not None
+            else None
+        )
+        return Ticket(
+            max_seconds=max_seconds,
+            budget_seconds=budget,
+            max_rss_bytes=max_rss,
+        )
+
+    def release(self) -> None:
+        """Return an admitted request's slot (call exactly once)."""
+        with self._lock:
+            self._inflight -= 1
+
+    def retry_after(self, pool_stats: dict, typical_seconds: float) -> float:
+        """Retry-After hint for a shed client, from current occupancy.
+
+        A straight queue-drain estimate: how long until today's backlog
+        clears if every queued attempt takes ``typical_seconds``.
+        """
+        queued = max(0, int(pool_stats.get("queued", 0)))
+        size = max(1, int(pool_stats.get("size", 1)))
+        estimate = (queued + 1) * typical_seconds / size
+        return max(self.policy.min_retry_after_seconds, round(estimate, 1))
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "inflight": self._inflight,
+                "admitted": self.admitted,
+                "shed": self.shed,
+                "peak_inflight": self.peak_inflight,
+            }

@@ -1,0 +1,218 @@
+"""Persistent, content-addressed result + checkpoint cache.
+
+Layout under the cache root (``key`` is the request fingerprint from
+:meth:`repro.serve.protocol.ReachRequest.fingerprint`)::
+
+    <root>/<key[:2]>/<key>/entry.json   checksummed result record
+    <root>/<key[:2]>/<key>/ckpt/        the attempt's checkpoint dir
+
+``entry.json`` is written atomically (tmp + rename + directory fsync)
+and carries a sha256 checksum over its own payload; a load that fails
+the checksum or schema is quarantined (``entry.json.corrupt``) and
+treated as a miss — a corrupt cache degrades to recomputation, never to
+a crash or a wrong answer.  The ``ckpt/`` directory is a plain
+:class:`repro.harness.checkpoint.Checkpointer` target, so resuming a
+timed-out request is exactly the harness's resume path: the server
+points the next attempt at the same directory with ``resume=True`` and
+the engine continues from the last intact snapshot (corrupt snapshots
+are themselves quarantined by the checkpointer).
+
+Entry statuses:
+
+* ``complete`` — a finished result; served without running anything.
+* ``resumable`` — a partial result from a budget-exhausted or killed
+  attempt whose checkpoint survived; served as a progress report, and
+  the next ``run``-mode request resumes from the checkpoint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import warnings
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..persist import fsync_dir
+from ..reach import ReachResult
+
+#: Schema tag of ``entry.json``; bump on incompatible layout changes.
+ENTRY_SCHEMA = "repro-serve-cache 1"
+
+COMPLETE = "complete"
+RESUMABLE = "resumable"
+
+
+@dataclass
+class CacheEntry:
+    """One decoded cache record."""
+
+    key: str
+    status: str  # COMPLETE | RESUMABLE
+    result: ReachResult
+    path: str
+
+
+def _checksum(payload: Dict[str, object]) -> str:
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True, default=str).encode()
+    ).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed cache of reachability results and checkpoints."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        #: Paths quarantined by this process (for tests/telemetry).
+        self.quarantined: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    def entry_dir(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key)
+
+    def entry_path(self, key: str) -> str:
+        return os.path.join(self.entry_dir(key), "entry.json")
+
+    def checkpoint_dir(self, key: str) -> str:
+        """The key's checkpoint directory (created on demand)."""
+        path = os.path.join(self.entry_dir(key), "ckpt")
+        os.makedirs(path, exist_ok=True)
+        return path
+
+    # ------------------------------------------------------------------
+    # Read
+    # ------------------------------------------------------------------
+
+    def lookup(self, key: str) -> Optional[CacheEntry]:
+        """The key's entry, or None on miss/corruption (quarantined)."""
+        path = self.entry_path(key)
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except OSError:
+            return None
+        except ValueError:
+            self._quarantine(path, "entry is not valid JSON")
+            return None
+        problem = self._validate(data, key)
+        if problem is not None:
+            self._quarantine(path, problem)
+            return None
+        return CacheEntry(
+            key=key,
+            status=str(data["status"]),
+            result=ReachResult.from_dict(data["result"]),
+            path=path,
+        )
+
+    def _validate(self, data: object, key: str) -> Optional[str]:
+        if not isinstance(data, dict):
+            return "entry is not a JSON object"
+        if data.get("schema") != ENTRY_SCHEMA:
+            return "entry schema is %r, want %r" % (
+                data.get("schema"),
+                ENTRY_SCHEMA,
+            )
+        if data.get("key") != key:
+            return "entry is for key %r" % data.get("key")
+        if data.get("status") not in (COMPLETE, RESUMABLE):
+            return "entry status is %r" % data.get("status")
+        if not isinstance(data.get("result"), dict):
+            return "entry result is not an object"
+        recorded = data.get("checksum")
+        payload = {k: v for k, v in data.items() if k != "checksum"}
+        if recorded != _checksum(payload):
+            return "entry checksum mismatch"
+        try:
+            ReachResult.from_dict(data["result"])
+        except TypeError as error:
+            return "entry result does not decode: %s" % error
+        return None
+
+    def _quarantine(self, path: str, reason: str) -> None:
+        corrupt = path + ".corrupt"
+        try:
+            os.replace(path, corrupt)
+            fsync_dir(path)
+        except OSError:  # pragma: no cover - racing cleanup
+            return
+        self.quarantined.append(corrupt)
+        warnings.warn(
+            "quarantined corrupt cache entry %s -> %s (%s)"
+            % (path, corrupt, reason),
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    # ------------------------------------------------------------------
+    # Write
+    # ------------------------------------------------------------------
+
+    def store(self, key: str, result: ReachResult, status: str) -> str:
+        """Atomically persist ``result`` under ``key``; returns the path."""
+        if status not in (COMPLETE, RESUMABLE):
+            raise ValueError("bad cache entry status %r" % status)
+        payload: Dict[str, object] = {
+            "schema": ENTRY_SCHEMA,
+            "key": key,
+            "status": status,
+            "result": result.to_dict(),
+        }
+        payload["checksum"] = _checksum(
+            {k: v for k, v in payload.items() if k != "checksum"}
+        )
+        path = self.entry_path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle, sort_keys=True, default=str)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        fsync_dir(path)
+        return path
+
+    def has_checkpoints(self, key: str) -> bool:
+        """True when the key's checkpoint dir holds at least one snapshot."""
+        path = os.path.join(self.entry_dir(key), "ckpt")
+        try:
+            names = os.listdir(path)
+        except OSError:
+            return False
+        return any(name.endswith(".rbdd") for name in names)
+
+    def stats(self) -> Dict[str, int]:
+        """Counts of complete/resumable entries on disk (walks the root)."""
+        complete = resumable = corrupt = 0
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for key in sorted(os.listdir(shard_dir)):
+                entry = os.path.join(shard_dir, key, "entry.json")
+                if os.path.exists(entry + ".corrupt"):
+                    corrupt += 1
+                if not os.path.exists(entry):
+                    continue
+                try:
+                    with open(entry) as handle:
+                        data = json.load(handle)
+                    status = data.get("status")
+                except (OSError, ValueError, AttributeError):
+                    corrupt += 1
+                    continue
+                if status == COMPLETE:
+                    complete += 1
+                elif status == RESUMABLE:
+                    resumable += 1
+        return {
+            "complete": complete,
+            "resumable": resumable,
+            "corrupt": corrupt,
+        }

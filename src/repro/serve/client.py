@@ -1,0 +1,125 @@
+"""Minimal synchronous client for the reachability service.
+
+A thin blocking socket wrapper over the NDJSON protocol, used by the
+test suite, the CI smoke script, and anyone scripting against
+``python -m repro serve`` without an asyncio stack.  One client holds
+one connection; requests can be pipelined (``send`` then match ids via
+``recv``) or issued call-and-wait (``reach`` / ``status`` / ...).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, List, Optional
+
+from ..errors import ServeError
+from .protocol import PROTOCOL
+
+
+class ServeClient:
+    """Blocking NDJSON client; usable as a context manager."""
+
+    def __init__(
+        self, host: str, port: int, timeout: Optional[float] = 30.0
+    ) -> None:
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        # Requests are tiny; Nagle would batch pipelined lines behind
+        # the previous ACK and serialize what should run concurrently.
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._file = self.sock.makefile("rwb")
+        self.greeting = self._read()
+        if self.greeting.get("server") != PROTOCOL:
+            raise ServeError(
+                "unexpected server greeting: %r" % (self.greeting,)
+            )
+        #: Server pid from the greeting (the smoke test's crash target).
+        self.server_pid = self.greeting.get("pid")
+        self._next_id = 0
+        self._pending: Dict[str, Dict[str, object]] = {}
+
+    # ------------------------------------------------------------------
+    # Wire primitives
+    # ------------------------------------------------------------------
+
+    def _read(self) -> Dict[str, object]:
+        line = self._file.readline()
+        if not line:
+            raise ServeError("server closed the connection")
+        try:
+            message = json.loads(line.decode())
+        except ValueError as error:
+            raise ServeError("unparsable server line: %s" % error)
+        if not isinstance(message, dict):
+            raise ServeError("server sent a non-object line")
+        return message
+
+    def send(self, request: Dict[str, object]) -> str:
+        """Send one raw request (an ``id`` is added if absent)."""
+        request = dict(request)
+        if "id" not in request:
+            self._next_id += 1
+            request["id"] = "c%d" % self._next_id
+        self._file.write(
+            (json.dumps(request, sort_keys=True) + "\n").encode()
+        )
+        self._file.flush()
+        return str(request["id"])
+
+    def recv(self) -> Dict[str, object]:
+        """Next response from the socket, in arrival order."""
+        return self._read()
+
+    def wait(self, request_id: str) -> Dict[str, object]:
+        """Block until the response for ``request_id`` arrives.
+
+        Out-of-order responses for other pipelined requests are parked
+        and returned by their own :meth:`wait` calls later.
+        """
+        parked = self._pending.pop(request_id, None)
+        if parked is not None:
+            return parked
+        while True:
+            message = self._read()
+            if message.get("id") == request_id:
+                return message
+            self._pending[str(message.get("id"))] = message
+
+    def call(self, request: Dict[str, object]) -> Dict[str, object]:
+        return self.wait(self.send(request))
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+
+    def reach(self, circuit: str, **options: object) -> Dict[str, object]:
+        request: Dict[str, object] = {"op": "reach", "circuit": circuit}
+        request.update(options)
+        return self.call(request)
+
+    def batch(self, requests: List[Dict[str, object]]) -> Dict[str, object]:
+        return self.call({"op": "batch", "requests": requests})
+
+    def status(self) -> Dict[str, object]:
+        return self.call({"op": "status"})
+
+    def cancel(self, target: str) -> Dict[str, object]:
+        return self.call({"op": "cancel", "target": target})
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,243 @@
+"""Wire protocol of the reachability service: NDJSON requests/responses.
+
+One request is one JSON object on one line; the server answers each with
+one JSON response line carrying the same client-chosen ``id``.  The
+protocol is deliberately transport-trivial (``nc`` works) so the serve
+layer's value is entirely in the semantics behind it: content-addressed
+caching, checkpoint resume, dedup, and admission control.
+
+Request shapes (``op`` selects the verb)::
+
+    {"op": "reach",  "id": "r1", "circuit": "traffic", "engine": "bfv",
+     "order": "S1", "max_seconds": 60, "mode": "run"}
+    {"op": "batch",  "id": "b1", "requests": [{...reach fields...}, ...]}
+    {"op": "status", "id": "s1"}
+    {"op": "cancel", "id": "c1", "target": "r1"}
+
+Responses carry ``status``: ``ok`` (result attached), ``resumable``
+(budget ran out but a checkpoint survived — the partial result is
+attached and re-asking resumes instead of restarting), ``failed``
+(attempt failed with no checkpoint to resume), ``shed`` (admission
+control refused; ``retry_after`` seconds hints when to come back),
+``cancelled``, ``miss`` (a ``mode=peek`` probe found nothing), or
+``error`` (malformed request — the connection stays up).
+
+Malformed input raises :class:`repro.errors.ServeError`, which the
+server converts to an ``error`` response; nothing a client sends can
+take the server down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..circuits import bench
+from ..circuits.catalog import resolve
+from ..errors import ServeError
+from ..order import FAMILIES
+from ..reach import ENGINES
+
+#: Protocol identifier sent in the greeting line of every connection.
+PROTOCOL = "repro-serve 1"
+
+#: Verbs a request may carry.
+OPS = ("reach", "batch", "status", "cancel")
+
+#: ``reach`` execution modes: ``run`` executes (or resumes) the
+#: analysis; ``peek`` only probes the cache and never starts work.
+MODES = ("run", "peek")
+
+
+@dataclass
+class ReachRequest:
+    """One validated ``reach`` request (also the unit inside ``batch``)."""
+
+    id: str
+    circuit: str
+    engine: str = "bfv"
+    order: str = "S1"
+    max_seconds: Optional[float] = None
+    max_nodes: Optional[int] = None
+    max_iterations: Optional[int] = None
+    count_states: bool = True
+    mode: str = "run"
+    #: Deterministic fault plan for the attempt (tests only); rides the
+    #: spec into the supervised child like ``--faults`` does elsewhere.
+    faults: Optional[List[Dict[str, object]]] = None
+
+    def fingerprint(self) -> str:
+        """Content-addressed cache key of this request.
+
+        The key hashes the *semantics* of the answer: the circuit's
+        serialized netlist (so renamed or edited ``.bench`` files get
+        distinct entries while identical content shares one), the
+        engine, the order family, and the options that change the
+        result (``count_states``, ``max_iterations``, ``faults``).
+        Budgets (``max_seconds`` / ``max_nodes``) are deliberately
+        excluded: a request retried with a bigger budget must hit the
+        resumable entry its timed-out predecessor left behind.
+        """
+        circuit = resolve(self.circuit)
+        # Drop the leading "# <name>" header: the name comes from the
+        # file basename, and a renamed copy of the same netlist must
+        # share the cache entry.
+        netlist = bench.dumps(circuit).split("\n", 1)[1]
+        circuit_sha = hashlib.sha256(netlist.encode()).hexdigest()
+        payload = json.dumps(
+            {
+                "circuit_sha": circuit_sha,
+                "engine": self.engine,
+                "order": self.order,
+                "count_states": self.count_states,
+                "max_iterations": self.max_iterations,
+                "faults": self.faults,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass
+class Request:
+    """A parsed request envelope."""
+
+    op: str
+    id: str
+    reach: Optional[ReachRequest] = None
+    requests: List[ReachRequest] = field(default_factory=list)
+    target: Optional[str] = None
+
+
+def _require_str(data: Dict[str, object], key: str) -> str:
+    value = data.get(key)
+    if not isinstance(value, str) or not value:
+        raise ServeError("request field %r must be a non-empty string" % key)
+    return value
+
+
+def _optional_number(data: Dict[str, object], key: str):
+    value = data.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ServeError("request field %r must be a number" % key)
+    if value <= 0:
+        raise ServeError("request field %r must be positive" % key)
+    return value
+
+
+def _parse_reach(data: Dict[str, object], request_id: str) -> ReachRequest:
+    engine = data.get("engine", "bfv")
+    if engine not in ENGINES:
+        raise ServeError(
+            "unknown engine %r (want one of %s)"
+            % (engine, "/".join(ENGINES))
+        )
+    order = data.get("order", "S1")
+    if order not in FAMILIES:
+        raise ServeError(
+            "unknown order family %r (want one of %s)"
+            % (order, "/".join(FAMILIES))
+        )
+    mode = data.get("mode", "run")
+    if mode not in MODES:
+        raise ServeError("unknown mode %r (want run or peek)" % mode)
+    faults = data.get("faults")
+    if faults is not None:
+        if not isinstance(faults, list) or not all(
+            isinstance(fault, dict) for fault in faults
+        ):
+            raise ServeError("request field 'faults' must be a list of objects")
+    max_iterations = data.get("max_iterations")
+    if max_iterations is not None and (
+        isinstance(max_iterations, bool) or not isinstance(max_iterations, int)
+    ):
+        raise ServeError("request field 'max_iterations' must be an integer")
+    count_states = data.get("count_states", True)
+    if not isinstance(count_states, bool):
+        raise ServeError("request field 'count_states' must be a boolean")
+    max_nodes = _optional_number(data, "max_nodes")
+    return ReachRequest(
+        id=request_id,
+        circuit=_require_str(data, "circuit"),
+        engine=str(engine),
+        order=str(order),
+        max_seconds=_optional_number(data, "max_seconds"),
+        max_nodes=int(max_nodes) if max_nodes is not None else None,
+        max_iterations=max_iterations,
+        count_states=count_states,
+        mode=str(mode),
+        faults=faults,
+    )
+
+
+def parse_request(raw: object) -> Request:
+    """Validate one request line (bytes/str/dict) into a :class:`Request`.
+
+    Raises :class:`ServeError` for anything malformed; the error message
+    is safe to echo back to the client.
+    """
+    if isinstance(raw, (bytes, bytearray)):
+        raw = raw.decode("utf-8", errors="replace")
+    if isinstance(raw, str):
+        try:
+            raw = json.loads(raw)
+        except ValueError as error:
+            raise ServeError("request is not valid JSON: %s" % error)
+    if not isinstance(raw, dict):
+        raise ServeError("request must be a JSON object")
+    op = raw.get("op")
+    if op not in OPS:
+        raise ServeError(
+            "unknown op %r (want one of %s)" % (op, "/".join(OPS))
+        )
+    request_id = _require_str(raw, "id")
+    if op == "reach":
+        return Request(op=op, id=request_id, reach=_parse_reach(raw, request_id))
+    if op == "batch":
+        items = raw.get("requests")
+        if not isinstance(items, list) or not items:
+            raise ServeError(
+                "batch request needs a non-empty 'requests' list"
+            )
+        parsed = []
+        seen = set()
+        for index, item in enumerate(items):
+            if not isinstance(item, dict):
+                raise ServeError("batch item %d must be a JSON object" % index)
+            item_id = item.get("id", "%s.%d" % (request_id, index))
+            if not isinstance(item_id, str) or not item_id:
+                raise ServeError("batch item %d has a bad 'id'" % index)
+            if item_id in seen:
+                raise ServeError(
+                    "batch item id %r repeats within the batch" % item_id
+                )
+            seen.add(item_id)
+            parsed.append(_parse_reach(item, item_id))
+        return Request(op=op, id=request_id, requests=parsed)
+    if op == "cancel":
+        return Request(op=op, id=request_id, target=_require_str(raw, "target"))
+    return Request(op=op, id=request_id)  # status
+
+
+def response(
+    request_id: str, status: str, **fields: object
+) -> Dict[str, object]:
+    """Build a response object (serialize with :func:`encode`)."""
+    data: Dict[str, object] = {"id": request_id, "status": status}
+    for key, value in fields.items():
+        if value is not None:
+            data[key] = value
+    return data
+
+
+def error_response(request_id: Optional[str], message: str) -> Dict[str, object]:
+    return response(request_id or "?", "error", error=message)
+
+
+def encode(message: Dict[str, object]) -> bytes:
+    """One NDJSON line, ready for the socket."""
+    return (json.dumps(message, sort_keys=True, default=str) + "\n").encode()

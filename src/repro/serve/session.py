@@ -1,0 +1,138 @@
+"""In-flight request deduplication and cooperative abandonment.
+
+A *session* is one running attempt, keyed by the request fingerprint
+(circuit content x engine x order x semantic options).  Any number of
+client requests attach to the same session as *waiters*; only the first
+one actually starts work — the rest are dedup hits that cost nothing
+and receive the same answer when the attempt finishes.
+
+Waiters detach when their client cancels or disconnects.  When the last
+waiter leaves a still-running session, nobody wants the answer any
+more, so the session's :class:`~repro.harness.scheduler.CancelToken` is
+set and the supervisor kills the child at its next watchdog poll — the
+cooperative cancellation path running scheduler → supervisor → engine.
+The checkpoint written up to that point stays in the cache, so an
+abandoned request that comes back later resumes instead of restarting.
+
+The manager is transport-agnostic and thread-safe: the asyncio server
+calls it from the event loop, the pool's dispatcher threads never touch
+it, and delivery happens through per-waiter callbacks.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..harness.scheduler import CancelToken
+
+#: ``deliver(status, fields)`` — called exactly once per active waiter.
+Deliver = Callable[[str, Dict[str, object]], None]
+
+
+class Session:
+    """One in-flight attempt and the waiters attached to it."""
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.token = CancelToken()
+        self.waiters: List["Waiter"] = []
+        self.done = False
+
+
+class Waiter:
+    """One client request attached to a session."""
+
+    __slots__ = ("session", "deliver", "active")
+
+    def __init__(self, session: Session, deliver: Deliver) -> None:
+        self.session = session
+        self.deliver = deliver
+        self.active = True
+
+
+class SessionManager:
+    """Registry of in-flight sessions, keyed by request fingerprint."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sessions: Dict[str, Session] = {}
+        self.started = 0
+        self.dedup_hits = 0
+        self.abandoned = 0
+
+    def begin_or_attach(
+        self, key: str, deliver: Deliver
+    ) -> Tuple[Waiter, bool]:
+        """Attach to the key's session, creating it if absent.
+
+        Returns ``(waiter, created)``; ``created`` is True when this
+        caller must start the actual attempt.
+        """
+        with self._lock:
+            session = self._sessions.get(key)
+            created = session is None
+            if session is None:
+                session = Session(key)
+                self._sessions[key] = session
+                self.started += 1
+            else:
+                self.dedup_hits += 1
+            waiter = Waiter(session, deliver)
+            session.waiters.append(waiter)
+        return waiter, created
+
+    def detach(self, waiter: Waiter) -> None:
+        """Remove one waiter (cancel or disconnect); maybe abandon.
+
+        Detaching the last waiter of a running session sets its cancel
+        token — the supervised child is killed at the next watchdog
+        poll and the attempt's failure code becomes ``cancelled``.
+        """
+        abandon = False
+        with self._lock:
+            if not waiter.active:
+                return
+            waiter.active = False
+            session = waiter.session
+            if waiter in session.waiters:
+                session.waiters.remove(waiter)
+            if not session.done and not session.waiters:
+                abandon = True
+                self.abandoned += 1
+        if abandon:
+            session.token.set("cancelled")
+
+    def finish(
+        self, session: Session, status: str, fields: Dict[str, object]
+    ) -> int:
+        """Resolve a session: deliver to every active waiter.
+
+        The session is unregistered *before* delivery, so a client that
+        re-asks the moment it hears the answer starts a fresh session
+        (typically a cache hit by then).  Returns the waiter count.
+        """
+        with self._lock:
+            session.done = True
+            if self._sessions.get(session.key) is session:
+                del self._sessions[session.key]
+            waiters = [w for w in session.waiters if w.active]
+            for waiter in waiters:
+                waiter.active = False
+            session.waiters = []
+        for waiter in waiters:
+            waiter.deliver(status, fields)
+        return len(waiters)
+
+    def session_for(self, key: str) -> Optional[Session]:
+        with self._lock:
+            return self._sessions.get(key)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "inflight_sessions": len(self._sessions),
+                "started": self.started,
+                "dedup_hits": self.dedup_hits,
+                "abandoned": self.abandoned,
+            }

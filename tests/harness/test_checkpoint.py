@@ -90,6 +90,68 @@ class TestRoundTrips:
         assert signature(resumed) == signature(baseline)
 
 
+class TestQuarantine:
+    """Corrupt checkpoints are renamed aside, not retried forever."""
+
+    def restorer(self, tmp_path):
+        return Checkpointer(
+            str(tmp_path),
+            engine="bfv",
+            circuit=CIRCUIT,
+            order="S1",
+            resume=True,
+        )
+
+    def test_corrupt_newest_is_renamed_with_evidence(self, tmp_path, recwarn):
+        attempt(tmp_path, max_iterations=3)
+        files = sorted(glob.glob(str(tmp_path / "*.rbdd")))
+        corrupt_file(files[-1], mode="truncate")
+        ckpt = self.restorer(tmp_path)
+        snapshot = ckpt.restore(BDD())
+        assert snapshot is not None and snapshot.iteration == 2
+        assert not os.path.exists(files[-1])
+        assert os.path.exists(files[-1] + ".corrupt")
+        assert ckpt.quarantined == [files[-1] + ".corrupt"]
+        assert any(
+            "quarantined corrupt checkpoint" in str(w.message)
+            for w in recwarn.list
+        )
+
+    def test_quarantined_file_cannot_wedge_the_next_retry(
+        self, tmp_path, recwarn
+    ):
+        attempt(tmp_path, max_iterations=3)
+        files = sorted(glob.glob(str(tmp_path / "*.rbdd")))
+        corrupt_file(files[-1], mode="garbage")
+        first = attempt(tmp_path, resume=True)
+        assert first.completed
+        # The second resume sees only valid files: nothing skipped.
+        ckpt = self.restorer(tmp_path)
+        assert ckpt.restore(BDD()) is not None
+        assert ckpt.skipped == []
+        assert ckpt.quarantined == []
+
+    def test_mislabeled_foreign_state_is_skipped_not_quarantined(
+        self, tmp_path
+    ):
+        # A valid checkpoint of another flavor wearing this tag's file
+        # name: provenance mismatch, not corruption — left in place.
+        maker = Checkpointer(
+            str(tmp_path), engine="tr", circuit=CIRCUIT, order="S1"
+        )
+        bdd = BDD(["a"])
+        path = maker.save(bdd, 1, functions={"f": bdd.var("a")})
+        disguised = os.path.join(
+            str(tmp_path), os.path.basename(path).replace("-tr-", "-bfv-")
+        )
+        os.rename(path, disguised)
+        ckpt = self.restorer(tmp_path)
+        assert ckpt.restore(BDD()) is None
+        assert os.path.exists(disguised)
+        assert ckpt.quarantined == []
+        assert ckpt.skipped and ckpt.skipped[0][0] == disguised
+
+
 class TestCheckpointer:
     def make(self, tmp_path, **kw):
         kw.setdefault("engine", "bfv")

@@ -1,6 +1,9 @@
 """Fault-injection layer: deterministic failures, clean uninstall."""
 
 import json
+import signal
+import subprocess
+import sys
 
 import pytest
 
@@ -61,6 +64,38 @@ class TestInjection:
     def test_unknown_kind_rejected(self):
         with pytest.raises(HarnessError):
             faults.FaultPlan([{"kind": "meteor-strike"}])
+
+
+class TestServeFaultKinds:
+    """Serve-layer faults: drop the client, SIGKILL the server itself."""
+
+    def test_client_disconnect_is_tagged_cancelled(self):
+        result = run_attempt(
+            AttemptSpec(
+                circuit="traffic",
+                faults=[{"kind": "client_disconnect", "at_iteration": 2}],
+            )
+        )
+        assert not result.completed
+        assert result.failure == "cancelled"
+        assert result.extra["iteration"] == 2
+
+    def test_server_crash_kills_the_pid_named_in_env(self, monkeypatch):
+        victim = subprocess.Popen(
+            [sys.executable, "-c", "import time; time.sleep(60)"]
+        )
+        try:
+            monkeypatch.setenv(faults.SERVE_PID_ENV_VAR, str(victim.pid))
+            plan = faults.install([{"kind": "server_crash", "at_iteration": 1}])
+            try:
+                RunMonitor(BDD(), None).checkpoint((), 1)
+            finally:
+                plan.uninstall()
+            assert victim.wait(timeout=10) == -signal.SIGKILL
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+                victim.wait()
 
 
 class TestLifecycle:

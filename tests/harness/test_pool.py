@@ -1,0 +1,142 @@
+"""WorkerPool tests: futures, retry wiring, cancellation, shutdown."""
+
+import time
+
+import pytest
+
+from repro.harness import RetryPolicy, WorkerPool
+from repro.harness.journal import RunJournal
+from repro.harness.scheduler import CancelToken
+from repro.harness.worker import AttemptSpec
+
+
+def spec_for(circuit="traffic", **kwargs):
+    return AttemptSpec(circuit=circuit, engine="bfv", order="S1", **kwargs)
+
+
+class TestSubmit:
+    def test_attempt_completes_through_the_pool(self):
+        with WorkerPool(2) as pool:
+            future = pool.submit(spec_for(max_seconds=60.0))
+            result = future.result(timeout=60)
+            assert result.completed
+            assert result.num_states == 16
+            assert result.extra["supervisor"]["isolated"] is True
+            stats = pool.stats()
+        assert stats["submitted"] == 1
+        assert stats["completed"] == 1
+        assert stats["running"] == 0
+        assert stats["queued"] == 0
+
+    def test_failures_come_back_as_results_not_exceptions(self):
+        with WorkerPool(1, retry=RetryPolicy(retries=0)) as pool:
+            future = pool.submit(
+                spec_for(faults=[{"kind": "die", "at_iteration": 1}]),
+            )
+            result = future.result(timeout=60)
+        assert not result.completed
+        assert result.failure == "crash"
+
+    def test_queueing_beyond_size(self):
+        # Two slow attempts + pool of one: the second queues, both finish.
+        faults = [{"kind": "hang", "at_iteration": 1, "seconds": 0.3}]
+        with WorkerPool(1) as pool:
+            first = pool.submit(spec_for(faults=faults, max_seconds=60.0))
+            second = pool.submit(
+                spec_for(circuit="s27", faults=faults, max_seconds=60.0)
+            )
+            assert first.result(timeout=60).completed
+            assert second.result(timeout=60).completed
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+
+class TestRetryWiring:
+    def test_transient_crash_is_retried_and_journaled(self, tmp_path):
+        journal_path = str(tmp_path / "journal.jsonl")
+        policy = RetryPolicy(retries=1, backoff_seconds=0.01)
+        with WorkerPool(
+            1, retry=policy, journal=RunJournal(journal_path)
+        ) as pool:
+            future = pool.submit(
+                spec_for(faults=[{"kind": "die", "at_iteration": 1}]),
+            )
+            result = future.result(timeout=60)
+        assert result.failure == "crash"
+        assert result.extra["retries_exhausted"] == 2
+        events = [r["event"] for r in RunJournal(journal_path)]
+        assert events.count("retry") == 1
+        assert events.count("retry_exhausted") == 1
+
+    def test_deterministic_failures_are_not_retried(self, tmp_path):
+        journal_path = str(tmp_path / "journal.jsonl")
+        with WorkerPool(1, journal=RunJournal(journal_path)) as pool:
+            future = pool.submit(
+                spec_for(faults=[{"kind": "timeout", "at_iteration": 1}]),
+            )
+            result = future.result(timeout=60)
+        assert result.failure == "time"
+        assert "retries_exhausted" not in result.extra
+        assert RunJournal(journal_path).read() == []
+
+
+class TestCancellation:
+    def test_token_cancels_a_running_attempt(self):
+        token = CancelToken()
+        faults = [{"kind": "hang", "at_iteration": 1, "seconds": 60.0}]
+        with WorkerPool(1) as pool:
+            start = time.monotonic()
+            future = pool.submit(
+                spec_for(faults=faults, max_seconds=120.0), token=token
+            )
+            time.sleep(0.3)
+            token.set("cancelled")
+            result = future.result(timeout=60)
+            elapsed = time.monotonic() - start
+        assert result.failure == "cancelled"
+        assert elapsed < 30.0
+
+    def test_cancel_all_signals_every_outstanding_token(self):
+        faults = [{"kind": "hang", "at_iteration": 1, "seconds": 60.0}]
+        with WorkerPool(2) as pool:
+            futures = [
+                pool.submit(
+                    spec_for(circuit=c, faults=faults, max_seconds=120.0)
+                )
+                for c in ("traffic", "s27")
+            ]
+            time.sleep(0.3)
+            assert pool.cancel_all("cancelled") == 2
+            results = [f.result(timeout=60) for f in futures]
+        assert all(r.failure == "cancelled" for r in results)
+
+    def test_budget_kill_via_watchdog(self):
+        faults = [{"kind": "hang", "at_iteration": 1, "seconds": 60.0}]
+        with WorkerPool(1) as pool:
+            future = pool.submit(
+                spec_for(faults=faults), budget_seconds=0.5
+            )
+            result = future.result(timeout=60)
+        assert result.failure == "time"
+        assert result.extra["supervisor"]["killed"] == "time"
+
+
+class TestShutdown:
+    def test_shutdown_rejects_new_work(self):
+        pool = WorkerPool(1)
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.submit(spec_for())
+
+    def test_shutdown_reaps_in_flight_children(self):
+        faults = [{"kind": "hang", "at_iteration": 1, "seconds": 60.0}]
+        pool = WorkerPool(1)
+        future = pool.submit(spec_for(faults=faults, max_seconds=120.0))
+        time.sleep(0.3)
+        start = time.monotonic()
+        pool.shutdown(wait=True)
+        assert time.monotonic() - start < 30.0
+        result = future.result(timeout=1)
+        assert result.failure == "cancelled"

@@ -11,6 +11,7 @@ makes the failure cases deterministic.
 import json
 import os
 import random
+import threading
 import time
 
 import pytest
@@ -406,3 +407,118 @@ class TestBatchReportShape:
         for outcome, attempts in outcomes.values():
             assert outcome is not None and outcome.completed
             assert attempts and attempts[-1] is outcome
+
+
+class TestCancellationRaces:
+    """Cancellation delivered at the two nastiest moments.
+
+    A cancel racing a checkpoint *write* (via a ``during: checkpoint``
+    fault) and a cancel racing an ordinary iteration must both leave
+    (a) a journaled ``cancelled`` attempt and (b) an intact, resumable
+    checkpoint directory — the invariant the serve layer's
+    abandoned-request path builds its cache on.
+    """
+
+    def _cancel_mid_run(self, tmp_path, faults, wait_for_iteration):
+        """Run one wedged cell, cancel it mid-flight, return evidence."""
+        from repro.harness.worker import AttemptSpec, run_attempt
+
+        journal_path = str(tmp_path / "attempts.jsonl")
+        ckpt_root = str(tmp_path / "ckpt")
+        scheduler = BatchScheduler(
+            ["traffic"],
+            jobs=1,
+            fallback=False,
+            isolate=True,
+            max_seconds=120.0,
+            checkpoint_dir=ckpt_root,
+            journal=journal_path,
+            cell_faults={"traffic": faults},
+        )
+        done = {}
+        thread = threading.Thread(
+            target=lambda: done.setdefault("report", scheduler.run()),
+            daemon=True,
+        )
+        thread.start()
+        job_dir = os.path.join(ckpt_root, job_key(0, "traffic"))
+        marker = "-%08d.rbdd" % wait_for_iteration
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            try:
+                if any(n.endswith(marker) for n in os.listdir(job_dir)):
+                    break
+            except OSError:
+                pass
+            time.sleep(0.02)
+        else:
+            raise AssertionError(
+                "checkpoint %s never appeared in %s" % (marker, job_dir)
+            )
+        time.sleep(0.3)  # let the child reach the injected hang
+        with scheduler._cond:
+            tokens = list(scheduler._tokens.values())
+        assert tokens, "no running cell to cancel"
+        for token in tokens:
+            token.set("cancelled")
+        thread.join(60.0)
+        assert not thread.is_alive(), "scheduler wedged after cancel"
+
+        report = done["report"]
+        outcome, attempts = report.outcomes()["traffic"]
+        assert outcome is not None and not outcome.completed
+        assert outcome.failure == "cancelled"
+        assert attempts[-1].failure == "cancelled"
+
+        records = RunJournal(journal_path).attempts("traffic")
+        assert records and records[-1]["outcome"] == "cancelled"
+
+        names = sorted(os.listdir(job_dir))
+        assert not any(name.endswith(".tmp") for name in names), names
+        snapshots = [n for n in names if n.endswith(".rbdd")]
+        assert snapshots, "cancel destroyed every checkpoint"
+
+        resumed = run_attempt(
+            AttemptSpec(
+                circuit="traffic",
+                checkpoint_dir=job_dir,
+                resume=True,
+                max_seconds=60.0,
+            )
+        )
+        assert resumed.completed
+        assert resumed.num_states == 16
+        return resumed, snapshots
+
+    def test_cancel_mid_iteration_leaves_resumable_state(self, tmp_path):
+        # Hang fires from the ordinary iteration hook at iteration 2,
+        # after snapshot 2 hit the disk; the cancel kills the child
+        # inside the hang.  Resume continues from iteration 2 exactly.
+        resumed, _ = self._cancel_mid_run(
+            tmp_path,
+            faults=[{"kind": "hang", "at_iteration": 2, "seconds": 60.0}],
+            wait_for_iteration=2,
+        )
+        assert resumed.extra["resumed_from"] == 2
+
+    def test_cancel_mid_checkpoint_write_leaves_prior_snapshot(
+        self, tmp_path
+    ):
+        # Hang fires *inside* Checkpointer.save for iteration 2 — after
+        # the payload is built, before the atomic write — so the kill
+        # lands mid-checkpoint-write.  Snapshot 2 must not exist (torn
+        # or otherwise) and resume continues from snapshot 1.
+        resumed, snapshots = self._cancel_mid_run(
+            tmp_path,
+            faults=[
+                {
+                    "kind": "hang",
+                    "during": "checkpoint",
+                    "at_iteration": 2,
+                    "seconds": 60.0,
+                }
+            ],
+            wait_for_iteration=1,
+        )
+        assert resumed.extra["resumed_from"] == 1
+        assert not any(s.endswith("-%08d.rbdd" % 2) for s in snapshots)

@@ -1,0 +1,93 @@
+"""Serve test fixtures: a real ReachServer on a background event loop.
+
+The integration tests talk to the server exactly like a client would —
+over a TCP socket with the blocking :class:`repro.serve.ServeClient` —
+while the server runs its asyncio loop in a daemon thread of the test
+process.  Worker attempts still fork real supervised children, so these
+tests exercise the full serve → pool → supervisor → engine stack.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+
+import pytest
+
+from repro.harness.faults import SERVE_PID_ENV_VAR
+from repro.serve import ReachServer, ServeClient
+
+
+class ServerHandle:
+    """One running in-process server plus its loop/thread plumbing."""
+
+    def __init__(self, server: ReachServer, loop, thread) -> None:
+        self.server = server
+        self.loop = loop
+        self.thread = thread
+        self._stopped = False
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def client(self, timeout: float = 30.0) -> ServeClient:
+        return ServeClient("127.0.0.1", self.port, timeout=timeout)
+
+    def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.close(), self.loop
+        )
+        future.result(timeout=60)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10)
+
+
+@pytest.fixture
+def serve_factory(tmp_path):
+    """Start ReachServer instances; everything is torn down at exit.
+
+    Usage: ``handle = serve_factory(pool_size=1, ...)``; keyword
+    arguments are forwarded to :class:`ReachServer`, with the cache and
+    trace dirs defaulting to per-test tmp locations.
+    """
+    handles = []
+    had_pid = os.environ.get(SERVE_PID_ENV_VAR)
+
+    def start(**kwargs) -> ServerHandle:
+        kwargs.setdefault("cache_dir", str(tmp_path / "cache"))
+        kwargs.setdefault("trace_dir", str(tmp_path / "trace"))
+        kwargs.setdefault("port", 0)
+        kwargs.setdefault("pool_size", 2)
+        server = ReachServer(**kwargs)
+        loop = asyncio.new_event_loop()
+        ready = threading.Event()
+
+        def run() -> None:
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(server.start())
+            ready.set()
+            loop.run_forever()
+
+        thread = threading.Thread(
+            target=run, name="serve-test-loop", daemon=True
+        )
+        thread.start()
+        assert ready.wait(timeout=15), "server failed to start"
+        handle = ServerHandle(server, loop, thread)
+        handles.append(handle)
+        return handle
+
+    yield start
+    for handle in handles:
+        handle.stop()
+    # The server exports its pid for server_crash faults; do not leak
+    # the test process's pid into later (subprocess-spawning) tests.
+    if had_pid is None:
+        os.environ.pop(SERVE_PID_ENV_VAR, None)
+    else:
+        os.environ[SERVE_PID_ENV_VAR] = had_pid

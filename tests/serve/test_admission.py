@@ -1,0 +1,114 @@
+"""Admission-control and session-manager unit tests."""
+
+from repro.serve import AdmissionController, AdmissionPolicy, SessionManager
+
+
+class TestAdmission:
+    def test_admits_up_to_pool_plus_queue(self):
+        controller = AdmissionController(AdmissionPolicy(max_queue=2))
+        tickets = [controller.try_admit(pool_size=2) for _ in range(4)]
+        assert all(ticket is not None for ticket in tickets)
+        assert controller.try_admit(pool_size=2) is None
+        snapshot = controller.snapshot()
+        assert snapshot["inflight"] == 4
+        assert snapshot["admitted"] == 4
+        assert snapshot["shed"] == 1
+        assert snapshot["peak_inflight"] == 4
+
+    def test_release_reopens_the_gate(self):
+        controller = AdmissionController(AdmissionPolicy(max_queue=0))
+        assert controller.try_admit(pool_size=1) is not None
+        assert controller.try_admit(pool_size=1) is None
+        controller.release()
+        assert controller.try_admit(pool_size=1) is not None
+
+    def test_budget_defaults_and_ceiling(self):
+        policy = AdmissionPolicy(
+            default_budget_seconds=10.0,
+            max_budget_seconds=20.0,
+            watchdog_factor=2.0,
+            watchdog_grace_seconds=1.0,
+        )
+        controller = AdmissionController(policy)
+        defaulted = controller.try_admit(pool_size=1)
+        assert defaulted.max_seconds == 10.0
+        assert defaulted.budget_seconds == 10.0 * 2.0 + 1.0
+        clamped = controller.try_admit(pool_size=1, requested_seconds=999.0)
+        assert clamped.max_seconds == 20.0
+        honored = controller.try_admit(pool_size=1, requested_seconds=3.0)
+        assert honored.max_seconds == 3.0
+
+    def test_rss_ceiling_converts_to_bytes(self):
+        controller = AdmissionController(AdmissionPolicy(max_rss_mb=2.0))
+        ticket = controller.try_admit(pool_size=1)
+        assert ticket.max_rss_bytes == 2 * 1024 * 1024
+        controller = AdmissionController(AdmissionPolicy())
+        assert controller.try_admit(pool_size=1).max_rss_bytes is None
+
+    def test_retry_after_scales_with_backlog(self):
+        controller = AdmissionController(
+            AdmissionPolicy(min_retry_after_seconds=1.0)
+        )
+        idle = controller.retry_after({"queued": 0, "size": 2}, 4.0)
+        busy = controller.retry_after({"queued": 6, "size": 2}, 4.0)
+        assert idle >= 1.0
+        assert busy > idle
+        # Floor applies when the estimate is tiny.
+        floored = controller.retry_after({"queued": 0, "size": 8}, 0.01)
+        assert floored == 1.0
+
+
+class TestSessions:
+    def test_first_waiter_creates_later_waiters_attach(self):
+        sessions = SessionManager()
+        seen = []
+        w1, created1 = sessions.begin_or_attach("k", lambda s, f: seen.append(("a", s)))
+        w2, created2 = sessions.begin_or_attach("k", lambda s, f: seen.append(("b", s)))
+        assert created1 is True and created2 is False
+        assert w1.session is w2.session
+        assert sessions.snapshot()["dedup_hits"] == 1
+        delivered = sessions.finish(w1.session, "ok", {"key": "k"})
+        assert delivered == 2
+        assert sorted(seen) == [("a", "ok"), ("b", "ok")]
+        assert sessions.session_for("k") is None
+
+    def test_detach_last_waiter_cancels_the_attempt(self):
+        sessions = SessionManager()
+        w1, _ = sessions.begin_or_attach("k", lambda s, f: None)
+        w2, _ = sessions.begin_or_attach("k", lambda s, f: None)
+        sessions.detach(w1)
+        assert not w1.session.token.is_set()
+        sessions.detach(w2)
+        assert w1.session.token.is_set()
+        assert w1.session.token.reason == "cancelled"
+        assert sessions.snapshot()["abandoned"] == 1
+
+    def test_detach_is_idempotent(self):
+        sessions = SessionManager()
+        w1, _ = sessions.begin_or_attach("k", lambda s, f: None)
+        sessions.detach(w1)
+        sessions.detach(w1)
+        assert sessions.snapshot()["abandoned"] == 1
+
+    def test_detached_waiter_gets_no_delivery(self):
+        sessions = SessionManager()
+        seen = []
+        w1, _ = sessions.begin_or_attach("k", lambda s, f: seen.append("a"))
+        w2, _ = sessions.begin_or_attach("k", lambda s, f: seen.append("b"))
+        sessions.detach(w1)
+        assert sessions.finish(w2.session, "ok", {}) == 1
+        assert seen == ["b"]
+
+    def test_finish_unregisters_before_delivery(self):
+        # A client that re-asks from inside its delivery callback must
+        # start a fresh session, not attach to the finished one.
+        sessions = SessionManager()
+        rounds = []
+
+        def reask(status, fields):
+            _, created = sessions.begin_or_attach("k", lambda s, f: None)
+            rounds.append(created)
+
+        waiter, _ = sessions.begin_or_attach("k", reask)
+        sessions.finish(waiter.session, "ok", {})
+        assert rounds == [True]

@@ -1,0 +1,153 @@
+"""Result-cache unit tests: atomicity, checksums, quarantine, stats."""
+
+import json
+import os
+
+import pytest
+
+from repro.reach import ReachResult
+from repro.serve import COMPLETE, RESUMABLE, ResultCache
+
+KEY = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+
+
+def result_for(circuit="traffic", completed=True, **kwargs):
+    return ReachResult(
+        engine="bfv",
+        circuit=circuit,
+        order="S1",
+        completed=completed,
+        iterations=kwargs.pop("iterations", 3),
+        num_states=kwargs.pop("num_states", 16),
+        **kwargs,
+    )
+
+
+class TestRoundtrip:
+    def test_store_then_lookup(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        path = cache.store(KEY, result_for(), COMPLETE)
+        assert os.path.exists(path)
+        entry = cache.lookup(KEY)
+        assert entry is not None
+        assert entry.status == COMPLETE
+        assert entry.key == KEY
+        assert entry.result.num_states == 16
+        assert entry.result.completed is True
+
+    def test_lookup_miss_returns_none(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.lookup(KEY) is None
+
+    def test_store_overwrites_resumable_with_complete(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.store(KEY, result_for(completed=False, failure="time"), RESUMABLE)
+        assert cache.lookup(KEY).status == RESUMABLE
+        cache.store(KEY, result_for(), COMPLETE)
+        assert cache.lookup(KEY).status == COMPLETE
+
+    def test_store_rejects_unknown_status(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        with pytest.raises(ValueError):
+            cache.store(KEY, result_for(), "half-done")
+
+    def test_sharded_layout(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        path = cache.store(KEY, result_for(), COMPLETE)
+        assert path == os.path.join(str(tmp_path), KEY[:2], KEY, "entry.json")
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.store(KEY, result_for(), COMPLETE)
+        leftovers = [
+            name
+            for _, _, names in os.walk(str(tmp_path))
+            for name in names
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+
+class TestQuarantine:
+    def corrupt(self, cache, mutate):
+        path = cache.store(KEY, result_for(), COMPLETE)
+        with open(path) as handle:
+            data = json.load(handle)
+        mutate(data)
+        with open(path, "w") as handle:
+            if data is None:
+                handle.write("{ not json")
+            else:
+                json.dump(data, handle)
+        return path
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda data: data.__setitem__("result", dict(data["result"], num_states=999)),
+            lambda data: data.__setitem__("checksum", "0" * 64),
+            lambda data: data.__setitem__("schema", "repro-serve-cache 99"),
+            lambda data: data.__setitem__("key", OTHER),
+            lambda data: data.__setitem__("status", "half-done"),
+        ],
+    )
+    def test_bad_entries_are_quarantined(self, tmp_path, mutate, recwarn):
+        cache = ResultCache(str(tmp_path))
+        path = self.corrupt(cache, mutate)
+        # A checksum-variant mutation needs the checksum to stay stale:
+        # every parametrization either breaks the checksum directly or
+        # changes checksummed content without recomputing it.
+        assert cache.lookup(KEY) is None
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".corrupt")
+        assert cache.quarantined == [path + ".corrupt"]
+        assert any(
+            "quarantined corrupt cache entry" in str(w.message)
+            for w in recwarn.list
+        )
+
+    def test_unparsable_json_is_quarantined(self, tmp_path, recwarn):
+        cache = ResultCache(str(tmp_path))
+        path = cache.store(KEY, result_for(), COMPLETE)
+        with open(path, "w") as handle:
+            handle.write("{ torn")
+        assert cache.lookup(KEY) is None
+        assert os.path.exists(path + ".corrupt")
+
+    def test_quarantine_degrades_to_recomputation(self, tmp_path, recwarn):
+        # After quarantine the key is a plain miss; a fresh store works.
+        cache = ResultCache(str(tmp_path))
+        path = self.corrupt(
+            cache, lambda data: data.__setitem__("checksum", "0" * 64)
+        )
+        assert cache.lookup(KEY) is None
+        cache.store(KEY, result_for(), COMPLETE)
+        entry = cache.lookup(KEY)
+        assert entry is not None and entry.status == COMPLETE
+        assert os.path.exists(path + ".corrupt")  # evidence is kept
+
+
+class TestCheckpointsAndStats:
+    def test_checkpoint_dir_is_created_and_detected(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        ckpt = cache.checkpoint_dir(KEY)
+        assert os.path.isdir(ckpt)
+        assert cache.has_checkpoints(KEY) is False
+        with open(os.path.join(ckpt, "ckpt-bfv-S1-traffic-00000001.rbdd"), "w") as f:
+            f.write("stub\n")
+        assert cache.has_checkpoints(KEY) is True
+
+    def test_has_checkpoints_false_without_dir(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.has_checkpoints(KEY) is False
+
+    def test_stats_counts_statuses(self, tmp_path, recwarn):
+        cache = ResultCache(str(tmp_path))
+        cache.store(KEY, result_for(), COMPLETE)
+        cache.store(OTHER, result_for(completed=False, failure="time"), RESUMABLE)
+        assert cache.stats() == {"complete": 1, "resumable": 1, "corrupt": 0}
+        with open(cache.entry_path(KEY), "w") as handle:
+            handle.write("{ torn")
+        assert cache.lookup(KEY) is None  # quarantines
+        assert cache.stats() == {"complete": 0, "resumable": 1, "corrupt": 1}

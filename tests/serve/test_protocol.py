@@ -1,0 +1,177 @@
+"""Protocol-layer unit tests: parsing, validation, fingerprints."""
+
+import json
+
+import pytest
+
+from repro.circuits import bench, generators as gen
+from repro.errors import ServeError
+from repro.serve import parse_request
+from repro.serve.protocol import ReachRequest, encode, error_response, response
+
+
+class TestParseRequest:
+    def test_reach_minimal(self):
+        request = parse_request('{"op": "reach", "id": "r1", "circuit": "traffic"}')
+        assert request.op == "reach"
+        assert request.id == "r1"
+        assert request.reach.circuit == "traffic"
+        assert request.reach.engine == "bfv"
+        assert request.reach.order == "S1"
+        assert request.reach.mode == "run"
+        assert request.reach.count_states is True
+
+    def test_reach_full_options(self):
+        request = parse_request(
+            json.dumps(
+                {
+                    "op": "reach",
+                    "id": "r2",
+                    "circuit": "s27",
+                    "engine": "conj",
+                    "order": "S2",
+                    "max_seconds": 2.5,
+                    "max_nodes": 1000,
+                    "max_iterations": 7,
+                    "count_states": False,
+                    "mode": "peek",
+                    "faults": [{"kind": "hang", "at_iteration": 1, "seconds": 1}],
+                }
+            )
+        )
+        reach = request.reach
+        assert reach.engine == "conj"
+        assert reach.order == "S2"
+        assert reach.max_seconds == 2.5
+        assert reach.max_nodes == 1000
+        assert reach.max_iterations == 7
+        assert reach.count_states is False
+        assert reach.mode == "peek"
+        assert reach.faults == [{"kind": "hang", "at_iteration": 1, "seconds": 1}]
+
+    def test_bytes_input_accepted(self):
+        request = parse_request(b'{"op": "status", "id": "s1"}')
+        assert request.op == "status"
+
+    def test_cancel_needs_target(self):
+        request = parse_request('{"op": "cancel", "id": "c1", "target": "r1"}')
+        assert request.target == "r1"
+        with pytest.raises(ServeError):
+            parse_request('{"op": "cancel", "id": "c1"}')
+
+    def test_batch_parses_items_with_default_ids(self):
+        request = parse_request(
+            json.dumps(
+                {
+                    "op": "batch",
+                    "id": "b1",
+                    "requests": [
+                        {"circuit": "traffic"},
+                        {"circuit": "s27", "id": "mine"},
+                    ],
+                }
+            )
+        )
+        assert [item.id for item in request.requests] == ["b1.0", "mine"]
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            "not json at all",
+            '"just a string"',
+            '{"op": "explode", "id": "x"}',
+            '{"op": "reach", "circuit": "traffic"}',  # no id
+            '{"op": "reach", "id": "", "circuit": "traffic"}',
+            '{"op": "reach", "id": "r", "circuit": ""}',
+            '{"op": "reach", "id": "r", "circuit": "t", "engine": "qbf"}',
+            '{"op": "reach", "id": "r", "circuit": "t", "order": "S99"}',
+            '{"op": "reach", "id": "r", "circuit": "t", "mode": "loiter"}',
+            '{"op": "reach", "id": "r", "circuit": "t", "max_seconds": -1}',
+            '{"op": "reach", "id": "r", "circuit": "t", "max_seconds": true}',
+            '{"op": "reach", "id": "r", "circuit": "t", "max_iterations": 1.5}',
+            '{"op": "reach", "id": "r", "circuit": "t", "count_states": "yes"}',
+            '{"op": "reach", "id": "r", "circuit": "t", "faults": {"kind": "die"}}',
+            '{"op": "reach", "id": "r", "circuit": "t", "faults": ["die"]}',
+            '{"op": "batch", "id": "b", "requests": []}',
+            '{"op": "batch", "id": "b", "requests": ["nope"]}',
+        ],
+    )
+    def test_malformed_requests_raise(self, raw):
+        with pytest.raises(ServeError):
+            parse_request(raw)
+
+    def test_batch_rejects_duplicate_item_ids(self):
+        with pytest.raises(ServeError):
+            parse_request(
+                json.dumps(
+                    {
+                        "op": "batch",
+                        "id": "b1",
+                        "requests": [
+                            {"circuit": "traffic", "id": "same"},
+                            {"circuit": "s27", "id": "same"},
+                        ],
+                    }
+                )
+            )
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self):
+        a = ReachRequest(id="r1", circuit="traffic")
+        b = ReachRequest(id="totally-different-id", circuit="traffic")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_budgets_do_not_change_the_key(self):
+        # A retried request with a bigger budget must hit the resumable
+        # entry its timed-out predecessor left behind.
+        a = ReachRequest(id="r1", circuit="traffic", max_seconds=1.0)
+        b = ReachRequest(id="r2", circuit="traffic", max_seconds=600.0, max_nodes=10**6)
+        assert a.fingerprint() == b.fingerprint()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"engine": "conj"},
+            {"order": "S2"},
+            {"count_states": False},
+            {"max_iterations": 3},
+            {"faults": [{"kind": "timeout", "at_iteration": 1}]},
+        ],
+    )
+    def test_semantic_options_change_the_key(self, kwargs):
+        base = ReachRequest(id="r", circuit="traffic")
+        other = ReachRequest(id="r", circuit="traffic", **kwargs)
+        assert base.fingerprint() != other.fingerprint()
+
+    def test_key_is_content_addressed_not_path_addressed(self, tmp_path):
+        # The same netlist under two different file names shares one key;
+        # editing the netlist changes it.
+        circuit = gen.counter(3)
+        path_a = tmp_path / "a.bench"
+        path_b = tmp_path / "b.bench"
+        text = bench.dumps(circuit)
+        path_a.write_text(text)
+        path_b.write_text(text)
+        key_a = ReachRequest(id="r", circuit=str(path_a)).fingerprint()
+        key_b = ReachRequest(id="r", circuit=str(path_b)).fingerprint()
+        assert key_a == key_b
+        other = bench.dumps(gen.counter(4))
+        path_b.write_text(other)
+        assert ReachRequest(id="r", circuit=str(path_b)).fingerprint() != key_a
+
+
+class TestResponses:
+    def test_response_drops_none_fields(self):
+        message = response("r1", "ok", key="k", retry_after=None)
+        assert message == {"id": "r1", "status": "ok", "key": "k"}
+
+    def test_error_response_tolerates_missing_id(self):
+        message = error_response(None, "boom")
+        assert message["status"] == "error"
+        assert message["error"] == "boom"
+
+    def test_encode_is_one_json_line(self):
+        line = encode({"id": "x", "status": "ok"})
+        assert line.endswith(b"\n")
+        assert json.loads(line.decode()) == {"id": "x", "status": "ok"}

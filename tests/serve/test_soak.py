@@ -1,0 +1,197 @@
+"""Kill-resume soak: SIGKILL the serve process mid-run, resume from cache.
+
+The acceptance test for the fault-tolerant service: a real
+``python -m repro serve`` subprocess is killed -9 while an attempt is
+mid-flight; its supervised child notices the orphaning and exits,
+leaving its checkpoints in the content-addressed cache.  A *restarted*
+server answers the same request by resuming from that checkpoint —
+strictly fewer fresh iterations than a cold run, the same reached-set
+count — and the resume is visible in the ``python -m repro trace``
+counters.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.circuits import bench, generators as gen
+from repro.harness.faults import SERVE_PID_ENV_VAR
+from repro.serve import ServeClient
+
+BANNER = re.compile(r"serving on ([\d.]+):(\d+) \(pid (\d+)\)")
+
+#: Wide enough that a loaded CI box still beats every deadline.
+STEP_TIMEOUT = 60.0
+
+
+def spawn_server(cache_dir, trace_dir):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(bench.__file__), "..", "..")
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.abspath(src)]
+        + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    )
+    env.pop(SERVE_PID_ENV_VAR, None)
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--cache-dir", str(cache_dir),
+            "--trace-dir", str(trace_dir),
+            "--pool", "1",
+            "--checkpoint-interval", "4",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=env,
+        text=True,
+    )
+    line = proc.stdout.readline()
+    match = BANNER.search(line)
+    assert match, "no serve banner, got %r" % line
+    return proc, match.group(1), int(match.group(2)), int(match.group(3))
+
+
+def children_of_server(server_pid):
+    """Live pids whose environment names ``server_pid`` as their server."""
+    needle = ("%s=%d" % (SERVE_PID_ENV_VAR, server_pid)).encode() + b"\0"
+    found = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit() or int(entry) == server_pid:
+            continue
+        try:
+            with open("/proc/%s/environ" % entry, "rb") as handle:
+                environ = handle.read()
+        except OSError:
+            continue
+        if needle in environ:
+            found.append(int(entry))
+    return found
+
+
+def wait_for(predicate, timeout=STEP_TIMEOUT, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError("timed out waiting for %s" % message)
+
+
+def checkpoints_under(cache_dir):
+    return [
+        os.path.join(dirpath, name)
+        for dirpath, _, names in os.walk(str(cache_dir))
+        for name in names
+        if name.endswith(".rbdd")
+    ]
+
+
+@pytest.mark.skipif(
+    not os.path.isdir("/proc"), reason="needs /proc for orphan accounting"
+)
+def test_kill_resume_soak(tmp_path):
+    cache_dir = tmp_path / "cache"
+    trace_dir = tmp_path / "trace"
+    circuit_path = tmp_path / "soak.bench"
+    # counter(9): 512 iterations — seconds of supervised work, so the
+    # kill lands mid-run with plenty of checkpoints on disk.
+    bench.dump(gen.counter(9), str(circuit_path))
+
+    proc, host, port, server_pid = spawn_server(cache_dir, trace_dir)
+    try:
+        client = ServeClient(host, port, timeout=STEP_TIMEOUT)
+        assert client.server_pid == server_pid
+        client.send(
+            {"op": "reach", "circuit": str(circuit_path), "max_seconds": 300}
+        )
+        # Let the attempt run until its first checkpoint hits the cache,
+        # then SIGKILL the whole server out from under it.
+        wait_for(
+            lambda: checkpoints_under(cache_dir),
+            message="first checkpoint",
+        )
+        os.kill(server_pid, signal.SIGKILL)
+        proc.wait(timeout=STEP_TIMEOUT)
+        client.close()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    # The supervised child notices the orphaning and exits on its own —
+    # no engine process may outlive the dead server.
+    wait_for(
+        lambda: not children_of_server(server_pid),
+        message="orphaned children to exit",
+    )
+    survivors = checkpoints_under(cache_dir)
+    assert survivors, "the killed run left no checkpoint to resume from"
+
+    # Restart against the same cache; the identical request resumes.
+    proc2, host2, port2, pid2 = spawn_server(cache_dir, trace_dir)
+    try:
+        with ServeClient(host2, port2, timeout=STEP_TIMEOUT) as client:
+            reply = client.reach(str(circuit_path), max_seconds=300)
+            status = client.status()
+        assert reply["status"] == "ok", reply
+        result = reply["result"]
+        assert result["completed"] is True
+        assert result["num_states"] == 2 ** 9
+        resumed_from = result["extra"]["resumed_from"]
+        assert resumed_from >= 1
+        fresh_iterations = result["iterations"] - resumed_from
+        assert fresh_iterations < result["iterations"], (
+            "resume did not save work: %d fresh of %d total"
+            % (fresh_iterations, result["iterations"])
+        )
+        assert status["counters"]["resumes"] == 1
+        assert status["cache"]["complete"] == 1
+
+        # Graceful shutdown drains the pool and exits 0.
+        proc2.send_signal(signal.SIGTERM)
+        assert proc2.wait(timeout=STEP_TIMEOUT) == 0
+    finally:
+        if proc2.poll() is None:
+            proc2.kill()
+            proc2.wait()
+    wait_for(
+        lambda: not children_of_server(pid2),
+        message="second server's children to exit",
+    )
+
+    # The resume is visible in the operator-facing trace report.
+    rendered = subprocess.run(
+        [sys.executable, "-m", "repro", "trace", str(trace_dir)],
+        capture_output=True,
+        text=True,
+        env=dict(
+            os.environ,
+            PYTHONPATH=os.pathsep.join(
+                [
+                    os.path.abspath(
+                        os.path.join(
+                            os.path.dirname(bench.__file__), "..", ".."
+                        )
+                    )
+                ]
+                + [
+                    p
+                    for p in os.environ.get("PYTHONPATH", "").split(
+                        os.pathsep
+                    )
+                    if p
+                ]
+            ),
+        ),
+        timeout=STEP_TIMEOUT,
+    )
+    assert rendered.returncode == 0, rendered.stderr
+    assert "== serve ==" in rendered.stdout
+    assert "resumes 1" in rendered.stdout
+    assert "resumed" in rendered.stdout  # the request disposition row

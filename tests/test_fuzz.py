@@ -223,6 +223,59 @@ def test_fuzz_corpus_through_scheduler(tmp_path):
         assert summary == reference, engine
 
 
+#: Corpus seeds whose (zero-initial) fix-point depth is >= 2, so a
+#: fault at iteration 1 always interrupts before completion.
+DISCONNECT_SEEDS = (0, 2, 5, 7, 8, 9)
+
+
+@pytest.mark.parametrize("seed", DISCONNECT_SEEDS)
+def test_disconnect_resume_matches_oracle(seed, tmp_path):
+    """Dropped-client runs, resumed, agree with explicit search.
+
+    The serve layer's degradation path on a fuzz corpus: a
+    ``client_disconnect`` fault cancels the attempt mid-run (exactly
+    what the server does when a connection breaks), the checkpoint it
+    left behind seeds a resumed attempt, and the resumed result must
+    match the explicit-state oracle — interrupted-and-resumed work is
+    never allowed to differ from uninterrupted work.  Runs sanitized
+    when the CI slice sets ``REPRO_SANITIZE``.
+    """
+    from repro.harness import AttemptSpec, run_attempt
+
+    circuit = random_circuit(seed, max_latches=4, max_inputs=2, max_gates=10)
+    path = tmp_path / "fuzz.bench"
+    bench.dump(circuit, str(path))
+    # The oracle searches the circuit as the server will see it: .bench
+    # does not carry initial latch values, so reload before comparing.
+    truth = explicit_reachable(bench.loads(bench.dumps(circuit), circuit.name))
+
+    dropped = run_attempt(
+        AttemptSpec(
+            circuit=str(path),
+            checkpoint_dir=str(tmp_path / "ckpt"),
+            sanitize=SANITIZE_RATE,
+            faults=[{"kind": "client_disconnect", "at_iteration": 1}],
+        )
+    )
+    assert not dropped.completed
+    assert dropped.failure == "cancelled"
+
+    resumed = run_attempt(
+        AttemptSpec(
+            circuit=str(path),
+            checkpoint_dir=str(tmp_path / "ckpt"),
+            resume=True,
+            sanitize=SANITIZE_RATE,
+        )
+    )
+    assert resumed.completed
+    assert resumed.extra["resumed_from"] >= 1
+    # The resume never rewinds past the drop point.
+    assert resumed.iterations >= dropped.extra["iteration"]
+    assert resumed.num_states == len(truth), seed
+    assert reached_states(resumed) == truth, seed
+
+
 @settings(max_examples=15, deadline=None)
 @given(st.integers(0, 2**32 - 1))
 def test_blif_roundtrip(seed):
