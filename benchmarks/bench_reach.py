@@ -50,6 +50,49 @@ from tests.bdd.reference_kernels import install_reference_kernels  # noqa: E402
 LIMITS = ReachLimits(max_seconds=20.0, max_live_nodes=60_000)
 QUICK_LIMITS = ReachLimits(max_seconds=5.0, max_live_nodes=30_000)
 
+#: Noise floor for the regression comparison against the committed
+#: baseline.  A cell is flagged only when the new median exceeds the
+#: old one by BOTH margins: 25% relative AND 0.25s absolute.  The
+#: absolute floor keeps sub-second cells (e.g. s1269s/tr at ~0.3s)
+#: from flagging on scheduler jitter; the relative tolerance covers
+#: the multi-second cells.  The check is informational — the script's
+#: exit code stays a pure correctness gate (see scripts/bench.sh).
+REGRESSION_REL_TOL = 0.25
+REGRESSION_ABS_FLOOR_S = 0.25
+
+
+def compare_to_baseline(old_report, new_cells):
+    """Per-cell after_s regressions beyond the noise floor.
+
+    Compares only cells present in both reports whose *current-kernel*
+    phase completed both times; status flips (completed -> T.O.) are
+    always reported.  Returns a list of human-readable findings.
+    """
+    findings = []
+    old_cells = (old_report or {}).get("cells", {})
+    for key, new in sorted(new_cells.items()):
+        old = old_cells.get(key)
+        if old is None:
+            continue
+        if old["after_status"] == "completed" != new["after_status"]:
+            findings.append(
+                "%s: status %s -> %s"
+                % (key, old["after_status"], new["after_status"])
+            )
+            continue
+        if old["after_status"] != "completed":
+            continue
+        old_s, new_s = old["after_s"], new["after_s"]
+        if (
+            new_s > old_s * (1 + REGRESSION_REL_TOL)
+            and new_s - old_s > REGRESSION_ABS_FLOOR_S
+        ):
+            findings.append(
+                "%s: after_s %.2fs -> %.2fs (+%.0f%%, +%.2fs)"
+                % (key, old_s, new_s, 100 * (new_s / old_s - 1), new_s - old_s)
+            )
+    return findings
+
 
 def run_once(engine, circuit, slots, limits, reference):
     space = ReachSpace(circuit, slots)
@@ -182,14 +225,22 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
 
+    baseline = None
+    if os.path.exists(args.output):
+        try:
+            with open(args.output) as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError):
+            baseline = None
+
     if args.quick:
         circuit_names = list(surrogates.SUITE)[:2]
-        engines = ("bfv",)
+        engines = ("bfv", "sat")  # sat smoke cell rides in CI
         limits = QUICK_LIMITS
         rounds = 1
     else:
         circuit_names = list(surrogates.SUITE)
-        engines = ("bfv", "tr")
+        engines = ("bfv", "tr", "sat", "bfv-sat")
         limits = LIMITS
         rounds = 3
 
@@ -197,8 +248,10 @@ def main(argv=None):
         # Version 2 adds per-cell "cache" breakdowns (hits/misses/
         # evictions) alongside the aggregate hit rate.  Version 3 adds
         # the top-level "batch" scheduler phase (jobs=1 vs jobs=N wall
-        # clock, speedup, determinism check).
-        "schema_version": 3,
+        # clock, speedup, determinism check).  Version 4 adds the
+        # "regressions" comparison against the previously committed
+        # baseline (noise-floored, informational).
+        "schema_version": 4,
         "meta": {
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
             "python": platform.python_version(),
@@ -237,6 +290,18 @@ def main(argv=None):
                     flag,
                 )
             )
+
+    # Regression comparison vs the committed baseline.  Quick runs are
+    # too noisy to compare, and a quick baseline is no baseline at all.
+    if (
+        not args.quick
+        and baseline is not None
+        and not baseline.get("meta", {}).get("quick")
+    ):
+        regressions = compare_to_baseline(baseline, report["cells"])
+        report["regressions"] = regressions
+        for finding in regressions:
+            print("regression: %s" % finding)
 
     batch = bench_batch(circuit_names, engines, limits, args.jobs)
     report["batch"] = batch

@@ -155,15 +155,26 @@ class Checkpointer:
         """True iff a snapshot should be taken at ``iteration``."""
         return iteration % self.interval == 0
 
-    def maybe_save(self, bdd, iteration, functions=None, vectors=None) -> bool:
+    def maybe_save(
+        self, bdd, iteration, functions=None, vectors=None, extra=None
+    ) -> bool:
         """Snapshot if ``iteration`` is due; returns whether it saved."""
         if not self.due(iteration):
             return False
-        self.save(bdd, iteration, functions, vectors)
+        self.save(bdd, iteration, functions, vectors, extra)
         return True
 
-    def save(self, bdd, iteration, functions=None, vectors=None) -> str:
-        """Write one checkpoint atomically; returns its path."""
+    def save(
+        self, bdd, iteration, functions=None, vectors=None, extra=None
+    ) -> str:
+        """Write one checkpoint atomically; returns its path.
+
+        ``extra`` (a JSON-safe dict) is stored verbatim under the
+        metadata's ``"extra"`` key and comes back on
+        :class:`Snapshot.meta` — engine-specific resume state (e.g. the
+        saturation engines' chaining position) rides there without the
+        container format knowing about it.
+        """
         os.makedirs(self.directory, exist_ok=True)
         payload = io.StringIO()
         dump_functions(bdd, functions or {}, payload, vectors)
@@ -176,6 +187,8 @@ class Checkpointer:
             "functions": sorted(functions or {}),
             "vectors": sorted(vectors or {}),
         }
+        if extra:
+            meta["extra"] = extra
         # Manager counters ride along so a resumed run reports monotonic
         # op/cache statistics instead of restarting them from zero.
         if hasattr(bdd, "counters_snapshot"):

@@ -23,9 +23,15 @@ from .journal import RunJournal
 from .supervisor import Supervisor
 from .worker import AttemptSpec, run_attempt
 
-#: Engine order of the default ladder (the paper's Figure 2 flow first,
-#: its Sec 2.7 conjunctive variant, then the chi-based baselines).
-DEFAULT_ENGINE_LADDER = ("bfv", "conj", "cbm", "tr")
+#: Engine order of the default ladder: the paper's Figure 2 flow first,
+#: then the saturation engine (chained chi images — the fast path on
+#: control-style circuits where BFV struggles; see
+#: :mod:`repro.reach.sat_engine`), the Sec 2.7 conjunctive variant, and
+#: the chi-based baselines.  The ``bfv-sat`` hybrid is deliberately not
+#: a default rung: its failure modes track ``bfv``'s (same simulation +
+#: reparameterization core), so it adds little recovery diversity —
+#: request it explicitly where it wins (input-heavy datapath cells).
+DEFAULT_ENGINE_LADDER = ("bfv", "sat", "conj", "cbm", "tr")
 
 
 def _cache_hit_rate(result: ReachResult) -> Optional[float]:

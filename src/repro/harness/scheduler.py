@@ -59,10 +59,14 @@ from .policy import FallbackPolicy
 from .supervisor import Supervisor
 from .worker import AttemptSpec, run_attempt
 
-#: Expected duration assigned to cells absent from the benchmark
-#: baseline: infinity, so unknown work is scheduled first (the
-#: conservative straggler policy for longest-expected-first).
-UNKNOWN_EXPECTED_SECONDS = float("inf")
+#: Expected duration of a cell when the benchmark baseline offers no
+#: signal at all (missing/empty ``BENCH_reach.json``): a generous but
+#: *finite* default, so completely unknown work still schedules ahead
+#: of fast known cells without wedging the sort the way the old
+#: ``inf`` sentinel did.  Cells that merely miss their exact
+#: ``circuit/engine`` entry get a better guess first — see
+#: :func:`expected_seconds`.
+DEFAULT_EXPECTED_SECONDS = 10.0
 
 
 def _sanitize(text: str) -> str:
@@ -194,11 +198,38 @@ def load_expected_seconds(path: str) -> Dict[str, float]:
 
 
 def expected_seconds(cell: WorkCell, estimates: Dict[str, float]) -> float:
-    """Expected duration of a cell under the benchmark baseline."""
+    """Expected duration of a cell under the benchmark baseline.
+
+    Degrades gracefully when the exact ``circuit/engine`` cell is
+    missing from the baseline — the day a new engine lands it has no
+    recorded timings anywhere, and longest-expected-first still needs a
+    finite, conservative guess for it:
+
+    1. the exact ``circuit/engine`` estimate when recorded;
+    2. else the *slowest* recorded engine on the same circuit (a
+       straggler-safe proxy: the circuit's hardness dominates);
+    3. else the engine's slowest recorded time on any circuit;
+    4. else :data:`DEFAULT_EXPECTED_SECONDS`.
+    """
     name = os.path.splitext(os.path.basename(cell.circuit))[0]
-    return estimates.get(
-        "%s/%s" % (name, cell.engine), UNKNOWN_EXPECTED_SECONDS
-    )
+    exact = estimates.get("%s/%s" % (name, cell.engine))
+    if exact is not None:
+        return exact
+    same_circuit = [
+        seconds
+        for key, seconds in estimates.items()
+        if key.rsplit("/", 1)[0] == name
+    ]
+    if same_circuit:
+        return max(same_circuit)
+    same_engine = [
+        seconds
+        for key, seconds in estimates.items()
+        if key.rsplit("/", 1)[-1] == cell.engine
+    ]
+    if same_engine:
+        return max(same_engine)
+    return DEFAULT_EXPECTED_SECONDS
 
 
 def _normalize_result(result: ReachResult) -> Dict[str, object]:

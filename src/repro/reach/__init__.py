@@ -10,6 +10,12 @@
   paying per-iteration conversions.
 * :func:`conj_reachability` — Figure 2 with McMillan's conjunctive
   decomposition as the set representation (Sec 2.7).
+* :func:`sat_reachability` — structural saturation: chained per-latch
+  image steps over disjunctive input-cube partitions, local fix points,
+  frontier-avoidance (:mod:`repro.reach.sat_engine`).
+* :func:`bfv_sat_reachability` — the hybrid that saturates inside the
+  BFV reparameterization loop (split inputs driven constant during
+  symbolic simulation).
 
 All engines share a variable layout (:class:`ReachSpace`), resource
 budgets (:class:`ReachLimits`, reported as the paper's T.O./M.O.) and
@@ -23,6 +29,7 @@ from .common import ReachLimits, ReachResult, ReachSpace, RunMonitor
 from .conj_engine import conj_reachability
 from .iwls95 import PartitionedRelation
 from .report import format_table2, format_table3
+from .sat_engine import bfv_sat_reachability, sat_reachability
 from .tr_engine import tr_reachability
 
 ENGINES = {
@@ -30,6 +37,8 @@ ENGINES = {
     "tr": tr_reachability,
     "cbm": cbm_reachability,
     "conj": conj_reachability,
+    "sat": sat_reachability,
+    "bfv-sat": bfv_sat_reachability,
 }
 
 __all__ = [
@@ -42,9 +51,11 @@ __all__ = [
     "ReachSpace",
     "RunMonitor",
     "bfv_reachability",
+    "bfv_sat_reachability",
     "cbm_reachability",
     "conj_reachability",
     "format_table2",
     "format_table3",
+    "sat_reachability",
     "tr_reachability",
 ]

@@ -101,7 +101,6 @@ def backward_reachability(
     except RecursionError:
         result.failure = "depth"
     result.iterations = iterations
-    result.seconds = monitor.elapsed
     bdd.collect_garbage()
     result.peak_live_nodes = max(monitor.peak_live, bdd.count_live())
     result.extra["cache"] = bdd.cache_stats()
@@ -111,6 +110,7 @@ def backward_reachability(
         result.extra["backward_chi"] = reached
         if count_states:
             result.num_states = space.states_of(reached)
+    result.seconds = monitor.elapsed
     return result
 
 

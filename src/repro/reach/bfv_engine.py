@@ -154,7 +154,6 @@ def bfv_reachability(
             iterations,
         )
     result.iterations = iterations
-    result.seconds = monitor.elapsed
     with tracer.span("finalize"):
         bdd.collect_garbage()
         result.peak_live_nodes = max(monitor.peak_live, bdd.count_live())
@@ -167,6 +166,9 @@ def bfv_reachability(
             result.extra["reached"] = reached
             if count_states:
                 result.num_states = reached.count()
+    # Captured after the finalize span: every engine reports the same
+    # window, and traced phase self-times can never exceed it.
+    result.seconds = monitor.elapsed
     if tracer.enabled:
         result.extra["obs"] = tracer.summary()
         tracer.finish(result)

@@ -190,7 +190,6 @@ def cbm_reachability(
             iterations,
         )
     result.iterations = iterations
-    result.seconds = monitor.elapsed
     result.conversion_seconds = conversion
     with tracer.span("finalize"):
         bdd.collect_garbage()
@@ -204,6 +203,9 @@ def cbm_reachability(
             result.extra["reached_chi"] = reached
             if count_states:
                 result.num_states = space.states_of(reached)
+    # Captured after the finalize span: every engine reports the same
+    # window, and traced phase self-times can never exceed it.
+    result.seconds = monitor.elapsed
     if tracer.enabled:
         result.extra["obs"] = tracer.summary()
         tracer.finish(result)

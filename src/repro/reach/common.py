@@ -301,12 +301,19 @@ class RunMonitor:
         iteration: int,
         functions: Optional[Dict[str, int]] = None,
         vectors: Optional[Dict[str, object]] = None,
+        meta: Optional[Dict[str, object]] = None,
     ) -> None:
-        """Persist the engine's state through the attached checkpointer."""
+        """Persist the engine's state through the attached checkpointer.
+
+        ``meta`` (optional, JSON-safe) rides along in the checkpoint
+        metadata under the ``"extra"`` key — the saturation engines use
+        it to serialize their chaining position so kill-resume is exact
+        mid-chain (see :mod:`repro.reach.sat_engine`).
+        """
         if self.checkpointer is not None:
             with self.tracer.span("checkpoint"):
                 saved = self.checkpointer.maybe_save(
-                    self.bdd, iteration, functions, vectors
+                    self.bdd, iteration, functions, vectors, meta
                 )
             if saved:
                 self.tracer.event("checkpoint", iteration=iteration)

@@ -153,7 +153,6 @@ def conj_reachability(
             iterations,
         )
     result.iterations = iterations
-    result.seconds = monitor.elapsed
     with tracer.span("finalize"):
         bdd.collect_garbage()
         result.peak_live_nodes = max(monitor.peak_live, bdd.count_live())
@@ -166,6 +165,9 @@ def conj_reachability(
             result.extra["reached_cd"] = reached
             if count_states:
                 result.num_states = reached.count()
+    # Captured after the finalize span: every engine reports the same
+    # window, and traced phase self-times can never exceed it.
+    result.seconds = monitor.elapsed
     if tracer.enabled:
         result.extra["obs"] = tracer.summary()
         tracer.finish(result)

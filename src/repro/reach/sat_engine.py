@@ -1,0 +1,648 @@
+"""Saturation reachability: chained image steps over disjunctive partitions.
+
+Every other engine in this package computes one monolithic image per
+breadth-first iteration.  The two engines here instead *chain* smaller
+image steps and run each to a local fix point — structural saturation
+in the style of the biodivine/LTSmin family, adapted to synchronous
+circuits:
+
+* the transition relation is split **disjunctively** by cofactoring the
+  next-state functions against cubes over a few primary inputs
+  (``T = OR_c  T|_{x=c}``), which is exact for synchronous semantics —
+  unlike per-latch *asynchronous* firing, every disjunct still updates
+  all latches at once;
+* inside each disjunct the relation stays **per-latch conjunctive**
+  (one ``t_i <-> delta_i|_c`` conjunct per latch) and is clustered and
+  early-quantified by the IWLS95 machinery
+  (:class:`~repro.reach.iwls95.PartitionedRelation`), so each chained
+  step is itself a chain of per-latch ``and_exists`` products;
+* a **chaining schedule** orders the disjuncts (static IWLS95-flavoured
+  scoring: cheapest relation chain first, with an optional round-robin
+  rotation as the fallback schedule) and each partition is saturated to
+  a **local fix point** before the chain moves on, feeding newly found
+  states straight back into the current round instead of parking them
+  for the next breadth-first wave;
+* **frontier-avoidance** keeps re-fires cheap: each partition tracks a
+  *pending* delta (states discovered since it last fired) and is
+  skipped while that delta is empty; on top of that, the pending set is
+  projected onto the partition's state-variable support and fired only
+  if the projection adds anything over what the partition has already
+  seen — the image of a partition depends only on that projection, so
+  states that look identical to a partition never trigger a re-fire.
+
+:func:`sat_reachability` (engine ``sat``) runs this over characteristic
+functions; :func:`bfv_sat_reachability` (engine ``bfv-sat``) is the
+hybrid that saturates *inside* the BFV flow of Figure 2: each partition
+fires by symbolic simulation with the cube's inputs driven constant,
+re-parameterizes over the remaining parameters, and accumulates into
+the reached set by BFV union — no characteristic function is built.
+
+Saturation changes the meaning of ``ReachResult.iterations``: it counts
+**macro rounds** (full sweeps of the chaining schedule), not images.
+Every round dominates one breadth-first image over the whole reached
+set, so ``1 <= rounds <= bfs_depth`` — the differential campaign in
+``tests/test_fuzz.py`` pins exactly this contract.  The fine-grained
+progress unit is the *fire* (one chained image step); fires drive the
+budget/fault/checkpoint tick so kill-resume can cut the run mid-chain,
+and the chaining position (round, schedule index, fire count) rides in
+the checkpoint metadata to make resume exact.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bfv import BFV
+from ..bfv.reparam import eliminate_params
+from ..errors import CircuitError, ResourceLimitError
+from ..obs import ensure_tracer
+from ..sim.symbolic import SymbolicSimulator
+from .common import ReachLimits, ReachResult, ReachSpace, RunMonitor
+from .iwls95 import PartitionedRelation
+
+#: Chaining schedules: ``static`` fires the IWLS95-scored order every
+#: round; ``round-robin`` rotates the starting partition per round (the
+#: fallback when the static scoring has no signal, e.g. all-equal
+#: chains).
+CHAIN_SCHEDULES = ("static", "round-robin")
+
+#: Default number of input variables to split the relation on.  0 keeps
+#: one disjunct (pure chaining + frontier-avoidance, the fastest
+#: setting on the Table-2 surrogates); positive values trade more,
+#: simpler partitions for more fires — worthwhile when cofactoring
+#: collapses the next-state logic.
+DEFAULT_SPLIT_INPUTS = 0
+
+#: Default IWLS95 clustering threshold for the chi-based saturation
+#: engine.  Finer than ``tr``'s 800: chained fires are many and small,
+#: so smaller clusters (earlier quantification, cheaper and_exists
+#: steps) amortize better — on the Table-2 surrogates 400 beats 800 on
+#: four of the five circuits and flips s1512s from a tie with ``tr``
+#: into a clear win.
+DEFAULT_SAT_CLUSTER_THRESHOLD = 400
+
+#: The BFV hybrid defaults to splitting one input: each cube then
+#: drives that input constant during symbolic simulation, shrinking the
+#: parameter set the re-parameterization has to eliminate.
+DEFAULT_BFV_SPLIT_INPUTS = 1
+
+
+def split_input_vars(
+    bdd, deltas: Dict[str, int], state_order: Sequence[str], x_vars, cap: int
+) -> Tuple[List[int], List[int]]:
+    """Choose up to ``cap`` input variables to split the relation on.
+
+    Ranks inputs by how many next-state functions mention them (most
+    shared first — cofactoring those simplifies the most per-latch
+    logic); inputs mentioned by no delta are never split on.  Returns
+    ``(split, unsplit)`` with ``unsplit`` in declaration order.
+    """
+    occurrence: Dict[int, int] = {}
+    for net in state_order:
+        for var in bdd.support(deltas[net]):
+            occurrence[var] = occurrence.get(var, 0) + 1
+    ranked = sorted(
+        (v for v in x_vars if occurrence.get(v)),
+        key=lambda v: (-occurrence[v], v),
+    )
+    split = ranked[: max(0, cap)]
+    unsplit = [v for v in x_vars if v not in split]
+    return split, unsplit
+
+
+class _Partition:
+    """One disjunct of the split relation plus its saturation state."""
+
+    __slots__ = (
+        "cube", "relation", "support", "nonsupport", "pending", "fired",
+        "fires", "skips",
+    )
+
+    def __init__(self, cube, relation, support, nonsupport):
+        self.cube = cube  # {input var: bool} (empty for the unsplit case)
+        self.relation = relation
+        self.support = support  # s-vars the relation actually reads
+        self.nonsupport = nonsupport  # s-vars it ignores (projected away)
+        self.pending = None  # chi node or BFV; None/false = clean
+        self.fired = None  # chi engines: projection already fired on
+        self.fires = 0
+        self.skips = 0
+
+
+def chain_order(bdd, partitions: Sequence[_Partition]) -> List[int]:
+    """Static chaining order: cheapest relation chain first.
+
+    The IWLS95-flavoured score: partitions whose clustered chain is
+    smaller fire first, so early fires (which run to a local fix point
+    and feed everyone else's pending set) are the cheap ones.  Ties
+    break on cube index, keeping the order deterministic.
+    """
+    def cost(index: int) -> Tuple[int, int]:
+        chain = partitions[index].relation.clusters
+        return (sum(bdd.dag_size(c) for c in chain), index)
+
+    return sorted(range(len(partitions)), key=cost)
+
+
+def sweep_order(order: Sequence[int], round_number: int, schedule: str) -> List[int]:
+    """The firing order for one macro round under a chaining schedule."""
+    if schedule == "static" or len(order) < 2:
+        return list(order)
+    shift = (round_number - 1) % len(order)
+    return list(order[shift:]) + list(order[:shift])
+
+
+def _chain_meta(round_number, position, fires, order) -> Dict[str, object]:
+    """Chaining position serialized into checkpoint metadata."""
+    return {
+        "sat": {
+            "round": round_number,
+            "position": position,
+            "fires": fires,
+            "order": list(order),
+        }
+    }
+
+
+def sat_reachability(
+    circuit,
+    slots: Optional[Sequence[str]] = None,
+    limits: Optional[ReachLimits] = None,
+    cluster_threshold: int = DEFAULT_SAT_CLUSTER_THRESHOLD,
+    split_inputs: int = DEFAULT_SPLIT_INPUTS,
+    chain_schedule: str = "static",
+    selection_heuristic: bool = True,
+    count_states: bool = True,
+    order_name: str = "?",
+    space: Optional[ReachSpace] = None,
+    initial_points=None,
+    checkpointer=None,
+    tracer=None,
+    sanitize=None,
+) -> ReachResult:
+    """Saturation reachability over characteristic functions.
+
+    ``result.extra['space']`` / ``['reached_chi']`` hold the layout and
+    reached set for cross-validation; ``result.extra['saturation']``
+    carries the per-partition fire/skip counts, the chaining order and
+    the split variables.  ``selection_heuristic`` toggles the
+    projection-based frontier-avoidance (off, partitions fire on their
+    raw pending deltas — same result, more work).  With a
+    ``checkpointer`` the reached set, every pending/fired set and the
+    chaining position are snapshotted at every fire, and the run
+    resumes mid-chain from the latest valid snapshot.
+    """
+    if chain_schedule not in CHAIN_SCHEDULES:
+        raise CircuitError(
+            "unknown chain schedule %r (want one of %s)"
+            % (chain_schedule, ", ".join(CHAIN_SCHEDULES))
+        )
+    if space is None:
+        space = ReachSpace(circuit, slots)
+    bdd = space.bdd
+    tracer = ensure_tracer(tracer)
+    tracer.attach(bdd)
+    tracer.bind(engine="sat", circuit=circuit.name, order=order_name)
+    monitor = RunMonitor(
+        bdd, limits, checkpointer, tracer=tracer, sanitize=sanitize
+    )
+
+    with tracer.span("setup"):
+        simulator = SymbolicSimulator(bdd, circuit)
+        deltas_by_latch = simulator.transition_functions(
+            dict(space.input_var), dict(space.state_var)
+        )
+        by_net = dict(zip(circuit.latches, deltas_by_latch))
+        split, unsplit = split_input_vars(
+            bdd, by_net, space.state_order, space.x_vars, split_inputs
+        )
+        quantify = list(space.s_vars) + unsplit
+        partitions: List[_Partition] = []
+        for bits in itertools.product((False, True), repeat=len(split)):
+            cube = dict(zip(split, bits))
+            parts = []
+            for net in space.state_order:
+                delta = by_net[net]
+                if cube:
+                    delta = bdd.cofactor_cube(delta, cube)
+                parts.append(
+                    bdd.equiv(bdd.var(space.next_var[net]), delta)
+                )
+            relation = PartitionedRelation(
+                bdd, parts, quantify, cluster_threshold=cluster_threshold
+            )
+            read = set()
+            for cluster in relation.clusters:
+                read |= set(bdd.support(cluster))
+            support = sorted(set(space.s_vars) & read)
+            nonsupport = sorted(set(space.s_vars) - read)
+            partitions.append(_Partition(cube, relation, support, nonsupport))
+        order = chain_order(bdd, partitions)
+
+        init = space.initial_chi(initial_points)
+        reached = bdd.incref(init)
+        for part in partitions:
+            part.pending = bdd.incref(init)
+            part.fired = bdd.false
+
+    def set_slot(part, attr, node):
+        bdd.incref(node)
+        bdd.decref(getattr(part, attr))
+        setattr(part, attr, node)
+
+    rounds = 0
+    fires = 0
+    resume_position = 0
+    result = ReachResult(
+        engine="sat", circuit=circuit.name, order=order_name, completed=False
+    )
+    snapshot = monitor.restore()
+    if snapshot is not None:
+        chain = snapshot.meta.get("extra", {}).get("sat", {})
+        bdd.decref(reached)
+        reached = snapshot.functions["reached"]
+        for i, part in enumerate(partitions):
+            bdd.decref(part.pending)
+            part.pending = snapshot.functions["pend%02d" % i]
+            bdd.decref(part.fired)
+            part.fired = snapshot.functions["fired%02d" % i]
+        rounds = max(0, int(chain.get("round", 1)) - 1)
+        resume_position = int(chain.get("position", 0))
+        fires = int(chain.get("fires", snapshot.iteration))
+        result.extra["resumed_from"] = snapshot.iteration
+
+    def save_position(round_number, position):
+        functions = {"reached": reached}
+        for i, part in enumerate(partitions):
+            functions["pend%02d" % i] = part.pending
+            functions["fired%02d" % i] = part.fired
+        monitor.save_state(
+            fires,
+            functions=functions,
+            meta=_chain_meta(round_number, position, fires, order),
+        )
+
+    try:
+        while True:
+            rounds += 1
+            tracer.begin_iteration(rounds)
+            sweep = sweep_order(order, rounds, chain_schedule)
+            with tracer.span("saturate"):
+                for position in range(resume_position, len(sweep)):
+                    part = partitions[sweep[position]]
+                    while part.pending != bdd.false:
+                        with tracer.span("image"):
+                            if selection_heuristic:
+                                frontier = part.pending
+                                if part.nonsupport:
+                                    frontier = bdd.exists(
+                                        part.nonsupport, frontier
+                                    )
+                                frontier = bdd.diff(frontier, part.fired)
+                                set_slot(part, "pending", bdd.false)
+                                if frontier == bdd.false:
+                                    part.skips += 1
+                                    break
+                                set_slot(
+                                    part,
+                                    "fired",
+                                    bdd.or_(part.fired, frontier),
+                                )
+                            else:
+                                frontier = part.pending
+                                set_slot(part, "pending", bdd.false)
+                            image = space.t_to_s(
+                                part.relation.image(frontier)
+                            )
+                        part.fires += 1
+                        fires += 1
+                        with tracer.span("fixpoint_test"):
+                            new = bdd.diff(image, reached)
+                        if new != bdd.false:
+                            with tracer.span("union"):
+                                old = reached
+                                reached = bdd.incref(bdd.or_(reached, new))
+                                bdd.decref(old)
+                                for other in partitions:
+                                    if other is part:
+                                        set_slot(part, "pending", new)
+                                    else:
+                                        set_slot(
+                                            other,
+                                            "pending",
+                                            bdd.or_(other.pending, new),
+                                        )
+                        if monitor.want_checkpoint(fires):
+                            save_position(rounds, position)
+                        monitor.checkpoint((), fires)
+            resume_position = 0
+            # Budgets are also enforced at round boundaries: a round of
+            # pure frontier-avoidance skips performs no fires, and the
+            # per-fire checks above would never run.
+            monitor.checkpoint((), fires)
+            fixed = all(p.pending == bdd.false for p in partitions)
+            monitor.audit(
+                fires,
+                roots=[reached]
+                + [p.pending for p in partitions]
+                + [p.fired for p in partitions],
+            )
+            if tracer.enabled:
+                with tracer.span("telemetry"):
+                    pending_union = bdd.false
+                    for part in partitions:
+                        pending_union = bdd.or_(pending_union, part.pending)
+                    frontier_size = bdd.dag_size(pending_union)
+                    reached_size = bdd.dag_size(reached)
+                tracer.event(
+                    "saturate",
+                    iteration=rounds,
+                    fires=[p.fires for p in partitions],
+                    skips=[p.skips for p in partitions],
+                    partitions=len(partitions),
+                )
+                tracer.end_iteration(
+                    rounds,
+                    frontier_size=frontier_size,
+                    reached_size=reached_size,
+                    chi_size=reached_size,
+                    fixpoint=fixed,
+                )
+            if fixed:
+                break
+        result.completed = True
+    except ResourceLimitError as error:
+        monitor.annotate(result, error, rounds)
+    except RecursionError:
+        monitor.annotate(
+            result,
+            ResourceLimitError("depth", "recursion limit exceeded"),
+            rounds,
+        )
+    result.iterations = rounds
+    with tracer.span("finalize"):
+        bdd.collect_garbage()
+        result.peak_live_nodes = max(monitor.peak_live, bdd.count_live())
+        result.extra["cache"] = bdd.cache_stats()
+        result.reached_size = bdd.dag_size(reached)
+        if monitor.sanitizer is not None:
+            result.extra["sanitizer"] = monitor.sanitizer.snapshot()
+        result.extra["saturation"] = {
+            "partitions": len(partitions),
+            "split_vars": len(split),
+            "schedule": chain_schedule,
+            "order": list(order),
+            "fires": [p.fires for p in partitions],
+            "skips": [p.skips for p in partitions],
+            "total_fires": fires,
+        }
+        if result.completed:
+            result.extra["space"] = space
+            result.extra["reached_chi"] = reached
+            if count_states:
+                result.num_states = space.states_of(reached)
+    # Captured after the finalize span so the traced phase self-times
+    # can never exceed the reported wall clock.
+    result.seconds = monitor.elapsed
+    if tracer.enabled:
+        result.extra["obs"] = tracer.summary()
+        tracer.finish(result)
+    return result
+
+
+def bfv_sat_reachability(
+    circuit,
+    slots: Optional[Sequence[str]] = None,
+    limits: Optional[ReachLimits] = None,
+    schedule: str = "support",
+    split_inputs: int = DEFAULT_BFV_SPLIT_INPUTS,
+    chain_schedule: str = "static",
+    selection_heuristic: bool = True,
+    count_states: bool = True,
+    order_name: str = "?",
+    space: Optional[ReachSpace] = None,
+    initial_points=None,
+    checkpointer=None,
+    tracer=None,
+    sanitize=None,
+) -> ReachResult:
+    """The BFV hybrid: saturation inside the reparameterization loop.
+
+    Same disjunctive chaining as :func:`sat_reachability`, but every
+    fire is one Figure-2 step: symbolic simulation with the partition's
+    split inputs driven *constant* (so the cube never becomes a
+    parameter), re-parameterization over the remaining (choice +
+    unsplit-input) parameters, and BFV union into the reached set.
+    Pending deltas are BFVs; a partition is clean when its pending
+    vector is ``None``.  ``result.extra['reached']`` holds the final
+    BFV.  ``selection_heuristic`` picks the smaller of the fire's image
+    and its raw pending vector as the partition's next local frontier.
+    """
+    if chain_schedule not in CHAIN_SCHEDULES:
+        raise CircuitError(
+            "unknown chain schedule %r (want one of %s)"
+            % (chain_schedule, ", ".join(CHAIN_SCHEDULES))
+        )
+    if space is None:
+        space = ReachSpace(circuit, slots)
+    bdd = space.bdd
+    tracer = ensure_tracer(tracer)
+    tracer.attach(bdd)
+    tracer.bind(engine="bfv-sat", circuit=circuit.name, order=order_name)
+    monitor = RunMonitor(
+        bdd, limits, checkpointer, tracer=tracer, sanitize=sanitize
+    )
+
+    with tracer.span("setup"):
+        simulator = SymbolicSimulator(bdd, circuit)
+        deltas_by_latch = simulator.transition_functions(
+            dict(space.input_var), dict(space.state_var)
+        )
+        by_net = dict(zip(circuit.latches, deltas_by_latch))
+        split, unsplit = split_input_vars(
+            bdd, by_net, space.state_order, space.x_vars, split_inputs
+        )
+        var_to_net = {v: net for net, v in space.input_var.items()}
+        latch_order = list(circuit.latches)
+        rename_map = dict(zip(space.t_vars, space.s_vars))
+        params = list(space.s_vars) + unsplit
+        input_drivers = {
+            net: bdd.incref(bdd.var(v))
+            for net, v in space.input_var.items()
+            if v in unsplit
+        }
+        partitions: List[_Partition] = []
+        for bits in itertools.product((False, True), repeat=len(split)):
+            cube = dict(zip(split, bits))
+            constants = {
+                var_to_net[v]: (bdd.true if value else bdd.false)
+                for v, value in cube.items()
+            }
+            partitions.append(_Partition(constants, None, None, None))
+        order = list(range(len(partitions)))
+
+        init = BFV.from_points(
+            bdd, space.s_vars, space.initial_point_set(initial_points)
+        )
+        reached = init
+        for part in partitions:
+            part.pending = init
+
+    rounds = 0
+    fires = 0
+    resume_position = 0
+    result = ReachResult(
+        engine="bfv-sat",
+        circuit=circuit.name,
+        order=order_name,
+        completed=False,
+    )
+    empty = BFV.empty(bdd, space.s_vars)
+    snapshot = monitor.restore()
+    if snapshot is not None:
+        chain = snapshot.meta.get("extra", {}).get("sat", {})
+        reached = snapshot.vectors["reached"]
+        for i, part in enumerate(partitions):
+            pending = snapshot.vectors["pend%02d" % i]
+            part.pending = None if pending.is_empty else pending
+        rounds = max(0, int(chain.get("round", 1)) - 1)
+        resume_position = int(chain.get("position", 0))
+        fires = int(chain.get("fires", snapshot.iteration))
+        result.extra["resumed_from"] = snapshot.iteration
+
+    def save_position(round_number, position):
+        vectors = {"reached": reached}
+        for i, part in enumerate(partitions):
+            vectors["pend%02d" % i] = (
+                empty if part.pending is None else part.pending
+            )
+        monitor.save_state(
+            fires,
+            vectors=vectors,
+            meta=_chain_meta(round_number, position, fires, order),
+        )
+
+    def fire(part, from_vec):
+        """One Figure-2 step for one partition: sim, reparam, union."""
+        with tracer.span("image"):
+            drivers = dict(input_drivers)
+            drivers.update(part.cube)
+            for net, comp in zip(space.state_order, from_vec.components):
+                drivers[net] = comp
+            raw_by_latch = simulator.next_state(drivers)
+            raw_by_net = dict(zip(latch_order, raw_by_latch))
+            raw = [raw_by_net[n] for n in space.state_order]
+        with tracer.span("reparam"):
+            image_t = eliminate_params(
+                bdd, space.t_vars, raw, params, schedule
+            )
+            comps = [bdd.rename(f, rename_map) for f in image_t]
+            return BFV(bdd, space.s_vars, comps, validate=False)
+
+    try:
+        while True:
+            rounds += 1
+            tracer.begin_iteration(rounds)
+            sweep = sweep_order(order, rounds, chain_schedule)
+            with tracer.span("saturate"):
+                for position in range(resume_position, len(sweep)):
+                    part = partitions[sweep[position]]
+                    while part.pending is not None:
+                        from_vec = part.pending
+                        part.pending = None
+                        image = fire(part, from_vec)
+                        part.fires += 1
+                        fires += 1
+                        with tracer.span("union"):
+                            new_reached = image.union(reached)
+                        with tracer.span("fixpoint_test"):
+                            grew = new_reached != reached
+                        if grew:
+                            reached = new_reached
+                            for other in partitions:
+                                if other is part:
+                                    if (
+                                        selection_heuristic
+                                        and reached.shared_size()
+                                        < image.shared_size()
+                                    ):
+                                        part.pending = reached
+                                    else:
+                                        part.pending = image
+                                elif other.pending is None:
+                                    other.pending = image
+                                else:
+                                    other.pending = other.pending.union(
+                                        image
+                                    )
+                        if monitor.want_checkpoint(fires):
+                            save_position(rounds, position)
+                        monitor.checkpoint((), fires)
+            resume_position = 0
+            monitor.checkpoint((), fires)
+            fixed = all(p.pending is None for p in partitions)
+            monitor.audit(
+                fires,
+                vectors=[reached]
+                + [p.pending for p in partitions if p.pending is not None],
+            )
+            if tracer.enabled:
+                with tracer.span("telemetry"):
+                    frontier_size = sum(
+                        p.pending.shared_size()
+                        for p in partitions
+                        if p.pending is not None
+                    )
+                    reached_size = reached.shared_size()
+                tracer.event(
+                    "saturate",
+                    iteration=rounds,
+                    fires=[p.fires for p in partitions],
+                    skips=[p.skips for p in partitions],
+                    partitions=len(partitions),
+                )
+                tracer.end_iteration(
+                    rounds,
+                    frontier_size=max(1, frontier_size),
+                    reached_size=reached_size,
+                    fixpoint=fixed,
+                )
+            if fixed:
+                break
+        result.completed = True
+    except ResourceLimitError as error:
+        monitor.annotate(result, error, rounds)
+    except RecursionError:
+        monitor.annotate(
+            result,
+            ResourceLimitError("depth", "recursion limit exceeded"),
+            rounds,
+        )
+    result.iterations = rounds
+    with tracer.span("finalize"):
+        bdd.collect_garbage()
+        result.peak_live_nodes = max(monitor.peak_live, bdd.count_live())
+        result.extra["cache"] = bdd.cache_stats()
+        result.reached_size = reached.shared_size()
+        if monitor.sanitizer is not None:
+            result.extra["sanitizer"] = monitor.sanitizer.snapshot()
+        result.extra["saturation"] = {
+            "partitions": len(partitions),
+            "split_vars": len(split),
+            "schedule": chain_schedule,
+            "order": list(order),
+            "fires": [p.fires for p in partitions],
+            "skips": [p.skips for p in partitions],
+            "total_fires": fires,
+        }
+        if result.completed:
+            result.extra["space"] = space
+            result.extra["reached"] = reached
+            if count_states:
+                result.num_states = reached.count()
+    result.seconds = monitor.elapsed
+    if tracer.enabled:
+        result.extra["obs"] = tracer.summary()
+        tracer.finish(result)
+    return result

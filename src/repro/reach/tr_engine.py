@@ -143,7 +143,6 @@ def tr_reachability(
             iterations,
         )
     result.iterations = iterations
-    result.seconds = monitor.elapsed
     with tracer.span("finalize"):
         bdd.collect_garbage()
         result.peak_live_nodes = max(monitor.peak_live, bdd.count_live())
@@ -156,6 +155,9 @@ def tr_reachability(
             result.extra["reached_chi"] = reached
             if count_states:
                 result.num_states = space.states_of(reached)
+    # Captured after the finalize span: every engine reports the same
+    # window, and traced phase self-times can never exceed it.
+    result.seconds = monitor.elapsed
     if tracer.enabled:
         result.extra["obs"] = tracer.summary()
         tracer.finish(result)

@@ -80,10 +80,11 @@ class TestRunWithFallback:
         finally:
             plan.uninstall()
         assert outcome.completed
+        second_engine = DEFAULT_ENGINE_LADDER[1]
         assert [(a.engine, a.order) for a in attempts] == [
             ("bfv", "S1"),
             ("bfv", "S2"),
-            ("conj", "S1"),
+            (second_engine, "S1"),
         ]
 
     def test_all_rungs_fail_returns_last_failure(self):

@@ -25,7 +25,7 @@ from repro.harness import (
     run_scheduled_batch,
 )
 from repro.harness.scheduler import (
-    UNKNOWN_EXPECTED_SECONDS,
+    DEFAULT_EXPECTED_SECONDS,
     BatchScheduler,
     expand_cells,
     expected_seconds,
@@ -72,8 +72,25 @@ class TestExpandCells:
         estimates = load_expected_seconds(str(path))
         [cell] = expand_cells(["traffic"], fallback=False)
         assert expected_seconds(cell, estimates) == 2.5
-        [other] = expand_cells(["s27"], fallback=False)
-        assert expected_seconds(other, estimates) is UNKNOWN_EXPECTED_SECONDS
+
+    def test_expected_seconds_missing_cell_degrades_gracefully(self):
+        # The day a new engine lands it has no benchmark cell anywhere;
+        # the estimate must stay finite and conservative, never raise.
+        estimates = {
+            "traffic/bfv": 2.5,
+            "traffic/tr": 7.0,
+            "s27/tr": 0.4,
+        }
+        # 1. circuit known, engine not: slowest engine on that circuit.
+        [cell] = expand_cells(["traffic"], engine="sat", fallback=False)
+        assert expected_seconds(cell, estimates) == 7.0
+        # 2. engine known, circuit not: engine's slowest recorded time.
+        [cell] = expand_cells(["counter8"], engine="tr", fallback=False)
+        assert expected_seconds(cell, estimates) == 7.0
+        # 3. no signal at all: the documented default, finite.
+        [cell] = expand_cells(["counter8"], engine="sat", fallback=False)
+        assert expected_seconds(cell, {}) == DEFAULT_EXPECTED_SECONDS
+        assert expected_seconds(cell, estimates) == DEFAULT_EXPECTED_SECONDS
 
     def test_expected_seconds_tolerates_bad_baseline(self, tmp_path):
         path = tmp_path / "BENCH_reach.json"

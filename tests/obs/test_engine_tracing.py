@@ -1,4 +1,4 @@
-"""Engine/harness tracing integration: all four engines, trace files."""
+"""Engine/harness tracing integration: all six engines, trace files."""
 
 import glob
 import os
@@ -11,7 +11,7 @@ from repro.harness.journal import RunJournal
 from repro.obs import MemorySink, Tracer
 from repro.reach import ENGINES
 
-ENGINE_NAMES = ("bfv", "conj", "cbm", "tr")
+ENGINE_NAMES = ("bfv", "conj", "cbm", "tr", "sat", "bfv-sat")
 
 
 def traced_run(engine, circuit=None, **kw):

@@ -51,13 +51,17 @@ class TestReachTraceDir:
         names = sorted(os.listdir(trace_dir))
         assert names == [
             "trace-bfv-S1-s27.jsonl",
+            # The dash in "bfv-sat" is rewritten: tags stay parseable
+            # as dash-separated engine/order/circuit.
+            "trace-bfv_sat-S1-s27.jsonl",
             "trace-cbm-S1-s27.jsonl",
             "trace-conj-S1-s27.jsonl",
+            "trace-sat-S1-s27.jsonl",
             "trace-tr-S1-s27.jsonl",
         ]
         main(["trace", trace_dir])
         out = capsys.readouterr().out
-        for engine in ("bfv", "cbm", "conj", "tr"):
+        for engine in ("bfv", "cbm", "conj", "tr", "sat", "bfv-sat"):
             assert "== %s / s27 / order S1 ==" % engine in out
 
     def test_harness_path_traces_too(self, tmp_path, capsys):

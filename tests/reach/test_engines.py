@@ -1,4 +1,4 @@
-"""End-to-end engine tests: the four engines vs the explicit oracle.
+"""End-to-end engine tests: the six engines vs the explicit oracle.
 
 Every engine must compute exactly the explicit-BFS reachable set on
 every circuit family, under several order families, with and without

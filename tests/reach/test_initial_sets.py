@@ -1,4 +1,4 @@
-"""Multi-initial-state reachability tests (all four engines)."""
+"""Multi-initial-state reachability tests (all six engines)."""
 
 import pytest
 

@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.analysis import check_bdd_structure, check_refcounts
 from repro.bdd import BDD
 from repro.circuits import generators as gen
 from repro.reach import PartitionedRelation, ReachSpace
@@ -105,3 +106,105 @@ def test_release_drops_references():
     before = len(space.bdd._extref)
     relation.release()
     assert len(space.bdd._extref) <= before
+
+
+class TestEdgeCases:
+    """Degenerate shapes the saturation engines lean on."""
+
+    def test_single_partition_relation(self):
+        # One latch, one conjunct: a single cluster whose image still
+        # matches the monolithic computation on every singleton state.
+        circuit = gen.counter(1)
+        space = ReachSpace(circuit)
+        bdd = space.bdd
+        parts = build_relation_parts(circuit, space)
+        assert len(parts) == 1
+        quantify = list(space.s_vars) + list(space.x_vars)
+        relation = PartitionedRelation(bdd, parts, quantify)
+        assert len(relation.clusters) == 1
+        assert len(relation.schedule) == 1
+        for value in (True, False):
+            from_set = bdd.cube({space.s_vars[0]: value})
+            assert relation.image(from_set) == monolithic_image(
+                space, parts, from_set
+            )
+
+    def test_empty_quantification_schedule(self):
+        # No variables to quantify: the "image" degenerates to
+        # from_set AND T, and every schedule entry carries no dying
+        # variables.
+        circuit = gen.counter(2)
+        space = ReachSpace(circuit)
+        bdd = space.bdd
+        parts = build_relation_parts(circuit, space)
+        relation = PartitionedRelation(bdd, parts, quantify=[])
+        assert all(dying == [] for _, dying in relation.schedule)
+        assert relation.residual_quantify == []
+        from_set = space.initial_chi()
+        expected = bdd.and_(from_set, bdd.conjoin(parts))
+        assert relation.image(from_set) == expected
+
+    def test_pre_image_with_input_variables(self):
+        # pre_image must existentially quantify the primary inputs as
+        # well as the next-state variables: a state belongs to the
+        # pre-image if SOME input drives it into the target.
+        circuit = gen.counter(3)  # enable input gates the increment
+        space = ReachSpace(circuit)
+        bdd = space.bdd
+        parts = build_relation_parts(circuit, space)
+        quantify = list(space.s_vars) + list(space.x_vars)
+        relation = PartitionedRelation(bdd, parts, quantify)
+        target = bdd.cube({t: False for t in space.t_vars})  # t = 0
+        with_inputs = relation.pre_image(
+            target, space.t_vars, space.x_vars
+        )
+        monolithic = bdd.exists(
+            list(space.t_vars) + list(space.x_vars),
+            bdd.and_(bdd.conjoin(parts), target),
+        )
+        assert with_inputs == monolithic
+        # 0 stays at 0 when the enable is low, so 0 is its own
+        # predecessor under SOME input — but not under ALL inputs:
+        # omitting the inputs from the quantifier leaves them free.
+        zero = bdd.cube({s: False for s in space.s_vars})
+        assert bdd.and_(with_inputs, zero) == zero
+        without_inputs = relation.pre_image(target, space.t_vars)
+        assert set(bdd.support(without_inputs)) & set(space.x_vars)
+
+    def test_release_refcount_hygiene_under_sanitizer(self):
+        # Build, use, and release a relation, then run the sanitizer's
+        # structure + refcount audits: no dangling external references,
+        # no leaked cluster pins.
+        circuit = gen.fifo_controller(1)
+        space = ReachSpace(circuit)
+        bdd = space.bdd
+        parts = build_relation_parts(circuit, space)
+        quantify = list(space.s_vars) + list(space.x_vars)
+        pinned_before = len(bdd._extref)
+        relation = PartitionedRelation(bdd, parts, quantify)
+        relation.image(space.initial_chi())
+        check_bdd_structure(bdd)
+        check_refcounts(bdd, roots=relation.clusters)
+        relation.release()
+        assert len(bdd._extref) <= pinned_before
+        check_bdd_structure(bdd)
+        check_refcounts(bdd)
+        # The clusters survive GC only if something else pins them.
+        bdd.collect_garbage()
+        check_bdd_structure(bdd)
+        check_refcounts(bdd)
+
+    def test_release_is_idempotent_on_fresh_relations(self):
+        # Releasing two relations over the same parts must not
+        # double-free: each pins its own references.
+        circuit = gen.counter(2)
+        space = ReachSpace(circuit)
+        parts = build_relation_parts(circuit, space)
+        quantify = list(space.s_vars) + list(space.x_vars)
+        first = PartitionedRelation(space.bdd, parts, quantify)
+        second = PartitionedRelation(space.bdd, parts, quantify)
+        image = first.image(space.initial_chi())
+        first.release()
+        assert second.image(space.initial_chi()) == image
+        second.release()
+        check_refcounts(space.bdd)

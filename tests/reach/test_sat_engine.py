@@ -1,0 +1,219 @@
+"""Saturation engine family: correctness, telemetry, and kill-resume.
+
+The differential campaign in ``tests/test_fuzz.py`` already pins the
+six-engine agreement contract; this file exercises the knobs specific
+to the ``sat`` / ``bfv-sat`` engines — split-input cofactoring, the
+chaining schedules, frontier-avoidance off, the saturation telemetry —
+and the harness acceptance criterion that matters most for chained
+engines: a checkpoint cut *mid-chain* (between fires, inside a macro
+round) must resume to exactly the oracle's reached set.
+"""
+
+import glob
+
+import pytest
+
+from repro.bdd import BDD
+from repro.circuits import generators as gen
+from repro.errors import CircuitError
+from repro.harness import AttemptSpec, run_attempt
+from repro.reach import ENGINES, bfv_sat_reachability, sat_reachability
+from repro.reach.sat_engine import split_input_vars, sweep_order
+from repro.sim import explicit_reachable
+
+from .test_engines import reached_points
+
+SAT_ENGINES = {"sat": sat_reachability, "bfv-sat": bfv_sat_reachability}
+
+#: Small circuits with several inputs, so split_inputs > 0 actually
+#: produces multiple disjuncts and multi-fire rounds.
+CIRCUITS = [
+    ("counter", lambda: gen.counter(4)),
+    ("fifo", lambda: gen.fifo_controller(2)),
+    ("arbiter", lambda: gen.round_robin_arbiter(3)),
+    ("rctl", lambda: gen.random_control(6, seed=3)),
+]
+
+
+class TestConfigurations:
+    """Every knob combination still computes the exact reached set."""
+
+    @pytest.mark.parametrize("engine", list(SAT_ENGINES))
+    @pytest.mark.parametrize("split", (0, 1, 2))
+    @pytest.mark.parametrize(
+        "name,factory", CIRCUITS, ids=[c[0] for c in CIRCUITS]
+    )
+    def test_split_inputs_vs_oracle(self, engine, split, name, factory):
+        circuit = factory()
+        truth = explicit_reachable(circuit)
+        result = SAT_ENGINES[engine](circuit, split_inputs=split)
+        assert result.completed
+        assert result.num_states == len(truth)
+        assert reached_points(result) == truth
+        saturation = result.extra["saturation"]
+        assert saturation["split_vars"] <= split
+        assert saturation["partitions"] == 2 ** saturation["split_vars"]
+
+    @pytest.mark.parametrize("engine", list(SAT_ENGINES))
+    @pytest.mark.parametrize("schedule", ("static", "round-robin"))
+    def test_chain_schedules_vs_oracle(self, engine, schedule):
+        circuit = gen.round_robin_arbiter(3)
+        truth = explicit_reachable(circuit)
+        result = SAT_ENGINES[engine](
+            circuit, split_inputs=2, chain_schedule=schedule
+        )
+        assert result.completed
+        assert reached_points(result) == truth
+        assert result.extra["saturation"]["schedule"] == schedule
+
+    @pytest.mark.parametrize("engine", list(SAT_ENGINES))
+    def test_frontier_avoidance_off_vs_oracle(self, engine):
+        circuit = gen.fifo_controller(2)
+        truth = explicit_reachable(circuit)
+        result = SAT_ENGINES[engine](
+            circuit, split_inputs=2, selection_heuristic=False
+        )
+        assert result.completed
+        assert reached_points(result) == truth
+        # Without frontier-avoidance nothing is ever skipped.
+        assert result.extra["saturation"]["skips"] == [0] * (
+            result.extra["saturation"]["partitions"]
+        )
+
+    @pytest.mark.parametrize("engine", list(SAT_ENGINES))
+    def test_bad_schedule_raises(self, engine):
+        with pytest.raises(CircuitError, match="chain schedule"):
+            SAT_ENGINES[engine](gen.counter(3), chain_schedule="zigzag")
+
+
+class TestDepthContract:
+    """Macro rounds are bounded by the breadth-first depth."""
+
+    @pytest.mark.parametrize("engine", list(SAT_ENGINES))
+    @pytest.mark.parametrize(
+        "name,factory", CIRCUITS, ids=[c[0] for c in CIRCUITS]
+    )
+    def test_rounds_within_bfs_depth(self, engine, name, factory):
+        circuit = factory()
+        depth = ENGINES["tr"](circuit).iterations
+        result = SAT_ENGINES[engine](circuit, split_inputs=2)
+        assert 1 <= result.iterations <= depth
+
+
+class TestTelemetry:
+    @pytest.mark.parametrize("engine", list(SAT_ENGINES))
+    def test_saturation_extra_shape(self, engine):
+        result = SAT_ENGINES[engine](gen.counter(4), split_inputs=2)
+        saturation = result.extra["saturation"]
+        n = saturation["partitions"]
+        assert saturation["schedule"] in ("static", "round-robin")
+        assert sorted(saturation["order"]) == list(range(n))
+        assert len(saturation["fires"]) == n
+        assert len(saturation["skips"]) == n
+        assert saturation["total_fires"] == sum(saturation["fires"])
+        assert saturation["total_fires"] >= 1
+        assert all(f >= 0 for f in saturation["fires"])
+
+
+class TestHelpers:
+    def test_split_input_vars_ranks_by_occurrence(self):
+        # b feeds both latches, a only one: b splits first.
+        bdd = BDD(["a", "b", "s0", "s1"])
+        a, b = bdd.var("a"), bdd.var("b")
+        s0, s1 = bdd.var("s0"), bdd.var("s1")
+        deltas = {"l0": bdd.and_(b, s0), "l1": bdd.and_(bdd.and_(a, b), s1)}
+        split, unsplit = split_input_vars(
+            bdd, deltas, ["l0", "l1"], [bdd.var_index("a"), bdd.var_index("b")], 1
+        )
+        assert split == [bdd.var_index("b")]
+        assert unsplit == [bdd.var_index("a")]
+
+    def test_split_cap_zero_keeps_everything_unsplit(self):
+        bdd = BDD(["a", "s0"])
+        deltas = {"l0": bdd.and_(bdd.var("a"), bdd.var("s0"))}
+        split, unsplit = split_input_vars(
+            bdd, deltas, ["l0"], [bdd.var_index("a")], 0
+        )
+        assert split == []
+        assert unsplit == [bdd.var_index("a")]
+
+    def test_sweep_order_schedules(self):
+        order = [2, 0, 1]
+        assert sweep_order(order, 5, "static") == [2, 0, 1]
+        assert sweep_order(order, 1, "round-robin") == [2, 0, 1]
+        assert sweep_order(order, 2, "round-robin") == [0, 1, 2]
+        assert sweep_order(order, 3, "round-robin") == [1, 2, 0]
+        assert sweep_order(order, 4, "round-robin") == [2, 0, 1]
+
+
+class TestMidChainResume:
+    """Kill-resume soak: cut the run at every fire tick, resume, match.
+
+    The saturation engines checkpoint on the *fire* tick, so a budget
+    of ``k`` iterations interrupts them after the k-th chained image
+    step — possibly mid-round, with uneven per-partition pending sets.
+    The serialized chaining position must make the resume exact.
+    """
+
+    @pytest.mark.parametrize("engine", ("sat", "bfv-sat"))
+    def test_resume_at_every_fire_tick(self, engine, tmp_path):
+        circuit_name = "traffic"
+        truth = explicit_reachable(gen.traffic_light())
+        total = run_attempt(
+            AttemptSpec(circuit=circuit_name, engine=engine)
+        )
+        assert total.completed
+        total_fires = total.extra["saturation"]["total_fires"]
+        assert total_fires >= 2  # otherwise nothing mid-chain to test
+
+        for cut in range(1, total_fires):
+            ckpt_dir = tmp_path / ("%s-%d" % (engine, cut))
+            interrupted = run_attempt(
+                AttemptSpec(
+                    circuit=circuit_name,
+                    engine=engine,
+                    max_iterations=cut,
+                    checkpoint_dir=str(ckpt_dir),
+                )
+            )
+            assert not interrupted.completed
+            assert interrupted.failure == "iterations"
+            assert glob.glob(str(ckpt_dir / "*.rbdd"))
+            resumed = run_attempt(
+                AttemptSpec(
+                    circuit=circuit_name,
+                    engine=engine,
+                    checkpoint_dir=str(ckpt_dir),
+                    resume=True,
+                )
+            )
+            assert resumed.completed, "cut at fire %d" % cut
+            assert resumed.extra["resumed_from"] == cut
+            assert resumed.num_states == len(truth)
+            assert resumed.num_states == total.num_states
+
+    @pytest.mark.parametrize("engine", ("sat", "bfv-sat"))
+    def test_disconnect_mid_chain_then_resume(self, engine, tmp_path):
+        # A client disconnect (cancellation fault) instead of a clean
+        # budget stop: same resume contract.
+        baseline = run_attempt(AttemptSpec(circuit="traffic", engine=engine))
+        interrupted = run_attempt(
+            AttemptSpec(
+                circuit="traffic",
+                engine=engine,
+                checkpoint_dir=str(tmp_path),
+                faults=[{"kind": "client_disconnect", "at_iteration": 2}],
+            )
+        )
+        assert not interrupted.completed
+        resumed = run_attempt(
+            AttemptSpec(
+                circuit="traffic",
+                engine=engine,
+                checkpoint_dir=str(tmp_path),
+                resume=True,
+            )
+        )
+        assert resumed.completed
+        assert resumed.num_states == baseline.num_states
+        assert resumed.iterations >= 1

@@ -27,7 +27,7 @@ class TestS27Pipeline:
     def test_parse_reach_persist_reload(self, tmp_path):
         # 1. parse from the .bench text
         circuit = bench.loads(S27_BENCH, "s27")
-        # 2. all four engines agree (6 states, the known result)
+        # 2. all six engines agree (6 states, the known result)
         results = {
             name: engine(circuit, slots=order_for(circuit, "S2"))
             for name, engine in ENGINES.items()
