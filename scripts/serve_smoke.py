@@ -123,6 +123,47 @@ def client_worker(host, port, index, barrier):
     return statuses
 
 
+def subscriber_worker(host, port, barrier):
+    """One live subscriber riding the storm: stream the wave's telemetry.
+
+    Joins the synchronized wave (the barrier), then subscribes to the
+    wave's fingerprint.  A ``miss`` just means the session has not
+    registered yet (or the race lost) — retry; once ``streaming``,
+    drain to the closing line.  Returns (iteration_events, protocol
+    errors); the caller requires at least one of the former and exactly
+    zero of the latter.
+    """
+    iteration_events = 0
+    errors = []
+    wave = SHAPES[-1]
+    with ServeClient(host, port, timeout=120.0) as client:
+        barrier.wait(timeout=60)
+        for _ in range(200):  # ~10s of retries at worst
+            try:
+                messages = list(client.subscribe(**wave))
+            except Exception as error:  # any protocol breakage is fatal
+                errors.append(repr(error))
+                break
+            if messages[0].get("status") == "miss":
+                time.sleep(0.05)
+                continue
+            if messages[0].get("status") != "streaming":
+                errors.append("bad ack: %r" % (messages[0],))
+                break
+            closing = messages[-1]
+            if closing.get("status") != "complete":
+                errors.append("bad closing line: %r" % (closing,))
+            for message in messages[1:-1]:
+                if message.get("status") != "event":
+                    errors.append("bad stream line: %r" % (message,))
+                elif message["record"].get("event") == "iteration":
+                    iteration_events += 1
+            break
+        else:
+            errors.append("subscription never left miss")
+    return iteration_events, errors
+
+
 def main():
     workdir = tempfile.mkdtemp(prefix="serve-smoke-")
     cache_dir = os.path.join(workdir, "cache")
@@ -130,20 +171,29 @@ def main():
     proc, host, port, server_pid = spawn_server(cache_dir, trace_dir)
     try:
         print("== 50-request storm against pid %d ==" % server_pid)
-        barrier = threading.Barrier(CLIENTS)
-        pool = concurrent.futures.ThreadPoolExecutor(max_workers=CLIENTS)
+        barrier = threading.Barrier(CLIENTS + 1)
+        pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=CLIENTS + 1
+        )
         futures = [
             pool.submit(client_worker, host, port, index, barrier)
             for index in range(CLIENTS)
         ]
+        subscriber = pool.submit(subscriber_worker, host, port, barrier)
         statuses = [
             status
             for future in concurrent.futures.as_completed(futures)
             for status in future.result()
         ]
+        streamed, stream_errors = subscriber.result(timeout=120)
         pool.shutdown()
         if statuses.count("ok") != REQUESTS:
             fail("wanted %d ok replies, got %r" % (REQUESTS, statuses))
+        if stream_errors:
+            fail("subscriber protocol errors: %r" % stream_errors)
+        if streamed < 1:
+            fail("subscriber streamed no iteration events")
+        print("subscriber streamed %d iteration events" % streamed)
 
         # Request 49: every attempt's supervised child is killed by an
         # injected crash; retries exhaust and the server degrades to a
@@ -202,6 +252,13 @@ def main():
             )
         if counters["cancelled"] < 1:
             fail("no cancellation recorded: %r" % counters)
+        if counters["subscriptions"] < 1:
+            fail("no subscription recorded: %r" % counters)
+        if counters["stream_events"] < streamed:
+            fail(
+                "server counted %d stream events, subscriber saw %d"
+                % (counters["stream_events"], streamed)
+            )
 
         print("== graceful shutdown ==")
         proc.send_signal(signal.SIGTERM)

@@ -9,7 +9,9 @@ statistics.  Long runs can be made fault-tolerant with
 circuit suite resiliently, and ``--jobs N`` spreads its cells over a
 parallel worker pool (see :mod:`repro.harness.scheduler`).  ``--trace-dir`` records per-iteration
 telemetry (see :mod:`repro.obs`) and ``python -m repro trace`` renders
-it as size-trajectory and phase-time tables.  ``python -m repro serve``
+it as size-trajectory and phase-time tables (``--follow`` tails it
+live; ``python -m repro top`` shows a live per-run table from a trace
+directory or a server subscription).  ``python -m repro serve``
 exposes the whole stack as a fault-tolerant TCP service with a
 checkpoint-resuming result cache (see :mod:`repro.serve`).
 ``python -m repro list`` shows the built-in circuits.
@@ -277,6 +279,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="append retry/backoff records to this JSONL journal",
     )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "also serve a Prometheus text exposition endpoint "
+            "(GET /metrics) on this port; 0 picks an ephemeral port "
+            "(default: off)"
+        ),
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -287,6 +300,82 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "trace file, or a --trace-dir directory of trace-*.jsonl files"
         ),
+    )
+    trace.add_argument(
+        "--follow",
+        action="store_true",
+        help=(
+            "tail the trace live, printing one line per arriving "
+            "record (like tail -f)"
+        ),
+    )
+    trace.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="--follow poll interval in seconds (default: 0.5)",
+    )
+    trace.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="stop --follow after this long (default: until ^C)",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live per-run status table (tail a trace dir, or subscribe)",
+    )
+    top.add_argument(
+        "target",
+        help=(
+            "a --trace-dir directory to tail, or HOST:PORT of a running "
+            "`repro serve` instance to subscribe to"
+        ),
+    )
+    top.add_argument(
+        "--key",
+        default=None,
+        metavar="FINGERPRINT",
+        help="server mode: fingerprint to subscribe to",
+    )
+    top.add_argument(
+        "--circuit",
+        default=None,
+        help="server mode: subscribe by circuit name instead of --key",
+    )
+    top.add_argument(
+        "--engine",
+        choices=list(ENGINES),
+        default="bfv",
+        help="server mode: engine of the subscribed request",
+    )
+    top.add_argument(
+        "--order",
+        choices=list(FAMILIES),
+        default="S1",
+        help="server mode: order family of the subscribed request",
+    )
+    top.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="trace-dir mode poll interval in seconds (default: 0.5)",
+    )
+    top.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="trace-dir mode: stop after this long (default: until ^C)",
+    )
+    top.add_argument(
+        "--plain",
+        action="store_true",
+        help="append snapshots instead of repainting the screen",
     )
 
     lint = sub.add_parser(
@@ -680,6 +769,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         trace_dir=args.trace_dir,
         journal_path=args.journal,
         checkpoint_interval=args.checkpoint_interval,
+        metrics_port=args.metrics_port,
     )
 
     async def _main() -> None:
@@ -690,6 +780,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
             % (server.host, server.port, os.getpid()),
             flush=True,
         )
+        if server.metrics_port is not None:
+            print(
+                "metrics on http://%s:%d/metrics"
+                % (server.host, server.metrics_port),
+                flush=True,
+            )
         loop = asyncio.get_running_loop()
         stop = asyncio.Event()
         for signum in (signal.SIGINT, signal.SIGTERM):
@@ -716,11 +812,59 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
     if not os.path.exists(args.path):
         raise SystemExit("no such trace file or directory: %r" % args.path)
+    if args.follow:
+        from .obs.top import follow_trace
+
+        try:
+            follow_trace(
+                args.path, poll=args.poll, max_seconds=args.max_seconds
+            )
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+        return 0
     text = render_trace_path(args.path)
     if not text.strip():
         print("no trace records found in %s" % args.path)
         return 1
     print(text)
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from .obs import top as _top
+
+    if os.path.exists(args.target):
+        try:
+            _top.run_tail_top(
+                args.target,
+                poll=args.poll,
+                max_seconds=args.max_seconds,
+                plain=args.plain,
+            )
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+        return 0
+    host, sep, port = args.target.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(
+            "top target %r is neither an existing trace directory nor "
+            "HOST:PORT" % args.target
+        )
+    request: dict = {}
+    if args.key is not None:
+        request["key"] = args.key
+    elif args.circuit is not None:
+        request.update(
+            circuit=args.circuit, engine=args.engine, order=args.order
+        )
+    else:
+        raise SystemExit("server mode needs --key or --circuit")
+    try:
+        _top.run_serve_top(
+            host or "127.0.0.1", int(port), request, plain=args.plain
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
     return 0
 
 
@@ -763,6 +907,7 @@ def main(argv=None) -> int:
         "equiv": cmd_equiv,
         "serve": cmd_serve,
         "trace": cmd_trace,
+        "top": cmd_top,
         "lint": cmd_lint,
         "list": cmd_list,
     }

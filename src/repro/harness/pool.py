@@ -45,6 +45,12 @@ class WorkerPool:
     journal:
         Optional :class:`repro.harness.journal.RunJournal` receiving
         ``retry`` / ``retry_exhausted`` records from the retry path.
+    registry:
+        Optional :class:`repro.obs.registry.MetricsRegistry` mirroring
+        pool occupancy live (``pool_running`` / ``pool_queued`` gauges,
+        ``pool_submitted`` / ``pool_completed`` counters) so the serve
+        metrics endpoint and ``repro top`` see the pool without calling
+        :meth:`stats`.
     """
 
     def __init__(
@@ -53,6 +59,7 @@ class WorkerPool:
         supervisor: Optional[Supervisor] = None,
         retry: Optional[RetryPolicy] = None,
         journal: Optional[object] = None,
+        registry: Optional[object] = None,
     ) -> None:
         if size < 1:
             raise ValueError("pool size must be >= 1, got %d" % size)
@@ -60,6 +67,9 @@ class WorkerPool:
         self.supervisor = supervisor or Supervisor()
         self.retry = retry or RetryPolicy()
         self.journal = journal
+        self.registry = registry
+        if registry is not None:
+            registry.gauge("pool_size").set(size)
         self._executor = ThreadPoolExecutor(
             max_workers=size, thread_name_prefix="repro-pool"
         )
@@ -100,6 +110,7 @@ class WorkerPool:
             self._next_id += 1
             self._tokens[ticket] = token
             self.submitted += 1
+        self._mirror_occupancy()
         # Per-submission jitter stream seeded by the ticket: retries of
         # concurrent attempts decorrelate, yet any single attempt's
         # backoff schedule is reproducible.
@@ -108,6 +119,7 @@ class WorkerPool:
         def _job() -> ReachResult:
             with self._lock:
                 self.running += 1
+            self._mirror_occupancy()
             try:
                 return self.supervisor.run_with_retry(
                     spec,
@@ -124,8 +136,20 @@ class WorkerPool:
                     self.running -= 1
                     self.completed += 1
                     self._tokens.pop(ticket, None)
+                self._mirror_occupancy()
 
         return self._executor.submit(_job)
+
+    def _mirror_occupancy(self) -> None:
+        if self.registry is None:
+            return
+        stats = self.stats()
+        self.registry.gauge("pool_running").set(stats["running"])
+        self.registry.gauge("pool_queued").set(stats["queued"])
+        counter = self.registry.counter("pool_submitted")
+        counter.inc(stats["submitted"] - counter.value)
+        counter = self.registry.counter("pool_completed")
+        counter.inc(stats["completed"] - counter.value)
 
     # ------------------------------------------------------------------
     # Introspection + lifecycle

@@ -376,6 +376,7 @@ class BatchScheduler:
         bench_path: Optional[str] = None,
         cell_faults: Optional[Dict[str, List[Dict[str, object]]]] = None,
         supervisor: Optional[Supervisor] = None,
+        registry: Optional[object] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1, got %d" % jobs)
@@ -399,6 +400,7 @@ class BatchScheduler:
         self.total_seconds = total_seconds
         self.total_rss_mb = total_rss_mb
         self.cell_faults = dict(cell_faults or {})
+        self.registry = registry
         self.supervisor = supervisor or (Supervisor() if self.isolate else None)
         self.journal_path = getattr(journal, "path", journal)
         if self.journal_path is not None:
@@ -624,7 +626,54 @@ class BatchScheduler:
             "num_states": result.num_states,
         }
 
-    def _worker(self, worker: int, journal: Optional[RunJournal]) -> None:
+    def _worker_gauges(
+        self,
+        worker: int,
+        state: str,
+        cell: Optional[WorkCell] = None,
+        journal: Optional[RunJournal] = None,
+    ) -> None:
+        """Mirror one worker's occupancy into the registry and journal.
+
+        The registry gauges (``worker_state`` / ``worker_job`` /
+        ``worker_rung`` labelled by worker index, plus the aggregate
+        ``workers_busy``) are what ``repro top`` renders as pool
+        occupancy; the ``worker_state`` event in the sidecar state
+        journal (``<trace_dir>/workers/``, kept out of the merged
+        attempt journal) gives the same signal to trace-dir tailers
+        that cannot see this process's registry.  Idle transitions
+        clear the job/rung gauges.
+        """
+        registry = self.registry
+        if registry is not None:
+            labels = {"worker": str(worker)}
+            registry.gauge("worker_state", labels).set(state)
+            registry.gauge("worker_job", labels).set(
+                job_key(cell.job, cell.circuit) if cell is not None else ""
+            )
+            registry.gauge("worker_rung", labels).set(
+                cell.rung if cell is not None else -1
+            )
+            busy = registry.gauge("workers_busy")
+            busy.inc(1 if state == "busy" else -1)
+        if journal is not None:
+            record: Dict[str, object] = {
+                "event": "worker_state",
+                "worker": worker,
+                "state": state,
+            }
+            if cell is not None:
+                record["cell"] = job_key(cell.job, cell.circuit)
+                record["engine"] = cell.engine
+                record["order"] = cell.order
+            journal.append(record)
+
+    def _worker(
+        self,
+        worker: int,
+        journal: Optional[RunJournal],
+        state_journal: Optional[RunJournal] = None,
+    ) -> None:
         while True:
             with self._cond:
                 index = None
@@ -651,6 +700,9 @@ class BatchScheduler:
                 self._status[index] = "running"
                 self._tokens[index] = token
                 self._speculated[index] = speculative
+            self._worker_gauges(
+                worker, "busy", self.cells[index], state_journal
+            )
             result = self._execute(index, token)
             if journal is not None:
                 journal.append(
@@ -658,6 +710,7 @@ class BatchScheduler:
                         self.cells[index], result, worker, speculative
                     )
                 )
+            self._worker_gauges(worker, "idle", None, state_journal)
             with self._cond:
                 self._finish(index, result)
                 self._cond.notify_all()
@@ -685,13 +738,35 @@ class BatchScheduler:
                 RunJournal(os.path.join(journal_dir, "worker%02d.jsonl" % i))
                 for i in range(self.jobs)
             ]
+        # Worker occupancy events are staged as sidecars in the same
+        # scratch directory as the per-worker journals: never merged
+        # into the attempt journal (the merged journal's record set is
+        # part of the batch contract) and cleaned up with the directory
+        # after the run — their audience is a live tailer (`repro top`)
+        # watching the batch *while it runs*.
+        state_journals: List[Optional[RunJournal]] = [None] * self.jobs
+        if journal_dir is not None:
+            state_journals = [
+                RunJournal(
+                    os.path.join(journal_dir, "worker%02d-state.jsonl" % i)
+                )
+                for i in range(self.jobs)
+            ]
         if self.jobs == 1:
-            self._worker(0, worker_journals[0] if worker_journals else None)
+            self._worker(
+                0,
+                worker_journals[0] if worker_journals else None,
+                state_journals[0],
+            )
         else:
             threads = [
                 threading.Thread(
                     target=self._worker,
-                    args=(i, worker_journals[i] if worker_journals else None),
+                    args=(
+                        i,
+                        worker_journals[i] if worker_journals else None,
+                        state_journals[i],
+                    ),
                     name="repro-batch-worker-%d" % i,
                     daemon=True,
                 )
@@ -835,6 +910,7 @@ def run_scheduled_batch(
     total_rss_mb: Optional[float] = None,
     bench_path: Optional[str] = None,
     cell_faults: Optional[Dict[str, List[Dict[str, object]]]] = None,
+    registry: Optional[object] = None,
 ) -> BatchReport:
     """Run a circuit suite on the parallel batch scheduler.
 
@@ -862,4 +938,5 @@ def run_scheduled_batch(
         total_rss_mb=total_rss_mb,
         bench_path=bench_path,
         cell_faults=cell_faults,
+        registry=registry,
     ).run()

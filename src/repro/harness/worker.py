@@ -103,13 +103,17 @@ def checkpointer_for(spec: AttemptSpec, circuit_name: str) -> Optional[Checkpoin
     )
 
 
-def run_attempt(spec: AttemptSpec) -> ReachResult:
+def run_attempt(spec: AttemptSpec, registry=None) -> ReachResult:
     """Execute one attempt in the current process.
 
     Budget exhaustion comes back as a tagged :class:`ReachResult` (the
     engines convert ``ResourceLimitError`` internally); anything else —
     a hard ``MemoryError``, a wedged iteration, a killed process — is
-    the supervisor's job to absorb.
+    the supervisor's job to absorb.  ``registry`` (a
+    :class:`repro.obs.MetricsRegistry`) feeds live histograms/gauges for
+    *in-process* attempts; supervised children keep their own process's
+    registry, which dies with them — their live signal is the trace
+    JSONL the parent tails.
     """
     if spec.engine not in ENGINES:
         raise ValueError("unknown engine %r" % spec.engine)
@@ -126,7 +130,18 @@ def run_attempt(spec: AttemptSpec) -> ReachResult:
         checkpointer = checkpointer_for(spec, circuit.name)
         if spec.trace_dir:
             tracer = file_tracer(
-                spec.trace_dir, spec.engine, spec.order, circuit.name
+                spec.trace_dir,
+                spec.engine,
+                spec.order,
+                circuit.name,
+                registry=registry,
+            )
+        elif registry is not None:
+            from ..obs import Tracer
+
+            tracer = Tracer(registry=registry)
+            tracer.bind(
+                engine=spec.engine, order=spec.order, circuit=circuit.name
             )
         result = ENGINES[spec.engine](
             circuit,

@@ -28,24 +28,44 @@ Engines roll the cumulative phase timing summary into
 reports where its time went.
 """
 
+from .registry import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    phase_percentiles,
+    snapshot_delta,
+)
 from .sinks import JsonlSink, MemorySink, NullSink, Sink, trace_filename
+from .tail import JsonlTail
 from .tracer import NULL_TRACER, NullTracer, Tracer, ensure_tracer
 
 __all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
     "JsonlSink",
+    "JsonlTail",
     "MemorySink",
+    "MetricsRegistry",
     "NullSink",
     "NULL_TRACER",
     "NullTracer",
+    "REGISTRY",
     "Sink",
     "Tracer",
     "ensure_tracer",
     "file_tracer",
+    "phase_percentiles",
+    "snapshot_delta",
     "trace_filename",
 ]
 
 
-def file_tracer(trace_dir: str, engine: str, order: str, circuit: str) -> Tracer:
+def file_tracer(
+    trace_dir: str, engine: str, order: str, circuit: str, registry=None
+) -> Tracer:
     """A :class:`Tracer` writing JSONL records under ``trace_dir``.
 
     The file name follows the same ``<engine>-<order>-<circuit>`` tag
@@ -59,6 +79,6 @@ def file_tracer(trace_dir: str, engine: str, order: str, circuit: str) -> Tracer
     sink = JsonlSink(
         os.path.join(trace_dir, trace_filename(engine, order, circuit))
     )
-    tracer = Tracer(sink=sink)
+    tracer = Tracer(sink=sink, registry=registry)
     tracer.bind(engine=engine, order=order, circuit=circuit)
     return tracer

@@ -8,7 +8,7 @@ few integer reads.  They deliberately avoid importing anything from
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 #: Counter fields copied from ``BDD.cache_stats()['total']`` into
 #: iteration records (as deltas) and summaries.
@@ -46,3 +46,23 @@ def manager_counters(bdd) -> Dict[str, int]:
 def counter_deltas(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
     """Per-field ``after - before`` over matching counter keys."""
     return {key: after[key] - before.get(key, 0) for key in after}
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Exact q-quantile (0..1) of a sample, linearly interpolated.
+
+    Used by the trace report's per-phase percentile table (exact, over
+    stored samples); :class:`repro.obs.registry.Histogram` has its own
+    bucket-interpolated estimate for the live path, where samples are
+    not retained.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction

@@ -1,0 +1,407 @@
+"""Live metrics registry: thread-safe counters, gauges, and histograms.
+
+The tracer (:mod:`repro.obs.tracer`) is *per run*: it accumulates one
+attempt's phase times and emits per-iteration records to a sink.  The
+registry is the complementary *process-level* view — monotonic counters,
+point-in-time gauges, and fixed-bucket histograms shared by every
+component in the process (engines via their tracer, the worker pool, the
+batch scheduler, the serve layer) and readable at any moment while work
+is in flight:
+
+* :class:`Counter` — monotonic; ``inc`` only.
+* :class:`Gauge` — a settable level (queue depth, busy workers, live
+  nodes); also supports string-valued *info* gauges for labels like a
+  worker's current job key.
+* :class:`Histogram` — fixed upper-bound buckets (cumulative, Prometheus
+  style) with sum/count, plus quantile estimates interpolated within
+  buckets — good enough for p50/p90 dashboards without storing samples.
+
+Metrics are identified by ``(name, labels)``; :meth:`MetricsRegistry.counter`
+and friends get-or-create, so call sites never coordinate registration.
+:meth:`MetricsRegistry.snapshot` returns a JSON-safe dict with cheap
+delta semantics (:func:`snapshot_delta`), and
+:meth:`MetricsRegistry.render_prometheus` emits the text exposition
+format served by ``python -m repro serve --metrics-port``.
+
+Cost model: a metric update is one dict lookup plus a few adds under a
+per-metric lock — cheap enough for the engines' iteration cadence, and
+*zero* when no registry is attached (the tracer guards every feed with
+one ``is None`` test; tier-1 enforces <2% on the detached path, the same
+budget as the null tracer).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from .metrics import percentile
+
+#: Default histogram bucket upper bounds (seconds): tuned for phase
+#: self-times and iteration durations, from sub-millisecond BDD phases
+#: to minutes-long saturation rounds.  The implicit +Inf bucket always
+#: exists on top.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    15.0,
+    60.0,
+    300.0,
+)
+
+Labels = Tuple[Tuple[str, str], ...]
+
+
+def _labels_key(labels: Optional[Mapping[str, str]]) -> Labels:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _labels_text(labels: Labels, extra: Optional[str] = None) -> str:
+    parts = ['%s="%s"' % (k, v.replace('"', '\\"')) for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{%s}" % ",".join(parts) if parts else ""
+
+
+def metric_key(name: str, labels: Optional[Mapping[str, str]] = None) -> str:
+    """Flat snapshot key: ``name`` or ``name{k="v",...}`` (sorted labels)."""
+    return name + _labels_text(_labels_key(labels))
+
+
+class Counter:
+    """Monotonic counter."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A settable level; numeric, or a string for info-style gauges."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value: object = 0
+
+    def set(self, value: object) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value = (
+                self._value if isinstance(self._value, (int, float)) else 0
+            ) + amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> object:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count and quantile estimates.
+
+    ``bounds`` are inclusive upper bounds; observations above the last
+    bound land in the implicit +Inf bucket.  Bucket counts are stored
+    per-bucket (not cumulative); :meth:`snapshot` cumulates them in the
+    Prometheus convention.
+    """
+
+    __slots__ = ("_lock", "bounds", "_counts", "_sum", "_count", "_max")
+
+    def __init__(self, bounds: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        self.bounds: Tuple[float, ...] = tuple(sorted(float(b) for b in bounds))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self.bounds) + 1)  # +Inf bucket last
+        self._sum = 0.0
+        self._count = 0
+        self._max = 0.0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile (0..1), interpolated within its bucket.
+
+        The +Inf bucket is clamped to the observed maximum, so ``p100``
+        degrades to ``max`` instead of infinity.
+        """
+        with self._lock:
+            count = self._count
+            counts = list(self._counts)
+            maximum = self._max
+        if count == 0:
+            return 0.0
+        rank = q * count
+        seen = 0.0
+        lower = 0.0
+        for index, bucket_count in enumerate(counts):
+            upper = (
+                self.bounds[index] if index < len(self.bounds) else maximum
+            )
+            if seen + bucket_count >= rank and bucket_count > 0:
+                fraction = (rank - seen) / bucket_count
+                return min(lower + fraction * (upper - lower), maximum)
+            seen += bucket_count
+            lower = upper
+        return maximum
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            total_sum = self._sum
+            maximum = self._max
+        cumulative = []
+        running = 0
+        for index, bucket_count in enumerate(counts):
+            running += bucket_count
+            bound = (
+                self.bounds[index] if index < len(self.bounds) else "+Inf"
+            )
+            cumulative.append([bound, running])
+        snap: Dict[str, object] = {
+            "buckets": cumulative,
+            "count": total,
+            "sum": round(total_sum, 6),
+            "max": round(maximum, 6),
+        }
+        if total:
+            snap["p50"] = round(self.quantile(0.5), 6)
+            snap["p90"] = round(self.quantile(0.9), 6)
+            snap["p99"] = round(self.quantile(0.99), 6)
+        return snap
+
+
+class MetricsRegistry:
+    """Process-level metric store with get-or-create access.
+
+    Thread-safe throughout: creation races are resolved under one
+    registry lock, updates under per-metric locks.  Intended use is one
+    registry per serving process (:data:`REGISTRY` is the process-global
+    default), with short-lived private instances in tests.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, Labels], Counter] = {}
+        self._gauges: Dict[Tuple[str, Labels], Gauge] = {}
+        self._histograms: Dict[Tuple[str, Labels], Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Access (get-or-create)
+    # ------------------------------------------------------------------
+
+    def counter(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Counter:
+        key = (name, _labels_key(labels))
+        with self._lock:
+            metric = self._counters.get(key)
+            if metric is None:
+                metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Gauge:
+        key = (name, _labels_key(labels))
+        with self._lock:
+            metric = self._gauges.get(key)
+            if metric is None:
+                metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, str]] = None,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        key = (name, _labels_key(labels))
+        with self._lock:
+            metric = self._histograms.get(key)
+            if metric is None:
+                metric = self._histograms[key] = Histogram(buckets)
+        return metric
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe point-in-time view of every metric."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {
+                name + _labels_text(labels): metric.value
+                for (name, labels), metric in sorted(counters.items())
+            },
+            "gauges": {
+                name + _labels_text(labels): metric.value
+                for (name, labels), metric in sorted(gauges.items())
+            },
+            "histograms": {
+                name + _labels_text(labels): metric.snapshot()
+                for (name, labels), metric in sorted(histograms.items())
+            },
+        }
+
+    def render_prometheus(self, prefix: str = "repro_") -> str:
+        """Prometheus text exposition format (0.0.4) of the registry.
+
+        Counter names gain a ``_total`` suffix unless they already have
+        one; info gauges (string values) render as ``name{...,value="x"} 1``.
+        """
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
+        lines: List[str] = []
+        seen_types: Dict[str, str] = {}
+
+        def _type_line(full: str, kind: str) -> None:
+            if seen_types.get(full) != kind:
+                seen_types[full] = kind
+                lines.append("# TYPE %s %s" % (full, kind))
+
+        for (name, labels), counter in counters:
+            full = prefix + name
+            if not full.endswith("_total"):
+                full += "_total"
+            _type_line(full, "counter")
+            lines.append("%s%s %d" % (full, _labels_text(labels), counter.value))
+        for (name, labels), gauge in gauges:
+            full = prefix + name
+            value = gauge.value
+            _type_line(full, "gauge")
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                lines.append("%s%s %g" % (full, _labels_text(labels), value))
+            else:
+                info = 'value="%s"' % str(value).replace('"', '\\"')
+                lines.append("%s%s 1" % (full, _labels_text(labels, info)))
+        for (name, labels), histogram in histograms:
+            full = prefix + name
+            _type_line(full, "histogram")
+            snap = histogram.snapshot()
+            for bound, cumulative in snap["buckets"]:
+                le = "+Inf" if bound == "+Inf" else "%g" % bound
+                lines.append(
+                    "%s_bucket%s %d"
+                    % (full, _labels_text(labels, 'le="%s"' % le), cumulative)
+                )
+            lines.append(
+                "%s_sum%s %g" % (full, _labels_text(labels), snap["sum"])
+            )
+            lines.append(
+                "%s_count%s %d" % (full, _labels_text(labels), snap["count"])
+            )
+        return "\n".join(lines) + "\n"
+
+
+def snapshot_delta(
+    before: Dict[str, object], after: Dict[str, object]
+) -> Dict[str, object]:
+    """Counter/histogram-count deltas between two registry snapshots.
+
+    Gauges are levels, not rates — the ``after`` value is reported
+    as-is.  Metrics absent from ``before`` count from zero.
+    """
+    before_counters = before.get("counters", {})
+    after_counters = after.get("counters", {})
+    before_histograms = before.get("histograms", {})
+    after_histograms = after.get("histograms", {})
+    return {
+        "counters": {
+            key: value - before_counters.get(key, 0)
+            for key, value in after_counters.items()
+            if isinstance(value, int)
+        },
+        "gauges": dict(after.get("gauges", {})),
+        "histogram_counts": {
+            key: snap.get("count", 0)
+            - before_histograms.get(key, {}).get("count", 0)
+            for key, snap in after_histograms.items()
+            if isinstance(snap, dict)
+        },
+    }
+
+
+def phase_percentiles(
+    records: Iterable[Mapping[str, object]]
+) -> Dict[str, Dict[str, float]]:
+    """Per-phase self-time percentiles across iteration records.
+
+    Reads the ``phases`` dict of each ``iteration`` record (the per-
+    iteration exclusive self-times the tracer emits) and reduces each
+    phase's sample list to ``p50`` / ``p90`` / ``max`` / ``n`` — the
+    histogram view ``python -m repro trace`` and the serve ``trace`` op
+    both report.
+    """
+    samples: Dict[str, List[float]] = {}
+    for record in records:
+        if record.get("event") != "iteration":
+            continue
+        phases = record.get("phases")
+        if not isinstance(phases, dict):
+            continue
+        for phase, seconds in phases.items():
+            if isinstance(seconds, (int, float)):
+                samples.setdefault(str(phase), []).append(float(seconds))
+    return {
+        phase: {
+            "p50": round(percentile(values, 0.5), 6),
+            "p90": round(percentile(values, 0.9), 6),
+            "max": round(max(values), 6),
+            "n": len(values),
+        }
+        for phase, values in sorted(samples.items())
+    }
+
+
+#: Shared process-wide registry: the default every component feeds when
+#: the caller does not supply its own (servers create private ones).
+REGISTRY = MetricsRegistry()

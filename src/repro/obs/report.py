@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..harness.journal import RunJournal
 from ..reach.report import format_grid
+from .registry import phase_percentiles
 
 #: Columns of the per-iteration table: (header, record key, formatter).
 _NUM = "%d"
@@ -140,6 +141,36 @@ def format_phase_breakdown(
     return "\n".join(lines)
 
 
+def format_phase_percentiles(
+    iteration_records: Sequence[Dict[str, object]]
+) -> str:
+    """Per-phase self-time percentile table across iterations.
+
+    The phase *breakdown* answers "where did the time go in total";
+    this table answers "how is one iteration's phase time distributed"
+    — p50/p90/max of each phase's per-iteration exclusive self-time,
+    which is what exposes a phase that is cheap on average but spikes
+    (a reorder-triggering image step, a GC-heavy union).
+    """
+    stats = phase_percentiles(iteration_records)
+    if not stats:
+        return ""
+    rows = [["Phase", "p50(s)", "p90(s)", "Max(s)", "Iters"]]
+    for phase, values in sorted(
+        stats.items(), key=lambda item: -item[1]["max"]
+    ):
+        rows.append(
+            [
+                phase,
+                "%.4f" % values["p50"],
+                "%.4f" % values["p90"],
+                "%.4f" % values["max"],
+                _fmt_int(values["n"]),
+            ]
+        )
+    return format_grid(rows)
+
+
 def render_run(
     key: Tuple[str, str, str], records: Sequence[Dict[str, object]]
 ) -> str:
@@ -189,6 +220,11 @@ def render_run(
     if phase_self:
         lines.append("")
         lines.append(format_phase_breakdown(phase_self, wall, span_counts))
+    percentiles = format_phase_percentiles(iteration_records)
+    if percentiles and len(iteration_records) > 1:
+        lines.append("")
+        lines.append("per-iteration phase self-time percentiles:")
+        lines.append(percentiles)
     if summary is not None:
         status_bits = []
         if summary.get("completed") is True:
@@ -256,6 +292,8 @@ def render_serve(records: Sequence[Dict[str, object]]) -> str:
             "abandoned",
             "disconnects",
             "errors",
+            "telemetry_drops",
+            "subscriber_drops",
         ):
             value = latest.get(name)
             if isinstance(value, int):
@@ -303,3 +341,105 @@ def render_trace(records: Iterable[Dict[str, object]]) -> str:
 def render_trace_path(path: str) -> str:
     """Load ``path`` (file or directory) and render its report."""
     return render_trace(load_trace(path))
+
+
+def summarize_trace(records: Iterable[Dict[str, object]]) -> Dict[str, object]:
+    """Machine-readable trace summary (the serve ``trace`` op's answer).
+
+    For every run group: the iteration records (verbatim, minus the
+    ``_file`` annotation), the final summary record if one was written,
+    and the per-phase self-time percentiles — everything the rendered
+    report shows, as JSON, computed purely from stored telemetry (no
+    recomputation of the run).
+    """
+    serve_records: List[Dict[str, object]] = []
+    run_records: List[Dict[str, object]] = []
+    for record in records:
+        if str(record.get("event", "")).startswith("serve_"):
+            serve_records.append(record)
+        else:
+            run_records.append(record)
+    runs = []
+    for (engine, circuit, order), group in group_runs(run_records):
+        iteration_records = [
+            {k: v for k, v in r.items() if k != "_file"}
+            for r in group
+            if r.get("event") == "iteration"
+        ]
+        summaries = [r for r in group if r.get("event") == "summary"]
+        events: Dict[str, int] = {}
+        for record in group:
+            kind = str(record.get("event", "?"))
+            events[kind] = events.get(kind, 0) + 1
+        run: Dict[str, object] = {
+            "engine": engine,
+            "circuit": circuit,
+            "order": order,
+            "iterations": iteration_records,
+            "phase_percentiles": phase_percentiles(iteration_records),
+            "events": events,
+        }
+        if summaries:
+            run["summary"] = {
+                k: v for k, v in summaries[-1].items() if k != "_file"
+            }
+        runs.append(run)
+    out: Dict[str, object] = {"runs": runs}
+    if serve_records:
+        counters = [
+            r for r in serve_records if r.get("event") == "serve_counters"
+        ]
+        if counters:
+            out["serve_counters"] = {
+                k: v for k, v in counters[-1].items() if k != "_file"
+            }
+    return out
+
+
+def format_follow_record(record: Dict[str, object]) -> Optional[str]:
+    """One-line live rendering of a tailed record, or None to skip.
+
+    ``repro trace --follow`` prints these as records arrive: iteration
+    rows in the table's column order, lifecycle events compactly, and
+    nothing for high-frequency noise (per-span gc events).
+    """
+    kind = record.get("event")
+    tag = "%s/%s/%s" % (
+        record.get("engine", "?"),
+        record.get("circuit", "?"),
+        record.get("order", "?"),
+    )
+    if kind == "iteration":
+        cells = " ".join(
+            "%s=%s" % (header.lower(), fmt(record.get(key)))
+            for header, key, fmt in _COLUMNS
+        )
+        return "%s %s" % (tag, cells)
+    if kind == "summary":
+        status = (
+            "completed"
+            if record.get("completed") is True
+            else "failed: %s" % record.get("failure", "?")
+        )
+        return "%s summary %s iterations=%s seconds=%s" % (
+            tag,
+            status,
+            record.get("iterations", "-"),
+            record.get("seconds", "-"),
+        )
+    if kind == "gc":
+        return None
+    if isinstance(kind, str) and kind.startswith("serve_"):
+        if kind == "serve_request":
+            return "serve %s %s" % (
+                record.get("disposition", "?"),
+                record.get("fingerprint", "")[:12],
+            )
+        return None
+    if kind == "worker_state":
+        return "worker%s %s %s" % (
+            record.get("worker", "?"),
+            record.get("state", "?"),
+            record.get("cell", ""),
+        )
+    return "%s %s" % (tag, kind)

@@ -1,0 +1,134 @@
+"""Incremental JSONL tailing for live telemetry.
+
+The attempts that produce telemetry run in supervised child processes;
+the only channel that crosses that boundary *while the run is in
+flight* is the trace JSONL the child's :class:`~repro.obs.sinks.JsonlSink`
+appends to.  :class:`JsonlTail` turns those files into a poll-based
+stream: each :meth:`poll` returns every record appended since the last
+call, across all ``*.jsonl`` files under a path (new files are picked
+up as they appear — a fallback ladder or batch writes several).
+
+The reader mirrors the journal reader's crash tolerance, incrementally:
+a torn trailing line (the writer is mid-``write``, or died mid-line) is
+left unconsumed until its newline arrives; a *corrupt* complete line is
+skipped and counted in :attr:`skipped`.  Truncation (a rotated or
+rewritten file) resets that file's offset to zero rather than reading
+garbage from a stale position.
+
+This is the mechanism behind the serve ``subscribe`` op (the server
+tails the in-flight attempt's trace for each subscriber), ``repro trace
+--follow``, and the trace-dir mode of ``python -m repro top``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Tuple
+
+
+class JsonlTail:
+    """Poll-based incremental reader of a JSONL file or directory.
+
+    Parameters
+    ----------
+    path:
+        A ``.jsonl`` file, or a directory whose ``*.jsonl`` files are
+        tailed collectively (sorted name order per poll).  The path may
+        not exist yet — polls return nothing until it does.
+    recursive:
+        Walk subdirectories too (the batch scheduler stages per-worker
+        journals under ``<trace_dir>/.workers/``).
+    from_start:
+        True (default) replays existing content on the first poll —
+        what a subscriber wants (the iterations already run are part of
+        the trajectory).  False starts at the current end of each file
+        already present, streaming only what arrives later.
+    """
+
+    def __init__(
+        self, path: str, recursive: bool = False, from_start: bool = True
+    ) -> None:
+        self.path = path
+        self.recursive = recursive
+        #: Corrupt (complete but unparsable) lines skipped so far.
+        self.skipped = 0
+        self._offsets: Dict[str, int] = {}
+        if not from_start:
+            for file_path in self._files():
+                try:
+                    self._offsets[file_path] = os.path.getsize(file_path)
+                except OSError:
+                    continue
+
+    def _files(self) -> List[str]:
+        path = self.path
+        if os.path.isfile(path):
+            return [path]
+        if not os.path.isdir(path):
+            return []
+        if self.recursive:
+            found: List[str] = []
+            for root, dirs, names in os.walk(path):
+                dirs.sort()
+                for name in sorted(names):
+                    if name.endswith(".jsonl"):
+                        found.append(os.path.join(root, name))
+            return found
+        return [
+            os.path.join(path, name)
+            for name in sorted(os.listdir(path))
+            if name.endswith(".jsonl")
+        ]
+
+    def _poll_file(self, file_path: str) -> List[Tuple[str, Dict[str, object]]]:
+        offset = self._offsets.get(file_path, 0)
+        try:
+            size = os.path.getsize(file_path)
+        except OSError:
+            return []
+        if size < offset:  # truncated/rotated: start over
+            offset = 0
+        if size == offset:
+            return []
+        try:
+            with open(file_path, "rb") as handle:
+                handle.seek(offset)
+                data = handle.read(size - offset)
+        except OSError:
+            return []
+        # Consume only up to the last newline; a torn trailing line
+        # stays unconsumed until the writer finishes it.
+        end = data.rfind(b"\n")
+        if end < 0:
+            return []
+        self._offsets[file_path] = offset + end + 1
+        records: List[Tuple[str, Dict[str, object]]] = []
+        for line in data[: end + 1].splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                self.skipped += 1
+                continue
+            if isinstance(record, dict):
+                records.append((file_path, record))
+            else:
+                self.skipped += 1
+        return records
+
+    def poll(self) -> List[Dict[str, object]]:
+        """Every record appended since the previous poll.
+
+        Records are annotated with their source file name under
+        ``_file`` (matching :func:`repro.obs.report.load_trace`).
+        """
+        out: List[Dict[str, object]] = []
+        for file_path in self._files():
+            for source, record in self._poll_file(file_path):
+                record["_file"] = os.path.basename(source)
+                out.append(record)
+        return out
+

@@ -1,0 +1,252 @@
+"""Live per-run status table: ``python -m repro top``.
+
+Two sources feed the same renderer:
+
+* **trace-dir mode** — tail a ``--trace-dir`` (or a serve cache's
+  per-key ``trace/`` directories) with :class:`repro.obs.tail.JsonlTail`
+  and fold every record into a :class:`TopState`.  Worker-occupancy
+  sidecar journals (``worker*-state.jsonl``) feed the pool header.
+* **server mode** — subscribe to one fingerprint on a running
+  ``python -m repro serve`` instance and fold the streamed records.
+
+:class:`TopState` is a pure fold (records in, table out) so tests can
+drive it without a terminal; the screen loop around it repaints with a
+plain ANSI home-and-clear, or appends lines under ``--plain``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .report import _COLUMNS, format_follow_record
+from .tail import JsonlTail
+
+#: Clear screen + home; crude but dependency-free.
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _run_tag(record: Dict[str, object]) -> str:
+    return "%s/%s/%s" % (
+        record.get("engine", "?"),
+        record.get("circuit", "?"),
+        record.get("order", "?"),
+    )
+
+
+class TopState:
+    """Fold of tailed trace records into a per-run live table."""
+
+    def __init__(self) -> None:
+        #: tag -> latest iteration record for the run.
+        self.runs: Dict[str, Dict[str, object]] = {}
+        #: tag -> terminal status line ("completed", "failed: oom", ...).
+        self.finished: Dict[str, str] = {}
+        #: worker index -> (state, cell) from worker_state events.
+        self.workers: Dict[int, Tuple[str, str]] = {}
+        #: serve_request dispositions -> count.
+        self.dispositions: Dict[str, int] = {}
+        self.records = 0
+
+    def update(self, record: Dict[str, object]) -> None:
+        """Fold one record; unknown events are counted and ignored."""
+        self.records += 1
+        kind = record.get("event")
+        if kind == "iteration":
+            self.runs[_run_tag(record)] = record
+        elif kind == "summary":
+            tag = _run_tag(record)
+            if record.get("completed") is True:
+                self.finished[tag] = "completed"
+            else:
+                self.finished[tag] = "failed: %s" % record.get(
+                    "failure", "?"
+                )
+        elif kind == "worker_state":
+            try:
+                worker = int(record.get("worker"))  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                return
+            self.workers[worker] = (
+                str(record.get("state", "?")),
+                str(record.get("cell", "") or ""),
+            )
+        elif kind == "serve_request":
+            disposition = str(record.get("disposition", "?"))
+            self.dispositions[disposition] = (
+                self.dispositions.get(disposition, 0) + 1
+            )
+
+    def update_all(self, records: Iterable[Dict[str, object]]) -> None:
+        for record in records:
+            self.update(record)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def header(self) -> str:
+        busy = sum(
+            1 for state, _ in self.workers.values() if state == "busy"
+        )
+        parts = ["repro top — %d run(s)" % len(self.runs)]
+        if self.workers:
+            parts.append("workers %d/%d busy" % (busy, len(self.workers)))
+        if self.dispositions:
+            parts.append(
+                "serve " + " ".join(
+                    "%s=%d" % (name, count)
+                    for name, count in sorted(self.dispositions.items())
+                )
+            )
+        return ", ".join(parts)
+
+    def rows(self) -> List[List[str]]:
+        """Table body: one row per run, live runs first."""
+        header = ["Run"] + [name for name, _, _ in _COLUMNS] + ["Status"]
+        body: List[Tuple[int, List[str]]] = []
+        for tag, record in self.runs.items():
+            status = self.finished.get(tag, "running")
+            cells = [fmt(record.get(key)) for _, key, fmt in _COLUMNS]
+            rank = 0 if status == "running" else 1
+            body.append((rank, [tag] + cells + [status]))
+        # A run that failed before its first iteration still deserves a
+        # row — surface it with empty cells rather than hiding it.
+        for tag, status in self.finished.items():
+            if tag not in self.runs:
+                body.append((1, [tag] + ["-"] * len(_COLUMNS) + [status]))
+        body.sort(key=lambda item: (item[0], item[1][0]))
+        return [header] + [row for _, row in body]
+
+    def render(self) -> str:
+        from ..reach.report import format_grid
+
+        lines = [self.header()]
+        if len(self.rows()) > 1:
+            lines.append(format_grid(self.rows()))
+        busy_workers = [
+            (worker, cell)
+            for worker, (state, cell) in sorted(self.workers.items())
+            if state == "busy" and cell
+        ]
+        if busy_workers:
+            lines.append(
+                "\n".join(
+                    "  worker%02d  %s" % (worker, cell)
+                    for worker, cell in busy_workers
+                )
+            )
+        return "\n".join(lines)
+
+
+def _emit(state: TopState, stream, plain: bool) -> None:
+    if plain:
+        stream.write(state.render() + "\n\n")
+    else:
+        stream.write(_CLEAR + state.render() + "\n")
+    stream.flush()
+
+
+def run_tail_top(
+    path: str,
+    poll: float = 0.5,
+    max_seconds: Optional[float] = None,
+    plain: bool = False,
+    stream=None,
+    clock=time.monotonic,
+    sleep=time.sleep,
+) -> TopState:
+    """Trace-dir mode: tail ``path`` recursively and repaint on change.
+
+    Runs until ``max_seconds`` elapses (forever when None, until ^C).
+    Returns the final state so tests can assert on the fold.
+    """
+    stream = stream if stream is not None else sys.stdout
+    tail = JsonlTail(path, recursive=os.path.isdir(path))
+    state = TopState()
+    deadline = None if max_seconds is None else clock() + max_seconds
+    first = True
+    while True:
+        records = tail.poll()
+        if records or first:
+            state.update_all(records)
+            _emit(state, stream, plain)
+            first = False
+        if deadline is not None and clock() >= deadline:
+            return state
+        sleep(poll)
+
+
+def run_serve_top(
+    host: str,
+    port: int,
+    request: Dict[str, object],
+    plain: bool = False,
+    stream=None,
+) -> TopState:
+    """Server mode: subscribe to one fingerprint and repaint per event.
+
+    ``request`` carries either ``key`` or ``circuit`` (+ options), as
+    accepted by :meth:`repro.serve.client.ServeClient.subscribe`.  The
+    loop ends when the server closes the stream (run finished, miss, or
+    error); the closing line is printed verbatim.
+    """
+    from ..serve.client import ServeClient
+
+    stream = stream if stream is not None else sys.stdout
+    state = TopState()
+    with ServeClient(host, port) as client:
+        for message in client.subscribe(**request):
+            status = message.get("status")
+            if status == "event":
+                record = message.get("record")
+                if isinstance(record, dict):
+                    state.update(record)
+                    _emit(state, stream, plain)
+            elif status in ("complete", "miss", "error"):
+                stream.write(
+                    "%s%s: key=%s events=%s dropped=%s outcome=%s\n"
+                    % (
+                        "" if plain else "\n",
+                        status,
+                        str(message.get("key", ""))[:12],
+                        message.get("events", "-"),
+                        message.get("dropped", "-"),
+                        message.get("outcome", "-"),
+                    )
+                )
+                stream.flush()
+    return state
+
+
+def follow_trace(
+    path: str,
+    poll: float = 0.5,
+    max_seconds: Optional[float] = None,
+    stream=None,
+    clock=time.monotonic,
+    sleep=time.sleep,
+) -> int:
+    """``repro trace --follow``: print one line per arriving record.
+
+    Unlike :func:`run_tail_top` this is an append-only log view —
+    every tailed record renders through
+    :func:`repro.obs.report.format_follow_record`.  Returns the number
+    of lines printed.
+    """
+    stream = stream if stream is not None else sys.stdout
+    tail = JsonlTail(path, recursive=os.path.isdir(path))
+    printed = 0
+    deadline = None if max_seconds is None else clock() + max_seconds
+    while True:
+        for record in tail.poll():
+            line = format_follow_record(record)
+            if line is not None:
+                stream.write(line + "\n")
+                printed += 1
+        stream.flush()
+        if deadline is not None and clock() >= deadline:
+            return printed
+        sleep(poll)

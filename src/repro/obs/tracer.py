@@ -160,6 +160,13 @@ class Tracer:
     measure_rss / count_live:
         Toggle the two most expensive per-iteration samples: reading
         ``/proc/self/status`` and the live-node mark pass.
+    registry:
+        Optional :class:`repro.obs.registry.MetricsRegistry` fed live
+        aggregates alongside the sink: per-phase self-time histograms,
+        an iteration-duration histogram, iteration/span counters, and
+        live-node / RSS gauges.  None (the default) costs one ``is
+        None`` test per feed point — the detached path stays inside the
+        <2% tier-1 overhead budget.
     """
 
     enabled = True
@@ -171,11 +178,21 @@ class Tracer:
         clock=time.monotonic,
         measure_rss: bool = True,
         count_live: bool = True,
+        registry=None,
     ) -> None:
         self.sink = sink
         self._clock = clock
         self.measure_rss = measure_rss
         self.count_live = count_live
+        self.registry = registry
+        self._phase_histograms: Dict[str, object] = {}
+        self._iteration_histogram = None
+        if registry is not None:
+            self._iteration_histogram = registry.histogram("iteration_seconds")
+            self._iterations_counter = registry.counter("iterations")
+            self._live_gauge = registry.gauge("live_nodes")
+            self._rss_gauge = registry.gauge("rss_bytes")
+            self._hit_rate_gauge = registry.gauge("cache_hit_rate")
         self.meta: Dict[str, object] = {}
         self.bdd = None
         self._stack: List[_Span] = []
@@ -228,6 +245,14 @@ class Tracer:
         self_totals[phase] = self_totals.get(phase, 0.0) + self_seconds
         counts = self.span_counts
         counts[phase] = counts.get(phase, 0) + 1
+        if self.registry is not None:
+            histogram = self._phase_histograms.get(phase)
+            if histogram is None:
+                histogram = self.registry.histogram(
+                    "phase_self_seconds", {"phase": phase}
+                )
+                self._phase_histograms[phase] = histogram
+            histogram.observe(self_seconds)
 
     # ------------------------------------------------------------------
     # Iterations
@@ -300,6 +325,15 @@ class Tracer:
         record.update(sampled)
         record.update(metrics)
         self.iterations_recorded += 1
+        if self._iteration_histogram is not None:
+            self._iteration_histogram.observe(seconds)
+            self._iterations_counter.inc()
+            if "live_nodes" in sampled:
+                self._live_gauge.set(sampled["live_nodes"])
+            if "rss_bytes" in sampled:
+                self._rss_gauge.set(sampled["rss_bytes"])
+            if "cache_hit_rate" in sampled:
+                self._hit_rate_gauge.set(sampled["cache_hit_rate"])
         self._emit(record)
 
     # ------------------------------------------------------------------

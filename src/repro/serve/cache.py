@@ -5,6 +5,7 @@ Layout under the cache root (``key`` is the request fingerprint from
 
     <root>/<key[:2]>/<key>/entry.json   checksummed result record
     <root>/<key[:2]>/<key>/ckpt/        the attempt's checkpoint dir
+    <root>/<key[:2]>/<key>/trace/       the attempt's telemetry JSONL
 
 ``entry.json`` is written atomically (tmp + rename + directory fsync)
 and carries a sha256 checksum over its own payload; a load that fails
@@ -63,11 +64,18 @@ def _checksum(payload: Dict[str, object]) -> str:
 class ResultCache:
     """Content-addressed cache of reachability results and checkpoints."""
 
-    def __init__(self, root: str) -> None:
+    def __init__(self, root: str, registry: Optional[object] = None) -> None:
         self.root = root
         os.makedirs(root, exist_ok=True)
         #: Paths quarantined by this process (for tests/telemetry).
         self.quarantined: List[str] = []
+        #: Optional :class:`repro.obs.MetricsRegistry` counting stores,
+        #: hits, and quarantines live.
+        self.registry = registry
+
+    def _count(self, name: str, labels: Optional[Dict[str, str]] = None) -> None:
+        if self.registry is not None:
+            self.registry.counter(name, labels).inc()
 
     # ------------------------------------------------------------------
     # Paths
@@ -84,6 +92,27 @@ class ResultCache:
         path = os.path.join(self.entry_dir(key), "ckpt")
         os.makedirs(path, exist_ok=True)
         return path
+
+    def trace_dir(self, key: str) -> str:
+        """The key's telemetry directory (created on demand).
+
+        Attempt trace JSONL lives *inside* the cache entry, next to the
+        checkpoints: the ``subscribe`` op tails it while the attempt is
+        in flight, and the ``trace`` op answers from it long after —
+        content-addressed like everything else under the key.
+        """
+        path = os.path.join(self.entry_dir(key), "trace")
+        os.makedirs(path, exist_ok=True)
+        return path
+
+    def has_trace(self, key: str) -> bool:
+        """True when the key has at least one stored trace file."""
+        path = os.path.join(self.entry_dir(key), "trace")
+        try:
+            names = os.listdir(path)
+        except OSError:
+            return False
+        return any(name.endswith(".jsonl") for name in names)
 
     # ------------------------------------------------------------------
     # Read
@@ -104,6 +133,7 @@ class ResultCache:
         if problem is not None:
             self._quarantine(path, problem)
             return None
+        self._count("cache_lookup_hits")
         return CacheEntry(
             key=key,
             status=str(data["status"]),
@@ -143,6 +173,7 @@ class ResultCache:
         except OSError:  # pragma: no cover - racing cleanup
             return
         self.quarantined.append(corrupt)
+        self._count("cache_quarantined")
         warnings.warn(
             "quarantined corrupt cache entry %s -> %s (%s)"
             % (path, corrupt, reason),
@@ -176,6 +207,7 @@ class ResultCache:
             os.fsync(handle.fileno())
         os.replace(tmp, path)
         fsync_dir(path)
+        self._count("cache_stores", {"status": status})
         return path
 
     def has_checkpoints(self, key: str) -> bool:

@@ -11,10 +11,13 @@ from __future__ import annotations
 
 import json
 import socket
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from ..errors import ServeError
 from .protocol import PROTOCOL
+
+#: Stream statuses that end a ``subscribe`` exchange.
+STREAM_END = ("complete", "miss", "error")
 
 
 class ServeClient:
@@ -36,7 +39,10 @@ class ServeClient:
         #: Server pid from the greeting (the smoke test's crash target).
         self.server_pid = self.greeting.get("pid")
         self._next_id = 0
-        self._pending: Dict[str, Dict[str, object]] = {}
+        # id -> parked messages, *in arrival order*: streaming ops
+        # (subscribe) answer one id with many lines, so parking keeps a
+        # list per id rather than a single slot.
+        self._pending: Dict[str, List[Dict[str, object]]] = {}
 
     # ------------------------------------------------------------------
     # Wire primitives
@@ -71,19 +77,25 @@ class ServeClient:
         return self._read()
 
     def wait(self, request_id: str) -> Dict[str, object]:
-        """Block until the response for ``request_id`` arrives.
+        """Block until the next response for ``request_id`` arrives.
 
         Out-of-order responses for other pipelined requests are parked
-        and returned by their own :meth:`wait` calls later.
+        and returned by their own :meth:`wait` calls later.  For
+        streaming ops each call returns the *next* line of the stream.
         """
-        parked = self._pending.pop(request_id, None)
-        if parked is not None:
-            return parked
+        parked = self._pending.get(request_id)
+        if parked:
+            message = parked.pop(0)
+            if not parked:
+                del self._pending[request_id]
+            return message
         while True:
             message = self._read()
             if message.get("id") == request_id:
                 return message
-            self._pending[str(message.get("id"))] = message
+            self._pending.setdefault(
+                str(message.get("id")), []
+            ).append(message)
 
     def call(self, request: Dict[str, object]) -> Dict[str, object]:
         return self.wait(self.send(request))
@@ -105,6 +117,51 @@ class ServeClient:
 
     def cancel(self, target: str) -> Dict[str, object]:
         return self.call({"op": "cancel", "target": target})
+
+    def metrics(self) -> Dict[str, object]:
+        """Registry snapshot + serve counters (the ``metrics`` op)."""
+        return self.call({"op": "metrics"})
+
+    def trace(
+        self,
+        circuit: Optional[str] = None,
+        key: Optional[str] = None,
+        **options: object,
+    ) -> Dict[str, object]:
+        """Stored telemetry summary of a fingerprint (``trace`` op)."""
+        request: Dict[str, object] = {"op": "trace"}
+        if key is not None:
+            request["key"] = key
+        if circuit is not None:
+            request["circuit"] = circuit
+        request.update(options)
+        return self.call(request)
+
+    def subscribe(
+        self,
+        circuit: Optional[str] = None,
+        key: Optional[str] = None,
+        **options: object,
+    ) -> Iterator[Dict[str, object]]:
+        """Stream a run's telemetry; yields every line including the last.
+
+        Yields the ``streaming`` ack (or ``miss``/``error``), then each
+        ``event`` line, and finally the closing ``complete`` line, after
+        which the iterator ends.  Other pipelined requests on the same
+        client keep working — their responses are parked as usual.
+        """
+        request: Dict[str, object] = {"op": "subscribe"}
+        if key is not None:
+            request["key"] = key
+        if circuit is not None:
+            request["circuit"] = circuit
+        request.update(options)
+        request_id = self.send(request)
+        while True:
+            message = self.wait(request_id)
+            yield message
+            if message.get("status") in STREAM_END:
+                return
 
     # ------------------------------------------------------------------
 

@@ -13,6 +13,18 @@ Request shapes (``op`` selects the verb)::
     {"op": "batch",  "id": "b1", "requests": [{...reach fields...}, ...]}
     {"op": "status", "id": "s1"}
     {"op": "cancel", "id": "c1", "target": "r1"}
+    {"op": "subscribe", "id": "t1", "circuit": "traffic", "engine": "bfv"}
+    {"op": "subscribe", "id": "t2", "key": "<fingerprint>"}
+    {"op": "trace",  "id": "q1", "key": "<fingerprint>"}
+    {"op": "metrics", "id": "m1"}
+
+``subscribe`` and ``trace`` address a run either by the same fields a
+``reach`` request carries (the fingerprint is recomputed) or directly
+by a ``key`` a previous response returned.  A ``subscribe`` answer is a
+*stream*: one ``streaming`` ack, any number of ``event`` lines carrying
+per-iteration telemetry records, and a closing ``complete`` line — all
+with the subscriber's ``id``, interleaved freely with other responses
+on the connection.
 
 Responses carry ``status``: ``ok`` (result attached), ``resumable``
 (budget ran out but a checkpoint survived — the partial result is
@@ -44,7 +56,7 @@ from ..reach import ENGINES
 PROTOCOL = "repro-serve 1"
 
 #: Verbs a request may carry.
-OPS = ("reach", "batch", "status", "cancel")
+OPS = ("reach", "batch", "status", "cancel", "subscribe", "trace", "metrics")
 
 #: ``reach`` execution modes: ``run`` executes (or resumes) the
 #: analysis; ``peek`` only probes the cache and never starts work.
@@ -109,6 +121,9 @@ class Request:
     reach: Optional[ReachRequest] = None
     requests: List[ReachRequest] = field(default_factory=list)
     target: Optional[str] = None
+    #: Explicit fingerprint for ``subscribe`` / ``trace`` (instead of
+    #: reach-shaped fields).
+    key: Optional[str] = None
 
 
 def _require_str(data: Dict[str, object], key: str) -> str:
@@ -220,7 +235,18 @@ def parse_request(raw: object) -> Request:
         return Request(op=op, id=request_id, requests=parsed)
     if op == "cancel":
         return Request(op=op, id=request_id, target=_require_str(raw, "target"))
-    return Request(op=op, id=request_id)  # status
+    if op in ("subscribe", "trace"):
+        key = raw.get("key")
+        if key is not None:
+            if not isinstance(key, str) or not key:
+                raise ServeError(
+                    "request field 'key' must be a non-empty string"
+                )
+            return Request(op=op, id=request_id, key=key)
+        # No key: address the run by the same fields a reach request
+        # carries; the fingerprint is recomputed server-side.
+        return Request(op=op, id=request_id, reach=_parse_reach(raw, request_id))
+    return Request(op=op, id=request_id)  # status / metrics
 
 
 def response(

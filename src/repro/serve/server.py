@@ -23,6 +23,23 @@ is a thin, failure-isolated shell over the existing harness stack:
 Telemetry is JSONL in the run-trace format: one ``serve_request`` event
 per request and ``serve_counters`` snapshots, rendered by
 ``python -m repro trace``.
+
+Live observability (the metrics layer):
+
+* every attempt writes its per-iteration trace JSONL *into the cache
+  entry* (``<key>/trace/``), so telemetry is content-addressed like the
+  result and checkpoints it belongs to;
+* ``subscribe`` streams those records to a client while the attempt is
+  in flight — the server tails the trace files
+  (:class:`repro.obs.tail.JsonlTail`) through a bounded per-subscriber
+  queue; a consumer slower than the run loses records (counted, and
+  reported in the stream's closing line), never memory;
+* ``trace`` answers the phase summary / iteration table of any stored
+  fingerprint from that JSONL, with no recomputation;
+* a :class:`repro.obs.MetricsRegistry` (one per server) aggregates
+  request latencies, queue depths, and cache/session/drop counters,
+  exposed by the ``metrics`` op and an optional ``--metrics-port`` HTTP
+  listener speaking Prometheus text format.
 """
 
 from __future__ import annotations
@@ -39,20 +56,35 @@ from ..harness.faults import SERVE_PID_ENV_VAR
 from ..harness.journal import RunJournal
 from ..harness.pool import WorkerPool
 from ..harness.worker import AttemptSpec
+from ..obs import JsonlTail, MetricsRegistry
+from ..obs.report import load_trace, summarize_trace
 from ..reach import ReachResult
 from . import protocol
 from .admission import AdmissionController, AdmissionPolicy
 from .cache import COMPLETE, RESUMABLE, ResultCache
-from .session import SessionManager
+from .session import Session, SessionManager
 
 #: Queue-drain estimate per attempt used for Retry-After hints when no
 #: better signal exists (the surrogate circuits finish in well under
 #: this; real ISCAS'89 runs are budget-bound anyway).
 TYPICAL_ATTEMPT_SECONDS = 5.0
 
+#: Bounded per-subscriber event queue: deep enough that a normally-paced
+#: reader never drops, small enough that one wedged client costs ~a few
+#: hundred records of memory, not the run's whole history.
+DEFAULT_SUBSCRIBER_QUEUE = 256
+
+#: How often a subscriber's tailer polls the attempt's trace files.
+SUBSCRIBE_POLL_SECONDS = 0.05
+
 
 class Counters:
-    """Thread-safe monotonic counters for the telemetry snapshots."""
+    """Thread-safe monotonic counters for the telemetry snapshots.
+
+    With a registry attached every bump is mirrored into a
+    ``serve_<name>`` registry counter, so the Prometheus endpoint and
+    the ``metrics`` op see the same numbers as the JSONL snapshots.
+    """
 
     FIELDS = (
         "requests",
@@ -65,15 +97,22 @@ class Counters:
         "failed",
         "errors",
         "disconnects",
+        "subscriptions",
+        "stream_events",
+        "subscriber_drops",
+        "telemetry_drops",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self._lock = threading.Lock()
         self._values = {name: 0 for name in self.FIELDS}
+        self._registry = registry
 
     def bump(self, name: str, amount: int = 1) -> None:
         with self._lock:
             self._values[name] += amount
+        if self._registry is not None:
+            self._registry.counter("serve_" + name).inc(amount)
 
     def snapshot(self) -> Dict[str, int]:
         with self._lock:
@@ -113,17 +152,27 @@ class ReachServer:
         trace_dir: Optional[str] = None,
         journal_path: Optional[str] = None,
         checkpoint_interval: int = 1,
+        subscriber_queue_size: int = DEFAULT_SUBSCRIBER_QUEUE,
+        subscribe_poll_seconds: float = SUBSCRIBE_POLL_SECONDS,
+        metrics_port: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.host = host
         self.port = port
-        self.cache = ResultCache(cache_dir)
+        #: One registry per server (private by default so parallel test
+        #: servers never share counters), fed by every layer below.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.cache = ResultCache(cache_dir, registry=self.registry)
         self.sessions = SessionManager()
         self.admission = AdmissionController(policy)
-        self.counters = Counters()
+        self.counters = Counters(self.registry)
         self.checkpoint_interval = checkpoint_interval
         self.trace_dir = trace_dir
+        self.subscriber_queue_size = subscriber_queue_size
+        self.subscribe_poll_seconds = subscribe_poll_seconds
+        self.metrics_port = metrics_port
         journal = RunJournal(journal_path) if journal_path else None
-        self.pool = WorkerPool(pool_size, journal=journal)
+        self.pool = WorkerPool(pool_size, journal=journal, registry=self.registry)
         self.telemetry: Optional[RunJournal] = None
         if trace_dir:
             os.makedirs(trace_dir, exist_ok=True)
@@ -131,6 +180,7 @@ class ReachServer:
                 os.path.join(trace_dir, "serve-telemetry.jsonl")
             )
         self._server: Optional[asyncio.AbstractServer] = None
+        self._metrics_server: Optional[asyncio.AbstractServer] = None
         self._tasks: set = set()
 
     # ------------------------------------------------------------------
@@ -147,6 +197,11 @@ class ReachServer:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_metrics_http, self.host, self.metrics_port
+            )
+            self.metrics_port = self._metrics_server.sockets[0].getsockname()[1]
         self._emit_counters("start")
 
     async def serve_forever(self) -> None:
@@ -159,6 +214,9 @@ class ReachServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
         for task in list(self._tasks):
             task.cancel()
         # Pool shutdown cancels outstanding tokens and reaps children.
@@ -175,8 +233,12 @@ class ReachServer:
         if self.telemetry is not None:
             try:
                 self.telemetry.append(record)
-            except OSError:  # pragma: no cover - telemetry is best-effort
-                pass
+            except OSError:
+                # Telemetry is best-effort (a full disk must not take
+                # requests down), but a drop is never silent: it shows
+                # up in the counters snapshot, the registry, and the
+                # `repro trace` serve section.
+                self.counters.bump("telemetry_drops")
 
     def _emit_counters(self, moment: str) -> None:
         record: Dict[str, object] = {
@@ -211,6 +273,29 @@ class ReachServer:
                 "seconds": round(seconds, 6),
             }
         )
+        self.registry.histogram(
+            "serve_request_seconds", {"disposition": disposition}
+        ).observe(seconds)
+
+    def _refresh_gauges(self) -> None:
+        """Pull point-in-time levels into the registry before a read.
+
+        Counters and histograms are pushed at the moment things happen;
+        levels (queue depths, in-flight sessions, cache entry counts)
+        are cheapest sampled when somebody actually looks.
+        """
+        registry = self.registry
+        pool = self.pool.stats()
+        registry.gauge("serve_queue_depth").set(pool["queued"])
+        admission = self.admission.snapshot()
+        registry.gauge("admission_inflight").set(admission.get("inflight", 0))
+        sessions = self.sessions.snapshot()
+        registry.gauge("inflight_sessions").set(
+            sessions["inflight_sessions"]
+        )
+        cache = self.cache.stats()
+        for status, count in cache.items():
+            registry.gauge("cache_entries", {"status": status}).set(count)
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -273,6 +358,12 @@ class ReachServer:
         elif request.op == "batch":
             task = asyncio.ensure_future(self._handle_batch(conn, request))
             self._track(task)
+        elif request.op == "subscribe":
+            await self._handle_subscribe(conn, request)
+        elif request.op == "trace":
+            await self._handle_trace(conn, request)
+        elif request.op == "metrics":
+            await self._handle_metrics(conn, request)
 
     def _track(self, task: "asyncio.Task") -> None:
         self._tasks.add(task)
@@ -320,6 +411,226 @@ class ReachServer:
         await conn.send(
             protocol.response(request.id, "ok", target=request.target)
         )
+
+    def _resolve_key(self, request: protocol.Request) -> str:
+        """The fingerprint a subscribe/trace request addresses.
+
+        Raises :class:`ServeError` when reach-shaped fields fail to
+        fingerprint (unknown circuit, unreadable path).
+        """
+        if request.key is not None:
+            return request.key
+        assert request.reach is not None
+        try:
+            return request.reach.fingerprint()
+        except Exception as error:  # CircuitError, OSError on bad paths
+            raise ServeError(str(error))
+
+    async def _handle_metrics(
+        self, conn: _Connection, request: protocol.Request
+    ) -> None:
+        self._refresh_gauges()
+        await conn.send(
+            protocol.response(
+                request.id,
+                "ok",
+                metrics=self.registry.snapshot(),
+                counters=self.counters.snapshot(),
+            )
+        )
+
+    async def _handle_metrics_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Minimal HTTP/1.0 responder for ``GET /metrics`` (Prometheus).
+
+        Anything but ``/metrics`` gets a 404; the connection closes
+        after one exchange.  No HTTP library — one request line, headers
+        skipped until the blank line, one response.
+        """
+        try:
+            request_line = await reader.readline()
+            while True:
+                header = await reader.readline()
+                if not header or header in (b"\r\n", b"\n"):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            path = parts[1] if len(parts) > 1 else ""
+            if len(parts) > 0 and parts[0] == "GET" and path.split("?")[0] == "/metrics":
+                self._refresh_gauges()
+                body = self.registry.render_prometheus().encode()
+                head = (
+                    "HTTP/1.0 200 OK\r\n"
+                    "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                    "Content-Length: %d\r\n\r\n" % len(body)
+                )
+            else:
+                body = b"not found\n"
+                head = (
+                    "HTTP/1.0 404 Not Found\r\n"
+                    "Content-Type: text/plain\r\n"
+                    "Content-Length: %d\r\n\r\n" % len(body)
+                )
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except RuntimeError:  # pragma: no cover - loop teardown race
+                pass
+
+    async def _handle_trace(
+        self, conn: _Connection, request: protocol.Request
+    ) -> None:
+        """Answer a fingerprint's stored telemetry — no recomputation."""
+        try:
+            key = self._resolve_key(request)
+        except ServeError as error:
+            self.counters.bump("errors")
+            await conn.send(protocol.error_response(request.id, str(error)))
+            return
+        entry = self.cache.lookup(key)
+        if not self.cache.has_trace(key):
+            await conn.send(
+                protocol.response(
+                    request.id,
+                    "miss",
+                    key=key,
+                    cached=entry.status if entry is not None else None,
+                )
+            )
+            return
+        records = await asyncio.get_running_loop().run_in_executor(
+            None,
+            load_trace,
+            os.path.join(self.cache.entry_dir(key), "trace"),
+        )
+        report = summarize_trace(records)
+        await conn.send(
+            protocol.response(
+                request.id,
+                "ok",
+                key=key,
+                cached=entry.status if entry is not None else None,
+                live=self.sessions.session_for(key) is not None,
+                trace=report,
+                counters=self.counters.snapshot(),
+            )
+        )
+
+    async def _handle_subscribe(
+        self, conn: _Connection, request: protocol.Request
+    ) -> None:
+        """Start streaming a fingerprint's telemetry to this client.
+
+        The subscriber is *not* a session waiter: it never keeps an
+        abandoned attempt alive and its disconnect never cancels the
+        run.  The stream replays the trace records already on disk
+        (the trajectory so far), then follows the files while the
+        session is live, and closes with a summary line carrying the
+        session outcome and the slow-consumer drop count.
+        """
+        try:
+            key = self._resolve_key(request)
+        except ServeError as error:
+            self.counters.bump("errors")
+            await conn.send(protocol.error_response(request.id, str(error)))
+            return
+        session = self.sessions.session_for(key)
+        if session is None and not self.cache.has_trace(key):
+            await conn.send(
+                protocol.response(request.id, "miss", key=key)
+            )
+            return
+        self.counters.bump("subscriptions")
+        await conn.send(
+            protocol.response(
+                request.id,
+                "streaming",
+                key=key,
+                live=session is not None,
+            )
+        )
+        self._track(
+            asyncio.ensure_future(
+                self._stream(conn, request.id, key, session)
+            )
+        )
+
+    async def _stream(
+        self,
+        conn: _Connection,
+        request_id: str,
+        key: str,
+        session: Optional[Session],
+    ) -> None:
+        """One subscriber: tailer task -> bounded queue -> writer.
+
+        The tailer never blocks on the client: records go into the
+        queue with ``put_nowait`` and overflow is *dropped and counted*
+        (``dropped`` in the closing line, ``subscriber_drops`` in the
+        counters).  The writer side awaits the socket, so a slow client
+        throttles only its own queue.
+        """
+        queue: "asyncio.Queue" = asyncio.Queue(
+            maxsize=self.subscriber_queue_size
+        )
+        state = {"dropped": 0, "events": 0}
+
+        async def _tail() -> None:
+            tail = JsonlTail(self.cache.trace_dir(key))
+            final_pass = False
+            while True:
+                for record in await asyncio.get_running_loop().run_in_executor(
+                    None, tail.poll
+                ):
+                    record.pop("_file", None)
+                    try:
+                        queue.put_nowait(record)
+                    except asyncio.QueueFull:
+                        state["dropped"] += 1
+                if final_pass or conn.closed:
+                    break
+                if session is None or session.done:
+                    # The session resolved (or never existed: a replay
+                    # of a stored trace); one more poll drains what the
+                    # attempt wrote between our last poll and its end.
+                    final_pass = True
+                    continue
+                await asyncio.sleep(self.subscribe_poll_seconds)
+            await queue.put(None)  # end-of-stream sentinel, never dropped
+
+        tail_task = asyncio.ensure_future(_tail())
+        self._track(tail_task)
+        try:
+            while True:
+                record = await queue.get()
+                if record is None:
+                    break
+                state["events"] += 1
+                await conn.send(
+                    protocol.response(
+                        request_id, "event", key=key, record=record
+                    )
+                )
+        finally:
+            tail_task.cancel()
+            if state["dropped"]:
+                self.counters.bump("subscriber_drops", state["dropped"])
+            self.counters.bump("stream_events", state["events"])
+            outcome = session.outcome if session is not None else None
+            await conn.send(
+                protocol.response(
+                    request_id,
+                    "complete",
+                    key=key,
+                    events=state["events"],
+                    dropped=state["dropped"],
+                    outcome=outcome,
+                )
+            )
 
     async def _handle_batch(
         self, conn: _Connection, request: protocol.Request
@@ -456,7 +767,12 @@ class ReachServer:
             checkpoint_interval=self.checkpoint_interval,
             resume=True,
             count_states=request.count_states,
-            trace_dir=self.trace_dir,
+            # Per-iteration telemetry goes into the cache entry, next
+            # to the checkpoints: that JSONL is what `subscribe` tails
+            # while this attempt runs and what `trace` answers from
+            # later.  (The server's own --trace-dir holds only the
+            # serve_* events.)
+            trace_dir=self.cache.trace_dir(key),
             faults=request.faults,
         )
         try:

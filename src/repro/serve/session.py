@@ -38,6 +38,11 @@ class Session:
         self.token = CancelToken()
         self.waiters: List["Waiter"] = []
         self.done = False
+        #: Final response status (``ok`` / ``resumable`` / ...), set by
+        #: :meth:`SessionManager.finish` — read by subscribers, which
+        #: observe sessions without being waiters (a subscriber must
+        #: never keep an otherwise-abandoned attempt alive).
+        self.outcome: Optional[str] = None
 
 
 class Waiter:
@@ -113,6 +118,7 @@ class SessionManager:
         (typically a cache hit by then).  Returns the waiter count.
         """
         with self._lock:
+            session.outcome = status
             session.done = True
             if self._sessions.get(session.key) is session:
                 del self._sessions[session.key]

@@ -140,3 +140,19 @@ class TestShutdown:
         assert time.monotonic() - start < 30.0
         result = future.result(timeout=1)
         assert result.failure == "cancelled"
+
+
+class TestRegistryMirror:
+    def test_pool_counters_and_gauges(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        with WorkerPool(2, registry=registry) as pool:
+            future = pool.submit(spec_for(max_seconds=60.0))
+            assert future.result(timeout=60).completed
+        snapshot = registry.snapshot()
+        assert snapshot["gauges"]["pool_size"] == 2
+        assert snapshot["gauges"]["pool_running"] == 0
+        assert snapshot["gauges"]["pool_queued"] == 0
+        assert snapshot["counters"]["pool_submitted"] == 1
+        assert snapshot["counters"]["pool_completed"] == 1

@@ -539,3 +539,46 @@ class TestCancellationRaces:
         )
         assert resumed.extra["resumed_from"] == 1
         assert not any(s.endswith("-%08d.rbdd" % 2) for s in snapshots)
+
+
+class TestWorkerGauges:
+    def test_registry_mirrors_worker_occupancy(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        report = run_scheduled_batch(
+            SUITE, jobs=2, isolate=False, fallback=False,
+            registry=registry,
+        )
+        assert all(
+            job.outcome is not None and job.outcome.completed
+            for job in report.jobs
+        )
+        snapshot = registry.snapshot()
+        gauges = snapshot["gauges"]
+        # Every worker parked idle with no job once the batch drained.
+        for worker in range(2):
+            assert gauges['worker_state{worker="%d"}' % worker] == "idle"
+            assert gauges['worker_job{worker="%d"}' % worker] == ""
+            assert gauges['worker_rung{worker="%d"}' % worker] == -1
+        assert gauges["workers_busy"] == 0
+
+    def test_worker_state_journal_feeds_top(self, tmp_path):
+        # The per-worker occupancy sidecars exist only while the batch
+        # runs (a live `repro top` audience); afterwards the trace dir
+        # is back to its flat contract.  Gauges carry the same story.
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        trace_dir = str(tmp_path / "traces")
+        run_scheduled_batch(
+            SUITE, jobs=2, isolate=False, fallback=False,
+            trace_dir=trace_dir, registry=registry,
+        )
+        assert not os.path.isdir(os.path.join(trace_dir, ".workers"))
+        gauges = registry.snapshot()["gauges"]
+        busy_jobs = {
+            gauges['worker_job{worker="%d"}' % worker]
+            for worker in range(2)
+        }
+        assert busy_jobs == {""}  # both idle after the run

@@ -1,0 +1,267 @@
+"""MetricsRegistry semantics: counters, gauges, histograms, exposition.
+
+The registry is the live side of observability — everything here is
+pure in-process arithmetic, no sockets or engines.  The one exception
+is the overhead gate at the bottom, which mirrors
+:mod:`tests.obs.test_overhead`: a tracer *without* a registry must not
+get measurably slower from the registry branches in its hot path.
+"""
+
+import json
+import re
+import time
+
+import pytest
+
+from repro.circuits import generators as gen
+from repro.obs import (
+    MetricsRegistry,
+    phase_percentiles,
+    snapshot_delta,
+)
+from repro.obs.metrics import percentile
+from repro.obs.tracer import Tracer
+from repro.reach import bfv_reachability
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_get_or_create_returns_the_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_labels_split_series(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", {"kind": "a"}).inc()
+        registry.counter("hits", {"kind": "b"}).inc(2)
+        snapshot = registry.snapshot()
+        values = {
+            name: value for name, value in snapshot["counters"].items()
+        }
+        assert values['hits{kind="a"}'] == 1
+        assert values['hits{kind="b"}'] == 2
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 4
+
+    def test_string_info_gauge(self):
+        registry = MetricsRegistry()
+        registry.gauge("worker_job", {"worker": "0"}).set("bfv:s27")
+        snapshot = registry.snapshot()
+        assert snapshot["gauges"]['worker_job{worker="0"}'] == "bfv:s27"
+
+
+class TestHistogram:
+    def test_snapshot_counts_sum_max(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("t")
+        for value in (0.002, 0.002, 0.2):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(0.204)
+        assert snap["max"] == pytest.approx(0.2)
+
+    def test_quantiles_are_monotone_and_bounded(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("t")
+        for i in range(100):
+            histogram.observe(0.001 * (i + 1))  # 1ms .. 100ms
+        p50 = histogram.quantile(0.5)
+        p90 = histogram.quantile(0.9)
+        p99 = histogram.quantile(0.99)
+        assert 0 < p50 <= p90 <= p99 <= 0.1
+        # Bucket interpolation keeps the answers near the truth.
+        assert p50 == pytest.approx(0.05, abs=0.05)
+
+    def test_top_bucket_clamps_to_observed_max(self):
+        # A sample beyond the last finite bound lands in +Inf; the
+        # quantile must clamp to the observed max, not infinity.
+        registry = MetricsRegistry()
+        histogram = registry.histogram("t")
+        histogram.observe(1e6)
+        value = histogram.quantile(0.99)
+        assert value <= 1e6  # finite: clamped by the observed max
+        assert value > 300.0  # inside the +Inf bucket, not the bound
+        assert histogram.quantile(1.0) == pytest.approx(1e6)
+
+    def test_empty_histogram_quantile_is_zero(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("t").quantile(0.5) == 0.0
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_safe(self):
+        registry = MetricsRegistry()
+        registry.counter("c", {"k": "v"}).inc()
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(0.01)
+        snapshot = registry.snapshot()
+        decoded = json.loads(json.dumps(snapshot))
+        assert decoded["counters"] == snapshot["counters"]
+        [(name, h)] = list(snapshot["histograms"].items())
+        assert name == "h"
+        assert h["count"] == 1
+        assert "p50" in h and "buckets" in h
+
+    def test_snapshot_delta(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        histogram = registry.histogram("h")
+        counter.inc(2)
+        histogram.observe(0.01)
+        before = registry.snapshot()
+        counter.inc(3)
+        histogram.observe(0.01)
+        delta = snapshot_delta(before, registry.snapshot())
+        assert delta["counters"]["c"] == 3
+        assert delta["histogram_counts"]["h"] == 1
+
+
+class TestPrometheus:
+    def parse(self, text):
+        """name{labels} -> float value, skipping comments."""
+        values = {}
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name, _, value = line.rpartition(" ")
+            values[name] = float(value)
+        return values
+
+    def test_rendering_is_parseable(self):
+        registry = MetricsRegistry()
+        registry.counter("requests", {"op": "reach"}).inc(3)
+        registry.gauge("depth").set(2)
+        registry.histogram("seconds").observe(0.003)
+        values = self.parse(registry.render_prometheus())
+        assert values['repro_requests_total{op="reach"}'] == 3
+        assert values["repro_depth"] == 2
+        assert values["repro_seconds_count"] == 1
+        assert values["repro_seconds_sum"] == pytest.approx(0.003)
+        # Cumulative buckets: every bound >= 0.005 holds the sample.
+        bucket_lines = [
+            name
+            for name in values
+            if name.startswith("repro_seconds_bucket")
+        ]
+        assert any('le="+Inf"' in name for name in bucket_lines)
+        assert values['repro_seconds_bucket{le="+Inf"}'] == 1
+
+    def test_string_gauges_become_info_series(self):
+        registry = MetricsRegistry()
+        registry.gauge("worker_job", {"worker": "1"}).set("bfv:s27")
+        text = registry.render_prometheus()
+        match = re.search(
+            r'repro_worker_job\{(.*)\} 1(\.0)?$', text, re.MULTILINE
+        )
+        assert match, text
+        assert 'value="bfv:s27"' in match.group(1)
+        assert 'worker="1"' in match.group(1)
+
+
+class TestPercentiles:
+    def test_exact_percentile_helper(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 4.0
+        assert percentile(values, 0.5) == pytest.approx(2.5)
+        assert percentile([], 0.5) == 0.0
+        assert percentile([7.0], 0.9) == 7.0
+
+    def test_phase_percentiles_from_iteration_records(self):
+        records = [
+            {"event": "iteration", "phases": {"image": 0.01 * (i + 1)}}
+            for i in range(10)
+        ]
+        table = phase_percentiles(records)
+        assert table["image"]["n"] == 10
+        assert table["image"]["max"] == pytest.approx(0.1)
+        assert 0 < table["image"]["p50"] <= table["image"]["p90"] <= 0.1
+
+
+class TestTracerIntegration:
+    def test_tracer_feeds_registry(self):
+        registry = MetricsRegistry()
+        clock = iter(x * 0.5 for x in range(100))
+        tracer = Tracer(
+            registry=registry,
+            clock=lambda: next(clock),
+            measure_rss=False,
+            count_live=False,
+        )
+        tracer.bind(engine="bfv", order="S1", circuit="c")
+        for i in range(3):
+            tracer.begin_iteration(i)
+            with tracer.span("image"):
+                pass
+            tracer.end_iteration(i)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["iterations"] == 3
+        assert snapshot["histograms"]["iteration_seconds"]["count"] == 3
+        assert (
+            snapshot["histograms"]['phase_self_seconds{phase="image"}'][
+                "count"
+            ]
+            == 3
+        )
+
+
+#: The spans the busiest engine loop opens per iteration.
+LOOP_PHASES = ("image", "reparam", "union", "fixpoint_test")
+
+
+def registryless_cost_per_iteration(cycles=5000):
+    """Median-of-3 per-iteration cost of a tracer *without* a registry.
+
+    This is the path every non-serving run takes; the registry branches
+    added to the tracer hot path must stay invisible here.
+    """
+    tracer = Tracer(
+        sink=None, registry=None, measure_rss=False, count_live=False
+    )
+    tracer.bind(engine="bfv", order="S1", circuit="overhead")
+    timings = []
+    for _ in range(3):
+        start = time.perf_counter()
+        for i in range(cycles):
+            tracer.begin_iteration(i)
+            for phase in LOOP_PHASES:
+                with tracer.span(phase):
+                    pass
+            tracer.end_iteration(i)
+        timings.append(time.perf_counter() - start)
+    timings.sort()
+    return timings[1] / cycles
+
+
+class TestRegistryDisabledOverhead:
+    def test_disabled_path_under_two_percent(self):
+        result = bfv_reachability(gen.counter(5))
+        assert result.completed
+        per_iteration = registryless_cost_per_iteration()
+        added = per_iteration * result.iterations
+        assert added < 0.02 * result.seconds, (
+            "registry-less tracer cost %.3fus/iter x %d iterations = "
+            "%.6fs exceeds 2%% of the %.6fs run"
+            % (
+                per_iteration * 1e6,
+                result.iterations,
+                added,
+                result.seconds,
+            )
+        )

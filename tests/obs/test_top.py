@@ -1,0 +1,231 @@
+"""``python -m repro top`` and ``repro trace --follow``: live views.
+
+TopState is a pure fold, so most coverage here needs no clock at all;
+the loop functions run with ``max_seconds=0`` (one poll, then return)
+against real trace files on disk.
+"""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.obs.top import TopState, follow_trace, run_tail_top
+
+
+def iteration(engine="bfv", circuit="s27", order="S1", i=0, **extra):
+    record = {
+        "event": "iteration",
+        "engine": engine,
+        "circuit": circuit,
+        "order": order,
+        "iteration": i,
+        "frontier_size": 10 + i,
+        "live_nodes": 100 + i,
+        "seconds": 0.01,
+    }
+    record.update(extra)
+    return record
+
+
+class TestTopState:
+    def test_latest_iteration_wins(self):
+        state = TopState()
+        state.update(iteration(i=1))
+        state.update(iteration(i=7))
+        rows = state.rows()
+        assert len(rows) == 2  # header + one run
+        assert rows[1][0] == "bfv/s27/S1"
+        assert rows[1][1] == "7"
+        assert rows[1][-1] == "running"
+
+    def test_summary_marks_run_finished(self):
+        state = TopState()
+        state.update(iteration(i=3))
+        state.update(
+            {
+                "event": "summary",
+                "engine": "bfv",
+                "circuit": "s27",
+                "order": "S1",
+                "completed": True,
+            }
+        )
+        assert state.rows()[1][-1] == "completed"
+
+    def test_failed_run_without_iterations_still_shows(self):
+        state = TopState()
+        state.update(
+            {
+                "event": "summary",
+                "engine": "sat",
+                "circuit": "c",
+                "order": "S2",
+                "completed": False,
+                "failure": "oom",
+            }
+        )
+        rows = state.rows()
+        assert rows[1][0] == "sat/c/S2"
+        assert rows[1][-1] == "failed: oom"
+
+    def test_running_rows_sort_before_finished(self):
+        state = TopState()
+        state.update(iteration(circuit="aaa"))
+        state.update(iteration(circuit="zzz"))
+        state.update(
+            {
+                "event": "summary",
+                "engine": "bfv",
+                "circuit": "aaa",
+                "order": "S1",
+                "completed": True,
+            }
+        )
+        rows = state.rows()
+        assert rows[1][0] == "bfv/zzz/S1"  # still running, first
+        assert rows[2][0] == "bfv/aaa/S1"
+
+    def test_worker_occupancy_header(self):
+        state = TopState()
+        state.update(
+            {"event": "worker_state", "worker": 0, "state": "busy",
+             "cell": "bfv:s27"}
+        )
+        state.update(
+            {"event": "worker_state", "worker": 1, "state": "idle",
+             "cell": ""}
+        )
+        assert "workers 1/2 busy" in state.header()
+        assert "worker00  bfv:s27" in state.render()
+        # The idle worker shows in the count but gets no cell line.
+        assert "worker01" not in state.render()
+
+    def test_serve_dispositions_counted(self):
+        state = TopState()
+        for disposition in ("cache_hit", "cache_hit", "cold"):
+            state.update(
+                {"event": "serve_request", "disposition": disposition}
+            )
+        assert "serve cache_hit=2 cold=1" in state.header()
+
+    def test_malformed_worker_record_ignored(self):
+        state = TopState()
+        state.update({"event": "worker_state", "worker": "not-an-int"})
+        assert state.workers == {}
+
+
+class TestTailTop:
+    def write(self, path, records):
+        with open(path, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+
+    def test_one_shot_tail_renders_table(self, tmp_path):
+        self.write(
+            str(tmp_path / "trace-bfv-S1-s27.jsonl"),
+            [iteration(i=0), iteration(i=4)],
+        )
+        stream = io.StringIO()
+        state = run_tail_top(
+            str(tmp_path),
+            max_seconds=0,
+            plain=True,
+            stream=stream,
+            sleep=lambda _: None,
+        )
+        assert state.runs["bfv/s27/S1"]["iteration"] == 4
+        out = stream.getvalue()
+        assert "repro top" in out
+        assert "bfv/s27/S1" in out
+
+    def test_recursive_tail_sees_worker_sidecars(self, tmp_path):
+        nested = tmp_path / "sub"
+        nested.mkdir()
+        self.write(
+            str(nested / "worker00-state.jsonl"),
+            [{"event": "worker_state", "worker": 0, "state": "busy",
+              "cell": "bfv:s27"}],
+        )
+        stream = io.StringIO()
+        state = run_tail_top(
+            str(tmp_path),
+            max_seconds=0,
+            stream=stream,
+            sleep=lambda _: None,
+        )
+        assert state.workers[0] == ("busy", "bfv:s27")
+
+    def test_cli_top_on_trace_dir(self, tmp_path, capsys):
+        self.write(
+            str(tmp_path / "t.jsonl"), [iteration(i=2)]
+        )
+        code = main(
+            ["top", str(tmp_path), "--max-seconds", "0", "--plain"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bfv/s27/S1" in out
+
+    def test_cli_top_bad_target(self):
+        with pytest.raises(SystemExit, match="neither an existing"):
+            main(["top", "no-such-dir-and-not-hostport"])
+
+    def test_cli_top_server_mode_needs_key_or_circuit(self):
+        with pytest.raises(SystemExit, match="--key or --circuit"):
+            main(["top", "127.0.0.1:1", "--max-seconds", "0"])
+
+
+class TestFollow:
+    def test_follow_prints_one_line_per_record(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with open(path, "w") as handle:
+            handle.write(json.dumps(iteration(i=1)) + "\n")
+            handle.write(json.dumps({"event": "gc"}) + "\n")  # skipped
+            handle.write(
+                json.dumps(
+                    {
+                        "event": "summary",
+                        "engine": "bfv",
+                        "circuit": "s27",
+                        "order": "S1",
+                        "completed": True,
+                        "iterations": 2,
+                        "seconds": 0.5,
+                    }
+                )
+                + "\n"
+            )
+        stream = io.StringIO()
+        printed = follow_trace(
+            path, max_seconds=0, stream=stream, sleep=lambda _: None
+        )
+        lines = stream.getvalue().splitlines()
+        assert printed == 2
+        assert lines[0].startswith("bfv/s27/S1 iter=1")
+        assert "summary completed" in lines[1]
+
+    def test_cli_trace_follow(self, tmp_path, capsys):
+        path = str(tmp_path / "t.jsonl")
+        with open(path, "w") as handle:
+            handle.write(json.dumps(iteration(i=3)) + "\n")
+        code = main(
+            ["trace", path, "--follow", "--max-seconds", "0",
+             "--poll", "0.01"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "iter=3" in out
+
+    def test_cli_trace_table_mode_unchanged(self, tmp_path, capsys):
+        trace_dir = str(tmp_path / "traces")
+        assert main(["reach", "s27", "--trace-dir", trace_dir]) == 0
+        capsys.readouterr()
+        assert main(["trace", trace_dir]) == 0
+        out = capsys.readouterr().out
+        assert "== bfv / s27 / order S1 ==" in out
+        # The new percentile table rides along in the rendered report.
+        assert "per-iteration phase self-time percentiles:" in out
+        assert "p50(s)" in out and "p90(s)" in out

@@ -1,0 +1,263 @@
+"""Streaming telemetry over the wire: subscribe / trace / metrics ops.
+
+Subscriber lifecycle against a live server: stream an in-flight run to
+completion, attach to a deduped fingerprint, overflow a deliberately
+tiny subscriber queue, and disconnect mid-stream without disturbing
+the run.  Plus the two non-streaming observability ops (``trace`` on a
+cached fingerprint, ``metrics``) and the Prometheus HTTP endpoint.
+"""
+
+import time
+import urllib.error
+import urllib.request
+
+from repro.serve.client import ServeClient
+
+#: Wedges the attempt long enough for a subscriber to attach and see
+#: live iteration events, without tripping any watchdog.
+SLOW = [{"kind": "hang", "at_iteration": 1, "seconds": 1.5}]
+
+
+def drain(stream):
+    """Consume a subscribe generator; returns (messages, closing)."""
+    messages = list(stream)
+    return messages, messages[-1]
+
+
+def events_of(messages):
+    return [m for m in messages if m.get("status") == "event"]
+
+
+class TestSubscribe:
+    def test_stream_live_run_to_completion(self, serve_factory):
+        handle = serve_factory(pool_size=1)
+        with handle.client() as runner, handle.client() as watcher:
+            runner.send(
+                {"op": "reach", "circuit": "traffic",
+                 "max_seconds": 60, "faults": SLOW}
+            )
+            # Wait for the session to exist so the subscribe is live.
+            deadline = time.monotonic() + 10
+            while True:
+                status = watcher.status()
+                if status["sessions"]["inflight_sessions"] >= 1:
+                    break
+                assert time.monotonic() < deadline, status
+                time.sleep(0.05)
+            messages, closing = drain(
+                watcher.subscribe(
+                    "traffic", max_seconds=60, faults=SLOW
+                )
+            )
+        assert messages[0]["status"] == "streaming"
+        assert messages[0]["live"] is True
+        iteration_events = [
+            m
+            for m in events_of(messages)
+            if m["record"].get("event") == "iteration"
+        ]
+        assert iteration_events, messages[:5]
+        record = iteration_events[0]["record"]
+        assert record["circuit"] == "traffic"
+        assert isinstance(record.get("iteration"), int)
+        assert closing["status"] == "complete"
+        assert closing["outcome"] == "ok"
+        assert closing["events"] == len(events_of(messages))
+
+    def test_subscribe_to_deduped_inflight_fingerprint(self, serve_factory):
+        handle = serve_factory(pool_size=1)
+        with handle.client() as first, handle.client() as second, \
+                handle.client() as watcher:
+            request = {"op": "reach", "circuit": "traffic",
+                       "max_seconds": 60, "faults": SLOW}
+            first_id = first.send(dict(request))
+            deadline = time.monotonic() + 10
+            while True:
+                status = watcher.status()
+                if status["sessions"]["inflight_sessions"] >= 1:
+                    break
+                assert time.monotonic() < deadline, status
+                time.sleep(0.05)
+            second_id = second.send(dict(request))  # dedup attach
+            messages, closing = drain(
+                watcher.subscribe(
+                    "traffic", max_seconds=60, faults=SLOW
+                )
+            )
+            first_reply = first.wait(first_id)
+            second_reply = second.wait(second_id)
+            status = watcher.status()
+        assert closing["status"] == "complete"
+        assert events_of(messages)
+        assert first_reply["status"] == "ok"
+        assert second_reply["status"] == "ok"
+        # One attempt served two waiters and the subscriber: the
+        # subscriber attached without becoming a third session.
+        assert status["sessions"]["started"] == 1
+        assert status["sessions"]["dedup_hits"] == 1
+        assert status["counters"]["subscriptions"] == 1
+
+    def test_slow_consumer_overflow_drops_are_counted(self, serve_factory):
+        # queue size 1: replaying a stored multi-record trace arrives
+        # as one poll batch, so all but one record must be dropped and
+        # counted -- never silently lost, never blocking the tailer.
+        handle = serve_factory(pool_size=1, subscriber_queue_size=1)
+        with handle.client() as client:
+            reply = client.reach("traffic", max_seconds=60)
+            assert reply["status"] == "ok"
+            messages, closing = drain(
+                client.subscribe("traffic", max_seconds=60)
+            )
+            status = client.status()
+        assert messages[0]["status"] == "streaming"
+        assert messages[0]["live"] is False  # replay of a stored trace
+        assert closing["status"] == "complete"
+        assert closing["dropped"] > 0
+        assert closing["events"] >= 1
+        assert status["counters"]["subscriber_drops"] == closing["dropped"]
+        assert status["counters"]["stream_events"] == closing["events"]
+
+    def test_disconnect_mid_stream_leaves_run_unaffected(self, serve_factory):
+        handle = serve_factory(pool_size=1)
+        with handle.client() as runner:
+            runner.send(
+                {"op": "reach", "circuit": "traffic",
+                 "max_seconds": 60, "faults": SLOW}
+            )
+            deadline = time.monotonic() + 10
+            while True:
+                status = runner.status()
+                if status["sessions"]["inflight_sessions"] >= 1:
+                    break
+                assert time.monotonic() < deadline, status
+                time.sleep(0.05)
+            watcher = handle.client()
+            stream = watcher.subscribe(
+                "traffic", max_seconds=60, faults=SLOW
+            )
+            assert next(stream)["status"] == "streaming"
+            watcher.close()  # vanish mid-stream
+            reply = runner.wait("c1")
+            status = runner.status()
+        # The run finished normally: a subscriber is not a waiter, so
+        # its disconnect neither cancels nor keeps the session alive.
+        assert reply["status"] == "ok"
+        assert reply["result"]["completed"] is True
+        assert status["sessions"]["abandoned"] == 0
+
+    def test_subscribe_unknown_fingerprint_is_a_miss(self, serve_factory):
+        handle = serve_factory()
+        with handle.client() as client:
+            messages, closing = drain(
+                client.subscribe(key="f" * 64)
+            )
+        assert len(messages) == 1
+        assert closing["status"] == "miss"
+        assert closing["key"] == "f" * 64
+
+
+class TestTraceOp:
+    def test_cached_fingerprint_answers_without_recomputation(
+        self, serve_factory
+    ):
+        handle = serve_factory(pool_size=1)
+        with handle.client() as client:
+            reply = client.reach("traffic", max_seconds=60)
+            assert reply["status"] == "ok"
+            trace = client.trace("traffic", max_seconds=60)
+            status = client.status()
+        assert trace["status"] == "ok"
+        assert trace["cached"] == "complete"
+        assert trace["live"] is False
+        # No second attempt was started to answer the trace op.
+        assert status["sessions"]["started"] == 1
+        runs = trace["trace"]["runs"]
+        assert len(runs) == 1
+        run = runs[0]
+        assert run["engine"] == "bfv"
+        assert run["circuit"] == "traffic"
+        assert run["iterations"], "expected per-iteration records"
+        assert "image" in run["phase_percentiles"]
+        summary = run["summary"]
+        assert summary["completed"] is True
+
+    def test_unknown_fingerprint_is_a_miss(self, serve_factory):
+        handle = serve_factory()
+        with handle.client() as client:
+            reply = client.trace(key="a" * 64)
+        assert reply["status"] == "miss"
+        assert reply.get("cached") is None
+
+
+class TestMetrics:
+    def test_metrics_op_snapshot(self, serve_factory):
+        handle = serve_factory(pool_size=1)
+        with handle.client() as client:
+            client.reach("traffic", max_seconds=60)
+            client.reach("traffic", max_seconds=60)  # cache hit
+            reply = client.metrics()
+        assert reply["status"] == "ok"
+        metrics = reply["metrics"]
+        counters = metrics["counters"]
+        gauges = metrics["gauges"]
+        histograms = metrics["histograms"]
+        assert counters["serve_requests"] == 2
+        assert counters["serve_cache_hits"] == 1
+        assert counters['cache_stores{status="complete"}'] == 1
+        assert gauges["serve_queue_depth"] == 0
+        assert gauges['cache_entries{status="complete"}'] == 1
+        # At least one latency histogram with real observations.
+        assert any(
+            snap["count"] >= 1 for snap in histograms.values()
+        ), histograms.keys()
+        assert (
+            histograms[
+                'serve_request_seconds{disposition="cache_hit"}'
+            ]["count"]
+            == 1
+        )
+
+    def test_http_exposition_endpoint(self, serve_factory):
+        handle = serve_factory(pool_size=1, metrics_port=0)
+        port = handle.server.metrics_port
+        assert port not in (None, 0)
+        with handle.client() as client:
+            client.reach("traffic", max_seconds=60)
+        body = urllib.request.urlopen(
+            "http://127.0.0.1:%d/metrics" % port, timeout=10
+        ).read().decode()
+        lines = [
+            line
+            for line in body.splitlines()
+            if line and not line.startswith("#")
+        ]
+        values = {}
+        for line in lines:
+            name, _, value = line.rpartition(" ")
+            values[name] = float(value)
+        assert values["repro_serve_requests_total"] == 1
+        assert values["repro_serve_queue_depth"] == 0
+        assert any("_bucket{" in name for name in values)
+        # The request-latency histogram is present with its +Inf
+        # bucket equal to its count (attempts fork, so engine-side
+        # histograms live in the child, not this registry).
+        series = 'disposition="cold"'
+        assert (
+            values[
+                'repro_serve_request_seconds_bucket{%s,le="+Inf"}' % series
+            ]
+            == values["repro_serve_request_seconds_count{%s}" % series]
+            == 1
+        )
+
+    def test_http_endpoint_404s_other_paths(self, serve_factory):
+        handle = serve_factory(metrics_port=0)
+        port = handle.server.metrics_port
+        try:
+            urllib.request.urlopen(
+                "http://127.0.0.1:%d/other" % port, timeout=10
+            )
+        except urllib.error.HTTPError as error:
+            assert error.code == 404
+        else:
+            raise AssertionError("expected a 404")
