@@ -23,6 +23,10 @@ two merged reports are byte-identical (the scheduler's determinism
 guarantee).  On a single-core box the speedup hovers around 1.0x; the
 CI runners (2+ cores) are where the recorded figure is meaningful.
 
+A third phase times the non-BDD backend engines (``bitset``/``zono``,
+see ``docs/backends.md``) on small builtins: informational cells under
+a separate report key, excluded from the regression comparison.
+
 Writes ``BENCH_reach.json``.  Exits non-zero only on a correctness
 mismatch.  ``--quick`` runs a subset for CI smoke runs.
 """
@@ -41,7 +45,7 @@ _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, _ROOT)
 sys.path.insert(0, os.path.join(_ROOT, "src"))
 
-from repro.circuits import surrogates  # noqa: E402
+from repro.circuits import catalog, surrogates  # noqa: E402
 from repro.order import order_for  # noqa: E402
 from repro.reach import ENGINES, ReachLimits, ReachSpace  # noqa: E402
 
@@ -150,6 +154,54 @@ def bench_cell(engine, circuit, slots, limits, rounds):
     }
 
 
+#: Small builtins for the non-BDD backend cells: both fit comfortably
+#: under the bitset caps (22 latches / 24 state+input bits), unlike the
+#: Table-2 surrogates, which are exactly the sizes the explicit oracle
+#: is built to refuse.
+BACKEND_CIRCUITS = ("s27", "traffic")
+BACKEND_ENGINES = ("bitset", "zono")
+
+
+def bench_backend_cells(limits, rounds):
+    """Informational timings for the non-BDD backend engines.
+
+    There is no seed-vs-current kernel comparison here (the backends
+    share no BDD code), so each cell is a single-phase median.  The
+    cells live under a separate report key and are deliberately
+    excluded from the regression comparison: they exist so the relative
+    cost of the oracle is visible, not gated.
+    """
+    cells = {}
+    for name in BACKEND_CIRCUITS:
+        circuit = catalog.resolve(name)
+        for engine in BACKEND_ENGINES:
+            seconds = []
+            for _ in range(rounds):
+                result = ENGINES[engine](
+                    circuit, limits=limits, count_states=False
+                )
+                seconds.append(result.seconds)
+            cells["%s/%s" % (name, engine)] = {
+                "median_s": round(statistics.median(seconds), 4),
+                "status": result.status,
+                "iterations": result.iterations,
+                "reached_size": result.reached_size,
+                "exact": result.extra.get("exact"),
+            }
+            print(
+                "%-10s %-6s %8.2fs (%s)  iterations %d  exact %s"
+                % (
+                    name,
+                    engine,
+                    cells["%s/%s" % (name, engine)]["median_s"],
+                    result.status,
+                    result.iterations,
+                    result.extra.get("exact"),
+                )
+            )
+    return cells
+
+
 def bench_batch(circuit_names, engines, limits, jobs):
     """Wall-clock of the cell suite through the scheduler, 1 vs N workers.
 
@@ -250,8 +302,11 @@ def main(argv=None):
         # the top-level "batch" scheduler phase (jobs=1 vs jobs=N wall
         # clock, speedup, determinism check).  Version 4 adds the
         # "regressions" comparison against the previously committed
-        # baseline (noise-floored, informational).
-        "schema_version": 4,
+        # baseline (noise-floored, informational).  Version 5 adds the
+        # "backend_cells" section: single-phase timings for the non-BDD
+        # bitset/zono engines on small builtins, informational only and
+        # excluded from the regression comparison.
+        "schema_version": 5,
         "meta": {
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
             "python": platform.python_version(),
@@ -302,6 +357,8 @@ def main(argv=None):
         report["regressions"] = regressions
         for finding in regressions:
             print("regression: %s" % finding)
+
+    report["backend_cells"] = bench_backend_cells(limits, rounds)
 
     batch = bench_batch(circuit_names, engines, limits, args.jobs)
     report["batch"] = batch

@@ -71,10 +71,18 @@ echo "== serve smoke =="
 # a /proc scan proving no engine process outlived the server.
 python scripts/serve_smoke.py
 
+echo "== backend engine smoke =="
+# The two non-BDD set backends (docs/backends.md) as first-class
+# engines: one tier-1 cell each through the full CLI path, checking
+# registration, the Kleene adapter loop, and result finalization.
+python -m repro reach s27 --engine bitset --max-seconds 120
+python -m repro reach s27 --engine zono --max-seconds 120
+
 echo "== sanitized reach smoke =="
-# Every engine under every-iteration invariant auditing (unique-table
-# canonicity, cache replay vs the reference kernels, BFV canonical
-# form); any violation aborts the run with the invariant's name.
+# Every engine (all eight: six BDD-substrate plus bitset/zono) under
+# every-iteration invariant auditing (unique-table canonicity, cache
+# replay vs the reference kernels, BFV canonical form); any violation
+# aborts the run with the invariant's name.
 python -m repro reach s27 --engine all --sanitize --max-seconds 120
 
 echo "CI OK"

@@ -1,0 +1,44 @@
+"""Pluggable set-representation backends (see ``docs/backends.md``).
+
+The :class:`~repro.backends.protocol.SetBackend` protocol abstracts the
+set algebra the breadth-first reachability loop needs; implementations
+here deliberately share **no** code with the BDD substrate, making them
+independent differential oracles for the six BDD-based engines:
+
+* :class:`~repro.backends.bitset.BitsetBackend` (``bitset``) — explicit
+  packed-int characteristic vectors, exact ground truth for small
+  state spaces;
+* :class:`~repro.backends.zonotope.LogicalZonotopeBackend` (``zono``)
+  — GF(2) generator-matrix sets, exact on XOR-dominated structure and
+  a flagged sound over-approximation elsewhere.
+
+:data:`BACKENDS` is the name-keyed registry;
+:func:`~repro.backends.engine.backend_engine` adapts any entry to the
+standard engine signature for ``repro.reach.ENGINES``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from .bitset import BitsetBackend, BitsetSet
+from .engine import backend_engine
+from .protocol import SetBackend, State
+from .zonotope import LogicalZonotopeBackend, Zonotope
+
+#: Registry of available backends, keyed by engine name.
+BACKENDS: Dict[str, Type[SetBackend]] = {
+    BitsetBackend.name: BitsetBackend,
+    LogicalZonotopeBackend.name: LogicalZonotopeBackend,
+}
+
+__all__ = [
+    "BACKENDS",
+    "BitsetBackend",
+    "BitsetSet",
+    "LogicalZonotopeBackend",
+    "SetBackend",
+    "State",
+    "Zonotope",
+    "backend_engine",
+]

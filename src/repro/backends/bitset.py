@@ -1,0 +1,291 @@
+"""Explicit bitset backend: packed-int characteristic vectors.
+
+A set of states over ``n`` latches is one Python integer of ``2**n``
+bits — bit ``i`` set iff state ``i`` (little-endian over latch
+declaration order) is a member.  Every operation is exact, which makes
+this backend the differential campaign's **ground truth**: it shares no
+code with the BDD substrate it audits.  Even the gate semantics are an
+independent implementation — next states are computed by *bit-parallel
+truth-table evaluation* (each net's value over all ``2**m`` input
+valuations is an integer of ``2**m`` bits, combined with Python's
+native bitwise operators), not by :class:`repro.sim.ConcreteSimulator`.
+
+Feasibility is capped structurally: the state space must fit
+``max_latches`` (default 22 → a 4M-bit mask) and the per-state image
+work ``2**(latches+inputs)`` must fit ``max_space_bits``.  Beyond either
+cap :meth:`BitsetBackend.from_circuit` raises
+:class:`~repro.errors.ResourceLimitError` tagged ``"memory"``, which the
+engine adapter reports as a Table-2-style M.O. cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..circuits.netlist import Circuit
+from ..errors import CircuitError, ResourceLimitError
+from .protocol import SetBackend, State
+
+#: Largest latch count the packed representation accepts (2**22 bits
+#: per set ≈ 0.5 MiB of mask).
+DEFAULT_MAX_LATCHES = 22
+
+#: Cap on ``latches + inputs``: one image step costs O(|frontier| *
+#: 2**inputs) successor evaluations, and pre-image sweeps all
+#: ``2**latches`` states once.
+DEFAULT_MAX_SPACE_BITS = 24
+
+
+@dataclass(frozen=True)
+class BitsetSet:
+    """One set handle: a ``2**n``-bit characteristic integer."""
+
+    mask: int
+    #: The bitset representation is exact by construction.
+    exact: bool = True
+
+
+class BitsetBackend(SetBackend):
+    """Exact explicit-state sets over small state spaces."""
+
+    name = "bitset"
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        max_latches: int = DEFAULT_MAX_LATCHES,
+        max_space_bits: int = DEFAULT_MAX_SPACE_BITS,
+    ) -> None:
+        circuit.validate()
+        n = circuit.num_latches
+        m = len(circuit.inputs)
+        if n > max_latches:
+            raise ResourceLimitError(
+                "memory",
+                "bitset backend caps at %d latches, circuit %r has %d"
+                % (max_latches, circuit.name, n),
+            )
+        if n + m > max_space_bits:
+            raise ResourceLimitError(
+                "memory",
+                "bitset backend caps latches+inputs at %d bits, "
+                "circuit %r has %d" % (max_space_bits, circuit.name, n + m),
+            )
+        self.circuit = circuit
+        self.num_latches = n
+        self.num_inputs = m
+        self._state_nets: Tuple[str, ...] = tuple(circuit.latches)
+        self._data_nets: Tuple[str, ...] = tuple(
+            latch.data for latch in circuit.latches.values()
+        )
+        #: All-ones over the input-valuation truth-table width.
+        self._input_ones = (1 << (1 << m)) - 1
+        #: Truth table of input j over all 2**m valuations: bit k of
+        #: ``_input_tables[j]`` is bit j of valuation index k.
+        self._input_tables: Tuple[int, ...] = tuple(
+            self._variable_table(j) for j in range(m)
+        )
+        #: All-ones over the state space (the universe mask).
+        self.full_mask = (1 << (1 << n)) - 1
+        #: Initial state as a state index.
+        self._initial_index = self._index_of(circuit.initial_state)
+        #: Memoized per-state successor masks.
+        self._successors: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Bit-parallel evaluation
+    # ------------------------------------------------------------------
+
+    def _variable_table(self, j: int) -> int:
+        """Truth table of input variable ``j`` over all valuations."""
+        width = 1 << self.num_inputs
+        block = 1 << j
+        table = 0
+        for k in range(0, width, 2 * block):
+            table |= ((1 << block) - 1) << (k + block)
+        return table
+
+    def _index_of(self, point: Sequence[bool]) -> int:
+        if len(point) != self.num_latches:
+            raise CircuitError(
+                "state width %d does not match %d latches"
+                % (len(point), self.num_latches)
+            )
+        index = 0
+        for i, bit in enumerate(point):
+            if bit:
+                index |= 1 << i
+        return index
+
+    def _state_of(self, index: int) -> State:
+        return tuple(
+            bool(index >> i & 1) for i in range(self.num_latches)
+        )
+
+    def _successor_mask(self, state_index: int) -> int:
+        """Successor set of one state, over every input valuation.
+
+        Evaluates the combinational core once, bit-parallel across all
+        ``2**m`` input valuations: every net's value is a ``2**m``-bit
+        truth table, gates are native int bitwise operations.
+        """
+        cached = self._successors.get(state_index)
+        if cached is not None:
+            return cached
+        ones = self._input_ones
+        values: Dict[str, int] = {}
+        for j, net in enumerate(self.circuit.inputs):
+            values[net] = self._input_tables[j]
+        for i, net in enumerate(self._state_nets):
+            values[net] = ones if state_index >> i & 1 else 0
+        for gate in self.circuit.topological_gates():
+            operands = [values[net] for net in gate.inputs]
+            op = gate.op
+            if op == "AND" or op == "NAND":
+                acc = operands[0]
+                for v in operands[1:]:
+                    acc &= v
+                if op == "NAND":
+                    acc ^= ones
+            elif op == "OR" or op == "NOR":
+                acc = operands[0]
+                for v in operands[1:]:
+                    acc |= v
+                if op == "NOR":
+                    acc ^= ones
+            elif op == "XOR" or op == "XNOR":
+                acc = operands[0]
+                for v in operands[1:]:
+                    acc ^= v
+                if op == "XNOR":
+                    acc ^= ones
+            elif op == "NOT":
+                acc = operands[0] ^ ones
+            else:  # BUF
+                acc = operands[0]
+            values[gate.output] = acc
+        data_tables = [values[net] for net in self._data_nets]
+        mask = 0
+        for k in range(1 << self.num_inputs):
+            target = 0
+            for i, table in enumerate(data_tables):
+                if table >> k & 1:
+                    target |= 1 << i
+            mask |= 1 << target
+        self._successors[state_index] = mask
+        return mask
+
+    # ------------------------------------------------------------------
+    # SetBackend protocol
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_circuit(cls, circuit: Any, **options: Any) -> "BitsetBackend":
+        # Engine-agnostic sweeps pass BDD-layer options (e.g.
+        # ``selection_heuristic``, ``schedule``) uniformly to every
+        # entry in ``ENGINES``; only the backend's own caps apply here,
+        # the rest are ignored like every engine ignores options it has
+        # no analogue for.
+        return cls(
+            circuit,
+            max_latches=options.get("max_latches", DEFAULT_MAX_LATCHES),
+            max_space_bits=options.get(
+                "max_space_bits", DEFAULT_MAX_SPACE_BITS
+            ),
+        )
+
+    def initial(
+        self, initial_points: Optional[Sequence[Sequence[bool]]] = None
+    ) -> BitsetSet:
+        if initial_points is None:
+            return BitsetSet(1 << self._initial_index)
+        points = list(initial_points)
+        if not points:
+            raise CircuitError("initial state set must be non-empty")
+        return self.from_points(points)
+
+    def from_points(self, points: Iterable[Sequence[bool]]) -> BitsetSet:
+        mask = 0
+        for point in points:
+            mask |= 1 << self._index_of(point)
+        return BitsetSet(mask)
+
+    def empty(self) -> BitsetSet:
+        return BitsetSet(0)
+
+    def universe(self) -> BitsetSet:
+        return BitsetSet(self.full_mask)
+
+    def image(self, s: BitsetSet) -> BitsetSet:
+        out = 0
+        mask = s.mask
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            out |= self._successor_mask(low.bit_length() - 1)
+        return BitsetSet(out, exact=s.exact)
+
+    def pre_image(self, s: BitsetSet) -> BitsetSet:
+        out = 0
+        target = s.mask
+        for index in range(1 << self.num_latches):
+            if self._successor_mask(index) & target:
+                out |= 1 << index
+        return BitsetSet(out, exact=s.exact)
+
+    def union(self, a: BitsetSet, b: BitsetSet) -> BitsetSet:
+        return BitsetSet(a.mask | b.mask, exact=a.exact and b.exact)
+
+    def intersect(self, a: BitsetSet, b: BitsetSet) -> BitsetSet:
+        """Set intersection (exact; handy for the property tests)."""
+        return BitsetSet(a.mask & b.mask, exact=a.exact and b.exact)
+
+    def complement(self, s: BitsetSet) -> BitsetSet:
+        """Complement within the state space (exact).
+
+        Not part of the minimal protocol — the bitset backend offers it
+        so the pre/image Galois-connection law (``image(S) <= T`` iff
+        ``S <= ~pre(~T)``) is testable without backend internals.
+        """
+        return BitsetSet(s.mask ^ self.full_mask, exact=s.exact)
+
+    def equal(self, a: BitsetSet, b: BitsetSet) -> bool:
+        return a.mask == b.mask
+
+    def subset(self, a: BitsetSet, b: BitsetSet) -> bool:
+        return a.mask & ~b.mask == 0
+
+    def contains(self, s: BitsetSet, point: Sequence[bool]) -> bool:
+        return bool(s.mask >> self._index_of(point) & 1)
+
+    def count(self, s: BitsetSet) -> int:
+        return bin(s.mask).count("1")
+
+    def size(self, s: BitsetSet) -> int:
+        # Representation size: set bits (the stored characteristic
+        # vector is dense, but popcount is the comparable statistic).
+        return self.count(s)
+
+    def enumerate_states(
+        self, s: BitsetSet, limit: Optional[int] = None
+    ) -> List[State]:
+        if limit is not None and self.count(s) > limit:
+            raise ResourceLimitError(
+                "memory",
+                "enumeration of %d states exceeds limit %d"
+                % (self.count(s), limit),
+            )
+        states = []
+        mask = s.mask
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            states.append(self._state_of(low.bit_length() - 1))
+        return states
+
+    def to_payload(self, s: BitsetSet) -> Dict[str, Any]:
+        return {"mask": hex(s.mask), "exact": s.exact}
+
+    def from_payload(self, data: Dict[str, Any]) -> BitsetSet:
+        return BitsetSet(int(str(data["mask"]), 16), bool(data["exact"]))

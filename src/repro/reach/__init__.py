@@ -16,12 +16,19 @@
 * :func:`bfv_sat_reachability` — the hybrid that saturates inside the
   BFV reparameterization loop (split inputs driven constant during
   symbolic simulation).
+* :func:`bitset_reachability` / :func:`zono_reachability` — non-BDD
+  set-representation backends (:mod:`repro.backends`): explicit packed
+  bitsets (exact ground truth on small state spaces) and logical
+  zonotopes (GF(2) generator matrices, exactness-flagged
+  over-approximation), adapted to the engine contract by
+  :func:`repro.backends.engine.backend_engine`.
 
 All engines share a variable layout (:class:`ReachSpace`), resource
 budgets (:class:`ReachLimits`, reported as the paper's T.O./M.O.) and
 statistics (:class:`ReachResult`).
 """
 
+from ..backends import BitsetBackend, LogicalZonotopeBackend, backend_engine
 from .backward import backward_reachability, can_reach
 from .bfv_engine import bfv_reachability
 from .cbm_engine import cbm_reachability
@@ -32,6 +39,9 @@ from .report import format_table2, format_table3
 from .sat_engine import bfv_sat_reachability, sat_reachability
 from .tr_engine import tr_reachability
 
+bitset_reachability = backend_engine(BitsetBackend)
+zono_reachability = backend_engine(LogicalZonotopeBackend)
+
 ENGINES = {
     "bfv": bfv_reachability,
     "tr": tr_reachability,
@@ -39,6 +49,8 @@ ENGINES = {
     "conj": conj_reachability,
     "sat": sat_reachability,
     "bfv-sat": bfv_sat_reachability,
+    "bitset": bitset_reachability,
+    "zono": zono_reachability,
 }
 
 __all__ = [
@@ -52,10 +64,12 @@ __all__ = [
     "RunMonitor",
     "bfv_reachability",
     "bfv_sat_reachability",
+    "bitset_reachability",
     "cbm_reachability",
     "conj_reachability",
     "format_table2",
     "format_table3",
     "sat_reachability",
     "tr_reachability",
+    "zono_reachability",
 ]

@@ -1,0 +1,139 @@
+"""Unit tests for the explicit bitset backend (the campaign's oracle).
+
+The backend's gate evaluation is deliberately a third independent
+implementation (bit-parallel truth tables — neither the BDD substrate
+nor :class:`repro.sim.ConcreteSimulator`), so these tests cross it
+against both: forward closure vs :func:`repro.sim.explicit_reachable`,
+single steps vs the concrete simulator, plus the structural feasibility
+caps and the checkpoint payload round-trip.
+"""
+
+import itertools
+
+import pytest
+
+from repro.backends import BitsetBackend
+from repro.circuits.catalog import resolve
+from repro.circuits.netlist import Circuit
+from repro.errors import ResourceLimitError
+from repro.reach import ENGINES
+from repro.sim import ConcreteSimulator, explicit_reachable
+
+from tests.test_fuzz import random_circuit
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_closure_matches_explicit_search(seed):
+    """Backend-op fix point equals the explicit-state searcher's set."""
+    circuit = random_circuit(seed, max_latches=4, max_inputs=2, max_gates=10)
+    backend = BitsetBackend(circuit)
+    reached = backend.initial()
+    while True:
+        bigger = backend.union(reached, backend.image(reached))
+        if backend.equal(bigger, reached):
+            break
+        reached = bigger
+    assert set(backend.enumerate_states(reached)) == set(
+        explicit_reachable(circuit)
+    )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_image_matches_concrete_simulator(seed):
+    """One image step agrees with stepping every input valuation."""
+    circuit = random_circuit(seed, max_latches=4, max_inputs=2, max_gates=10)
+    backend = BitsetBackend(circuit)
+    simulator = ConcreteSimulator(circuit)
+    nets = circuit.state_nets
+    for state in itertools.product(
+        (False, True), repeat=circuit.num_latches
+    ):
+        expected = set()
+        for valuation in itertools.product(
+            (False, True), repeat=len(circuit.inputs)
+        ):
+            inputs = dict(zip(circuit.inputs, valuation))
+            expected.add(simulator.step(tuple(state), inputs))
+        handle = backend.from_points([state])
+        assert set(backend.enumerate_states(backend.image(handle))) == (
+            expected
+        ), (seed, state)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_pre_image_is_adjoint(seed):
+    """``s in pre(T)`` iff ``image({s})`` meets ``T``, for every state."""
+    circuit = random_circuit(seed, max_latches=4, max_inputs=2, max_gates=10)
+    backend = BitsetBackend(circuit)
+    target = backend.initial()
+    pre = backend.pre_image(target)
+    for state in itertools.product(
+        (False, True), repeat=circuit.num_latches
+    ):
+        successors = backend.image(backend.from_points([state]))
+        meets = successors.mask & target.mask != 0
+        assert backend.contains(pre, state) == meets, (seed, state)
+
+
+def test_zero_input_circuit():
+    """Deterministic (input-free) circuits work: one successor each."""
+    circuit = resolve("lfsr8")
+    backend = BitsetBackend(circuit)
+    reached = backend.initial()
+    while True:
+        bigger = backend.union(reached, backend.image(reached))
+        if backend.equal(bigger, reached):
+            break
+        reached = bigger
+    assert set(backend.enumerate_states(reached)) == set(
+        explicit_reachable(circuit)
+    )
+
+
+def _wide_circuit(latches, inputs=1):
+    circuit = Circuit("wide%dx%d" % (latches, inputs))
+    for i in range(inputs):
+        circuit.add_input("x%d" % i)
+    for i in range(latches):
+        circuit.add_latch("q%d" % i, "g%d" % i, False)
+        circuit.add_gate("g%d" % i, "BUF", ["q%d" % i])
+    circuit.add_output("g0")
+    return circuit
+
+
+def test_latch_cap_is_memory_limited():
+    with pytest.raises(ResourceLimitError) as info:
+        BitsetBackend(_wide_circuit(23))
+    assert info.value.kind == "memory"
+
+
+def test_space_cap_is_memory_limited():
+    with pytest.raises(ResourceLimitError) as info:
+        BitsetBackend(_wide_circuit(12, inputs=13))
+    assert info.value.kind == "memory"
+
+
+def test_infeasible_circuit_reports_mo_cell():
+    """Over-cap circuits degrade to an M.O. result, not a crash."""
+    result = ENGINES["bitset"](resolve("s3271s"))
+    assert not result.completed
+    assert result.failure == "memory"
+    assert result.status == "M.O."
+
+
+def test_payload_round_trip():
+    circuit = random_circuit(3, max_latches=4, max_inputs=2, max_gates=10)
+    backend = BitsetBackend(circuit)
+    handle = backend.union(
+        backend.initial(), backend.image(backend.initial())
+    )
+    clone = backend.from_payload(backend.to_payload(handle))
+    assert backend.equal(clone, handle)
+    assert clone.exact == handle.exact
+
+
+def test_enumeration_limit():
+    circuit = resolve("traffic")
+    backend = BitsetBackend(circuit)
+    with pytest.raises(ResourceLimitError):
+        backend.enumerate_states(backend.universe(), limit=3)

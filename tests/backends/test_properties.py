@@ -1,0 +1,124 @@
+"""Property-based algebraic laws for the set backends.
+
+Each law is checked over a seeded corpus of random circuits and random
+point sets, scaled by ``REPRO_FUZZ_SEEDS`` like the differential
+campaign: union commutativity / associativity / idempotence and the
+construction laws run on **every** registered backend (they hold for
+exact and over-approximating representations alike, because the
+zonotope union is an affine-closure operator); image monotonicity and
+the ``pre_image``/``image`` Galois connection run on the bitset
+backend, whose exact complement makes them directly testable.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.backends import BACKENDS
+from repro.backends.bitset import BitsetBackend
+
+from tests.test_fuzz import random_circuit
+
+#: Seed count, scaled like the differential campaign (CI raises it).
+PROPERTY_SEEDS = int(os.environ.get("REPRO_FUZZ_SEEDS", "40"))
+
+BACKEND_NAMES = sorted(BACKENDS)
+
+
+def sample_points(rng, width, count):
+    """``count`` random (possibly repeating) state tuples."""
+    return [
+        tuple(rng.random() < 0.5 for _ in range(width))
+        for _ in range(count)
+    ]
+
+
+def build(backend_name, seed):
+    """A backend over a random circuit plus three random point sets."""
+    circuit = random_circuit(seed, max_latches=4, max_inputs=2, max_gates=10)
+    backend = BACKENDS[backend_name].from_circuit(circuit)
+    rng = random.Random(seed ^ 0xBEEF)
+    width = circuit.num_latches
+    sets = [
+        backend.from_points(sample_points(rng, width, rng.randint(1, 6)))
+        for _ in range(3)
+    ]
+    return backend, sets
+
+
+@pytest.mark.parametrize("backend_name", BACKEND_NAMES)
+@pytest.mark.parametrize("seed", range(PROPERTY_SEEDS))
+def test_union_laws(backend_name, seed):
+    """Union is commutative, associative, idempotent, with identity."""
+    backend, (a, b, c) = build(backend_name, seed)
+    assert backend.equal(backend.union(a, b), backend.union(b, a))
+    assert backend.equal(
+        backend.union(backend.union(a, b), c),
+        backend.union(a, backend.union(b, c)),
+    )
+    assert backend.equal(backend.union(a, a), a)
+    assert backend.equal(backend.union(a, backend.empty()), a)
+    # Union is an upper bound of both operands.
+    assert backend.subset(a, backend.union(a, b))
+    assert backend.subset(b, backend.union(a, b))
+
+
+@pytest.mark.parametrize("backend_name", BACKEND_NAMES)
+@pytest.mark.parametrize("seed", range(PROPERTY_SEEDS))
+def test_construction_laws(backend_name, seed):
+    """from_points contains its points; empty/universe bracket any set."""
+    backend, (a, _, _) = build(backend_name, seed)
+    rng = random.Random(seed ^ 0xCAFE)
+    width = backend.num_latches
+    points = sample_points(rng, width, rng.randint(1, 5))
+    handle = backend.from_points(points)
+    for point in points:
+        assert backend.contains(handle, point)
+    assert backend.subset(backend.empty(), a)
+    assert backend.subset(a, backend.universe())
+    assert backend.count(backend.empty()) == 0
+    assert backend.count(backend.universe()) == 2 ** width
+    # Enumeration agrees with count and membership.
+    states = backend.enumerate_states(a, limit=2 ** width)
+    assert len(states) == backend.count(a)
+    for state in states:
+        assert backend.contains(a, state)
+
+
+@pytest.mark.parametrize("seed", range(PROPERTY_SEEDS))
+def test_image_monotone(seed):
+    """Bitset: ``a <= b`` implies ``image(a) <= image(b)`` (and pre)."""
+    backend, (a, b, _) = build("bitset", seed)
+    bigger = backend.union(a, b)
+    assert backend.subset(backend.image(a), backend.image(bigger))
+    assert backend.subset(backend.pre_image(a), backend.pre_image(bigger))
+
+
+@pytest.mark.parametrize("seed", range(PROPERTY_SEEDS))
+def test_galois_connection(seed):
+    """Bitset: ``image(S) <= T``  iff  ``S <= ~pre_image(~T)``.
+
+    The forward image and the *universal* pre-image (complement of the
+    existential pre-image of the complement) form a Galois connection;
+    checking the equivalence on random (S, T) pairs exercises image and
+    pre_image against each other with no oracle beyond complement.
+    """
+    backend, (s, t, _) = build("bitset", seed)
+    assert isinstance(backend, BitsetBackend)
+    lhs = backend.subset(backend.image(s), t)
+    universal_pre = backend.complement(
+        backend.pre_image(backend.complement(t))
+    )
+    rhs = backend.subset(s, universal_pre)
+    assert lhs == rhs
+
+
+@pytest.mark.parametrize("seed", range(PROPERTY_SEEDS))
+def test_image_union_distributes(seed):
+    """Bitset: image distributes over union (exact representations)."""
+    backend, (a, b, _) = build("bitset", seed)
+    assert backend.equal(
+        backend.image(backend.union(a, b)),
+        backend.union(backend.image(a), backend.image(b)),
+    )

@@ -1,0 +1,254 @@
+"""Unit tests for the logical-zonotope backend.
+
+Covers the GF(2) linear-algebra toolkit (canonical bases, affine
+solving), the canonical-coset handle, the exactness flag's semantics
+(exact on XOR-dominated structure, flagged over-approximation through
+AND residues and non-coset unions), and soundness of image / pre_image
+against the bitset oracle: the zonotope result must **never**
+under-approximate.
+"""
+
+import random
+
+import pytest
+
+from repro.backends import BitsetBackend, LogicalZonotopeBackend
+from repro.backends.zonotope import (
+    Zonotope,
+    in_span,
+    reduce_by,
+    rref,
+    solve_affine,
+)
+from repro.circuits.netlist import Circuit
+
+from tests.test_fuzz import random_circuit
+
+# ----------------------------------------------------------------------
+# GF(2) linear algebra
+# ----------------------------------------------------------------------
+
+
+def test_rref_is_canonical():
+    # Two presentations of the same span reduce to one basis.
+    a = rref([0b110, 0b011])
+    b = rref([0b101, 0b011, 0b110])
+    assert a == b
+    assert len(a) == 2
+
+
+def test_rref_drops_dependent_rows():
+    assert rref([0b101, 0b101, 0b000]) == (0b101,)
+    assert rref([]) == ()
+
+
+def test_reduce_and_membership():
+    basis = rref([0b110, 0b011])
+    lookup = {row.bit_length() - 1: row for row in basis}
+    assert reduce_by(0b101, lookup) == 0  # 101 = 110 ^ 011
+    assert in_span(0b101, basis)
+    assert not in_span(0b001, basis)
+
+
+def test_solve_affine_unique():
+    # x0 ^ x1 = 1, x1 = 1  =>  x = 10 (x1 set, x0 clear), no freedom.
+    solution = solve_affine([(0b11, 1), (0b10, 1)], unknowns=2)
+    assert solution is not None
+    particular, null_basis = solution
+    assert particular == 0b10
+    assert null_basis == []
+
+
+def test_solve_affine_underdetermined():
+    # x0 ^ x1 = 0  =>  {00, 11}.
+    particular, null_basis = solve_affine([(0b11, 0)], unknowns=2)
+    assert particular == 0
+    assert null_basis == [0b11]
+
+
+def test_solve_affine_inconsistent():
+    assert solve_affine([(0b01, 0), (0b01, 1)], unknowns=2) is None
+
+
+# ----------------------------------------------------------------------
+# Canonical coset handles
+# ----------------------------------------------------------------------
+
+
+def test_make_canonicalizes_presentation():
+    a = Zonotope.make(3, 0b000, [0b110, 0b011], exact=True)
+    b = Zonotope.make(3, 0b101, [0b101, 0b011], exact=True)
+    assert a.same_set(b)
+    assert a.rank == 2
+
+
+def _two_latch_backend(data_ops):
+    """A 2-latch, 1-input circuit with the given next-state nets."""
+    circuit = Circuit("zono-unit")
+    circuit.add_input("x0")
+    circuit.add_latch("q0", "g0", False)
+    circuit.add_latch("q1", "g1", False)
+    for name, (op, fanin) in data_ops.items():
+        circuit.add_gate(name, op, fanin)
+    circuit.add_output("g0")
+    return LogicalZonotopeBackend(circuit)
+
+
+def test_from_points_coset_is_exact():
+    backend = _two_latch_backend(
+        {"g0": ("BUF", ["q0"]), "g1": ("BUF", ["q1"])}
+    )
+    handle = backend.from_points(
+        [(False, False), (True, False), (False, True), (True, True)]
+    )
+    assert handle.exact
+    assert backend.count(handle) == 4
+
+
+def test_from_points_non_coset_flags_hull():
+    backend = _two_latch_backend(
+        {"g0": ("BUF", ["q0"]), "g1": ("BUF", ["q1"])}
+    )
+    handle = backend.from_points(
+        [(False, False), (True, False), (False, True)]
+    )
+    assert not handle.exact  # 3 points are not a coset; hull has 4
+    assert backend.count(handle) == 4
+    for point in [(False, False), (True, False), (False, True)]:
+        assert backend.contains(handle, point)
+
+
+def test_union_of_overlapping_cosets_can_stay_exact():
+    backend = _two_latch_backend(
+        {"g0": ("BUF", ["q0"]), "g1": ("BUF", ["q1"])}
+    )
+    a = backend.from_points([(False, False), (True, False)])
+    b = backend.from_points([(False, False), (False, True)])
+    union = backend.union(a, b)
+    # {00,10} | {00,01} has 3 states; the hull has 4 -> flagged.
+    assert not union.exact
+    assert backend.count(union) == 4
+    line = backend.from_points([(False, False), (True, False)])
+    assert backend.union(a, line).exact  # identical cosets stay exact
+
+
+def test_xor_image_is_exact():
+    backend = _two_latch_backend(
+        {"g0": ("XOR", ["q0", "x0"]), "g1": ("XOR", ["q0", "q1"])}
+    )
+    start = backend.from_points([(False, False)])
+    image = backend.image(start)
+    assert image.exact
+    assert set(backend.enumerate_states(image)) == {
+        (False, False),
+        (True, False),
+    }
+
+
+def test_and_image_flags_residue():
+    backend = _two_latch_backend(
+        {"g0": ("AND", ["q0", "x0"]), "g1": ("BUF", ["q1"])}
+    )
+    start = backend.universe()
+    image = backend.image(start)
+    assert not image.exact
+    # Sound: every true successor is inside the over-approximation.
+    bitset = BitsetBackend(backend.circuit)
+    truth = set(bitset.enumerate_states(bitset.image(bitset.universe())))
+    assert truth <= set(backend.enumerate_states(image))
+
+
+def test_and_of_identical_operands_stays_exact():
+    # x AND x == x is linear; no residue generator is spent on it.
+    backend = _two_latch_backend(
+        {"g0": ("AND", ["q0", "q0"]), "g1": ("BUF", ["q1"])}
+    )
+    image = backend.image(backend.universe())
+    assert image.exact
+    assert backend.count(image) == 4
+
+
+# ----------------------------------------------------------------------
+# Soundness vs the bitset oracle
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_image_never_under_approximates(seed):
+    circuit = random_circuit(seed, max_latches=4, max_inputs=2, max_gates=10)
+    zono = LogicalZonotopeBackend(circuit)
+    bitset = BitsetBackend(circuit)
+    rng = random.Random(seed ^ 0x5EED)
+    points = [
+        tuple(rng.random() < 0.5 for _ in range(circuit.num_latches))
+        for _ in range(rng.randint(1, 4))
+    ]
+    z = zono.image(zono.from_points(points))
+    truth = bitset.image(bitset.from_points(points))
+    zs = set(zono.enumerate_states(z))
+    ts = set(bitset.enumerate_states(truth))
+    assert ts <= zs, seed
+    if z.exact:
+        # Exactness of the *hull input* is part of the claim: an exact
+        # image of an exact set is exactly the true image.
+        assert zs == ts, seed
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_pre_image_never_under_approximates(seed):
+    circuit = random_circuit(seed, max_latches=4, max_inputs=2, max_gates=10)
+    zono = LogicalZonotopeBackend(circuit)
+    bitset = BitsetBackend(circuit)
+    rng = random.Random(seed ^ 0x7A12)
+    points = [
+        tuple(rng.random() < 0.5 for _ in range(circuit.num_latches))
+        for _ in range(rng.randint(1, 4))
+    ]
+    target_z = zono.from_points(points)
+    pre_z = zono.pre_image(target_z)
+    # The zonotope target is a hull of the points, so its true
+    # pre-image contains the pre-image of the points themselves.
+    truth = bitset.pre_image(bitset.from_points(points))
+    zs = set(zono.enumerate_states(pre_z))
+    ts = set(bitset.enumerate_states(truth))
+    assert ts <= zs, seed
+    if pre_z.exact:
+        # Exact flag => no relation residues and an exact target, so
+        # the pre-image is exactly the bitset pre-image of the hull.
+        hull_points = zono.enumerate_states(target_z)
+        hull_truth = bitset.pre_image(bitset.from_points(hull_points))
+        assert zs == set(bitset.enumerate_states(hull_truth)), seed
+
+
+def test_pre_image_exact_on_linear_relation():
+    backend = _two_latch_backend(
+        {"g0": ("XOR", ["q0", "x0"]), "g1": ("XOR", ["q0", "q1"])}
+    )
+    bitset = BitsetBackend(backend.circuit)
+    target = backend.from_points([(True, True)])
+    pre = backend.pre_image(target)
+    assert pre.exact
+    truth = bitset.pre_image(bitset.from_points([(True, True)]))
+    assert set(backend.enumerate_states(pre)) == set(
+        bitset.enumerate_states(truth)
+    )
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+
+
+def test_payload_round_trip():
+    circuit = random_circuit(5, max_latches=4, max_inputs=2, max_gates=10)
+    backend = LogicalZonotopeBackend(circuit)
+    handle = backend.union(
+        backend.initial(), backend.image(backend.initial())
+    )
+    clone = backend.from_payload(backend.to_payload(handle))
+    assert backend.equal(clone, handle)
+    assert clone.exact == handle.exact
+
+    empty = backend.from_payload(backend.to_payload(backend.empty()))
+    assert backend.equal(empty, backend.empty())
+    assert backend.count(empty) == 0

@@ -92,6 +92,28 @@ class TestExpandCells:
         assert expected_seconds(cell, {}) == DEFAULT_EXPECTED_SECONDS
         assert expected_seconds(cell, estimates) == DEFAULT_EXPECTED_SECONDS
 
+    def test_expected_seconds_for_backend_engines_without_baseline(self):
+        # Regression: the bitset/zono backend engines are registered in
+        # ENGINES but predate any BENCH_reach.json baseline, so every
+        # one of their cells exercises the degradation chain.  A
+        # KeyError here would take down batch scheduling for the whole
+        # eight-engine matrix.
+        estimates = {
+            "traffic/bfv": 2.5,
+            "traffic/tr": 7.0,
+            "s27/tr": 0.4,
+        }
+        for engine in ("bitset", "zono"):
+            # Same-circuit fallback: slowest recorded engine there.
+            [cell] = expand_cells(["traffic"], engine=engine, fallback=False)
+            assert expected_seconds(cell, estimates) == 7.0
+            # No signal at all: the finite documented default.
+            [cell] = expand_cells(["lfsr8"], engine=engine, fallback=False)
+            assert expected_seconds(cell, estimates) == (
+                DEFAULT_EXPECTED_SECONDS
+            )
+            assert expected_seconds(cell, {}) == DEFAULT_EXPECTED_SECONDS
+
     def test_expected_seconds_tolerates_bad_baseline(self, tmp_path):
         path = tmp_path / "BENCH_reach.json"
         path.write_text("{not json")

@@ -54,14 +54,18 @@ class TestReachTraceDir:
             # The dash in "bfv-sat" is rewritten: tags stay parseable
             # as dash-separated engine/order/circuit.
             "trace-bfv_sat-S1-s27.jsonl",
+            "trace-bitset-S1-s27.jsonl",
             "trace-cbm-S1-s27.jsonl",
             "trace-conj-S1-s27.jsonl",
             "trace-sat-S1-s27.jsonl",
             "trace-tr-S1-s27.jsonl",
+            "trace-zono-S1-s27.jsonl",
         ]
         main(["trace", trace_dir])
         out = capsys.readouterr().out
-        for engine in ("bfv", "cbm", "conj", "tr", "sat", "bfv-sat"):
+        for engine in (
+            "bfv", "cbm", "conj", "tr", "sat", "bfv-sat", "bitset", "zono"
+        ):
             assert "== %s / s27 / order S1 ==" % engine in out
 
     def test_harness_path_traces_too(self, tmp_path, capsys):

@@ -24,6 +24,10 @@ from repro.sim import explicit_reachable
 
 def reached_points(result):
     """Decode a completed run's reached set as latch-declaration tuples."""
+    if "reached_states" in result.extra:
+        # The non-BDD backend engines enumerate declaration-order
+        # tuples directly.
+        return set(result.extra["reached_states"])
     space = result.extra["space"]
     if "reached" in result.extra:
         points = set(result.extra["reached"].enumerate())
@@ -71,8 +75,15 @@ class TestEnginesMatchOracle:
         truth = explicit_reachable(circuit)
         result = ENGINES[engine](circuit)
         assert result.completed
-        assert result.num_states == len(truth)
-        assert reached_points(result) == truth
+        points = reached_points(result)
+        if engine == "zono" and not result.extra["exact"]:
+            # The zonotope engine's contract is containment: a sound,
+            # flagged over-approximation, never an under-approximation.
+            assert truth <= points
+            assert result.num_states == len(points) >= len(truth)
+        else:
+            assert result.num_states == len(truth)
+            assert points == truth
         assert result.iterations >= 1
         assert result.peak_live_nodes > 0
 
@@ -97,7 +108,11 @@ class TestSelectionHeuristic:
         truth = explicit_reachable(circuit)
         for flag in (True, False):
             result = ENGINES[engine](circuit, selection_heuristic=flag)
-            assert reached_points(result) == truth
+            points = reached_points(result)
+            if engine == "zono" and not result.extra["exact"]:
+                assert truth <= points
+            else:
+                assert points == truth
 
 
 class TestResourceLimits:

@@ -5,11 +5,17 @@ types, fan-ins, latch feedback); every property then crosses at least
 two independently implemented layers:
 
 * symbolic simulation vs the concrete simulator;
-* all six reachability engines vs explicit-state search (the
-  *differential campaign*: agreement on the reached-set characteristic
-  function, the state count, and the fix-point depth — exact depth for
-  the breadth-first engines, the saturation-depth contract
-  ``1 <= rounds <= bfs_depth`` for the chained engines);
+* the eight-engine *differential campaign*: the explicit **bitset
+  backend** (:mod:`repro.backends.bitset`, zero shared code with the
+  BDD substrate) is the ground truth — itself cross-checked against
+  :func:`repro.sim.explicit_reachable` on every seed — and all six
+  BDD-substrate engines must agree with it on the reached-set
+  characteristic function, the state count, and the fix-point depth
+  (exact depth for the breadth-first engines and the bitset engine,
+  the saturation-depth contract ``1 <= rounds <= bfs_depth`` for the
+  chained engines); the **logical-zonotope backend** is compared by
+  equality where its ``exact`` flag holds and containment-checked
+  (never an under-approximation) where it does not;
 * the same corpus pushed through the parallel batch scheduler, checking
   its jobs=1 vs jobs=N determinism guarantee on real work;
 * format round-trips (.bench and BLIF) vs reachable-set equality;
@@ -42,7 +48,17 @@ BFS_ENGINES = ("bfv", "tr", "cbm", "conj")
 #: contract asserted by the campaign).
 SATURATION_ENGINES = ("sat", "bfv-sat")
 
-ALL_ENGINES = BFS_ENGINES + SATURATION_ENGINES
+#: The six engines built on the shared BDD substrate — the audit
+#: subjects of the campaign.
+BDD_ENGINES = BFS_ENGINES + SATURATION_ENGINES
+
+#: Non-BDD set-representation backends (:mod:`repro.backends`):
+#: ``bitset`` is the campaign's exact ground truth, ``zono`` the
+#: exactness-flagged over-approximation.
+BACKEND_ENGINES = ("bitset", "zono")
+
+#: The full eight-engine differential matrix.
+ALL_ENGINES = BDD_ENGINES + BACKEND_ENGINES
 
 #: Number of seeds in the differential campaign.  The default keeps
 #: tier-1 fast; CI's differential job raises it (REPRO_FUZZ_SEEDS=200).
@@ -54,8 +70,26 @@ DIFFERENTIAL_SEEDS = int(os.environ.get("REPRO_FUZZ_SEEDS", "40"))
 SANITIZE_RATE = float(os.environ.get("REPRO_SANITIZE", "0") or "0") or None
 
 
-def random_circuit(seed: int, max_latches=5, max_inputs=3, max_gates=14) -> Circuit:
-    """A random, valid sequential circuit (deterministic per seed)."""
+#: Gate ops over GF(2)-linear functions only — circuits built from
+#: these are the logical-zonotope backend's best case (though even a
+#: purely linear transition map can reach a non-affine set, so
+#: exactness is still discovered per seed, not assumed).
+LINEAR_OPS = ["XOR", "XNOR", "NOT", "BUF"]
+
+#: Gate ops with no linear gates at all — every 2+-input gate spends a
+#: zonotope residue generator, the over-approximation worst case.
+AND_OPS = ["AND", "OR", "NAND", "NOR", "NOT", "BUF"]
+
+
+def random_circuit(
+    seed: int, max_latches=5, max_inputs=3, max_gates=14, ops=GATE_OPS
+) -> Circuit:
+    """A random, valid sequential circuit (deterministic per seed).
+
+    ``ops`` restricts the gate alphabet — :data:`LINEAR_OPS` /
+    :data:`AND_OPS` build the XOR-dominated and AND-heavy corpora the
+    zonotope exactness pins use.
+    """
     rng = random.Random(seed)
     circuit = Circuit("fuzz%d" % seed)
     n_inputs = rng.randint(1, max_inputs)
@@ -69,7 +103,7 @@ def random_circuit(seed: int, max_latches=5, max_inputs=3, max_gates=14) -> Circ
         "q%d" % i for i in range(n_latches)
     ]
     for i in range(n_gates):
-        op = rng.choice(GATE_OPS)
+        op = rng.choice(ops)
         if op in ("NOT", "BUF"):
             fanin = [rng.choice(available)]
         else:
@@ -118,13 +152,16 @@ def reached_states(result):
 
     Each engine leaves its reached-set representation in
     ``result.extra`` under a different key (a :class:`~repro.bfv.BFV`,
-    a conjunctive decomposition, or a plain characteristic function);
-    this normalizes all three to the explicit-search state format so
-    the differential campaign can compare characteristic functions, not
-    just cardinalities.
+    a conjunctive decomposition, a plain characteristic function, or —
+    for the backend engines — the already-enumerated
+    ``"reached_states"`` set); this normalizes all of them to the
+    explicit-search state format so the differential campaign can
+    compare characteristic functions, not just cardinalities.
     """
-    space = result.extra["space"]
     extra = result.extra
+    if "reached_states" in extra:
+        return set(extra["reached_states"])
+    space = extra["space"]
     if "reached" in extra:
         contains = extra["reached"].contains
     elif "reached_cd" in extra:
@@ -145,24 +182,41 @@ def reached_states(result):
 
 
 def assert_engines_agree(seed):
-    """One differential-campaign probe: all six engines vs the oracle.
+    """One differential-campaign probe: eight engines, bitset as oracle.
 
-    Asserts agreement on the reached-set characteristic function (by
-    exhaustive membership) and on the state count for every engine; on
-    the fix-point depth (iteration count) exactly for the breadth-first
-    engines, and via the saturation-depth contract
-    (``1 <= rounds <= bfs_depth``) for the chained engines — any
-    divergence in image computation, union exclusion conditions, or
-    fix-point detection shows up here.
+    The explicit bitset backend is the ground truth; before anything is
+    measured against it, it is itself cross-checked against
+    :func:`repro.sim.explicit_reachable` — two independently
+    implemented oracles must agree before either is trusted.  Every
+    BDD-substrate engine must then match the truth on the reached-set
+    characteristic function (by exhaustive membership) and on the state
+    count; on the fix-point depth (iteration count) exactly for the
+    breadth-first engines and the bitset engine, and via the
+    saturation-depth contract (``1 <= rounds <= bfs_depth``) for the
+    chained engines — any divergence in image computation, union
+    exclusion conditions, or fix-point detection shows up here.  The
+    zonotope backend is held to its exactness contract instead: set
+    equality whenever it reports ``exact``, and containment (sound
+    over-approximation, never an under-approximation) plus the
+    coset-growth iteration bound ``1 <= iters <= latches + 1``
+    otherwise.
     """
     circuit = random_circuit(seed, max_latches=4, max_inputs=2, max_gates=10)
-    truth = explicit_reachable(circuit)
+    truth = set(explicit_reachable(circuit))
+
+    ground = ENGINES["bitset"](circuit, sanitize=SANITIZE_RATE)
+    assert ground.completed, ("bitset", seed, ground.failure)
+    assert ground.extra["exact"] is True, seed
+    assert reached_states(ground) == truth, ("bitset-vs-explicit", seed)
+    assert ground.num_states == len(truth), ("bitset", seed)
+
     results = {}
-    for engine in ALL_ENGINES:
+    for engine in BDD_ENGINES:
         result = ENGINES[engine](circuit, sanitize=SANITIZE_RATE)
         assert result.completed, (engine, seed, result.failure)
         results[engine] = result
     depth = results[BFS_ENGINES[0]].iterations
+    assert ground.iterations == depth, ("bitset-depth", seed)
     for engine, result in results.items():
         assert result.num_states == len(truth), (engine, seed)
         if engine in SATURATION_ENGINES:
@@ -170,6 +224,15 @@ def assert_engines_agree(seed):
         else:
             assert result.iterations == depth, (engine, seed)
         assert reached_states(result) == truth, (engine, seed)
+
+    zono = ENGINES["zono"](circuit, sanitize=SANITIZE_RATE)
+    assert zono.completed, ("zono", seed, zono.failure)
+    zono_states = reached_states(zono)
+    assert truth <= zono_states, ("zono-under-approximation", seed)
+    assert zono.num_states == len(zono_states), ("zono-count", seed)
+    assert 1 <= zono.iterations <= circuit.num_latches + 1, ("zono", seed)
+    if zono.extra["exact"]:
+        assert zono_states == truth, ("zono-exact-mismatch", seed)
 
 
 @pytest.mark.parametrize("seed", range(DIFFERENTIAL_SEEDS))
@@ -188,6 +251,12 @@ def test_engines_agree_with_explicit(seed):
     for engine in ALL_ENGINES:
         result = ENGINES[engine](circuit)
         assert result.completed
+        if engine == "zono":
+            # Over-approximation contract: never fewer states than the
+            # truth, and rank growth bounds the iteration count.
+            assert result.num_states >= len(truth), (engine, seed)
+            assert 1 <= result.iterations <= circuit.num_latches + 1
+            continue
         assert result.num_states == len(truth), (engine, seed)
         if engine in SATURATION_ENGINES:
             assert 1 <= result.iterations <= depth, (engine, seed)
@@ -202,11 +271,13 @@ def test_fuzz_corpus_through_scheduler(tmp_path):
 
     Two cross-checks at once: the scheduler's determinism guarantee
     (jobs=1 and jobs=2 merged reports are byte-identical on real work)
-    and cross-engine agreement along the scheduler path (every engine
-    reports the same state count per corpus entry — breadth-first
-    engines additionally the same fix-point depth, saturation engines
-    the depth contract — with circuits resolved from .bench files in
-    supervised children).
+    and cross-engine agreement along the scheduler path for the full
+    eight-engine matrix (every exact engine reports the same state
+    count per corpus entry — breadth-first engines and the bitset
+    backend additionally the same fix-point depth, saturation engines
+    the depth contract, the zonotope backend the over-approximation
+    contract — with circuits resolved from .bench files in supervised
+    children).
     """
     from repro.harness import run_scheduled_batch
 
@@ -246,6 +317,13 @@ def test_fuzz_corpus_through_scheduler(tmp_path):
         assert summary.keys() == reference.keys(), engine
         for name, (iterations, num_states) in summary.items():
             ref_iterations, ref_num_states = reference[name]
+            if engine == "zono":
+                # Over-approximation: at least the exact count, and the
+                # coset-rank iteration bound (corpus circuits have at
+                # most 4 latches).
+                assert num_states >= ref_num_states, (engine, name)
+                assert 1 <= iterations <= 4 + 1, (engine, name)
+                continue
             assert num_states == ref_num_states, (engine, name)
             if engine in SATURATION_ENGINES:
                 # Saturation rounds obey the depth contract, not

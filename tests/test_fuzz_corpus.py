@@ -6,7 +6,11 @@ known-delicate corners — deep fix-points, near-empty and full reachable
 fractions, duplicate gate fan-ins (the duplicate-polarity cube path),
 XOR-heavy logic — so they run on every tier-1 invocation forever, plus
 direct regressions for the union exclusion-condition corner cases, the
-duplicate-polarity cube guard, and the expression depth limit.
+duplicate-polarity cube guard, and the expression depth limit.  A
+second corpus pins the zonotope backend's exactness frontier:
+XOR-dominated seeds where ``exact`` must hold with set equality, and
+AND-heavy seeds where the backend must flag (and bound) its
+over-approximation.
 """
 
 import itertools
@@ -17,8 +21,15 @@ from repro.bdd import BDD
 from repro.bdd.expr import parse
 from repro.bfv import BFV
 from repro.errors import ResourceLimitError, VariableError
+from repro.reach import ENGINES
+from repro.sim import explicit_reachable
 
-from tests.test_fuzz import assert_engines_agree
+from tests.test_fuzz import (
+    AND_OPS,
+    LINEAR_OPS,
+    assert_engines_agree,
+    random_circuit,
+)
 
 #: Structurally diverse seeds, picked by scanning seeds 0..400 of
 #: ``random_circuit(seed, max_latches=4, max_inputs=2, max_gates=10)``.
@@ -50,6 +61,95 @@ PINNED_SEEDS = (
 @pytest.mark.parametrize("seed", PINNED_SEEDS)
 def test_pinned_seed_differential(seed):
     assert_engines_agree(seed)
+
+
+#: XOR-dominated seeds (``random_circuit(..., ops=LINEAR_OPS)``) whose
+#: reachable set the zonotope backend represents **exactly**, picked by
+#: scanning seeds 0..250.  Exactness is a discovered property, not a
+#: consequence of linearity — see ``test_linear_circuit_can_be_inexact``
+#: — so each pin asserts the reported ``exact`` flag, the set equality
+#: it promises, and covers 1–4 latches and fix-point depths up to 4.
+ZONO_EXACT_SEEDS = (
+    4,    # 3 latches, depth 3, half the space reachable
+    9,    # 3 latches, dup fan-ins, half the space
+    24,   # 2 latches saturating to the full space
+    32,   # 2 latches, depth 3, full space
+    65,   # 3 latches, XNOR-heavy
+    191,  # 4 latches, depth 3, quarter of the space
+    221,  # 4 latches, depth 3, sparse
+    236,  # 4 latches, depth 4, 8 states — deepest exact pin
+    241,  # 3 latches, depth 3
+    247,  # 3 latches, depth 3, NOT/BUF chains between XORs
+)
+
+#: AND-heavy seeds (``random_circuit(..., ops=AND_OPS)``) where the
+#: zonotope backend *strictly* over-approximates (residue generators
+#: survive into the state columns), picked by scanning seeds 0..120 for
+#: blow-ups of 2x-8x.  Each pin asserts the ``exact`` flag is lowered
+#: and the result still contains the truth — the sound-over-approximation
+#: corner of the backend contract.
+ZONO_OVER_SEEDS = (
+    5,    # 3 latches: 8 reported vs 4 true states
+    16,   # 4 latches: full space vs 4 true states (4x blow-up)
+    46,   # 4 latches, depth 4: 8 vs 3
+    100,  # 4 latches, depth 4: 8 vs 2 — sparsest truth in the set
+    107,  # 4 latches, depth 5: full space vs 4
+)
+
+
+@pytest.mark.parametrize("seed", ZONO_EXACT_SEEDS)
+def test_zono_exact_on_xor_dominated(seed):
+    """XOR-dominated pins: ``exact`` is reported and truthful."""
+    circuit = random_circuit(
+        seed, max_latches=4, max_inputs=2, max_gates=10, ops=LINEAR_OPS
+    )
+    truth = set(explicit_reachable(circuit))
+    result = ENGINES["zono"](circuit)
+    assert result.completed, seed
+    assert result.extra["exact"] is True, seed
+    assert result.extra["reached_states"] == truth, seed
+    assert result.num_states == len(truth), seed
+    assert 1 <= result.iterations <= circuit.num_latches + 1, seed
+
+
+@pytest.mark.parametrize("seed", ZONO_OVER_SEEDS)
+def test_zono_over_approximates_and_heavy(seed):
+    """AND-heavy pins: ``exact`` is lowered, the set never shrinks."""
+    circuit = random_circuit(
+        seed, max_latches=4, max_inputs=2, max_gates=10, ops=AND_OPS
+    )
+    truth = set(explicit_reachable(circuit))
+    result = ENGINES["zono"](circuit)
+    assert result.completed, seed
+    assert result.extra["exact"] is False, seed
+    states = result.extra["reached_states"]
+    # Strictly more states than the truth: these pins are genuine
+    # over-approximation corners, not exact sets mislabelled inexact.
+    assert truth < states, seed
+    assert result.num_states == len(states) > len(truth), seed
+    # The bitset oracle agrees with the explicit searcher on the same
+    # circuit, so the "truth" side of the comparison is cross-checked.
+    ground = ENGINES["bitset"](circuit)
+    assert ground.extra["reached_states"] == truth, seed
+
+
+def test_linear_circuit_can_be_inexact():
+    """Linearity of the gates does not imply an affine reachable set.
+
+    Seed 16's LINEAR_OPS circuit reaches 9 of 16 states — an orbit of
+    an affine map need not be a coset (e.g. a GF(2) matrix of order 3
+    visits 3 points, never a power of two), which is why the zonotope
+    backend computes ``exact`` dynamically instead of trusting the gate
+    alphabet.
+    """
+    circuit = random_circuit(
+        16, max_latches=4, max_inputs=2, max_gates=10, ops=LINEAR_OPS
+    )
+    truth = set(explicit_reachable(circuit))
+    result = ENGINES["zono"](circuit)
+    assert result.completed
+    assert result.extra["exact"] is False
+    assert truth < result.extra["reached_states"]
 
 
 class TestUnionExclusionCorners:
