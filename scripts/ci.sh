@@ -17,6 +17,29 @@ echo "== repo-specific lint =="
 # external dependencies and always gate.
 python -m repro lint
 
+echo "== tracked bytecode check =="
+# .gitignore keeps __pycache__ out; this keeps it from sneaking back
+# into the index via a force-add.
+if [ -n "$(git ls-files '*.pyc' '*.pyo')" ]; then
+    echo "tracked bytecode files found:" >&2
+    git ls-files '*.pyc' '*.pyo' >&2
+    exit 1
+fi
+
+echo "== deep lint (dataflow + call graph) =="
+# The interprocedural analyzer (R101-R104 handle lifetimes, R201-R204
+# concurrency; see docs/analysis.md and DESIGN.md section 17), gated
+# against the committed baseline and a 60-second wall-time budget so
+# the analysis stays cheap enough to run on every push.
+DEEP_START=$SECONDS
+python -m repro lint --deep --baseline lint-baseline.json
+DEEP_SECONDS=$((SECONDS - DEEP_START))
+echo "deep lint wall time: ${DEEP_SECONDS}s"
+if [ "$DEEP_SECONDS" -ge 60 ]; then
+    echo "deep lint exceeded the 60s budget (${DEEP_SECONDS}s)" >&2
+    exit 1
+fi
+
 # Generic strict tooling (config in pyproject.toml) is an optional
 # dependency like pytest-cov below: CI installs ruff+mypy, local runs
 # without them simply skip the gates.

@@ -18,6 +18,16 @@ machine-checkable:
   (R001), no nondeterminism in byte-identical output paths (R002), no
   node handles held across ``collect_garbage`` without incref (R003),
   no bare ``except`` in the harness (R004).
+
+* :mod:`repro.analysis.dataflow` (+ :mod:`repro.analysis.callgraph`) —
+  the flow-sensitive, interprocedural deep analyzer behind
+  ``python -m repro lint --deep``: BDD handle lifetimes through a
+  may-state lattice (leak R101, use-after-release R102, double release
+  R103, unprotected handle across a may-GC call R104) and
+  concurrency/fork-safety rules (blocking call in ``async def`` R201,
+  lock-guarded attribute mutated unlocked R202, fork after non-daemon
+  thread R203, wall clock in the monotonic domain R204).  Intentional
+  suppressions live in the repo-root ``lint-baseline.json``.
 """
 
 from .sanitizer import (

@@ -1,0 +1,389 @@
+"""Project call graph + effect summaries for the deep analyzer.
+
+The deep lint rules (:mod:`repro.analysis.dataflow`) are interprocedural:
+R104 must know whether ``monitor.checkpoint(...)`` can reach a
+``collect_garbage`` three calls down, and R203 must know whether a call
+eventually forks.  This module builds the supporting structure once per
+``lint --deep`` run:
+
+* a :class:`FunctionInfo` per function/method in the analyzed tree,
+  keyed by ``"dotted.module:Class.method"`` qualnames;
+* conservative call resolution — local names, ``from``-imports between
+  analyzed modules, ``self.method(...)`` within a class, and (for
+  *may*-effect purposes only) attribute calls matched by method name
+  against every analyzed class;
+* boolean **effect summaries** propagated to a fixpoint over the graph:
+  ``may_gc`` (can reach ``collect_garbage``/``maybe_collect``),
+  ``may_fork`` (can reach ``os.fork`` / a ``Process``/
+  ``ProcessPoolExecutor`` spawn) and ``may_start_thread`` (can reach a
+  non-daemon ``threading.Thread`` creation).
+
+Resolution is deliberately *may*-directed: when an attribute call could
+target several same-named methods, every candidate's effects are
+unioned.  That overshoots for effect propagation (safe for the rules
+built on top, which only consume the summaries defensively) and never
+invents an edge for names the project does not define.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Direct GC primitives (methods of :class:`repro.bdd.BDD`).
+GC_PRIMITIVES = frozenset(["collect_garbage", "maybe_collect"])
+
+#: Call shapes that create another process.
+FORK_PRIMITIVES = frozenset(["fork", "forkpty"])
+PROCESS_SPAWNERS = frozenset(["Process", "ProcessPoolExecutor"])
+
+
+def _posix(path: str) -> str:
+    return path.replace(os.sep, "/")
+
+
+def module_name(path: str) -> str:
+    """Dotted module name for ``path``, rooted at the ``repro`` package.
+
+    Files outside a ``repro`` package root (fixtures, scratch files) get
+    their basename so they still participate in intra-module resolution.
+    """
+    parts = _posix(path).split("/")
+    stem = parts[-1][:-3] if parts[-1].endswith(".py") else parts[-1]
+    if "repro" in parts[:-1]:
+        root = len(parts) - 1 - parts[:-1][::-1].index("repro")
+        dotted = parts[root:-1] + ([] if stem == "__init__" else [stem])
+        return ".".join(dotted)
+    return stem
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Dotted string of a Name/Attribute chain (``a.b.c``), else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class CallSite:
+    """One call expression inside a function body."""
+
+    __slots__ = ("node", "line", "func_name", "dotted", "receiver")
+
+    def __init__(self, node: ast.Call) -> None:
+        self.node = node
+        self.line = node.lineno
+        self.dotted = dotted_name(node.func)
+        if isinstance(node.func, ast.Name):
+            self.func_name: Optional[str] = node.func.id
+            self.receiver: Optional[str] = None
+        elif isinstance(node.func, ast.Attribute):
+            self.func_name = node.func.attr
+            self.receiver = dotted_name(node.func.value)
+        else:
+            self.func_name = None
+            self.receiver = None
+
+
+class FunctionInfo:
+    """One analyzed function/method and its locally visible facts."""
+
+    __slots__ = (
+        "qualname",
+        "name",
+        "path",
+        "module",
+        "cls",
+        "node",
+        "is_async",
+        "calls",
+        "may_gc",
+        "may_fork",
+        "may_start_thread",
+    )
+
+    def __init__(
+        self,
+        qualname: str,
+        path: str,
+        module: str,
+        cls: Optional[str],
+        node: ast.AST,
+    ) -> None:
+        self.qualname = qualname
+        self.name = node.name  # type: ignore[attr-defined]
+        self.path = path
+        self.module = module
+        self.cls = cls
+        self.node = node
+        self.is_async = isinstance(node, ast.AsyncFunctionDef)
+        self.calls: List[CallSite] = []
+        # Effect seeds (direct primitives); widened by the fixpoint.
+        self.may_gc = False
+        self.may_fork = False
+        self.may_start_thread = False
+
+
+def _is_nondaemon_thread_ctor(call: ast.Call) -> bool:
+    """``threading.Thread(...)`` (or bare ``Thread(...)``) without
+    ``daemon=True``."""
+    name = dotted_name(call.func)
+    if name not in ("threading.Thread", "Thread"):
+        return False
+    for kw in call.keywords:
+        if kw.arg == "daemon":
+            return not (
+                isinstance(kw.value, ast.Constant) and kw.value.value is True
+            )
+    return True
+
+
+def _is_fork_call(site: CallSite) -> bool:
+    if site.dotted in ("os.fork", "os.forkpty"):
+        return True
+    return site.func_name in PROCESS_SPAWNERS
+
+
+class ModuleInfo:
+    """Parsed module: imports and the functions defined in it."""
+
+    def __init__(self, path: str, tree: ast.Module) -> None:
+        self.path = path
+        self.module = module_name(path)
+        self.tree = tree
+        #: local alias -> imported dotted target ("from x import f" maps
+        #: ``f`` to ``x.f``; "import x.y as z" maps ``z`` to ``x.y``).
+        self.imports: Dict[str, str] = {}
+        self._collect_imports()
+
+    def _collect_imports(self) -> None:
+        package = self.module.rsplit(".", 1)[0] if "." in self.module else ""
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.imports[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    # Resolve "from ..x import f" against this module's
+                    # package; over-truncation just fails to resolve.
+                    anchor = self.module.split(".")
+                    anchor = anchor[: max(0, len(anchor) - node.level)]
+                    base = ".".join(anchor + ([base] if base else []))
+                elif not base:
+                    base = package
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.imports[alias.asname or alias.name] = (
+                        base + "." + alias.name if base else alias.name
+                    )
+
+
+class CallGraph:
+    """Functions of every analyzed file + effect summaries at fixpoint."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: method name -> every class method with that name (may-targets)
+        self.methods_by_name: Dict[str, List[str]] = {}
+        #: bare function name -> module-level functions with that name
+        self.functions_by_name: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_module(self, path: str, tree: ast.Module) -> None:
+        info = ModuleInfo(path, tree)
+        self.modules[info.module] = info
+        self._collect_functions(info)
+
+    def _collect_functions(self, module: ModuleInfo) -> None:
+        def visit(node: ast.AST, cls: Optional[str], nesting: str) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.ClassDef):
+                    visit(child, child.name, nesting)
+                elif isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    local = (
+                        (cls + "." if cls else "")
+                        + (nesting + "." if nesting else "")
+                        + child.name
+                    )
+                    qualname = module.module + ":" + local
+                    info = FunctionInfo(
+                        qualname, module.path, module.module, cls, child
+                    )
+                    self.functions[qualname] = info
+                    if cls:
+                        self.methods_by_name.setdefault(
+                            child.name, []
+                        ).append(qualname)
+                    elif not nesting:
+                        self.functions_by_name.setdefault(
+                            child.name, []
+                        ).append(qualname)
+                    self._collect_calls(info)
+                    visit(child, cls, nesting + "." + child.name if nesting
+                          else child.name)
+                else:
+                    visit(child, cls, nesting)
+
+        visit(module.tree, None, "")
+
+    def _collect_calls(self, info: FunctionInfo) -> None:
+        """Record calls + effect seeds in ``info``'s own body only."""
+        body: ast.AST = info.node
+
+        def visit(node: ast.AST) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ):
+                    continue  # nested defs have their own FunctionInfo
+                if isinstance(child, ast.Call):
+                    site = CallSite(child)
+                    info.calls.append(site)
+                    if site.func_name in GC_PRIMITIVES:
+                        info.may_gc = True
+                    if _is_fork_call(site):
+                        info.may_fork = True
+                    if _is_nondaemon_thread_ctor(child):
+                        info.may_start_thread = True
+                visit(child)
+
+        visit(body)
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+
+    def resolve(self, caller: FunctionInfo, site: CallSite) -> List[str]:
+        """Qualnames ``site`` may target (empty when unknown/external)."""
+        targets: List[str] = []
+        if site.receiver is None and site.func_name:
+            name = site.func_name
+            local = caller.module + ":" + name
+            if local in self.functions:
+                return [local]
+            nested = (
+                caller.module
+                + ":"
+                + (caller.cls + "." if caller.cls else "")
+                + caller.name
+                + "."
+                + name
+            )
+            if nested in self.functions:
+                return [nested]
+            imported = self._resolve_import(caller.module, name)
+            if imported:
+                return [imported]
+            # Same-named class: calling the constructor runs __init__.
+            init = self.methods_by_name.get("__init__", [])
+            targets = [q for q in init if q.split(":")[1].split(".")[0] == name]
+            if targets:
+                return targets
+            return []
+        if site.receiver == "self" and caller.cls and site.func_name:
+            own = caller.module + ":" + caller.cls + "." + site.func_name
+            if own in self.functions:
+                return [own]
+        if site.receiver and site.func_name:
+            # Module-qualified call through an import alias.
+            module_info = self.modules.get(caller.module)
+            if module_info is not None:
+                target_mod = module_info.imports.get(site.receiver)
+                if target_mod and target_mod in self.modules:
+                    qual = target_mod + ":" + site.func_name
+                    if qual in self.functions:
+                        return [qual]
+            # Unknown receiver: every same-named method is a may-target.
+            return list(self.methods_by_name.get(site.func_name, ()))
+        return targets
+
+    def _resolve_import(self, module: str, name: str) -> Optional[str]:
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        target = info.imports.get(name)
+        if not target:
+            return None
+        if "." in target:
+            mod, _, attr = target.rpartition(".")
+            if mod in self.modules:
+                qual = mod + ":" + attr
+                if qual in self.functions:
+                    return qual
+        if target in self.modules:
+            return None  # a module object, not a function
+        return None
+
+    # ------------------------------------------------------------------
+    # Effect fixpoint
+    # ------------------------------------------------------------------
+
+    def propagate_effects(self) -> None:
+        """Union callee effects into callers until nothing changes."""
+        callees: Dict[str, Set[str]] = {}
+        for qual, info in self.functions.items():
+            outs: Set[str] = set()
+            for site in info.calls:
+                outs.update(self.resolve(info, site))
+            callees[qual] = outs
+        changed = True
+        while changed:
+            changed = False
+            for qual, info in self.functions.items():
+                for callee in callees[qual]:
+                    target = self.functions.get(callee)
+                    if target is None:
+                        continue
+                    for effect in ("may_gc", "may_fork", "may_start_thread"):
+                        if getattr(target, effect) and not getattr(
+                            info, effect
+                        ):
+                            setattr(info, effect, True)
+                            changed = True
+
+    # ------------------------------------------------------------------
+    # Queries used by the rules
+    # ------------------------------------------------------------------
+
+    def site_effects(
+        self, caller: FunctionInfo, site: CallSite
+    ) -> Tuple[bool, bool, bool]:
+        """(may_gc, may_fork, may_start_thread) of one call site."""
+        gc = site.func_name in GC_PRIMITIVES
+        fork = _is_fork_call(site)
+        thread = _is_nondaemon_thread_ctor(site.node)
+        for qual in self.resolve(caller, site):
+            target = self.functions.get(qual)
+            if target is None:
+                continue
+            gc = gc or target.may_gc
+            fork = fork or target.may_fork
+            thread = thread or target.may_start_thread
+        return gc, fork, thread
+
+
+def build_call_graph(
+    sources: Iterable[Tuple[str, ast.Module]]
+) -> CallGraph:
+    """Build + summarize a call graph from ``(path, tree)`` pairs."""
+    graph = CallGraph()
+    for path, tree in sources:
+        graph.add_module(path, tree)
+    graph.propagate_effects()
+    return graph

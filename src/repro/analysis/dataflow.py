@@ -1,0 +1,1041 @@
+"""Deep lint (``python -m repro lint --deep``): interprocedural dataflow.
+
+Where :mod:`repro.analysis.lint` is syntactic, this module is
+*flow-sensitive* (statement-level CFG per function, worklist to a
+fixpoint) and *interprocedural* (call graph + effect summaries from
+:mod:`repro.analysis.callgraph`).  Two rule families:
+
+**Handle lifetime (R101-R104).**  BDD node handles are plain ints whose
+storage the manager reuses after GC; the engines therefore follow a
+strict ``incref``/``decref`` discipline.  Each local bound to a handle
+is abstracted into a small lattice of atoms:
+
+* ``UNPROT`` — bound from a node-producing manager op, *not* protected;
+* ``OWNED``  — protected by ``incref`` (one external reference);
+* ``RELEASED`` — ``decref``'ed; the slot may be reused at the next GC;
+* ``STALE`` — an unprotected handle that crossed a call which may reach
+  ``collect_garbage``/``maybe_collect`` (transitive summary);
+* ``ESCAPED`` — returned/yielded, stored into a container or attribute,
+  captured by a closure, or passed to a call the analysis cannot see
+  through — ownership left the function, all bets (and rules) are off.
+
+States merge by union at CFG joins, so every atom means "on some path".
+
+* ``R101`` — at function exit a var may still be ``OWNED`` and *no*
+  path released or escaped it: a permanent external-reference leak.
+* ``R102`` — a var that is ``RELEASED`` on **every** path is used.
+* ``R103`` — a var that is ``RELEASED`` on **every** path is
+  ``decref``'ed again.
+* ``R104`` — a ``STALE`` var is used (generalizes the syntactic R003:
+  the GC need not be a literal ``collect_garbage`` in this function).
+
+**Concurrency / fork safety (R201-R204).**
+
+* ``R201`` — a blocking call (``time.sleep``, ``subprocess.*``, bare
+  ``open``, un-awaited ``*lock*.acquire()``, …) directly inside an
+  ``async def`` stalls the whole event loop.
+* ``R202`` — a class initializes ``self.<lock> = threading.Lock()`` and
+  mutates some ``self.<attr>`` under ``with self.<lock>`` — any
+  mutation of that attribute *outside* a lock block (``__init__``
+  excepted) is a data race.
+* ``R203`` — a non-daemon ``threading.Thread`` is created and *later on
+  the same path* something forks (``os.fork`` / ``Process`` spawn,
+  found transitively): the child inherits locked locks and deadlocks.
+* ``R204`` — ``time.time`` in the tracer's monotonic-clock domain
+  (``repro/obs/``, ``repro/serve/``); durations must use
+  ``time.monotonic`` (wall stamps need a justified ``noqa``).
+
+Known unsoundness (deliberate, documented in DESIGN.md §17): aliasing
+beyond single-assignment moves is untracked, handles stored in
+containers are not followed, ``ESCAPED`` silences all later rules for
+the var, and attribute calls resolve by method name (may-targets).
+Suppression: the shared ``# noqa: RXXX`` machinery, or a committed
+baseline (``--baseline lint-baseline.json``).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .callgraph import (
+    CallGraph,
+    CallSite,
+    FunctionInfo,
+    build_call_graph,
+    dotted_name,
+)
+from .lint import (
+    Finding,
+    _NODE_OPS,
+    _noqa_codes,
+    _posix,
+    iter_python_files,
+    lint_source,
+    remap_decorator_lines,
+)
+
+#: Deep rule catalog (the shallow R0xx catalog lives in lint.py).
+DEEP_RULES: Dict[str, str] = {
+    "R101": "handle acquired but never released or escaped on some path",
+    "R102": "handle used after decref/release",
+    "R103": "handle released twice",
+    "R104": "unprotected handle crosses a call that may trigger GC",
+    "R201": "blocking call inside async def stalls the event loop",
+    "R202": "lock-guarded attribute mutated outside the lock",
+    "R203": "fork/Process spawn after non-daemon thread creation",
+    "R204": "time.time where the monotonic-clock discipline applies",
+}
+
+#: Release method names (R102/R103).  ``release`` variants with a handle
+#: argument count; the bare ``obj.release()`` convention does not.
+_RELEASE_OPS = frozenset(["decref"])
+
+#: Directly blocking calls for R201 (dotted names).
+_BLOCKING_CALLS = frozenset(
+    [
+        "time.sleep",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "os.system",
+        "os.wait",
+        "os.waitpid",
+        "socket.create_connection",
+        "urllib.request.urlopen",
+    ]
+)
+
+#: Mutating container-method names used by R202 discovery/violation.
+_MUTATORS = frozenset(
+    [
+        "append",
+        "appendleft",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "setdefault",
+        "update",
+    ]
+)
+
+#: Lock factory callables recognized by R202.
+_LOCK_FACTORIES = frozenset(
+    ["Lock", "RLock", "Condition", "threading.Lock", "threading.RLock",
+     "threading.Condition"]
+)
+
+#: R204 scope: the packages living under the tracer's monotonic-clock
+#: discipline (durations and deadlines there must never use wall time).
+_MONOTONIC_SCOPES = ("repro/obs/", "repro/serve/")
+
+_WALL_CLOCK = frozenset(["time.time", "time.time_ns"])
+
+
+# ======================================================================
+# Statement-level CFG
+# ======================================================================
+
+
+class _CFG:
+    """Statement nodes + successor edges; -1 is the virtual exit."""
+
+    EXIT = -1
+
+    def __init__(self) -> None:
+        self.stmts: List[ast.stmt] = []
+        self.succ: Dict[int, Set[int]] = {}
+
+    def add(self, stmt: ast.stmt) -> int:
+        node = len(self.stmts)
+        self.stmts.append(stmt)
+        self.succ[node] = set()
+        return node
+
+    def edge(self, src: int, dst: int) -> None:
+        if src != self.EXIT:
+            self.succ[src].add(dst)
+
+
+def _build_cfg(fn: ast.AST) -> Tuple[_CFG, int]:
+    """CFG of ``fn``'s body; returns (cfg, entry node id).
+
+    ``try`` bodies approximate exceptions by edging every contained
+    statement to every handler; loops get back edges; ``break`` /
+    ``continue`` / ``return`` / ``raise`` divert normally.
+    """
+    cfg = _CFG()
+    entry_marker = cfg.add(ast.Pass(lineno=fn.lineno, col_offset=0))
+
+    def build(
+        body: Sequence[ast.stmt],
+        preds: List[int],
+        loop: Optional[Tuple[int, List[int]]],
+        handlers: List[int],
+    ) -> List[int]:
+        """Wire ``body`` after ``preds``; returns the fallthrough set.
+
+        ``loop`` is (header_node, break_sinks); ``handlers`` are the
+        entry nodes of enclosing except clauses.
+        """
+        current = list(preds)
+        for stmt in body:
+            node = cfg.add(stmt)
+            for pred in current:
+                cfg.edge(pred, node)
+            for handler in handlers:
+                cfg.edge(node, handler)
+            current = [node]
+            if isinstance(stmt, (ast.Return, ast.Raise)):
+                cfg.edge(node, _CFG.EXIT)
+                current = []
+            elif isinstance(stmt, ast.Break):
+                if loop is not None:
+                    loop[1].append(node)
+                current = []
+            elif isinstance(stmt, ast.Continue):
+                if loop is not None:
+                    cfg.edge(node, loop[0])
+                current = []
+            elif isinstance(stmt, ast.If):
+                then = build(stmt.body, [node], loop, handlers)
+                if stmt.orelse:
+                    other = build(stmt.orelse, [node], loop, handlers)
+                else:
+                    other = [node]
+                current = then + other
+            elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                breaks: List[int] = []
+                tails = build(stmt.body, [node], (node, breaks), handlers)
+                for tail in tails:
+                    cfg.edge(tail, node)
+                after = [node] + breaks
+                if stmt.orelse:
+                    after = build(stmt.orelse, after, loop, handlers)
+                current = after
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                current = build(stmt.body, [node], loop, handlers)
+            elif isinstance(stmt, ast.Try):
+                handler_entries: List[int] = []
+                handler_tails: List[int] = []
+                for clause in stmt.handlers:
+                    hnode = cfg.add(clause)
+                    handler_entries.append(hnode)
+                    handler_tails.extend(
+                        build(clause.body, [hnode], loop, handlers)
+                    )
+                body_tails = build(
+                    stmt.body, [node], loop, handlers + handler_entries
+                )
+                cfg.succ[node].update(handler_entries)
+                if stmt.orelse:
+                    body_tails = build(stmt.orelse, body_tails, loop, handlers)
+                joined = body_tails + handler_tails
+                if stmt.finalbody:
+                    joined = build(stmt.finalbody, joined, loop, handlers)
+                current = joined
+            elif hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+                tails: List[int] = []
+                for case in stmt.cases:
+                    tails.extend(build(case.body, [node], loop, handlers))
+                current = tails + [node]
+        return current
+
+    body = getattr(fn, "body", [])
+    tails = build(body, [entry_marker], None, [])
+    for tail in tails:
+        cfg.edge(tail, _CFG.EXIT)
+    return cfg, entry_marker
+
+
+# ======================================================================
+# Handle-lifetime analysis (R101-R104)
+# ======================================================================
+
+# Atom kinds (each atom is (kind, line)).
+_OWNED = "OWNED"
+_UNPROT = "UNPROT"
+_RELEASED = "RELEASED"
+_STALE = "STALE"
+_ESCAPED = "ESCAPED"
+
+_State = Dict[str, FrozenSet[Tuple[str, int]]]
+
+
+def _merge(into: _State, other: _State) -> bool:
+    changed = False
+    for name, atoms in other.items():
+        prior = into.get(name)
+        if prior is None:
+            into[name] = atoms
+            changed = True
+        else:
+            union = prior | atoms
+            if union != prior:
+                into[name] = union
+                changed = True
+    return changed
+
+
+def _names_loaded(expr: ast.AST) -> Set[str]:
+    return {
+        n.id
+        for n in ast.walk(expr)
+        if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+    }
+
+
+class _HandleChecker:
+    """Runs the handle lattice over one function's CFG."""
+
+    def __init__(
+        self,
+        info: FunctionInfo,
+        graph: CallGraph,
+        path: str,
+    ) -> None:
+        self.info = info
+        self.graph = graph
+        self.path = path
+        self.findings: List[Finding] = []
+        self._reported: Set[Tuple[str, str, int]] = set()
+        #: var -> dotted receiver it was acquired from (e.g. "bdd").
+        self.manager: Dict[str, str] = {}
+
+    # -- reporting ------------------------------------------------------
+
+    def _report(self, rule: str, line: int, key: str, message: str) -> None:
+        stamp = (rule, key, line)
+        if stamp in self._reported:
+            return
+        self._reported.add(stamp)
+        self.findings.append(Finding(self.path, line, rule, message))
+
+    # -- helpers --------------------------------------------------------
+
+    @staticmethod
+    def _is_method_call(
+        node: ast.AST, names: Iterable[str]
+    ) -> Optional[ast.Call]:
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in names
+        ):
+            return node
+        return None
+
+    def _receiver(self, call: ast.Call) -> Optional[str]:
+        assert isinstance(call.func, ast.Attribute)
+        return dotted_name(call.func.value)
+
+    def _site_may_gc(self, call: ast.Call) -> bool:
+        site = CallSite(call)
+        gc, _, _ = self.graph.site_effects(self.info, site)
+        return gc
+
+    # -- per-statement transfer ----------------------------------------
+
+    @staticmethod
+    def _roots(stmt: ast.stmt) -> List[ast.AST]:
+        """The parts of ``stmt`` evaluated *at this CFG node*.
+
+        Compound statements appear in the CFG as their header only —
+        their bodies are separate nodes — so only the header expression
+        belongs to this transfer.
+        """
+        if isinstance(stmt, (ast.If, ast.While)):
+            return [stmt.test]
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return [stmt.iter, stmt.target]
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            roots: List[ast.AST] = []
+            for item in stmt.items:
+                roots.append(item.context_expr)
+                if item.optional_vars is not None:
+                    roots.append(item.optional_vars)
+            return roots
+        if isinstance(stmt, ast.Try):
+            return []
+        if isinstance(stmt, ast.ExceptHandler):
+            return [stmt.type] if stmt.type is not None else []
+        if hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+            return [stmt.subject]
+        return [stmt]
+
+    def transfer(self, stmt: ast.stmt, state: _State) -> _State:
+        state = dict(state)
+        line = getattr(stmt, "lineno", 0)
+
+        # Closure capture: a nested def/lambda freezes every referenced
+        # tracked var into ESCAPED (the closure may outlive this frame).
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for name in _names_loaded(stmt):
+                if name in state:
+                    state[name] = frozenset([(_ESCAPED, line)])
+            return state
+
+        roots = self._roots(stmt)
+
+        def walk_all() -> Iterable[ast.AST]:
+            for root in roots:
+                yield from ast.walk(root)
+
+        calls = [n for n in walk_all() if isinstance(n, ast.Call)]
+        lambdas = [n for n in walk_all() if isinstance(n, ast.Lambda)]
+
+        # Special patterns consume their own Name loads.
+        special_loads: Set[int] = set()
+        increfs: List[ast.Call] = []
+        decrefs: List[ast.Call] = []
+        for call in calls:
+            if self._is_method_call(call, ("incref",)):
+                increfs.append(call)
+                special_loads.update(id(a) for a in call.args)
+            elif self._is_method_call(call, _RELEASE_OPS):
+                decrefs.append(call)
+                special_loads.update(id(a) for a in call.args)
+
+        # 1. Use checks (R102 / R104) on every other Name load.
+        for node in walk_all():
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and id(node) not in special_loads
+            ):
+                atoms = state.get(node.id)
+                if not atoms:
+                    continue
+                kinds = {kind for kind, _ in atoms}
+                if kinds == {_RELEASED}:
+                    rel = max(ln for _, ln in atoms)
+                    self._report(
+                        "R102",
+                        line,
+                        node.id,
+                        "handle %r used after decref at line %d (the node "
+                        "slot may be reused by the next GC)"
+                        % (node.id, rel),
+                    )
+                elif _STALE in kinds:
+                    gc_line = max(ln for kind, ln in atoms if kind == _STALE)
+                    self._report(
+                        "R104",
+                        line,
+                        node.id,
+                        "unprotected handle %r used after the call at line "
+                        "%d, which may trigger garbage collection "
+                        "(incref it, pass it as a root, or re-derive it)"
+                        % (node.id, gc_line),
+                    )
+
+        # 2. Release effects (R103).
+        for call in decrefs:
+            for arg in call.args:
+                if not isinstance(arg, ast.Name):
+                    continue
+                atoms = state.get(arg.id)
+                if atoms and {kind for kind, _ in atoms} == {_RELEASED}:
+                    rel = max(ln for _, ln in atoms)
+                    self._report(
+                        "R103",
+                        line,
+                        arg.id,
+                        "handle %r released twice (previous decref at "
+                        "line %d)" % (arg.id, rel),
+                    )
+                state[arg.id] = frozenset([(_RELEASED, line)])
+
+        # 3. Bare incref protects its argument in place.
+        assigned_call = (
+            stmt.value
+            if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call)
+            else None
+        )
+        for call in increfs:
+            receiver = self._receiver(call) or ""
+            for arg in call.args:
+                if isinstance(arg, ast.Name):
+                    if call is assigned_call:
+                        # ``x = m.incref(y)``: x takes the new reference;
+                        # y's unprotected handle is covered while x owns.
+                        if arg.id in state and not any(
+                            kind == _OWNED for kind, _ in state[arg.id]
+                        ):
+                            state[arg.id] = frozenset([(_ESCAPED, line)])
+                    elif arg.id in state:
+                        # Bare incref protects a handle we saw acquired.
+                        # Untracked names (parameters, loop targets over
+                        # self-owned containers) are pins on behalf of
+                        # someone else — no local obligation.
+                        state[arg.id] = frozenset([(_OWNED, line)])
+                        self.manager[arg.id] = receiver
+
+        # 4. Escapes through calls/stores/returns/closures.
+        escaping: Set[str] = set()
+        for call in calls:
+            if call in increfs or call in decrefs:
+                continue
+            receiver = (
+                dotted_name(call.func.value)
+                if isinstance(call.func, ast.Attribute)
+                else None
+            )
+            for node in ast.walk(call):
+                if node is call.func:
+                    continue
+                if isinstance(node, ast.Name) and isinstance(
+                    node.ctx, ast.Load
+                ):
+                    if node.id not in state:
+                        continue
+                    # Calls on the handle's own manager (``bdd.or_(x, y)``)
+                    # neither store nor free their arguments.
+                    if receiver is not None and receiver == self.manager.get(
+                        node.id, "\0"
+                    ):
+                        continue
+                    escaping.add(node.id)
+        for lam in lambdas:
+            escaping |= {n for n in _names_loaded(lam) if n in state}
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            value = stmt.value if isinstance(stmt, ast.Return) else stmt.exc
+            if value is not None:
+                escaping |= {n for n in _names_loaded(value) if n in state}
+        if isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, (ast.Yield, ast.YieldFrom, ast.Await)
+        ):
+            escaping |= {n for n in _names_loaded(stmt.value) if n in state}
+        for node in walk_all():
+            # Storing into a container or attribute publishes the handle.
+            if isinstance(node, (ast.Attribute, ast.Subscript)) and isinstance(
+                node.ctx, ast.Store
+            ):
+                parent_stmt_names = (
+                    _names_loaded(stmt.value)
+                    if isinstance(stmt, (ast.Assign, ast.AugAssign))
+                    else set()
+                )
+                escaping |= {n for n in parent_stmt_names if n in state}
+            if isinstance(
+                node, (ast.List, ast.Tuple, ast.Dict, ast.Set)
+            ) and not isinstance(getattr(node, "ctx", ast.Load()), ast.Store):
+                for sub in ast.walk(node):
+                    if (
+                        isinstance(sub, ast.Name)
+                        and isinstance(sub.ctx, ast.Load)
+                        and sub.id in state
+                    ):
+                        escaping.add(sub.id)
+        for name in escaping:
+            state[name] = frozenset([(_ESCAPED, line)])
+
+        # 5. GC effect: any surviving UNPROT handle not handed to the
+        #    GC-capable call as an argument goes STALE.
+        for call in calls:
+            if call in increfs or call in decrefs:
+                continue
+            if not self._site_may_gc(call):
+                continue
+            protected: Set[str] = set()
+            for arg in list(call.args) + [kw.value for kw in call.keywords]:
+                protected |= _names_loaded(arg)
+            for name, atoms in list(state.items()):
+                if name in protected:
+                    continue
+                if any(kind == _UNPROT for kind, _ in atoms):
+                    rest = frozenset(
+                        (k, ln) for k, ln in atoms if k != _UNPROT
+                    )
+                    state[name] = rest | frozenset([(_STALE, call.lineno)])
+
+        # 6. Bindings.
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and (
+            isinstance(stmt.targets[0], ast.Name)
+        ):
+            target = stmt.targets[0].id
+            value = stmt.value
+            self._check_rebind_leak(target, state, line)
+            if isinstance(value, ast.Call) and isinstance(
+                value.func, ast.Attribute
+            ):
+                receiver = dotted_name(value.func.value) or ""
+                if value.func.attr == "incref":
+                    state[target] = frozenset([(_OWNED, line)])
+                    self.manager[target] = receiver
+                elif value.func.attr in _NODE_OPS:
+                    state[target] = frozenset([(_UNPROT, line)])
+                    self.manager[target] = receiver
+                else:
+                    state.pop(target, None)
+            elif isinstance(value, ast.Name) and value.id in state:
+                # Move: ``previous = reached`` transfers the abstract
+                # handle; the source no longer answers for it.
+                state[target] = state[value.id]
+                if value.id in self.manager:
+                    self.manager[target] = self.manager[value.id]
+                state[value.id] = frozenset([(_ESCAPED, line)])
+            else:
+                state.pop(target, None)
+        else:
+            # Any other store untracks the bound names.
+            for node in walk_all():
+                if isinstance(node, ast.Name) and isinstance(
+                    node.ctx, ast.Store
+                ):
+                    self._check_rebind_leak(node.id, state, line)
+                    state.pop(node.id, None)
+        return state
+
+    def _check_rebind_leak(
+        self, name: str, state: _State, line: int
+    ) -> None:
+        atoms = state.get(name)
+        if atoms and {kind for kind, _ in atoms} == {_OWNED}:
+            acq = max(ln for _, ln in atoms)
+            self._report(
+                "R101",
+                line,
+                name,
+                "handle %r (incref'ed at line %d) rebound without decref "
+                "— the external reference leaks" % (name, acq),
+            )
+
+    # -- driver ---------------------------------------------------------
+
+    def run(self) -> List[Finding]:
+        cfg, entry = _build_cfg(self.info.node)
+        states: Dict[int, _State] = {entry: {}}
+        exit_state: _State = {}
+        worklist = [entry]
+        visits: Dict[int, int] = {}
+        while worklist:
+            node = worklist.pop()
+            visits[node] = visits.get(node, 0) + 1
+            if visits[node] > 200:  # safety valve; states are monotone
+                continue
+            out = self.transfer(cfg.stmts[node], states.get(node, {}))
+            for succ in cfg.succ.get(node, ()):
+                if succ == _CFG.EXIT:
+                    _merge(exit_state, out)
+                    continue
+                prior = states.setdefault(succ, {})
+                if _merge(prior, out) or visits.get(succ, 0) == 0:
+                    worklist.append(succ)
+            if not cfg.succ.get(node):
+                _merge(exit_state, out)
+        # Reset per-run reporting dedup keyed only on rule+var for exit.
+        for name, atoms in exit_state.items():
+            kinds = {kind for kind, _ in atoms}
+            if _OWNED in kinds and not kinds & {_RELEASED, _ESCAPED}:
+                acq = max(ln for kind, ln in atoms if kind == _OWNED)
+                self._report(
+                    "R101",
+                    acq,
+                    name,
+                    "handle %r (incref'ed at line %d) is never decref'ed "
+                    "or escaped on any path out of %r — the external "
+                    "reference leaks" % (name, acq, self.info.name),
+                )
+        return self.findings
+
+
+# ======================================================================
+# Concurrency rules (R201-R204)
+# ======================================================================
+
+
+def _check_blocking_async(
+    info: FunctionInfo, path: str
+) -> List[Finding]:
+    """R201: directly blocking calls in an ``async def`` body."""
+    if not info.is_async:
+        return []
+    findings: List[Finding] = []
+    awaited: Set[int] = set()
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Await):
+            for sub in ast.walk(node.value):
+                awaited.add(id(sub))
+    for site in info.calls:  # own body only; nested defs have their own
+        node = site.node
+        dotted = dotted_name(node.func)
+        blocked = None
+        if dotted in _BLOCKING_CALLS:
+            blocked = dotted
+        elif isinstance(node.func, ast.Name) and node.func.id == "open":
+            blocked = "open"
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "acquire"
+            and id(node) not in awaited
+        ):
+            receiver = dotted_name(node.func.value) or ""
+            if "lock" in receiver.lower() or "sem" in receiver.lower():
+                blocked = receiver + ".acquire"
+        if blocked is not None:
+            findings.append(
+                Finding(
+                    path,
+                    node.lineno,
+                    "R201",
+                    "blocking call %r inside 'async def %s' stalls the "
+                    "event loop; await an async equivalent or push it "
+                    "through run_in_executor" % (blocked, info.name),
+                )
+            )
+    return findings
+
+
+def _check_fork_after_thread(
+    info: FunctionInfo, graph: CallGraph, path: str
+) -> List[Finding]:
+    """R203: thread creation, then (transitively) a fork, in body order."""
+    findings: List[Finding] = []
+    thread_line: Optional[int] = None
+    for site in sorted(info.calls, key=lambda s: s.line):
+        gc, fork, thread = graph.site_effects(info, site)
+        if fork and thread_line is not None and site.line > thread_line:
+            findings.append(
+                Finding(
+                    path,
+                    site.line,
+                    "R203",
+                    "process fork/spawn on this path after a non-daemon "
+                    "thread was created at line %d — the child inherits "
+                    "held locks and can deadlock; fork first, or make "
+                    "the thread daemonic and join before forking"
+                    % thread_line,
+                )
+            )
+        if thread and thread_line is None:
+            thread_line = site.line
+    return findings
+
+
+def _check_lock_discipline(tree: ast.Module, path: str) -> List[Finding]:
+    """R202 over every class in the module (see module docstring)."""
+    findings: List[Finding] = []
+    for cls in ast.walk(tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        locks: Set[str] = set()
+        for node in ast.walk(cls):
+            if (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Call)
+                and dotted_name(node.value.func) in _LOCK_FACTORIES
+            ):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        locks.add(target.attr)
+        if not locks:
+            continue
+
+        def lock_guards(with_node: ast.With) -> bool:
+            for item in with_node.items:
+                dotted = dotted_name(item.context_expr)
+                if dotted and dotted.startswith("self."):
+                    if dotted.split(".")[1] in locks:
+                        return True
+                # ``with self._lock.acquire_timeout(...)`` style.
+                if isinstance(item.context_expr, ast.Call):
+                    inner = dotted_name(item.context_expr.func)
+                    if inner and inner.startswith("self.") and (
+                        inner.split(".")[1] in locks
+                    ):
+                        return True
+            return False
+
+        def mutations(node: ast.AST) -> Iterable[Tuple[str, int]]:
+            """(attr, line) for every ``self.<attr>`` mutation under
+            ``node`` (stores, augmented stores, mutating method calls,
+            subscript stores through the attribute)."""
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Attribute) and isinstance(
+                    sub.value, ast.Name
+                ) and sub.value.id == "self":
+                    if isinstance(sub.ctx, (ast.Store, ast.Del)):
+                        yield sub.attr, sub.lineno
+                if (
+                    isinstance(sub, ast.Subscript)
+                    and isinstance(sub.ctx, (ast.Store, ast.Del))
+                    and isinstance(sub.value, ast.Attribute)
+                    and isinstance(sub.value.value, ast.Name)
+                    and sub.value.value.id == "self"
+                ):
+                    yield sub.value.attr, sub.lineno
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in _MUTATORS
+                    and isinstance(sub.func.value, ast.Attribute)
+                    and isinstance(sub.func.value.value, ast.Name)
+                    and sub.func.value.value.id == "self"
+                ):
+                    yield sub.func.value.attr, sub.lineno
+
+        # Pass 1: which attributes does this class guard with its locks?
+        guarded: Set[str] = set()
+        locked_lines: Set[int] = set()
+        for node in ast.walk(cls):
+            if isinstance(node, (ast.With, ast.AsyncWith)) and lock_guards(
+                node
+            ):
+                for child in node.body:
+                    for sub in ast.walk(child):
+                        lineno = getattr(sub, "lineno", None)
+                        if lineno is not None:
+                            locked_lines.add(lineno)
+                    for attr, _ in mutations(child):
+                        guarded.add(attr)
+        guarded -= locks
+        if not guarded:
+            continue
+
+        # Pass 1.5: a *private* helper whose every ``self.<helper>()``
+        # call site sits under the lock runs with the lock held — its
+        # body counts as locked (fixpoint for helpers calling helpers).
+        method_lines: Dict[str, Set[int]] = {}
+        self_calls: Dict[str, Set[int]] = {}
+        for method in cls.body:
+            if not isinstance(
+                method, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            method_lines[method.name] = {
+                getattr(sub, "lineno", method.lineno)
+                for sub in ast.walk(method)
+                if hasattr(sub, "lineno")
+            }
+            for sub in ast.walk(method):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and isinstance(sub.func.value, ast.Name)
+                    and sub.func.value.id == "self"
+                ):
+                    self_calls.setdefault(sub.func.attr, set()).add(
+                        sub.lineno
+                    )
+        changed = True
+        locked_helpers: Set[str] = set()
+        while changed:
+            changed = False
+            for name, sites in self_calls.items():
+                if name in locked_helpers or name not in method_lines:
+                    continue
+                if not name.startswith("_") or name.startswith("__"):
+                    continue  # public: callers outside the class possible
+                if sites and sites <= locked_lines:
+                    locked_helpers.add(name)
+                    locked_lines |= method_lines[name]
+                    changed = True
+
+        # Pass 2: mutations of guarded attributes outside every lock.
+        for method in cls.body:
+            if not isinstance(
+                method, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if method.name == "__init__":
+                continue  # construction happens-before sharing
+            for attr, lineno in mutations(method):
+                if attr in guarded and lineno not in locked_lines:
+                    findings.append(
+                        Finding(
+                            path,
+                            lineno,
+                            "R202",
+                            "attribute 'self.%s' of class %r is guarded by "
+                            "'with self.%s' elsewhere but mutated here "
+                            "without the lock" % (
+                                attr, cls.name, sorted(locks)[0]
+                            ),
+                        )
+                    )
+    return findings
+
+
+def _check_monotonic(tree: ast.Module, path: str) -> List[Finding]:
+    """R204: wall-clock reads inside the monotonic-clock scopes."""
+    posix = _posix(path)
+    if not any(scope in posix for scope in _MONOTONIC_SCOPES):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute):
+            dotted = dotted_name(node)
+            if dotted in _WALL_CLOCK:
+                findings.append(
+                    Finding(
+                        path,
+                        node.lineno,
+                        "R204",
+                        "%r in the tracer's monotonic-clock domain: "
+                        "durations and deadlines must use time.monotonic "
+                        "(a deliberate wall stamp needs a justified "
+                        "noqa)" % dotted,
+                    )
+                )
+    return findings
+
+
+# ======================================================================
+# Baseline
+# ======================================================================
+
+
+def load_baseline(path: str) -> List[Dict[str, object]]:
+    """Read a baseline file (a JSON list of suppression entries)."""
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    entries = data.get("suppressions", data) if isinstance(data, dict) else data
+    if not isinstance(entries, list):
+        raise ValueError("baseline must be a list of suppression entries")
+    return entries
+
+
+def _matches(finding: Finding, entry: Dict[str, object]) -> bool:
+    if entry.get("rule") != finding.rule:
+        return False
+    if int(entry.get("line", -1)) != finding.line:
+        return False
+    suffix = _posix(str(entry.get("path", "")))
+    return bool(suffix) and _posix(finding.path).endswith(suffix)
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Sequence[Dict[str, object]]
+) -> Tuple[List[Finding], List[Dict[str, object]]]:
+    """Split findings into (kept, ) and report stale baseline entries.
+
+    Returns ``(kept_findings, stale_entries)`` — a stale entry matched
+    nothing, meaning the underlying issue was fixed and the entry should
+    be deleted.
+    """
+    kept: List[Finding] = []
+    used = [False] * len(entries)
+    for finding in findings:
+        hit = False
+        for i, entry in enumerate(entries):
+            if _matches(finding, entry):
+                used[i] = True
+                hit = True
+                break
+        if not hit:
+            kept.append(finding)
+    stale = [entry for entry, was in zip(entries, used) if not was]
+    return kept, stale
+
+
+def baseline_entry(finding: Finding, root: Optional[str] = None) -> Dict[str, object]:
+    path = _posix(finding.path)
+    if root:
+        root_posix = _posix(root).rstrip("/") + "/"
+        if path.startswith(root_posix):
+            path = path[len(root_posix):]
+    return {
+        "path": path,
+        "line": finding.line,
+        "rule": finding.rule,
+        "note": "TODO: justify this suppression",
+    }
+
+
+def write_baseline(
+    findings: Sequence[Finding], path: str, root: Optional[str] = None
+) -> None:
+    entries = [baseline_entry(f, root) for f in findings]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"suppressions": entries}, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+# ======================================================================
+# Driver
+# ======================================================================
+
+
+def deep_lint_sources(
+    sources: Sequence[Tuple[str, str]]
+) -> List[Finding]:
+    """Deep-lint already-loaded ``(path, source)`` pairs together.
+
+    All files share one call graph, so effect summaries cross file
+    boundaries exactly as they do in ``run_deep_lint``.
+    """
+    parsed: List[Tuple[str, str, ast.Module]] = []
+    findings: List[Finding] = []
+    for path, source in sources:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    path, exc.lineno or 1, "R000", "syntax error: %s" % exc.msg
+                )
+            )
+            continue
+        parsed.append((path, source, tree))
+    graph = build_call_graph([(path, tree) for path, _, tree in parsed])
+    for path, source, tree in parsed:
+        raw: List[Finding] = []
+        for info in graph.functions.values():
+            if info.path != path:
+                continue
+            raw.extend(_HandleChecker(info, graph, path).run())
+            raw.extend(_check_blocking_async(info, path))
+            raw.extend(_check_fork_after_thread(info, graph, path))
+        raw.extend(_check_lock_discipline(tree, path))
+        raw.extend(_check_monotonic(tree, path))
+        raw = remap_decorator_lines(raw, tree)
+        noqa = _noqa_codes(source)
+        for finding in raw:
+            codes = noqa.get(finding.line, ())
+            if codes is None or finding.rule in codes:
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def run_deep_lint(paths: Sequence[str] = ()) -> List[Finding]:
+    """Shallow + deep rules over ``paths`` (default: the repro package)."""
+    from .lint import default_paths
+
+    files = list(iter_python_files(list(paths) or default_paths()))
+    sources: List[Tuple[str, str]] = []
+    shallow: List[Finding] = []
+    for path in files:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+        sources.append((path, source))
+        shallow.extend(lint_source(source, path))
+    deep = deep_lint_sources(sources)
+    merged = [f for f in shallow if f.rule != "R000"] + deep
+    merged.sort(key=lambda f: (f.path, f.line, f.rule))
+    return merged

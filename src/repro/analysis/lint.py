@@ -71,14 +71,21 @@ _KERNEL_MODULES = frozenset(
 
 #: Files whose serialized output must stay byte-identical across
 #: ``--jobs`` levels (plus the fault injector, whose firing points must
-#: be reproducible) — the R002 scope.
+#: be reproducible) — the R002 scope.  ``serve/cache.py`` is included
+#: because cache entries are content-addressed: any nondeterminism in
+#: what gets hashed or listed breaks entry identity across runs.
 _DETERMINISTIC_SUFFIXES = (
     "repro/harness/scheduler.py",
     "repro/harness/journal.py",
     "repro/harness/checkpoint.py",
     "repro/harness/faults.py",
     "repro/obs/report.py",
+    "repro/serve/cache.py",
 )
+
+#: Directories under the R002 scope (backend payloads must be
+#: byte-stable too — they are embedded in checkpoints and cache keys).
+_DETERMINISTIC_DIRS = ("repro/backends/",)
 
 #: BDD-manager methods whose result is a node handle (R003).
 _NODE_OPS = frozenset(
@@ -127,7 +134,10 @@ def _in_scope_r001(path: str) -> bool:
 
 
 def _in_scope_r002(path: str) -> bool:
-    return _posix(path).endswith(_DETERMINISTIC_SUFFIXES)
+    p = _posix(path)
+    if p.endswith(_DETERMINISTIC_SUFFIXES):
+        return True
+    return any(d in p for d in _DETERMINISTIC_DIRS)
 
 
 def _in_scope_r003(path: str) -> bool:
@@ -424,6 +434,38 @@ def _noqa_codes(source: str) -> Dict[int, Optional[Set[str]]]:
     return out
 
 
+def remap_decorator_lines(
+    findings: Sequence[Finding], tree: ast.AST
+) -> List[Finding]:
+    """Reattribute decorator-line findings to the decorated ``def`` line.
+
+    ``@decorator`` lines cannot legally carry a trailing ``# noqa`` in
+    some formatters' output, and users reasonably put the suppression on
+    the ``def``/``class`` statement itself — the *suppressible statement
+    line*.  Findings inside a decorator expression are therefore moved
+    to the decorated statement's line (innermost decoration wins).
+    """
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ) and node.decorator_list:
+            start = min(d.lineno for d in node.decorator_list)
+            spans.append((start, node.lineno))
+    if not spans:
+        return list(findings)
+    # Innermost (latest-starting) decoration wins for nested defs.
+    spans.sort(key=lambda s: s[0], reverse=True)
+    out: List[Finding] = []
+    for finding in findings:
+        for start, def_line in spans:
+            if start <= finding.line < def_line:
+                finding = finding._replace(line=def_line)
+                break
+        out.append(finding)
+    return out
+
+
 def lint_source(source: str, path: str) -> List[Finding]:
     """Lint one file's source; applies every rule whose scope matches."""
     try:
@@ -438,6 +480,7 @@ def lint_source(source: str, path: str) -> List[Finding]:
             findings.extend(check(tree, path))
     if not findings:
         return findings
+    findings = remap_decorator_lines(findings, tree)
     noqa = _noqa_codes(source)
     kept = []
     for finding in findings:

@@ -380,7 +380,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="run the repo-specific static checks (rules R001-R004)",
+        help="run the repo-specific static checks (rules R001-R004; "
+        "--deep adds the interprocedural R101-R204 families)",
     )
     lint.add_argument(
         "paths",
@@ -391,6 +392,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
+    )
+    lint.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the flow-sensitive interprocedural analyzer "
+        "(handle lifetimes R101-R104, concurrency/fork safety R201-R204)",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="JSON baseline of accepted findings to subtract (deep mode); "
+        "stale entries are reported so they can be deleted",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write the current deep findings to FILE as a baseline "
+        "and exit 0",
     )
 
     sub.add_parser("list", help="list built-in circuits")
@@ -871,11 +890,46 @@ def cmd_top(args: argparse.Namespace) -> int:
 def cmd_lint(args: argparse.Namespace) -> int:
     from .analysis import lint as _lint
 
+    deep = bool(args.deep or args.baseline or args.write_baseline)
     if args.list_rules:
-        for rule, summary in sorted(_lint.RULES.items()):
+        catalog = dict(_lint.RULES)
+        if deep:
+            from .analysis import dataflow as _dataflow
+
+            catalog.update(_dataflow.DEEP_RULES)
+        for rule, summary in sorted(catalog.items()):
             print("%s  %s" % (rule, summary))
         return 0
-    findings = _lint.run_lint(tuple(args.paths))
+    if not deep:
+        findings = _lint.run_lint(tuple(args.paths))
+    else:
+        from .analysis import dataflow as _dataflow
+
+        findings = _dataflow.run_deep_lint(tuple(args.paths))
+        if args.write_baseline:
+            _dataflow.write_baseline(
+                findings, args.write_baseline, root=os.getcwd()
+            )
+            print(
+                "wrote %d suppression%s to %s"
+                % (
+                    len(findings),
+                    "s" if len(findings) != 1 else "",
+                    args.write_baseline,
+                )
+            )
+            return 0
+        if args.baseline:
+            entries = _dataflow.load_baseline(args.baseline)
+            findings, stale = _dataflow.apply_baseline(findings, entries)
+            for entry in stale:
+                print(
+                    "stale baseline entry (fixed? delete it): "
+                    "%s:%s %s" % (entry.get("path"), entry.get("line"),
+                                  entry.get("rule"))
+                )
+            if stale and not findings:
+                return 1
     for finding in findings:
         print(finding.render())
     if findings:

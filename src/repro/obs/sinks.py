@@ -98,7 +98,10 @@ class JsonlSink(Sink):
 
     def emit(self, record: Dict[str, object]) -> None:
         record = dict(record)
-        record.setdefault("wall", time.time())
+        # Deliberate wall stamp: this is the one place records get an
+        # absolute timestamp for cross-host correlation; durations
+        # elsewhere stay monotonic.
+        record.setdefault("wall", time.time())  # noqa: R204
         handle = self._open()
         handle.write(json.dumps(record, sort_keys=True, default=str) + "\n")
         handle.flush()

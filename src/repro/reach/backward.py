@@ -65,7 +65,6 @@ def backward_reachability(
             for net in space.state_order
         }
         target = bdd.or_(target, bdd.cube(cube))
-    bdd.incref(target)
 
     reached = bdd.incref(target)
     frontier = bdd.incref(target)
@@ -101,6 +100,10 @@ def backward_reachability(
     except RecursionError:
         result.failure = "depth"
     result.iterations = iterations
+    # The frontier's pin is ours alone; only `reached` outlives this
+    # function (via result.extra), so release the frontier before the
+    # final sweep.
+    bdd.decref(frontier)
     bdd.collect_garbage()
     result.peak_live_nodes = max(monitor.peak_live, bdd.count_live())
     result.extra["cache"] = bdd.cache_stats()

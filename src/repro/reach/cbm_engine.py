@@ -94,6 +94,11 @@ def cbm_reachability(
     )
     snapshot = monitor.restore()
     if snapshot is not None:
+        # The restored handles arrive with their own pins; drop ours
+        # before adopting them or the initial-state refs leak for the
+        # whole resumed run.
+        bdd.decref(reached)
+        bdd.decref(from_chi)
         reached = snapshot.functions["reached"]
         from_chi = snapshot.functions["frontier"]
         iterations = snapshot.iteration

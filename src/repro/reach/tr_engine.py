@@ -78,6 +78,9 @@ def tr_reachability(
     )
     snapshot = monitor.restore()
     if snapshot is not None:
+        # `reached` and `frontier` both alias `init`, whose single pin
+        # is dropped here; the restored handles arrive with their own.
+        bdd.decref(reached)
         reached = snapshot.functions["reached"]
         frontier = snapshot.functions["frontier"]
         iterations = snapshot.iteration

@@ -109,7 +109,7 @@ class ResultCache:
         """True when the key has at least one stored trace file."""
         path = os.path.join(self.entry_dir(key), "trace")
         try:
-            names = os.listdir(path)
+            names = sorted(os.listdir(path))
         except OSError:
             return False
         return any(name.endswith(".jsonl") for name in names)
@@ -214,7 +214,7 @@ class ResultCache:
         """True when the key's checkpoint dir holds at least one snapshot."""
         path = os.path.join(self.entry_dir(key), "ckpt")
         try:
-            names = os.listdir(path)
+            names = sorted(os.listdir(path))
         except OSError:
             return False
         return any(name.endswith(".rbdd") for name in names)

@@ -1,0 +1,44 @@
+"""Seeded R201 defects: blocking calls inside ``async def`` bodies.
+
+Lines carrying a seeded defect are marked ``# defect: RXXX``; the test
+derives the expected (rule, line) set from the markers.
+"""
+
+import subprocess
+import time
+
+
+async def poll_with_sleep(client):
+    while True:
+        time.sleep(0.05)  # defect: R201
+        data = await client.read()
+        if not data:
+            return data
+
+
+async def shell_out(cmd):
+    return subprocess.run(cmd)  # defect: R201
+
+
+async def read_config(path):
+    with open(path) as handle:  # defect: R201
+        return handle.read()
+
+
+async def take_lock(state):
+    state.lock.acquire()  # defect: R201
+    try:
+        return state.value
+    finally:
+        state.lock.release()
+
+
+async def clean_awaits(client):
+    data = await client.fetch()
+    async with client.lock:
+        return data
+
+
+def sync_sleep_is_fine():
+    time.sleep(0.01)
+    return True

@@ -1,0 +1,37 @@
+"""Seeded R203 defects: fork/spawn after non-daemon thread creation.
+
+Lines carrying a seeded defect are marked ``# defect: RXXX``; the test
+derives the expected (rule, line) set from the markers.
+"""
+
+import os
+import threading
+
+
+def fork_after_thread(work):
+    worker = threading.Thread(target=work)
+    worker.start()
+    return os.fork()  # defect: R203
+
+
+def fork_through_helper(work):
+    worker = threading.Thread(target=work)
+    worker.start()
+    return _spawn_child()  # defect: R203
+
+
+def _spawn_child():
+    return os.fork()
+
+
+def clean_daemon_then_fork(work):
+    worker = threading.Thread(target=work, daemon=True)
+    worker.start()
+    return os.fork()
+
+
+def clean_fork_before_thread(work):
+    pid = os.fork()
+    worker = threading.Thread(target=work)
+    worker.start()
+    return pid

@@ -1,0 +1,54 @@
+"""Seeded R101 defects: incref'ed handles that never get released.
+
+Lines carrying a seeded defect are marked ``# defect: RXXX``; the test
+derives the expected (rule, line) set from those markers, so the exact
+line numbers never need hand-maintenance.
+"""
+
+
+def leak_simple(bdd, a, b):
+    tmp = bdd.and_(a, b)
+    tmp = bdd.incref(tmp)  # defect: R101
+    size = bdd.dag_size(tmp)
+    return size
+
+
+def leak_rebind(bdd, a, b):
+    acc = bdd.incref(bdd.or_(a, b))
+    acc = bdd.or_(acc, a)  # defect: R101
+    bdd.decref(acc)
+    return None
+
+
+def unsound_conditional_leak(bdd, a, flag):
+    # Known unsoundness (DESIGN.md §17): one path releases, the other
+    # leaks — R101 stays quiet because a release on *any* path would
+    # otherwise drown real engines' conditional-cleanup idioms in
+    # false positives.  Deliberately NOT marked as a defect.
+    tmp = bdd.incref(bdd.not_(a))
+    if flag:
+        bdd.decref(tmp)
+    return None
+
+
+def clean_move(bdd, a, b):
+    acc = bdd.incref(bdd.or_(a, b))
+    previous = acc
+    acc = bdd.incref(bdd.and_(acc, a))
+    bdd.decref(previous)
+    bdd.decref(acc)
+    return None
+
+
+def clean_escape(bdd, a, b):
+    out = bdd.incref(bdd.xor(a, b))
+    return out
+
+
+def clean_conditional(bdd, a, flag):
+    tmp = bdd.incref(bdd.not_(a))
+    if flag:
+        bdd.decref(tmp)
+        return None
+    bdd.decref(tmp)
+    return None

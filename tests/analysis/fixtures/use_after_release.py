@@ -1,0 +1,55 @@
+"""Seeded R102/R103/R104 defects: stale and double-released handles.
+
+Lines carrying a seeded defect are marked ``# defect: RXXX``; the test
+derives the expected (rule, line) set from the markers.
+"""
+
+
+class Monitor:
+    """A stand-in RunMonitor whose checkpoint may transitively GC."""
+
+    def __init__(self, bdd):
+        self.bdd = bdd
+
+    def checkpoint(self, roots):
+        self.bdd.maybe_collect(roots)
+
+
+def use_after_decref(bdd, a, b):
+    tmp = bdd.incref(bdd.and_(a, b))
+    bdd.decref(tmp)
+    return bdd.dag_size(tmp)  # defect: R102
+
+
+def double_release(bdd, a, b):
+    tmp = bdd.incref(bdd.or_(a, b))
+    bdd.decref(tmp)
+    bdd.decref(tmp)  # defect: R103
+    return None
+
+
+def stale_across_gc(bdd, monitor, a, b):
+    tmp = bdd.and_(a, b)
+    monitor.checkpoint(())
+    return bdd.dag_size(tmp)  # defect: R104
+
+
+def clean_rooted_gc(bdd, monitor, a, b):
+    tmp = bdd.and_(a, b)
+    monitor.checkpoint((tmp,))
+    return bdd.dag_size(tmp)
+
+
+def clean_incref_across_gc(bdd, monitor, a, b):
+    tmp = bdd.incref(bdd.and_(a, b))
+    monitor.checkpoint(())
+    size = bdd.dag_size(tmp)
+    bdd.decref(tmp)
+    return size
+
+
+def clean_release_then_rebind(bdd, a, b):
+    tmp = bdd.incref(bdd.and_(a, b))
+    bdd.decref(tmp)
+    tmp = bdd.or_(a, b)
+    return bdd.dag_size(tmp)

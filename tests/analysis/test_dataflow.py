@@ -1,0 +1,362 @@
+"""Deep analyzer (R101-R104, R201-R204): fixtures, idioms, baseline.
+
+The seeded-defect fixtures under ``fixtures/`` mark every intended
+finding with a ``# defect: RXXX`` comment; each test asserts the exact
+(rule, line) set both ways, so a missed defect *and* a false positive
+both fail.  The repo sweep asserts ``lint --deep`` over ``src/repro``
+is clean modulo the committed ``lint-baseline.json``.
+"""
+
+import json
+import os
+import re
+import textwrap
+
+from repro.analysis.dataflow import (
+    DEEP_RULES,
+    apply_baseline,
+    deep_lint_sources,
+    load_baseline,
+    run_deep_lint,
+    write_baseline,
+)
+from repro.analysis.lint import RULES, Finding
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+_DEFECT = re.compile(r"# defect: (R\d+)")
+
+
+def fixture_results(name):
+    path = os.path.join(FIXTURES, name)
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    findings = deep_lint_sources([(path, source)])
+    return source, findings
+
+
+def expected_defects(source):
+    out = set()
+    for lineno, line in enumerate(source.splitlines(), 1):
+        match = _DEFECT.search(line)
+        if match:
+            out.add((match.group(1), lineno))
+    return out
+
+
+def deep_rules_in(source, path="src/repro/reach/snippet.py"):
+    return [
+        (f.rule, f.line)
+        for f in deep_lint_sources([(path, textwrap.dedent(source))])
+    ]
+
+
+# ----------------------------------------------------------------------
+# Fixture sweeps: exact finding sets, zero false positives
+# ----------------------------------------------------------------------
+
+
+class TestFixtures:
+    def assert_exact(self, name):
+        source, findings = fixture_results(name)
+        got = {(f.rule, f.line) for f in findings}
+        assert got == expected_defects(source)
+
+    def test_known_leak(self):
+        self.assert_exact("known_leak.py")
+
+    def test_use_after_release(self):
+        self.assert_exact("use_after_release.py")
+
+    def test_blocking_async(self):
+        self.assert_exact("blocking_async.py")
+
+    def test_fork_after_thread(self):
+        self.assert_exact("fork_after_thread.py")
+
+
+# ----------------------------------------------------------------------
+# Engine idioms must stay clean (the patterns the analyzer was tuned on)
+# ----------------------------------------------------------------------
+
+
+class TestEngineIdioms:
+    def test_move_pattern_is_clean(self):
+        source = """
+            def step(bdd, reached, image):
+                previous = reached
+                reached = bdd.incref(bdd.or_(reached, image))
+                bdd.decref(previous)
+                bdd.decref(reached)
+        """
+        assert deep_rules_in(source) == []
+
+    def test_fixpoint_loop_is_clean(self):
+        source = """
+            def run(bdd, relation, space, monitor, init_chi):
+                reached = bdd.incref(init_chi)
+                frontier = bdd.incref(init_chi)
+                iterations = 0
+                while True:
+                    iterations += 1
+                    image = relation.image(frontier)
+                    new = bdd.diff(image, reached)
+                    if new == bdd.false:
+                        break
+                    previous = reached
+                    reached = bdd.incref(bdd.or_(reached, image))
+                    bdd.decref(previous)
+                    bdd.decref(frontier)
+                    frontier = bdd.incref(new)
+                    monitor.save_state(
+                        iterations,
+                        functions={"reached": reached, "frontier": frontier},
+                    )
+                bdd.decref(frontier)
+                bdd.decref(reached)
+        """
+        assert deep_rules_in(source) == []
+
+    def test_result_escape_is_clean(self):
+        source = """
+            def run(bdd, a, b, result):
+                reached = bdd.incref(bdd.or_(a, b))
+                result.extra["chi"] = reached
+        """
+        assert deep_rules_in(source) == []
+
+    def test_closure_capture_escapes(self):
+        source = """
+            def run(bdd, a, b, hooks):
+                reached = bdd.incref(bdd.or_(a, b))
+
+                def snapshot():
+                    return reached
+
+                hooks.append(snapshot)
+        """
+        assert deep_rules_in(source) == []
+
+    def test_interprocedural_gc_crossing_flags(self):
+        source = """
+            class Monitor:
+                def __init__(self, bdd):
+                    self.bdd = bdd
+
+                def tick(self, roots):
+                    self.bdd.maybe_collect(roots)
+
+
+            def run(bdd, monitor, a, b):
+                tmp = bdd.and_(a, b)
+                monitor.tick(())
+                return bdd.dag_size(tmp)
+        """
+        assert deep_rules_in(source) == [("R104", 13)]
+
+    def test_bare_incref_of_parameter_is_untracked(self):
+        source = """
+            class Function:
+                def __init__(self, bdd, node):
+                    self.bdd = bdd
+                    self.node = node
+                    bdd.incref(node)
+        """
+        assert deep_rules_in(source) == []
+
+    def test_restore_rebind_without_decref_flags(self):
+        source = """
+            def run(bdd, monitor, init_chi):
+                reached = bdd.incref(init_chi)
+                snapshot = monitor.restore()
+                if snapshot is not None:
+                    reached = snapshot.functions["reached"]
+                bdd.decref(reached)
+        """
+        assert deep_rules_in(source) == [("R101", 6)]
+
+
+# ----------------------------------------------------------------------
+# Concurrency rules
+# ----------------------------------------------------------------------
+
+
+class TestLockDiscipline:
+    GUARDED = """
+        import threading
+
+
+        class Registry:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = {}
+
+            def put(self, key, value):
+                with self._lock:
+                    self._items[key] = value
+
+            def race(self, key, value):
+                self._items[key] = value
+    """
+
+    def test_unlocked_mutation_flags(self):
+        assert deep_rules_in(self.GUARDED) == [("R202", 15)]
+
+    def test_locked_helper_methods_are_clean(self):
+        source = """
+            import threading
+
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._store(key, value)
+
+                def _store(self, key, value):
+                    self._items[key] = value
+        """
+        assert deep_rules_in(source) == []
+
+    def test_init_writes_are_exempt(self):
+        source = """
+            import threading
+
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._items[key] = value
+        """
+        assert deep_rules_in(source) == []
+
+
+class TestMonotonicScope:
+    WALL = "import time\n\n\ndef stamp():\n    return time.time()\n"
+
+    def test_obs_and_serve_in_scope(self):
+        assert [
+            f.rule
+            for f in deep_lint_sources([("src/repro/obs/tail.py", self.WALL)])
+        ] == ["R204"]
+        assert [
+            f.rule
+            for f in deep_lint_sources(
+                [("src/repro/serve/admission.py", self.WALL)]
+            )
+        ] == ["R204"]
+
+    def test_reach_out_of_scope(self):
+        assert (
+            deep_lint_sources([("src/repro/reach/common.py", self.WALL)])
+            == []
+        )
+
+
+# ----------------------------------------------------------------------
+# noqa + baseline machinery
+# ----------------------------------------------------------------------
+
+
+class TestSuppression:
+    LEAKY = """
+        def leak(bdd, a, b):
+            tmp = bdd.incref(bdd.and_(a, b))  # noqa: R101
+            size = bdd.dag_size(tmp)
+            return size
+    """
+
+    def test_noqa_disarms_deep_rule(self):
+        assert deep_rules_in(self.LEAKY) == []
+
+    def test_noqa_must_name_the_right_rule(self):
+        source = textwrap.dedent(self.LEAKY).replace("R101", "R102")
+        assert [
+            f.rule
+            for f in deep_lint_sources(
+                [("src/repro/reach/snippet.py", source)]
+            )
+        ] == ["R101"]
+
+
+class TestBaseline:
+    def findings(self):
+        return [
+            Finding("src/repro/reach/x.py", 10, "R101", "leak"),
+            Finding("src/repro/serve/y.py", 20, "R202", "race"),
+        ]
+
+    def test_roundtrip_suppresses_everything(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(self.findings(), path)
+        entries = load_baseline(path)
+        kept, stale = apply_baseline(self.findings(), entries)
+        assert kept == []
+        assert stale == []
+
+    def test_stale_entries_are_reported(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(self.findings(), path)
+        entries = load_baseline(path)
+        kept, stale = apply_baseline(self.findings()[:1], entries)
+        assert kept == []
+        assert [e["rule"] for e in stale] == ["R202"]
+
+    def test_unmatched_findings_survive(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(self.findings()[:1], path)
+        entries = load_baseline(path)
+        kept, stale = apply_baseline(self.findings(), entries)
+        assert [f.rule for f in kept] == ["R202"]
+
+    def test_write_strips_root_prefix(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(
+            [Finding("/repo/src/repro/a.py", 3, "R101", "m")],
+            path,
+            root="/repo",
+        )
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        assert data["suppressions"][0]["path"] == "src/repro/a.py"
+
+
+# ----------------------------------------------------------------------
+# Catalog + repo sweep
+# ----------------------------------------------------------------------
+
+
+class TestCatalog:
+    def test_deep_rule_catalog(self):
+        assert sorted(DEEP_RULES) == [
+            "R101",
+            "R102",
+            "R103",
+            "R104",
+            "R201",
+            "R202",
+            "R203",
+            "R204",
+        ]
+
+    def test_deep_rules_disjoint_from_shallow(self):
+        assert not set(DEEP_RULES) & set(RULES)
+
+
+class TestRepoSweep:
+    def test_repo_deep_lint_clean_modulo_baseline(self):
+        findings = run_deep_lint(())
+        baseline_path = os.path.join(REPO_ROOT, "lint-baseline.json")
+        entries = load_baseline(baseline_path)
+        kept, _stale = apply_baseline(findings, entries)
+        assert [f.render() for f in kept] == []

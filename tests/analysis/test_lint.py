@@ -269,3 +269,63 @@ class TestDriver:
         good.write_text("VALUE = 1\n")
         assert main([str(good)]) == 0
         assert capsys.readouterr().out == ""
+
+
+# ----------------------------------------------------------------------
+# R002 scope extension: backends/ + serve/cache.py
+# ----------------------------------------------------------------------
+
+
+class TestR002ScopeExtension:
+    def test_backends_dir_in_scope(self):
+        assert rules_in(
+            "import random\n", "src/repro/backends/bitset.py"
+        ) == ["R002"]
+        assert rules_in(
+            "import random\n", "src/repro/backends/zonotope.py"
+        ) == ["R002"]
+
+    def test_serve_cache_in_scope(self):
+        assert rules_in(
+            "import random\n", "src/repro/serve/cache.py"
+        ) == ["R002"]
+
+    def test_other_serve_modules_stay_out_of_scope(self):
+        assert rules_in("import random\n", "src/repro/serve/server.py") == []
+
+
+# ----------------------------------------------------------------------
+# Decorator findings attach to the suppressible def line
+# ----------------------------------------------------------------------
+
+
+class TestDecoratorNoqa:
+    DECORATED = """
+        import time
+
+
+        @retry(deadline=time.time() + 5)
+        def act():  # noqa: R002
+            return 1
+    """
+
+    def test_finding_attributed_to_def_line(self):
+        source = textwrap.dedent(self.DECORATED).replace(
+            "  # noqa: R002", ""
+        )
+        findings = lint_source(source, SCHEDULER_PATH)
+        assert [(f.rule, f.line) for f in findings] == [("R002", 6)]
+
+    def test_noqa_on_def_line_disarms_decorator_finding(self):
+        assert rules_in(self.DECORATED, SCHEDULER_PATH) == []
+
+    def test_noqa_on_undecorated_line_still_line_scoped(self):
+        source = """
+            import time
+
+
+            def act():  # noqa: R002
+                return time.time()
+        """
+        # The finding is on the body line, not the def line: stays armed.
+        assert rules_in(source, SCHEDULER_PATH) == ["R002"]
